@@ -1,0 +1,37 @@
+//! Criterion companion to Fig. 7: per-invocation cost of GAPL built-ins,
+//! measured through the same Fig. 6 template the figure binary uses but at
+//! a reduced loop size so Criterion can take many samples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cep_bench::fig07;
+use gapl::event::{AttrType, Scalar, Schema, Tuple};
+use gapl::vm::{RecordingHost, Vm};
+use std::sync::Arc;
+
+fn bench_builtins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig07_builtins");
+    let timer_schema =
+        Arc::new(Schema::new("Timer", vec![("tstamp", AttrType::Tstamp)]).expect("valid schema"));
+    let tick = Tuple::new(timer_schema, vec![Scalar::Tstamp(0)], 0).expect("valid tuple");
+
+    // 1,000 loop iterations per behavior execution keeps each Criterion
+    // sample around a millisecond.
+    for case in fig07::cases(100) {
+        let program = Arc::new(gapl::compile(&fig07::template(&case)).expect("compiles"));
+        group.bench_function(BenchmarkId::from_parameter(case.label), |b| {
+            let mut vm = Vm::new(Arc::clone(&program));
+            let mut host = RecordingHost::default();
+            vm.run_initialization(&mut host).expect("init");
+            b.iter(|| {
+                host.published.clear();
+                host.sent.clear();
+                vm.run_behavior("Timer", &tick, &mut host).expect("behavior");
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_builtins);
+criterion_main!(benches);

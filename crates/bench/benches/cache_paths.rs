@@ -1,0 +1,95 @@
+//! Criterion benchmarks of the cache's hot paths, companions to the stress
+//! figures (Figs. 12–13) and the scaling figures (Figs. 9–10):
+//!
+//! * direct insert into an unwatched table (pure stream-database path),
+//! * insert into a table with one subscribed automaton (publish path),
+//! * a full RPC round trip over the in-process transport (stress path),
+//! * an ad hoc `select ... since τ` query (continuous-query path).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gapl::event::Scalar;
+use pscache::{CacheBuilder, Query};
+use psrpc::client::CacheClient;
+
+fn bench_insert_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_insert");
+
+    // Pure insert, no subscribers.
+    let cache = CacheBuilder::new().build();
+    cache
+        .execute("create table Flows (srcip varchar(16), nbytes integer) capacity 4096")
+        .expect("create table");
+    group.bench_function("unwatched_table", |b| {
+        b.iter(|| {
+            cache
+                .insert(
+                    "Flows",
+                    vec![Scalar::Str("10.0.0.1".into()), Scalar::Int(1500)],
+                )
+                .expect("insert")
+        });
+    });
+
+    // Insert with one automaton subscribed (the unification path).
+    let watched = CacheBuilder::new().build();
+    watched
+        .execute("create table Flows (srcip varchar(16), nbytes integer) capacity 4096")
+        .expect("create table");
+    let (_id, _rx) = watched
+        .register_automaton("subscribe f to Flows; int n; behavior { n = f.nbytes; }")
+        .expect("register");
+    group.bench_function("one_automaton_subscribed", |b| {
+        b.iter(|| {
+            watched
+                .insert(
+                    "Flows",
+                    vec![Scalar::Str("10.0.0.1".into()), Scalar::Int(1500)],
+                )
+                .expect("insert")
+        });
+        watched.quiesce(Duration::from_secs(5));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("rpc_round_trip");
+    for attrs in [1usize, 16] {
+        let cache = CacheBuilder::new().build();
+        let cols: Vec<String> = (0..attrs).map(|i| format!("a{i} integer")).collect();
+        cache
+            .execute(&format!("create table Test ({})", cols.join(", ")))
+            .expect("create table");
+        let client = CacheClient::connect_inproc(cache);
+        let values: Vec<Scalar> = (0..attrs as i64).map(Scalar::Int).collect();
+        group.bench_with_input(BenchmarkId::new("insert", attrs), &attrs, |b, _| {
+            b.iter(|| client.insert("Test", values.clone()).expect("insert"));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("select_since");
+    let cache = CacheBuilder::new().manual_clock().build();
+    cache
+        .execute("create table Readings (v integer) capacity 8192")
+        .expect("create table");
+    for i in 0..8192 {
+        cache.manual_clock().unwrap().advance(1);
+        cache
+            .insert("Readings", vec![Scalar::Int(i)])
+            .expect("insert");
+    }
+    let now = cache.now();
+    group.bench_function("recent_window_of_8k_stream", |b| {
+        b.iter(|| {
+            cache
+                .select(&Query::new("Readings").since(now - 100))
+                .expect("select")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert_paths);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion companion to Fig. 18: the three stock queries on the
+//! Cayuga-style NFA engine vs the GAPL automata, on a reduced dataset so
+//! each sample stays in Criterion's comfortable range.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cayuga::queries::{q1_select_publish, q2_double_top, q3_increasing_runs};
+use cep_bench::fig18;
+use cep_workloads::StockConfig;
+
+fn bench_stock_queries(c: &mut Criterion) {
+    let events = fig18::dataset(StockConfig {
+        events: 10_000,
+        symbols: 25,
+        ..StockConfig::default()
+    });
+
+    let mut group = c.benchmark_group("fig18_stock_queries");
+    group.sample_size(10);
+
+    let cases: Vec<(&str, Box<dyn Fn() -> cayuga::Nfa>, &str)> = vec![
+        ("Q1", Box::new(q1_select_publish), fig18::Q1_GAPL),
+        ("Q2", Box::new(|| q2_double_top(0.02)), fig18::Q2_GAPL),
+        ("Q3", Box::new(|| q3_increasing_runs(3)), fig18::Q3_GAPL),
+    ];
+
+    for (name, make_nfa, gapl_source) in &cases {
+        group.bench_with_input(BenchmarkId::new("cayuga", name), name, |b, _| {
+            b.iter(|| fig18::run_cayuga(make_nfa(), &events));
+        });
+        group.bench_with_input(BenchmarkId::new("cache", name), name, |b, _| {
+            b.iter(|| fig18::run_gapl(gapl_source, &events));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stock_queries);
+criterion_main!(benches);

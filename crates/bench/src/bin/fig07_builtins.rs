@@ -1,0 +1,36 @@
+//! Regenerates Fig. 7: the execution cost of built-in functions.
+//!
+//! Run with `cargo run --release -p cep-bench --bin fig07_builtins`.
+
+use cep_bench::fig07;
+
+fn main() {
+    // scale = 1 reproduces the paper's iteration counts (100,000 per
+    // built-in); pass a larger FIG07_SCALE to shorten the run.
+    let scale: usize = std::env::var("FIG07_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let repetitions: usize = std::env::var("FIG07_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+
+    println!("Fig. 7 — execution cost of built-in functions (microseconds per invocation)");
+    println!("scale = {scale}, repetitions = {repetitions}\n");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "built-in", "min", "p25", "median", "p75", "max"
+    );
+    for cost in fig07::run(scale, repetitions) {
+        let s = &cost.microseconds;
+        println!(
+            "{:<12} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            cost.label, s.min, s.p25, s.p50, s.p75, s.max
+        );
+    }
+    println!(
+        "\nPaper shape: nothing < seqElement/hourInDay/insert/hasEntry/lookup < Identifier \
+         < publish << send (send crosses back to the registering application)."
+    );
+}

@@ -1,0 +1,27 @@
+//! Regenerates Fig. 9: insertion-to-processing delay vs the number of
+//! automata subscribed to the `Flows` topic, at Δt = 8 ms.
+//!
+//! Run with `cargo run --release -p cep-bench --bin fig09_scale_automata`.
+
+use cep_bench::fig09_10;
+
+fn main() {
+    let events: usize = std::env::var("FIG09_EVENTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
+
+    println!("Fig. 9 — delay vs number of automata (Δt = 8 ms, {events} events per point)\n");
+    println!(
+        "{:>9} {:>12} {:>12} {:>12} {:>12}",
+        "automata", "mean (ms)", "stddev (ms)", "min (ms)", "max (ms)"
+    );
+    for point in fig09_10::run_fig09(events) {
+        let d = &point.delay_ms;
+        println!(
+            "{:>9} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+            point.automata, d.mean, d.stddev, d.min, d.max
+        );
+    }
+    println!("\nPaper shape: the average delay grows roughly linearly from 1 to 8 automata.");
+}

@@ -1,0 +1,34 @@
+//! Regenerates Fig. 10: insertion-to-processing delay vs the tuple
+//! inter-arrival period Δt, with 4 automata subscribed.
+//!
+//! Run with `cargo run --release -p cep-bench --bin fig10_scale_rate`.
+
+use cep_bench::fig09_10;
+
+fn main() {
+    let events: usize = std::env::var("FIG10_EVENTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(250);
+
+    println!("Fig. 10 — delay vs event inter-arrival period (4 automata, {events} events per point)\n");
+    println!(
+        "{:>9} {:>12} {:>12} {:>12} {:>12}",
+        "Δt (ms)", "mean (ms)", "stddev (ms)", "min (ms)", "max (ms)"
+    );
+    for point in fig09_10::run_fig10(events) {
+        let d = &point.delay_ms;
+        println!(
+            "{:>9} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+            point.delta_t.as_millis(),
+            d.mean,
+            d.stddev,
+            d.min,
+            d.max
+        );
+    }
+    println!(
+        "\nPaper shape: the average and variance of the delay stay essentially constant \
+         from 4 ms down to 64 ms inter-arrival periods."
+    );
+}

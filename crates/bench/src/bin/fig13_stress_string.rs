@@ -1,0 +1,36 @@
+//! Regenerates Fig. 13: RPC stress throughput (inserts/sec) vs the size of
+//! a single varchar attribute, 1-way and 2-way. The knee past ~1 KiB is the
+//! RPC layer's 1024-byte fragmentation boundary.
+//!
+//! Run with `cargo run --release -p cep-bench --bin fig13_stress_string`.
+
+use std::time::Duration;
+
+use cep_bench::fig12_13;
+
+fn main() {
+    let secs: u64 = std::env::var("FIG13_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+
+    println!("Fig. 13 — character string stress test ({secs} s per point, TCP loopback)\n");
+    println!(
+        "{:>6} {:>9} {:>12} {:>14} {:>10}",
+        "mode", "bytes", "inserts", "inserts/sec", "echoes"
+    );
+    for point in fig12_13::run_fig13(Duration::from_secs(secs)) {
+        println!(
+            "{:>6} {:>9} {:>12} {:>14.0} {:>10}",
+            point.mode.label(),
+            point.x,
+            point.inserts,
+            point.inserts_per_sec,
+            point.echoes
+        );
+    }
+    println!(
+        "\nPaper shape: throughput drops roughly linearly with the payload size once \
+         messages span multiple 1024-byte fragments."
+    );
+}

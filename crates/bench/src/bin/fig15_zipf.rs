@@ -1,0 +1,45 @@
+//! Regenerates Fig. 15: the Zipfian rank/frequency distribution of the
+//! HTTP request workload (264,745 requests to 5,572 hosts by default).
+//!
+//! Run with `cargo run --release -p cep-bench --bin fig15_zipf`.
+
+use cep_bench::fig15_16;
+use cep_workloads::HttpConfig;
+
+fn main() {
+    let requests: usize = std::env::var("FIG15_REQUESTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(264_745);
+    let hosts: usize = std::env::var("FIG15_HOSTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5_572);
+
+    let (log, series) = fig15_16::run_fig15(HttpConfig {
+        requests,
+        hosts,
+        ..HttpConfig::default()
+    });
+    println!(
+        "Fig. 15 — requests per host, ordered by popularity ({} requests, {} distinct hosts)\n",
+        log.len(),
+        series.len()
+    );
+    println!("{:>8} {:>12}", "rank", "# requests");
+    // The figure is a log/log plot: print logarithmically spaced ranks.
+    let mut rank = 1usize;
+    while rank <= series.len() {
+        let point = &series[rank - 1];
+        println!("{:>8} {:>12}", point.rank, point.requests);
+        rank = if rank < 10 {
+            rank + 1
+        } else {
+            (rank as f64 * 1.5).ceil() as usize
+        };
+    }
+    if let Some(last) = series.last() {
+        println!("{:>8} {:>12}", last.rank, last.requests);
+    }
+    println!("\nPaper shape: a straight line on log/log axes (Zipfian web traffic).");
+}

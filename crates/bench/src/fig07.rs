@@ -1,0 +1,209 @@
+//! Fig. 7 — execution cost of built-in functions.
+//!
+//! The paper instruments the built-in cost template of Fig. 6: an
+//! automaton whose behavior clause invokes one built-in inside a tight
+//! `while` loop of 100,000 iterations (50,000 for `publish`, 1,000 for
+//! `send`) and reports the per-invocation cost. We reproduce the same
+//! template but time the whole behavior execution from outside the VM and
+//! divide by the iteration count, which avoids perturbing the loop with
+//! extra `tstampNow()` calls.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gapl::event::{AttrType, Scalar, Schema, Tuple};
+use gapl::vm::{RecordingHost, Vm};
+
+use crate::stats::Summary;
+
+/// One built-in measurement case of Fig. 7.
+#[derive(Debug, Clone)]
+pub struct BuiltinCase {
+    /// Label used on the figure's x axis.
+    pub label: &'static str,
+    /// Extra declarations spliced into the template.
+    pub declarations: &'static str,
+    /// Extra initialization statements spliced into the template.
+    pub initialization: &'static str,
+    /// The invocation placed inside the measurement loop (empty for the
+    /// `nothing` baseline).
+    pub invocation: &'static str,
+    /// Loop iterations per behavior execution.
+    pub iterations: usize,
+}
+
+/// The measured cost of one built-in.
+#[derive(Debug, Clone)]
+pub struct BuiltinCost {
+    /// The case that was measured.
+    pub label: &'static str,
+    /// Per-invocation cost in microseconds: min, quartiles, max over the
+    /// repetitions.
+    pub microseconds: Summary,
+}
+
+/// The built-in cases of Fig. 7, in the order of the figure.
+pub fn cases(scale: usize) -> Vec<BuiltinCase> {
+    let scale = scale.max(1);
+    vec![
+        BuiltinCase {
+            label: "nothing",
+            declarations: "",
+            initialization: "",
+            invocation: "",
+            iterations: 100_000 / scale,
+        },
+        BuiltinCase {
+            label: "seqElement",
+            declarations: "sequence s; int v;",
+            initialization: "s = Sequence(1, 2, 3);",
+            invocation: "v = seqElement(s, 1);",
+            iterations: 100_000 / scale,
+        },
+        BuiltinCase {
+            label: "hourInDay",
+            declarations: "int h;",
+            initialization: "",
+            invocation: "h = hourInDay(t.tstamp);",
+            iterations: 100_000 / scale,
+        },
+        BuiltinCase {
+            label: "insert",
+            declarations: "map m; identifier id;",
+            initialization: "m = Map(int); id = Identifier('10.0.0.1');",
+            invocation: "insert(m, id, i);",
+            iterations: 100_000 / scale,
+        },
+        BuiltinCase {
+            label: "hasEntry",
+            declarations: "map m; identifier id; bool present;",
+            initialization: "m = Map(int); id = Identifier('10.0.0.1'); insert(m, id, 1);",
+            invocation: "present = hasEntry(m, id);",
+            iterations: 100_000 / scale,
+        },
+        BuiltinCase {
+            label: "lookup",
+            declarations: "map m; identifier id; int v;",
+            initialization: "m = Map(int); id = Identifier('10.0.0.1'); insert(m, id, 1);",
+            invocation: "v = lookup(m, id);",
+            iterations: 100_000 / scale,
+        },
+        BuiltinCase {
+            label: "Identifier",
+            declarations: "identifier id;",
+            initialization: "",
+            invocation: "id = Identifier('192.168.1.77');",
+            iterations: 100_000 / scale,
+        },
+        BuiltinCase {
+            label: "publish",
+            declarations: "",
+            initialization: "",
+            invocation: "publish('Sink', i);",
+            iterations: 50_000 / scale,
+        },
+        BuiltinCase {
+            label: "send",
+            declarations: "",
+            initialization: "",
+            invocation: "send(i);",
+            iterations: (1_000 / scale).max(10),
+        },
+    ]
+}
+
+/// Render the Fig. 6 template for one case.
+pub fn template(case: &BuiltinCase) -> String {
+    format!(
+        r#"
+        subscribe t to Timer;
+        int i;
+        int limit;
+        {declarations}
+        initialization {{
+            limit = {iterations};
+            {initialization}
+        }}
+        behavior {{
+            i = 0;
+            while (i < limit) {{
+                {invocation}
+                i += 1;
+            }}
+        }}
+        "#,
+        declarations = case.declarations,
+        initialization = case.initialization,
+        invocation = case.invocation,
+        iterations = case.iterations,
+    )
+}
+
+/// Measure the per-invocation cost of one case: `repetitions` behavior
+/// executions, each looping `case.iterations` times.
+pub fn measure_case(case: &BuiltinCase, repetitions: usize) -> BuiltinCost {
+    let program = Arc::new(gapl::compile(&template(case)).expect("the template compiles"));
+    let mut vm = Vm::new(program);
+    let mut host = RecordingHost::default();
+    vm.run_initialization(&mut host).expect("initialization succeeds");
+
+    let timer_schema =
+        Arc::new(Schema::new("Timer", vec![("tstamp", AttrType::Tstamp)]).expect("valid schema"));
+    let tick = Tuple::new(timer_schema, vec![Scalar::Tstamp(0)], 0).expect("valid tuple");
+
+    let mut samples = Vec::with_capacity(repetitions);
+    for _ in 0..repetitions {
+        // Keep the recording host from accumulating unbounded output
+        // between repetitions.
+        host.published.clear();
+        host.sent.clear();
+        let start = Instant::now();
+        vm.run_behavior("Timer", &tick, &mut host)
+            .expect("behavior execution succeeds");
+        let elapsed = start.elapsed();
+        samples.push(elapsed.as_secs_f64() * 1e6 / case.iterations as f64);
+    }
+    BuiltinCost {
+        label: case.label,
+        microseconds: Summary::of(&samples),
+    }
+}
+
+/// Run the whole figure: per-invocation cost of every built-in.
+///
+/// `scale` divides the paper's iteration counts (use 1 for the full run,
+/// larger values for quick checks); `repetitions` is the number of
+/// measured behavior executions per built-in.
+pub fn run(scale: usize, repetitions: usize) -> Vec<BuiltinCost> {
+    cases(scale)
+        .iter()
+        .map(|case| measure_case(case, repetitions.max(3)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_templates_compile() {
+        for case in cases(1) {
+            assert!(
+                gapl::compile(&template(&case)).is_ok(),
+                "template for {} must compile",
+                case.label
+            );
+        }
+    }
+
+    #[test]
+    fn a_reduced_run_produces_all_rows_with_positive_costs() {
+        let costs = run(200, 3);
+        assert_eq!(costs.len(), 9);
+        for cost in &costs {
+            assert!(cost.microseconds.mean > 0.0, "{} should cost > 0", cost.label);
+            assert!(cost.microseconds.min <= cost.microseconds.p50);
+            assert!(cost.microseconds.p50 <= cost.microseconds.max);
+        }
+    }
+}

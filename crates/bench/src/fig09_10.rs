@@ -1,0 +1,146 @@
+//! Figs. 9 and 10 — performance at scale.
+//!
+//! Fig. 9 varies the number of automata subscribed to the `Flows` topic
+//! (1, 2, 4, 8) at a fixed insertion period Δt = 8 ms and reports the
+//! delay between a tuple's insertion and its processing by each
+//! subscribed automaton. Fig. 10 fixes 4 automata and varies Δt from 4 ms
+//! to 64 ms. The paper's observation: delay grows linearly with the number
+//! of automata (thread scheduling) and is flat against the insertion rate
+//! (plenty of spare capacity).
+
+use std::time::Duration;
+
+use cep_workloads::{FlowConfig, FlowGenerator};
+use pscache::{Cache, CacheBuilder};
+
+use crate::stats::Summary;
+
+/// The delay automaton of Fig. 8, reduced to its measurement core: it
+/// computes the insertion-to-processing delay of every event and sends it
+/// to the harness.
+const DELAY_AUTOMATON: &str = r#"
+    subscribe f to Flows;
+    int nsecs;
+    behavior {
+        nsecs = tstampDiff(tstampNow(), f.tstamp);
+        send(nsecs);
+    }
+"#;
+
+/// The result of one configuration.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Number of automata subscribed to `Flows`.
+    pub automata: usize,
+    /// Insertion period.
+    pub delta_t: Duration,
+    /// Number of tuples inserted.
+    pub events: usize,
+    /// Insertion-to-processing delay in milliseconds, across all automata
+    /// and events.
+    pub delay_ms: Summary,
+}
+
+/// Run one configuration: `automata` subscribers, `events` tuples inserted
+/// every `delta_t`.
+pub fn run_point(automata: usize, delta_t: Duration, events: usize) -> ScalePoint {
+    let cache = CacheBuilder::new().build();
+    cache
+        .execute(FlowGenerator::create_table_sql())
+        .expect("creating the Flows table succeeds");
+    let receivers: Vec<_> = (0..automata)
+        .map(|_| {
+            cache
+                .register_automaton(DELAY_AUTOMATON)
+                .expect("the delay automaton compiles")
+                .1
+        })
+        .collect();
+
+    let mut generator = FlowGenerator::new(FlowConfig::default());
+    for _ in 0..events {
+        let flow = generator.next_flow();
+        cache
+            .insert("Flows", flow.to_scalars())
+            .expect("inserting a flow succeeds");
+        std::thread::sleep(delta_t);
+    }
+    assert!(
+        cache.quiesce(Duration::from_secs(30)),
+        "all automata should drain their queues"
+    );
+
+    let mut delays_ms = Vec::with_capacity(automata * events);
+    for rx in receivers {
+        for note in rx.try_iter() {
+            if let Some(ns) = note.values[0].as_int() {
+                delays_ms.push(ns as f64 / 1e6);
+            }
+        }
+    }
+    cache.shutdown();
+    ScalePoint {
+        automata,
+        delta_t,
+        events,
+        delay_ms: Summary::of(&delays_ms),
+    }
+}
+
+/// Fig. 9: delay vs number of automata at Δt = 8 ms.
+pub fn run_fig09(events_per_point: usize) -> Vec<ScalePoint> {
+    [1usize, 2, 4, 8]
+        .iter()
+        .map(|&n| run_point(n, Duration::from_millis(8), events_per_point))
+        .collect()
+}
+
+/// Fig. 10: delay vs insertion period with 4 automata.
+pub fn run_fig10(events_per_point: usize) -> Vec<ScalePoint> {
+    [4u64, 8, 16, 32, 64]
+        .iter()
+        .map(|&ms| run_point(4, Duration::from_millis(ms), events_per_point))
+        .collect()
+}
+
+/// Shared helper for delivering a cache to other experiments needing the
+/// same structure (kept public for the Criterion benches).
+pub fn cache_with_flows_and_automata(automata: usize) -> (Cache, Vec<crossbeam::channel::Receiver<pscache::Notification>>) {
+    let cache = CacheBuilder::new().build();
+    cache
+        .execute(FlowGenerator::create_table_sql())
+        .expect("creating the Flows table succeeds");
+    let receivers = (0..automata)
+        .map(|_| {
+            cache
+                .register_automaton(DELAY_AUTOMATON)
+                .expect("the delay automaton compiles")
+                .1
+        })
+        .collect();
+    (cache, receivers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_tiny_point_measures_positive_delays_for_every_automaton() {
+        let point = run_point(2, Duration::from_micros(200), 50);
+        assert_eq!(point.automata, 2);
+        assert_eq!(point.events, 50);
+        // 2 automata × 50 events = 100 delay observations.
+        assert_eq!(point.delay_ms.count, 100);
+        assert!(point.delay_ms.mean > 0.0);
+        assert!(point.delay_ms.max < 1_000.0, "delays should be far below a second");
+    }
+
+    #[test]
+    fn the_helper_builds_the_requested_number_of_automata() {
+        let (cache, receivers) = cache_with_flows_and_automata(3);
+        assert_eq!(receivers.len(), 3);
+        assert_eq!(cache.automata().len(), 3);
+        cache.shutdown();
+    }
+}

@@ -1,0 +1,201 @@
+//! Figs. 15 and 16 — the frequent-items workload.
+//!
+//! Fig. 15 characterises the HTTP request workload: the number of requests
+//! per host, ordered by popularity, follows a Zipfian distribution.
+//! Fig. 16 compares the imperative GAPL implementation of the "frequent"
+//! algorithm (Fig. 14) against the native built-in (`frequent()`),
+//! reporting the coefficient of variation (σ/µ) of the per-event execution
+//! time as the number of tracked counters `k` grows: the imperative
+//! variant's occasional O(k) decrement sweeps make its execution time far
+//! more variable.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cep_workloads::{HttpConfig, HttpGenerator, HttpRequest};
+use gapl::event::Tuple;
+use gapl::vm::{RecordingHost, Vm};
+
+use crate::stats::Summary;
+
+/// One point of the Fig. 15 rank/frequency series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankPoint {
+    /// Popularity rank (1 = most popular).
+    pub rank: usize,
+    /// Number of requests to that host.
+    pub requests: usize,
+}
+
+/// Generate the workload and its rank/frequency series (Fig. 15).
+pub fn run_fig15(config: HttpConfig) -> (Vec<HttpRequest>, Vec<RankPoint>) {
+    let mut generator = HttpGenerator::new(config);
+    let log = generator.generate();
+    let series = HttpGenerator::rank_frequency(&log)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (_, requests))| RankPoint {
+            rank: i + 1,
+            requests,
+        })
+        .collect();
+    (log, series)
+}
+
+/// The imperative automaton of Fig. 14 with `k` substituted.
+pub fn imperative_frequent(k: usize) -> String {
+    format!(
+        r#"
+        subscribe e to Urls;
+        map T;
+        iterator i;
+        identifier id;
+        int count;
+        int k;
+        initialization {{
+            k = {k};
+            T = Map(int);
+        }}
+        behavior {{
+            id = Identifier(e.host);
+            if (hasEntry(T, id)) {{
+                count = lookup(T, id);
+                count += 1;
+                insert(T, id, count);
+            }} else if (mapSize(T) < (k-1))
+                insert(T, id, 1);
+            else {{
+                i = Iterator(T);
+                while (hasNext(i)) {{
+                    id = next(i);
+                    count = lookup(T, id);
+                    count -= 1;
+                    if (count == 0)
+                        remove(T, id);
+                    else
+                        insert(T, id, count);
+                }}
+            }}
+        }}
+        "#
+    )
+}
+
+/// The built-in variant of §6.4 with `k` substituted.
+pub fn builtin_frequent(k: usize) -> String {
+    format!(
+        r#"
+        subscribe e to Urls;
+        map T;
+        initialization {{ T = Map(int); }}
+        behavior {{ frequent(T, Identifier(e.host), {k}); }}
+        "#
+    )
+}
+
+/// One point of Fig. 16.
+#[derive(Debug, Clone)]
+pub struct FrequentPoint {
+    /// Number of counters `k`.
+    pub k: usize,
+    /// Which implementation produced the point.
+    pub implementation: &'static str,
+    /// Per-event execution time in microseconds.
+    pub per_event_us: Summary,
+    /// Coefficient of variation (σ/µ), the y axis of Fig. 16.
+    pub coefficient_of_variation: f64,
+}
+
+/// Execute one implementation over the request log, timing every event.
+pub fn measure_frequent(source: &str, implementation: &'static str, k: usize, log: &[Tuple]) -> FrequentPoint {
+    let program = Arc::new(gapl::compile(source).expect("the frequent automata compile"));
+    let mut vm = Vm::new(program);
+    let mut host = RecordingHost::default();
+    vm.run_initialization(&mut host).expect("initialization succeeds");
+    let mut samples = Vec::with_capacity(log.len());
+    for event in log {
+        let start = Instant::now();
+        vm.run_behavior("Urls", event, &mut host)
+            .expect("behavior execution succeeds");
+        samples.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    let per_event_us = Summary::of(&samples);
+    let coefficient_of_variation = per_event_us.coefficient_of_variation();
+    FrequentPoint {
+        k,
+        implementation,
+        per_event_us,
+        coefficient_of_variation,
+    }
+}
+
+/// Convert a request log into `Urls` tuples.
+pub fn log_to_tuples(log: &[HttpRequest]) -> Vec<Tuple> {
+    let schema = Arc::new(HttpGenerator::schema());
+    log.iter()
+        .enumerate()
+        .map(|(i, r)| Tuple::new(Arc::clone(&schema), r.to_scalars(), i as u64).expect("valid"))
+        .collect()
+}
+
+/// Fig. 16: imperative vs built-in coefficient of variation for each `k`.
+pub fn run_fig16(config: HttpConfig, ks: &[usize]) -> Vec<FrequentPoint> {
+    let mut generator = HttpGenerator::new(config);
+    let log = log_to_tuples(&generator.generate());
+    let mut points = Vec::new();
+    for &k in ks {
+        points.push(measure_frequent(
+            &imperative_frequent(k),
+            "imperative",
+            k,
+            &log,
+        ));
+        points.push(measure_frequent(&builtin_frequent(k), "built-in", k, &log));
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> HttpConfig {
+        HttpConfig {
+            requests: 3_000,
+            hosts: 300,
+            ..HttpConfig::default()
+        }
+    }
+
+    #[test]
+    fn fig15_series_is_monotone_decreasing_and_covers_the_log() {
+        let (log, series) = run_fig15(small_config());
+        assert_eq!(log.len(), 3_000);
+        let total: usize = series.iter().map(|p| p.requests).sum();
+        assert_eq!(total, 3_000);
+        for pair in series.windows(2) {
+            assert!(pair[0].requests >= pair[1].requests);
+        }
+        assert_eq!(series[0].rank, 1);
+    }
+
+    #[test]
+    fn both_frequent_automata_compile_for_various_k() {
+        for k in [10usize, 100, 1000] {
+            assert!(gapl::compile(&imperative_frequent(k)).is_ok());
+            assert!(gapl::compile(&builtin_frequent(k)).is_ok());
+        }
+    }
+
+    #[test]
+    fn a_reduced_fig16_run_produces_points_for_both_implementations() {
+        let points = run_fig16(small_config(), &[10, 50]);
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert!(p.per_event_us.mean > 0.0);
+            assert!(p.coefficient_of_variation >= 0.0);
+        }
+        assert!(points.iter().any(|p| p.implementation == "imperative"));
+        assert!(points.iter().any(|p| p.implementation == "built-in"));
+    }
+}

@@ -1,0 +1,20 @@
+//! # cep-bench — the experiment harness
+//!
+//! One module per experiment of the paper's evaluation (§6); each module
+//! exposes a `run(...)` function returning the rows/series the paper
+//! reports, and a thin binary under `src/bin/` prints them. The mapping
+//! from figures to binaries is listed in `DESIGN.md` and the measured
+//! results are recorded in `EXPERIMENTS.md`.
+//!
+//! All experiments are pure library code so they can be unit-tested with
+//! reduced sizes and reused from the Criterion benches.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fig07;
+pub mod fig09_10;
+pub mod fig12_13;
+pub mod fig15_16;
+pub mod fig18;
+pub mod stats;

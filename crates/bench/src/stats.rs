@@ -1,0 +1,115 @@
+//! Small statistics helpers shared by the experiment harnesses.
+
+/// Summary statistics of a sample, as reported in the paper's box plots
+/// (min, quartiles, max) and scaling figures (mean, standard deviation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Smallest observation.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Compute summary statistics of a sample. Returns a zeroed summary for
+    /// an empty sample.
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary {
+                count: 0,
+                min: 0.0,
+                p25: 0.0,
+                p50: 0.0,
+                p75: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                stddev: 0.0,
+            };
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let variance =
+            sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / sorted.len() as f64;
+        Summary {
+            count: sorted.len(),
+            min: sorted[0],
+            p25: percentile(&sorted, 0.25),
+            p50: percentile(&sorted, 0.50),
+            p75: percentile(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+            mean,
+            stddev: variance.sqrt(),
+        }
+    }
+
+    /// Coefficient of variation (σ/µ), the metric of Fig. 16.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+}
+
+/// Linear-interpolated percentile of an already sorted sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lower = pos.floor() as usize;
+    let upper = pos.ceil() as usize;
+    let weight = pos - lower as f64;
+    sorted[lower] * (1.0 - weight) + sorted[upper] * weight
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_a_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert!((s.p25 - 2.0).abs() < 1e-9);
+        assert!((s.p75 - 4.0).abs() < 1e-9);
+        assert!((s.stddev - 2.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_singleton_samples() {
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.coefficient_of_variation(), 0.0);
+        let one = Summary::of(&[7.0]);
+        assert_eq!(one.min, 7.0);
+        assert_eq!(one.max, 7.0);
+        assert_eq!(one.p50, 7.0);
+        assert_eq!(one.stddev, 0.0);
+    }
+
+    #[test]
+    fn coefficient_of_variation_is_scale_free() {
+        let a = Summary::of(&[1.0, 2.0, 3.0]);
+        let b = Summary::of(&[10.0, 20.0, 30.0]);
+        assert!((a.coefficient_of_variation() - b.coefficient_of_variation()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,1139 @@
+//! The cache itself: tables unified with publish/subscribe topics.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use gapl::event::{AttrType, Scalar, Schema, Timestamp, Tuple};
+
+use crate::clock::{Clock, ManualClock, SystemClock};
+use crate::error::{Error, Result};
+use crate::query::{Query, ResultSet};
+use crate::runtime::{
+    spawn_automaton, AutomatonHandle, AutomatonId, AutomatonStats, Delivery, Notification,
+};
+use crate::sql::{self, Command};
+use crate::table::{Table, TableKind, DEFAULT_STREAM_CAPACITY};
+
+/// Name of the built-in heartbeat topic (§4.2): the cache delivers a tuple
+/// on `Timer` once per second (or whenever [`Cache::tick_timer`] is called),
+/// consisting simply of a timestamp.
+pub const TIMER_TOPIC: &str = "Timer";
+
+/// The response to an executed SQL-ish command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A table (and its topic) was created.
+    Created,
+    /// A tuple was inserted; `replaced` is true when an existing row was
+    /// updated via `on duplicate key update`.
+    Inserted {
+        /// Whether an existing keyed row was replaced.
+        replaced: bool,
+        /// The insertion timestamp assigned by the cache.
+        tstamp: Timestamp,
+    },
+    /// Rows returned by a `select`.
+    Rows(ResultSet),
+}
+
+impl Response {
+    /// The result set of a `select`, if this response carries one.
+    pub fn rows(self) -> Option<ResultSet> {
+        match self {
+            Response::Rows(rs) => Some(rs),
+            _ => None,
+        }
+    }
+}
+
+/// Builder for a [`Cache`].
+///
+/// # Example
+///
+/// ```
+/// let cache = pscache::CacheBuilder::new()
+///     .manual_clock()
+///     .default_stream_capacity(1024)
+///     .build();
+/// assert!(cache.table_names().contains(&"Timer".to_string()));
+/// ```
+#[derive(Debug)]
+pub struct CacheBuilder {
+    clock: Arc<dyn Clock>,
+    manual_clock: Option<ManualClock>,
+    default_stream_capacity: usize,
+    print_to_stdout: bool,
+    timer_interval: Option<Duration>,
+}
+
+impl Default for CacheBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CacheBuilder {
+    /// A builder with the wall clock, a 64 Ki-tuple stream capacity, no
+    /// stdout printing and no background timer thread.
+    pub fn new() -> Self {
+        CacheBuilder {
+            clock: Arc::new(SystemClock),
+            manual_clock: None,
+            default_stream_capacity: DEFAULT_STREAM_CAPACITY,
+            print_to_stdout: false,
+            timer_interval: None,
+        }
+    }
+
+    /// Use a deterministic, manually advanced clock (see
+    /// [`Cache::manual_clock`]).
+    pub fn manual_clock(mut self) -> Self {
+        let clock = ManualClock::new();
+        self.manual_clock = Some(clock.clone());
+        self.clock = Arc::new(clock);
+        self
+    }
+
+    /// Use a caller-provided clock.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self.manual_clock = None;
+        self
+    }
+
+    /// Circular-buffer capacity used for ephemeral tables that do not
+    /// specify their own `capacity`.
+    pub fn default_stream_capacity(mut self, capacity: usize) -> Self {
+        self.default_stream_capacity = capacity.max(1);
+        self
+    }
+
+    /// Echo automaton `print()` output to standard output as well as to the
+    /// per-automaton buffer.
+    pub fn print_to_stdout(mut self, enabled: bool) -> Self {
+        self.print_to_stdout = enabled;
+        self
+    }
+
+    /// Start a background thread that publishes a `Timer` tuple every
+    /// `interval` (the paper's heartbeat is one second).
+    pub fn timer_interval(mut self, interval: Duration) -> Self {
+        self.timer_interval = Some(interval);
+        self
+    }
+
+    /// Build the cache. The built-in `Timer` topic is created here.
+    pub fn build(self) -> Cache {
+        let inner = Arc::new(CacheInner {
+            tables: RwLock::new(HashMap::new()),
+            subscriptions: RwLock::new(HashMap::new()),
+            senders: RwLock::new(HashMap::new()),
+            automata: Mutex::new(HashMap::new()),
+            clock: self.clock,
+            next_automaton_id: AtomicU64::new(1),
+            default_stream_capacity: self.default_stream_capacity,
+            print_to_stdout: self.print_to_stdout,
+            shutting_down: AtomicBool::new(false),
+        });
+        let timer_schema = Schema::new(TIMER_TOPIC, vec![("tstamp", AttrType::Tstamp)])
+            .expect("the Timer schema is statically valid");
+        inner
+            .create_table(TIMER_TOPIC, TableKind::Ephemeral, Arc::new(timer_schema), 16)
+            .expect("the Timer topic cannot already exist in a fresh cache");
+
+        let timer_thread = self.timer_interval.map(|interval| {
+            let weak = Arc::downgrade(&inner);
+            std::thread::Builder::new()
+                .name("cache-timer".into())
+                .spawn(move || loop {
+                    std::thread::sleep(interval);
+                    match weak.upgrade() {
+                        Some(cache) => {
+                            if cache.shutting_down.load(Ordering::Acquire) {
+                                break;
+                            }
+                            let _ = cache.tick_timer();
+                        }
+                        None => break,
+                    }
+                })
+                .expect("spawning the timer thread never fails on supported platforms")
+        });
+
+        Cache {
+            inner,
+            manual_clock: self.manual_clock,
+            timer_thread: Arc::new(Mutex::new(timer_thread)),
+        }
+    }
+}
+
+/// The topic-based publish/subscribe cache. See the [crate documentation]
+/// for an overview and a quick-start example.
+///
+/// `Cache` is cheaply cloneable; clones share the same underlying state.
+///
+/// [crate documentation]: crate
+#[derive(Debug, Clone)]
+pub struct Cache {
+    inner: Arc<CacheInner>,
+    manual_clock: Option<ManualClock>,
+    timer_thread: Arc<Mutex<Option<std::thread::JoinHandle<()>>>>,
+}
+
+pub(crate) struct CacheInner {
+    tables: RwLock<HashMap<String, Mutex<Table>>>,
+    /// topic name -> automata subscribed to it
+    subscriptions: RwLock<HashMap<String, Vec<AutomatonId>>>,
+    /// automaton id -> its delivery channel + counters (hot path data)
+    senders: RwLock<HashMap<AutomatonId, (Sender<Delivery>, Arc<AutomatonStats>)>>,
+    automata: Mutex<HashMap<AutomatonId, AutomatonHandle>>,
+    clock: Arc<dyn Clock>,
+    next_automaton_id: AtomicU64,
+    default_stream_capacity: usize,
+    print_to_stdout: bool,
+    shutting_down: AtomicBool,
+}
+
+impl std::fmt::Debug for CacheInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheInner")
+            .field("tables", &self.tables.read().len())
+            .field("automata", &self.senders.read().len())
+            .finish()
+    }
+}
+
+impl Cache {
+    /// Build a cache with default settings (wall clock, no background
+    /// timer).
+    pub fn new() -> Cache {
+        CacheBuilder::new().build()
+    }
+
+    /// The manual clock handle, when the cache was built with
+    /// [`CacheBuilder::manual_clock`].
+    pub fn manual_clock(&self) -> Option<&ManualClock> {
+        self.manual_clock.as_ref()
+    }
+
+    /// Current cache time in nanoseconds.
+    pub fn now(&self) -> Timestamp {
+        self.inner.now()
+    }
+
+    /// Execute a SQL-ish command (`create table`, `insert`, `select`).
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors, schema errors, and unknown-table errors.
+    pub fn execute(&self, command: &str) -> Result<Response> {
+        match sql::parse(command)? {
+            Command::CreateTable {
+                name,
+                kind,
+                columns,
+                capacity,
+            } => {
+                let schema = Schema::new(
+                    name.clone(),
+                    columns.into_iter().map(|c| (c.name, c.ty)),
+                )?;
+                self.inner.create_table(
+                    &name,
+                    kind,
+                    Arc::new(schema),
+                    capacity.unwrap_or(self.inner.default_stream_capacity),
+                )?;
+                Ok(Response::Created)
+            }
+            Command::Insert {
+                table,
+                values,
+                on_duplicate_update,
+            } => {
+                let outcome = self.inner.insert_values(&table, values, on_duplicate_update)?;
+                Ok(Response::Inserted {
+                    replaced: outcome.replaced,
+                    tstamp: outcome.stored.tstamp(),
+                })
+            }
+            Command::Select(query) => Ok(Response::Rows(self.select(&query)?)),
+        }
+    }
+
+    /// Create a table (and its topic) programmatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TableExists`] when the topic already exists.
+    pub fn create_table(
+        &self,
+        name: &str,
+        kind: TableKind,
+        columns: Vec<(String, AttrType)>,
+        capacity: Option<usize>,
+    ) -> Result<()> {
+        let schema = Schema::new(name, columns)?;
+        self.inner.create_table(
+            name,
+            kind,
+            Arc::new(schema),
+            capacity.unwrap_or(self.inner.default_stream_capacity),
+        )
+    }
+
+    /// Insert a tuple programmatically; equivalent to the `insert` command.
+    ///
+    /// # Errors
+    ///
+    /// Returns unknown-table, schema and duplicate-key errors.
+    pub fn insert(&self, table: &str, values: Vec<Scalar>) -> Result<Timestamp> {
+        self.inner
+            .insert_values(table, values, false)
+            .map(|o| o.stored.tstamp())
+    }
+
+    /// Insert with `on duplicate key update` semantics (persistent tables).
+    ///
+    /// # Errors
+    ///
+    /// Returns unknown-table and schema errors.
+    pub fn upsert(&self, table: &str, values: Vec<Scalar>) -> Result<Timestamp> {
+        self.inner
+            .insert_values(table, values, true)
+            .map(|o| o.stored.tstamp())
+    }
+
+    /// Run an ad hoc query.
+    ///
+    /// # Errors
+    ///
+    /// Returns unknown-table and schema errors.
+    pub fn select(&self, query: &Query) -> Result<ResultSet> {
+        self.inner.select(query)
+    }
+
+    /// Look up a persistent-table row by primary key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchTable`] when the table does not exist.
+    pub fn lookup(&self, table: &str, key: &str) -> Result<Option<Tuple>> {
+        self.inner.with_table(table, |t| Ok(t.lookup(key)))
+    }
+
+    /// The schema of a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchTable`] when the table does not exist.
+    pub fn schema(&self, table: &str) -> Result<Arc<Schema>> {
+        self.inner.with_table(table, |t| Ok(Arc::clone(t.schema())))
+    }
+
+    /// Number of rows currently held by a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchTable`] when the table does not exist.
+    pub fn table_len(&self, table: &str) -> Result<usize> {
+        self.inner.table_len(table)
+    }
+
+    /// Names of all tables/topics, in lexicographic order.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Register an automaton from GAPL source. On success the automaton is
+    /// compiled, bound to a fresh thread, and subscribed to its topics; the
+    /// returned receiver yields the notifications produced by `send()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::AutomatonCompile`] when the source does not compile
+    /// (the paper's cache reports this back to the registering application
+    /// over RPC), or [`Error::NoSuchTable`] when a subscribed topic does not
+    /// exist.
+    pub fn register_automaton(
+        &self,
+        source: &str,
+    ) -> Result<(AutomatonId, Receiver<Notification>)> {
+        let (tx, rx) = unbounded();
+        let id = self.register_automaton_with_notifier(source, tx)?;
+        Ok((id, rx))
+    }
+
+    /// Register an automaton, routing its notifications to a caller-provided
+    /// channel (used by the RPC server).
+    ///
+    /// # Errors
+    ///
+    /// See [`Cache::register_automaton`].
+    pub fn register_automaton_with_notifier(
+        &self,
+        source: &str,
+        notifier: Sender<Notification>,
+    ) -> Result<AutomatonId> {
+        let program = Arc::new(gapl::compile(source).map_err(|e| Error::AutomatonCompile {
+            message: e.to_string(),
+        })?);
+        // Every subscribed topic must exist (they are created by
+        // applications or from the configuration file; `Timer` is built in).
+        {
+            let tables = self.inner.tables.read();
+            for sub in program.subscriptions() {
+                if !tables.contains_key(&sub.topic) {
+                    return Err(Error::NoSuchTable {
+                        name: sub.topic.clone(),
+                    });
+                }
+            }
+            for assoc in program.associations() {
+                if !tables.contains_key(&assoc.table) {
+                    return Err(Error::NoSuchTable {
+                        name: assoc.table.clone(),
+                    });
+                }
+            }
+        }
+
+        let id = AutomatonId(self.inner.next_automaton_id.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = unbounded();
+        let stats = Arc::new(AutomatonStats::default());
+        let join = spawn_automaton(
+            id,
+            Arc::clone(&program),
+            Arc::downgrade(&self.inner),
+            rx,
+            notifier,
+            Arc::clone(&stats),
+            self.inner.print_to_stdout,
+        );
+
+        self.inner
+            .senders
+            .write()
+            .insert(id, (tx.clone(), Arc::clone(&stats)));
+        {
+            let mut subs = self.inner.subscriptions.write();
+            for topic in program.topics() {
+                let entry = subs.entry(topic.to_owned()).or_default();
+                if !entry.contains(&id) {
+                    entry.push(id);
+                }
+            }
+        }
+        self.inner.automata.lock().insert(
+            id,
+            AutomatonHandle {
+                program,
+                sender: tx,
+                join: Some(join),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Unregister an automaton: unsubscribe it, stop its thread and wait for
+    /// it to exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchAutomaton`] for unknown ids.
+    pub fn unregister_automaton(&self, id: AutomatonId) -> Result<()> {
+        let handle = self
+            .inner
+            .automata
+            .lock()
+            .remove(&id)
+            .ok_or(Error::NoSuchAutomaton { id: id.0 })?;
+        self.inner.senders.write().remove(&id);
+        {
+            let mut subs = self.inner.subscriptions.write();
+            for list in subs.values_mut() {
+                list.retain(|a| *a != id);
+            }
+        }
+        handle.shutdown();
+        Ok(())
+    }
+
+    /// Ids of all currently registered automata.
+    pub fn automata(&self) -> Vec<AutomatonId> {
+        let mut ids: Vec<AutomatonId> = self.inner.automata.lock().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// The compiled program of a registered automaton (its subscriptions,
+    /// associations and bytecode), for inspection and management tooling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchAutomaton`] for unknown ids.
+    pub fn automaton_program(&self, id: AutomatonId) -> Result<Arc<gapl::Program>> {
+        self.inner
+            .automata
+            .lock()
+            .get(&id)
+            .map(|h| Arc::clone(&h.program))
+            .ok_or(Error::NoSuchAutomaton { id: id.0 })
+    }
+
+    /// `(delivered, processed)` event counters for an automaton.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchAutomaton`] for unknown ids.
+    pub fn automaton_progress(&self, id: AutomatonId) -> Result<(u64, u64)> {
+        let senders = self.inner.senders.read();
+        let (_, stats) = senders
+            .get(&id)
+            .ok_or(Error::NoSuchAutomaton { id: id.0 })?;
+        Ok((
+            stats.delivered.load(Ordering::Acquire),
+            stats.processed.load(Ordering::Acquire),
+        ))
+    }
+
+    /// Lines printed by the automaton's `print()` calls so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchAutomaton`] for unknown ids.
+    pub fn printed(&self, id: AutomatonId) -> Result<Vec<String>> {
+        let senders = self.inner.senders.read();
+        let (_, stats) = senders
+            .get(&id)
+            .ok_or(Error::NoSuchAutomaton { id: id.0 })?;
+        let printed = stats.printed.lock().clone();
+        Ok(printed)
+    }
+
+    /// Runtime errors recorded for the automaton (a healthy automaton has
+    /// none).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchAutomaton`] for unknown ids.
+    pub fn automaton_errors(&self, id: AutomatonId) -> Result<Vec<String>> {
+        let senders = self.inner.senders.read();
+        let (_, stats) = senders
+            .get(&id)
+            .ok_or(Error::NoSuchAutomaton { id: id.0 })?;
+        let errors = stats.errors.lock().clone();
+        Ok(errors)
+    }
+
+    /// Publish a `Timer` heartbeat tuple right now. Returns its timestamp.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; propagates internal errors.
+    pub fn tick_timer(&self) -> Result<Timestamp> {
+        self.inner.tick_timer()
+    }
+
+    /// Block until every automaton has processed every event delivered to
+    /// it, or until `timeout` elapses. Returns `true` when quiescent.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let quiescent = {
+                let senders = self.inner.senders.read();
+                senders.values().all(|(_, stats)| {
+                    stats.processed.load(Ordering::Acquire)
+                        >= stats.delivered.load(Ordering::Acquire)
+                })
+            };
+            if quiescent {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::yield_now();
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+
+    /// Shut down all automata and the timer thread. Called automatically
+    /// when the last clone of the cache is dropped.
+    pub fn shutdown(&self) {
+        self.inner.shutting_down.store(true, Ordering::Release);
+        let handles: Vec<AutomatonHandle> = {
+            let mut automata = self.inner.automata.lock();
+            let ids: Vec<AutomatonId> = automata.keys().copied().collect();
+            ids.into_iter()
+                .filter_map(|id| automata.remove(&id))
+                .collect()
+        };
+        self.inner.senders.write().clear();
+        self.inner.subscriptions.write().clear();
+        for handle in handles {
+            handle.shutdown();
+        }
+        if let Some(join) = self.timer_thread.lock().take() {
+            // The timer thread checks the shutdown flag after its sleep; do
+            // not block the caller on that sleep, just detach if needed.
+            if join.is_finished() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+impl Default for Cache {
+    fn default() -> Self {
+        Cache::new()
+    }
+}
+
+impl Drop for Cache {
+    fn drop(&mut self) {
+        // Only the last clone performs the shutdown: inner strong count of 1
+        // means no other Cache clone exists (automaton threads hold weak
+        // references only).
+        if Arc::strong_count(&self.inner) == 1 {
+            self.shutdown();
+        }
+    }
+}
+
+impl CacheInner {
+    pub(crate) fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    pub(crate) fn create_table(
+        &self,
+        name: &str,
+        kind: TableKind,
+        schema: Arc<Schema>,
+        capacity: usize,
+    ) -> Result<()> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(name) {
+            return Err(Error::TableExists {
+                name: name.to_owned(),
+            });
+        }
+        let table = match kind {
+            TableKind::Ephemeral => Table::ephemeral(schema, capacity),
+            TableKind::Persistent => Table::persistent(schema),
+        };
+        tables.insert(name.to_owned(), Mutex::new(table));
+        Ok(())
+    }
+
+    pub(crate) fn with_table<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut Table) -> Result<R>,
+    ) -> Result<R> {
+        let tables = self.tables.read();
+        let table = tables.get(name).ok_or_else(|| Error::NoSuchTable {
+            name: name.to_owned(),
+        })?;
+        let mut guard = table.lock();
+        f(&mut guard)
+    }
+
+    /// Insert and publish: the unification step. The per-table lock is held
+    /// across both the buffer append and the enqueueing onto subscriber
+    /// channels so that every automaton observes tuples in strict
+    /// time-of-insertion order.
+    pub(crate) fn insert_values(
+        &self,
+        table_name: &str,
+        values: Vec<Scalar>,
+        on_duplicate_update: bool,
+    ) -> Result<crate::table::InsertOutcome> {
+        let tstamp = self.now();
+        let tables = self.tables.read();
+        let table = tables.get(table_name).ok_or_else(|| Error::NoSuchTable {
+            name: table_name.to_owned(),
+        })?;
+        let mut guard = table.lock();
+        let outcome = guard.insert(values, tstamp, on_duplicate_update)?;
+        self.publish_locked(table_name, &outcome.stored);
+        drop(guard);
+        Ok(outcome)
+    }
+
+    /// Enqueue `tuple` onto the delivery channel of every automaton
+    /// subscribed to `topic`. Callers must hold the topic's table lock.
+    fn publish_locked(&self, topic: &str, tuple: &Tuple) {
+        let subscriptions = self.subscriptions.read();
+        let Some(subscribers) = subscriptions.get(topic) else {
+            return;
+        };
+        if subscribers.is_empty() {
+            return;
+        }
+        let senders = self.senders.read();
+        let topic: Arc<str> = Arc::from(topic);
+        for id in subscribers {
+            if let Some((sender, stats)) = senders.get(id) {
+                stats.delivered.fetch_add(1, Ordering::Release);
+                let _ = sender.send(Delivery::Event {
+                    topic: Arc::clone(&topic),
+                    tuple: tuple.clone(),
+                });
+            }
+        }
+    }
+
+    pub(crate) fn select(&self, query: &Query) -> Result<ResultSet> {
+        self.with_table(query.table(), |table| {
+            let schema = Arc::clone(table.schema());
+            let rows = table.scan();
+            query.evaluate(&schema, &rows)
+        })
+    }
+
+    pub(crate) fn table_len(&self, name: &str) -> Result<usize> {
+        self.with_table(name, |t| Ok(t.len()))
+    }
+
+    pub(crate) fn persistent_lookup(&self, table: &str, key: &str) -> Result<Option<Vec<Scalar>>> {
+        self.with_table(table, |t| Ok(t.lookup(key).map(|r| r.values().to_vec())))
+    }
+
+    pub(crate) fn persistent_keys(&self, table: &str) -> Result<Vec<String>> {
+        self.with_table(table, |t| Ok(t.keys()))
+    }
+
+    pub(crate) fn persistent_remove(&self, table: &str, key: &str) -> Result<Option<Tuple>> {
+        self.with_table(table, |t| t.remove(key))
+    }
+
+    /// Upsert a row into a persistent table on behalf of an automaton
+    /// association. The stored row is also published on the table's topic,
+    /// so materialised views can drive further automata (§3).
+    pub(crate) fn persistent_upsert(
+        &self,
+        table_name: &str,
+        key: &str,
+        mut values: Vec<Scalar>,
+    ) -> Result<()> {
+        // Accept either a full row (key included as the first attribute) or
+        // the non-key attributes only, in which case the key is prepended.
+        let arity = self.with_table(table_name, |t| Ok(t.schema().arity()))?;
+        if values.len() + 1 == arity {
+            values.insert(0, Scalar::Str(key.to_owned()));
+        }
+        if let Some(first) = values.first() {
+            if first.to_string() != key {
+                return Err(Error::schema(format!(
+                    "association insert key `{key}` does not match first attribute `{first}`"
+                )));
+            }
+        }
+        self.insert_values(table_name, values, true).map(|_| ())
+    }
+
+    pub(crate) fn tick_timer(&self) -> Result<Timestamp> {
+        let now = self.now();
+        self.insert_values(TIMER_TOPIC, vec![Scalar::Tstamp(now)], false)
+            .map(|o| o.stored.tstamp())
+    }
+}
+
+impl Drop for CacheInner {
+    fn drop(&mut self) {
+        // Belt and braces: if a caller leaked automata handles without
+        // calling shutdown, stop their threads now so the process can exit.
+        let automata = std::mem::take(&mut *self.automata.lock());
+        for (_, handle) in automata {
+            handle.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Comparison, Predicate};
+
+    fn cache() -> Cache {
+        CacheBuilder::new().manual_clock().build()
+    }
+
+    #[test]
+    fn create_insert_select_round_trip() {
+        let c = cache();
+        c.execute("create table Flows (srcip varchar(16), nbytes integer)")
+            .unwrap();
+        c.manual_clock().unwrap().advance(10);
+        c.execute("insert into Flows values ('10.0.0.1', 100)").unwrap();
+        c.manual_clock().unwrap().advance(10);
+        c.execute("insert into Flows values ('10.0.0.2', 2000)").unwrap();
+
+        let rs = c
+            .execute("select * from Flows where nbytes > 500")
+            .unwrap()
+            .rows()
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0].values[0], Scalar::Str("10.0.0.2".into()));
+    }
+
+    #[test]
+    fn duplicate_table_creation_fails() {
+        let c = cache();
+        c.execute("create table T (a integer)").unwrap();
+        assert!(matches!(
+            c.execute("create table T (a integer)"),
+            Err(Error::TableExists { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_into_missing_table_fails() {
+        let c = cache();
+        assert!(matches!(
+            c.execute("insert into Nope values (1)"),
+            Err(Error::NoSuchTable { .. })
+        ));
+        assert!(matches!(
+            c.execute("select * from Nope"),
+            Err(Error::NoSuchTable { .. })
+        ));
+    }
+
+    #[test]
+    fn since_queries_drive_the_continuous_query_loop() {
+        let c = cache();
+        c.execute("create table Readings (v integer)").unwrap();
+        for i in 0..5 {
+            c.manual_clock().unwrap().advance(100);
+            c.insert("Readings", vec![Scalar::Int(i)]).unwrap();
+        }
+        let first = c
+            .select(&Query::new("Readings"))
+            .unwrap();
+        assert_eq!(first.len(), 5);
+        let tau = first.max_tstamp().unwrap();
+
+        // No new tuples: the incremental query returns nothing.
+        let incremental = c.select(&Query::new("Readings").since(tau)).unwrap();
+        assert!(incremental.is_empty());
+
+        // New tuples appear after τ.
+        c.manual_clock().unwrap().advance(100);
+        c.insert("Readings", vec![Scalar::Int(99)]).unwrap();
+        let incremental = c.select(&Query::new("Readings").since(tau)).unwrap();
+        assert_eq!(incremental.len(), 1);
+    }
+
+    #[test]
+    fn persistent_tables_support_upsert_via_sql_and_api() {
+        let c = cache();
+        c.execute("create persistenttable BWUsage (ipaddr varchar(16) primary key, bytes integer)")
+            .unwrap();
+        c.execute("insert into BWUsage values ('10.0.0.1', 10)").unwrap();
+        let resp = c
+            .execute("insert into BWUsage values ('10.0.0.1', 20) on duplicate key update")
+            .unwrap();
+        assert!(matches!(resp, Response::Inserted { replaced: true, .. }));
+        assert!(c.execute("insert into BWUsage values ('10.0.0.1', 30)").is_err());
+        assert_eq!(c.table_len("BWUsage").unwrap(), 1);
+        let row = c.lookup("BWUsage", "10.0.0.1").unwrap().unwrap();
+        assert_eq!(row.values()[1], Scalar::Int(20));
+    }
+
+    #[test]
+    fn registering_an_automaton_requires_existing_topics_and_valid_source() {
+        let c = cache();
+        let err = c
+            .register_automaton("subscribe f to Flows; behavior { }")
+            .unwrap_err();
+        assert!(matches!(err, Error::NoSuchTable { .. }));
+
+        c.execute("create table Flows (nbytes integer)").unwrap();
+        let err = c
+            .register_automaton("subscribe f to Flows; behavior { x = 1; }")
+            .unwrap_err();
+        assert!(matches!(err, Error::AutomatonCompile { .. }));
+
+        let (id, _rx) = c
+            .register_automaton("subscribe f to Flows; behavior { }")
+            .unwrap();
+        assert_eq!(c.automata(), vec![id]);
+        c.unregister_automaton(id).unwrap();
+        assert!(c.automata().is_empty());
+        assert!(matches!(
+            c.unregister_automaton(id),
+            Err(Error::NoSuchAutomaton { .. })
+        ));
+    }
+
+    #[test]
+    fn automata_receive_published_events_and_send_notifications() {
+        let c = cache();
+        c.execute("create table Flows (srcip varchar(16), nbytes integer)")
+            .unwrap();
+        let (id, rx) = c
+            .register_automaton(
+                r#"
+                subscribe f to Flows;
+                int count;
+                initialization { count = 0; }
+                behavior {
+                    count += 1;
+                    if (f.nbytes > 1000)
+                        send(f.srcip, f.nbytes, count);
+                }
+                "#,
+            )
+            .unwrap();
+
+        c.insert("Flows", vec![Scalar::Str("a".into()), Scalar::Int(10)])
+            .unwrap();
+        c.insert("Flows", vec![Scalar::Str("b".into()), Scalar::Int(5000)])
+            .unwrap();
+        c.insert("Flows", vec![Scalar::Str("c".into()), Scalar::Int(2000)])
+            .unwrap();
+        assert!(c.quiesce(Duration::from_secs(5)));
+
+        let notes: Vec<Notification> = rx.try_iter().collect();
+        assert_eq!(notes.len(), 2);
+        assert_eq!(notes[0].values[0], Scalar::Str("b".into()));
+        assert_eq!(notes[0].values[2], Scalar::Int(2));
+        assert_eq!(notes[1].values[0], Scalar::Str("c".into()));
+        let (delivered, processed) = c.automaton_progress(id).unwrap();
+        assert_eq!(delivered, 3);
+        assert_eq!(processed, 3);
+        assert!(c.automaton_errors(id).unwrap().is_empty());
+    }
+
+    #[test]
+    fn publish_from_an_automaton_cascades_to_other_automata() {
+        let c = cache();
+        c.execute("create table Raw (v integer)").unwrap();
+        c.execute("create table Derived (v integer)").unwrap();
+        let (_a, _rx_a) = c
+            .register_automaton(
+                "subscribe r to Raw; behavior { publish('Derived', r.v * 10); }",
+            )
+            .unwrap();
+        let (_b, rx_b) = c
+            .register_automaton("subscribe d to Derived; behavior { send(d.v); }")
+            .unwrap();
+        for i in 1..=3 {
+            c.insert("Raw", vec![Scalar::Int(i)]).unwrap();
+        }
+        assert!(c.quiesce(Duration::from_secs(5)));
+        let got: Vec<i64> = rx_b
+            .try_iter()
+            .map(|n| n.values[0].as_int().unwrap())
+            .collect();
+        assert_eq!(got, vec![10, 20, 30]);
+        assert_eq!(c.table_len("Derived").unwrap(), 3);
+    }
+
+    #[test]
+    fn hybrid_bandwidth_scenario_runs_end_to_end() {
+        let c = cache();
+        for stmt in [
+            "create table Flows (protocol integer, srcip varchar(16), sport integer, \
+             dstip varchar(16), dport integer, npkts integer, nbytes integer)",
+            "create persistenttable Allowances (ipaddr varchar(16) primary key, bytes integer)",
+            "create persistenttable BWUsage (ipaddr varchar(16) primary key, bytes integer)",
+        ] {
+            c.execute(stmt).unwrap();
+        }
+        c.execute("insert into Allowances values ('192.168.1.10', 1000)")
+            .unwrap();
+
+        let (_id, rx) = c
+            .register_automaton(
+                r#"
+                subscribe f to Flows;
+                associate a with Allowances;
+                associate b with BWUsage;
+                int n, limit;
+                identifier ip;
+                sequence s;
+                behavior {
+                    ip = Identifier(f.dstip);
+                    if (hasEntry(a, ip)) {
+                        limit = seqElement(lookup(a, ip), 1);
+                        if (hasEntry(b, ip))
+                            n = seqElement(lookup(b, ip), 1);
+                        else
+                            n = 0;
+                        n += f.nbytes;
+                        s = Sequence(f.dstip, n);
+                        if (n > limit)
+                            send(s, limit, 'limit exceeded');
+                        insert(b, ip, s);
+                    }
+                }
+                "#,
+            )
+            .unwrap();
+
+        let insert_flow = |dst: &str, nbytes: i64| {
+            c.insert(
+                "Flows",
+                vec![
+                    Scalar::Int(6),
+                    Scalar::Str("192.168.1.2".into()),
+                    Scalar::Int(55000),
+                    Scalar::Str(dst.into()),
+                    Scalar::Int(443),
+                    Scalar::Int(10),
+                    Scalar::Int(nbytes),
+                ],
+            )
+            .unwrap();
+        };
+        insert_flow("8.8.8.8", 999_999); // unmonitored
+        insert_flow("192.168.1.10", 600);
+        insert_flow("192.168.1.10", 600); // exceeds the 1000-byte allowance
+        assert!(c.quiesce(Duration::from_secs(5)));
+
+        let notes: Vec<Notification> = rx.try_iter().collect();
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].values[1], Scalar::Int(1200));
+        assert_eq!(notes[0].values[2], Scalar::Int(1000));
+        let usage = c.lookup("BWUsage", "192.168.1.10").unwrap().unwrap();
+        assert_eq!(usage.values()[1], Scalar::Int(1200));
+    }
+
+    #[test]
+    fn timer_topic_exists_and_can_be_ticked_manually() {
+        let c = cache();
+        assert!(c.table_names().contains(&TIMER_TOPIC.to_string()));
+        let (_id, rx) = c
+            .register_automaton(
+                "subscribe t to Timer; behavior { send(t.tstamp); }",
+            )
+            .unwrap();
+        c.manual_clock().unwrap().set(5_000_000_000);
+        c.tick_timer().unwrap();
+        assert!(c.quiesce(Duration::from_secs(5)));
+        let notes: Vec<Notification> = rx.try_iter().collect();
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].values[0], Scalar::Tstamp(5_000_000_000));
+    }
+
+    #[test]
+    fn background_timer_thread_publishes_heartbeats() {
+        let c = CacheBuilder::new()
+            .timer_interval(Duration::from_millis(5))
+            .build();
+        let (_id, rx) = c
+            .register_automaton("subscribe t to Timer; behavior { send(t.tstamp); }")
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut got = 0;
+        while got < 3 && Instant::now() < deadline {
+            got += rx.try_iter().count();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(got >= 3, "expected at least 3 heartbeats, got {got}");
+        c.shutdown();
+    }
+
+    #[test]
+    fn stream_capacity_is_honoured() {
+        let c = cache();
+        c.execute("create table S (v integer) capacity 4").unwrap();
+        for i in 0..10 {
+            c.insert("S", vec![Scalar::Int(i)]).unwrap();
+        }
+        assert_eq!(c.table_len("S").unwrap(), 4);
+        let rs = c.select(&Query::new("S")).unwrap();
+        let vals: Vec<i64> = rs
+            .rows
+            .iter()
+            .map(|r| r.values[0].as_int().unwrap())
+            .collect();
+        assert_eq!(vals, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn automaton_runtime_errors_are_recorded_not_fatal() {
+        let c = cache();
+        c.execute("create table T (v integer)").unwrap();
+        let (id, _rx) = c
+            .register_automaton(
+                "subscribe t to T; int x; behavior { x = 1 / (t.v - t.v); }",
+            )
+            .unwrap();
+        c.insert("T", vec![Scalar::Int(3)]).unwrap();
+        c.insert("T", vec![Scalar::Int(4)]).unwrap();
+        assert!(c.quiesce(Duration::from_secs(5)));
+        let errors = c.automaton_errors(id).unwrap();
+        assert_eq!(errors.len(), 2);
+        let (delivered, processed) = c.automaton_progress(id).unwrap();
+        assert_eq!((delivered, processed), (2, 2));
+    }
+
+    #[test]
+    fn query_builder_and_group_by_work_through_the_cache() {
+        let c = cache();
+        c.execute("create table Flows (srcip varchar(16), nbytes integer)")
+            .unwrap();
+        for (ip, bytes) in [("a", 10), ("b", 20), ("a", 30)] {
+            c.insert("Flows", vec![Scalar::Str(ip.into()), Scalar::Int(bytes)])
+                .unwrap();
+        }
+        let rs = c
+            .select(
+                &Query::new("Flows")
+                    .group_by("srcip")
+                    .aggregate(crate::query::Aggregate::Sum("nbytes".into()))
+                    .order_by("sum(nbytes)", true),
+            )
+            .unwrap();
+        assert_eq!(rs.rows[0].values[0], Scalar::Str("a".into()));
+        assert_eq!(rs.rows[0].values[1], Scalar::Int(40));
+
+        let rs = c
+            .select(
+                &Query::new("Flows")
+                    .filter(Predicate::compare("srcip", Comparison::Eq, "a"))
+                    .columns(["nbytes"]),
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn printed_lines_are_captured_per_automaton() {
+        let c = cache();
+        c.execute("create table T (v integer)").unwrap();
+        let (id, _rx) = c
+            .register_automaton(
+                "subscribe t to T; behavior { print(String('saw ', t.v)); }",
+            )
+            .unwrap();
+        c.insert("T", vec![Scalar::Int(7)]).unwrap();
+        assert!(c.quiesce(Duration::from_secs(5)));
+        assert_eq!(c.printed(id).unwrap(), vec!["saw 7".to_string()]);
+    }
+
+    #[test]
+    fn clones_share_state_and_shutdown_is_idempotent() {
+        let c = cache();
+        c.execute("create table T (v integer)").unwrap();
+        let c2 = c.clone();
+        c2.insert("T", vec![Scalar::Int(1)]).unwrap();
+        assert_eq!(c.table_len("T").unwrap(), 1);
+        c.shutdown();
+        c.shutdown();
+    }
+}

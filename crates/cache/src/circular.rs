@@ -1,0 +1,140 @@
+//! The circular memory buffer backing ephemeral (stream) tables.
+//!
+//! Tuples inserted into ephemeral tables are stored in a bounded circular
+//! buffer — this is the reason the component is called the *Cache* (§3,
+//! footnote 1). When the buffer is full the oldest tuple is overwritten.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO buffer that silently discards its oldest element when a
+/// push would exceed the capacity.
+#[derive(Debug, Clone)]
+pub struct CircularBuffer<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    /// Total number of items ever pushed (including overwritten ones).
+    pushed: u64,
+}
+
+impl<T> CircularBuffer<T> {
+    /// Create a buffer holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "circular buffer capacity must be positive");
+        CircularBuffer {
+            items: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            pushed: 0,
+        }
+    }
+
+    /// Append an item, evicting the oldest one if the buffer is full.
+    /// Returns the evicted item, if any.
+    pub fn push(&mut self, item: T) -> Option<T> {
+        self.pushed += 1;
+        let evicted = if self.items.len() == self.capacity {
+            self.items.pop_front()
+        } else {
+            None
+        };
+        self.items.push_back(item);
+        evicted
+    }
+
+    /// Number of items currently stored.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no items are stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total number of items ever pushed, including those overwritten.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Iterate oldest-to-newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// The most recently pushed item, if any.
+    pub fn newest(&self) -> Option<&T> {
+        self.items.back()
+    }
+
+    /// The oldest retained item, if any.
+    pub fn oldest(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Remove all items.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = CircularBuffer::<i32>::new(0);
+    }
+
+    #[test]
+    fn push_within_capacity_keeps_everything() {
+        let mut b = CircularBuffer::new(4);
+        for i in 0..3 {
+            assert!(b.push(i).is_none());
+        }
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(b.oldest(), Some(&0));
+        assert_eq!(b.newest(), Some(&2));
+    }
+
+    #[test]
+    fn push_beyond_capacity_evicts_oldest() {
+        let mut b = CircularBuffer::new(3);
+        for i in 0..5 {
+            b.push(i);
+        }
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(b.total_pushed(), 5);
+        assert_eq!(b.capacity(), 3);
+    }
+
+    #[test]
+    fn eviction_returns_the_displaced_item() {
+        let mut b = CircularBuffer::new(1);
+        assert_eq!(b.push('a'), None);
+        assert_eq!(b.push('b'), Some('a'));
+        assert_eq!(b.push('c'), Some('b'));
+        assert_eq!(b.newest(), Some(&'c'));
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let mut b = CircularBuffer::new(2);
+        b.push(1);
+        b.push(2);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.total_pushed(), 2);
+    }
+}

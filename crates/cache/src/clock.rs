@@ -1,0 +1,108 @@
+//! Clocks: the source of insertion timestamps and of the `Timer` heartbeat.
+//!
+//! The paper's cache timestamps every inserted tuple with the wall-clock
+//! time of insertion. For deterministic tests and benchmarks the cache can
+//! instead be built with a [`ManualClock`] that only advances when told to.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use gapl::event::Timestamp;
+
+/// A source of nanosecond timestamps.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// The current time in nanoseconds since the Unix epoch.
+    fn now(&self) -> Timestamp;
+}
+
+/// The real wall clock.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> Timestamp {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as Timestamp)
+            .unwrap_or(0)
+    }
+}
+
+/// A manually advanced clock for deterministic tests and experiments.
+///
+/// Cloning a `ManualClock` yields a handle onto the same underlying time, so
+/// a test can keep a handle while the cache owns another.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    now: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A clock starting at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock starting at `start` nanoseconds.
+    pub fn starting_at(start: Timestamp) -> Self {
+        ManualClock {
+            now: Arc::new(AtomicU64::new(start)),
+        }
+    }
+
+    /// Advance the clock by `delta_ns` nanoseconds.
+    pub fn advance(&self, delta_ns: u64) {
+        self.now.fetch_add(delta_ns, Ordering::SeqCst);
+    }
+
+    /// Advance the clock by whole seconds.
+    pub fn advance_secs(&self, secs: u64) {
+        self.advance(secs.saturating_mul(1_000_000_000));
+    }
+
+    /// Set the clock to an absolute time.
+    pub fn set(&self, now: Timestamp) {
+        self.now.store(now, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Timestamp {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic_enough() {
+        let c = SystemClock;
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+        assert!(a > 1_500_000_000_000_000_000); // after 2017 in ns
+    }
+
+    #[test]
+    fn manual_clock_advances_only_on_demand() {
+        let c = ManualClock::starting_at(100);
+        assert_eq!(c.now(), 100);
+        c.advance(5);
+        assert_eq!(c.now(), 105);
+        c.advance_secs(2);
+        assert_eq!(c.now(), 2_000_000_105);
+        c.set(7);
+        assert_eq!(c.now(), 7);
+    }
+
+    #[test]
+    fn cloned_manual_clocks_share_time() {
+        let a = ManualClock::new();
+        let b = a.clone();
+        a.advance(42);
+        assert_eq!(b.now(), 42);
+    }
+}

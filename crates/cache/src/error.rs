@@ -1,0 +1,149 @@
+//! Error types for the cache.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The error type returned by every fallible public function of the cache.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A SQL-ish command could not be parsed.
+    Sql {
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// The named table (topic) does not exist.
+    NoSuchTable {
+        /// Table name.
+        name: String,
+    },
+    /// A table (topic) with that name already exists.
+    TableExists {
+        /// Table name.
+        name: String,
+    },
+    /// The operation is not valid for the table's kind (e.g. keyed update of
+    /// an ephemeral stream).
+    WrongTableKind {
+        /// Table name.
+        name: String,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// The supplied tuple or predicate does not match the table schema.
+    Schema {
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// Registering an automaton failed (compile error in the GAPL source).
+    AutomatonCompile {
+        /// The compile error reported back to the registering application.
+        message: String,
+    },
+    /// The automaton id is unknown (already unregistered, or never existed).
+    NoSuchAutomaton {
+        /// The offending id.
+        id: u64,
+    },
+    /// An automaton raised a runtime error while processing an event.
+    AutomatonRuntime {
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// Internal invariant violation (poisoned thread, disconnected channel).
+    Internal {
+        /// Explanation of the failure.
+        message: String,
+    },
+}
+
+impl Error {
+    /// Construct a [`Error::Sql`].
+    pub fn sql(message: impl Into<String>) -> Self {
+        Error::Sql {
+            message: message.into(),
+        }
+    }
+
+    /// Construct a [`Error::Schema`].
+    pub fn schema(message: impl Into<String>) -> Self {
+        Error::Schema {
+            message: message.into(),
+        }
+    }
+
+    /// Construct a [`Error::Internal`].
+    pub fn internal(message: impl Into<String>) -> Self {
+        Error::Internal {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Sql { message } => write!(f, "sql error: {message}"),
+            Error::NoSuchTable { name } => write!(f, "no such table `{name}`"),
+            Error::TableExists { name } => write!(f, "table `{name}` already exists"),
+            Error::WrongTableKind { name, message } => {
+                write!(f, "table `{name}`: {message}")
+            }
+            Error::Schema { message } => write!(f, "schema error: {message}"),
+            Error::AutomatonCompile { message } => {
+                write!(f, "automaton failed to compile: {message}")
+            }
+            Error::NoSuchAutomaton { id } => write!(f, "no such automaton #{id}"),
+            Error::AutomatonRuntime { message } => {
+                write!(f, "automaton runtime error: {message}")
+            }
+            Error::Internal { message } => write!(f, "internal cache error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<gapl::Error> for Error {
+    fn from(e: gapl::Error) -> Self {
+        match e {
+            gapl::Error::Runtime { message } => Error::AutomatonRuntime { message },
+            gapl::Error::Data { message } => Error::Schema { message },
+            other => Error::AutomatonCompile {
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            Error::NoSuchTable { name: "X".into() }.to_string(),
+            "no such table `X`"
+        );
+        assert!(Error::sql("bad token").to_string().contains("bad token"));
+        assert!(Error::schema("arity").to_string().contains("arity"));
+    }
+
+    #[test]
+    fn gapl_errors_map_to_cache_errors() {
+        let e: Error = gapl::Error::compile("nope").into();
+        assert!(matches!(e, Error::AutomatonCompile { .. }));
+        let e: Error = gapl::Error::runtime("boom").into();
+        assert!(matches!(e, Error::AutomatonRuntime { .. }));
+        let e: Error = gapl::Error::data("bad").into();
+        assert!(matches!(e, Error::Schema { .. }));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,66 @@
+//! # pscache — the topic-based publish/subscribe cache
+//!
+//! This crate implements the keystone of the unified system described in
+//! *Sventek & Koliousis, Middleware 2012*: a centralised, in-memory,
+//! topic-based publish/subscribe cache in which every stream-database table
+//! is simultaneously a pub/sub topic.
+//!
+//! * **Ephemeral tables** are append-only streams held in a circular memory
+//!   buffer; the primary key is the time of insertion.
+//! * **Persistent tables** are time-varying relations held in the heap; the
+//!   primary key is the first attribute of the schema and
+//!   `insert ... on duplicate key update` replaces rows in place.
+//! * Every insertion into a table is also **published** on the topic of the
+//!   same name; automata (compiled [`gapl`] programs) that subscribe to the
+//!   topic receive the tuple, in strict time-of-insertion order, on their
+//!   own thread.
+//! * Ad hoc `select` queries — augmented with `since <timestamp>` time
+//!   windows, `order by`, `group by` and aggregates — can be presented to
+//!   the cache at any time.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pscache::{Cache, CacheBuilder};
+//!
+//! let cache = CacheBuilder::new().manual_clock().build();
+//! cache.execute("create table Flows (srcip varchar(16), nbytes integer)")?;
+//!
+//! // Register an automaton that forwards big flows to the application.
+//! let (id, notifications) = cache.register_automaton(
+//!     r#"
+//!     subscribe f to Flows;
+//!     behavior { if (f.nbytes > 1000) send(f.srcip, f.nbytes); }
+//!     "#,
+//! )?;
+//!
+//! cache.execute("insert into Flows values ('10.0.0.1', 200)")?;
+//! cache.execute("insert into Flows values ('10.0.0.2', 4000)")?;
+//! cache.quiesce(std::time::Duration::from_secs(1));
+//!
+//! let n = notifications.try_iter().count();
+//! assert_eq!(n, 1);
+//! cache.unregister_automaton(id)?;
+//! # Ok::<(), pscache::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod circular;
+pub mod clock;
+pub mod config;
+pub mod error;
+pub mod query;
+pub mod runtime;
+pub mod sql;
+pub mod table;
+
+pub use cache::{Cache, CacheBuilder, Response};
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use config::ConfigReport;
+pub use error::{Error, Result};
+pub use query::{Aggregate, Comparison, Predicate, Query, ResultSet, Row};
+pub use runtime::{AutomatonId, Notification};
+pub use table::TableKind;

@@ -1,0 +1,685 @@
+//! Ad hoc queries over cached tables.
+//!
+//! The paper augments the relational `select` operator with time-window
+//! extensions reflecting the continuous nature of events: `select * from T
+//! since τ` returns only the tuples inserted after timestamp `τ`, and
+//! applications typically submit such queries periodically (Fig. 1). The
+//! usual `where`, `order by`, `group by` and aggregate operators are also
+//! available.
+//!
+//! [`Query`] is the programmatic query model (a builder); the SQL surface
+//! syntax in [`crate::sql`] parses into it.
+
+use gapl::event::{Scalar, Schema, Timestamp, Tuple};
+
+use crate::error::{Error, Result};
+
+/// Comparison operators usable in `where` predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Comparison {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Comparison {
+    fn evaluate(self, lhs: &Scalar, rhs: &Scalar) -> bool {
+        use std::cmp::Ordering::*;
+        let ord = lhs.total_cmp(rhs);
+        match self {
+            Comparison::Eq => ord == Equal,
+            Comparison::NotEq => ord != Equal,
+            Comparison::Lt => ord == Less,
+            Comparison::Le => ord != Greater,
+            Comparison::Gt => ord == Greater,
+            Comparison::Ge => ord != Less,
+        }
+    }
+}
+
+/// A `where` predicate over a single tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `column <op> literal`
+    Compare {
+        /// Column name.
+        column: String,
+        /// Comparison operator.
+        op: Comparison,
+        /// Literal to compare against.
+        value: Scalar,
+    },
+    /// Both sub-predicates must hold.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Either sub-predicate must hold.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// The sub-predicate must not hold.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience constructor for a `column <op> literal` comparison.
+    pub fn compare(column: impl Into<String>, op: Comparison, value: impl Into<Scalar>) -> Self {
+        Predicate::Compare {
+            column: column.into(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Evaluate the predicate against a tuple.
+    ///
+    /// # Errors
+    ///
+    /// Returns a schema error when a referenced column does not exist.
+    pub fn matches(&self, tuple: &Tuple) -> Result<bool> {
+        match self {
+            Predicate::Compare { column, op, value } => {
+                let actual = tuple.field(column).ok_or_else(|| {
+                    Error::schema(format!(
+                        "unknown column `{column}` in table `{}`",
+                        tuple.schema().name()
+                    ))
+                })?;
+                Ok(op.evaluate(&actual, value))
+            }
+            Predicate::And(a, b) => Ok(a.matches(tuple)? && b.matches(tuple)?),
+            Predicate::Or(a, b) => Ok(a.matches(tuple)? || b.matches(tuple)?),
+            Predicate::Not(p) => Ok(!p.matches(tuple)?),
+        }
+    }
+}
+
+/// Aggregate functions usable with (or without) `group by`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Aggregate {
+    /// `count(*)`
+    Count,
+    /// `sum(column)`
+    Sum(String),
+    /// `avg(column)`
+    Avg(String),
+    /// `min(column)`
+    Min(String),
+    /// `max(column)`
+    Max(String),
+}
+
+impl Aggregate {
+    /// The output column name used in result sets.
+    pub fn output_name(&self) -> String {
+        match self {
+            Aggregate::Count => "count".to_owned(),
+            Aggregate::Sum(c) => format!("sum({c})"),
+            Aggregate::Avg(c) => format!("avg({c})"),
+            Aggregate::Min(c) => format!("min({c})"),
+            Aggregate::Max(c) => format!("max({c})"),
+        }
+    }
+
+    fn compute(&self, tuples: &[&Tuple]) -> Result<Scalar> {
+        let column = match self {
+            Aggregate::Count => return Ok(Scalar::Int(tuples.len() as i64)),
+            Aggregate::Sum(c) | Aggregate::Avg(c) | Aggregate::Min(c) | Aggregate::Max(c) => c,
+        };
+        let mut values = Vec::with_capacity(tuples.len());
+        for t in tuples {
+            let v = t.field(column).ok_or_else(|| {
+                Error::schema(format!("unknown column `{column}` in aggregate"))
+            })?;
+            values.push(v);
+        }
+        Ok(match self {
+            Aggregate::Count => unreachable!("handled above"),
+            Aggregate::Sum(_) => sum_scalar(&values),
+            Aggregate::Avg(_) => {
+                if values.is_empty() {
+                    Scalar::Real(0.0)
+                } else {
+                    let total = match sum_scalar(&values) {
+                        Scalar::Int(i) => i as f64,
+                        Scalar::Real(r) => r,
+                        _ => 0.0,
+                    };
+                    Scalar::Real(total / values.len() as f64)
+                }
+            }
+            Aggregate::Min(_) => extremum(&values, std::cmp::Ordering::Less),
+            Aggregate::Max(_) => extremum(&values, std::cmp::Ordering::Greater),
+        })
+    }
+}
+
+fn sum_scalar(values: &[Scalar]) -> Scalar {
+    let all_int = values.iter().all(|v| matches!(v, Scalar::Int(_) | Scalar::Tstamp(_)));
+    if all_int {
+        Scalar::Int(values.iter().filter_map(Scalar::as_int).sum())
+    } else {
+        Scalar::Real(values.iter().filter_map(Scalar::as_real).sum())
+    }
+}
+
+fn extremum(values: &[Scalar], want: std::cmp::Ordering) -> Scalar {
+    let mut best: Option<&Scalar> = None;
+    for v in values {
+        best = match best {
+            None => Some(v),
+            Some(b) => {
+                if v.total_cmp(b) == want {
+                    Some(v)
+                } else {
+                    Some(b)
+                }
+            }
+        };
+    }
+    best.cloned().unwrap_or(Scalar::Int(0))
+}
+
+/// A single result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Projected values, in [`ResultSet::columns`] order.
+    pub values: Vec<Scalar>,
+    /// Insertion timestamp of the underlying tuple (0 for aggregate rows).
+    pub tstamp: Timestamp,
+}
+
+/// The result of a query: column names plus rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The largest tuple timestamp in the result, used by applications to
+    /// drive the `since τ` continuous-query loop of Fig. 1.
+    pub fn max_tstamp(&self) -> Option<Timestamp> {
+        self.rows.iter().map(|r| r.tstamp).max()
+    }
+}
+
+/// A programmatic query. Build with the fluent methods, then run it with
+/// [`crate::cache::Cache::select`].
+///
+/// # Example
+///
+/// ```
+/// use pscache::{Query, Comparison};
+/// let q = Query::new("Flows")
+///     .columns(["srcip", "nbytes"])
+///     .filter(pscache::Predicate::compare("nbytes", Comparison::Gt, 1000i64))
+///     .since(42)
+///     .order_by("nbytes", true)
+///     .limit(10);
+/// assert_eq!(q.table(), "Flows");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    table: String,
+    columns: Vec<String>,
+    predicate: Option<Predicate>,
+    since: Option<Timestamp>,
+    order_by: Option<(String, bool)>,
+    group_by: Option<String>,
+    aggregates: Vec<Aggregate>,
+    limit: Option<usize>,
+}
+
+impl Query {
+    /// A `select * from table` query.
+    pub fn new(table: impl Into<String>) -> Self {
+        Query {
+            table: table.into(),
+            columns: Vec::new(),
+            predicate: None,
+            since: None,
+            order_by: None,
+            group_by: None,
+            aggregates: Vec::new(),
+            limit: None,
+        }
+    }
+
+    /// The table this query reads.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// Project only the named columns (default: all).
+    pub fn columns<I, S>(mut self, columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.columns = columns.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Add a `where` predicate (combined with `and` if one is already set).
+    pub fn filter(mut self, predicate: Predicate) -> Self {
+        self.predicate = Some(match self.predicate.take() {
+            Some(existing) => Predicate::And(Box::new(existing), Box::new(predicate)),
+            None => predicate,
+        });
+        self
+    }
+
+    /// Only return tuples inserted strictly after `tstamp`.
+    pub fn since(mut self, tstamp: Timestamp) -> Self {
+        self.since = Some(tstamp);
+        self
+    }
+
+    /// Order by the named column; `descending` reverses the order.
+    pub fn order_by(mut self, column: impl Into<String>, descending: bool) -> Self {
+        self.order_by = Some((column.into(), descending));
+        self
+    }
+
+    /// Group rows by the named column (use with [`Query::aggregate`]).
+    pub fn group_by(mut self, column: impl Into<String>) -> Self {
+        self.group_by = Some(column.into());
+        self
+    }
+
+    /// Add an aggregate output.
+    pub fn aggregate(mut self, aggregate: Aggregate) -> Self {
+        self.aggregates.push(aggregate);
+        self
+    }
+
+    /// Keep at most `n` rows.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// The `since` timestamp, if set.
+    pub fn since_tstamp(&self) -> Option<Timestamp> {
+        self.since
+    }
+
+    /// Evaluate the query against a scan of the table (tuples in
+    /// time-of-insertion order) and its schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns a schema error when the query references unknown columns.
+    pub fn evaluate(&self, schema: &Schema, tuples: &[Tuple]) -> Result<ResultSet> {
+        // 1. Time window and predicate filtering.
+        let mut selected: Vec<&Tuple> = Vec::new();
+        for t in tuples {
+            if let Some(since) = self.since {
+                if t.tstamp() <= since {
+                    continue;
+                }
+            }
+            if let Some(p) = &self.predicate {
+                if !p.matches(t)? {
+                    continue;
+                }
+            }
+            selected.push(t);
+        }
+
+        // 2. Grouping / aggregation.
+        if let Some(group_col) = &self.group_by {
+            return self.evaluate_grouped(schema, group_col, &selected);
+        }
+        if !self.aggregates.is_empty() {
+            let mut columns = Vec::new();
+            let mut values = Vec::new();
+            for agg in &self.aggregates {
+                columns.push(agg.output_name());
+                values.push(agg.compute(&selected)?);
+            }
+            return Ok(ResultSet {
+                columns,
+                rows: vec![Row { values, tstamp: 0 }],
+            });
+        }
+
+        // 3. Ordering (default is time of insertion, which `tuples` already
+        //    follows).
+        if let Some((col, descending)) = &self.order_by {
+            if schema.index_of(col).is_none() && col != "tstamp" {
+                return Err(Error::schema(format!("unknown order by column `{col}`")));
+            }
+            selected.sort_by(|a, b| {
+                let av = a.field(col).unwrap_or(Scalar::Int(0));
+                let bv = b.field(col).unwrap_or(Scalar::Int(0));
+                let ord = av.total_cmp(&bv);
+                if *descending {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+        }
+
+        // 4. Projection and limit.
+        let projection = self.resolve_projection(schema)?;
+        let limit = self.limit.unwrap_or(usize::MAX);
+        let columns: Vec<String> = projection.iter().map(|(name, _)| name.clone()).collect();
+        let rows = selected
+            .into_iter()
+            .take(limit)
+            .map(|t| Row {
+                values: projection
+                    .iter()
+                    .map(|(name, ix)| match ix {
+                        Some(ix) => t.values()[*ix].clone(),
+                        None => t.field(name).unwrap_or(Scalar::Tstamp(t.tstamp())),
+                    })
+                    .collect(),
+                tstamp: t.tstamp(),
+            })
+            .collect();
+        Ok(ResultSet { columns, rows })
+    }
+
+    fn resolve_projection(&self, schema: &Schema) -> Result<Vec<(String, Option<usize>)>> {
+        if self.columns.is_empty() {
+            return Ok(schema
+                .attributes()
+                .iter()
+                .enumerate()
+                .map(|(ix, a)| (a.name.clone(), Some(ix)))
+                .collect());
+        }
+        self.columns
+            .iter()
+            .map(|name| {
+                if name == "tstamp" {
+                    return Ok((name.clone(), None));
+                }
+                schema
+                    .index_of(name)
+                    .map(|ix| (name.clone(), Some(ix)))
+                    .ok_or_else(|| {
+                        Error::schema(format!(
+                            "unknown column `{name}` in table `{}`",
+                            schema.name()
+                        ))
+                    })
+            })
+            .collect()
+    }
+
+    fn evaluate_grouped(
+        &self,
+        schema: &Schema,
+        group_col: &str,
+        selected: &[&Tuple],
+    ) -> Result<ResultSet> {
+        if schema.index_of(group_col).is_none() {
+            return Err(Error::schema(format!(
+                "unknown group by column `{group_col}`"
+            )));
+        }
+        // Preserve first-seen order of groups (time of insertion).
+        let mut order: Vec<Scalar> = Vec::new();
+        let mut groups: Vec<Vec<&Tuple>> = Vec::new();
+        for t in selected {
+            let key = t.field(group_col).expect("column checked above");
+            match order.iter().position(|k| k.total_cmp(&key) == std::cmp::Ordering::Equal) {
+                Some(ix) => groups[ix].push(t),
+                None => {
+                    order.push(key);
+                    groups.push(vec![t]);
+                }
+            }
+        }
+        let aggregates = if self.aggregates.is_empty() {
+            vec![Aggregate::Count]
+        } else {
+            self.aggregates.clone()
+        };
+        let mut columns = vec![group_col.to_owned()];
+        columns.extend(aggregates.iter().map(Aggregate::output_name));
+        let mut rows = Vec::with_capacity(groups.len());
+        for (key, members) in order.into_iter().zip(groups) {
+            let mut values = vec![key];
+            for agg in &aggregates {
+                values.push(agg.compute(&members)?);
+            }
+            rows.push(Row { values, tstamp: 0 });
+        }
+        // `order by` on the group column or an aggregate output.
+        if let Some((col, descending)) = &self.order_by {
+            if let Some(ix) = columns.iter().position(|c| c == col) {
+                rows.sort_by(|a, b| {
+                    let ord = a.values[ix].total_cmp(&b.values[ix]);
+                    if *descending {
+                        ord.reverse()
+                    } else {
+                        ord
+                    }
+                });
+            }
+        }
+        if let Some(limit) = self.limit {
+            rows.truncate(limit);
+        }
+        Ok(ResultSet { columns, rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gapl::event::AttrType;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(
+                "Flows",
+                vec![
+                    ("srcip", AttrType::Str),
+                    ("dport", AttrType::Int),
+                    ("nbytes", AttrType::Int),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn tuples() -> Vec<Tuple> {
+        let s = schema();
+        let rows = [
+            ("10.0.0.1", 80, 1000, 1),
+            ("10.0.0.2", 443, 2500, 2),
+            ("10.0.0.1", 80, 500, 3),
+            ("10.0.0.3", 22, 10, 4),
+            ("10.0.0.1", 443, 4000, 5),
+        ];
+        rows.iter()
+            .map(|(ip, port, bytes, ts)| {
+                Tuple::new(
+                    s.clone(),
+                    vec![
+                        Scalar::Str((*ip).into()),
+                        Scalar::Int(*port),
+                        Scalar::Int(*bytes),
+                    ],
+                    *ts,
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn select_star_returns_everything_in_insertion_order() {
+        let rs = Query::new("Flows").evaluate(&schema(), &tuples()).unwrap();
+        assert_eq!(rs.columns, vec!["srcip", "dport", "nbytes"]);
+        assert_eq!(rs.len(), 5);
+        assert_eq!(rs.rows[0].tstamp, 1);
+        assert_eq!(rs.max_tstamp(), Some(5));
+    }
+
+    #[test]
+    fn since_filters_strictly_after_the_timestamp() {
+        let rs = Query::new("Flows")
+            .since(3)
+            .evaluate(&schema(), &tuples())
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert!(rs.rows.iter().all(|r| r.tstamp > 3));
+    }
+
+    #[test]
+    fn where_predicates_combine_with_and_or_not() {
+        let p = Predicate::Or(
+            Box::new(Predicate::compare("nbytes", Comparison::Gt, 2000i64)),
+            Box::new(Predicate::compare("dport", Comparison::Eq, 22i64)),
+        );
+        let rs = Query::new("Flows")
+            .filter(p)
+            .evaluate(&schema(), &tuples())
+            .unwrap();
+        assert_eq!(rs.len(), 3);
+
+        let p = Predicate::Not(Box::new(Predicate::compare(
+            "srcip",
+            Comparison::Eq,
+            "10.0.0.1",
+        )));
+        let rs = Query::new("Flows")
+            .filter(p)
+            .evaluate(&schema(), &tuples())
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn projection_and_limit() {
+        let rs = Query::new("Flows")
+            .columns(["nbytes"])
+            .limit(2)
+            .evaluate(&schema(), &tuples())
+            .unwrap();
+        assert_eq!(rs.columns, vec!["nbytes"]);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.rows[0].values, vec![Scalar::Int(1000)]);
+    }
+
+    #[test]
+    fn unknown_columns_are_schema_errors() {
+        assert!(Query::new("Flows")
+            .columns(["nope"])
+            .evaluate(&schema(), &tuples())
+            .is_err());
+        assert!(Query::new("Flows")
+            .filter(Predicate::compare("nope", Comparison::Eq, 1i64))
+            .evaluate(&schema(), &tuples())
+            .is_err());
+        assert!(Query::new("Flows")
+            .order_by("nope", false)
+            .evaluate(&schema(), &tuples())
+            .is_err());
+        assert!(Query::new("Flows")
+            .group_by("nope")
+            .evaluate(&schema(), &tuples())
+            .is_err());
+    }
+
+    #[test]
+    fn order_by_descending() {
+        let rs = Query::new("Flows")
+            .order_by("nbytes", true)
+            .evaluate(&schema(), &tuples())
+            .unwrap();
+        let bytes: Vec<i64> = rs
+            .rows
+            .iter()
+            .map(|r| r.values[2].as_int().unwrap())
+            .collect();
+        assert_eq!(bytes, vec![4000, 2500, 1000, 500, 10]);
+    }
+
+    #[test]
+    fn global_aggregates_without_group_by() {
+        let rs = Query::new("Flows")
+            .aggregate(Aggregate::Count)
+            .aggregate(Aggregate::Sum("nbytes".into()))
+            .aggregate(Aggregate::Avg("nbytes".into()))
+            .aggregate(Aggregate::Min("nbytes".into()))
+            .aggregate(Aggregate::Max("nbytes".into()))
+            .evaluate(&schema(), &tuples())
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0].values[0], Scalar::Int(5));
+        assert_eq!(rs.rows[0].values[1], Scalar::Int(8010));
+        assert_eq!(rs.rows[0].values[2], Scalar::Real(1602.0));
+        assert_eq!(rs.rows[0].values[3], Scalar::Int(10));
+        assert_eq!(rs.rows[0].values[4], Scalar::Int(4000));
+    }
+
+    #[test]
+    fn group_by_with_default_count_and_explicit_sum() {
+        let rs = Query::new("Flows")
+            .group_by("srcip")
+            .evaluate(&schema(), &tuples())
+            .unwrap();
+        assert_eq!(rs.columns, vec!["srcip", "count"]);
+        assert_eq!(rs.len(), 3);
+
+        let rs = Query::new("Flows")
+            .group_by("srcip")
+            .aggregate(Aggregate::Sum("nbytes".into()))
+            .order_by("sum(nbytes)", true)
+            .evaluate(&schema(), &tuples())
+            .unwrap();
+        assert_eq!(rs.rows[0].values[0], Scalar::Str("10.0.0.1".into()));
+        assert_eq!(rs.rows[0].values[1], Scalar::Int(5500));
+    }
+
+    #[test]
+    fn empty_input_produces_empty_or_zero_results() {
+        let rs = Query::new("Flows").evaluate(&schema(), &[]).unwrap();
+        assert!(rs.is_empty());
+        assert_eq!(rs.max_tstamp(), None);
+        let rs = Query::new("Flows")
+            .aggregate(Aggregate::Count)
+            .aggregate(Aggregate::Avg("nbytes".into()))
+            .evaluate(&schema(), &[])
+            .unwrap();
+        assert_eq!(rs.rows[0].values[0], Scalar::Int(0));
+        assert_eq!(rs.rows[0].values[1], Scalar::Real(0.0));
+    }
+
+    #[test]
+    fn tstamp_pseudo_column_can_be_projected_and_ordered() {
+        let rs = Query::new("Flows")
+            .columns(["tstamp", "srcip"])
+            .order_by("tstamp", true)
+            .evaluate(&schema(), &tuples())
+            .unwrap();
+        assert_eq!(rs.rows[0].values[0], Scalar::Tstamp(5));
+    }
+}

@@ -1,0 +1,260 @@
+//! The automaton execution runtime (§5 of the paper).
+//!
+//! When an application registers an automaton, the cache compiles its GAPL
+//! source; on success a dedicated thread is created to animate the
+//! automaton. The thread executes the `initialization` clause once and then
+//! blocks waiting for events on the topics the automaton subscribed to. The
+//! runtime guarantees that tuples are delivered to an automaton in strict
+//! time-of-insertion order: the cache appends every published tuple to the
+//! automaton's unbounded FIFO delivery channel while still holding the
+//! per-table lock, and the automaton drains the channel in order.
+//!
+//! While processing an event the automaton may `send()` information to the
+//! registering application — surfaced here as a [`Notification`] on a
+//! channel — and may `publish()` tuples into other tables, potentially
+//! triggering other automata.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+
+use gapl::event::{Scalar, Timestamp, Tuple};
+use gapl::vm::{HostInterface, Vm};
+use gapl::Program;
+
+use crate::cache::CacheInner;
+
+/// Identifies a registered automaton; returned by registration and used to
+/// manage the automaton later (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AutomatonId(pub u64);
+
+impl std::fmt::Display for AutomatonId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "automaton#{}", self.0)
+    }
+}
+
+/// A complex-event notification produced by an automaton's `send()` and
+/// delivered to the application that registered it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Notification {
+    /// The automaton that sent the notification.
+    pub automaton: AutomatonId,
+    /// The flattened values passed to `send()`.
+    pub values: Vec<Scalar>,
+    /// The cache time at which the notification was produced.
+    pub at: Timestamp,
+}
+
+/// A message on an automaton's delivery channel.
+#[derive(Debug)]
+pub(crate) enum Delivery {
+    /// An event published on a subscribed topic.
+    Event {
+        /// The topic the tuple was inserted into.
+        topic: Arc<str>,
+        /// The tuple itself.
+        tuple: Tuple,
+    },
+    /// Ask the automaton thread to exit.
+    Shutdown,
+}
+
+/// Counters and buffers shared between an automaton thread and the cache.
+#[derive(Debug, Default)]
+pub(crate) struct AutomatonStats {
+    /// Events enqueued for this automaton.
+    pub delivered: AtomicU64,
+    /// Events fully processed by the behavior clause.
+    pub processed: AtomicU64,
+    /// Runtime errors raised while processing events.
+    pub errors: Mutex<Vec<String>>,
+    /// Lines produced by `print()`.
+    pub printed: Mutex<Vec<String>>,
+}
+
+/// The cache-side handle for a running automaton.
+#[derive(Debug)]
+pub(crate) struct AutomatonHandle {
+    pub program: Arc<Program>,
+    pub sender: Sender<Delivery>,
+    pub join: Option<JoinHandle<()>>,
+}
+
+impl AutomatonHandle {
+    /// Ask the thread to stop and wait for it.
+    pub fn shutdown(mut self) {
+        let _ = self.sender.send(Delivery::Shutdown);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// The [`HostInterface`] implementation that wires an automaton into the
+/// cache: `publish()` becomes an insertion (which may cascade to other
+/// automata), `send()` becomes a [`Notification`], and associations resolve
+/// to the cache's persistent tables.
+pub(crate) struct CacheHost {
+    pub cache: Weak<CacheInner>,
+    pub automaton: AutomatonId,
+    pub notifier: Sender<Notification>,
+    pub stats: Arc<AutomatonStats>,
+    pub print_to_stdout: bool,
+}
+
+impl CacheHost {
+    fn cache(&self) -> gapl::Result<Arc<CacheInner>> {
+        self.cache
+            .upgrade()
+            .ok_or_else(|| gapl::Error::runtime("the cache has been shut down"))
+    }
+}
+
+impl HostInterface for CacheHost {
+    fn now(&self) -> Timestamp {
+        self.cache.upgrade().map(|c| c.now()).unwrap_or(0)
+    }
+
+    fn publish(&mut self, topic: &str, values: Vec<Scalar>) -> gapl::Result<()> {
+        let cache = self.cache()?;
+        cache
+            .insert_values(topic, values, true)
+            .map(|_| ())
+            .map_err(|e| gapl::Error::runtime(e.to_string()))
+    }
+
+    fn send(&mut self, values: Vec<Scalar>) -> gapl::Result<()> {
+        let at = self.now();
+        // A vanished application is not an automaton error: the paper's
+        // cache keeps automata running even when the registering process is
+        // slow or gone, so a closed channel is silently tolerated.
+        let _ = self.notifier.send(Notification {
+            automaton: self.automaton,
+            values,
+            at,
+        });
+        Ok(())
+    }
+
+    fn print(&mut self, text: &str) {
+        if self.print_to_stdout {
+            println!("{text}");
+        }
+        self.stats.printed.lock().push(text.to_owned());
+    }
+
+    fn assoc_lookup(&mut self, table: &str, key: &str) -> gapl::Result<Option<Vec<Scalar>>> {
+        let cache = self.cache()?;
+        cache
+            .persistent_lookup(table, key)
+            .map_err(|e| gapl::Error::runtime(e.to_string()))
+    }
+
+    fn assoc_insert(&mut self, table: &str, key: &str, values: Vec<Scalar>) -> gapl::Result<()> {
+        let cache = self.cache()?;
+        cache
+            .persistent_upsert(table, key, values)
+            .map_err(|e| gapl::Error::runtime(e.to_string()))
+    }
+
+    fn assoc_has_entry(&mut self, table: &str, key: &str) -> gapl::Result<bool> {
+        Ok(self.assoc_lookup(table, key)?.is_some())
+    }
+
+    fn assoc_remove(&mut self, table: &str, key: &str) -> gapl::Result<()> {
+        let cache = self.cache()?;
+        cache
+            .persistent_remove(table, key)
+            .map(|_| ())
+            .map_err(|e| gapl::Error::runtime(e.to_string()))
+    }
+
+    fn assoc_size(&mut self, table: &str) -> gapl::Result<usize> {
+        let cache = self.cache()?;
+        cache
+            .table_len(table)
+            .map_err(|e| gapl::Error::runtime(e.to_string()))
+    }
+
+    fn assoc_keys(&mut self, table: &str) -> gapl::Result<Vec<String>> {
+        let cache = self.cache()?;
+        cache
+            .persistent_keys(table)
+            .map_err(|e| gapl::Error::runtime(e.to_string()))
+    }
+}
+
+/// Spawn the thread animating one automaton. The thread owns the [`Vm`]
+/// (whose values are deliberately not `Send`); only the compiled
+/// [`Program`] crosses the thread boundary.
+pub(crate) fn spawn_automaton(
+    id: AutomatonId,
+    program: Arc<Program>,
+    cache: Weak<CacheInner>,
+    receiver: Receiver<Delivery>,
+    notifier: Sender<Notification>,
+    stats: Arc<AutomatonStats>,
+    print_to_stdout: bool,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("automaton-{}", id.0))
+        .spawn(move || {
+            let mut host = CacheHost {
+                cache,
+                automaton: id,
+                notifier,
+                stats: Arc::clone(&stats),
+                print_to_stdout,
+            };
+            let mut vm = Vm::new(Arc::clone(&program));
+            if let Err(e) = vm.run_initialization(&mut host) {
+                stats.errors.lock().push(format!("initialization: {e}"));
+            }
+            while let Ok(delivery) = receiver.recv() {
+                match delivery {
+                    Delivery::Event { topic, tuple } => {
+                        if let Err(e) = vm.run_behavior(&topic, &tuple, &mut host) {
+                            stats.errors.lock().push(format!("behavior: {e}"));
+                        }
+                        stats.processed.fetch_add(1, Ordering::Release);
+                    }
+                    Delivery::Shutdown => break,
+                }
+            }
+        })
+        .expect("spawning an automaton thread never fails on supported platforms")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn automaton_id_displays_compactly() {
+        assert_eq!(AutomatonId(7).to_string(), "automaton#7");
+    }
+
+    #[test]
+    fn notification_is_cloneable_and_comparable() {
+        let n = Notification {
+            automaton: AutomatonId(1),
+            values: vec![Scalar::Int(3)],
+            at: 12,
+        };
+        assert_eq!(n.clone(), n);
+    }
+
+    #[test]
+    fn stats_start_at_zero() {
+        let s = AutomatonStats::default();
+        assert_eq!(s.delivered.load(Ordering::Relaxed), 0);
+        assert_eq!(s.processed.load(Ordering::Relaxed), 0);
+        assert!(s.errors.lock().is_empty());
+        assert!(s.printed.lock().is_empty());
+    }
+}

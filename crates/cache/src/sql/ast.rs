@@ -1,0 +1,63 @@
+//! Parsed representation of SQL-ish commands.
+
+use gapl::event::{AttrType, Scalar};
+
+use crate::query::Query;
+use crate::table::TableKind;
+
+/// A column definition in a `create table` command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: AttrType,
+}
+
+/// A parsed command, ready to be executed by
+/// [`crate::cache::Cache::execute`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `create table` / `create persistenttable`.
+    CreateTable {
+        /// Table (topic) name.
+        name: String,
+        /// Ephemeral or persistent.
+        kind: TableKind,
+        /// Ordered column definitions.
+        columns: Vec<ColumnDef>,
+        /// Optional circular-buffer capacity (ephemeral tables only).
+        capacity: Option<usize>,
+    },
+    /// `insert into ... values (...)`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Literal values, in schema order.
+        values: Vec<Scalar>,
+        /// Whether `on duplicate key update` was given.
+        on_duplicate_update: bool,
+    },
+    /// `select ...`.
+    Select(Query),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_nodes_are_cloneable_and_comparable() {
+        let c = Command::Insert {
+            table: "T".into(),
+            values: vec![Scalar::Int(1)],
+            on_duplicate_update: false,
+        };
+        assert_eq!(c.clone(), c);
+        let col = ColumnDef {
+            name: "a".into(),
+            ty: AttrType::Int,
+        };
+        assert_eq!(col.clone(), col);
+    }
+}

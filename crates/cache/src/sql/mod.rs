@@ -1,0 +1,26 @@
+//! The SQL-ish command surface of the cache.
+//!
+//! The cache supports the usual SQL commands for creating tables and
+//! inserting tuples, and a `select` operator augmented with time windows
+//! (§3). The supported grammar is deliberately small — exactly what the
+//! paper's applications use:
+//!
+//! ```text
+//! create table <Name> ( <col> <type> [, ...] ) [capacity <n>]
+//! create persistenttable <Name> ( <col> <type> [primary key] [, ...] )
+//! insert into <Name> values ( <literal> [, ...] ) [on duplicate key update]
+//! select <*|columns|aggregates> from <Name>
+//!        [where <predicate>] [since <tstamp>]
+//!        [group by <col>] [order by <col> [asc|desc]] [limit <n>]
+//! ```
+//!
+//! Types: `integer`, `real`, `boolean`, `tstamp`, `varchar(n)`.
+//! Aggregates: `count(*)`, `sum(c)`, `avg(c)`, `min(c)`, `max(c)`.
+//! Predicates: `col <op> literal` combined with `and`, `or`, `not` and
+//! parentheses, where `<op>` is `=`, `!=`, `<>`, `<`, `<=`, `>`, `>=`.
+
+mod ast;
+mod parser;
+
+pub use ast::{ColumnDef, Command};
+pub use parser::parse;

@@ -1,0 +1,670 @@
+//! Tokenizer and recursive-descent parser for the SQL-ish command surface.
+
+use gapl::event::{AttrType, Scalar};
+
+use crate::error::{Error, Result};
+use crate::query::{Aggregate, Comparison, Predicate, Query};
+use crate::table::TableKind;
+
+use super::ast::{ColumnDef, Command};
+
+/// Parse a single SQL-ish command.
+///
+/// # Errors
+///
+/// Returns [`Error::Sql`] describing the first problem encountered.
+///
+/// # Example
+///
+/// ```
+/// use pscache::sql::{parse, Command};
+/// match parse("insert into Flows values ('10.0.0.1', 1500)")? {
+///     Command::Insert { table, values, .. } => {
+///         assert_eq!(table, "Flows");
+///         assert_eq!(values.len(), 2);
+///     }
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// # Ok::<(), pscache::Error>(())
+/// ```
+pub fn parse(input: &str) -> Result<Command> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let cmd = p.command()?;
+    p.expect_end()?;
+    Ok(cmd)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Int(i64),
+    Real(f64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Star,
+    Op(String),
+}
+
+fn tokenize(input: &str) -> Result<Vec<Tok>> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '(' {
+            out.push(Tok::LParen);
+            i += 1;
+        } else if c == ')' {
+            out.push(Tok::RParen);
+            i += 1;
+        } else if c == ',' {
+            out.push(Tok::Comma);
+            i += 1;
+        } else if c == '*' {
+            out.push(Tok::Star);
+            i += 1;
+        } else if c == '\'' || c == '"' {
+            let quote = c;
+            let mut s = String::new();
+            i += 1;
+            loop {
+                if i >= chars.len() {
+                    return Err(Error::sql("unterminated string literal"));
+                }
+                if chars[i] == quote {
+                    i += 1;
+                    break;
+                }
+                s.push(chars[i]);
+                i += 1;
+            }
+            out.push(Tok::Str(s));
+        } else if c.is_ascii_digit()
+            || (c == '-' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit())
+        {
+            let start = i;
+            i += 1;
+            let mut is_real = false;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                if chars[i] == '.' {
+                    is_real = true;
+                }
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            if is_real {
+                out.push(Tok::Real(text.parse().map_err(|_| {
+                    Error::sql(format!("invalid number `{text}`"))
+                })?));
+            } else {
+                out.push(Tok::Int(text.parse().map_err(|_| {
+                    Error::sql(format!("invalid number `{text}`"))
+                })?));
+            }
+        } else if c == '_' || c.is_alphabetic() {
+            let start = i;
+            while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric() || chars[i] == '.')
+            {
+                i += 1;
+            }
+            out.push(Tok::Word(chars[start..i].iter().collect()));
+        } else if "=<>!".contains(c) {
+            let start = i;
+            i += 1;
+            while i < chars.len() && "=<>".contains(chars[i]) {
+                i += 1;
+            }
+            out.push(Tok::Op(chars[start..i].iter().collect()));
+        } else if c == ';' {
+            i += 1; // a trailing semicolon is tolerated
+        } else {
+            return Err(Error::sql(format!("unexpected character `{c}`")));
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_word(&self) -> Option<String> {
+        match self.peek() {
+            Some(Tok::Word(w)) => Some(w.to_ascii_lowercase()),
+            _ => None,
+        }
+    }
+
+    /// Consume the next token if it is the given (case-insensitive) keyword.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_word().as_deref() == Some(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(Error::sql(format!(
+                "expected keyword `{kw}`, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_word(&mut self) -> Result<String> {
+        match self.bump() {
+            Some(Tok::Word(w)) => Ok(w),
+            other => Err(Error::sql(format!("expected an identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_tok(&mut self, tok: &Tok) -> Result<()> {
+        match self.bump() {
+            Some(t) if &t == tok => Ok(()),
+            other => Err(Error::sql(format!("expected {tok:?}, found {other:?}"))),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(Error::sql(format!(
+                "unexpected trailing input: {:?}",
+                &self.tokens[self.pos..]
+            )))
+        }
+    }
+
+    fn command(&mut self) -> Result<Command> {
+        match self.peek_word().as_deref() {
+            Some("create") => self.create(),
+            Some("insert") => self.insert(),
+            Some("select") => self.select().map(Command::Select),
+            other => Err(Error::sql(format!(
+                "expected `create`, `insert` or `select`, found {other:?}"
+            ))),
+        }
+    }
+
+    fn create(&mut self) -> Result<Command> {
+        self.expect_keyword("create")?;
+        let kind = if self.eat_keyword("persistenttable") {
+            TableKind::Persistent
+        } else if self.eat_keyword("table") {
+            TableKind::Ephemeral
+        } else if self.eat_keyword("persistent") {
+            self.expect_keyword("table")?;
+            TableKind::Persistent
+        } else {
+            return Err(Error::sql(
+                "expected `table` or `persistenttable` after `create`",
+            ));
+        };
+        let name = self.expect_word()?;
+        self.expect_tok(&Tok::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col_name = self.expect_word()?;
+            let ty = self.column_type()?;
+            // `primary key` on the first column is accepted and implied.
+            if self.eat_keyword("primary") {
+                self.expect_keyword("key")?;
+            }
+            columns.push(ColumnDef { name: col_name, ty });
+            match self.bump() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RParen) => break,
+                other => {
+                    return Err(Error::sql(format!(
+                        "expected `,` or `)` in column list, found {other:?}"
+                    )))
+                }
+            }
+        }
+        let mut capacity = None;
+        if self.eat_keyword("capacity") {
+            match self.bump() {
+                Some(Tok::Int(n)) if n > 0 => capacity = Some(n as usize),
+                other => {
+                    return Err(Error::sql(format!(
+                        "expected a positive capacity, found {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(Command::CreateTable {
+            name,
+            kind,
+            columns,
+            capacity,
+        })
+    }
+
+    fn column_type(&mut self) -> Result<AttrType> {
+        let word = self.expect_word()?.to_ascii_lowercase();
+        let ty = match word.as_str() {
+            "integer" | "int" | "bigint" => AttrType::Int,
+            "real" | "double" | "float" => AttrType::Real,
+            "boolean" | "bool" => AttrType::Bool,
+            "tstamp" | "timestamp" => AttrType::Tstamp,
+            "varchar" | "text" | "string" | "char" => {
+                // optional (n)
+                if self.peek() == Some(&Tok::LParen) {
+                    self.bump();
+                    match self.bump() {
+                        Some(Tok::Int(_)) => {}
+                        other => {
+                            return Err(Error::sql(format!(
+                                "expected a varchar length, found {other:?}"
+                            )))
+                        }
+                    }
+                    self.expect_tok(&Tok::RParen)?;
+                }
+                AttrType::Str
+            }
+            other => return Err(Error::sql(format!("unknown column type `{other}`"))),
+        };
+        Ok(ty)
+    }
+
+    fn insert(&mut self) -> Result<Command> {
+        self.expect_keyword("insert")?;
+        self.expect_keyword("into")?;
+        let table = self.expect_word()?;
+        self.expect_keyword("values")?;
+        self.expect_tok(&Tok::LParen)?;
+        let mut values = Vec::new();
+        loop {
+            values.push(self.literal()?);
+            match self.bump() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RParen) => break,
+                other => {
+                    return Err(Error::sql(format!(
+                        "expected `,` or `)` in value list, found {other:?}"
+                    )))
+                }
+            }
+        }
+        let mut on_duplicate_update = false;
+        if self.eat_keyword("on") {
+            self.expect_keyword("duplicate")?;
+            self.expect_keyword("key")?;
+            self.expect_keyword("update")?;
+            on_duplicate_update = true;
+        }
+        Ok(Command::Insert {
+            table,
+            values,
+            on_duplicate_update,
+        })
+    }
+
+    fn literal(&mut self) -> Result<Scalar> {
+        match self.bump() {
+            Some(Tok::Int(i)) => Ok(Scalar::Int(i)),
+            Some(Tok::Real(r)) => Ok(Scalar::Real(r)),
+            Some(Tok::Str(s)) => Ok(Scalar::Str(s)),
+            Some(Tok::Word(w)) if w.eq_ignore_ascii_case("true") => Ok(Scalar::Bool(true)),
+            Some(Tok::Word(w)) if w.eq_ignore_ascii_case("false") => Ok(Scalar::Bool(false)),
+            other => Err(Error::sql(format!("expected a literal, found {other:?}"))),
+        }
+    }
+
+    fn select(&mut self) -> Result<Query> {
+        self.expect_keyword("select")?;
+        // Projection: *, columns, or aggregates.
+        let mut columns: Vec<String> = Vec::new();
+        let mut aggregates: Vec<Aggregate> = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.bump();
+                }
+                Some(Tok::Word(w)) => {
+                    let w = w.clone();
+                    let lower = w.to_ascii_lowercase();
+                    if matches!(lower.as_str(), "count" | "sum" | "avg" | "min" | "max")
+                        && self.tokens.get(self.pos + 1) == Some(&Tok::LParen)
+                    {
+                        self.bump();
+                        self.bump();
+                        let arg = match self.bump() {
+                            Some(Tok::Star) => None,
+                            Some(Tok::Word(col)) => Some(col),
+                            other => {
+                                return Err(Error::sql(format!(
+                                    "expected a column or `*` in aggregate, found {other:?}"
+                                )))
+                            }
+                        };
+                        self.expect_tok(&Tok::RParen)?;
+                        let agg = match (lower.as_str(), arg) {
+                            ("count", _) => Aggregate::Count,
+                            ("sum", Some(c)) => Aggregate::Sum(c),
+                            ("avg", Some(c)) => Aggregate::Avg(c),
+                            ("min", Some(c)) => Aggregate::Min(c),
+                            ("max", Some(c)) => Aggregate::Max(c),
+                            (name, None) => {
+                                return Err(Error::sql(format!("{name}() requires a column")))
+                            }
+                            _ => unreachable!("aggregate names matched above"),
+                        };
+                        aggregates.push(agg);
+                    } else {
+                        self.bump();
+                        columns.push(w);
+                    }
+                }
+                other => return Err(Error::sql(format!("expected a projection, found {other:?}"))),
+            }
+            if self.peek() == Some(&Tok::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+
+        self.expect_keyword("from")?;
+        let table = self.expect_word()?;
+        let mut query = Query::new(table);
+        if !columns.is_empty() {
+            query = query.columns(columns);
+        }
+        for agg in aggregates {
+            query = query.aggregate(agg);
+        }
+
+        loop {
+            match self.peek_word().as_deref() {
+                Some("where") => {
+                    self.bump();
+                    let predicate = self.predicate()?;
+                    query = query.filter(predicate);
+                }
+                Some("since") => {
+                    self.bump();
+                    match self.bump() {
+                        Some(Tok::Int(t)) if t >= 0 => query = query.since(t as u64),
+                        other => {
+                            return Err(Error::sql(format!(
+                                "expected a timestamp after `since`, found {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Some("group") => {
+                    self.bump();
+                    self.expect_keyword("by")?;
+                    let col = self.expect_word()?;
+                    query = query.group_by(col);
+                }
+                Some("order") => {
+                    self.bump();
+                    self.expect_keyword("by")?;
+                    let col = self.expect_word()?;
+                    let descending = if self.eat_keyword("desc") {
+                        true
+                    } else {
+                        self.eat_keyword("asc");
+                        false
+                    };
+                    query = query.order_by(col, descending);
+                }
+                Some("limit") => {
+                    self.bump();
+                    match self.bump() {
+                        Some(Tok::Int(n)) if n >= 0 => query = query.limit(n as usize),
+                        other => {
+                            return Err(Error::sql(format!(
+                                "expected a limit, found {other:?}"
+                            )))
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(query)
+    }
+
+    fn predicate(&mut self) -> Result<Predicate> {
+        self.or_predicate()
+    }
+
+    fn or_predicate(&mut self) -> Result<Predicate> {
+        let mut lhs = self.and_predicate()?;
+        while self.eat_keyword("or") {
+            let rhs = self.and_predicate()?;
+            lhs = Predicate::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_predicate(&mut self) -> Result<Predicate> {
+        let mut lhs = self.primary_predicate()?;
+        while self.eat_keyword("and") {
+            let rhs = self.primary_predicate()?;
+            lhs = Predicate::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn primary_predicate(&mut self) -> Result<Predicate> {
+        if self.eat_keyword("not") {
+            return Ok(Predicate::Not(Box::new(self.primary_predicate()?)));
+        }
+        if self.peek() == Some(&Tok::LParen) {
+            self.bump();
+            let p = self.predicate()?;
+            self.expect_tok(&Tok::RParen)?;
+            return Ok(p);
+        }
+        let column = self.expect_word()?;
+        let op = match self.bump() {
+            Some(Tok::Op(op)) => match op.as_str() {
+                "=" | "==" => Comparison::Eq,
+                "!=" | "<>" => Comparison::NotEq,
+                "<" => Comparison::Lt,
+                "<=" => Comparison::Le,
+                ">" => Comparison::Gt,
+                ">=" => Comparison::Ge,
+                other => return Err(Error::sql(format!("unknown comparison `{other}`"))),
+            },
+            other => return Err(Error::sql(format!("expected a comparison, found {other:?}"))),
+        };
+        let value = self.literal()?;
+        Ok(Predicate::Compare { column, op, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_create_statements() {
+        // Fig. 3 — the bandwidth usage tables.
+        let cmd = parse(
+            "create table Flows (protocol integer, srcip varchar(16), sport integer, \
+             dstip varchar(16), dport integer, npkts integer, nbytes integer)",
+        )
+        .unwrap();
+        match cmd {
+            Command::CreateTable {
+                name,
+                kind,
+                columns,
+                capacity,
+            } => {
+                assert_eq!(name, "Flows");
+                assert_eq!(kind, TableKind::Ephemeral);
+                assert_eq!(columns.len(), 7);
+                assert_eq!(columns[1].ty, AttrType::Str);
+                assert_eq!(capacity, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let cmd = parse(
+            "create persistenttable Allowances (ipaddr varchar(16) primary key, bytes integer)",
+        )
+        .unwrap();
+        match cmd {
+            Command::CreateTable { kind, columns, .. } => {
+                assert_eq!(kind, TableKind::Persistent);
+                assert_eq!(columns[0].name, "ipaddr");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_with_capacity_and_alternate_spellings() {
+        match parse("create table T (a int, b double, c bool, d timestamp, e text) capacity 128")
+            .unwrap()
+        {
+            Command::CreateTable {
+                columns, capacity, ..
+            } => {
+                assert_eq!(
+                    columns.iter().map(|c| c.ty).collect::<Vec<_>>(),
+                    vec![
+                        AttrType::Int,
+                        AttrType::Real,
+                        AttrType::Bool,
+                        AttrType::Tstamp,
+                        AttrType::Str
+                    ]
+                );
+                assert_eq!(capacity, Some(128));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse("create persistent table P (k text, v int)").is_ok());
+    }
+
+    #[test]
+    fn parses_inserts_with_and_without_upsert() {
+        match parse("insert into BWUsage values ('10.0.0.1', 42) on duplicate key update").unwrap()
+        {
+            Command::Insert {
+                table,
+                values,
+                on_duplicate_update,
+            } => {
+                assert_eq!(table, "BWUsage");
+                assert_eq!(values, vec![Scalar::Str("10.0.0.1".into()), Scalar::Int(42)]);
+                assert!(on_duplicate_update);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse("insert into T values (1, 2.5, true, false, 'x');").unwrap() {
+            Command::Insert { values, .. } => {
+                assert_eq!(
+                    values,
+                    vec![
+                        Scalar::Int(1),
+                        Scalar::Real(2.5),
+                        Scalar::Bool(true),
+                        Scalar::Bool(false),
+                        Scalar::Str("x".into())
+                    ]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_select_with_all_clauses() {
+        let cmd = parse(
+            "select srcip, nbytes from Flows where nbytes > 1000 and (dport = 80 or dport = 443) \
+             since 12345 order by nbytes desc limit 10",
+        )
+        .unwrap();
+        match cmd {
+            Command::Select(q) => {
+                assert_eq!(q.table(), "Flows");
+                assert_eq!(q.since_tstamp(), Some(12345));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_select_star_and_aggregates() {
+        assert!(matches!(
+            parse("select * from Flows").unwrap(),
+            Command::Select(_)
+        ));
+        assert!(matches!(
+            parse("select count(*), sum(nbytes), avg(nbytes) from Flows group by srcip").unwrap(),
+            Command::Select(_)
+        ));
+        assert!(matches!(
+            parse("select srcip from Flows where not srcip = '10.0.0.1'").unwrap(),
+            Command::Select(_)
+        ));
+    }
+
+    #[test]
+    fn negative_numbers_and_strings_lex_correctly() {
+        match parse("insert into T values (-5, -2.5, 'hello world')").unwrap() {
+            Command::Insert { values, .. } => {
+                assert_eq!(values[0], Scalar::Int(-5));
+                assert_eq!(values[1], Scalar::Real(-2.5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_commands_are_rejected() {
+        assert!(parse("").is_err());
+        assert!(parse("drop table T").is_err());
+        assert!(parse("create table T").is_err());
+        assert!(parse("create table T (a unknown_type)").is_err());
+        assert!(parse("insert into T values (").is_err());
+        assert!(parse("insert into T values (1) on duplicate").is_err());
+        assert!(parse("select from T").is_err());
+        assert!(parse("select * from T where x").is_err());
+        assert!(parse("select * from T since 'yesterday'").is_err());
+        assert!(parse("select * from T limit -1").is_err());
+        assert!(parse("select * from T extra junk").is_err());
+        assert!(parse("insert into T values ('unterminated)").is_err());
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse("SELECT * FROM Flows WHERE nbytes >= 10 ORDER BY nbytes ASC").is_ok());
+        assert!(parse("INSERT INTO T VALUES (1)").is_ok());
+        assert!(parse("CREATE TABLE T (a INTEGER)").is_ok());
+    }
+}

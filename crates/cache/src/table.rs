@@ -1,0 +1,391 @@
+//! Tables: ephemeral streams and persistent relations.
+//!
+//! The cache supports two table kinds (§3):
+//!
+//! * **ephemeral** tables — append-only streams whose primary key is the
+//!   time of insertion, stored in a [`CircularBuffer`];
+//! * **persistent** tables — time-varying relations whose primary key is
+//!   the *first* attribute of the schema, stored in the heap; the
+//!   `on duplicate key update` insert modifier replaces the existing row
+//!   while the default insert appends a new one (and fails on a duplicate
+//!   key).
+//!
+//! Every table is simultaneously a publish/subscribe topic with the same
+//! name; publication is handled by [`crate::cache::Cache`], not here.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gapl::event::{Scalar, Schema, Timestamp, Tuple};
+
+use crate::circular::CircularBuffer;
+use crate::error::{Error, Result};
+
+/// Default number of tuples retained by an ephemeral table's circular
+/// buffer.
+pub const DEFAULT_STREAM_CAPACITY: usize = 65_536;
+
+/// Whether a table is an append-only stream or a keyed relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TableKind {
+    /// Append-only stream in a circular buffer.
+    Ephemeral,
+    /// Keyed, heap-resident relation.
+    Persistent,
+}
+
+/// Outcome of an insert, used by the cache to decide what to publish.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertOutcome {
+    /// The tuple as stored (with its insertion timestamp).
+    pub stored: Tuple,
+    /// Whether an existing row was replaced (`on duplicate key update`).
+    pub replaced: bool,
+}
+
+/// A table plus its topic metadata.
+#[derive(Debug)]
+pub enum Table {
+    /// Append-only stream.
+    Ephemeral(EphemeralTable),
+    /// Keyed relation.
+    Persistent(PersistentTable),
+}
+
+impl Table {
+    /// Create an ephemeral (stream) table with the given buffer capacity.
+    pub fn ephemeral(schema: Arc<Schema>, capacity: usize) -> Table {
+        Table::Ephemeral(EphemeralTable::new(schema, capacity))
+    }
+
+    /// Create a persistent (relation) table keyed by its first attribute.
+    pub fn persistent(schema: Arc<Schema>) -> Table {
+        Table::Persistent(PersistentTable::new(schema))
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        match self {
+            Table::Ephemeral(t) => &t.schema,
+            Table::Persistent(t) => &t.schema,
+        }
+    }
+
+    /// The table kind.
+    pub fn kind(&self) -> TableKind {
+        match self {
+            Table::Ephemeral(_) => TableKind::Ephemeral,
+            Table::Persistent(_) => TableKind::Persistent,
+        }
+    }
+
+    /// Number of rows currently stored.
+    pub fn len(&self) -> usize {
+        match self {
+            Table::Ephemeral(t) => t.buffer.len(),
+            Table::Persistent(t) => t.rows.len(),
+        }
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert a row. `values` must conform to the schema; `tstamp` is the
+    /// insertion time assigned by the cache; `on_duplicate_update` selects
+    /// the keyed-update behaviour for persistent tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns a schema error for malformed tuples, and a
+    /// [`Error::WrongTableKind`]-style error when a duplicate key is
+    /// inserted into a persistent table without `on duplicate key update`.
+    pub fn insert(
+        &mut self,
+        values: Vec<Scalar>,
+        tstamp: Timestamp,
+        on_duplicate_update: bool,
+    ) -> Result<InsertOutcome> {
+        match self {
+            Table::Ephemeral(t) => t.insert(values, tstamp),
+            Table::Persistent(t) => t.insert(values, tstamp, on_duplicate_update),
+        }
+    }
+
+    /// All rows in time-of-insertion order (the default retrieval order for
+    /// either table kind, per §3).
+    pub fn scan(&self) -> Vec<Tuple> {
+        match self {
+            Table::Ephemeral(t) => t.buffer.iter().cloned().collect(),
+            Table::Persistent(t) => {
+                let mut rows: Vec<&(u64, Tuple)> = t.rows.values().collect();
+                rows.sort_by_key(|(seq, _)| *seq);
+                rows.into_iter().map(|(_, tuple)| tuple.clone()).collect()
+            }
+        }
+    }
+
+    /// Look up a row by primary key (persistent tables only).
+    pub fn lookup(&self, key: &str) -> Option<Tuple> {
+        match self {
+            Table::Ephemeral(_) => None,
+            Table::Persistent(t) => t.rows.get(key).map(|(_, tuple)| tuple.clone()),
+        }
+    }
+
+    /// Remove a row by primary key (persistent tables only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WrongTableKind`] for ephemeral tables.
+    pub fn remove(&mut self, key: &str) -> Result<Option<Tuple>> {
+        match self {
+            Table::Ephemeral(t) => Err(Error::WrongTableKind {
+                name: t.schema.name().to_owned(),
+                message: "cannot remove keyed rows from an ephemeral stream".into(),
+            }),
+            Table::Persistent(t) => Ok(t.rows.remove(key).map(|(_, tuple)| tuple)),
+        }
+    }
+
+    /// Primary keys of a persistent table, in key order; empty for streams.
+    pub fn keys(&self) -> Vec<String> {
+        match self {
+            Table::Ephemeral(_) => Vec::new(),
+            Table::Persistent(t) => {
+                let mut keys: Vec<String> = t.rows.keys().cloned().collect();
+                keys.sort();
+                keys
+            }
+        }
+    }
+}
+
+/// An append-only stream backed by a circular buffer.
+#[derive(Debug)]
+pub struct EphemeralTable {
+    schema: Arc<Schema>,
+    buffer: CircularBuffer<Tuple>,
+}
+
+impl EphemeralTable {
+    fn new(schema: Arc<Schema>, capacity: usize) -> Self {
+        EphemeralTable {
+            schema,
+            buffer: CircularBuffer::new(capacity.max(1)),
+        }
+    }
+
+    fn insert(&mut self, values: Vec<Scalar>, tstamp: Timestamp) -> Result<InsertOutcome> {
+        let tuple = Tuple::new(Arc::clone(&self.schema), values, tstamp)?;
+        self.buffer.push(tuple.clone());
+        Ok(InsertOutcome {
+            stored: tuple,
+            replaced: false,
+        })
+    }
+
+    /// Total number of tuples ever inserted (including overwritten ones).
+    pub fn total_inserted(&self) -> u64 {
+        self.buffer.total_pushed()
+    }
+
+    /// The buffer capacity.
+    pub fn capacity(&self) -> usize {
+        self.buffer.capacity()
+    }
+}
+
+/// A keyed relation held in the heap.
+#[derive(Debug)]
+pub struct PersistentTable {
+    schema: Arc<Schema>,
+    rows: HashMap<String, (u64, Tuple)>,
+    next_seq: u64,
+}
+
+impl PersistentTable {
+    fn new(schema: Arc<Schema>) -> Self {
+        PersistentTable {
+            schema,
+            rows: HashMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn insert(
+        &mut self,
+        values: Vec<Scalar>,
+        tstamp: Timestamp,
+        on_duplicate_update: bool,
+    ) -> Result<InsertOutcome> {
+        let tuple = Tuple::new(Arc::clone(&self.schema), values, tstamp)?;
+        let key = primary_key(&tuple);
+        let replaced = self.rows.contains_key(&key);
+        if replaced && !on_duplicate_update {
+            return Err(Error::WrongTableKind {
+                name: self.schema.name().to_owned(),
+                message: format!(
+                    "duplicate primary key `{key}` (use `on duplicate key update`)"
+                ),
+            });
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.rows.insert(key, (seq, tuple.clone()));
+        Ok(InsertOutcome {
+            stored: tuple,
+            replaced,
+        })
+    }
+}
+
+/// The primary key of a persistent-table tuple: the display form of its
+/// first attribute.
+pub fn primary_key(tuple: &Tuple) -> String {
+    tuple
+        .values()
+        .first()
+        .map(|v| v.to_string())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gapl::event::AttrType;
+
+    fn flows_schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(
+                "Flows",
+                vec![("srcip", AttrType::Str), ("nbytes", AttrType::Int)],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn usage_schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(
+                "BWUsage",
+                vec![("ipaddr", AttrType::Str), ("bytes", AttrType::Int)],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn ephemeral_table_appends_in_order_and_caps_at_capacity() {
+        let mut t = Table::ephemeral(flows_schema(), 3);
+        for i in 0..5i64 {
+            t.insert(
+                vec![Scalar::Str(format!("10.0.0.{i}")), Scalar::Int(i)],
+                i as u64,
+                false,
+            )
+            .unwrap();
+        }
+        assert_eq!(t.kind(), TableKind::Ephemeral);
+        assert_eq!(t.len(), 3);
+        let scanned = t.scan();
+        let bytes: Vec<i64> = scanned
+            .iter()
+            .map(|tup| tup.values()[1].as_int().unwrap())
+            .collect();
+        assert_eq!(bytes, vec![2, 3, 4]);
+        assert!(t.lookup("10.0.0.4").is_none());
+        assert!(t.remove("10.0.0.4").is_err());
+        assert!(t.keys().is_empty());
+    }
+
+    #[test]
+    fn persistent_table_is_keyed_by_first_attribute() {
+        let mut t = Table::persistent(usage_schema());
+        t.insert(
+            vec![Scalar::Str("10.0.0.1".into()), Scalar::Int(100)],
+            1,
+            false,
+        )
+        .unwrap();
+        t.insert(
+            vec![Scalar::Str("10.0.0.2".into()), Scalar::Int(200)],
+            2,
+            false,
+        )
+        .unwrap();
+        assert_eq!(t.kind(), TableKind::Persistent);
+        assert_eq!(t.len(), 2);
+        let row = t.lookup("10.0.0.1").unwrap();
+        assert_eq!(row.values()[1], Scalar::Int(100));
+        assert_eq!(t.keys(), vec!["10.0.0.1".to_string(), "10.0.0.2".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_key_requires_on_duplicate_key_update() {
+        let mut t = Table::persistent(usage_schema());
+        t.insert(
+            vec![Scalar::Str("10.0.0.1".into()), Scalar::Int(100)],
+            1,
+            false,
+        )
+        .unwrap();
+        let err = t
+            .insert(
+                vec![Scalar::Str("10.0.0.1".into()), Scalar::Int(150)],
+                2,
+                false,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate primary key"));
+
+        let outcome = t
+            .insert(
+                vec![Scalar::Str("10.0.0.1".into()), Scalar::Int(150)],
+                3,
+                true,
+            )
+            .unwrap();
+        assert!(outcome.replaced);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup("10.0.0.1").unwrap().values()[1], Scalar::Int(150));
+    }
+
+    #[test]
+    fn updated_rows_move_to_the_end_of_temporal_order() {
+        let mut t = Table::persistent(usage_schema());
+        for (ip, bytes, ts) in [("a", 1, 1), ("b", 2, 2), ("c", 3, 3)] {
+            t.insert(vec![Scalar::Str(ip.into()), Scalar::Int(bytes)], ts, false)
+                .unwrap();
+        }
+        // Updating `a` makes it the most recently inserted.
+        t.insert(vec![Scalar::Str("a".into()), Scalar::Int(9)], 4, true)
+            .unwrap();
+        let order: Vec<String> = t
+            .scan()
+            .iter()
+            .map(|tup| tup.values()[0].to_string())
+            .collect();
+        assert_eq!(order, vec!["b", "c", "a"]);
+    }
+
+    #[test]
+    fn removal_from_persistent_table() {
+        let mut t = Table::persistent(usage_schema());
+        t.insert(vec![Scalar::Str("a".into()), Scalar::Int(1)], 1, false)
+            .unwrap();
+        assert!(t.remove("a").unwrap().is_some());
+        assert!(t.remove("a").unwrap().is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn schema_violations_are_rejected() {
+        let mut t = Table::ephemeral(flows_schema(), 8);
+        assert!(t.insert(vec![Scalar::Int(1)], 0, false).is_err());
+        assert!(t
+            .insert(vec![Scalar::Int(1), Scalar::Int(2)], 0, false)
+            .is_err());
+    }
+}

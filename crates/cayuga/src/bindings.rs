@@ -1,0 +1,127 @@
+//! Attribute bindings carried by NFA instances.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use gapl::event::Scalar;
+
+/// The bindings accumulated by a partial match: named scalar values copied
+/// or aggregated from the events consumed so far.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Bindings {
+    values: BTreeMap<String, Scalar>,
+}
+
+impl Bindings {
+    /// Empty bindings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind `name` to `value`, replacing any previous binding.
+    pub fn set(&mut self, name: impl Into<String>, value: Scalar) {
+        self.values.insert(name.into(), value);
+    }
+
+    /// The value bound to `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Scalar> {
+        self.values.get(name)
+    }
+
+    /// The value bound to `name` as an `f64`, if numeric.
+    pub fn get_real(&self, name: &str) -> Option<f64> {
+        self.values.get(name).and_then(Scalar::as_real)
+    }
+
+    /// The value bound to `name` as an `i64`, if integral.
+    pub fn get_int(&self, name: &str) -> Option<i64> {
+        self.values.get(name).and_then(Scalar::as_int)
+    }
+
+    /// The value bound to `name` as a string slice, if textual.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.values.get(name).and_then(Scalar::as_str)
+    }
+
+    /// Increment the integer binding `name` by `delta` (creating it at
+    /// `delta` when absent). Used by FOLD-style aggregation.
+    pub fn add_int(&mut self, name: &str, delta: i64) {
+        let next = self.get_int(name).unwrap_or(0) + delta;
+        self.set(name, Scalar::Int(next));
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no bindings exist.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterate over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Scalar)> {
+        self.values.iter()
+    }
+}
+
+impl fmt::Display for Bindings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(String, Scalar)> for Bindings {
+    fn from_iter<T: IntoIterator<Item = (String, Scalar)>>(iter: T) -> Self {
+        Bindings {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_and_typed_views() {
+        let mut b = Bindings::new();
+        assert!(b.is_empty());
+        b.set("price", Scalar::Real(10.5));
+        b.set("name", Scalar::Str("ACME".into()));
+        b.set("count", Scalar::Int(3));
+        assert_eq!(b.get_real("price"), Some(10.5));
+        assert_eq!(b.get_str("name"), Some("ACME"));
+        assert_eq!(b.get_int("count"), Some(3));
+        assert_eq!(b.get("missing"), None);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn add_int_accumulates() {
+        let mut b = Bindings::new();
+        b.add_int("n", 1);
+        b.add_int("n", 4);
+        assert_eq!(b.get_int("n"), Some(5));
+    }
+
+    #[test]
+    fn display_and_from_iterator() {
+        let b: Bindings = vec![
+            ("a".to_string(), Scalar::Int(1)),
+            ("b".to_string(), Scalar::Str("x".into())),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(b.to_string(), "{a=1, b=x}");
+        assert_eq!(b.iter().count(), 2);
+    }
+}

@@ -1,0 +1,315 @@
+//! The NFA execution engine: instance management and event processing.
+
+use std::collections::HashMap;
+
+use gapl::event::{Scalar, Timestamp, Tuple};
+
+use crate::bindings::Bindings;
+use crate::nfa::{Nfa, TransitionEffect};
+
+/// A completed match: the accepting state's bindings plus the timestamp of
+/// the event that completed the pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Match {
+    /// Bindings accumulated along the accepted path.
+    pub bindings: Bindings,
+    /// Timestamp of the completing event.
+    pub at: Timestamp,
+}
+
+/// One live partial match.
+#[derive(Debug, Clone)]
+struct Instance {
+    state: usize,
+    bindings: Bindings,
+}
+
+/// Executes one [`Nfa`] over an event stream.
+///
+/// The engine embodies the execution model the paper contrasts with its
+/// imperative automata: every event is offered to every live instance of
+/// its partition, matching transitions clone bindings into successor
+/// instances, and a fresh instance is (optionally) started for every event
+/// so that patterns may begin anywhere. The cost of this generality — many
+/// live instances and much copying — is exactly what Fig. 18 measures.
+#[derive(Debug)]
+pub struct Engine {
+    nfa: Nfa,
+    /// Live instances, keyed by partition value ("" when unpartitioned).
+    partitions: HashMap<String, Vec<Instance>>,
+    matches: Vec<Match>,
+    events_processed: u64,
+    instances_created: u64,
+    max_live_instances: usize,
+}
+
+impl Engine {
+    /// Create an engine for the query.
+    pub fn new(nfa: Nfa) -> Self {
+        Engine {
+            nfa,
+            partitions: HashMap::new(),
+            matches: Vec::new(),
+            events_processed: 0,
+            instances_created: 0,
+            max_live_instances: 0,
+        }
+    }
+
+    /// The query being executed.
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+
+    /// Matches completed so far, in completion order.
+    pub fn matches(&self) -> &[Match] {
+        &self.matches
+    }
+
+    /// Take ownership of the completed matches, clearing the internal list.
+    pub fn take_matches(&mut self) -> Vec<Match> {
+        std::mem::take(&mut self.matches)
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Total number of instances ever created (a proxy for the engine's
+    /// bookkeeping cost).
+    pub fn instances_created(&self) -> u64 {
+        self.instances_created
+    }
+
+    /// The largest number of simultaneously live instances observed.
+    pub fn max_live_instances(&self) -> usize {
+        self.max_live_instances
+    }
+
+    /// Number of instances currently alive.
+    pub fn live_instances(&self) -> usize {
+        self.partitions.values().map(Vec::len).sum()
+    }
+
+    /// Feed one event through the NFA.
+    pub fn process(&mut self, event: &Tuple) {
+        self.events_processed += 1;
+        let partition = match self.nfa.partition_by() {
+            Some(attr) => event
+                .field(attr)
+                .map(|v| v.to_string())
+                .unwrap_or_default(),
+            None => String::new(),
+        };
+
+        let instances = self.partitions.entry(partition).or_default();
+        let mut next: Vec<Instance> = Vec::with_capacity(instances.len() + 1);
+
+        // Optionally start a fresh instance for this event so that patterns
+        // may begin here.
+        if self.nfa.spawn_on_every_event {
+            instances.push(Instance {
+                state: 0,
+                bindings: Bindings::new(),
+            });
+            self.instances_created += 1;
+        }
+
+        for instance in instances.drain(..) {
+            let state = &self.nfa.states[instance.state];
+            let mut fired = false;
+            let mut keep_original = false;
+            for transition in &state.transitions {
+                if (transition.guard)(&instance.bindings, event) {
+                    fired = true;
+                    let mut bindings = instance.bindings.clone();
+                    (transition.update)(&mut bindings, event);
+                    let target = &self.nfa.states[transition.target];
+                    if target.accepting {
+                        self.matches.push(Match {
+                            bindings,
+                            at: event.tstamp(),
+                        });
+                    } else {
+                        next.push(Instance {
+                            state: transition.target,
+                            bindings,
+                        });
+                        self.instances_created += 1;
+                    }
+                    if transition.effect == TransitionEffect::Fork {
+                        keep_original = true;
+                    }
+                }
+            }
+            if (!fired && state.skip_unmatched) || keep_original {
+                next.push(instance);
+            }
+        }
+        *instances = next;
+
+        let live = self.live_instances();
+        if live > self.max_live_instances {
+            self.max_live_instances = live;
+        }
+    }
+
+    /// Feed a whole stream through the NFA.
+    pub fn run<'a>(&mut self, events: impl IntoIterator<Item = &'a Tuple>) {
+        for event in events {
+            self.process(event);
+        }
+    }
+
+    /// Convenience view of matches as `(partition, value)` pairs when the
+    /// query binds `name` and a numeric `value`.
+    pub fn matches_as_pairs(&self) -> Vec<(String, Option<Scalar>)> {
+        self.matches
+            .iter()
+            .map(|m| {
+                (
+                    m.bindings.get_str("name").unwrap_or_default().to_owned(),
+                    m.bindings.get("value").cloned(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::NfaBuilder;
+    use gapl::event::{AttrType, Schema};
+    use std::sync::Arc;
+
+    fn tick_schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(
+                "Stocks",
+                vec![("name", AttrType::Str), ("price", AttrType::Real)],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn tick(name: &str, price: f64, at: u64) -> Tuple {
+        Tuple::new(
+            tick_schema(),
+            vec![Scalar::Str(name.into()), Scalar::Real(price)],
+            at,
+        )
+        .unwrap()
+    }
+
+    /// Two consecutive rising prices for the same stock.
+    fn rising_pair_nfa() -> Nfa {
+        let mut b = NfaBuilder::new("rising-pair");
+        b.partition_by("name");
+        let start = b.add_state("start", false);
+        let first = b.add_state("first", false);
+        let done = b.add_state("done", true);
+        b.transition(start, first, TransitionEffect::Move, |_, _| true, |bind, ev| {
+            bind.set("name", ev.field("name").unwrap());
+            bind.set("p0", ev.field("price").unwrap());
+        });
+        b.transition(
+            first,
+            done,
+            TransitionEffect::Move,
+            |bind, ev| {
+                ev.field("price").unwrap().as_real().unwrap() > bind.get_real("p0").unwrap()
+            },
+            |bind, ev| {
+                bind.set("p1", ev.field("price").unwrap());
+            },
+        );
+        b.build()
+    }
+
+    #[test]
+    fn detects_rising_pairs_per_partition() {
+        let mut engine = Engine::new(rising_pair_nfa());
+        let stream = vec![
+            tick("A", 10.0, 1),
+            tick("B", 5.0, 2),
+            tick("A", 11.0, 3), // A: 10 -> 11 rises
+            tick("B", 4.0, 4),  // B falls: no match
+            tick("B", 6.0, 5),  // B: 4 -> 6 rises
+        ];
+        engine.run(&stream);
+        assert_eq!(engine.matches().len(), 2);
+        assert_eq!(engine.matches()[0].bindings.get_str("name"), Some("A"));
+        assert_eq!(engine.matches()[0].at, 3);
+        assert_eq!(engine.matches()[1].bindings.get_str("name"), Some("B"));
+        assert_eq!(engine.events_processed(), 5);
+        assert!(engine.instances_created() >= 5);
+    }
+
+    #[test]
+    fn strict_states_drop_unmatched_instances_and_skip_states_keep_them() {
+        // Strict: the rising pair must be consecutive for that stock.
+        let mut engine = Engine::new(rising_pair_nfa());
+        engine.run(&[tick("A", 10.0, 1), tick("A", 9.0, 2), tick("A", 9.5, 3)]);
+        // 10 -> 9 is not rising (instance from t=1 dies); 9 -> 9.5 matches.
+        assert_eq!(engine.matches().len(), 1);
+        assert_eq!(
+            engine.matches()[0].bindings.get_real("p0"),
+            Some(9.0)
+        );
+
+        // Skip-till-next-match keeps the instance alive across the dip.
+        let mut b = NfaBuilder::new("skip");
+        b.partition_by("name");
+        let start = b.add_state("start", false);
+        let first = b.add_state("first", false);
+        let done = b.add_state("done", true);
+        b.skip_unmatched(first);
+        b.transition(start, first, TransitionEffect::Move, |_, _| true, |bind, ev| {
+            bind.set("p0", ev.field("price").unwrap());
+        });
+        b.transition(
+            first,
+            done,
+            TransitionEffect::Move,
+            |bind, ev| {
+                ev.field("price").unwrap().as_real().unwrap() > bind.get_real("p0").unwrap()
+            },
+            |_, _| (),
+        );
+        let mut engine = Engine::new(b.build());
+        engine.run(&[tick("A", 10.0, 1), tick("A", 9.0, 2), tick("A", 10.5, 3)]);
+        // The instance that bound p0 = 10 at t=1 survives the dip and
+        // matches at t=3; the one from t=2 (p0 = 9) matches as well.
+        assert_eq!(engine.matches().len(), 2);
+    }
+
+    #[test]
+    fn take_matches_clears_the_list_and_counters_accumulate() {
+        let mut engine = Engine::new(rising_pair_nfa());
+        engine.run(&[tick("A", 1.0, 1), tick("A", 2.0, 2)]);
+        assert_eq!(engine.take_matches().len(), 1);
+        assert!(engine.matches().is_empty());
+        assert!(engine.max_live_instances() >= 1);
+        assert_eq!(engine.live_instances(), engine.partitions.values().map(Vec::len).sum());
+    }
+
+    #[test]
+    fn fork_keeps_the_original_instance() {
+        let mut b = NfaBuilder::new("forky");
+        let start = b.add_state("start", false);
+        let done = b.add_state("done", true);
+        b.spawn_on_every_event(false);
+        b.transition(start, done, TransitionEffect::Fork, |_, _| true, |_, _| ());
+        let mut engine = Engine::new(b.build());
+        // Seed one instance manually by enabling spawn for the first event.
+        engine.partitions.entry(String::new()).or_default().push(Instance {
+            state: 0,
+            bindings: Bindings::new(),
+        });
+        engine.run(&[tick("A", 1.0, 1), tick("A", 1.0, 2)]);
+        // The forked original stays alive, so both events produce a match.
+        assert_eq!(engine.matches().len(), 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! # cayuga — a Cayuga-style NFA complex-event-processing engine
+//!
+//! The paper's evaluation (§6.5, Fig. 18) compares the unified cache + GAPL
+//! system against the Cayuga event processing engine on three stock-market
+//! queries. Cayuga itself is a C++ code base built around non-deterministic
+//! finite automata (NFA) whose instances carry attribute bindings and whose
+//! edges are guarded by predicates over those bindings; its operators are
+//! `SELECT`/`PUBLISH`, the sequencing operator `NEXT` and the iteration
+//! operator `FOLD` (Demers et al., EDBT 2006; Brenna et al., SIGMOD 2007).
+//!
+//! This crate is a faithful miniature of that execution model, built so the
+//! comparison of Fig. 18 can be reproduced without the original (closed)
+//! distribution:
+//!
+//! * an [`nfa::Nfa`] is a set of states connected by guarded transitions;
+//! * the [`engine::Engine`] maintains a set of live NFA *instances*, each
+//!   holding [`bindings::Bindings`] accumulated from matched events; every
+//!   incoming event may extend existing instances, spawn a fresh instance
+//!   at the start state (patterns may begin anywhere in the stream), or
+//!   complete matches;
+//! * [`queries`] contains the three stock queries of the evaluation (Q1
+//!   pass-through publish, Q2 double-top / M-shape detection, Q3 monotone
+//!   run folding), built programmatically against the same synthetic stock
+//!   stream the cache-side automata consume.
+//!
+//! The point of the comparison is architectural, not micro-optimisation:
+//! the NFA model pays for non-determinism with many live instances per
+//! partition, whereas a GAPL automaton maintains a single map of per-stock
+//! state machines under one thread.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bindings;
+pub mod engine;
+pub mod nfa;
+pub mod queries;
+
+pub use bindings::Bindings;
+pub use engine::{Engine, Match};
+pub use nfa::{Nfa, NfaBuilder, TransitionEffect};

@@ -1,0 +1,254 @@
+//! Non-deterministic finite automata over event streams.
+//!
+//! States are connected by guarded transitions. A transition's *guard* is a
+//! predicate over the instance's current [`Bindings`] and the incoming
+//! event; its *update* copies or aggregates event attributes into the
+//! bindings of the successor instance. Non-determinism is explicit: several
+//! transitions of a state may fire on the same event, each producing its
+//! own successor instance.
+
+use std::fmt;
+use std::sync::Arc;
+
+use gapl::event::Tuple;
+
+use crate::bindings::Bindings;
+
+/// A guard predicate: may the transition fire for this instance and event?
+pub type Guard = Arc<dyn Fn(&Bindings, &Tuple) -> bool + Send + Sync>;
+
+/// A binding update applied when a transition fires.
+pub type Update = Arc<dyn Fn(&mut Bindings, &Tuple) + Send + Sync>;
+
+/// What happens to the *source* instance when a transition fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionEffect {
+    /// The instance moves to the target state (the source instance is
+    /// consumed). This is the `NEXT` flavour of edge.
+    Move,
+    /// A copy of the instance moves to the target state while the original
+    /// stays where it is — classic NFA forking, used for patterns whose
+    /// continuation is ambiguous.
+    Fork,
+}
+
+/// A guarded transition between two states.
+pub struct Transition {
+    pub(crate) target: usize,
+    pub(crate) effect: TransitionEffect,
+    pub(crate) guard: Guard,
+    pub(crate) update: Update,
+}
+
+impl fmt::Debug for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Transition")
+            .field("target", &self.target)
+            .field("effect", &self.effect)
+            .finish()
+    }
+}
+
+/// A state of the NFA.
+#[derive(Debug)]
+pub struct State {
+    pub(crate) name: String,
+    pub(crate) transitions: Vec<Transition>,
+    pub(crate) accepting: bool,
+    /// When true, an instance in this state survives events on which none
+    /// of its transitions fire (skip-till-next-match); when false such an
+    /// instance dies (strict contiguity).
+    pub(crate) skip_unmatched: bool,
+}
+
+/// A complete NFA: states plus global options.
+#[derive(Debug)]
+pub struct Nfa {
+    pub(crate) name: String,
+    pub(crate) states: Vec<State>,
+    /// Attribute used to partition the stream (e.g. the stock name): an
+    /// instance only sees events whose partition value equals the one it
+    /// was started on.
+    pub(crate) partition_by: Option<String>,
+    /// Whether a fresh instance is started at state 0 for every incoming
+    /// event (patterns may begin anywhere in the stream).
+    pub(crate) spawn_on_every_event: bool,
+}
+
+impl Nfa {
+    /// The query name, for reporting.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Name of the state at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn state_name(&self, index: usize) -> &str {
+        &self.states[index].name
+    }
+
+    /// The partitioning attribute, if any.
+    pub fn partition_by(&self) -> Option<&str> {
+        self.partition_by.as_deref()
+    }
+}
+
+/// Fluent builder for [`Nfa`]s.
+///
+/// # Example
+///
+/// ```
+/// use cayuga::{NfaBuilder, TransitionEffect};
+/// use gapl::event::Scalar;
+///
+/// // Two consecutive events with rising `price` for the same `name`.
+/// let mut b = NfaBuilder::new("rising-pair");
+/// b.partition_by("name");
+/// let start = b.add_state("start", false);
+/// let up = b.add_state("saw-first", false);
+/// let done = b.add_state("match", true);
+/// b.transition(start, up, TransitionEffect::Move,
+///     |_, _| true,
+///     |bind, ev| bind.set("p0", ev.field("price").unwrap_or(Scalar::Real(0.0))));
+/// b.transition(up, done, TransitionEffect::Move,
+///     |bind, ev| ev.field("price").and_then(|p| p.as_real()).unwrap_or(0.0)
+///         > bind.get_real("p0").unwrap_or(f64::MAX),
+///     |_, _| ());
+/// let nfa = b.build();
+/// assert_eq!(nfa.state_count(), 3);
+/// ```
+#[derive(Debug)]
+pub struct NfaBuilder {
+    nfa: Nfa,
+}
+
+impl NfaBuilder {
+    /// Start building a query with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        NfaBuilder {
+            nfa: Nfa {
+                name: name.into(),
+                states: Vec::new(),
+                partition_by: None,
+                spawn_on_every_event: true,
+            },
+        }
+    }
+
+    /// Partition the stream by the named attribute.
+    pub fn partition_by(&mut self, attribute: impl Into<String>) -> &mut Self {
+        self.nfa.partition_by = Some(attribute.into());
+        self
+    }
+
+    /// Control whether a fresh instance is spawned at the start state for
+    /// every event (default `true`).
+    pub fn spawn_on_every_event(&mut self, spawn: bool) -> &mut Self {
+        self.nfa.spawn_on_every_event = spawn;
+        self
+    }
+
+    /// Add a state; returns its index. The first state added is the start
+    /// state.
+    pub fn add_state(&mut self, name: impl Into<String>, accepting: bool) -> usize {
+        self.nfa.states.push(State {
+            name: name.into(),
+            transitions: Vec::new(),
+            accepting,
+            skip_unmatched: false,
+        });
+        self.nfa.states.len() - 1
+    }
+
+    /// Mark a state as skip-till-next-match: instances in it survive events
+    /// on which none of their transitions fire.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state` is out of range.
+    pub fn skip_unmatched(&mut self, state: usize) -> &mut Self {
+        self.nfa.states[state].skip_unmatched = true;
+        self
+    }
+
+    /// Add a guarded transition from `from` to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `from` or `to` is out of range.
+    pub fn transition(
+        &mut self,
+        from: usize,
+        to: usize,
+        effect: TransitionEffect,
+        guard: impl Fn(&Bindings, &Tuple) -> bool + Send + Sync + 'static,
+        update: impl Fn(&mut Bindings, &Tuple) + Send + Sync + 'static,
+    ) -> &mut Self {
+        assert!(to < self.nfa.states.len(), "unknown target state {to}");
+        self.nfa.states[from].transitions.push(Transition {
+            target: to,
+            effect,
+            guard: Arc::new(guard),
+            update: Arc::new(update),
+        });
+        self
+    }
+
+    /// Finish building.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no state was added.
+    pub fn build(self) -> Nfa {
+        assert!(
+            !self.nfa.states.is_empty(),
+            "an NFA requires at least one state"
+        );
+        self.nfa
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_consistent_structure() {
+        let mut b = NfaBuilder::new("q");
+        let s0 = b.add_state("start", false);
+        let s1 = b.add_state("done", true);
+        b.transition(s0, s1, TransitionEffect::Move, |_, _| true, |_, _| ());
+        b.skip_unmatched(s0);
+        b.partition_by("name");
+        let nfa = b.build();
+        assert_eq!(nfa.name(), "q");
+        assert_eq!(nfa.state_count(), 2);
+        assert_eq!(nfa.state_name(0), "start");
+        assert_eq!(nfa.partition_by(), Some("name"));
+        assert!(nfa.states[1].accepting);
+        assert!(nfa.states[0].skip_unmatched);
+        assert_eq!(nfa.states[0].transitions.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown target state")]
+    fn transition_to_missing_state_panics() {
+        let mut b = NfaBuilder::new("q");
+        let s0 = b.add_state("start", false);
+        b.transition(s0, 5, TransitionEffect::Move, |_, _| true, |_, _| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn empty_nfa_panics() {
+        let _ = NfaBuilder::new("q").build();
+    }
+}

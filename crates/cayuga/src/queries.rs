@@ -1,0 +1,428 @@
+//! The three stock-analysis queries of the paper's Cayuga comparison
+//! (§6.5, Fig. 18), expressed against this crate's NFA model.
+//!
+//! All three queries run over a stock-tick stream whose schema has (at
+//! least) the attributes `name` (the stock symbol, a string) and `price`
+//! (a real). The synthetic dataset lives in the `cep-workloads` crate.
+//!
+//! * **Q1** — the basic operator `SELECT * FROM Stocks PUBLISH T`: every
+//!   event is copied to an output stream.
+//! * **Q2** — the double-top (M-shaped) price formation: the price of a
+//!   stock rises to a first peak, falls to a trough, rises again to a
+//!   second peak of roughly the same height, then falls.
+//! * **Q3** — the `FOLD` example: detect continuous runs of increasing
+//!   prices for each stock and report the run when it ends.
+
+use gapl::event::Scalar;
+
+use crate::nfa::{Nfa, NfaBuilder, TransitionEffect};
+
+fn price_of(event: &gapl::event::Tuple) -> f64 {
+    event
+        .field("price")
+        .and_then(|p| p.as_real())
+        .unwrap_or(0.0)
+}
+
+fn name_of(event: &gapl::event::Tuple) -> Scalar {
+    event.field("name").unwrap_or(Scalar::Str(String::new()))
+}
+
+/// Q1: `SELECT * FROM Stocks PUBLISH T` — a pass-through query; every event
+/// becomes a match carrying the event's attributes.
+pub fn q1_select_publish() -> Nfa {
+    let mut b = NfaBuilder::new("Q1-select-publish");
+    let start = b.add_state("start", false);
+    let out = b.add_state("published", true);
+    b.transition(
+        start,
+        out,
+        TransitionEffect::Move,
+        |_, _| true,
+        |bind, ev| {
+            // Copy every attribute into the output binding, mirroring the
+            // re-publication of the full tuple on the output stream.
+            for attr in ev.schema().attributes() {
+                if let Some(v) = ev.field(&attr.name) {
+                    bind.set(attr.name.clone(), v);
+                }
+            }
+        },
+    );
+    b.build()
+}
+
+/// Q2: the double-top (M-shaped) formation, per stock.
+///
+/// `tolerance` is the maximum relative difference between the two peaks for
+/// the pattern to count (the paper's chart analysis uses "roughly equal"
+/// peaks; 2 % is a common choice).
+pub fn q2_double_top(tolerance: f64) -> Nfa {
+    let mut b = NfaBuilder::new("Q2-double-top");
+    b.partition_by("name");
+    let start = b.add_state("start", false);
+    let rising1 = b.add_state("rising-to-first-peak", false);
+    let falling1 = b.add_state("falling-to-trough", false);
+    let rising2 = b.add_state("rising-to-second-peak", false);
+    let matched = b.add_state("double-top", true);
+
+    // A: anchor the pattern at any event.
+    b.transition(start, rising1, TransitionEffect::Move, |_, _| true, |bind, ev| {
+        let p = price_of(ev);
+        bind.set("name", name_of(ev));
+        bind.set("start", Scalar::Real(p));
+        bind.set("prev", Scalar::Real(p));
+        bind.set("peak1", Scalar::Real(p));
+    });
+
+    // B: keep climbing to the first peak.
+    b.transition(
+        rising1,
+        rising1,
+        TransitionEffect::Move,
+        |bind, ev| price_of(ev) > bind.get_real("prev").unwrap_or(f64::MAX),
+        |bind, ev| {
+            let p = price_of(ev);
+            bind.set("prev", Scalar::Real(p));
+            bind.set("peak1", Scalar::Real(p));
+        },
+    );
+    // B -> C: the price turns down after a genuine climb.
+    b.transition(
+        rising1,
+        falling1,
+        TransitionEffect::Move,
+        |bind, ev| {
+            let p = price_of(ev);
+            let prev = bind.get_real("prev").unwrap_or(f64::MAX);
+            let peak1 = bind.get_real("peak1").unwrap_or(0.0);
+            let start = bind.get_real("start").unwrap_or(f64::MAX);
+            p < prev && peak1 > start
+        },
+        |bind, ev| {
+            let p = price_of(ev);
+            bind.set("prev", Scalar::Real(p));
+            bind.set("trough", Scalar::Real(p));
+        },
+    );
+
+    // C: keep falling to the trough.
+    b.transition(
+        falling1,
+        falling1,
+        TransitionEffect::Move,
+        |bind, ev| price_of(ev) < bind.get_real("prev").unwrap_or(0.0),
+        |bind, ev| {
+            let p = price_of(ev);
+            bind.set("prev", Scalar::Real(p));
+            bind.set("trough", Scalar::Real(p));
+        },
+    );
+    // C -> D: the price turns up again from a trough below the first peak.
+    b.transition(
+        falling1,
+        rising2,
+        TransitionEffect::Move,
+        |bind, ev| {
+            let p = price_of(ev);
+            let prev = bind.get_real("prev").unwrap_or(0.0);
+            let peak1 = bind.get_real("peak1").unwrap_or(0.0);
+            let trough = bind.get_real("trough").unwrap_or(f64::MAX);
+            p > prev && trough < peak1
+        },
+        |bind, ev| {
+            let p = price_of(ev);
+            bind.set("prev", Scalar::Real(p));
+            bind.set("peak2", Scalar::Real(p));
+        },
+    );
+
+    // D: keep climbing to the second peak.
+    b.transition(
+        rising2,
+        rising2,
+        TransitionEffect::Move,
+        |bind, ev| price_of(ev) > bind.get_real("prev").unwrap_or(f64::MAX),
+        |bind, ev| {
+            let p = price_of(ev);
+            bind.set("prev", Scalar::Real(p));
+            bind.set("peak2", Scalar::Real(p));
+        },
+    );
+    // D -> E/F: the price turns down from a second peak of ~equal height.
+    b.transition(
+        rising2,
+        matched,
+        TransitionEffect::Move,
+        move |bind, ev| {
+            let p = price_of(ev);
+            let prev = bind.get_real("prev").unwrap_or(f64::MAX);
+            let peak1 = bind.get_real("peak1").unwrap_or(0.0);
+            let peak2 = bind.get_real("peak2").unwrap_or(0.0);
+            let trough = bind.get_real("trough").unwrap_or(f64::MAX);
+            p < prev
+                && peak2 > trough
+                && peak1 > 0.0
+                && ((peak2 - peak1).abs() / peak1) <= tolerance
+        },
+        |bind, ev| {
+            bind.set("end", Scalar::Real(price_of(ev)));
+        },
+    );
+
+    b.build()
+}
+
+/// Q3: `FOLD` — maximal runs of increasing prices per stock; a match is
+/// produced when a run of at least `min_len` rising ticks ends.
+pub fn q3_increasing_runs(min_len: i64) -> Nfa {
+    let mut b = NfaBuilder::new("Q3-increasing-runs");
+    b.partition_by("name");
+    let start = b.add_state("start", false);
+    let folding = b.add_state("folding", false);
+    let done = b.add_state("run-ended", true);
+
+    b.transition(start, folding, TransitionEffect::Move, |_, _| true, |bind, ev| {
+        let p = price_of(ev);
+        bind.set("name", name_of(ev));
+        bind.set("first", Scalar::Real(p));
+        bind.set("prev", Scalar::Real(p));
+        bind.set("len", Scalar::Int(1));
+    });
+    // FOLD iteration: the run continues while the price keeps rising.
+    b.transition(
+        folding,
+        folding,
+        TransitionEffect::Move,
+        |bind, ev| price_of(ev) > bind.get_real("prev").unwrap_or(f64::MAX),
+        |bind, ev| {
+            let p = price_of(ev);
+            bind.set("prev", Scalar::Real(p));
+            bind.set("last", Scalar::Real(p));
+            bind.add_int("len", 1);
+        },
+    );
+    // Termination: the run ends with a non-increasing tick.
+    b.transition(
+        folding,
+        done,
+        TransitionEffect::Move,
+        move |bind, ev| {
+            price_of(ev) <= bind.get_real("prev").unwrap_or(f64::MAX)
+                && bind.get_int("len").unwrap_or(0) >= min_len
+        },
+        |_, _| (),
+    );
+
+    b.build()
+}
+
+/// A reference (non-NFA) implementation of Q3 used to validate the engine:
+/// returns, per maximal increasing run of length ≥ `min_len`, the stock
+/// name and the run length, in stream order of run end. Only the *maximal*
+/// runs are reported (the NFA also reports sub-runs because a fresh
+/// instance starts at every event; see the tests for the relationship).
+pub fn reference_maximal_runs(
+    events: &[gapl::event::Tuple],
+    min_len: i64,
+) -> Vec<(String, i64)> {
+    use std::collections::HashMap;
+    let mut state: HashMap<String, (f64, i64)> = HashMap::new();
+    let mut out = Vec::new();
+    for ev in events {
+        let name = name_of(ev).to_string();
+        let price = price_of(ev);
+        match state.get_mut(&name) {
+            None => {
+                state.insert(name, (price, 1));
+            }
+            Some((prev, len)) => {
+                if price > *prev {
+                    *len += 1;
+                    *prev = price;
+                } else {
+                    if *len >= min_len {
+                        out.push((name.clone(), *len));
+                    }
+                    *prev = price;
+                    *len = 1;
+                }
+            }
+        }
+    }
+    for (name, (_, len)) in state {
+        if len >= min_len {
+            out.push((name, len));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use gapl::event::{AttrType, Schema, Tuple};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(
+                "Stocks",
+                vec![
+                    ("name", AttrType::Str),
+                    ("price", AttrType::Real),
+                    ("volume", AttrType::Int),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn stream(prices: &[(&str, f64)]) -> Vec<Tuple> {
+        prices
+            .iter()
+            .enumerate()
+            .map(|(i, (name, price))| {
+                Tuple::new(
+                    schema(),
+                    vec![
+                        Scalar::Str((*name).into()),
+                        Scalar::Real(*price),
+                        Scalar::Int(100),
+                    ],
+                    i as u64,
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn q1_publishes_every_event() {
+        let events = stream(&[("A", 1.0), ("B", 2.0), ("A", 3.0)]);
+        let mut engine = Engine::new(q1_select_publish());
+        engine.run(&events);
+        assert_eq!(engine.matches().len(), 3);
+        assert_eq!(engine.matches()[2].bindings.get_real("price"), Some(3.0));
+        assert_eq!(engine.matches()[2].bindings.get_str("name"), Some("A"));
+        // Q1 never keeps instances alive between events.
+        assert_eq!(engine.live_instances(), 0);
+    }
+
+    #[test]
+    fn q2_detects_a_clean_double_top() {
+        // A classic M shape: up to 12, down to 9, up to 12.1, down.
+        let events = stream(&[
+            ("ACME", 10.0),
+            ("ACME", 11.0),
+            ("ACME", 12.0),
+            ("ACME", 10.5),
+            ("ACME", 9.0),
+            ("ACME", 10.0),
+            ("ACME", 12.1),
+            ("ACME", 11.0),
+        ]);
+        let mut engine = Engine::new(q2_double_top(0.02));
+        engine.run(&events);
+        assert!(
+            !engine.matches().is_empty(),
+            "the M-shaped pattern should be detected"
+        );
+        let m = &engine.matches()[0].bindings;
+        assert_eq!(m.get_str("name"), Some("ACME"));
+        assert!(m.get_real("peak1").unwrap() >= 12.0);
+        assert!(m.get_real("trough").unwrap() <= 9.0 + 1e-9);
+    }
+
+    #[test]
+    fn q2_ignores_monotone_or_mismatched_peaks() {
+        // Monotone rise: no double top.
+        let events = stream(&[("A", 1.0), ("A", 2.0), ("A", 3.0), ("A", 4.0)]);
+        let mut engine = Engine::new(q2_double_top(0.02));
+        engine.run(&events);
+        assert!(engine.matches().is_empty());
+
+        // Second peak far below the first: no double top at 2 % tolerance.
+        let events = stream(&[
+            ("A", 10.0),
+            ("A", 12.0),
+            ("A", 9.0),
+            ("A", 10.0),
+            ("A", 9.5),
+        ]);
+        let mut engine = Engine::new(q2_double_top(0.02));
+        engine.run(&events);
+        assert!(engine.matches().is_empty());
+    }
+
+    #[test]
+    fn q2_separates_partitions() {
+        // The M shape is split across two different stocks: no match.
+        let events = stream(&[
+            ("A", 10.0),
+            ("B", 11.0),
+            ("A", 12.0),
+            ("B", 9.0),
+            ("A", 10.0),
+            ("B", 12.1),
+            ("A", 11.0),
+        ]);
+        let mut engine = Engine::new(q2_double_top(0.02));
+        engine.run(&events);
+        assert!(engine.matches().is_empty());
+    }
+
+    #[test]
+    fn q3_reports_runs_when_they_end() {
+        let events = stream(&[
+            ("A", 1.0),
+            ("A", 2.0),
+            ("A", 3.0),
+            ("A", 2.5), // run of 3 ends here
+            ("B", 5.0),
+            ("B", 6.0),
+            ("B", 4.0), // run of 2 ends here
+        ]);
+        let mut engine = Engine::new(q3_increasing_runs(3));
+        engine.run(&events);
+        // The maximal run A:1→2→3 (length 3) is reported; B's run has
+        // length 2 and is not.
+        let lens: Vec<i64> = engine
+            .matches()
+            .iter()
+            .filter_map(|m| m.bindings.get_int("len"))
+            .collect();
+        assert!(lens.contains(&3));
+        assert!(lens.iter().all(|l| *l >= 3));
+
+        let reference = reference_maximal_runs(&events, 3);
+        assert_eq!(reference, vec![("A".to_string(), 3)]);
+        // Every maximal run found by the reference is also found by the NFA
+        // (the NFA additionally reports sub-runs, by design).
+        for (name, len) in reference {
+            assert!(engine.matches().iter().any(|m| {
+                m.bindings.get_str("name") == Some(name.as_str())
+                    && m.bindings.get_int("len") == Some(len)
+            }));
+        }
+    }
+
+    #[test]
+    fn q3_counts_trailing_runs_in_the_reference() {
+        let events = stream(&[("A", 1.0), ("A", 2.0), ("A", 3.0)]);
+        let reference = reference_maximal_runs(&events, 2);
+        assert_eq!(reference, vec![("A".to_string(), 3)]);
+    }
+
+    #[test]
+    fn nfa_instance_counts_grow_with_pattern_complexity() {
+        let events = stream(&[("A", 1.0); 50]);
+        let mut q1 = Engine::new(q1_select_publish());
+        q1.run(&events);
+        let mut q3 = Engine::new(q3_increasing_runs(3));
+        q3.run(&events);
+        // The FOLD query keeps instances alive; the pass-through does not.
+        assert!(q3.max_live_instances() > q1.max_live_instances());
+    }
+}

@@ -1,0 +1,154 @@
+//! The Tapestry-style continuous query loop (Fig. 1 of the paper) as a
+//! reusable helper.
+//!
+//! A continuous query repeatedly evaluates `select ... from T since τ`,
+//! where `τ` is the largest timestamp observed in the previous round, and
+//! hands each incremental batch of rows to the caller. The paper contrasts
+//! this polling model with its automaton equivalent (Fig. 2); both are
+//! available in this workspace and the integration tests check they agree.
+
+use std::time::Duration;
+
+use pscache::{Cache, Query, Result, ResultSet};
+
+/// Incremental evaluation state for one continuous query.
+///
+/// # Example
+///
+/// ```
+/// use unipubsub::prelude::*;
+/// use unipubsub::continuous::ContinuousQuery;
+///
+/// let cache = CacheBuilder::new().build();
+/// cache.execute("create table Readings (v integer)")?;
+/// let mut cq = ContinuousQuery::new(Query::new("Readings"));
+///
+/// cache.execute("insert into Readings values (1)")?;
+/// let batch = cq.poll(&cache)?;
+/// assert_eq!(batch.len(), 1);
+///
+/// // Nothing new: the next round is empty.
+/// assert!(cq.poll(&cache)?.is_empty());
+///
+/// cache.execute("insert into Readings values (2)")?;
+/// assert_eq!(cq.poll(&cache)?.len(), 1);
+/// # Ok::<(), unipubsub::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContinuousQuery {
+    query: Query,
+    tau: u64,
+    rounds: u64,
+}
+
+impl ContinuousQuery {
+    /// Wrap a query for continuous evaluation. Any `since` already present
+    /// on the query becomes the starting `τ`.
+    pub fn new(query: Query) -> Self {
+        let tau = query.since_tstamp().unwrap_or(0);
+        ContinuousQuery {
+            query,
+            tau,
+            rounds: 0,
+        }
+    }
+
+    /// The current window start `τ` (the largest timestamp seen so far).
+    pub fn tau(&self) -> u64 {
+        self.tau
+    }
+
+    /// Number of polling rounds executed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Evaluate one round: returns only the tuples inserted after the
+    /// previous round, and advances `τ`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates query errors from the cache.
+    pub fn poll(&mut self, cache: &Cache) -> Result<ResultSet> {
+        self.rounds += 1;
+        let result = cache.select(&self.query.clone().since(self.tau))?;
+        if let Some(max) = result.max_tstamp() {
+            self.tau = self.tau.max(max);
+        }
+        Ok(result)
+    }
+
+    /// Run the Fig. 1 loop: poll every `interval`, invoking `on_batch` for
+    /// each non-empty batch, for `rounds` rounds (the paper's loop runs
+    /// forever; a bound keeps the helper testable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates query errors from the cache.
+    pub fn run(
+        &mut self,
+        cache: &Cache,
+        interval: Duration,
+        rounds: usize,
+        mut on_batch: impl FnMut(&ResultSet),
+    ) -> Result<()> {
+        for _ in 0..rounds {
+            let batch = self.poll(cache)?;
+            if !batch.is_empty() {
+                on_batch(&batch);
+            }
+            std::thread::sleep(interval);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gapl::event::Scalar;
+    use pscache::CacheBuilder;
+
+    #[test]
+    fn poll_returns_only_new_tuples() {
+        let cache = CacheBuilder::new().manual_clock().build();
+        cache.execute("create table R (v integer)").unwrap();
+        let mut cq = ContinuousQuery::new(Query::new("R"));
+        assert_eq!(cq.tau(), 0);
+
+        for i in 0..3 {
+            cache.manual_clock().unwrap().advance(10);
+            cache.insert("R", vec![Scalar::Int(i)]).unwrap();
+        }
+        assert_eq!(cq.poll(&cache).unwrap().len(), 3);
+        assert_eq!(cq.poll(&cache).unwrap().len(), 0);
+
+        cache.manual_clock().unwrap().advance(10);
+        cache.insert("R", vec![Scalar::Int(9)]).unwrap();
+        let batch = cq.poll(&cache).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.rows[0].values[0], Scalar::Int(9));
+        assert_eq!(cq.rounds(), 3);
+        assert_eq!(cq.tau(), 40);
+    }
+
+    #[test]
+    fn run_invokes_the_callback_per_non_empty_batch() {
+        let cache = CacheBuilder::new().manual_clock().build();
+        cache.execute("create table R (v integer)").unwrap();
+        cache.manual_clock().unwrap().advance(1);
+        cache.insert("R", vec![Scalar::Int(1)]).unwrap();
+        let mut cq = ContinuousQuery::new(Query::new("R"));
+        let mut batches = 0;
+        cq.run(&cache, Duration::from_millis(1), 3, |_| batches += 1)
+            .unwrap();
+        assert_eq!(batches, 1);
+        assert_eq!(cq.rounds(), 3);
+    }
+
+    #[test]
+    fn a_preexisting_since_becomes_the_starting_tau() {
+        let cq = ContinuousQuery::new(Query::new("R").since(500));
+        assert_eq!(cq.tau(), 500);
+    }
+}

@@ -1,0 +1,230 @@
+//! Abstract syntax tree for GAPL automata.
+
+use crate::value::DeclType;
+
+/// A complete automaton source file (§4.2 of the paper): subscriptions,
+/// associations, declarations, an optional `initialization` clause and a
+/// mandatory `behavior` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutomatonAst {
+    /// `subscribe <var> to <Topic>;` items, in source order.
+    pub subscriptions: Vec<SubscriptionDecl>,
+    /// `associate <var> with <Table>;` items, in source order.
+    pub associations: Vec<AssociationDecl>,
+    /// Local variable declarations.
+    pub declarations: Vec<VarDecl>,
+    /// The optional `initialization { ... }` clause.
+    pub initialization: Option<Block>,
+    /// The `behavior { ... }` clause, executed on every delivered event.
+    pub behavior: Block,
+}
+
+/// `subscribe <var> to <Topic>;`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubscriptionDecl {
+    /// Local variable that always refers to the most recent event.
+    pub var: String,
+    /// The topic (table) subscribed to.
+    pub topic: String,
+    /// Source line of the declaration.
+    pub line: usize,
+}
+
+/// `associate <var> with <Table>;`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssociationDecl {
+    /// Local map-like variable bound to the persistent table.
+    pub var: String,
+    /// The persistent table name.
+    pub table: String,
+    /// Source line of the declaration.
+    pub line: usize,
+}
+
+/// `int a, b, c;` style declaration of one or more locals of one type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Declared type.
+    pub ty: DeclType,
+    /// Names declared with this type.
+    pub names: Vec<String>,
+    /// Source line of the declaration.
+    pub line: usize,
+}
+
+/// A `{ ... }` block of statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=`
+    AddAssign,
+    /// `-=`
+    SubAssign,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `x = expr;`, `x += expr;`, `x -= expr;`
+    Assign {
+        /// Target local variable.
+        target: String,
+        /// Assignment flavour.
+        op: AssignOp,
+        /// Right-hand side.
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// An expression evaluated for its side effects (a call), e.g.
+    /// `send(s, limit, 'limit exceeded');`
+    Expr {
+        /// The expression (typically a [`Expr::Call`]).
+        expr: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `if (cond) stmt [else stmt]`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Box<Stmt>,
+        /// Optional else branch.
+        else_branch: Option<Box<Stmt>>,
+        /// Source line.
+        line: usize,
+    },
+    /// `while (cond) stmt`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// A nested `{ ... }` block.
+    Block(Block),
+}
+
+/// Binary operators, in GAPL surface syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// Reference to a local, subscription or association variable.
+    Var(String),
+    /// Field access on a subscription variable: `f.nbytes`.
+    Field {
+        /// Variable holding the event.
+        object: String,
+        /// Attribute name.
+        field: String,
+    },
+    /// Function call — either a built-in (`lookup(...)`) or an aggregate
+    /// constructor (`Sequence(...)`, `Window(...)`).
+    Call {
+        /// Function name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+impl Block {
+    /// An empty block.
+    pub fn empty() -> Self {
+        Block { stmts: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_empty_has_no_statements() {
+        assert!(Block::empty().stmts.is_empty());
+    }
+
+    #[test]
+    fn ast_nodes_are_cloneable_and_comparable() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Int(1)),
+            rhs: Box::new(Expr::Var("x".into())),
+        };
+        assert_eq!(e.clone(), e);
+    }
+}

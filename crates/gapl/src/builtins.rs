@@ -1,0 +1,686 @@
+//! The GAPL built-in function library.
+//!
+//! Built-ins are resolved by name at compile time (an unknown function name
+//! is a compile error, which the cache reports back to the registering
+//! application, per §5 of the paper) and invoked by the
+//! [`Instr::CallBuiltin`](crate::program::Instr::CallBuiltin) instruction.
+//!
+//! The set follows the paper's listings: aggregate constructors
+//! (`Sequence`, `Map`, `Window`, `Identifier`, `Iterator`), map operations
+//! (`insert`, `lookup`, `hasEntry`, `remove`, `mapSize`), iterator
+//! operations (`hasNext`, `next`), sequence operations (`seqElement`,
+//! `seqSize`, `append`), window operations (`winSize`, `winClear`,
+//! `lsqSlope`), effectful operations (`send`, `publish`, `print`), time
+//! operations (`tstampNow`, `tstampDiff`, `hourInDay`), conversions
+//! (`float`, `int`, `String`), the native `frequent` heavy-hitter step of
+//! §6.4, and helpers (`currentTopic`, `delete`, `abs`, `min`, `max`).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::error::{Error, Result};
+use crate::event::Scalar;
+use crate::program::Program;
+use crate::value::{DeclType, IteratorData, MapData, Value, WindowData};
+use crate::vm::HostInterface;
+
+/// Identifies a built-in function. The numeric ordering is insignificant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BuiltinId {
+    // Constructors
+    Sequence,
+    Map,
+    Window,
+    Identifier,
+    Iterator,
+    // Map / association operations
+    Insert,
+    Lookup,
+    HasEntry,
+    Remove,
+    MapSize,
+    // Iterator operations
+    HasNext,
+    Next,
+    // Sequence operations
+    SeqElement,
+    SeqSize,
+    Append,
+    // Window operations
+    WinSize,
+    WinClear,
+    LsqSlope,
+    // Effects
+    Send,
+    Publish,
+    Print,
+    // Time
+    TstampNow,
+    TstampDiff,
+    HourInDay,
+    // Conversions
+    Float,
+    Int,
+    StringOf,
+    // Misc
+    CurrentTopic,
+    Delete,
+    Frequent,
+    Abs,
+    Min,
+    Max,
+}
+
+impl BuiltinId {
+    /// Resolve a source-level function name to a built-in.
+    pub fn from_name(name: &str) -> Option<BuiltinId> {
+        Some(match name {
+            "Sequence" => BuiltinId::Sequence,
+            "Map" => BuiltinId::Map,
+            "Window" => BuiltinId::Window,
+            "Identifier" => BuiltinId::Identifier,
+            "Iterator" => BuiltinId::Iterator,
+            "insert" => BuiltinId::Insert,
+            "lookup" => BuiltinId::Lookup,
+            "hasEntry" => BuiltinId::HasEntry,
+            "remove" => BuiltinId::Remove,
+            "mapSize" => BuiltinId::MapSize,
+            "hasNext" => BuiltinId::HasNext,
+            "next" => BuiltinId::Next,
+            "seqElement" => BuiltinId::SeqElement,
+            "seqSize" => BuiltinId::SeqSize,
+            "append" => BuiltinId::Append,
+            "winSize" => BuiltinId::WinSize,
+            "winClear" => BuiltinId::WinClear,
+            "lsqSlope" => BuiltinId::LsqSlope,
+            "send" => BuiltinId::Send,
+            "publish" => BuiltinId::Publish,
+            "print" => BuiltinId::Print,
+            "tstampNow" => BuiltinId::TstampNow,
+            "tstampDiff" => BuiltinId::TstampDiff,
+            "hourInDay" => BuiltinId::HourInDay,
+            "float" => BuiltinId::Float,
+            "int" => BuiltinId::Int,
+            "String" => BuiltinId::StringOf,
+            "currentTopic" => BuiltinId::CurrentTopic,
+            "delete" => BuiltinId::Delete,
+            "frequent" => BuiltinId::Frequent,
+            "abs" => BuiltinId::Abs,
+            "min" => BuiltinId::Min,
+            "max" => BuiltinId::Max,
+            _ => return None,
+        })
+    }
+
+    /// The source-level name of this built-in.
+    pub fn name(self) -> &'static str {
+        match self {
+            BuiltinId::Sequence => "Sequence",
+            BuiltinId::Map => "Map",
+            BuiltinId::Window => "Window",
+            BuiltinId::Identifier => "Identifier",
+            BuiltinId::Iterator => "Iterator",
+            BuiltinId::Insert => "insert",
+            BuiltinId::Lookup => "lookup",
+            BuiltinId::HasEntry => "hasEntry",
+            BuiltinId::Remove => "remove",
+            BuiltinId::MapSize => "mapSize",
+            BuiltinId::HasNext => "hasNext",
+            BuiltinId::Next => "next",
+            BuiltinId::SeqElement => "seqElement",
+            BuiltinId::SeqSize => "seqSize",
+            BuiltinId::Append => "append",
+            BuiltinId::WinSize => "winSize",
+            BuiltinId::WinClear => "winClear",
+            BuiltinId::LsqSlope => "lsqSlope",
+            BuiltinId::Send => "send",
+            BuiltinId::Publish => "publish",
+            BuiltinId::Print => "print",
+            BuiltinId::TstampNow => "tstampNow",
+            BuiltinId::TstampDiff => "tstampDiff",
+            BuiltinId::HourInDay => "hourInDay",
+            BuiltinId::Float => "float",
+            BuiltinId::Int => "int",
+            BuiltinId::StringOf => "String",
+            BuiltinId::CurrentTopic => "currentTopic",
+            BuiltinId::Delete => "delete",
+            BuiltinId::Frequent => "frequent",
+            BuiltinId::Abs => "abs",
+            BuiltinId::Min => "min",
+            BuiltinId::Max => "max",
+        }
+    }
+
+    /// All built-ins, for enumeration in docs and benches.
+    pub fn all() -> &'static [BuiltinId] {
+        use BuiltinId::*;
+        &[
+            Sequence, Map, Window, Identifier, Iterator, Insert, Lookup, HasEntry, Remove,
+            MapSize, HasNext, Next, SeqElement, SeqSize, Append, WinSize, WinClear, LsqSlope,
+            Send, Publish, Print, TstampNow, TstampDiff, HourInDay, Float, Int, StringOf,
+            CurrentTopic, Delete, Frequent, Abs, Min, Max,
+        ]
+    }
+}
+
+/// Execution context handed to built-ins by the VM.
+pub(crate) struct BuiltinCtx<'a> {
+    pub host: &'a mut dyn HostInterface,
+    pub current_topic: &'a str,
+    pub program: &'a Program,
+}
+
+fn arity_error(id: BuiltinId, expected: &str, got: usize) -> Error {
+    Error::runtime(format!(
+        "{} expects {expected} argument(s), got {got}",
+        id.name()
+    ))
+}
+
+fn type_error(id: BuiltinId, expected: &str, got: &Value) -> Error {
+    Error::runtime(format!(
+        "{} expects {expected}, got a {}",
+        id.name(),
+        got.type_name()
+    ))
+}
+
+fn key_text(id: BuiltinId, v: &Value) -> Result<String> {
+    match v {
+        Value::Identifier(s) | Value::Str(s) => Ok(s.as_ref().clone()),
+        Value::Int(i) => Ok(i.to_string()),
+        Value::Tstamp(t) => Ok(t.to_string()),
+        other => Err(type_error(id, "an identifier key", other)),
+    }
+}
+
+fn assoc_table<'p>(program: &'p Program, index: usize) -> Result<&'p str> {
+    program
+        .associations()
+        .get(index)
+        .map(|a| a.table.as_str())
+        .ok_or_else(|| Error::runtime(format!("invalid association handle #{index}")))
+}
+
+fn scalars_to_sequence(values: Vec<Scalar>) -> Value {
+    Value::sequence(values.into_iter().map(Value::from).collect())
+}
+
+fn decl_type_arg(id: BuiltinId, v: &Value) -> Result<DeclType> {
+    let text = v
+        .as_text()
+        .ok_or_else(|| type_error(id, "a type keyword", v))?;
+    DeclType::from_keyword(&text)
+        .ok_or_else(|| Error::runtime(format!("{}: unknown element type `{text}`", id.name())))
+}
+
+/// Invoke built-in `id` with `args` (in source order).
+pub(crate) fn call(id: BuiltinId, mut args: Vec<Value>, ctx: &mut BuiltinCtx<'_>) -> Result<Value> {
+    match id {
+        BuiltinId::Sequence => Ok(Value::sequence(args)),
+        BuiltinId::Map => {
+            let vt = if args.is_empty() {
+                DeclType::Int
+            } else {
+                decl_type_arg(id, &args[0])?
+            };
+            Ok(Value::Map(Rc::new(RefCell::new(MapData::new(vt)))))
+        }
+        BuiltinId::Window => {
+            if args.len() != 3 {
+                return Err(arity_error(id, "3 (type, SECS|ROWS, size)", args.len()));
+            }
+            let et = decl_type_arg(id, &args[0])?;
+            let kind = args[1]
+                .as_text()
+                .ok_or_else(|| type_error(id, "SECS or ROWS", &args[1]))?;
+            let n = args[2]
+                .as_int()
+                .ok_or_else(|| type_error(id, "an integer size", &args[2]))?;
+            if n < 0 {
+                return Err(Error::runtime("Window size must be non-negative"));
+            }
+            let data = match kind.to_ascii_uppercase().as_str() {
+                "SECS" | "SECONDS" => WindowData::secs(et, n as u64),
+                "ROWS" | "COUNT" => WindowData::rows(et, n as usize),
+                other => {
+                    return Err(Error::runtime(format!(
+                        "Window kind must be SECS or ROWS, got `{other}`"
+                    )))
+                }
+            };
+            Ok(Value::Window(Rc::new(RefCell::new(data))))
+        }
+        BuiltinId::Identifier => {
+            if args.is_empty() {
+                return Err(arity_error(id, "at least 1", 0));
+            }
+            let mut text = String::new();
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    text.push(':');
+                }
+                text.push_str(&format!("{a}"));
+            }
+            Ok(Value::identifier(text))
+        }
+        BuiltinId::Iterator => {
+            let [arg] = take_args::<1>(id, &mut args)?;
+            match arg {
+                Value::Map(m) => {
+                    let keys = m
+                        .borrow()
+                        .keys()
+                        .into_iter()
+                        .map(Value::identifier)
+                        .collect();
+                    Ok(Value::Iterator(Rc::new(RefCell::new(IteratorData::over(
+                        keys,
+                    )))))
+                }
+                Value::Window(w) => Ok(Value::Iterator(Rc::new(RefCell::new(
+                    IteratorData::over(w.borrow().values()),
+                )))),
+                Value::Sequence(s) => Ok(Value::Iterator(Rc::new(RefCell::new(
+                    IteratorData::over(s.borrow().clone()),
+                )))),
+                Value::Assoc(ix) => {
+                    let table = assoc_table(ctx.program, ix)?;
+                    let keys = ctx.host.assoc_keys(table)?;
+                    Ok(Value::Iterator(Rc::new(RefCell::new(IteratorData::over(
+                        keys.into_iter().map(Value::identifier).collect(),
+                    )))))
+                }
+                other => Err(type_error(id, "a map, window, sequence or association", &other)),
+            }
+        }
+
+        BuiltinId::Insert => {
+            if args.len() != 3 {
+                return Err(arity_error(id, "3 (container, key, value)", args.len()));
+            }
+            let value = args.pop().expect("len checked");
+            let key = args.pop().expect("len checked");
+            let container = args.pop().expect("len checked");
+            let key = key_text(id, &key)?;
+            match container {
+                Value::Map(m) => {
+                    m.borrow_mut().insert(key, value);
+                    Ok(Value::Null)
+                }
+                Value::Assoc(ix) => {
+                    let table = assoc_table(ctx.program, ix)?;
+                    let mut scalars = Vec::new();
+                    value.flatten_scalars(&mut scalars)?;
+                    ctx.host.assoc_insert(table, &key, scalars)?;
+                    Ok(Value::Null)
+                }
+                other => Err(type_error(id, "a map or association", &other)),
+            }
+        }
+        BuiltinId::Lookup => {
+            let [container, key] = take_args::<2>(id, &mut args)?;
+            let key = key_text(id, &key)?;
+            match container {
+                Value::Map(m) => Ok(m.borrow().lookup(&key).unwrap_or(Value::Null)),
+                Value::Assoc(ix) => {
+                    let table = assoc_table(ctx.program, ix)?;
+                    match ctx.host.assoc_lookup(table, &key)? {
+                        Some(values) => Ok(scalars_to_sequence(values)),
+                        None => Ok(Value::Null),
+                    }
+                }
+                other => Err(type_error(id, "a map or association", &other)),
+            }
+        }
+        BuiltinId::HasEntry => {
+            let [container, key] = take_args::<2>(id, &mut args)?;
+            let key = key_text(id, &key)?;
+            match container {
+                Value::Map(m) => Ok(Value::Bool(m.borrow().has_entry(&key))),
+                Value::Assoc(ix) => {
+                    let table = assoc_table(ctx.program, ix)?;
+                    Ok(Value::Bool(ctx.host.assoc_has_entry(table, &key)?))
+                }
+                other => Err(type_error(id, "a map or association", &other)),
+            }
+        }
+        BuiltinId::Remove => {
+            let [container, key] = take_args::<2>(id, &mut args)?;
+            let key = key_text(id, &key)?;
+            match container {
+                Value::Map(m) => Ok(m.borrow_mut().remove(&key).unwrap_or(Value::Null)),
+                Value::Assoc(ix) => {
+                    let table = assoc_table(ctx.program, ix)?;
+                    ctx.host.assoc_remove(table, &key)?;
+                    Ok(Value::Null)
+                }
+                other => Err(type_error(id, "a map or association", &other)),
+            }
+        }
+        BuiltinId::MapSize => {
+            let [container] = take_args::<1>(id, &mut args)?;
+            match container {
+                Value::Map(m) => Ok(Value::Int(m.borrow().len() as i64)),
+                Value::Assoc(ix) => {
+                    let table = assoc_table(ctx.program, ix)?;
+                    Ok(Value::Int(ctx.host.assoc_size(table)? as i64))
+                }
+                other => Err(type_error(id, "a map or association", &other)),
+            }
+        }
+
+        BuiltinId::HasNext => {
+            let [it] = take_args::<1>(id, &mut args)?;
+            match it {
+                Value::Iterator(i) => Ok(Value::Bool(i.borrow().has_next())),
+                other => Err(type_error(id, "an iterator", &other)),
+            }
+        }
+        BuiltinId::Next => {
+            let [it] = take_args::<1>(id, &mut args)?;
+            match it {
+                Value::Iterator(i) => Ok(i.borrow_mut().advance().unwrap_or(Value::Null)),
+                other => Err(type_error(id, "an iterator", &other)),
+            }
+        }
+
+        BuiltinId::SeqElement => {
+            let [seq, index] = take_args::<2>(id, &mut args)?;
+            let ix = index
+                .as_int()
+                .ok_or_else(|| type_error(id, "an integer index", &index))?;
+            match seq {
+                Value::Sequence(s) => {
+                    let s = s.borrow();
+                    s.get(ix as usize).cloned().ok_or_else(|| {
+                        Error::runtime(format!(
+                            "seqElement index {ix} out of bounds (sequence has {} elements)",
+                            s.len()
+                        ))
+                    })
+                }
+                Value::Event(t) => t
+                    .value_at(ix as usize)
+                    .cloned()
+                    .map(Value::from)
+                    .ok_or_else(|| Error::runtime(format!("seqElement index {ix} out of bounds"))),
+                other => Err(type_error(id, "a sequence", &other)),
+            }
+        }
+        BuiltinId::SeqSize => {
+            let [seq] = take_args::<1>(id, &mut args)?;
+            match seq {
+                Value::Sequence(s) => Ok(Value::Int(s.borrow().len() as i64)),
+                Value::Event(t) => Ok(Value::Int(t.values().len() as i64)),
+                other => Err(type_error(id, "a sequence", &other)),
+            }
+        }
+        BuiltinId::Append => {
+            let [container, value] = take_args::<2>(id, &mut args)?;
+            match container {
+                Value::Window(w) => {
+                    let now = ctx.host.now();
+                    w.borrow_mut().append(now, value);
+                    Ok(Value::Null)
+                }
+                Value::Sequence(s) => {
+                    s.borrow_mut().push(value);
+                    Ok(Value::Null)
+                }
+                other => Err(type_error(id, "a window or sequence", &other)),
+            }
+        }
+
+        BuiltinId::WinSize => {
+            let [w] = take_args::<1>(id, &mut args)?;
+            match w {
+                Value::Window(w) => Ok(Value::Int(w.borrow().len() as i64)),
+                other => Err(type_error(id, "a window", &other)),
+            }
+        }
+        BuiltinId::WinClear => {
+            let [w] = take_args::<1>(id, &mut args)?;
+            match w {
+                Value::Window(w) => {
+                    w.borrow_mut().clear();
+                    Ok(Value::Null)
+                }
+                other => Err(type_error(id, "a window", &other)),
+            }
+        }
+        BuiltinId::LsqSlope => {
+            let [w] = take_args::<1>(id, &mut args)?;
+            match w {
+                Value::Window(w) => {
+                    let w = w.borrow();
+                    Ok(Value::Real(least_squares_slope(
+                        w.iter()
+                            .filter_map(|(t, v)| v.as_real().map(|y| (*t as f64 / 1e9, y))),
+                    )))
+                }
+                other => Err(type_error(id, "a window", &other)),
+            }
+        }
+
+        BuiltinId::Send => {
+            let mut scalars = Vec::new();
+            for a in &args {
+                a.flatten_scalars(&mut scalars)?;
+            }
+            ctx.host.send(scalars)?;
+            Ok(Value::Null)
+        }
+        BuiltinId::Publish => {
+            if args.is_empty() {
+                return Err(arity_error(id, "at least 1 (topic, values...)", 0));
+            }
+            let topic_arg = args.remove(0);
+            let topic = match &topic_arg {
+                Value::Str(s) | Value::Identifier(s) => s.as_ref().clone(),
+                Value::Event(t) => t.schema().name().to_owned(),
+                other => return Err(type_error(id, "a topic name", other)),
+            };
+            let mut scalars = Vec::new();
+            for a in &args {
+                a.flatten_scalars(&mut scalars)?;
+            }
+            ctx.host.publish(&topic, scalars)?;
+            Ok(Value::Null)
+        }
+        BuiltinId::Print => {
+            let text: Vec<String> = args.iter().map(|a| format!("{a}")).collect();
+            ctx.host.print(&text.join(" "));
+            Ok(Value::Null)
+        }
+
+        BuiltinId::TstampNow => Ok(Value::Tstamp(ctx.host.now())),
+        BuiltinId::TstampDiff => {
+            let [a, b] = take_args::<2>(id, &mut args)?;
+            let (a, b) = match (a.as_int(), b.as_int()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Err(Error::runtime("tstampDiff expects two timestamps")),
+            };
+            Ok(Value::Int(a - b))
+        }
+        BuiltinId::HourInDay => {
+            let [t] = take_args::<1>(id, &mut args)?;
+            let ns = t
+                .as_int()
+                .ok_or_else(|| type_error(id, "a timestamp", &t))?;
+            let secs_in_day = (ns / 1_000_000_000).rem_euclid(86_400);
+            Ok(Value::Int(secs_in_day / 3_600))
+        }
+
+        BuiltinId::Float => {
+            let [v] = take_args::<1>(id, &mut args)?;
+            v.as_real()
+                .map(Value::Real)
+                .ok_or_else(|| type_error(id, "a numeric value", &v))
+        }
+        BuiltinId::Int => {
+            let [v] = take_args::<1>(id, &mut args)?;
+            match &v {
+                Value::Str(s) | Value::Identifier(s) => s
+                    .trim()
+                    .parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|_| Error::runtime(format!("int: cannot parse `{s}`"))),
+                _ => v
+                    .as_int()
+                    .map(Value::Int)
+                    .ok_or_else(|| type_error(id, "a numeric value", &v)),
+            }
+        }
+        BuiltinId::StringOf => {
+            let mut text = String::new();
+            for a in &args {
+                text.push_str(&format!("{a}"));
+            }
+            Ok(Value::string(text))
+        }
+
+        BuiltinId::CurrentTopic => Ok(Value::string(ctx.current_topic)),
+        BuiltinId::Delete => Ok(Value::Null),
+        BuiltinId::Frequent => {
+            if args.len() != 3 {
+                return Err(arity_error(id, "3 (map, identifier, k)", args.len()));
+            }
+            let k = args.pop().expect("len checked");
+            let ident = args.pop().expect("len checked");
+            let map = args.pop().expect("len checked");
+            let k = k
+                .as_int()
+                .ok_or_else(|| type_error(id, "an integer k", &k))?;
+            let key = key_text(id, &ident)?;
+            match map {
+                Value::Map(m) => {
+                    frequent_step(&mut m.borrow_mut(), &key, k.max(2) as usize);
+                    Ok(Value::Null)
+                }
+                other => Err(type_error(id, "a map", &other)),
+            }
+        }
+        BuiltinId::Abs => {
+            let [v] = take_args::<1>(id, &mut args)?;
+            match v {
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                Value::Real(r) => Ok(Value::Real(r.abs())),
+                other => Err(type_error(id, "a numeric value", &other)),
+            }
+        }
+        BuiltinId::Min | BuiltinId::Max => {
+            let [a, b] = take_args::<2>(id, &mut args)?;
+            let ord = a.gapl_cmp(&b)?;
+            let pick_a = if id == BuiltinId::Min {
+                ord != std::cmp::Ordering::Greater
+            } else {
+                ord != std::cmp::Ordering::Less
+            };
+            Ok(if pick_a { a } else { b })
+        }
+    }
+}
+
+fn take_args<const N: usize>(id: BuiltinId, args: &mut Vec<Value>) -> Result<[Value; N]> {
+    if args.len() != N {
+        return Err(arity_error(id, &N.to_string(), args.len()));
+    }
+    let mut out: [Value; N] = std::array::from_fn(|_| Value::Null);
+    for slot in out.iter_mut().rev() {
+        *slot = args.pop().expect("length checked above");
+    }
+    Ok(out)
+}
+
+/// One step of the Misra–Gries "frequent" algorithm (Fig. 14 / [17]):
+/// stores at most `k - 1` counters; items occurring more than `n/k` times
+/// are guaranteed to be present in the map after processing `n` items.
+pub(crate) fn frequent_step(map: &mut MapData, key: &str, k: usize) {
+    if let Some(count) = map.lookup(key).and_then(|v| v.as_int()) {
+        map.insert(key.to_owned(), Value::Int(count + 1));
+    } else if map.len() < k.saturating_sub(1) {
+        map.insert(key.to_owned(), Value::Int(1));
+    } else {
+        let keys = map.keys();
+        for existing in keys {
+            let count = map.lookup(&existing).and_then(|v| v.as_int()).unwrap_or(0) - 1;
+            if count <= 0 {
+                map.remove(&existing);
+            } else {
+                map.insert(existing, Value::Int(count));
+            }
+        }
+    }
+}
+
+/// Ordinary least-squares slope of `(x, y)` points; 0.0 for fewer than two
+/// points or a degenerate x spread.
+pub(crate) fn least_squares_slope(points: impl Iterator<Item = (f64, f64)>) -> f64 {
+    let pts: Vec<(f64, f64)> = points.collect();
+    let n = pts.len() as f64;
+    if pts.len() < 2 {
+        return 0.0;
+    }
+    let sx: f64 = pts.iter().map(|(x, _)| x).sum();
+    let sy: f64 = pts.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = pts.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = pts.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < f64::EPSILON {
+        0.0
+    } else {
+        (n * sxy - sx * sy) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for id in BuiltinId::all() {
+            assert_eq!(BuiltinId::from_name(id.name()), Some(*id));
+        }
+        assert_eq!(BuiltinId::from_name("nosuch"), None);
+    }
+
+    #[test]
+    fn frequent_step_keeps_heavy_hitters() {
+        let mut m = MapData::new(DeclType::Int);
+        // 60 a's, 30 b's, 10 distinct others, k = 4 (store 3 counters).
+        let mut stream = Vec::new();
+        for _ in 0..60 {
+            stream.push("a".to_string());
+        }
+        for _ in 0..30 {
+            stream.push("b".to_string());
+        }
+        for i in 0..10 {
+            stream.push(format!("x{i}"));
+        }
+        // interleave deterministically
+        stream.sort();
+        for item in &stream {
+            frequent_step(&mut m, item, 4);
+        }
+        // a occurs 60 > 100/4 times, so it must be present.
+        assert!(m.has_entry("a"));
+        assert!(m.len() <= 3);
+    }
+
+    #[test]
+    fn least_squares_slope_of_a_line_is_exact() {
+        let slope = least_squares_slope((0..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0)));
+        assert!((slope - 3.0).abs() < 1e-9);
+        assert_eq!(least_squares_slope(std::iter::empty()), 0.0);
+        assert_eq!(least_squares_slope([(1.0, 5.0)].into_iter()), 0.0);
+        // Degenerate x spread.
+        assert_eq!(
+            least_squares_slope([(2.0, 1.0), (2.0, 9.0)].into_iter()),
+            0.0
+        );
+    }
+}

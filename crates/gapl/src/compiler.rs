@@ -1,0 +1,539 @@
+//! Bytecode compiler: lowers a parsed [`AutomatonAst`] to a [`Program`].
+//!
+//! The compiler performs the semantic checks the paper's cache reports back
+//! to the registering application at registration time: duplicate variable
+//! names, references to undeclared variables, unknown built-in functions,
+//! field access on something that is not a subscription variable, and
+//! assignment to subscription or association variables.
+
+use std::collections::HashMap;
+
+use crate::ast::{AssignOp, AutomatonAst, BinOp, Block, Expr, Stmt, UnOp};
+use crate::builtins::BuiltinId;
+use crate::error::{Error, Result};
+use crate::program::{Association, Const, Instr, Local, LocalKind, Program, Subscription};
+use crate::value::DeclType;
+
+/// Compile a parsed automaton into an executable [`Program`].
+///
+/// # Errors
+///
+/// Returns [`Error::Compile`] for semantic errors (see module docs).
+pub fn compile_ast(ast: &AutomatonAst) -> Result<Program> {
+    Compiler::new(ast)?.run(ast)
+}
+
+struct Compiler {
+    locals: Vec<Local>,
+    slots: HashMap<String, usize>,
+    consts: Vec<Const>,
+    subscriptions: Vec<Subscription>,
+    associations: Vec<Association>,
+}
+
+impl Compiler {
+    fn new(ast: &AutomatonAst) -> Result<Self> {
+        let mut c = Compiler {
+            locals: Vec::new(),
+            slots: HashMap::new(),
+            consts: Vec::new(),
+            subscriptions: Vec::new(),
+            associations: Vec::new(),
+        };
+
+        for sub in &ast.subscriptions {
+            let slot = c.add_local(
+                &sub.var,
+                LocalKind::Subscription {
+                    topic: sub.topic.clone(),
+                },
+            )?;
+            c.subscriptions.push(Subscription {
+                var: sub.var.clone(),
+                topic: sub.topic.clone(),
+                slot,
+            });
+        }
+        for (index, assoc) in ast.associations.iter().enumerate() {
+            let slot = c.add_local(&assoc.var, LocalKind::Association { index })?;
+            c.associations.push(Association {
+                var: assoc.var.clone(),
+                table: assoc.table.clone(),
+                slot,
+            });
+        }
+        for decl in &ast.declarations {
+            for name in &decl.names {
+                c.add_local(name, LocalKind::Declared(decl.ty))?;
+            }
+        }
+        Ok(c)
+    }
+
+    fn add_local(&mut self, name: &str, kind: LocalKind) -> Result<usize> {
+        if self.slots.contains_key(name) {
+            return Err(Error::compile(format!(
+                "variable `{name}` is declared more than once"
+            )));
+        }
+        let slot = self.locals.len();
+        self.locals.push(Local {
+            name: name.to_owned(),
+            kind,
+        });
+        self.slots.insert(name.to_owned(), slot);
+        Ok(slot)
+    }
+
+    fn run(mut self, ast: &AutomatonAst) -> Result<Program> {
+        let init_code = match &ast.initialization {
+            Some(block) => self.compile_clause(block)?,
+            None => vec![Instr::Halt],
+        };
+        let behavior_code = self.compile_clause(&ast.behavior)?;
+        Ok(Program {
+            subscriptions: self.subscriptions,
+            associations: self.associations,
+            locals: self.locals,
+            consts: self.consts,
+            init_code,
+            behavior_code,
+        })
+    }
+
+    fn compile_clause(&mut self, block: &Block) -> Result<Vec<Instr>> {
+        let mut code = Vec::new();
+        self.compile_block(block, &mut code)?;
+        code.push(Instr::Halt);
+        Ok(code)
+    }
+
+    fn add_const(&mut self, c: Const) -> usize {
+        if let Some(ix) = self.consts.iter().position(|existing| existing == &c) {
+            return ix;
+        }
+        self.consts.push(c);
+        self.consts.len() - 1
+    }
+
+    fn compile_block(&mut self, block: &Block, code: &mut Vec<Instr>) -> Result<()> {
+        for stmt in &block.stmts {
+            self.compile_stmt(stmt, code)?;
+        }
+        Ok(())
+    }
+
+    fn compile_stmt(&mut self, stmt: &Stmt, code: &mut Vec<Instr>) -> Result<()> {
+        match stmt {
+            Stmt::Assign {
+                target, op, value, ..
+            } => {
+                let slot = *self.slots.get(target).ok_or_else(|| {
+                    Error::compile(format!("assignment to undeclared variable `{target}`"))
+                })?;
+                match &self.locals[slot].kind {
+                    LocalKind::Subscription { .. } => {
+                        return Err(Error::compile(format!(
+                            "cannot assign to subscription variable `{target}`"
+                        )))
+                    }
+                    LocalKind::Association { .. } => {
+                        return Err(Error::compile(format!(
+                            "cannot assign to association variable `{target}`"
+                        )))
+                    }
+                    LocalKind::Declared(_) => {}
+                }
+                match op {
+                    AssignOp::Assign => {
+                        self.compile_expr(value, code)?;
+                    }
+                    AssignOp::AddAssign => {
+                        code.push(Instr::LoadLocal(slot));
+                        self.compile_expr(value, code)?;
+                        code.push(Instr::Add);
+                    }
+                    AssignOp::SubAssign => {
+                        code.push(Instr::LoadLocal(slot));
+                        self.compile_expr(value, code)?;
+                        code.push(Instr::Sub);
+                    }
+                }
+                code.push(Instr::StoreLocal(slot));
+                Ok(())
+            }
+            Stmt::Expr { expr, .. } => {
+                self.compile_expr(expr, code)?;
+                code.push(Instr::Pop);
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                self.compile_expr(cond, code)?;
+                let jump_to_else = code.len();
+                code.push(Instr::JumpIfFalse(usize::MAX));
+                self.compile_stmt(then_branch, code)?;
+                match else_branch {
+                    Some(else_branch) => {
+                        let jump_over_else = code.len();
+                        code.push(Instr::Jump(usize::MAX));
+                        let else_start = code.len();
+                        code[jump_to_else] = Instr::JumpIfFalse(else_start);
+                        self.compile_stmt(else_branch, code)?;
+                        let end = code.len();
+                        code[jump_over_else] = Instr::Jump(end);
+                    }
+                    None => {
+                        let end = code.len();
+                        code[jump_to_else] = Instr::JumpIfFalse(end);
+                    }
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body, .. } => {
+                let loop_start = code.len();
+                self.compile_expr(cond, code)?;
+                let jump_out = code.len();
+                code.push(Instr::JumpIfFalse(usize::MAX));
+                self.compile_stmt(body, code)?;
+                code.push(Instr::Jump(loop_start));
+                let end = code.len();
+                code[jump_out] = Instr::JumpIfFalse(end);
+                Ok(())
+            }
+            Stmt::Block(block) => self.compile_block(block, code),
+        }
+    }
+
+    fn compile_expr(&mut self, expr: &Expr, code: &mut Vec<Instr>) -> Result<()> {
+        match expr {
+            Expr::Int(i) => {
+                let ix = self.add_const(Const::Int(*i));
+                code.push(Instr::PushConst(ix));
+            }
+            Expr::Real(r) => {
+                let ix = self.add_const(Const::Real(*r));
+                code.push(Instr::PushConst(ix));
+            }
+            Expr::Str(s) => {
+                let ix = self.add_const(Const::Str(s.clone()));
+                code.push(Instr::PushConst(ix));
+            }
+            Expr::Bool(b) => {
+                let ix = self.add_const(Const::Bool(*b));
+                code.push(Instr::PushConst(ix));
+            }
+            Expr::Var(name) => match self.slots.get(name) {
+                Some(slot) => code.push(Instr::LoadLocal(*slot)),
+                None => {
+                    // Bare type keywords and window-kind keywords are allowed
+                    // as constructor arguments: `Map(int)`,
+                    // `Window(sequence, SECS, t)`.
+                    let is_keywordish = DeclType::from_keyword(name).is_some()
+                        || matches!(
+                            name.to_ascii_uppercase().as_str(),
+                            "SECS" | "SECONDS" | "ROWS" | "COUNT"
+                        );
+                    if is_keywordish {
+                        let ix = self.add_const(Const::Str(name.clone()));
+                        code.push(Instr::PushConst(ix));
+                    } else {
+                        return Err(Error::compile(format!(
+                            "reference to undeclared variable `{name}`"
+                        )));
+                    }
+                }
+            },
+            Expr::Field { object, field } => {
+                let slot = *self.slots.get(object).ok_or_else(|| {
+                    Error::compile(format!("field access on undeclared variable `{object}`"))
+                })?;
+                if !matches!(self.locals[slot].kind, LocalKind::Subscription { .. }) {
+                    return Err(Error::compile(format!(
+                        "`{object}.{field}`: field access requires a subscription variable"
+                    )));
+                }
+                let name_const = self.add_const(Const::Str(field.clone()));
+                code.push(Instr::LoadField { slot, name_const });
+            }
+            Expr::Call { name, args } => {
+                let builtin = BuiltinId::from_name(name).ok_or_else(|| {
+                    Error::compile(format!("unknown function `{name}`"))
+                })?;
+                for arg in args {
+                    self.compile_expr(arg, code)?;
+                }
+                code.push(Instr::CallBuiltin {
+                    builtin,
+                    argc: args.len(),
+                });
+            }
+            Expr::Unary { op, expr } => {
+                self.compile_expr(expr, code)?;
+                code.push(match op {
+                    UnOp::Neg => Instr::Neg,
+                    UnOp::Not => Instr::Not,
+                });
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                self.compile_expr(lhs, code)?;
+                self.compile_expr(rhs, code)?;
+                code.push(match op {
+                    BinOp::Add => Instr::Add,
+                    BinOp::Sub => Instr::Sub,
+                    BinOp::Mul => Instr::Mul,
+                    BinOp::Div => Instr::Div,
+                    BinOp::Rem => Instr::Rem,
+                    BinOp::Eq => Instr::CmpEq,
+                    BinOp::NotEq => Instr::CmpNe,
+                    BinOp::Lt => Instr::CmpLt,
+                    BinOp::Le => Instr::CmpLe,
+                    BinOp::Gt => Instr::CmpGt,
+                    BinOp::Ge => Instr::CmpGe,
+                    BinOp::And => Instr::And,
+                    BinOp::Or => Instr::Or,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    #[test]
+    fn duplicate_variable_names_are_rejected() {
+        let err = compile("subscribe f to Flows; int f; behavior { }").unwrap_err();
+        assert!(matches!(err, Error::Compile { .. }));
+        let err = compile("subscribe f to Flows; int x, x; behavior { }").unwrap_err();
+        assert!(matches!(err, Error::Compile { .. }));
+    }
+
+    #[test]
+    fn undeclared_variable_reference_is_rejected() {
+        let err = compile("subscribe f to Flows; behavior { x = 1; }").unwrap_err();
+        assert!(err.to_string().contains("undeclared"));
+        let err = compile("subscribe f to Flows; int x; behavior { x = y + 1; }").unwrap_err();
+        assert!(err.to_string().contains("undeclared"));
+    }
+
+    #[test]
+    fn unknown_function_is_rejected() {
+        let err = compile("subscribe f to Flows; behavior { doesNotExist(1); }").unwrap_err();
+        assert!(err.to_string().contains("unknown function"));
+    }
+
+    #[test]
+    fn assignment_to_subscription_or_association_is_rejected() {
+        let err = compile("subscribe f to Flows; behavior { f = 1; }").unwrap_err();
+        assert!(err.to_string().contains("subscription"));
+        let err = compile(
+            "subscribe f to Flows; associate a with T; behavior { a = 1; }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("association"));
+    }
+
+    #[test]
+    fn field_access_requires_subscription_variable() {
+        let err = compile("subscribe f to Flows; int x, y; behavior { x = y.field; }")
+            .unwrap_err();
+        assert!(err.to_string().contains("subscription"));
+    }
+
+    #[test]
+    fn type_keywords_compile_to_string_constants_in_constructors() {
+        let p = compile("subscribe f to Flows; map m; behavior { m = Map(int); }").unwrap();
+        assert!(p
+            .consts()
+            .iter()
+            .any(|c| matches!(c, Const::Str(s) if s == "int")));
+    }
+
+    #[test]
+    fn constants_are_deduplicated() {
+        let p = compile("subscribe f to Flows; int x; behavior { x = 5; x = 5; x = 5; }")
+            .unwrap();
+        let fives = p
+            .consts()
+            .iter()
+            .filter(|c| matches!(c, Const::Int(5)))
+            .count();
+        assert_eq!(fives, 1);
+    }
+
+    #[test]
+    fn if_else_produces_patched_jumps() {
+        let p = compile(
+            "subscribe f to Flows; int x; behavior { if (x > 0) x = 1; else x = 2; }",
+        )
+        .unwrap();
+        for instr in p.behavior_code() {
+            match instr {
+                Instr::Jump(t) | Instr::JumpIfFalse(t) => {
+                    assert!(*t <= p.behavior_code().len(), "unpatched jump target");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn missing_initialization_compiles_to_a_single_halt() {
+        let p = compile("subscribe f to Flows; behavior { print('x'); }").unwrap();
+        assert_eq!(p.init_code(), &[Instr::Halt]);
+    }
+
+    #[test]
+    fn the_papers_automata_compile() {
+        // Fig. 2 — continuous query execution model.
+        compile(
+            r#"
+            subscribe event to Topic;
+            subscribe x to Timer;
+            window w;
+            initialization {
+                w = Window(sequence, SECS, 10);
+            }
+            behavior {
+                if (currentTopic() == 'Topic')
+                    append(w, Sequence(event.attribute));
+                else
+                    if (currentTopic() == 'Timer') {
+                        send(w);
+                        w = Window(sequence, SECS, 10);
+                    }
+            }
+            "#,
+        )
+        .unwrap();
+
+        // Fig. 6 — built-in cost template (with a concrete built-in).
+        compile(
+            r#"
+            subscribe t to Timer;
+            int i;
+            int limit;
+            tstamp start;
+            int diff;
+            initialization {
+                limit = 100000;
+                print('===== Start of test =====');
+            }
+            behavior {
+                i = 0;
+                start = tstampNow();
+                while (i < limit) {
+                    i += 1;
+                }
+                diff = tstampDiff(tstampNow(), start);
+                print(String('nothing: ', float(diff)/100000000.0));
+            }
+            "#,
+        )
+        .unwrap();
+
+        // Fig. 8 — performance-at-scale template.
+        compile(
+            r#"
+            subscribe f to Flows;
+            real min, max, ave, r;
+            int count, nsecs;
+            string id;
+            initialization {
+                min = 1000.;
+                max = 0.;
+                ave = 0.;
+                id = 'A';
+                count = 0;
+            }
+            behavior {
+                count = count + 1;
+                nsecs = tstampDiff(tstampNow(), f.tstamp);
+                r = float(nsecs) / 1000000.;
+                ave = ave + (r - ave) / float(count);
+                if (r > max)
+                    max = r;
+                if (r < min)
+                    min = r;
+                if (count >= 1000) {
+                    print(String(id, ': ', ave, ', ', min, ', ', max));
+                    count = 0;
+                    min = 1000.;
+                    max = 0.;
+                    ave = 0.;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+
+        // Fig. 11 — stress template.
+        compile(
+            r#"
+            subscribe t to Timer;
+            subscribe s to Test;
+            int count;
+            initialization {
+                count = 0;
+                print('===== Start of stress test =====');
+            }
+            behavior {
+                if (currentTopic() == 'Timer') {
+                    if (count > 0)
+                        print(String('stress1way: ', count));
+                    count = 0;
+                } else {
+                    count += 1;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+
+        // Fig. 14 — the "frequent" algorithm.
+        compile(
+            r#"
+            subscribe e to Urls;
+            map T;
+            iterator i;
+            identifier id;
+            int count;
+            int k;
+            initialization {
+                k = 100;
+                T = Map(int);
+            }
+            behavior {
+                id = Identifier(e.host);
+                if (hasEntry(T, id)) {
+                    count = lookup(T, id);
+                    count += 1;
+                    insert(T, id, count);
+                } else if (mapSize(T) < (k-1))
+                    insert(T, id, 1);
+                else {
+                    i = Iterator(T);
+                    while (hasNext(i)) {
+                        id = next(i);
+                        count = lookup(T, id);
+                        count -= 1;
+                        if (count == 0)
+                            remove(T, id);
+                        else
+                            insert(T, id, count);
+                    }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,185 @@
+//! A human-readable disassembler for compiled automata.
+//!
+//! The cache compiles every registered automaton to stack-machine bytecode
+//! (§5); this module renders that bytecode for debugging, documentation
+//! and the management tooling exposed by
+//! `pscache::Cache::automaton_program`.
+
+use std::fmt::Write as _;
+
+use crate::builtins::BuiltinId;
+use crate::program::{Const, Instr, LocalKind, Program};
+
+impl Program {
+    /// Render the whole program — locals, subscriptions, associations,
+    /// constants and both bytecode sequences — as a readable listing.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let p = gapl::compile("subscribe t to Timer; int n; behavior { n = n + 1; }")?;
+    /// let listing = p.disassemble();
+    /// assert!(listing.contains("behavior:"));
+    /// assert!(listing.contains("add"));
+    /// # Ok::<(), gapl::Error>(())
+    /// ```
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "; automaton: {} local(s), {} constant(s)", self.locals().len(), self.consts().len());
+        for (ix, local) in self.locals().iter().enumerate() {
+            let kind = match &local.kind {
+                LocalKind::Subscription { topic } => format!("subscription of `{topic}`"),
+                LocalKind::Association { index } => {
+                    format!("association with `{}`", self.associations()[*index].table)
+                }
+                LocalKind::Declared(ty) => format!("{ty}"),
+            };
+            let _ = writeln!(out, ";   local[{ix}] {} : {kind}", local.name);
+        }
+        for (ix, c) in self.consts().iter().enumerate() {
+            let _ = writeln!(out, ";   const[{ix}] = {}", render_const(c));
+        }
+        let _ = writeln!(out, "initialization:");
+        render_code(&mut out, self.init_code(), self);
+        let _ = writeln!(out, "behavior:");
+        render_code(&mut out, self.behavior_code(), self);
+        out
+    }
+}
+
+fn render_const(c: &Const) -> String {
+    match c {
+        Const::Int(i) => i.to_string(),
+        Const::Real(r) => format!("{r}"),
+        Const::Str(s) => format!("{s:?}"),
+        Const::Bool(b) => b.to_string(),
+    }
+}
+
+fn render_code(out: &mut String, code: &[Instr], program: &Program) {
+    for (pc, instr) in code.iter().enumerate() {
+        let text = render_instr(instr, program);
+        let _ = writeln!(out, "  {pc:4}  {text}");
+    }
+}
+
+fn render_instr(instr: &Instr, program: &Program) -> String {
+    match instr {
+        Instr::PushConst(ix) => format!(
+            "push.const   #{ix} ({})",
+            program
+                .consts()
+                .get(*ix)
+                .map(render_const)
+                .unwrap_or_else(|| "?".into())
+        ),
+        Instr::LoadLocal(slot) => format!("load.local   {} ({})", slot, local_name(program, *slot)),
+        Instr::StoreLocal(slot) => {
+            format!("store.local  {} ({})", slot, local_name(program, *slot))
+        }
+        Instr::LoadField { slot, name_const } => format!(
+            "load.field   {}.{}",
+            local_name(program, *slot),
+            program
+                .consts()
+                .get(*name_const)
+                .map(render_const)
+                .unwrap_or_else(|| "?".into())
+        ),
+        Instr::Neg => "neg".into(),
+        Instr::Not => "not".into(),
+        Instr::Add => "add".into(),
+        Instr::Sub => "sub".into(),
+        Instr::Mul => "mul".into(),
+        Instr::Div => "div".into(),
+        Instr::Rem => "rem".into(),
+        Instr::CmpEq => "cmp.eq".into(),
+        Instr::CmpNe => "cmp.ne".into(),
+        Instr::CmpLt => "cmp.lt".into(),
+        Instr::CmpLe => "cmp.le".into(),
+        Instr::CmpGt => "cmp.gt".into(),
+        Instr::CmpGe => "cmp.ge".into(),
+        Instr::And => "and".into(),
+        Instr::Or => "or".into(),
+        Instr::Jump(target) => format!("jump         -> {target}"),
+        Instr::JumpIfFalse(target) => format!("jump.false   -> {target}"),
+        Instr::Pop => "pop".into(),
+        Instr::CallBuiltin { builtin, argc } => {
+            format!("call         {}/{argc}", builtin_name(*builtin))
+        }
+        Instr::Halt => "halt".into(),
+    }
+}
+
+fn builtin_name(b: BuiltinId) -> &'static str {
+    b.name()
+}
+
+fn local_name(program: &Program, slot: usize) -> &str {
+    program
+        .locals()
+        .get(slot)
+        .map(|l| l.name.as_str())
+        .unwrap_or("?")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn disassembly_mentions_every_structural_element() {
+        let p = crate::compile(
+            r#"
+            subscribe f to Flows;
+            associate a with Allowances;
+            int n;
+            initialization { n = 0; }
+            behavior {
+                if (hasEntry(a, Identifier(f.srcip)))
+                    n += 1;
+                else
+                    send(n, 'done');
+                while (n > 10)
+                    n -= 1;
+            }
+            "#,
+        )
+        .unwrap();
+        let text = p.disassemble();
+        for needle in [
+            "subscription of `Flows`",
+            "association with `Allowances`",
+            "initialization:",
+            "behavior:",
+            "call         hasEntry/2",
+            "call         Identifier/1",
+            "call         send/2",
+            "load.field   f.\"srcip\"",
+            "jump.false",
+            "jump",
+            "halt",
+            "cmp.gt",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn every_instruction_renders_distinctly() {
+        let p = crate::compile(
+            "subscribe t to Timer; int a; bool b; behavior { \
+             a = -a + 1 - 2 * 3 / 4 % 5; \
+             b = !(a == 1) && (a != 2) || (a < 3) && (a <= 4) && (a > 5) && (a >= 6); }",
+        )
+        .unwrap();
+        let text = p.disassemble();
+        for op in [
+            "neg", "not", "add", "sub", "mul", "div", "rem", "cmp.eq", "cmp.ne", "cmp.lt",
+            "cmp.le", "cmp.gt", "cmp.ge", "and", "or",
+        ] {
+            assert!(
+                text.lines().any(|l| l.trim().ends_with(op) || l.contains(&format!("  {op}"))),
+                "missing `{op}` in:\n{text}"
+            );
+        }
+    }
+}

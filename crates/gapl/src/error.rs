@@ -1,0 +1,114 @@
+//! Error types for the GAPL language pipeline and runtime.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The error type returned by every fallible public function in this crate.
+///
+/// The variants correspond to the stages of the language pipeline plus the
+/// data-model constructors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The lexer encountered an invalid character or unterminated literal.
+    Lex {
+        /// 1-based line of the offending input.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// The parser encountered an unexpected token.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// Semantic analysis / bytecode generation failed.
+    Compile {
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// An automaton misbehaved at run time (type error, missing field,
+    /// arity mismatch, ...).
+    Runtime {
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// The event data model was used inconsistently (schema/tuple arity or
+    /// type mismatch, duplicate attribute names, ...).
+    Data {
+        /// Explanation of the failure.
+        message: String,
+    },
+}
+
+impl Error {
+    /// Construct a [`Error::Runtime`] with the given message.
+    pub fn runtime(message: impl Into<String>) -> Self {
+        Error::Runtime {
+            message: message.into(),
+        }
+    }
+
+    /// Construct a [`Error::Compile`] with the given message.
+    pub fn compile(message: impl Into<String>) -> Self {
+        Error::Compile {
+            message: message.into(),
+        }
+    }
+
+    /// Construct a [`Error::Data`] with the given message.
+    pub fn data(message: impl Into<String>) -> Self {
+        Error::Data {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { line, message } => write!(f, "lex error at line {line}: {message}"),
+            Error::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Error::Compile { message } => write!(f, "compile error: {message}"),
+            Error::Runtime { message } => write!(f, "runtime error: {message}"),
+            Error::Data { message } => write!(f, "data model error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_numbers() {
+        let e = Error::Lex {
+            line: 3,
+            message: "bad char".into(),
+        };
+        assert_eq!(e.to_string(), "lex error at line 3: bad char");
+        let e = Error::Parse {
+            line: 7,
+            message: "unexpected token".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn constructors_produce_expected_variants() {
+        assert!(matches!(Error::runtime("x"), Error::Runtime { .. }));
+        assert!(matches!(Error::compile("x"), Error::Compile { .. }));
+        assert!(matches!(Error::data("x"), Error::Data { .. }));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

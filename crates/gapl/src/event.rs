@@ -1,0 +1,471 @@
+//! The event data model shared by the language, the cache and the RPC layer.
+//!
+//! A [`Tuple`] is an ordered list of [`Scalar`] values conforming to a
+//! [`Schema`]. Every tuple carries the timestamp (nanoseconds since the
+//! epoch) at which it was inserted into the cache; insertion order is the
+//! primary key of ephemeral (stream) tables, exactly as in the paper.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// A timestamp expressed as nanoseconds since the Unix epoch.
+///
+/// The paper's `tstamp` basic type (Table 1) is a 64-bit unsigned integer of
+/// nanoseconds; we keep the same representation.
+pub type Timestamp = u64;
+
+/// The type of a single attribute (column) of a table / topic schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttrType {
+    /// 64-bit signed integer (`integer` in the SQL layer, `int` in GAPL).
+    Int,
+    /// Double-precision floating point (`real`).
+    Real,
+    /// Nanosecond timestamp (`tstamp`).
+    Tstamp,
+    /// Boolean (`boolean`).
+    Bool,
+    /// Variable-length UTF-8 string (`varchar(n)`).
+    Str,
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttrType::Int => "integer",
+            AttrType::Real => "real",
+            AttrType::Tstamp => "tstamp",
+            AttrType::Bool => "boolean",
+            AttrType::Str => "varchar",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single attribute value carried inside a [`Tuple`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Scalar {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Double-precision floating point.
+    Real(f64),
+    /// Nanosecond timestamp.
+    Tstamp(Timestamp),
+    /// Boolean.
+    Bool(bool),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Scalar {
+    /// The [`AttrType`] this scalar inhabits.
+    pub fn attr_type(&self) -> AttrType {
+        match self {
+            Scalar::Int(_) => AttrType::Int,
+            Scalar::Real(_) => AttrType::Real,
+            Scalar::Tstamp(_) => AttrType::Tstamp,
+            Scalar::Bool(_) => AttrType::Bool,
+            Scalar::Str(_) => AttrType::Str,
+        }
+    }
+
+    /// Interpret the scalar as an `i64` if it is numeric.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Scalar::Int(i) => Some(*i),
+            Scalar::Tstamp(t) => Some(*t as i64),
+            Scalar::Bool(b) => Some(i64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// Interpret the scalar as an `f64` if it is numeric.
+    pub fn as_real(&self) -> Option<f64> {
+        match self {
+            Scalar::Int(i) => Some(*i as f64),
+            Scalar::Real(r) => Some(*r),
+            Scalar::Tstamp(t) => Some(*t as f64),
+            _ => None,
+        }
+    }
+
+    /// Interpret the scalar as a string slice if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A total ordering used by `order by` and comparison predicates.
+    ///
+    /// Scalars of different types order by their type tag first; numeric
+    /// types compare numerically among themselves.
+    pub fn total_cmp(&self, other: &Scalar) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Scalar::Str(a), Scalar::Str(b)) => a.cmp(b),
+            (Scalar::Bool(a), Scalar::Bool(b)) => a.cmp(b),
+            (a, b) => match (a.as_real(), b.as_real()) {
+                (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+                _ => format!("{a:?}").cmp(&format!("{b:?}")),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Int(i) => write!(f, "{i}"),
+            Scalar::Real(r) => write!(f, "{r}"),
+            Scalar::Tstamp(t) => write!(f, "{t}"),
+            Scalar::Bool(b) => write!(f, "{b}"),
+            Scalar::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Scalar {
+    fn from(v: i64) -> Self {
+        Scalar::Int(v)
+    }
+}
+impl From<f64> for Scalar {
+    fn from(v: f64) -> Self {
+        Scalar::Real(v)
+    }
+}
+impl From<bool> for Scalar {
+    fn from(v: bool) -> Self {
+        Scalar::Bool(v)
+    }
+}
+impl From<&str> for Scalar {
+    fn from(v: &str) -> Self {
+        Scalar::Str(v.to_owned())
+    }
+}
+impl From<String> for Scalar {
+    fn from(v: String) -> Self {
+        Scalar::Str(v)
+    }
+}
+
+/// A named, typed attribute of a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute (column) name.
+    pub name: String,
+    /// Attribute type.
+    pub ty: AttrType,
+}
+
+/// The schema of a table / topic: its name plus an ordered attribute list.
+///
+/// Schemas are immutable once created and are shared via [`Arc`] between the
+/// cache, the delivery paths and every tuple inserted into the table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    name: String,
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Create a schema from `(name, type)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Data`] if the attribute list is empty or contains a
+    /// duplicate attribute name.
+    pub fn new<N, I, S>(name: N, attrs: I) -> Result<Self>
+    where
+        N: Into<String>,
+        I: IntoIterator<Item = (S, AttrType)>,
+        S: Into<String>,
+    {
+        let attributes: Vec<Attribute> = attrs
+            .into_iter()
+            .map(|(n, ty)| Attribute { name: n.into(), ty })
+            .collect();
+        if attributes.is_empty() {
+            return Err(Error::data("a schema requires at least one attribute"));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for a in &attributes {
+            if !seen.insert(a.name.clone()) {
+                return Err(Error::data(format!(
+                    "duplicate attribute name `{}` in schema",
+                    a.name
+                )));
+            }
+        }
+        Ok(Schema {
+            name: name.into(),
+            attributes,
+        })
+    }
+
+    /// The table / topic name this schema belongs to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ordered list of attributes.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Position of the attribute called `name`, if any.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// Type of the attribute called `name`, if any.
+    pub fn type_of(&self, name: &str) -> Option<AttrType> {
+        self.attributes
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| a.ty)
+    }
+
+    /// Check that `values` conforms to this schema (same arity, compatible
+    /// types). Integer values are accepted where timestamps or reals are
+    /// expected, mirroring the paper's liberal SQL insert layer.
+    pub fn check(&self, values: &[Scalar]) -> Result<()> {
+        if values.len() != self.arity() {
+            return Err(Error::data(format!(
+                "tuple arity {} does not match schema `{}` arity {}",
+                values.len(),
+                self.name,
+                self.arity()
+            )));
+        }
+        for (attr, value) in self.attributes.iter().zip(values) {
+            let ok = match (attr.ty, value) {
+                (AttrType::Int, Scalar::Int(_)) => true,
+                (AttrType::Real, Scalar::Real(_) | Scalar::Int(_)) => true,
+                (AttrType::Tstamp, Scalar::Tstamp(_) | Scalar::Int(_)) => true,
+                (AttrType::Bool, Scalar::Bool(_)) => true,
+                (AttrType::Str, Scalar::Str(_)) => true,
+                _ => false,
+            };
+            if !ok {
+                return Err(Error::data(format!(
+                    "attribute `{}` of `{}` expects {} but got {:?}",
+                    attr.name, self.name, attr.ty, value
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An immutable event: a list of scalar values conforming to a schema plus
+/// the insertion timestamp assigned by the cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    schema: Arc<Schema>,
+    values: Arc<[Scalar]>,
+    tstamp: Timestamp,
+}
+
+impl Tuple {
+    /// Create a tuple, validating `values` against `schema`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Data`] when the values do not conform to the schema.
+    pub fn new(schema: Arc<Schema>, values: Vec<Scalar>, tstamp: Timestamp) -> Result<Self> {
+        schema.check(&values)?;
+        Ok(Tuple {
+            schema,
+            values: values.into(),
+            tstamp,
+        })
+    }
+
+    /// The schema this tuple conforms to.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The values, in schema order.
+    pub fn values(&self) -> &[Scalar] {
+        &self.values
+    }
+
+    /// The insertion timestamp (nanoseconds since the epoch).
+    pub fn tstamp(&self) -> Timestamp {
+        self.tstamp
+    }
+
+    /// Return a copy of this tuple with a different timestamp.
+    pub fn with_tstamp(&self, tstamp: Timestamp) -> Tuple {
+        Tuple {
+            schema: Arc::clone(&self.schema),
+            values: Arc::clone(&self.values),
+            tstamp,
+        }
+    }
+
+    /// Value of the attribute called `name`.
+    ///
+    /// The pseudo-attribute `tstamp` resolves to the insertion timestamp for
+    /// every tuple, even when the schema does not declare such a column;
+    /// this mirrors the paper's `f.tstamp` usage in Fig. 8.
+    pub fn field(&self, name: &str) -> Option<Scalar> {
+        if let Some(ix) = self.schema.index_of(name) {
+            return Some(self.values[ix].clone());
+        }
+        if name == "tstamp" {
+            return Some(Scalar::Tstamp(self.tstamp));
+        }
+        None
+    }
+
+    /// Value at position `ix` in schema order.
+    pub fn value_at(&self, ix: usize) -> Option<&Scalar> {
+        self.values.get(ix)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}(", self.schema.name(), self.tstamp)?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flows_schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(
+                "Flows",
+                vec![
+                    ("srcip", AttrType::Str),
+                    ("dstip", AttrType::Str),
+                    ("nbytes", AttrType::Int),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn schema_rejects_duplicates_and_empty() {
+        assert!(Schema::new("T", vec![("a", AttrType::Int), ("a", AttrType::Int)]).is_err());
+        assert!(Schema::new("T", Vec::<(String, AttrType)>::new()).is_err());
+    }
+
+    #[test]
+    fn schema_lookup_by_name() {
+        let s = flows_schema();
+        assert_eq!(s.index_of("nbytes"), Some(2));
+        assert_eq!(s.type_of("srcip"), Some(AttrType::Str));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.arity(), 3);
+    }
+
+    #[test]
+    fn tuple_checks_arity_and_types() {
+        let s = flows_schema();
+        let bad_arity = Tuple::new(s.clone(), vec![Scalar::Str("a".into())], 0);
+        assert!(bad_arity.is_err());
+        let bad_type = Tuple::new(
+            s.clone(),
+            vec![Scalar::Int(1), Scalar::Str("b".into()), Scalar::Int(3)],
+            0,
+        );
+        assert!(bad_type.is_err());
+        let ok = Tuple::new(
+            s,
+            vec![
+                Scalar::Str("10.0.0.1".into()),
+                Scalar::Str("10.0.0.2".into()),
+                Scalar::Int(1500),
+            ],
+            7,
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn tuple_field_access_includes_tstamp_pseudo_field() {
+        let s = flows_schema();
+        let t = Tuple::new(
+            s,
+            vec![
+                Scalar::Str("10.0.0.1".into()),
+                Scalar::Str("10.0.0.2".into()),
+                Scalar::Int(1500),
+            ],
+            99,
+        )
+        .unwrap();
+        assert_eq!(t.field("nbytes"), Some(Scalar::Int(1500)));
+        assert_eq!(t.field("tstamp"), Some(Scalar::Tstamp(99)));
+        assert_eq!(t.field("nope"), None);
+        assert_eq!(t.tstamp(), 99);
+    }
+
+    #[test]
+    fn int_accepted_for_real_and_tstamp_columns() {
+        let s = Arc::new(
+            Schema::new("T", vec![("r", AttrType::Real), ("ts", AttrType::Tstamp)]).unwrap(),
+        );
+        let t = Tuple::new(s, vec![Scalar::Int(3), Scalar::Int(5)], 0);
+        assert!(t.is_ok());
+    }
+
+    #[test]
+    fn scalar_conversions_and_ordering() {
+        assert_eq!(Scalar::Int(3).as_real(), Some(3.0));
+        assert_eq!(Scalar::Real(2.5).as_int(), None);
+        assert_eq!(Scalar::Bool(true).as_int(), Some(1));
+        assert_eq!(Scalar::from("x").as_str(), Some("x"));
+        assert_eq!(
+            Scalar::Int(1).total_cmp(&Scalar::Real(2.0)),
+            std::cmp::Ordering::Less
+        );
+        assert_eq!(
+            Scalar::Str("b".into()).total_cmp(&Scalar::Str("a".into())),
+            std::cmp::Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = flows_schema();
+        let t = Tuple::new(
+            s,
+            vec![
+                Scalar::Str("a".into()),
+                Scalar::Str("b".into()),
+                Scalar::Int(1),
+            ],
+            5,
+        )
+        .unwrap();
+        assert_eq!(t.to_string(), "Flows@5(a, b, 1)");
+        assert_eq!(AttrType::Str.to_string(), "varchar");
+    }
+}

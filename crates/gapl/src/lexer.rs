@@ -1,0 +1,449 @@
+//! The GAPL lexer.
+//!
+//! GAPL has a C-like surface syntax. Comments start with `#` and run to the
+//! end of the line (the paper's built-in cost template of Fig. 6 uses this
+//! style). String literals may be single- or double-quoted; the typographic
+//! quotes that appear in the paper's listings (`’...’`) are also accepted so
+//! that the published automata can be pasted in verbatim.
+
+use crate::error::{Error, Result};
+use crate::token::{Token, TokenKind};
+
+/// Tokenize GAPL source text.
+///
+/// # Errors
+///
+/// Returns [`Error::Lex`] on invalid characters, malformed numbers or
+/// unterminated string literals.
+///
+/// # Example
+///
+/// ```
+/// use gapl::token::TokenKind;
+/// let toks = gapl::lexer::lex("count += 1;")?;
+/// assert_eq!(toks[1].kind, TokenKind::PlusAssign);
+/// # Ok::<(), gapl::Error>(())
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            source,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::Lex {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if let Some(ch) = c {
+            self.pos += 1;
+            if ch == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_whitespace_and_comments();
+            let line = self.line;
+            let Some(c) = self.peek() else {
+                out.push(Token::new(TokenKind::Eof, line));
+                return Ok(out);
+            };
+            let kind = if c.is_ascii_digit() {
+                self.number()?
+            } else if c == '_' || c.is_alphabetic() {
+                self.ident_or_keyword()
+            } else if is_quote(c) {
+                self.string_literal()?
+            } else {
+                self.operator()?
+            };
+            out.push(Token::new(kind, line));
+        }
+    }
+
+    fn skip_whitespace_and_comments(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_real = false;
+        // A trailing decimal point with no fractional digits (`1000.`) is a
+        // real literal, as in the paper's Fig. 8 listing; a dot followed by
+        // an identifier would be a field access and is left alone.
+        let dot_starts_fraction = self.peek() == Some('.')
+            && !matches!(self.peek2(), Some(c) if c.is_alphabetic() || c == '_' || c == '.');
+        if dot_starts_fraction {
+            is_real = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E'))
+            && matches!(self.peek2(), Some(c) if c.is_ascii_digit() || c == '-' || c == '+')
+        {
+            is_real = true;
+            self.bump();
+            if matches!(self.peek(), Some('-' | '+')) {
+                self.bump();
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let mut text: String = self.chars[start..self.pos].iter().collect();
+        if is_real {
+            if text.ends_with('.') {
+                text.push('0');
+            }
+            text.parse::<f64>()
+                .map(TokenKind::Real)
+                .map_err(|_| self.err(format!("invalid real literal `{text}`")))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|_| self.err(format!("invalid integer literal `{text}`")))
+        }
+    }
+
+    fn ident_or_keyword(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c == '_' || c.is_alphanumeric()) {
+            self.bump();
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        match text.as_str() {
+            "subscribe" => TokenKind::Subscribe,
+            "to" => TokenKind::To,
+            "associate" => TokenKind::Associate,
+            "with" => TokenKind::With,
+            "initialization" => TokenKind::Initialization,
+            "behavior" | "behaviour" => TokenKind::Behavior,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "true" => TokenKind::Bool(true),
+            "false" => TokenKind::Bool(false),
+            _ => TokenKind::Ident(text),
+        }
+    }
+
+    fn string_literal(&mut self) -> Result<TokenKind> {
+        let open = self.bump().expect("caller checked a quote is present");
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(c) if closes(open, c) => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => text.push('\n'),
+                    Some('t') => text.push('\t'),
+                    Some(other) => text.push(other),
+                    None => return Err(self.err("unterminated escape sequence")),
+                },
+                Some(c) => text.push(c),
+            }
+        }
+        Ok(TokenKind::Str(text))
+    }
+
+    fn operator(&mut self) -> Result<TokenKind> {
+        let c = self.bump().expect("caller checked a character is present");
+        let kind = match c {
+            '(' => TokenKind::LParen,
+            ')' => TokenKind::RParen,
+            '{' => TokenKind::LBrace,
+            '}' => TokenKind::RBrace,
+            ';' => TokenKind::Semicolon,
+            ',' => TokenKind::Comma,
+            '.' => TokenKind::Dot,
+            '+' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::PlusAssign
+                } else {
+                    TokenKind::Plus
+                }
+            }
+            '-' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::MinusAssign
+                } else {
+                    TokenKind::Minus
+                }
+            }
+            '*' => TokenKind::Star,
+            '/' => TokenKind::Slash,
+            '%' => TokenKind::Percent,
+            '=' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::Eq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            '!' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::NotEq
+                } else {
+                    TokenKind::Not
+                }
+            }
+            '<' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            '>' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            '&' => {
+                if self.peek() == Some('&') {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    return Err(self.err("expected `&&`"));
+                }
+            }
+            '|' => {
+                if self.peek() == Some('|') {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    return Err(self.err("expected `||`"));
+                }
+            }
+            other => {
+                let _ = self.source;
+                return Err(self.err(format!("unexpected character `{other}`")));
+            }
+        };
+        Ok(kind)
+    }
+}
+
+fn is_quote(c: char) -> bool {
+    matches!(c, '\'' | '"' | '\u{2018}' | '\u{2019}' | '\u{201C}' | '\u{201D}')
+}
+
+/// Whether `close` terminates a string opened with `open`, accepting the
+/// matching typographic quote as well as the plain one.
+fn closes(open: char, close: char) -> bool {
+    match open {
+        '\'' | '\u{2018}' | '\u{2019}' => matches!(close, '\'' | '\u{2018}' | '\u{2019}'),
+        '"' | '\u{201C}' | '\u{201D}' => matches!(close, '"' | '\u{201C}' | '\u{201D}'),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as K;
+
+    fn kinds(src: &str) -> Vec<K> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_subscription_line() {
+        assert_eq!(
+            kinds("subscribe f to Flows;"),
+            vec![
+                K::Subscribe,
+                K::Ident("f".into()),
+                K::To,
+                K::Ident("Flows".into()),
+                K::Semicolon,
+                K::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("42 3.5 1000000. 1e3"),
+            vec![
+                K::Int(42),
+                K::Real(3.5),
+                K::Real(1000000.0),
+                K::Real(1000.0),
+                K::Eof
+            ]
+        );
+        // `1000.;` from Fig. 8 is a real literal followed by a semicolon.
+        assert_eq!(
+            kinds("min = 1000.;"),
+            vec![
+                K::Ident("min".into()),
+                K::Assign,
+                K::Real(1000.0),
+                K::Semicolon,
+                K::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_both_quote_styles() {
+        assert_eq!(
+            kinds(r#"'hello' "world""#),
+            vec![K::Str("hello".into()), K::Str("world".into()), K::Eof]
+        );
+        // Typographic quotes, as they appear in the paper's listings.
+        assert_eq!(
+            kinds("\u{2018}limit exceeded\u{2019}"),
+            vec![K::Str("limit exceeded".into()), K::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("a += 1; b -= 2; c == d; e != f; g <= h; i >= j; k && l || !m"),
+            vec![
+                K::Ident("a".into()),
+                K::PlusAssign,
+                K::Int(1),
+                K::Semicolon,
+                K::Ident("b".into()),
+                K::MinusAssign,
+                K::Int(2),
+                K::Semicolon,
+                K::Ident("c".into()),
+                K::Eq,
+                K::Ident("d".into()),
+                K::Semicolon,
+                K::Ident("e".into()),
+                K::NotEq,
+                K::Ident("f".into()),
+                K::Semicolon,
+                K::Ident("g".into()),
+                K::Le,
+                K::Ident("h".into()),
+                K::Semicolon,
+                K::Ident("i".into()),
+                K::Ge,
+                K::Ident("j".into()),
+                K::Semicolon,
+                K::Ident("k".into()),
+                K::AndAnd,
+                K::Ident("l".into()),
+                K::OrOr,
+                K::Not,
+                K::Ident("m".into()),
+                K::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_hash_and_slash_comments() {
+        let src = "# a comment\nint x; // trailing\n# another";
+        assert_eq!(
+            kinds(src),
+            vec![K::Ident("int".into()), K::Ident("x".into()), K::Semicolon, K::Eof]
+        );
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let toks = lex("int x;\n\n  @").unwrap_err();
+        match toks {
+            Error::Lex { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("'oops").is_err());
+        assert!(lex("& alone").is_err());
+        assert!(lex("| alone").is_err());
+    }
+
+    #[test]
+    fn behavior_and_behaviour_both_accepted() {
+        assert_eq!(kinds("behavior")[0], K::Behavior);
+        assert_eq!(kinds("behaviour")[0], K::Behavior);
+    }
+
+    #[test]
+    fn escape_sequences_in_strings() {
+        assert_eq!(
+            kinds(r#"'a\nb\tc\'d'"#),
+            vec![K::Str("a\nb\tc'd".into()), K::Eof]
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! # GAPL — the Glasgow Automaton Programming Language
+//!
+//! This crate implements the imperative automaton programming language that
+//! sits at the heart of the unified publish/subscribe + stream-database
+//! system described in *Sventek & Koliousis, "Unification of
+//! Publish/Subscribe Systems and Stream Databases" (Middleware 2012)*.
+//!
+//! An automaton is a small imperative program with the general form
+//!
+//! ```text
+//! subscribe f to Flows;
+//! associate a with Allowances;
+//!
+//! int n, limit;
+//!
+//! initialization { ... }
+//! behavior { ... }
+//! ```
+//!
+//! The crate provides:
+//!
+//! * the event data model ([`event::Scalar`], [`event::Tuple`],
+//!   [`event::Schema`]) shared with the cache and the RPC layer,
+//! * a lexer ([`lexer`]), parser ([`parser`]) and AST ([`ast`]),
+//! * a bytecode compiler ([`compiler`]) targeting a stack machine
+//!   ([`vm::Vm`]),
+//! * the built-in function library ([`builtins`]) including the aggregate
+//!   types `sequence`, `map`, `window`, `identifier` and `iterator`
+//!   ([`value`]),
+//! * a [`vm::HostInterface`] trait through which automata interact with
+//!   their environment (publishing tuples, sending notifications to the
+//!   registering application, and reading/writing persistent tables).
+//!
+//! # Example
+//!
+//! Compile and run a trivial automaton against a scripted host:
+//!
+//! ```
+//! use gapl::{compile, event::{Schema, AttrType, Tuple, Scalar}, vm::{Vm, RecordingHost}};
+//! use std::sync::Arc;
+//!
+//! let src = r#"
+//!     subscribe f to Flows;
+//!     int total;
+//!     initialization { total = 0; }
+//!     behavior { total = total + f.nbytes; send(total); }
+//! "#;
+//! let program = compile(src)?;
+//! let schema = Arc::new(Schema::new(
+//!     "Flows",
+//!     vec![("nbytes", AttrType::Int)],
+//! )?);
+//! let mut host = RecordingHost::default();
+//! let mut vm = Vm::new(Arc::new(program));
+//! vm.run_initialization(&mut host)?;
+//! let tuple = Tuple::new(schema.clone(), vec![Scalar::Int(42)], 1)?;
+//! vm.run_behavior("Flows", &tuple, &mut host)?;
+//! assert_eq!(host.sent.len(), 1);
+//! # Ok::<(), gapl::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod builtins;
+pub mod compiler;
+pub mod disasm;
+pub mod error;
+pub mod event;
+pub mod lexer;
+pub mod parser;
+pub mod program;
+pub mod token;
+pub mod value;
+pub mod vm;
+
+pub use error::{Error, Result};
+pub use program::Program;
+
+/// Compile GAPL source text into an executable [`Program`].
+///
+/// This is the main entry point of the crate: it runs the lexer, the parser
+/// and the bytecode compiler, and returns the compiled program together with
+/// its subscriptions, associations and local-variable layout.
+///
+/// # Errors
+///
+/// Returns [`Error::Lex`], [`Error::Parse`] or [`Error::Compile`] when the
+/// source is malformed.
+///
+/// # Example
+///
+/// ```
+/// let program = gapl::compile(
+///     "subscribe t to Timer; behavior { print('tick'); }",
+/// )?;
+/// assert_eq!(program.subscriptions()[0].topic, "Timer");
+/// # Ok::<(), gapl::Error>(())
+/// ```
+pub fn compile(source: &str) -> Result<Program> {
+    let tokens = lexer::lex(source)?;
+    let ast = parser::parse(&tokens)?;
+    compiler::compile_ast(&ast)
+}

@@ -1,0 +1,580 @@
+//! Recursive-descent parser for GAPL.
+
+use crate::ast::{
+    AssignOp, AssociationDecl, AutomatonAst, BinOp, Block, Expr, Stmt, SubscriptionDecl, UnOp,
+    VarDecl,
+};
+use crate::error::{Error, Result};
+use crate::token::{Token, TokenKind};
+use crate::value::DeclType;
+
+/// Parse a token stream (from [`crate::lexer::lex`]) into an AST.
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] on malformed input, including a missing
+/// `behavior` clause (every automaton must have one) or a missing
+/// subscription (every automaton must subscribe to at least one topic).
+///
+/// # Example
+///
+/// ```
+/// let tokens = gapl::lexer::lex("subscribe t to Timer; behavior { print('x'); }")?;
+/// let ast = gapl::parser::parse(&tokens)?;
+/// assert_eq!(ast.subscriptions.len(), 1);
+/// # Ok::<(), gapl::Error>(())
+/// ```
+pub fn parse(tokens: &[Token]) -> Result<AutomatonAst> {
+    Parser {
+        tokens,
+        pos: 0,
+    }
+    .automaton()
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].line
+    }
+
+    fn bump(&mut self) -> &TokenKind {
+        let ix = self.pos.min(self.tokens.len() - 1);
+        if self.pos < self.tokens.len() {
+            self.pos += 1;
+        }
+        &self.tokens[ix].kind
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::Parse {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected an identifier, found {other}"))),
+        }
+    }
+
+    fn automaton(&mut self) -> Result<AutomatonAst> {
+        let mut subscriptions = Vec::new();
+        let mut associations = Vec::new();
+        let mut declarations = Vec::new();
+        let mut initialization = None;
+        let mut behavior = None;
+
+        loop {
+            match self.peek().clone() {
+                TokenKind::Eof => break,
+                TokenKind::Subscribe => {
+                    let line = self.line();
+                    self.bump();
+                    let var = self.expect_ident()?;
+                    self.expect(&TokenKind::To)?;
+                    let topic = self.expect_ident()?;
+                    self.expect(&TokenKind::Semicolon)?;
+                    subscriptions.push(SubscriptionDecl { var, topic, line });
+                }
+                TokenKind::Associate => {
+                    let line = self.line();
+                    self.bump();
+                    let var = self.expect_ident()?;
+                    self.expect(&TokenKind::With)?;
+                    let table = self.expect_ident()?;
+                    self.expect(&TokenKind::Semicolon)?;
+                    associations.push(AssociationDecl { var, table, line });
+                }
+                TokenKind::Initialization => {
+                    self.bump();
+                    if initialization.is_some() {
+                        return Err(self.err("duplicate initialization clause"));
+                    }
+                    initialization = Some(self.block()?);
+                }
+                TokenKind::Behavior => {
+                    self.bump();
+                    if behavior.is_some() {
+                        return Err(self.err("duplicate behavior clause"));
+                    }
+                    behavior = Some(self.block()?);
+                }
+                TokenKind::Ident(word) if DeclType::from_keyword(&word).is_some() => {
+                    let line = self.line();
+                    self.bump();
+                    let ty = DeclType::from_keyword(&word).expect("checked above");
+                    let mut names = vec![self.expect_ident()?];
+                    while self.peek() == &TokenKind::Comma {
+                        self.bump();
+                        names.push(self.expect_ident()?);
+                    }
+                    self.expect(&TokenKind::Semicolon)?;
+                    declarations.push(VarDecl { ty, names, line });
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected a subscription, association, declaration or clause, found {other}"
+                    )))
+                }
+            }
+        }
+
+        let behavior = behavior.ok_or_else(|| self.err("automaton has no behavior clause"))?;
+        if subscriptions.is_empty() {
+            return Err(self.err("an automaton must subscribe to at least one topic"));
+        }
+        Ok(AutomatonAst {
+            subscriptions,
+            associations,
+            declarations,
+            initialization,
+            behavior,
+        })
+    }
+
+    fn block(&mut self) -> Result<Block> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &TokenKind::RBrace {
+            if self.peek() == &TokenKind::Eof {
+                return Err(self.err("unterminated block: missing `}`"));
+            }
+            stmts.push(self.statement()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(Block { stmts })
+    }
+
+    fn statement(&mut self) -> Result<Stmt> {
+        let line = self.line();
+        match self.peek().clone() {
+            TokenKind::LBrace => Ok(Stmt::Block(self.block()?)),
+            TokenKind::If => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expression()?;
+                self.expect(&TokenKind::RParen)?;
+                let then_branch = Box::new(self.statement()?);
+                let else_branch = if self.peek() == &TokenKind::Else {
+                    self.bump();
+                    Some(Box::new(self.statement()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    line,
+                })
+            }
+            TokenKind::While => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expression()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = Box::new(self.statement()?);
+                Ok(Stmt::While { cond, body, line })
+            }
+            TokenKind::Ident(name) => {
+                // Lookahead to distinguish assignment from a call statement.
+                let next = &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind;
+                match next {
+                    TokenKind::Assign | TokenKind::PlusAssign | TokenKind::MinusAssign => {
+                        self.bump();
+                        let op = match self.bump() {
+                            TokenKind::Assign => AssignOp::Assign,
+                            TokenKind::PlusAssign => AssignOp::AddAssign,
+                            TokenKind::MinusAssign => AssignOp::SubAssign,
+                            _ => unreachable!("lookahead established an assignment operator"),
+                        };
+                        let value = self.expression()?;
+                        self.expect(&TokenKind::Semicolon)?;
+                        Ok(Stmt::Assign {
+                            target: name,
+                            op,
+                            value,
+                            line,
+                        })
+                    }
+                    _ => {
+                        let expr = self.expression()?;
+                        self.expect(&TokenKind::Semicolon)?;
+                        Ok(Stmt::Expr { expr, line })
+                    }
+                }
+            }
+            other => Err(self.err(format!("expected a statement, found {other}"))),
+        }
+    }
+
+    fn expression(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == &TokenKind::OrOr {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.equality_expr()?;
+        while self.peek() == &TokenKind::AndAnd {
+            self.bump();
+            let rhs = self.equality_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn equality_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.relational_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Eq => BinOp::Eq,
+                TokenKind::NotEq => BinOp::NotEq,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.relational_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn relational_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.additive_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.additive_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn additive_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.multiplicative_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.multiplicative_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(self.unary_expr()?),
+                })
+            }
+            TokenKind::Not => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(self.unary_expr()?),
+                })
+            }
+            _ => self.primary_expr(),
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(Expr::Int(i))
+            }
+            TokenKind::Real(r) => {
+                self.bump();
+                Ok(Expr::Real(r))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            TokenKind::Bool(b) => {
+                self.bump();
+                Ok(Expr::Bool(b))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expression()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                match self.peek() {
+                    TokenKind::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if self.peek() != &TokenKind::RParen {
+                            args.push(self.expression()?);
+                            while self.peek() == &TokenKind::Comma {
+                                self.bump();
+                                args.push(self.expression()?);
+                            }
+                        }
+                        self.expect(&TokenKind::RParen)?;
+                        Ok(Expr::Call { name, args })
+                    }
+                    TokenKind::Dot => {
+                        self.bump();
+                        let field = self.expect_ident()?;
+                        Ok(Expr::Field {
+                            object: name,
+                            field,
+                        })
+                    }
+                    _ => Ok(Expr::Var(name)),
+                }
+            }
+            other => Err(self.err(format!("expected an expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<AutomatonAst> {
+        parse(&lex(src)?)
+    }
+
+    #[test]
+    fn parses_minimal_automaton() {
+        let ast = parse_src("subscribe t to Timer; behavior { print('x'); }").unwrap();
+        assert_eq!(ast.subscriptions[0].var, "t");
+        assert_eq!(ast.subscriptions[0].topic, "Timer");
+        assert!(ast.initialization.is_none());
+        assert_eq!(ast.behavior.stmts.len(), 1);
+    }
+
+    #[test]
+    fn rejects_automaton_without_behavior_or_subscription() {
+        assert!(parse_src("subscribe t to Timer;").is_err());
+        assert!(parse_src("behavior { print('x'); }").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_clauses() {
+        assert!(parse_src("subscribe t to Timer; behavior {} behavior {}").is_err());
+        assert!(
+            parse_src("subscribe t to Timer; initialization {} initialization {} behavior {}")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn parses_declarations_with_multiple_names() {
+        let ast = parse_src("subscribe t to Timer; int a, b; real r; behavior { a = 1; }")
+            .unwrap();
+        assert_eq!(ast.declarations.len(), 2);
+        assert_eq!(ast.declarations[0].names, vec!["a", "b"]);
+        assert_eq!(ast.declarations[0].ty, DeclType::Int);
+        assert_eq!(ast.declarations[1].ty, DeclType::Real);
+    }
+
+    #[test]
+    fn parses_the_bandwidth_automaton_of_fig_4() {
+        let src = r#"
+            subscribe f to Flows;
+            associate a with Allowances;
+            associate b with BWUsage;
+            int n, limit;
+            identifier ip;
+            iterator it;
+            sequence s;
+            string st;
+            behavior {
+                ip = Identifier(f.daddr);
+                if (hasEntry(a, ip)) {
+                    limit = seqElement(lookup(a, ip), 1);
+                    if (hasEntry(b, ip))
+                        n = seqElement(lookup(b, ip), 1);
+                    else
+                        n = 0;
+                    n += f.nbytes;
+                    s = Sequence(f.daddr, n);
+                    if (n > limit)
+                        send(s, limit, 'limit exceeded');
+                    insert(b, ip, s);
+                }
+            }
+        "#;
+        let ast = parse_src(src).unwrap();
+        assert_eq!(ast.subscriptions.len(), 1);
+        assert_eq!(ast.associations.len(), 2);
+        assert_eq!(ast.associations[1].table, "BWUsage");
+        assert_eq!(ast.declarations.len(), 5);
+    }
+
+    #[test]
+    fn field_access_and_calls_parse_in_expressions() {
+        let ast =
+            parse_src("subscribe f to Flows; int x; behavior { x = f.nbytes + lookup(f, 1) * 2; }")
+                .unwrap();
+        match &ast.behavior.stmts[0] {
+            Stmt::Assign { value, .. } => match value {
+                Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                    assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+                }
+                other => panic!("unexpected expression {other:?}"),
+            },
+            other => panic!("unexpected statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence_and_parentheses() {
+        let ast = parse_src("subscribe t to Timer; int x; behavior { x = (1 + 2) * 3; }").unwrap();
+        match &ast.behavior.stmts[0] {
+            Stmt::Assign { value, .. } => {
+                assert!(matches!(value, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_else_chains_and_while() {
+        let src = r#"
+            subscribe t to Timer;
+            int i;
+            behavior {
+                i = 0;
+                while (i < 10) {
+                    if (i % 2 == 0)
+                        print('even');
+                    else if (i == 7)
+                        print('seven');
+                    else
+                        print('odd');
+                    i += 1;
+                }
+            }
+        "#;
+        let ast = parse_src(src).unwrap();
+        assert_eq!(ast.behavior.stmts.len(), 2);
+    }
+
+    #[test]
+    fn compound_assignment_ops() {
+        let ast = parse_src("subscribe t to Timer; int i; behavior { i += 1; i -= 2; }").unwrap();
+        match &ast.behavior.stmts[0] {
+            Stmt::Assign { op, .. } => assert_eq!(*op, AssignOp::AddAssign),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &ast.behavior.stmts[1] {
+            Stmt::Assign { op, .. } => assert_eq!(*op, AssignOp::SubAssign),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_operators() {
+        let ast = parse_src("subscribe t to Timer; int x; bool b; behavior { x = -x; b = !b; }")
+            .unwrap();
+        assert_eq!(ast.behavior.stmts.len(), 2);
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let err = parse_src("subscribe t to Timer;\nbehavior {\n  x = ;\n}").unwrap_err();
+        match err {
+            Error::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_block_is_reported() {
+        assert!(parse_src("subscribe t to Timer; behavior { print('x');").is_err());
+    }
+}

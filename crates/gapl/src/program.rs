@@ -1,0 +1,223 @@
+//! Compiled automaton programs and their bytecode representation.
+//!
+//! A [`Program`] is the output of [`crate::compile`]: the automaton's
+//! subscriptions, associations, local-variable layout, constant pool, and
+//! two bytecode sequences (one for the `initialization` clause, one for the
+//! `behavior` clause) targeting the stack machine in [`crate::vm`].
+//!
+//! Programs are immutable, `Send + Sync`, and are shared with the cache via
+//! [`std::sync::Arc`]; the per-automaton [`crate::vm::Vm`] holding mutable
+//! state is constructed on the automaton's own thread.
+
+use crate::builtins::BuiltinId;
+use crate::value::DeclType;
+
+/// A compile-time constant in the program's constant pool.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Const {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+}
+
+/// A single stack-machine instruction.
+///
+/// The interpreter is a classic operand-stack machine: instructions pop
+/// their operands from the stack and push their result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Push constant-pool entry `index`.
+    PushConst(usize),
+    /// Push the value of local slot `index`.
+    LoadLocal(usize),
+    /// Pop the stack into local slot `index`.
+    StoreLocal(usize),
+    /// Push the attribute named by constant `name_const` of the event held
+    /// in local slot `slot`.
+    LoadField {
+        /// Local slot holding the event (a subscription variable).
+        slot: usize,
+        /// Constant-pool index of the attribute name.
+        name_const: usize,
+    },
+    /// Arithmetic negation of the top of stack.
+    Neg,
+    /// Boolean negation of the top of stack.
+    Not,
+    /// Pop two values, push their sum (numeric addition or string concat).
+    Add,
+    /// Pop two values, push their difference.
+    Sub,
+    /// Pop two values, push their product.
+    Mul,
+    /// Pop two values, push their quotient.
+    Div,
+    /// Pop two values, push the remainder.
+    Rem,
+    /// Pop two values, push `lhs == rhs`.
+    CmpEq,
+    /// Pop two values, push `lhs != rhs`.
+    CmpNe,
+    /// Pop two values, push `lhs < rhs`.
+    CmpLt,
+    /// Pop two values, push `lhs <= rhs`.
+    CmpLe,
+    /// Pop two values, push `lhs > rhs`.
+    CmpGt,
+    /// Pop two values, push `lhs >= rhs`.
+    CmpGe,
+    /// Pop two values, push logical and.
+    And,
+    /// Pop two values, push logical or.
+    Or,
+    /// Unconditional jump to instruction `target`.
+    Jump(usize),
+    /// Pop a condition; jump to `target` when it is false.
+    JumpIfFalse(usize),
+    /// Pop and discard the top of stack.
+    Pop,
+    /// Call built-in `builtin` with `argc` arguments taken from the stack
+    /// (pushed left-to-right); push the result.
+    CallBuiltin {
+        /// The built-in to invoke.
+        builtin: BuiltinId,
+        /// Number of arguments.
+        argc: usize,
+    },
+    /// Stop executing the current clause.
+    Halt,
+}
+
+/// What a local-variable slot is bound to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocalKind {
+    /// Bound by `subscribe <var> to <topic>`: holds the most recent event.
+    Subscription {
+        /// The subscribed topic name.
+        topic: String,
+    },
+    /// Bound by `associate <var> with <table>`: holds an association handle.
+    Association {
+        /// Index into [`Program::associations`].
+        index: usize,
+    },
+    /// An ordinary declared local of the given type.
+    Declared(DeclType),
+}
+
+/// A named local-variable slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Local {
+    /// Variable name in the source.
+    pub name: String,
+    /// How the slot is bound.
+    pub kind: LocalKind,
+}
+
+/// A subscription of the automaton to a topic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subscription {
+    /// Local variable bound to the most recent event.
+    pub var: String,
+    /// Topic name.
+    pub topic: String,
+    /// Slot index of the variable.
+    pub slot: usize,
+}
+
+/// An association of the automaton with a persistent table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Association {
+    /// Local variable bound to the table.
+    pub var: String,
+    /// Persistent table name.
+    pub table: String,
+    /// Slot index of the variable.
+    pub slot: usize,
+}
+
+/// A compiled automaton program. See the [module documentation](self).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub(crate) subscriptions: Vec<Subscription>,
+    pub(crate) associations: Vec<Association>,
+    pub(crate) locals: Vec<Local>,
+    pub(crate) consts: Vec<Const>,
+    pub(crate) init_code: Vec<Instr>,
+    pub(crate) behavior_code: Vec<Instr>,
+}
+
+impl Program {
+    /// Topics this automaton subscribes to, with the bound variable names.
+    pub fn subscriptions(&self) -> &[Subscription] {
+        &self.subscriptions
+    }
+
+    /// Persistent tables this automaton is associated with.
+    pub fn associations(&self) -> &[Association] {
+        &self.associations
+    }
+
+    /// The local-variable layout (subscriptions, associations, declarations).
+    pub fn locals(&self) -> &[Local] {
+        &self.locals
+    }
+
+    /// The constant pool.
+    pub fn consts(&self) -> &[Const] {
+        &self.consts
+    }
+
+    /// Bytecode of the `initialization` clause (may be empty).
+    pub fn init_code(&self) -> &[Instr] {
+        &self.init_code
+    }
+
+    /// Bytecode of the `behavior` clause.
+    pub fn behavior_code(&self) -> &[Instr] {
+        &self.behavior_code
+    }
+
+    /// True if the automaton subscribes to `topic`.
+    pub fn subscribes_to(&self, topic: &str) -> bool {
+        self.subscriptions.iter().any(|s| s.topic == topic)
+    }
+
+    /// Names of all subscribed topics, in declaration order.
+    pub fn topics(&self) -> Vec<&str> {
+        self.subscriptions.iter().map(|s| s.topic.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Program>();
+    }
+
+    #[test]
+    fn compiled_program_exposes_structure() {
+        let p = crate::compile(
+            "subscribe f to Flows; associate a with Allow; int x; behavior { x = 1; }",
+        )
+        .unwrap();
+        assert!(p.subscribes_to("Flows"));
+        assert!(!p.subscribes_to("Other"));
+        assert_eq!(p.topics(), vec!["Flows"]);
+        assert_eq!(p.associations()[0].table, "Allow");
+        assert_eq!(p.locals().len(), 3);
+        // No initialization clause compiles to a single Halt.
+        assert_eq!(p.init_code(), &[Instr::Halt]);
+        assert!(!p.behavior_code().is_empty());
+        assert!(!p.consts().is_empty());
+    }
+}

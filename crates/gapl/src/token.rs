@@ -1,0 +1,182 @@
+//! Lexical tokens of the GAPL language.
+
+use std::fmt;
+
+/// A lexical token together with the line it appeared on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line, used for error reporting.
+    pub line: usize,
+}
+
+impl Token {
+    /// Construct a token.
+    pub fn new(kind: TokenKind, line: usize) -> Self {
+        Token { kind, line }
+    }
+}
+
+/// The kinds of tokens produced by [`crate::lexer::lex`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or type keyword (`foo`, `Flows`, `int`).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Real(f64),
+    /// A string literal (single- or double-quoted in source).
+    Str(String),
+    /// `true` or `false`.
+    Bool(bool),
+
+    /// `subscribe`
+    Subscribe,
+    /// `to`
+    To,
+    /// `associate`
+    Associate,
+    /// `with`
+    With,
+    /// `initialization`
+    Initialization,
+    /// `behavior`
+    Behavior,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `==`
+    Eq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Not,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+
+    /// End of input sentinel.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(i) => write!(f, "integer `{i}`"),
+            TokenKind::Real(r) => write!(f, "real `{r}`"),
+            TokenKind::Str(s) => write!(f, "string `{s}`"),
+            TokenKind::Bool(b) => write!(f, "bool `{b}`"),
+            TokenKind::Subscribe => write!(f, "`subscribe`"),
+            TokenKind::To => write!(f, "`to`"),
+            TokenKind::Associate => write!(f, "`associate`"),
+            TokenKind::With => write!(f, "`with`"),
+            TokenKind::Initialization => write!(f, "`initialization`"),
+            TokenKind::Behavior => write!(f, "`behavior`"),
+            TokenKind::If => write!(f, "`if`"),
+            TokenKind::Else => write!(f, "`else`"),
+            TokenKind::While => write!(f, "`while`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Semicolon => write!(f, "`;`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::PlusAssign => write!(f, "`+=`"),
+            TokenKind::MinusAssign => write!(f, "`-=`"),
+            TokenKind::Eq => write!(f, "`==`"),
+            TokenKind::NotEq => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            TokenKind::Not => write!(f, "`!`"),
+            TokenKind::AndAnd => write!(f, "`&&`"),
+            TokenKind::OrOr => write!(f, "`||`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_kinds() {
+        let kinds = vec![
+            TokenKind::Ident("x".into()),
+            TokenKind::Int(1),
+            TokenKind::Real(1.5),
+            TokenKind::Str("s".into()),
+            TokenKind::Bool(true),
+            TokenKind::Subscribe,
+            TokenKind::Behavior,
+            TokenKind::PlusAssign,
+            TokenKind::Eof,
+        ];
+        for k in kinds {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn token_carries_line() {
+        let t = Token::new(TokenKind::Semicolon, 12);
+        assert_eq!(t.line, 12);
+        assert_eq!(t.kind, TokenKind::Semicolon);
+    }
+}

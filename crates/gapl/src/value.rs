@@ -1,0 +1,708 @@
+//! Run-time values manipulated by GAPL automata.
+//!
+//! The basic data types follow Table 1 of the paper (`int`, `real`,
+//! `tstamp`, `bool`, `string`); the aggregate and supporting data types
+//! follow Table 2 (`sequence`, `map`, `window`, `identifier`, `iterator`).
+//!
+//! Aggregate values are reference types: assigning a map to another local
+//! variable aliases the same underlying container, exactly like the C
+//! implementation described in the paper. Aggregates therefore use
+//! [`Rc<RefCell<...>>`] internally; a [`crate::vm::Vm`] (and all its values)
+//! lives on a single automaton thread, so no cross-thread sharing of values
+//! ever happens — tuples, not values, are what crosses threads.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::error::{Error, Result};
+use crate::event::{Scalar, Timestamp, Tuple};
+
+/// Declared type of a GAPL local variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeclType {
+    /// 64-bit integer.
+    Int,
+    /// Double-precision floating point.
+    Real,
+    /// Nanosecond timestamp.
+    Tstamp,
+    /// Boolean.
+    Bool,
+    /// UTF-8 string.
+    String,
+    /// Key used in maps.
+    Identifier,
+    /// Ordered set of heterogeneous values.
+    Sequence,
+    /// Identifier-keyed dictionary.
+    Map,
+    /// Row- or time-constrained collection.
+    Window,
+    /// Iterator over a map's keys or a window's values.
+    Iterator,
+}
+
+impl DeclType {
+    /// The keyword used in GAPL source for this type, if any.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            DeclType::Int => "int",
+            DeclType::Real => "real",
+            DeclType::Tstamp => "tstamp",
+            DeclType::Bool => "bool",
+            DeclType::String => "string",
+            DeclType::Identifier => "identifier",
+            DeclType::Sequence => "sequence",
+            DeclType::Map => "map",
+            DeclType::Window => "window",
+            DeclType::Iterator => "iterator",
+        }
+    }
+
+    /// Parse a type keyword.
+    pub fn from_keyword(kw: &str) -> Option<DeclType> {
+        Some(match kw {
+            "int" => DeclType::Int,
+            "real" => DeclType::Real,
+            "tstamp" => DeclType::Tstamp,
+            "bool" => DeclType::Bool,
+            "string" => DeclType::String,
+            "identifier" => DeclType::Identifier,
+            "sequence" => DeclType::Sequence,
+            "map" => DeclType::Map,
+            "window" => DeclType::Window,
+            "iterator" => DeclType::Iterator,
+            _ => return None,
+        })
+    }
+
+    /// The default (zero) value of a variable of this type.
+    pub fn default_value(self) -> Value {
+        match self {
+            DeclType::Int => Value::Int(0),
+            DeclType::Real => Value::Real(0.0),
+            DeclType::Tstamp => Value::Tstamp(0),
+            DeclType::Bool => Value::Bool(false),
+            DeclType::String => Value::Str(Rc::new(String::new())),
+            DeclType::Identifier => Value::Identifier(Rc::new(String::new())),
+            DeclType::Sequence => Value::Sequence(Rc::new(RefCell::new(Vec::new()))),
+            DeclType::Map => Value::Map(Rc::new(RefCell::new(MapData::new(DeclType::Int)))),
+            DeclType::Window => Value::Window(Rc::new(RefCell::new(WindowData::rows(
+                DeclType::Int,
+                0,
+            )))),
+            DeclType::Iterator => Value::Iterator(Rc::new(RefCell::new(IteratorData::empty()))),
+        }
+    }
+}
+
+impl fmt::Display for DeclType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// The constraint of a [`WindowData`]: either a maximum number of rows or a
+/// maximum time span in seconds, per Table 2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowConstraint {
+    /// Keep at most this many items (oldest evicted first).
+    Rows(usize),
+    /// Keep only items within this many seconds of the newest item.
+    Secs(u64),
+}
+
+/// The contents of a `window` aggregate.
+#[derive(Debug, Clone)]
+pub struct WindowData {
+    /// Element type the window was constructed with.
+    pub element_type: DeclType,
+    /// Row-count or time-interval constraint.
+    pub constraint: WindowConstraint,
+    items: VecDeque<(Timestamp, Value)>,
+}
+
+impl WindowData {
+    /// A row-constrained window holding at most `n` items.
+    pub fn rows(element_type: DeclType, n: usize) -> Self {
+        WindowData {
+            element_type,
+            constraint: WindowConstraint::Rows(n),
+            items: VecDeque::new(),
+        }
+    }
+
+    /// A time-constrained window holding items no older than `secs` seconds
+    /// relative to the most recently appended item.
+    pub fn secs(element_type: DeclType, secs: u64) -> Self {
+        WindowData {
+            element_type,
+            constraint: WindowConstraint::Secs(secs),
+            items: VecDeque::new(),
+        }
+    }
+
+    /// Append an item with the given timestamp, evicting per the constraint.
+    pub fn append(&mut self, at: Timestamp, value: Value) {
+        self.items.push_back((at, value));
+        self.evict(at);
+    }
+
+    fn evict(&mut self, now: Timestamp) {
+        match self.constraint {
+            WindowConstraint::Rows(n) => {
+                while self.items.len() > n.max(1) {
+                    self.items.pop_front();
+                }
+            }
+            WindowConstraint::Secs(secs) => {
+                let horizon = now.saturating_sub(secs.saturating_mul(1_000_000_000));
+                while let Some((t, _)) = self.items.front() {
+                    if *t < horizon {
+                        self.items.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of items currently held.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the window holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterate over `(timestamp, value)` pairs, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &(Timestamp, Value)> {
+        self.items.iter()
+    }
+
+    /// Remove and drop all items.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Snapshot of the values, oldest first.
+    pub fn values(&self) -> Vec<Value> {
+        self.items.iter().map(|(_, v)| v.clone()).collect()
+    }
+}
+
+/// The contents of a `map` aggregate: identifier-keyed, deterministic
+/// (lexicographic) iteration order.
+#[derive(Debug, Clone)]
+pub struct MapData {
+    /// Element type the map was constructed with (`Map(int)` etc.).
+    pub value_type: DeclType,
+    entries: BTreeMap<String, Value>,
+}
+
+impl MapData {
+    /// Create an empty map bound to `value_type`.
+    pub fn new(value_type: DeclType) -> Self {
+        MapData {
+            value_type,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Insert or replace the entry for `key`, returning the prior value.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        self.entries.insert(key, value)
+    }
+
+    /// Value bound to `key`, if any.
+    pub fn lookup(&self, key: &str) -> Option<Value> {
+        self.entries.get(key).cloned()
+    }
+
+    /// True if `key` is present.
+    pub fn has_entry(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Remove the entry for `key`, returning it if present.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.entries.remove(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Snapshot of the keys in iteration order.
+    pub fn keys(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Iterate over `(key, value)` pairs in iteration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter()
+    }
+}
+
+/// The state of an `iterator` value.
+///
+/// Iterators snapshot the keys of a map (or the values of a window) at
+/// construction time, so mutating the underlying aggregate while iterating —
+/// as the "frequent" algorithm of Fig. 14 does — is well defined.
+#[derive(Debug, Clone)]
+pub struct IteratorData {
+    items: Vec<Value>,
+    next: usize,
+}
+
+impl IteratorData {
+    /// An exhausted iterator.
+    pub fn empty() -> Self {
+        IteratorData {
+            items: Vec::new(),
+            next: 0,
+        }
+    }
+
+    /// An iterator over a snapshot of items.
+    pub fn over(items: Vec<Value>) -> Self {
+        IteratorData { items, next: 0 }
+    }
+
+    /// Whether another item is available.
+    pub fn has_next(&self) -> bool {
+        self.next < self.items.len()
+    }
+
+    /// Return the next item and advance, or `None` when exhausted.
+    pub fn advance(&mut self) -> Option<Value> {
+        let v = self.items.get(self.next).cloned();
+        if v.is_some() {
+            self.next += 1;
+        }
+        v
+    }
+
+    /// Total number of items in the snapshot.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A run-time GAPL value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Absence of a value (uninitialised aggregate slots, missing lookups).
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// Double-precision floating point.
+    Real(f64),
+    /// Nanosecond timestamp.
+    Tstamp(Timestamp),
+    /// Boolean.
+    Bool(bool),
+    /// UTF-8 string.
+    Str(Rc<String>),
+    /// Map key.
+    Identifier(Rc<String>),
+    /// Ordered, heterogeneous sequence.
+    Sequence(Rc<RefCell<Vec<Value>>>),
+    /// Identifier-keyed dictionary.
+    Map(Rc<RefCell<MapData>>),
+    /// Row- or time-constrained collection.
+    Window(Rc<RefCell<WindowData>>),
+    /// Iterator over a map or window snapshot.
+    Iterator(Rc<RefCell<IteratorData>>),
+    /// The most recent event delivered on a subscribed topic.
+    Event(Rc<Tuple>),
+    /// A handle onto a persistent table bound with `associate`; the payload
+    /// is the association index within the automaton.
+    Assoc(usize),
+}
+
+impl Value {
+    /// A human-readable name of the value's run-time type.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Int(_) => "int",
+            Value::Real(_) => "real",
+            Value::Tstamp(_) => "tstamp",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "string",
+            Value::Identifier(_) => "identifier",
+            Value::Sequence(_) => "sequence",
+            Value::Map(_) => "map",
+            Value::Window(_) => "window",
+            Value::Iterator(_) => "iterator",
+            Value::Event(_) => "event",
+            Value::Assoc(_) => "association",
+        }
+    }
+
+    /// Construct a string value.
+    pub fn string(s: impl Into<String>) -> Value {
+        Value::Str(Rc::new(s.into()))
+    }
+
+    /// Construct an identifier value.
+    pub fn identifier(s: impl Into<String>) -> Value {
+        Value::Identifier(Rc::new(s.into()))
+    }
+
+    /// Construct a sequence value from items.
+    pub fn sequence(items: Vec<Value>) -> Value {
+        Value::Sequence(Rc::new(RefCell::new(items)))
+    }
+
+    /// Truthiness used by `if`/`while` conditions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a runtime error for values with no boolean interpretation.
+    pub fn truthy(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            Value::Int(i) => Ok(*i != 0),
+            Value::Real(r) => Ok(*r != 0.0),
+            Value::Tstamp(t) => Ok(*t != 0),
+            Value::Null => Ok(false),
+            other => Err(Error::runtime(format!(
+                "cannot use a {} as a condition",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Numeric view as `f64`, when the value is numeric.
+    pub fn as_real(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Real(r) => Some(*r),
+            Value::Tstamp(t) => Some(*t as f64),
+            Value::Bool(b) => Some(f64::from(u8::from(*b))),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64`, when the value is integral.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Tstamp(t) => Some(*t as i64),
+            Value::Bool(b) => Some(i64::from(*b)),
+            Value::Real(r) => Some(*r as i64),
+            _ => None,
+        }
+    }
+
+    /// String view (strings and identifiers).
+    pub fn as_text(&self) -> Option<String> {
+        match self {
+            Value::Str(s) | Value::Identifier(s) => Some(s.as_ref().clone()),
+            _ => None,
+        }
+    }
+
+    /// Convert this value to the scalar used in tuples, if possible.
+    ///
+    /// # Errors
+    ///
+    /// Aggregates, events and associations cannot be stored inside tuples.
+    pub fn to_scalar(&self) -> Result<Scalar> {
+        Ok(match self {
+            Value::Int(i) => Scalar::Int(*i),
+            Value::Real(r) => Scalar::Real(*r),
+            Value::Tstamp(t) => Scalar::Tstamp(*t),
+            Value::Bool(b) => Scalar::Bool(*b),
+            Value::Str(s) | Value::Identifier(s) => Scalar::Str(s.as_ref().clone()),
+            other => {
+                return Err(Error::runtime(format!(
+                    "a {} cannot be converted to a tuple attribute",
+                    other.type_name()
+                )))
+            }
+        })
+    }
+
+    /// Flatten this value into scalars: sequences and windows flatten to
+    /// their elements (recursively), scalars to themselves. Used by
+    /// `publish()` and `send()`.
+    pub fn flatten_scalars(&self, out: &mut Vec<Scalar>) -> Result<()> {
+        match self {
+            Value::Sequence(seq) => {
+                for item in seq.borrow().iter() {
+                    item.flatten_scalars(out)?;
+                }
+                Ok(())
+            }
+            Value::Window(w) => {
+                for (_, item) in w.borrow().iter() {
+                    item.flatten_scalars(out)?;
+                }
+                Ok(())
+            }
+            Value::Event(t) => {
+                out.extend(t.values().iter().cloned());
+                Ok(())
+            }
+            Value::Null => Ok(()),
+            other => {
+                out.push(other.to_scalar()?);
+                Ok(())
+            }
+        }
+    }
+
+    /// Structural equality used by `==` / `!=` in GAPL.
+    pub fn gapl_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Str(a) | Value::Identifier(a), Value::Str(b) | Value::Identifier(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (a, b) => match (a.as_real(), b.as_real()) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+        }
+    }
+
+    /// Ordering used by `<`, `<=`, `>`, `>=` in GAPL.
+    ///
+    /// # Errors
+    ///
+    /// Returns a runtime error when the two values are not comparable.
+    pub fn gapl_cmp(&self, other: &Value) -> Result<std::cmp::Ordering> {
+        match (self, other) {
+            (Value::Str(a) | Value::Identifier(a), Value::Str(b) | Value::Identifier(b)) => {
+                Ok(a.cmp(b))
+            }
+            (a, b) => match (a.as_real(), b.as_real()) {
+                (Some(x), Some(y)) => x
+                    .partial_cmp(&y)
+                    .ok_or_else(|| Error::runtime("NaN comparison")),
+                _ => Err(Error::runtime(format!(
+                    "cannot compare {} with {}",
+                    a.type_name(),
+                    b.type_name()
+                ))),
+            },
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Null
+    }
+}
+
+impl From<Scalar> for Value {
+    fn from(s: Scalar) -> Self {
+        match s {
+            Scalar::Int(i) => Value::Int(i),
+            Scalar::Real(r) => Value::Real(r),
+            Scalar::Tstamp(t) => Value::Tstamp(t),
+            Scalar::Bool(b) => Value::Bool(b),
+            Scalar::Str(s) => Value::Str(Rc::new(s)),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Real(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::string(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => {
+                if r.fract() == 0.0 && r.is_finite() {
+                    write!(f, "{r:.6}")
+                } else {
+                    write!(f, "{r}")
+                }
+            }
+            Value::Tstamp(t) => write!(f, "{t}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) | Value::Identifier(s) => write!(f, "{s}"),
+            Value::Sequence(seq) => {
+                write!(f, "[")?;
+                for (i, v) in seq.borrow().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Map(m) => write!(f, "map({} entries)", m.borrow().len()),
+            Value::Window(w) => write!(f, "window({} items)", w.borrow().len()),
+            Value::Iterator(i) => write!(f, "iterator({} items)", i.borrow().len()),
+            Value::Event(t) => write!(f, "{t}"),
+            Value::Assoc(ix) => write!(f, "association#{ix}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decl_type_round_trips_keywords() {
+        for ty in [
+            DeclType::Int,
+            DeclType::Real,
+            DeclType::Tstamp,
+            DeclType::Bool,
+            DeclType::String,
+            DeclType::Identifier,
+            DeclType::Sequence,
+            DeclType::Map,
+            DeclType::Window,
+            DeclType::Iterator,
+        ] {
+            assert_eq!(DeclType::from_keyword(ty.keyword()), Some(ty));
+        }
+        assert_eq!(DeclType::from_keyword("void"), None);
+    }
+
+    #[test]
+    fn window_rows_evicts_oldest() {
+        let mut w = WindowData::rows(DeclType::Int, 3);
+        for i in 0..5 {
+            w.append(i as u64, Value::Int(i));
+        }
+        assert_eq!(w.len(), 3);
+        let vals: Vec<i64> = w.values().iter().map(|v| v.as_int().unwrap()).collect();
+        assert_eq!(vals, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn window_secs_evicts_by_time() {
+        let mut w = WindowData::secs(DeclType::Int, 10);
+        w.append(1_000_000_000, Value::Int(1));
+        w.append(15_000_000_000, Value::Int(2));
+        // At t = 20 s the 10 s horizon is [10 s, 20 s]: the item from 1 s
+        // is evicted, the one from 15 s survives.
+        w.append(20_000_000_000, Value::Int(3));
+        let vals: Vec<i64> = w.values().iter().map(|v| v.as_int().unwrap()).collect();
+        assert_eq!(vals, vec![2, 3]);
+        w.clear();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn map_basic_operations() {
+        let mut m = MapData::new(DeclType::Int);
+        assert!(m.is_empty());
+        assert!(m.insert("a".into(), Value::Int(1)).is_none());
+        assert!(m.insert("a".into(), Value::Int(2)).is_some());
+        m.insert("b".into(), Value::Int(3));
+        assert!(m.has_entry("a"));
+        assert!(!m.has_entry("c"));
+        assert_eq!(m.lookup("b").unwrap().as_int(), Some(3));
+        assert_eq!(m.keys(), vec!["a".to_string(), "b".to_string()]);
+        assert!(m.remove("a").is_some());
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn iterator_snapshot_semantics() {
+        let mut it = IteratorData::over(vec![Value::Int(1), Value::Int(2)]);
+        assert!(it.has_next());
+        assert_eq!(it.advance().unwrap().as_int(), Some(1));
+        assert_eq!(it.advance().unwrap().as_int(), Some(2));
+        assert!(!it.has_next());
+        assert!(it.advance().is_none());
+        assert!(IteratorData::empty().is_empty());
+    }
+
+    #[test]
+    fn truthiness_and_comparisons() {
+        assert!(Value::Int(3).truthy().unwrap());
+        assert!(!Value::Int(0).truthy().unwrap());
+        assert!(!Value::Null.truthy().unwrap());
+        assert!(Value::sequence(vec![]).truthy().is_err());
+        assert!(Value::Int(1).gapl_eq(&Value::Real(1.0)));
+        assert!(Value::string("x").gapl_eq(&Value::identifier("x")));
+        assert!(!Value::string("x").gapl_eq(&Value::Int(1)));
+        assert_eq!(
+            Value::Int(1).gapl_cmp(&Value::Int(2)).unwrap(),
+            std::cmp::Ordering::Less
+        );
+        assert!(Value::string("a").gapl_cmp(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn flatten_scalars_flattens_sequences_recursively() {
+        let inner = Value::sequence(vec![Value::Int(2), Value::Int(3)]);
+        let outer = Value::sequence(vec![Value::string("a"), inner]);
+        let mut out = Vec::new();
+        outer.flatten_scalars(&mut out).unwrap();
+        assert_eq!(
+            out,
+            vec![Scalar::Str("a".into()), Scalar::Int(2), Scalar::Int(3)]
+        );
+    }
+
+    #[test]
+    fn to_scalar_rejects_aggregates() {
+        assert!(Value::sequence(vec![]).to_scalar().is_err());
+        assert_eq!(Value::Int(1).to_scalar().unwrap(), Scalar::Int(1));
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        for v in [
+            Value::Null,
+            Value::Int(0),
+            Value::Real(1.5),
+            Value::Bool(false),
+            Value::string(""),
+            Value::sequence(vec![]),
+            Value::Map(Rc::new(RefCell::new(MapData::new(DeclType::Int)))),
+        ] {
+            assert!(!format!("{v}").is_empty() || matches!(v, Value::Str(_)));
+            assert!(!format!("{v:?}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,848 @@
+//! The stack-machine interpreter that animates compiled automata.
+//!
+//! A [`Vm`] holds the mutable state of one automaton: its local variables
+//! and the identity of the topic whose event is currently being processed.
+//! All interaction with the outside world — publishing tuples into other
+//! topics, sending notifications to the registering application, touching
+//! persistent tables, reading the clock, printing — goes through the
+//! [`HostInterface`] trait, so the VM is fully testable in isolation and the
+//! cache can plug in its own host implementation.
+
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use crate::builtins::{self, BuiltinCtx};
+use crate::error::{Error, Result};
+use crate::event::{Scalar, Timestamp, Tuple};
+use crate::program::{Const, Instr, LocalKind, Program};
+use crate::value::Value;
+
+/// The environment an automaton runs against.
+///
+/// The cache implements this trait to wire automata into tables and RPC
+/// channels; tests use [`RecordingHost`].
+pub trait HostInterface {
+    /// Current time in nanoseconds since the epoch (`tstampNow()`).
+    fn now(&self) -> Timestamp;
+
+    /// Insert a tuple (already flattened to scalars) into the named topic.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error if the topic does not exist or the
+    /// values do not match its schema.
+    fn publish(&mut self, topic: &str, values: Vec<Scalar>) -> Result<()>;
+
+    /// Send a notification to the application that registered the automaton.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error if the channel back to the
+    /// application is gone.
+    fn send(&mut self, values: Vec<Scalar>) -> Result<()>;
+
+    /// Print a line on the cache's standard output (`print()`).
+    fn print(&mut self, text: &str);
+
+    /// Look up the row keyed by `key` in persistent table `table`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error if the table does not exist.
+    fn assoc_lookup(&mut self, table: &str, key: &str) -> Result<Option<Vec<Scalar>>>;
+
+    /// Insert (or update) the row keyed by `key` in persistent table `table`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error if the table does not exist or the
+    /// values do not match its schema.
+    fn assoc_insert(&mut self, table: &str, key: &str, values: Vec<Scalar>) -> Result<()>;
+
+    /// Whether a row keyed by `key` exists in persistent table `table`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error if the table does not exist.
+    fn assoc_has_entry(&mut self, table: &str, key: &str) -> Result<bool>;
+
+    /// Remove the row keyed by `key` from persistent table `table`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error if the table does not exist.
+    fn assoc_remove(&mut self, table: &str, key: &str) -> Result<()>;
+
+    /// Number of rows in persistent table `table`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error if the table does not exist.
+    fn assoc_size(&mut self, table: &str) -> Result<usize>;
+
+    /// All keys of persistent table `table`, in primary-key order.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error if the table does not exist.
+    fn assoc_keys(&mut self, table: &str) -> Result<Vec<String>>;
+}
+
+/// An in-memory [`HostInterface`] that records every effect, for tests,
+/// examples and benchmarks.
+#[derive(Debug, Default)]
+pub struct RecordingHost {
+    /// Tuples published with `publish()`, as `(topic, values)` pairs.
+    pub published: Vec<(String, Vec<Scalar>)>,
+    /// Notifications sent with `send()`.
+    pub sent: Vec<Vec<Scalar>>,
+    /// Lines printed with `print()`.
+    pub printed: Vec<String>,
+    /// Persistent tables, keyed by table name then primary key.
+    pub tables: HashMap<String, BTreeMap<String, Vec<Scalar>>>,
+    /// The value returned by `now()`.
+    pub clock: Timestamp,
+}
+
+impl RecordingHost {
+    /// Create a host whose clock starts at `clock` nanoseconds.
+    pub fn with_clock(clock: Timestamp) -> Self {
+        RecordingHost {
+            clock,
+            ..Default::default()
+        }
+    }
+
+    /// Pre-populate a persistent table row (e.g. an allowance).
+    pub fn seed_table(&mut self, table: &str, key: &str, values: Vec<Scalar>) {
+        self.tables
+            .entry(table.to_owned())
+            .or_default()
+            .insert(key.to_owned(), values);
+    }
+}
+
+impl HostInterface for RecordingHost {
+    fn now(&self) -> Timestamp {
+        self.clock
+    }
+
+    fn publish(&mut self, topic: &str, values: Vec<Scalar>) -> Result<()> {
+        self.published.push((topic.to_owned(), values));
+        Ok(())
+    }
+
+    fn send(&mut self, values: Vec<Scalar>) -> Result<()> {
+        self.sent.push(values);
+        Ok(())
+    }
+
+    fn print(&mut self, text: &str) {
+        self.printed.push(text.to_owned());
+    }
+
+    fn assoc_lookup(&mut self, table: &str, key: &str) -> Result<Option<Vec<Scalar>>> {
+        Ok(self
+            .tables
+            .get(table)
+            .and_then(|rows| rows.get(key))
+            .cloned())
+    }
+
+    fn assoc_insert(&mut self, table: &str, key: &str, values: Vec<Scalar>) -> Result<()> {
+        self.tables
+            .entry(table.to_owned())
+            .or_default()
+            .insert(key.to_owned(), values);
+        Ok(())
+    }
+
+    fn assoc_has_entry(&mut self, table: &str, key: &str) -> Result<bool> {
+        Ok(self
+            .tables
+            .get(table)
+            .is_some_and(|rows| rows.contains_key(key)))
+    }
+
+    fn assoc_remove(&mut self, table: &str, key: &str) -> Result<()> {
+        if let Some(rows) = self.tables.get_mut(table) {
+            rows.remove(key);
+        }
+        Ok(())
+    }
+
+    fn assoc_size(&mut self, table: &str) -> Result<usize> {
+        Ok(self.tables.get(table).map_or(0, BTreeMap::len))
+    }
+
+    fn assoc_keys(&mut self, table: &str) -> Result<Vec<String>> {
+        Ok(self
+            .tables
+            .get(table)
+            .map(|rows| rows.keys().cloned().collect())
+            .unwrap_or_default())
+    }
+}
+
+/// The stack-machine interpreter for one automaton instance.
+#[derive(Debug)]
+pub struct Vm {
+    program: Arc<Program>,
+    locals: Vec<Value>,
+    current_topic: String,
+    /// Total number of instructions executed, for diagnostics and benches.
+    instructions_executed: u64,
+}
+
+impl Vm {
+    /// Create an interpreter for `program` with default-initialised locals.
+    pub fn new(program: Arc<Program>) -> Self {
+        let locals = program
+            .locals()
+            .iter()
+            .map(|local| match &local.kind {
+                LocalKind::Subscription { .. } => Value::Null,
+                LocalKind::Association { index } => Value::Assoc(*index),
+                LocalKind::Declared(ty) => ty.default_value(),
+            })
+            .collect();
+        Vm {
+            program,
+            locals,
+            current_topic: String::new(),
+            instructions_executed: 0,
+        }
+    }
+
+    /// The compiled program this VM animates.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// Number of bytecode instructions executed so far.
+    pub fn instructions_executed(&self) -> u64 {
+        self.instructions_executed
+    }
+
+    /// Current value of the named local variable, for tests and debugging.
+    pub fn local(&self, name: &str) -> Option<&Value> {
+        let ix = self.program.locals().iter().position(|l| l.name == name)?;
+        self.locals.get(ix)
+    }
+
+    /// Execute the `initialization` clause once, before any event delivery.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors raised by the clause.
+    pub fn run_initialization(&mut self, host: &mut dyn HostInterface) -> Result<()> {
+        let code = Arc::clone(&self.program);
+        self.execute(code.init_code(), host)
+    }
+
+    /// Deliver one event on `topic` and execute the `behavior` clause.
+    ///
+    /// The subscription variable(s) bound to `topic` are updated to refer to
+    /// `event` before execution, and `currentTopic()` reports `topic`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors raised by the clause.
+    pub fn run_behavior(
+        &mut self,
+        topic: &str,
+        event: &Tuple,
+        host: &mut dyn HostInterface,
+    ) -> Result<()> {
+        let program = Arc::clone(&self.program);
+        let mut subscribed = false;
+        for sub in program.subscriptions() {
+            if sub.topic == topic {
+                self.locals[sub.slot] = Value::Event(Rc::new(event.clone()));
+                subscribed = true;
+            }
+        }
+        if !subscribed {
+            return Err(Error::runtime(format!(
+                "automaton is not subscribed to topic `{topic}`"
+            )));
+        }
+        self.current_topic = topic.to_owned();
+        self.execute(program.behavior_code(), host)
+    }
+
+    fn execute(&mut self, code: &[Instr], host: &mut dyn HostInterface) -> Result<()> {
+        let mut stack: Vec<Value> = Vec::with_capacity(16);
+        let mut pc = 0usize;
+        let program = Arc::clone(&self.program);
+        while pc < code.len() {
+            self.instructions_executed += 1;
+            match &code[pc] {
+                Instr::PushConst(ix) => {
+                    let v = match &program.consts()[*ix] {
+                        Const::Int(i) => Value::Int(*i),
+                        Const::Real(r) => Value::Real(*r),
+                        Const::Str(s) => Value::string(s.clone()),
+                        Const::Bool(b) => Value::Bool(*b),
+                    };
+                    stack.push(v);
+                }
+                Instr::LoadLocal(slot) => stack.push(self.locals[*slot].clone()),
+                Instr::StoreLocal(slot) => {
+                    let v = pop(&mut stack)?;
+                    self.locals[*slot] = v;
+                }
+                Instr::LoadField { slot, name_const } => {
+                    let field = match &program.consts()[*name_const] {
+                        Const::Str(s) => s.clone(),
+                        other => {
+                            return Err(Error::runtime(format!(
+                                "corrupt field-name constant {other:?}"
+                            )))
+                        }
+                    };
+                    let value = match &self.locals[*slot] {
+                        Value::Event(t) => t.field(&field).map(Value::from).ok_or_else(|| {
+                            Error::runtime(format!(
+                                "event on `{}` has no attribute `{field}`",
+                                t.schema().name()
+                            ))
+                        })?,
+                        Value::Null => {
+                            return Err(Error::runtime(format!(
+                                "no event has been delivered for `{}` yet",
+                                program.locals()[*slot].name
+                            )))
+                        }
+                        other => {
+                            return Err(Error::runtime(format!(
+                                "field access on a {}",
+                                other.type_name()
+                            )))
+                        }
+                    };
+                    stack.push(value);
+                }
+                Instr::Neg => {
+                    let v = pop(&mut stack)?;
+                    let out = match v {
+                        Value::Int(i) => Value::Int(-i),
+                        Value::Real(r) => Value::Real(-r),
+                        other => {
+                            return Err(Error::runtime(format!(
+                                "cannot negate a {}",
+                                other.type_name()
+                            )))
+                        }
+                    };
+                    stack.push(out);
+                }
+                Instr::Not => {
+                    let v = pop(&mut stack)?;
+                    stack.push(Value::Bool(!v.truthy()?));
+                }
+                Instr::Add => binary(&mut stack, |a, b| add(a, b))?,
+                Instr::Sub => binary(&mut stack, |a, b| numeric(a, b, "-", |x, y| x - y, |x, y| x.checked_sub(y)))?,
+                Instr::Mul => binary(&mut stack, |a, b| numeric(a, b, "*", |x, y| x * y, |x, y| x.checked_mul(y)))?,
+                Instr::Div => binary(&mut stack, div)?,
+                Instr::Rem => binary(&mut stack, rem)?,
+                Instr::CmpEq => binary(&mut stack, |a, b| Ok(Value::Bool(a.gapl_eq(&b))))?,
+                Instr::CmpNe => binary(&mut stack, |a, b| Ok(Value::Bool(!a.gapl_eq(&b))))?,
+                Instr::CmpLt => compare(&mut stack, |o| o == std::cmp::Ordering::Less)?,
+                Instr::CmpLe => compare(&mut stack, |o| o != std::cmp::Ordering::Greater)?,
+                Instr::CmpGt => compare(&mut stack, |o| o == std::cmp::Ordering::Greater)?,
+                Instr::CmpGe => compare(&mut stack, |o| o != std::cmp::Ordering::Less)?,
+                Instr::And => binary(&mut stack, |a, b| Ok(Value::Bool(a.truthy()? && b.truthy()?)))?,
+                Instr::Or => binary(&mut stack, |a, b| Ok(Value::Bool(a.truthy()? || b.truthy()?)))?,
+                Instr::Jump(target) => {
+                    pc = *target;
+                    continue;
+                }
+                Instr::JumpIfFalse(target) => {
+                    let v = pop(&mut stack)?;
+                    if !v.truthy()? {
+                        pc = *target;
+                        continue;
+                    }
+                }
+                Instr::Pop => {
+                    pop(&mut stack)?;
+                }
+                Instr::CallBuiltin { builtin, argc } => {
+                    if stack.len() < *argc {
+                        return Err(Error::runtime("operand stack underflow in call"));
+                    }
+                    let args = stack.split_off(stack.len() - argc);
+                    let mut ctx = BuiltinCtx {
+                        host,
+                        current_topic: &self.current_topic,
+                        program: &program,
+                    };
+                    let result = builtins::call(*builtin, args, &mut ctx)?;
+                    stack.push(result);
+                }
+                Instr::Halt => break,
+            }
+            pc += 1;
+        }
+        Ok(())
+    }
+}
+
+fn pop(stack: &mut Vec<Value>) -> Result<Value> {
+    stack
+        .pop()
+        .ok_or_else(|| Error::runtime("operand stack underflow"))
+}
+
+fn binary(
+    stack: &mut Vec<Value>,
+    f: impl FnOnce(Value, Value) -> Result<Value>,
+) -> Result<()> {
+    let rhs = pop(stack)?;
+    let lhs = pop(stack)?;
+    let out = f(lhs, rhs)?;
+    stack.push(out);
+    Ok(())
+}
+
+fn compare(stack: &mut Vec<Value>, f: impl FnOnce(std::cmp::Ordering) -> bool) -> Result<()> {
+    binary(stack, |a, b| Ok(Value::Bool(f(a.gapl_cmp(&b)?))))
+}
+
+fn is_int_like(v: &Value) -> bool {
+    matches!(v, Value::Int(_) | Value::Tstamp(_) | Value::Bool(_))
+}
+
+fn add(a: Value, b: Value) -> Result<Value> {
+    match (&a, &b) {
+        (Value::Str(_) | Value::Identifier(_), _) | (_, Value::Str(_) | Value::Identifier(_)) => {
+            Ok(Value::string(format!("{a}{b}")))
+        }
+        _ => numeric(a, b, "+", |x, y| x + y, |x, y| x.checked_add(y)),
+    }
+}
+
+fn numeric(
+    a: Value,
+    b: Value,
+    op: &str,
+    real_op: impl FnOnce(f64, f64) -> f64,
+    int_op: impl FnOnce(i64, i64) -> Option<i64>,
+) -> Result<Value> {
+    if is_int_like(&a) && is_int_like(&b) {
+        let (x, y) = (a.as_int().expect("int-like"), b.as_int().expect("int-like"));
+        return int_op(x, y)
+            .map(Value::Int)
+            .ok_or_else(|| Error::runtime(format!("integer overflow in `{op}`")));
+    }
+    match (a.as_real(), b.as_real()) {
+        (Some(x), Some(y)) => Ok(Value::Real(real_op(x, y))),
+        _ => Err(Error::runtime(format!(
+            "cannot apply `{op}` to {} and {}",
+            a.type_name(),
+            b.type_name()
+        ))),
+    }
+}
+
+fn div(a: Value, b: Value) -> Result<Value> {
+    if is_int_like(&a) && is_int_like(&b) {
+        let (x, y) = (a.as_int().expect("int-like"), b.as_int().expect("int-like"));
+        if y == 0 {
+            return Err(Error::runtime("integer division by zero"));
+        }
+        return Ok(Value::Int(x / y));
+    }
+    match (a.as_real(), b.as_real()) {
+        (Some(x), Some(y)) => Ok(Value::Real(x / y)),
+        _ => Err(Error::runtime(format!(
+            "cannot divide {} by {}",
+            a.type_name(),
+            b.type_name()
+        ))),
+    }
+}
+
+fn rem(a: Value, b: Value) -> Result<Value> {
+    if is_int_like(&a) && is_int_like(&b) {
+        let (x, y) = (a.as_int().expect("int-like"), b.as_int().expect("int-like"));
+        if y == 0 {
+            return Err(Error::runtime("integer remainder by zero"));
+        }
+        return Ok(Value::Int(x % y));
+    }
+    match (a.as_real(), b.as_real()) {
+        (Some(x), Some(y)) => Ok(Value::Real(x % y)),
+        _ => Err(Error::runtime("remainder requires numeric operands")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use crate::event::{AttrType, Schema};
+
+    fn flows_tuple(nbytes: i64, daddr: &str, at: Timestamp) -> Tuple {
+        let schema = Arc::new(
+            Schema::new(
+                "Flows",
+                vec![("daddr", AttrType::Str), ("nbytes", AttrType::Int)],
+            )
+            .unwrap(),
+        );
+        Tuple::new(
+            schema,
+            vec![Scalar::Str(daddr.into()), Scalar::Int(nbytes)],
+            at,
+        )
+        .unwrap()
+    }
+
+    fn run_once(src: &str, tuple: &Tuple, host: &mut RecordingHost) -> Vm {
+        let program = Arc::new(compile(src).unwrap());
+        let mut vm = Vm::new(program);
+        vm.run_initialization(host).unwrap();
+        vm.run_behavior("Flows", tuple, host).unwrap();
+        vm
+    }
+
+    #[test]
+    fn arithmetic_and_locals() {
+        let src = r#"
+            subscribe f to Flows;
+            int a; real r; string s;
+            initialization { a = 2 + 3 * 4; r = 1.0 / 4.0; s = String('x=', a); }
+            behavior { a = a - 1; }
+        "#;
+        let mut host = RecordingHost::default();
+        let vm = run_once(src, &flows_tuple(1, "h", 0), &mut host);
+        assert_eq!(vm.local("a").unwrap().as_int(), Some(13));
+        assert_eq!(vm.local("r").unwrap().as_real(), Some(0.25));
+        assert_eq!(vm.local("s").unwrap().as_text().unwrap(), "x=14");
+    }
+
+    #[test]
+    fn event_field_access_and_send() {
+        let src = r#"
+            subscribe f to Flows;
+            int total;
+            initialization { total = 0; }
+            behavior { total = total + f.nbytes; send(total, f.daddr); }
+        "#;
+        let program = Arc::new(compile(src).unwrap());
+        let mut vm = Vm::new(program);
+        let mut host = RecordingHost::default();
+        vm.run_initialization(&mut host).unwrap();
+        vm.run_behavior("Flows", &flows_tuple(100, "10.0.0.9", 5), &mut host)
+            .unwrap();
+        vm.run_behavior("Flows", &flows_tuple(50, "10.0.0.9", 6), &mut host)
+            .unwrap();
+        assert_eq!(vm.local("total").unwrap().as_int(), Some(150));
+        assert_eq!(
+            host.sent,
+            vec![
+                vec![Scalar::Int(100), Scalar::Str("10.0.0.9".into())],
+                vec![Scalar::Int(150), Scalar::Str("10.0.0.9".into())],
+            ]
+        );
+    }
+
+    #[test]
+    fn while_loop_and_compound_assignment() {
+        let src = r#"
+            subscribe f to Flows;
+            int i, sum;
+            behavior {
+                i = 0; sum = 0;
+                while (i < 10) { sum += i; i += 1; }
+            }
+        "#;
+        let mut host = RecordingHost::default();
+        let vm = run_once(src, &flows_tuple(1, "h", 0), &mut host);
+        assert_eq!(vm.local("sum").unwrap().as_int(), Some(45));
+    }
+
+    #[test]
+    fn if_else_chains() {
+        let src = r#"
+            subscribe f to Flows;
+            string verdict;
+            behavior {
+                if (f.nbytes > 1000)
+                    verdict = 'big';
+                else if (f.nbytes > 100)
+                    verdict = 'medium';
+                else
+                    verdict = 'small';
+            }
+        "#;
+        let mut host = RecordingHost::default();
+        let vm = run_once(src, &flows_tuple(500, "h", 0), &mut host);
+        assert_eq!(vm.local("verdict").unwrap().as_text().unwrap(), "medium");
+        let vm = run_once(src, &flows_tuple(5, "h", 0), &mut host);
+        assert_eq!(vm.local("verdict").unwrap().as_text().unwrap(), "small");
+        let vm = run_once(src, &flows_tuple(5000, "h", 0), &mut host);
+        assert_eq!(vm.local("verdict").unwrap().as_text().unwrap(), "big");
+    }
+
+    #[test]
+    fn the_bandwidth_automaton_of_fig_4_behaves_as_described() {
+        let src = r#"
+            subscribe f to Flows;
+            associate a with Allowances;
+            associate b with BWUsage;
+            int n, limit;
+            identifier ip;
+            sequence s;
+            behavior {
+                ip = Identifier(f.daddr);
+                if (hasEntry(a, ip)) {
+                    limit = seqElement(lookup(a, ip), 1);
+                    if (hasEntry(b, ip))
+                        n = seqElement(lookup(b, ip), 1);
+                    else
+                        n = 0;
+                    n += f.nbytes;
+                    s = Sequence(f.daddr, n);
+                    if (n > limit)
+                        send(s, limit, 'limit exceeded');
+                    insert(b, ip, s);
+                }
+            }
+        "#;
+        let program = Arc::new(compile(src).unwrap());
+        let mut vm = Vm::new(program);
+        let mut host = RecordingHost::default();
+        host.seed_table(
+            "Allowances",
+            "10.0.0.9",
+            vec![Scalar::Str("10.0.0.9".into()), Scalar::Int(150)],
+        );
+        vm.run_initialization(&mut host).unwrap();
+
+        // Unmonitored address: nothing happens.
+        vm.run_behavior("Flows", &flows_tuple(100, "10.9.9.9", 1), &mut host)
+            .unwrap();
+        assert!(host.sent.is_empty());
+        assert!(host.tables.get("BWUsage").is_none());
+
+        // First flow for the monitored address: usage recorded, below limit.
+        vm.run_behavior("Flows", &flows_tuple(100, "10.0.0.9", 2), &mut host)
+            .unwrap();
+        assert!(host.sent.is_empty());
+        assert_eq!(
+            host.tables["BWUsage"]["10.0.0.9"],
+            vec![Scalar::Str("10.0.0.9".into()), Scalar::Int(100)]
+        );
+
+        // Second flow pushes usage past the 150-byte allowance.
+        vm.run_behavior("Flows", &flows_tuple(100, "10.0.0.9", 3), &mut host)
+            .unwrap();
+        assert_eq!(host.sent.len(), 1);
+        assert_eq!(
+            host.sent[0],
+            vec![
+                Scalar::Str("10.0.0.9".into()),
+                Scalar::Int(200),
+                Scalar::Int(150),
+                Scalar::Str("limit exceeded".into()),
+            ]
+        );
+        assert_eq!(
+            host.tables["BWUsage"]["10.0.0.9"],
+            vec![Scalar::Str("10.0.0.9".into()), Scalar::Int(200)]
+        );
+    }
+
+    #[test]
+    fn current_topic_and_multiple_subscriptions() {
+        let src = r#"
+            subscribe t to Timer;
+            subscribe s to Test;
+            int count;
+            string last;
+            initialization { count = 0; }
+            behavior {
+                if (currentTopic() == 'Timer')
+                    last = 'timer';
+                else {
+                    count += 1;
+                    last = 'test';
+                }
+            }
+        "#;
+        let program = Arc::new(compile(src).unwrap());
+        let mut vm = Vm::new(program);
+        let mut host = RecordingHost::default();
+        vm.run_initialization(&mut host).unwrap();
+
+        let test_schema = Arc::new(Schema::new("Test", vec![("v", AttrType::Int)]).unwrap());
+        let timer_schema =
+            Arc::new(Schema::new("Timer", vec![("tstamp", AttrType::Tstamp)]).unwrap());
+        let test = Tuple::new(test_schema, vec![Scalar::Int(1)], 1).unwrap();
+        let timer = Tuple::new(timer_schema, vec![Scalar::Tstamp(2)], 2).unwrap();
+
+        vm.run_behavior("Test", &test, &mut host).unwrap();
+        vm.run_behavior("Test", &test, &mut host).unwrap();
+        vm.run_behavior("Timer", &timer, &mut host).unwrap();
+        assert_eq!(vm.local("count").unwrap().as_int(), Some(2));
+        assert_eq!(vm.local("last").unwrap().as_text().unwrap(), "timer");
+    }
+
+    #[test]
+    fn delivery_on_unsubscribed_topic_is_an_error() {
+        let program = Arc::new(compile("subscribe f to Flows; behavior { }").unwrap());
+        let mut vm = Vm::new(program);
+        let mut host = RecordingHost::default();
+        let err = vm
+            .run_behavior("Other", &flows_tuple(1, "h", 0), &mut host)
+            .unwrap_err();
+        assert!(err.to_string().contains("not subscribed"));
+    }
+
+    #[test]
+    fn missing_event_field_is_a_runtime_error() {
+        let src = "subscribe f to Flows; int x; behavior { x = f.nosuch; }";
+        let program = Arc::new(compile(src).unwrap());
+        let mut vm = Vm::new(program);
+        let mut host = RecordingHost::default();
+        let err = vm
+            .run_behavior("Flows", &flows_tuple(1, "h", 0), &mut host)
+            .unwrap_err();
+        assert!(err.to_string().contains("no attribute"));
+    }
+
+    #[test]
+    fn division_by_zero_is_reported() {
+        let src = "subscribe f to Flows; int x; behavior { x = 1 / (x * 0); }";
+        let program = Arc::new(compile(src).unwrap());
+        let mut vm = Vm::new(program);
+        let mut host = RecordingHost::default();
+        let err = vm
+            .run_behavior("Flows", &flows_tuple(1, "h", 0), &mut host)
+            .unwrap_err();
+        assert!(err.to_string().contains("division by zero"));
+    }
+
+    #[test]
+    fn windows_and_timers_drive_the_continuous_query_model_of_fig_2() {
+        let src = r#"
+            subscribe event to Readings;
+            subscribe x to Timer;
+            window w;
+            initialization {
+                w = Window(sequence, SECS, 60);
+            }
+            behavior {
+                if (currentTopic() == 'Readings')
+                    append(w, Sequence(event.value));
+                else
+                    if (currentTopic() == 'Timer') {
+                        send(w);
+                        w = Window(sequence, SECS, 60);
+                    }
+            }
+        "#;
+        let program = Arc::new(compile(src).unwrap());
+        let mut vm = Vm::new(program);
+        let mut host = RecordingHost::default();
+        vm.run_initialization(&mut host).unwrap();
+
+        let readings = Arc::new(Schema::new("Readings", vec![("value", AttrType::Int)]).unwrap());
+        let timer = Arc::new(Schema::new("Timer", vec![("tstamp", AttrType::Tstamp)]).unwrap());
+        for v in 1..=3i64 {
+            let t = Tuple::new(readings.clone(), vec![Scalar::Int(v)], v as u64).unwrap();
+            vm.run_behavior("Readings", &t, &mut host).unwrap();
+        }
+        let tick = Tuple::new(timer, vec![Scalar::Tstamp(10)], 10).unwrap();
+        vm.run_behavior("Timer", &tick, &mut host).unwrap();
+        assert_eq!(host.sent.len(), 1);
+        assert_eq!(
+            host.sent[0],
+            vec![Scalar::Int(1), Scalar::Int(2), Scalar::Int(3)]
+        );
+    }
+
+    #[test]
+    fn frequent_algorithm_from_fig_14_finds_the_heavy_hitter() {
+        let src = r#"
+            subscribe e to Urls;
+            map T;
+            iterator i;
+            identifier id;
+            int count;
+            int k;
+            initialization { k = 5; T = Map(int); }
+            behavior {
+                id = Identifier(e.host);
+                if (hasEntry(T, id)) {
+                    count = lookup(T, id);
+                    count += 1;
+                    insert(T, id, count);
+                } else if (mapSize(T) < (k-1))
+                    insert(T, id, 1);
+                else {
+                    i = Iterator(T);
+                    while (hasNext(i)) {
+                        id = next(i);
+                        count = lookup(T, id);
+                        count -= 1;
+                        if (count == 0)
+                            remove(T, id);
+                        else
+                            insert(T, id, count);
+                    }
+                }
+            }
+        "#;
+        let program = Arc::new(compile(src).unwrap());
+        let mut vm = Vm::new(program);
+        let mut host = RecordingHost::default();
+        vm.run_initialization(&mut host).unwrap();
+        let urls = Arc::new(Schema::new("Urls", vec![("host", AttrType::Str)]).unwrap());
+        let deliver = |host_name: &str, vm: &mut Vm, h: &mut RecordingHost| {
+            let t = Tuple::new(urls.clone(), vec![Scalar::Str(host_name.into())], 0).unwrap();
+            vm.run_behavior("Urls", &t, h).unwrap();
+        };
+        // 40 requests to the heavy hitter, 20 spread over rare hosts.
+        for i in 0..60 {
+            if i % 3 != 2 {
+                deliver("popular.example.com", &mut vm, &mut host);
+            } else {
+                deliver(&format!("rare{i}.example.com"), &mut vm, &mut host);
+            }
+        }
+        match vm.local("T").unwrap() {
+            Value::Map(m) => assert!(m.borrow().has_entry("popular.example.com")),
+            other => panic!("T should be a map, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn instruction_counter_increases() {
+        let src = "subscribe f to Flows; int i; behavior { i = 0; while (i < 5) i += 1; }";
+        let mut host = RecordingHost::default();
+        let vm = run_once(src, &flows_tuple(1, "h", 0), &mut host);
+        assert!(vm.instructions_executed() > 20);
+    }
+
+    #[test]
+    fn publish_routes_through_host() {
+        let src = r#"
+            subscribe f to Flows;
+            behavior { publish('Derived', f.daddr, f.nbytes * 2); }
+        "#;
+        let mut host = RecordingHost::default();
+        run_once(src, &flows_tuple(21, "10.0.0.1", 0), &mut host);
+        assert_eq!(
+            host.published,
+            vec![(
+                "Derived".to_string(),
+                vec![Scalar::Str("10.0.0.1".into()), Scalar::Int(42)]
+            )]
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! The Kleene-closure extension mentioned in §7 of the paper: "we have
+//! implemented SASE's kleene closure operator (e.g. based on partition
+//! contiguity) with a map of windows".
+//!
+//! The automaton below accumulates, per stock (the partition), the
+//! contiguous sequence of events whose price keeps rising — the SASE
+//! pattern `A (B+) C` where `B+` is the Kleene closure of rising ticks —
+//! and emits the whole accumulated sequence when the closure ends. The
+//! state is exactly what the paper describes: a map from partition key to
+//! a window of the events matched so far.
+
+use std::sync::Arc;
+
+use gapl::event::{AttrType, Scalar, Schema, Tuple};
+use gapl::vm::{RecordingHost, Vm};
+
+const KLEENE_AUTOMATON: &str = r#"
+    subscribe s to Stocks;
+    map closures;
+    map last_price;
+    window w;
+    real prev;
+    identifier name;
+    initialization {
+        closures = Map(window);
+        last_price = Map(real);
+    }
+    behavior {
+        name = Identifier(s.name);
+        if (hasEntry(last_price, name)) {
+            prev = lookup(last_price, name);
+            w = lookup(closures, name);
+            if (s.price > prev) {
+                # B+ : the closure keeps absorbing rising ticks.
+                append(w, Sequence(s.name, s.price));
+            } else {
+                # C : the closure ends; report it if it matched anything.
+                if (winSize(w) >= 2)
+                    send(s.name, winSize(w), w);
+                w = Window(sequence, ROWS, 1000);
+                append(w, Sequence(s.name, s.price));
+            }
+            insert(closures, name, w);
+        } else {
+            # A : the first event of the partition anchors the pattern.
+            w = Window(sequence, ROWS, 1000);
+            append(w, Sequence(s.name, s.price));
+            insert(closures, name, w);
+        }
+        insert(last_price, name, s.price);
+    }
+"#;
+
+fn tick(schema: &Arc<Schema>, name: &str, price: f64, at: u64) -> Tuple {
+    Tuple::new(
+        Arc::clone(schema),
+        vec![Scalar::Str(name.into()), Scalar::Real(price)],
+        at,
+    )
+    .expect("valid tuple")
+}
+
+fn run_over(prices: &[(&str, f64)]) -> RecordingHost {
+    let schema = Arc::new(
+        Schema::new(
+            "Stocks",
+            vec![("name", AttrType::Str), ("price", AttrType::Real)],
+        )
+        .expect("valid schema"),
+    );
+    let program = Arc::new(gapl::compile(KLEENE_AUTOMATON).expect("the automaton compiles"));
+    let mut vm = Vm::new(program);
+    let mut host = RecordingHost::default();
+    vm.run_initialization(&mut host).expect("initialization");
+    for (i, (name, price)) in prices.iter().enumerate() {
+        let event = tick(&schema, name, *price, i as u64);
+        vm.run_behavior("Stocks", &event, &mut host).expect("behavior");
+    }
+    host
+}
+
+#[test]
+fn a_single_rising_closure_is_reported_with_all_its_events() {
+    let host = run_over(&[
+        ("ACME", 10.0),
+        ("ACME", 11.0),
+        ("ACME", 12.5),
+        ("ACME", 13.0),
+        ("ACME", 9.0), // the closure ends here
+    ]);
+    assert_eq!(host.sent.len(), 1);
+    let report = &host.sent[0];
+    // name, closure length, then the flattened (name, price) pairs.
+    assert_eq!(report[0], Scalar::Str("ACME".into()));
+    assert_eq!(report[1], Scalar::Int(4));
+    let prices: Vec<f64> = report[2..]
+        .iter()
+        .filter_map(Scalar::as_real)
+        .filter(|p| *p > 1.0)
+        .collect();
+    assert_eq!(prices, vec![10.0, 11.0, 12.5, 13.0]);
+}
+
+#[test]
+fn closures_are_tracked_independently_per_partition() {
+    let host = run_over(&[
+        ("A", 1.0),
+        ("B", 9.0),
+        ("A", 2.0),
+        ("B", 8.0), // B's first closure ends with only one event: not reported
+        ("A", 3.0),
+        ("B", 9.5),
+        ("A", 0.5), // A's closure of 3 ends
+        ("B", 1.0), // B's closure of 2 ends
+    ]);
+    assert_eq!(host.sent.len(), 2);
+    assert_eq!(host.sent[0][0], Scalar::Str("A".into()));
+    assert_eq!(host.sent[0][1], Scalar::Int(3));
+    assert_eq!(host.sent[1][0], Scalar::Str("B".into()));
+    assert_eq!(host.sent[1][1], Scalar::Int(2));
+}
+
+#[test]
+fn interrupted_closures_restart_from_the_breaking_event() {
+    let host = run_over(&[
+        ("A", 5.0),
+        ("A", 6.0),
+        ("A", 4.0), // closure of 2 ends, new anchor at 4.0
+        ("A", 4.5),
+        ("A", 5.5),
+        ("A", 1.0), // closure of 3 ends (4.0, 4.5, 5.5)
+    ]);
+    assert_eq!(host.sent.len(), 2);
+    assert_eq!(host.sent[0][1], Scalar::Int(2));
+    assert_eq!(host.sent[1][1], Scalar::Int(3));
+    let second: Vec<f64> = host.sent[1][2..]
+        .iter()
+        .filter_map(Scalar::as_real)
+        .filter(|p| *p > 1.5)
+        .collect();
+    assert_eq!(second, vec![4.0, 4.5, 5.5]);
+}
+
+#[test]
+fn monotone_streams_report_nothing_until_the_trend_breaks() {
+    let host = run_over(&[("A", 1.0), ("A", 2.0), ("A", 3.0), ("A", 4.0)]);
+    assert!(host.sent.is_empty());
+}

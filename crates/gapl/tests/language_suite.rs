@@ -1,0 +1,361 @@
+//! A black-box test suite for the GAPL language as a whole: programs are
+//! compiled from source and executed against a [`RecordingHost`], plus
+//! property-based tests of the lexer, the aggregate types and the
+//! "frequent" guarantee.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use gapl::event::{AttrType, Scalar, Schema, Timestamp, Tuple};
+use gapl::token::TokenKind;
+use gapl::value::Value;
+use gapl::vm::{RecordingHost, Vm};
+
+fn schema(name: &str, attrs: Vec<(&str, AttrType)>) -> Arc<Schema> {
+    Arc::new(Schema::new(name, attrs).expect("valid schema"))
+}
+
+fn run_program(source: &str, events: &[(&str, Tuple)]) -> (Vm, RecordingHost) {
+    let program = Arc::new(gapl::compile(source).expect("program compiles"));
+    let mut vm = Vm::new(program);
+    let mut host = RecordingHost::default();
+    vm.run_initialization(&mut host).expect("initialization");
+    for (topic, event) in events {
+        vm.run_behavior(topic, event, &mut host).expect("behavior");
+    }
+    (vm, host)
+}
+
+fn int_event(schema: &Arc<Schema>, field_values: Vec<Scalar>, at: Timestamp) -> Tuple {
+    Tuple::new(Arc::clone(schema), field_values, at).expect("valid tuple")
+}
+
+#[test]
+fn string_concatenation_and_conversions() {
+    let s = schema("T", vec![("v", AttrType::Int)]);
+    let src = r#"
+        subscribe t to T;
+        string msg;
+        real r;
+        int i;
+        behavior {
+            r = float(t.v) / 4.0;
+            i = int(r * 100.0);
+            msg = String('v=', t.v, ' r=', r, ' i=', i);
+            send(msg);
+        }
+    "#;
+    let (_vm, host) = run_program(src, &[("T", int_event(&s, vec![Scalar::Int(10)], 1))]);
+    assert_eq!(host.sent.len(), 1);
+    assert_eq!(host.sent[0][0], Scalar::Str("v=10 r=2.5 i=250".into()));
+}
+
+#[test]
+fn min_max_abs_and_remainder() {
+    let s = schema("T", vec![("v", AttrType::Int)]);
+    let src = r#"
+        subscribe t to T;
+        int a, b, c, d;
+        behavior {
+            a = min(t.v, 10);
+            b = max(t.v, 10);
+            c = abs(0 - t.v);
+            d = t.v % 7;
+            send(a, b, c, d);
+        }
+    "#;
+    let (_vm, host) = run_program(src, &[("T", int_event(&s, vec![Scalar::Int(23)], 1))]);
+    assert_eq!(
+        host.sent[0],
+        vec![Scalar::Int(10), Scalar::Int(23), Scalar::Int(23), Scalar::Int(2)]
+    );
+}
+
+#[test]
+fn nested_while_loops_and_map_iteration() {
+    let s = schema("T", vec![("n", AttrType::Int)]);
+    let src = r#"
+        subscribe t to T;
+        map m;
+        iterator it;
+        identifier id;
+        int i, j, total;
+        initialization { m = Map(int); }
+        behavior {
+            i = 0;
+            while (i < t.n) {
+                j = 0;
+                while (j < i) {
+                    j += 1;
+                }
+                insert(m, Identifier('k', i), j);
+                i += 1;
+            }
+            total = 0;
+            it = Iterator(m);
+            while (hasNext(it)) {
+                id = next(it);
+                total += lookup(m, id);
+            }
+            send(total, mapSize(m));
+        }
+    "#;
+    let (_vm, host) = run_program(src, &[("T", int_event(&s, vec![Scalar::Int(5)], 1))]);
+    // 0 + 1 + 2 + 3 + 4 = 10 over 5 entries.
+    assert_eq!(host.sent[0], vec![Scalar::Int(10), Scalar::Int(5)]);
+}
+
+#[test]
+fn windows_of_rows_and_seconds_behave_differently() {
+    let s = schema("T", vec![("v", AttrType::Int)]);
+    let src = r#"
+        subscribe t to T;
+        window by_rows;
+        window by_time;
+        initialization {
+            by_rows = Window(int, ROWS, 3);
+            by_time = Window(int, SECS, 10);
+        }
+        behavior {
+            append(by_rows, t.v);
+            append(by_time, t.v);
+            send(winSize(by_rows), winSize(by_time));
+        }
+    "#;
+    let program = Arc::new(gapl::compile(src).unwrap());
+    let mut vm = Vm::new(program);
+    let mut host = RecordingHost::default();
+    vm.run_initialization(&mut host).unwrap();
+    // Five events, one every 4 seconds: the ROWS window caps at 3 items,
+    // the 10-second window holds at most 3 (t, t-4, t-8).
+    for i in 0..5i64 {
+        host.clock = (i as u64) * 4_000_000_000;
+        let ev = int_event(&s, vec![Scalar::Int(i)], host.clock);
+        vm.run_behavior("T", &ev, &mut host).unwrap();
+    }
+    let sizes: Vec<(i64, i64)> = host
+        .sent
+        .iter()
+        .map(|v| (v[0].as_int().unwrap(), v[1].as_int().unwrap()))
+        .collect();
+    assert_eq!(sizes, vec![(1, 1), (2, 2), (3, 3), (3, 3), (3, 3)]);
+}
+
+#[test]
+fn least_squares_slope_over_a_window_detects_trends() {
+    let s = schema("T", vec![("v", AttrType::Real)]);
+    let src = r#"
+        subscribe t to T;
+        window w;
+        real slope;
+        initialization { w = Window(real, ROWS, 100); }
+        behavior {
+            append(w, t.v);
+            slope = lsqSlope(w);
+            send(slope);
+        }
+    "#;
+    let program = Arc::new(gapl::compile(src).unwrap());
+    let mut vm = Vm::new(program);
+    let mut host = RecordingHost::default();
+    vm.run_initialization(&mut host).unwrap();
+    for i in 0..10i64 {
+        host.clock = i as u64 * 1_000_000_000;
+        let ev = int_event(&s, vec![Scalar::Real(2.0 * i as f64)], host.clock);
+        vm.run_behavior("T", &ev, &mut host).unwrap();
+    }
+    // With x in seconds and y = 2x, the fitted slope converges to 2.
+    let last = host.sent.last().unwrap()[0].as_real().unwrap();
+    assert!((last - 2.0).abs() < 1e-6, "slope was {last}");
+}
+
+#[test]
+fn delete_is_accepted_and_harmless() {
+    let s = schema("T", vec![("v", AttrType::Int)]);
+    let src = r#"
+        subscribe t to T;
+        sequence s;
+        behavior { s = Sequence(t.v); delete(s); send(t.v); }
+    "#;
+    let (_vm, host) = run_program(src, &[("T", int_event(&s, vec![Scalar::Int(3)], 1))]);
+    assert_eq!(host.sent.len(), 1);
+}
+
+#[test]
+fn runtime_errors_carry_useful_messages() {
+    let s = schema("T", vec![("v", AttrType::Int)]);
+    let cases = [
+        ("subscribe t to T; int x; behavior { x = seqElement(Sequence(1), 5); }", "out of bounds"),
+        ("subscribe t to T; int x; behavior { x = lookup(5, Identifier('k')); }", "expects a map"),
+        ("subscribe t to T; behavior { publish(42, 1); }", "topic name"),
+        ("subscribe t to T; int x; behavior { x = int('not a number'); }", "cannot parse"),
+        ("subscribe t to T; window w; behavior { w = Window(int, 'FURLONGS', 3); }", "SECS or ROWS"),
+    ];
+    for (src, expected) in cases {
+        let program = Arc::new(gapl::compile(src).expect("compiles"));
+        let mut vm = Vm::new(program);
+        let mut host = RecordingHost::default();
+        vm.run_initialization(&mut host).unwrap();
+        let err = vm
+            .run_behavior("T", &int_event(&s, vec![Scalar::Int(1)], 1), &mut host)
+            .unwrap_err();
+        assert!(
+            err.to_string().contains(expected),
+            "error `{err}` should mention `{expected}` for `{src}`"
+        );
+    }
+}
+
+#[test]
+fn an_automaton_processes_interleaved_topics_in_delivery_order() {
+    let a = schema("A", vec![("v", AttrType::Int)]);
+    let b = schema("B", vec![("v", AttrType::Int)]);
+    let src = r#"
+        subscribe x to A;
+        subscribe y to B;
+        string log;
+        initialization { log = ''; }
+        behavior {
+            if (currentTopic() == 'A')
+                log = String(log, 'a', x.v);
+            else
+                log = String(log, 'b', y.v);
+        }
+    "#;
+    let events = vec![
+        ("A", int_event(&a, vec![Scalar::Int(1)], 1)),
+        ("B", int_event(&b, vec![Scalar::Int(2)], 2)),
+        ("A", int_event(&a, vec![Scalar::Int(3)], 3)),
+    ];
+    let (vm, _host) = run_program(src, &events);
+    assert_eq!(vm.local("log").unwrap().as_text().unwrap(), "a1b2a3");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Integer and real literals survive the lexer unchanged.
+    #[test]
+    fn numeric_literals_round_trip_through_the_lexer(value in -1_000_000_000i64..1_000_000_000) {
+        let tokens = gapl::lexer::lex(&format!("{value}")).unwrap();
+        match (&tokens[0].kind, value < 0) {
+            (TokenKind::Int(i), false) => prop_assert_eq!(*i, value),
+            (TokenKind::Minus, true) => match &tokens[1].kind {
+                TokenKind::Int(i) => prop_assert_eq!(*i, -value),
+                other => return Err(TestCaseError::fail(format!("unexpected token {other:?}"))),
+            },
+            other => return Err(TestCaseError::fail(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    /// Identifier-looking strings lex as a single identifier token.
+    #[test]
+    fn identifiers_lex_as_single_tokens(name in "[a-zA-Z][a-zA-Z0-9_]{0,20}") {
+        let tokens = gapl::lexer::lex(&name).unwrap();
+        prop_assert_eq!(tokens.len(), 2); // the identifier (or keyword) + EOF
+    }
+
+    /// String literals round trip (for characters that need no escaping).
+    #[test]
+    fn string_literals_round_trip(text in "[a-zA-Z0-9 .,;:_-]{0,40}") {
+        let tokens = gapl::lexer::lex(&format!("'{text}'")).unwrap();
+        match &tokens[0].kind {
+            TokenKind::Str(s) => prop_assert_eq!(s, &text),
+            other => return Err(TestCaseError::fail(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    /// A ROWS window never holds more than its capacity, and always holds
+    /// the most recent items.
+    #[test]
+    fn rows_windows_hold_the_most_recent_suffix(
+        values in proptest::collection::vec(-1000i64..1000, 1..60),
+        capacity in 1usize..10,
+    ) {
+        let mut w = gapl::value::WindowData::rows(gapl::value::DeclType::Int, capacity);
+        for (i, v) in values.iter().enumerate() {
+            w.append(i as u64, Value::Int(*v));
+        }
+        prop_assert!(w.len() <= capacity);
+        let got: Vec<i64> = w.values().iter().map(|v| v.as_int().unwrap()).collect();
+        let expected: Vec<i64> = values
+            .iter()
+            .copied()
+            .skip(values.len().saturating_sub(capacity))
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The compiled "frequent" automaton of Fig. 14 never misses a heavy
+    /// hitter: any host with more than n/k occurrences is present in the
+    /// candidate map at the end of the stream.
+    #[test]
+    fn the_frequent_automaton_never_misses_a_heavy_hitter(
+        stream in proptest::collection::vec(0u8..12, 20..200),
+        k in 3usize..8,
+    ) {
+        let source = format!(
+            r#"
+            subscribe e to Urls;
+            map T;
+            iterator i;
+            identifier id;
+            int count;
+            int k;
+            initialization {{ k = {k}; T = Map(int); }}
+            behavior {{
+                id = Identifier(e.host);
+                if (hasEntry(T, id)) {{
+                    count = lookup(T, id);
+                    count += 1;
+                    insert(T, id, count);
+                }} else if (mapSize(T) < (k-1))
+                    insert(T, id, 1);
+                else {{
+                    i = Iterator(T);
+                    while (hasNext(i)) {{
+                        id = next(i);
+                        count = lookup(T, id);
+                        count -= 1;
+                        if (count == 0)
+                            remove(T, id);
+                        else
+                            insert(T, id, count);
+                    }}
+                }}
+            }}
+            "#
+        );
+        let urls = schema("Urls", vec![("host", AttrType::Str)]);
+        let program = Arc::new(gapl::compile(&source).unwrap());
+        let mut vm = Vm::new(program);
+        let mut host = RecordingHost::default();
+        vm.run_initialization(&mut host).unwrap();
+
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for (i, item) in stream.iter().enumerate() {
+            let name = format!("host{item}");
+            *counts.entry(name.clone()).or_default() += 1;
+            let ev = int_event(&urls, vec![Scalar::Str(name)], i as u64);
+            vm.run_behavior("Urls", &ev, &mut host).unwrap();
+        }
+
+        let threshold = stream.len() / k;
+        match vm.local("T").unwrap() {
+            Value::Map(m) => {
+                let m = m.borrow();
+                for (name, count) in counts {
+                    if count > threshold {
+                        prop_assert!(
+                            m.has_entry(&name),
+                            "{name} occurs {count} > {threshold} times but was evicted"
+                        );
+                    }
+                }
+            }
+            other => return Err(TestCaseError::fail(format!("T should be a map, got {other:?}"))),
+        }
+    }
+}

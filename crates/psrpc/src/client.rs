@@ -1,0 +1,427 @@
+//! The application-side RPC client.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use gapl::event::Scalar;
+
+use crate::error::{Error, Result};
+use crate::message::{CacheReply, ClientMessage, Request, ServerMessage, WireRow};
+use crate::transport::{inproc_pair, tcp_split, RecvHalf, SendHalf};
+
+/// An asynchronous complex-event notification received from the cache, the
+/// client-side image of an automaton's `send()`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientNotification {
+    /// Id of the automaton (as returned by [`CacheClient::register_automaton`]).
+    pub automaton: u64,
+    /// The values passed to `send()`.
+    pub values: Vec<Scalar>,
+    /// Cache time of the notification.
+    pub at: u64,
+}
+
+/// A result set as seen by a remote application.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClientResultSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<WireRow>,
+}
+
+impl ClientResultSet {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Largest tuple timestamp in the result, for driving `since τ` loops.
+    pub fn max_tstamp(&self) -> Option<u64> {
+        self.rows.iter().map(|r| r.tstamp).max()
+    }
+}
+
+/// A connection to the cache, usable from multiple threads.
+///
+/// Requests are answered synchronously; notifications from automata
+/// registered over this connection arrive asynchronously on
+/// [`CacheClient::notifications`].
+pub struct CacheClient {
+    writer: Mutex<Box<dyn SendHalf>>,
+    replies: Mutex<Receiver<(u64, CacheReply)>>,
+    notifications: Receiver<ClientNotification>,
+    seq: AtomicU64,
+    reader_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for CacheClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheClient")
+            .field("next_seq", &self.seq.load(Ordering::Relaxed))
+            .field("pending_notifications", &self.notifications.len())
+            .finish()
+    }
+}
+
+impl CacheClient {
+    /// Connect to an [`crate::server::RpcServer`] over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<CacheClient> {
+        let stream = TcpStream::connect(addr)?;
+        let (send, recv) = tcp_split(stream)?;
+        Ok(Self::from_halves(Box::new(send), Box::new(recv)))
+    }
+
+    /// Create a client talking to an in-process cache: spawns a server
+    /// thread for the loopback connection and returns the connected client.
+    /// This preserves the full RPC path — encoding, fragmentation,
+    /// reassembly — without a network stack.
+    pub fn connect_inproc(cache: pscache::Cache) -> CacheClient {
+        let (client_end, server_end) = inproc_pair();
+        let (server_send, server_recv) = server_end;
+        std::thread::Builder::new()
+            .name("psrpc-inproc-server".into())
+            .spawn(move || {
+                let _ = crate::server::serve_connection(cache, server_send, server_recv);
+            })
+            .expect("spawning the in-process server thread never fails");
+        let (client_send, client_recv) = client_end;
+        Self::from_halves(Box::new(client_send), Box::new(client_recv))
+    }
+
+    /// Build a client from pre-connected transport halves.
+    pub fn from_halves(send: Box<dyn SendHalf>, mut recv: Box<dyn RecvHalf>) -> CacheClient {
+        let (reply_tx, reply_rx): (Sender<(u64, CacheReply)>, _) = unbounded();
+        let (note_tx, note_rx) = unbounded();
+        let reader_thread = std::thread::Builder::new()
+            .name("psrpc-client-reader".into())
+            .spawn(move || loop {
+                match recv.recv() {
+                    Ok(Some(bytes)) => match ServerMessage::decode(&bytes) {
+                        Ok(ServerMessage::Reply { seq, reply }) => {
+                            if reply_tx.send((seq, reply)).is_err() {
+                                break;
+                            }
+                        }
+                        Ok(ServerMessage::Notification {
+                            automaton,
+                            values,
+                            at,
+                        }) => {
+                            let _ = note_tx.send(ClientNotification {
+                                automaton,
+                                values,
+                                at,
+                            });
+                        }
+                        Err(_) => break,
+                    },
+                    Ok(None) | Err(_) => break,
+                }
+            })
+            .expect("spawning the client reader thread never fails");
+        CacheClient {
+            writer: Mutex::new(send),
+            replies: Mutex::new(reply_rx),
+            notifications: note_rx,
+            seq: AtomicU64::new(1),
+            reader_thread: Some(reader_thread),
+        }
+    }
+
+    fn request(&self, request: Request) -> Result<CacheReply> {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let message = ClientMessage { seq, request }.encode();
+        // Hold the writer lock across send + receive so concurrent callers
+        // cannot steal each other's replies.
+        let mut writer = self.writer.lock();
+        writer.send(&message)?;
+        let replies = self.replies.lock();
+        loop {
+            match replies.recv() {
+                Ok((reply_seq, reply)) if reply_seq == seq => {
+                    return match reply {
+                        CacheReply::Error { message } => Err(Error::Remote { message }),
+                        other => Ok(other),
+                    }
+                }
+                Ok(_) => continue, // a stale reply from an abandoned request
+                Err(_) => return Err(Error::Disconnected),
+            }
+        }
+    }
+
+    /// Execute any SQL-ish command and discard the detail of the reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Remote`] when the cache rejects the command.
+    pub fn execute(&self, command: &str) -> Result<CacheReply> {
+        self.request(Request::Execute {
+            command: command.to_owned(),
+        })
+    }
+
+    /// Run a `select` and return its rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Remote`] for unknown tables or malformed queries,
+    /// and a protocol error if the cache answers with something other than
+    /// rows.
+    pub fn select(&self, command: &str) -> Result<ClientResultSet> {
+        match self.execute(command)? {
+            CacheReply::Rows { columns, rows } => Ok(ClientResultSet { columns, rows }),
+            other => Err(Error::protocol(format!(
+                "expected rows in reply to a select, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Insert a tuple using the fast path (no SQL formatting/parsing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Remote`] when the cache rejects the tuple.
+    pub fn insert(&self, table: &str, values: Vec<Scalar>) -> Result<u64> {
+        match self.request(Request::Insert {
+            table: table.to_owned(),
+            values,
+            upsert: false,
+        })? {
+            CacheReply::Inserted { tstamp, .. } => Ok(tstamp),
+            other => Err(Error::protocol(format!(
+                "unexpected reply to insert: {other:?}"
+            ))),
+        }
+    }
+
+    /// Insert with `on duplicate key update` semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Remote`] when the cache rejects the tuple.
+    pub fn upsert(&self, table: &str, values: Vec<Scalar>) -> Result<u64> {
+        match self.request(Request::Insert {
+            table: table.to_owned(),
+            values,
+            upsert: true,
+        })? {
+            CacheReply::Inserted { tstamp, .. } => Ok(tstamp),
+            other => Err(Error::protocol(format!(
+                "unexpected reply to upsert: {other:?}"
+            ))),
+        }
+    }
+
+    /// Register an automaton; returns its id. Compilation errors are
+    /// reported back as [`Error::Remote`], exactly as in the paper.
+    ///
+    /// # Errors
+    ///
+    /// See above.
+    pub fn register_automaton(&self, source: &str) -> Result<u64> {
+        match self.request(Request::RegisterAutomaton {
+            source: source.to_owned(),
+        })? {
+            CacheReply::Registered { id } => Ok(id),
+            other => Err(Error::protocol(format!(
+                "unexpected reply to register: {other:?}"
+            ))),
+        }
+    }
+
+    /// Unregister a previously registered automaton.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Remote`] for unknown ids.
+    pub fn unregister_automaton(&self, id: u64) -> Result<()> {
+        match self.request(Request::UnregisterAutomaton { id })? {
+            CacheReply::Unregistered => Ok(()),
+            other => Err(Error::protocol(format!(
+                "unexpected reply to unregister: {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Disconnected`] when the server is gone.
+    pub fn ping(&self) -> Result<()> {
+        match self.request(Request::Ping)? {
+            CacheReply::Pong => Ok(()),
+            other => Err(Error::protocol(format!(
+                "unexpected reply to ping: {other:?}"
+            ))),
+        }
+    }
+
+    /// The channel on which asynchronous automaton notifications arrive.
+    pub fn notifications(&self) -> &Receiver<ClientNotification> {
+        &self.notifications
+    }
+
+    /// Drain any notifications that have already arrived.
+    pub fn drain_notifications(&self) -> Vec<ClientNotification> {
+        self.notifications.try_iter().collect()
+    }
+}
+
+impl Drop for CacheClient {
+    fn drop(&mut self) {
+        // Dropping the writer closes the connection, which unblocks and
+        // terminates the reader thread.
+        if let Some(handle) = self.reader_thread.take() {
+            drop(std::mem::replace(
+                &mut *self.writer.lock(),
+                Box::new(ClosedSend),
+            ));
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A sender that always fails; installed while dropping the client.
+#[derive(Debug)]
+struct ClosedSend;
+
+impl SendHalf for ClosedSend {
+    fn send(&mut self, _message: &[u8]) -> Result<()> {
+        Err(Error::Disconnected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscache::CacheBuilder;
+    use std::time::Duration;
+
+    fn wait_for_notifications(client: &CacheClient, n: usize) -> Vec<ClientNotification> {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut notes = Vec::new();
+        while notes.len() < n && std::time::Instant::now() < deadline {
+            if let Ok(note) = client.notifications().recv_timeout(Duration::from_millis(50)) {
+                notes.push(note);
+            }
+        }
+        notes
+    }
+
+    #[test]
+    fn inproc_end_to_end_execute_insert_select_and_notifications() {
+        let cache = CacheBuilder::new().build();
+        let client = CacheClient::connect_inproc(cache);
+        client.ping().unwrap();
+        client
+            .execute("create table Flows (srcip varchar(16), nbytes integer)")
+            .unwrap();
+        let id = client
+            .register_automaton(
+                "subscribe f to Flows; behavior { if (f.nbytes > 100) send(f.srcip); }",
+            )
+            .unwrap();
+        client
+            .insert("Flows", vec![Scalar::Str("a".into()), Scalar::Int(10)])
+            .unwrap();
+        client
+            .insert("Flows", vec![Scalar::Str("b".into()), Scalar::Int(500)])
+            .unwrap();
+        let rows = client.select("select * from Flows").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.max_tstamp().is_some());
+
+        let notes = wait_for_notifications(&client, 1);
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].automaton, id);
+        assert_eq!(notes[0].values[0], Scalar::Str("b".into()));
+
+        client.unregister_automaton(id).unwrap();
+        assert!(client.unregister_automaton(id).is_err());
+    }
+
+    #[test]
+    fn tcp_end_to_end_round_trip() {
+        let cache = CacheBuilder::new().build();
+        let server = crate::server::RpcServer::bind(cache, "127.0.0.1:0").unwrap();
+        let client = CacheClient::connect(server.local_addr()).unwrap();
+        client.execute("create table T (v integer)").unwrap();
+        for i in 0..10 {
+            client.insert("T", vec![Scalar::Int(i)]).unwrap();
+        }
+        let rows = client.select("select * from T where v >= 5").unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.columns, vec!["v"]);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn remote_errors_are_surfaced() {
+        let cache = CacheBuilder::new().build();
+        let client = CacheClient::connect_inproc(cache);
+        assert!(matches!(
+            client.execute("select * from Missing"),
+            Err(Error::Remote { .. })
+        ));
+        assert!(matches!(
+            client.register_automaton("subscribe f to Missing; behavior { }"),
+            Err(Error::Remote { .. })
+        ));
+        assert!(matches!(
+            client.register_automaton("this is not gapl"),
+            Err(Error::Remote { .. })
+        ));
+    }
+
+    #[test]
+    fn upsert_over_rpc_updates_rows_in_place() {
+        let cache = CacheBuilder::new().build();
+        let client = CacheClient::connect_inproc(cache);
+        client
+            .execute("create persistenttable U (k varchar(8) primary key, v integer)")
+            .unwrap();
+        client
+            .upsert("U", vec![Scalar::Str("a".into()), Scalar::Int(1)])
+            .unwrap();
+        client
+            .upsert("U", vec![Scalar::Str("a".into()), Scalar::Int(2)])
+            .unwrap();
+        let rows = client.select("select * from U").unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows.rows[0].values[1], Scalar::Int(2));
+    }
+
+    #[test]
+    fn client_disconnect_unregisters_its_automata() {
+        let cache = CacheBuilder::new().build();
+        let client = CacheClient::connect_inproc(cache.clone());
+        client.execute("create table T (v integer)").unwrap();
+        client
+            .register_automaton("subscribe t to T; behavior { }")
+            .unwrap();
+        assert_eq!(cache.automata().len(), 1);
+        drop(client);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !cache.automata().is_empty() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(cache.automata().is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! Error types for the RPC layer.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The error type returned by the RPC client and server.
+#[derive(Debug)]
+pub enum Error {
+    /// An I/O error on the underlying transport.
+    Io(std::io::Error),
+    /// The peer sent bytes that do not decode as a valid message.
+    Protocol {
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// The connection was closed while a response was expected.
+    Disconnected,
+    /// The cache rejected the request (unknown table, SQL error, automaton
+    /// compile error, ...); carries the cache's error text.
+    Remote {
+        /// The error reported by the cache.
+        message: String,
+    },
+}
+
+impl Error {
+    /// Construct a [`Error::Protocol`].
+    pub fn protocol(message: impl Into<String>) -> Self {
+        Error::Protocol {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "rpc i/o error: {e}"),
+            Error::Protocol { message } => write!(f, "rpc protocol error: {message}"),
+            Error::Disconnected => write!(f, "rpc connection closed"),
+            Error::Remote { message } => write!(f, "cache error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(Error::protocol("bad tag").to_string().contains("bad tag"));
+        assert_eq!(Error::Disconnected.to_string(), "rpc connection closed");
+        let io: Error = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        assert!(io.to_string().contains("boom"));
+        assert!(std::error::Error::source(&io).is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

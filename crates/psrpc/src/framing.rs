@@ -1,0 +1,230 @@
+//! Message framing with fragmentation/reassembly at 1024-byte boundaries.
+//!
+//! The paper notes (§6.3) that "the RPC system performs
+//! fragmentation/reassembly at 1024-byte boundaries, so the linear drop
+//! with buffer size is to be expected" in the character-string stress test.
+//! We reproduce that behaviour: a logical message of arbitrary size is
+//! split into fragments whose total on-the-wire size (header + payload) is
+//! at most [`FRAGMENT_SIZE`] bytes; the receiver reassembles fragments into
+//! the original message.
+//!
+//! Fragment layout (little endian):
+//!
+//! ```text
+//! +----------+----------+---------------+-------------------+
+//! | len: u16 | last: u8 | reserved: u8  | payload (len B)   |
+//! +----------+----------+---------------+-------------------+
+//! ```
+
+use std::io::{Read, Write};
+
+use crate::error::{Error, Result};
+
+/// The fragmentation boundary, including the fragment header.
+pub const FRAGMENT_SIZE: usize = 1024;
+
+/// Bytes of header per fragment.
+pub const FRAGMENT_HEADER: usize = 4;
+
+/// Maximum payload bytes carried by one fragment.
+pub const FRAGMENT_PAYLOAD: usize = FRAGMENT_SIZE - FRAGMENT_HEADER;
+
+/// Split `message` into wire fragments.
+///
+/// Every message produces at least one fragment (an empty message produces
+/// a single empty, last fragment).
+pub fn fragment(message: &[u8]) -> Vec<Vec<u8>> {
+    let mut fragments = Vec::with_capacity(message.len() / FRAGMENT_PAYLOAD + 1);
+    let mut chunks = message.chunks(FRAGMENT_PAYLOAD).peekable();
+    if message.is_empty() {
+        fragments.push(encode_fragment(&[], true));
+        return fragments;
+    }
+    while let Some(chunk) = chunks.next() {
+        let last = chunks.peek().is_none();
+        fragments.push(encode_fragment(chunk, last));
+    }
+    fragments
+}
+
+fn encode_fragment(payload: &[u8], last: bool) -> Vec<u8> {
+    debug_assert!(payload.len() <= FRAGMENT_PAYLOAD);
+    let mut out = Vec::with_capacity(FRAGMENT_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+    out.push(u8::from(last));
+    out.push(0);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Write a full logical message to `writer`, fragmenting as needed.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_message<W: Write>(writer: &mut W, message: &[u8]) -> Result<()> {
+    for frag in fragment(message) {
+        writer.write_all(&frag)?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Read one full logical message from `reader`, reassembling fragments.
+///
+/// Returns `Ok(None)` on a clean end-of-stream at a message boundary.
+///
+/// # Errors
+///
+/// Returns [`Error::Io`] on transport errors and [`Error::Protocol`] on a
+/// stream that ends mid-message or carries an oversized fragment length.
+pub fn read_message<R: Read>(reader: &mut R) -> Result<Option<Vec<u8>>> {
+    let mut message = Vec::new();
+    let mut first = true;
+    loop {
+        let mut header = [0u8; FRAGMENT_HEADER];
+        match read_exact_or_eof(reader, &mut header)? {
+            ReadOutcome::Eof if first && message.is_empty() => return Ok(None),
+            ReadOutcome::Eof => return Err(Error::protocol("stream ended mid-message")),
+            ReadOutcome::Read => {}
+        }
+        first = false;
+        let len = u16::from_le_bytes([header[0], header[1]]) as usize;
+        let last = header[2] != 0;
+        if len > FRAGMENT_PAYLOAD {
+            return Err(Error::protocol(format!(
+                "fragment length {len} exceeds the {FRAGMENT_PAYLOAD}-byte payload limit"
+            )));
+        }
+        let start = message.len();
+        message.resize(start + len, 0);
+        reader.read_exact(&mut message[start..])?;
+        if last {
+            return Ok(Some(message));
+        }
+    }
+}
+
+enum ReadOutcome {
+    Read,
+    Eof,
+}
+
+fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(ReadOutcome::Eof);
+                }
+                return Err(Error::protocol("stream ended mid-fragment header"));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(ReadOutcome::Read)
+}
+
+/// Number of fragments a message of `len` bytes occupies on the wire; used
+/// by the stress benchmarks to report the expected throughput knee.
+pub fn fragments_for_len(len: usize) -> usize {
+    if len == 0 {
+        1
+    } else {
+        len.div_ceil(FRAGMENT_PAYLOAD)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn round_trip(message: &[u8]) -> Vec<u8> {
+        let mut wire = Vec::new();
+        write_message(&mut wire, message).unwrap();
+        let mut cursor = Cursor::new(wire);
+        read_message(&mut cursor).unwrap().unwrap()
+    }
+
+    #[test]
+    fn small_messages_fit_one_fragment() {
+        let msg = b"hello".to_vec();
+        assert_eq!(fragment(&msg).len(), 1);
+        assert_eq!(round_trip(&msg), msg);
+        assert_eq!(fragments_for_len(msg.len()), 1);
+    }
+
+    #[test]
+    fn empty_message_round_trips() {
+        assert_eq!(round_trip(&[]), Vec::<u8>::new());
+        assert_eq!(fragment(&[]).len(), 1);
+        assert_eq!(fragments_for_len(0), 1);
+    }
+
+    #[test]
+    fn large_messages_fragment_at_the_documented_boundary() {
+        let msg: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+        let frags = fragment(&msg);
+        assert_eq!(frags.len(), fragments_for_len(5000));
+        assert!(frags.iter().all(|f| f.len() <= FRAGMENT_SIZE));
+        // All but the last fragment are full-size.
+        for f in &frags[..frags.len() - 1] {
+            assert_eq!(f.len(), FRAGMENT_SIZE);
+        }
+        assert_eq!(round_trip(&msg), msg);
+    }
+
+    #[test]
+    fn exact_boundary_sizes() {
+        for len in [
+            FRAGMENT_PAYLOAD - 1,
+            FRAGMENT_PAYLOAD,
+            FRAGMENT_PAYLOAD + 1,
+            3 * FRAGMENT_PAYLOAD,
+        ] {
+            let msg: Vec<u8> = vec![0xAB; len];
+            assert_eq!(round_trip(&msg), msg, "length {len}");
+        }
+    }
+
+    #[test]
+    fn multiple_messages_on_one_stream() {
+        let mut wire = Vec::new();
+        write_message(&mut wire, b"first").unwrap();
+        write_message(&mut wire, &vec![7u8; 3000]).unwrap();
+        write_message(&mut wire, b"").unwrap();
+        let mut cursor = Cursor::new(wire);
+        assert_eq!(read_message(&mut cursor).unwrap().unwrap(), b"first");
+        assert_eq!(read_message(&mut cursor).unwrap().unwrap(), vec![7u8; 3000]);
+        assert_eq!(read_message(&mut cursor).unwrap().unwrap(), Vec::<u8>::new());
+        assert!(read_message(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn clean_eof_returns_none_and_mid_message_eof_is_an_error() {
+        let mut cursor = Cursor::new(Vec::<u8>::new());
+        assert!(read_message(&mut cursor).unwrap().is_none());
+
+        // A non-last fragment with nothing after it.
+        let msg: Vec<u8> = vec![1u8; FRAGMENT_PAYLOAD];
+        let mut frag_bytes = fragment(&msg)[0].clone();
+        frag_bytes[2] = 0; // force "not last"
+        let mut cursor = Cursor::new(frag_bytes);
+        assert!(read_message(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversized_fragment_length_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(2000u16).to_le_bytes());
+        bytes.push(1);
+        bytes.push(0);
+        bytes.extend_from_slice(&vec![0u8; 2000]);
+        let mut cursor = Cursor::new(bytes);
+        assert!(read_message(&mut cursor).is_err());
+    }
+}

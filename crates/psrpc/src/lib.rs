@@ -1,0 +1,55 @@
+//! # psrpc — the RPC mechanism between applications and the cache
+//!
+//! A working system consists of a centralised cache and a varying number of
+//! applications that use it; the applications and the cache interact
+//! through an RPC mechanism (§3 of the paper). Applications assume three
+//! roles: they populate tables with raw events via `insert` commands,
+//! retrieve data via `select` commands, and register automata to be
+//! notified when complex event patterns are detected.
+//!
+//! This crate provides:
+//!
+//! * a compact binary [`wire`] encoding for requests, responses and
+//!   asynchronous notifications,
+//! * [`framing`] with fragmentation/reassembly at 1024-byte boundaries —
+//!   the same boundary the paper calls out when explaining the shape of
+//!   the string stress test (Fig. 13),
+//! * a [`transport`] abstraction with a TCP implementation (separate
+//!   application processes, as in the paper) and an in-process loopback
+//!   (deterministic benchmarks),
+//! * an [`server::RpcServer`] that exposes a [`pscache::Cache`], and
+//! * a [`client::CacheClient`] used by applications.
+//!
+//! # Example
+//!
+//! ```
+//! use pscache::CacheBuilder;
+//! use psrpc::{server::RpcServer, client::CacheClient};
+//!
+//! let cache = CacheBuilder::new().build();
+//! let server = RpcServer::bind(cache, "127.0.0.1:0")?;
+//! let addr = server.local_addr();
+//!
+//! let client = CacheClient::connect(addr)?;
+//! client.execute("create table Flows (srcip varchar(16), nbytes integer)")?;
+//! client.execute("insert into Flows values ('10.0.0.1', 1500)")?;
+//! let rows = client.select("select * from Flows")?;
+//! assert_eq!(rows.len(), 1);
+//! server.shutdown();
+//! # Ok::<(), psrpc::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod error;
+pub mod framing;
+pub mod message;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use client::CacheClient;
+pub use error::{Error, Result};
+pub use server::RpcServer;

@@ -1,0 +1,395 @@
+//! RPC message types and their wire encoding.
+
+use gapl::event::Scalar;
+
+use crate::error::{Error, Result};
+use crate::wire::{WireReader, WireWriter};
+
+/// A request sent from an application to the cache.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Execute a SQL-ish command (`create table`, `insert`, `select`).
+    Execute {
+        /// The command text.
+        command: String,
+    },
+    /// Insert a pre-parsed tuple — the fast path used by event sources that
+    /// insert at high rate (the stress tests of §6.3).
+    Insert {
+        /// Target table.
+        table: String,
+        /// Values in schema order.
+        values: Vec<Scalar>,
+        /// Whether to apply `on duplicate key update` semantics.
+        upsert: bool,
+    },
+    /// Register an automaton from GAPL source.
+    RegisterAutomaton {
+        /// The automaton source code.
+        source: String,
+    },
+    /// Unregister a previously registered automaton.
+    UnregisterAutomaton {
+        /// The id returned at registration time.
+        id: u64,
+    },
+    /// Liveness check.
+    Ping,
+}
+
+/// A row of a result set on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRow {
+    /// Projected values.
+    pub values: Vec<Scalar>,
+    /// Insertion timestamp of the underlying tuple.
+    pub tstamp: u64,
+}
+
+/// The cache's reply to a [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheReply {
+    /// A table was created.
+    Created,
+    /// A tuple was inserted.
+    Inserted {
+        /// Whether an existing keyed row was replaced.
+        replaced: bool,
+        /// The insertion timestamp assigned by the cache.
+        tstamp: u64,
+    },
+    /// Rows returned by a `select`.
+    Rows {
+        /// Output column names.
+        columns: Vec<String>,
+        /// Result rows.
+        rows: Vec<WireRow>,
+    },
+    /// An automaton was registered.
+    Registered {
+        /// Its id, used for later management.
+        id: u64,
+    },
+    /// An automaton was unregistered.
+    Unregistered,
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// The request failed; the cache's error text.
+    Error {
+        /// Error message.
+        message: String,
+    },
+}
+
+/// A message sent from the client to the server: a sequenced request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientMessage {
+    /// Client-assigned sequence number echoed in the reply.
+    pub seq: u64,
+    /// The request.
+    pub request: Request,
+}
+
+/// A message sent from the server to the client: either the reply to a
+/// sequenced request, or an asynchronous automaton notification (the result
+/// of `send()` in a behavior clause).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMessage {
+    /// The reply to the request with the same `seq`.
+    Reply {
+        /// Sequence number of the request being answered.
+        seq: u64,
+        /// The reply payload.
+        reply: CacheReply,
+    },
+    /// An asynchronous complex-event notification.
+    Notification {
+        /// The automaton that produced it.
+        automaton: u64,
+        /// The values passed to `send()`.
+        values: Vec<Scalar>,
+        /// Cache time of the notification.
+        at: u64,
+    },
+}
+
+impl ClientMessage {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u64(self.seq);
+        match &self.request {
+            Request::Execute { command } => {
+                w.put_u8(0);
+                w.put_str(command);
+            }
+            Request::Insert {
+                table,
+                values,
+                upsert,
+            } => {
+                w.put_u8(1);
+                w.put_str(table);
+                w.put_scalars(values);
+                w.put_bool(*upsert);
+            }
+            Request::RegisterAutomaton { source } => {
+                w.put_u8(2);
+                w.put_str(source);
+            }
+            Request::UnregisterAutomaton { id } => {
+                w.put_u8(3);
+                w.put_u64(*id);
+            }
+            Request::Ping => {
+                w.put_u8(4);
+            }
+        }
+        w.finish().to_vec()
+    }
+
+    /// Decode from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = WireReader::new(bytes);
+        let seq = r.get_u64()?;
+        let request = match r.get_u8()? {
+            0 => Request::Execute {
+                command: r.get_str()?,
+            },
+            1 => Request::Insert {
+                table: r.get_str()?,
+                values: r.get_scalars()?,
+                upsert: r.get_bool()?,
+            },
+            2 => Request::RegisterAutomaton {
+                source: r.get_str()?,
+            },
+            3 => Request::UnregisterAutomaton { id: r.get_u64()? },
+            4 => Request::Ping,
+            other => return Err(Error::protocol(format!("unknown request tag {other}"))),
+        };
+        Ok(ClientMessage { seq, request })
+    }
+}
+
+impl ServerMessage {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            ServerMessage::Reply { seq, reply } => {
+                w.put_u8(0);
+                w.put_u64(*seq);
+                encode_reply(&mut w, reply);
+            }
+            ServerMessage::Notification {
+                automaton,
+                values,
+                at,
+            } => {
+                w.put_u8(1);
+                w.put_u64(*automaton);
+                w.put_scalars(values);
+                w.put_u64(*at);
+            }
+        }
+        w.finish().to_vec()
+    }
+
+    /// Decode from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = WireReader::new(bytes);
+        match r.get_u8()? {
+            0 => {
+                let seq = r.get_u64()?;
+                let reply = decode_reply(&mut r)?;
+                Ok(ServerMessage::Reply { seq, reply })
+            }
+            1 => Ok(ServerMessage::Notification {
+                automaton: r.get_u64()?,
+                values: r.get_scalars()?,
+                at: r.get_u64()?,
+            }),
+            other => Err(Error::protocol(format!("unknown server message tag {other}"))),
+        }
+    }
+}
+
+fn encode_reply(w: &mut WireWriter, reply: &CacheReply) {
+    match reply {
+        CacheReply::Created => w.put_u8(0),
+        CacheReply::Inserted { replaced, tstamp } => {
+            w.put_u8(1);
+            w.put_bool(*replaced);
+            w.put_u64(*tstamp);
+        }
+        CacheReply::Rows { columns, rows } => {
+            w.put_u8(2);
+            w.put_strs(columns);
+            w.put_u32(rows.len() as u32);
+            for row in rows {
+                w.put_scalars(&row.values);
+                w.put_u64(row.tstamp);
+            }
+        }
+        CacheReply::Registered { id } => {
+            w.put_u8(3);
+            w.put_u64(*id);
+        }
+        CacheReply::Unregistered => w.put_u8(4),
+        CacheReply::Pong => w.put_u8(5),
+        CacheReply::Error { message } => {
+            w.put_u8(6);
+            w.put_str(message);
+        }
+    }
+}
+
+fn decode_reply(r: &mut WireReader<'_>) -> Result<CacheReply> {
+    Ok(match r.get_u8()? {
+        0 => CacheReply::Created,
+        1 => CacheReply::Inserted {
+            replaced: r.get_bool()?,
+            tstamp: r.get_u64()?,
+        },
+        2 => {
+            let columns = r.get_strs()?;
+            let n = r.get_u32()? as usize;
+            if n > 10_000_000 {
+                return Err(Error::protocol("unreasonably large result set"));
+            }
+            let mut rows = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                rows.push(WireRow {
+                    values: r.get_scalars()?,
+                    tstamp: r.get_u64()?,
+                });
+            }
+            CacheReply::Rows { columns, rows }
+        }
+        3 => CacheReply::Registered { id: r.get_u64()? },
+        4 => CacheReply::Unregistered,
+        5 => CacheReply::Pong,
+        6 => CacheReply::Error {
+            message: r.get_str()?,
+        },
+        other => return Err(Error::protocol(format!("unknown reply tag {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_client(msg: ClientMessage) {
+        let bytes = msg.encode();
+        assert_eq!(ClientMessage::decode(&bytes).unwrap(), msg);
+    }
+
+    fn round_trip_server(msg: ServerMessage) {
+        let bytes = msg.encode();
+        assert_eq!(ServerMessage::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn client_messages_round_trip() {
+        round_trip_client(ClientMessage {
+            seq: 1,
+            request: Request::Execute {
+                command: "select * from Flows".into(),
+            },
+        });
+        round_trip_client(ClientMessage {
+            seq: 2,
+            request: Request::Insert {
+                table: "Flows".into(),
+                values: vec![Scalar::Str("a".into()), Scalar::Int(5)],
+                upsert: true,
+            },
+        });
+        round_trip_client(ClientMessage {
+            seq: 3,
+            request: Request::RegisterAutomaton {
+                source: "subscribe t to Timer; behavior { }".into(),
+            },
+        });
+        round_trip_client(ClientMessage {
+            seq: 4,
+            request: Request::UnregisterAutomaton { id: 9 },
+        });
+        round_trip_client(ClientMessage {
+            seq: 5,
+            request: Request::Ping,
+        });
+    }
+
+    #[test]
+    fn server_messages_round_trip() {
+        round_trip_server(ServerMessage::Reply {
+            seq: 1,
+            reply: CacheReply::Created,
+        });
+        round_trip_server(ServerMessage::Reply {
+            seq: 2,
+            reply: CacheReply::Inserted {
+                replaced: true,
+                tstamp: 77,
+            },
+        });
+        round_trip_server(ServerMessage::Reply {
+            seq: 3,
+            reply: CacheReply::Rows {
+                columns: vec!["a".into(), "b".into()],
+                rows: vec![
+                    WireRow {
+                        values: vec![Scalar::Int(1), Scalar::Real(2.0)],
+                        tstamp: 10,
+                    },
+                    WireRow {
+                        values: vec![Scalar::Int(3), Scalar::Real(4.0)],
+                        tstamp: 11,
+                    },
+                ],
+            },
+        });
+        round_trip_server(ServerMessage::Reply {
+            seq: 4,
+            reply: CacheReply::Registered { id: 12 },
+        });
+        round_trip_server(ServerMessage::Reply {
+            seq: 5,
+            reply: CacheReply::Error {
+                message: "no such table `X`".into(),
+            },
+        });
+        round_trip_server(ServerMessage::Notification {
+            automaton: 3,
+            values: vec![Scalar::Str("limit exceeded".into())],
+            at: 123,
+        });
+        round_trip_server(ServerMessage::Reply {
+            seq: 6,
+            reply: CacheReply::Unregistered,
+        });
+        round_trip_server(ServerMessage::Reply {
+            seq: 7,
+            reply: CacheReply::Pong,
+        });
+    }
+
+    #[test]
+    fn malformed_bytes_are_protocol_errors() {
+        assert!(ClientMessage::decode(&[]).is_err());
+        assert!(ClientMessage::decode(&[0, 0, 0, 0, 0, 0, 0, 0, 99]).is_err());
+        assert!(ServerMessage::decode(&[42]).is_err());
+        assert!(ServerMessage::decode(&[]).is_err());
+    }
+}

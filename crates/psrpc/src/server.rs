@@ -1,0 +1,331 @@
+//! The RPC server: exposes a [`pscache::Cache`] to remote applications.
+//!
+//! The server mirrors the paper's structure: the cache's main thread
+//! serially processes RPC requests from other processes (§6), compiling and
+//! registering automata on demand; notifications produced by `send()` in an
+//! automaton's behavior clause are pushed asynchronously to the application
+//! that registered it, over the same connection.
+
+use std::collections::HashSet;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+
+use pscache::{AutomatonId, Cache, Response};
+
+use crate::error::Result;
+use crate::message::{CacheReply, ClientMessage, Request, ServerMessage, WireRow};
+use crate::transport::{tcp_split, RecvHalf, SendHalf};
+
+/// A running RPC server bound to a TCP address.
+#[derive(Debug)]
+pub struct RpcServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl RpcServer {
+    /// Bind to `addr` (use port 0 for an ephemeral port) and start
+    /// accepting connections, each served on its own thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the listener cannot be bound.
+    pub fn bind(cache: Cache, addr: impl ToSocketAddrs) -> Result<RpcServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("psrpc-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            let cache = cache.clone();
+                            std::thread::Builder::new()
+                                .name("psrpc-conn".into())
+                                .spawn(move || {
+                                    let _ = serve_tcp_connection(cache, stream);
+                                })
+                                .expect("spawning a connection thread never fails");
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawning the accept thread never fails");
+        Ok(RpcServer {
+            local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting new connections and wait for the accept loop to exit.
+    /// Existing connections are closed when their clients disconnect.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop with a throw-away connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RpcServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn serve_tcp_connection(cache: Cache, stream: TcpStream) -> Result<()> {
+    let (send, recv) = tcp_split(stream)?;
+    serve_connection(cache, send, recv)
+}
+
+/// Serve one duplex connection until the peer disconnects. Usable with any
+/// transport (TCP or in-process), which is how the stress benchmarks embed
+/// a server without a network stack.
+pub fn serve_connection(
+    cache: Cache,
+    mut send: impl SendHalf + 'static,
+    mut recv: impl RecvHalf,
+) -> Result<()> {
+    // All messages to the client are funnelled through one writer thread so
+    // that replies and asynchronous notifications interleave safely.
+    let (out_tx, out_rx) = unbounded::<ServerMessage>();
+    let writer = std::thread::Builder::new()
+        .name("psrpc-writer".into())
+        .spawn(move || {
+            while let Ok(msg) = out_rx.recv() {
+                if send.send(&msg.encode()).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawning the writer thread never fails");
+
+    // Notifications from every automaton registered over this connection.
+    let (note_tx, note_rx) = unbounded::<pscache::Notification>();
+    let note_out = out_tx.clone();
+    let forwarder = std::thread::Builder::new()
+        .name("psrpc-notify".into())
+        .spawn(move || {
+            while let Ok(note) = note_rx.recv() {
+                let msg = ServerMessage::Notification {
+                    automaton: note.automaton.0,
+                    values: note.values,
+                    at: note.at,
+                };
+                if note_out.send(msg).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawning the notification thread never fails");
+
+    let mut registered: HashSet<AutomatonId> = HashSet::new();
+    let result = serve_requests(&cache, &mut recv, &out_tx, &note_tx, &mut registered);
+
+    // The client is gone: its automata go with it.
+    for id in registered {
+        let _ = cache.unregister_automaton(id);
+    }
+    drop(note_tx);
+    drop(out_tx);
+    let _ = forwarder.join();
+    let _ = writer.join();
+    result
+}
+
+fn serve_requests(
+    cache: &Cache,
+    recv: &mut impl RecvHalf,
+    out_tx: &Sender<ServerMessage>,
+    note_tx: &Sender<pscache::Notification>,
+    registered: &mut HashSet<AutomatonId>,
+) -> Result<()> {
+    loop {
+        let bytes = match recv.recv()? {
+            Some(bytes) => bytes,
+            None => return Ok(()),
+        };
+        let msg = ClientMessage::decode(&bytes)?;
+        let reply = handle_request(cache, msg.request, note_tx, registered);
+        if out_tx
+            .send(ServerMessage::Reply {
+                seq: msg.seq,
+                reply,
+            })
+            .is_err()
+        {
+            return Ok(());
+        }
+    }
+}
+
+fn handle_request(
+    cache: &Cache,
+    request: Request,
+    note_tx: &Sender<pscache::Notification>,
+    registered: &mut HashSet<AutomatonId>,
+) -> CacheReply {
+    match request {
+        Request::Ping => CacheReply::Pong,
+        Request::Execute { command } => match cache.execute(&command) {
+            Ok(response) => response_to_reply(response),
+            Err(e) => CacheReply::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::Insert {
+            table,
+            values,
+            upsert,
+        } => {
+            let result = if upsert {
+                cache.upsert(&table, values)
+            } else {
+                cache.insert(&table, values)
+            };
+            match result {
+                Ok(tstamp) => CacheReply::Inserted {
+                    replaced: upsert,
+                    tstamp,
+                },
+                Err(e) => CacheReply::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::RegisterAutomaton { source } => {
+            match cache.register_automaton_with_notifier(&source, note_tx.clone()) {
+                Ok(id) => {
+                    registered.insert(id);
+                    CacheReply::Registered { id: id.0 }
+                }
+                Err(e) => CacheReply::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::UnregisterAutomaton { id } => {
+            let id = AutomatonId(id);
+            match cache.unregister_automaton(id) {
+                Ok(()) => {
+                    registered.remove(&id);
+                    CacheReply::Unregistered
+                }
+                Err(e) => CacheReply::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
+    }
+}
+
+fn response_to_reply(response: Response) -> CacheReply {
+    match response {
+        Response::Created => CacheReply::Created,
+        Response::Inserted { replaced, tstamp } => CacheReply::Inserted { replaced, tstamp },
+        Response::Rows(rs) => CacheReply::Rows {
+            columns: rs.columns,
+            rows: rs
+                .rows
+                .into_iter()
+                .map(|r| WireRow {
+                    values: r.values,
+                    tstamp: r.tstamp,
+                })
+                .collect(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscache::CacheBuilder;
+
+    #[test]
+    fn response_conversion_covers_all_variants() {
+        assert_eq!(response_to_reply(Response::Created), CacheReply::Created);
+        assert_eq!(
+            response_to_reply(Response::Inserted {
+                replaced: false,
+                tstamp: 3
+            }),
+            CacheReply::Inserted {
+                replaced: false,
+                tstamp: 3
+            }
+        );
+        let rs = pscache::ResultSet {
+            columns: vec!["a".into()],
+            rows: vec![pscache::Row {
+                values: vec![gapl::event::Scalar::Int(1)],
+                tstamp: 9,
+            }],
+        };
+        match response_to_reply(Response::Rows(rs)) {
+            CacheReply::Rows { columns, rows } => {
+                assert_eq!(columns, vec!["a"]);
+                assert_eq!(rows[0].tstamp, 9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bind_and_shutdown_do_not_hang() {
+        let cache = CacheBuilder::new().build();
+        let server = RpcServer::bind(cache, "127.0.0.1:0").unwrap();
+        assert_ne!(server.local_addr().port(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn handle_request_reports_cache_errors() {
+        let cache = CacheBuilder::new().build();
+        let (note_tx, _note_rx) = unbounded();
+        let mut registered = HashSet::new();
+        let reply = handle_request(
+            &cache,
+            Request::Execute {
+                command: "select * from Missing".into(),
+            },
+            &note_tx,
+            &mut registered,
+        );
+        assert!(matches!(reply, CacheReply::Error { .. }));
+        let reply = handle_request(
+            &cache,
+            Request::UnregisterAutomaton { id: 999 },
+            &note_tx,
+            &mut registered,
+        );
+        assert!(matches!(reply, CacheReply::Error { .. }));
+        let reply = handle_request(&cache, Request::Ping, &note_tx, &mut registered);
+        assert_eq!(reply, CacheReply::Pong);
+    }
+}

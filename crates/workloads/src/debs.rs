@@ -1,0 +1,215 @@
+//! Manufacturing-equipment telemetry in the style of the DEBS 2012 Grand
+//! Challenge feed, used by the operator-merging example of Fig. 5.
+//!
+//! The real feed reports the state of a large manufacturing machine at high
+//! frequency; the first Grand Challenge query correlates two boolean-valued
+//! sensors to derive state-transition events, sequences them, and monitors
+//! a 24-hour window of the derived events for a growing delay between the
+//! transitions (operators 1, 4, 7, 10 and 11 in the figure). The generator
+//! below produces the raw sensor stream: two square-wave signals where the
+//! second lags the first by a configurable, slowly drifting delay.
+
+use gapl::event::{AttrType, Scalar, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One telemetry record of the monitored equipment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DebsEvent {
+    /// Monotone sequence number of the record.
+    pub seq: i64,
+    /// Capture timestamp, nanoseconds.
+    pub ts: u64,
+    /// First monitored boolean sensor (e.g. a valve command).
+    pub sensor_a: bool,
+    /// Second monitored boolean sensor (e.g. the valve's confirmation).
+    pub sensor_b: bool,
+    /// An analogue channel, included for realism in aggregate queries.
+    pub pressure: f64,
+}
+
+impl DebsEvent {
+    /// The record as scalar values, in [`DebsGenerator::schema`] order.
+    pub fn to_scalars(&self) -> Vec<Scalar> {
+        vec![
+            Scalar::Int(self.seq),
+            Scalar::Tstamp(self.ts),
+            Scalar::Bool(self.sensor_a),
+            Scalar::Bool(self.sensor_b),
+            Scalar::Real(self.pressure),
+        ]
+    }
+}
+
+/// Configuration of the telemetry generator.
+#[derive(Debug, Clone)]
+pub struct DebsConfig {
+    /// Number of records to generate.
+    pub events: usize,
+    /// Sampling period in nanoseconds (the real feed is ~10 ms).
+    pub period_ns: u64,
+    /// Length of one square-wave cycle, in records.
+    pub cycle: usize,
+    /// Initial lag of sensor B behind sensor A, in records.
+    pub initial_lag: usize,
+    /// Per-cycle increase of the lag, in records (the drift the monitoring
+    /// query must detect).
+    pub lag_drift_per_cycle: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DebsConfig {
+    fn default() -> Self {
+        DebsConfig {
+            events: 50_000,
+            period_ns: 10_000_000,
+            cycle: 100,
+            initial_lag: 3,
+            lag_drift_per_cycle: 0.05,
+            seed: 7,
+        }
+    }
+}
+
+/// Deterministic generator of [`DebsEvent`]s.
+#[derive(Debug)]
+pub struct DebsGenerator {
+    config: DebsConfig,
+    rng: StdRng,
+}
+
+impl DebsGenerator {
+    /// Create a generator from a configuration.
+    pub fn new(config: DebsConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        DebsGenerator { config, rng }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn small() -> Self {
+        Self::new(DebsConfig {
+            events: 2_000,
+            ..DebsConfig::default()
+        })
+    }
+
+    /// The schema of the raw telemetry stream.
+    pub fn schema() -> Schema {
+        Schema::new(
+            "Telemetry",
+            vec![
+                ("seq", AttrType::Int),
+                ("ts", AttrType::Tstamp),
+                ("sensor_a", AttrType::Bool),
+                ("sensor_b", AttrType::Bool),
+                ("pressure", AttrType::Real),
+            ],
+        )
+        .expect("the Telemetry schema is statically valid")
+    }
+
+    /// The `create table` statement for the raw telemetry stream.
+    pub fn create_table_sql() -> &'static str {
+        "create table Telemetry (seq integer, ts tstamp, sensor_a boolean, \
+         sensor_b boolean, pressure real)"
+    }
+
+    /// Generate the full telemetry stream.
+    pub fn generate(&mut self) -> Vec<DebsEvent> {
+        let cycle = self.config.cycle.max(4);
+        let half = cycle / 2;
+        (0..self.config.events)
+            .map(|i| {
+                let cycle_index = i / cycle;
+                let phase = i % cycle;
+                let lag = (self.config.initial_lag as f64
+                    + self.config.lag_drift_per_cycle * cycle_index as f64)
+                    .round() as usize;
+                let sensor_a = phase < half;
+                // Sensor B follows A, delayed by `lag` samples.
+                let phase_b = (i + cycle - lag.min(cycle - 1)) % cycle;
+                let sensor_b = phase_b < half;
+                DebsEvent {
+                    seq: i as i64,
+                    ts: i as u64 * self.config.period_ns,
+                    sensor_a,
+                    sensor_b,
+                    pressure: 1.0 + self.rng.gen_range(-0.05..0.05),
+                }
+            })
+            .collect()
+    }
+
+    /// Ground truth for the monitoring query: per square-wave cycle, the
+    /// delay (in records) between sensor A's rising edge and sensor B's
+    /// rising edge. The monitoring automaton should observe this series
+    /// growing.
+    pub fn reference_delays(events: &[DebsEvent]) -> Vec<i64> {
+        let mut delays = Vec::new();
+        let mut last_a_rise: Option<i64> = None;
+        let mut prev_a = true;
+        let mut prev_b = true;
+        for e in events {
+            if e.sensor_a && !prev_a {
+                last_a_rise = Some(e.seq);
+            }
+            if e.sensor_b && !prev_b {
+                if let Some(a) = last_a_rise.take() {
+                    delays.push(e.seq - a);
+                }
+            }
+            prev_a = e.sensor_a;
+            prev_b = e.sensor_b;
+        }
+        delays
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_the_configured_number_of_records() {
+        let mut g = DebsGenerator::small();
+        let events = g.generate();
+        assert_eq!(events.len(), 2_000);
+        let schema = DebsGenerator::schema();
+        assert!(schema.check(&events[0].to_scalars()).is_ok());
+        // Timestamps are strictly increasing.
+        for pair in events.windows(2) {
+            assert!(pair[1].ts > pair[0].ts);
+            assert_eq!(pair[1].seq, pair[0].seq + 1);
+        }
+    }
+
+    #[test]
+    fn sensor_b_lags_sensor_a_and_the_lag_drifts_upwards() {
+        let mut g = DebsGenerator::new(DebsConfig {
+            events: 40_000,
+            ..DebsConfig::default()
+        });
+        let events = g.generate();
+        let delays = DebsGenerator::reference_delays(&events);
+        assert!(delays.len() > 100);
+        assert!(delays.iter().all(|d| *d >= 0));
+        // The average delay over the last quarter exceeds the average over
+        // the first quarter: the drift is visible.
+        let quarter = delays.len() / 4;
+        let early: f64 = delays[..quarter].iter().sum::<i64>() as f64 / quarter as f64;
+        let late: f64 =
+            delays[delays.len() - quarter..].iter().sum::<i64>() as f64 / quarter as f64;
+        assert!(
+            late > early + 0.5,
+            "expected drift: early {early:.2}, late {late:.2}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DebsGenerator::small().generate();
+        let b = DebsGenerator::small().generate();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,193 @@
+//! Zipf-distributed HTTP request logs, standing in for the Homework
+//! router's trace of §6.4 (264,745 out-going requests to 5,572 unique
+//! hosts, Fig. 15).
+
+use std::collections::HashMap;
+
+use gapl::event::{AttrType, Scalar, Schema};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::zipf::Zipf;
+
+/// One out-going HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// The requested host.
+    pub host: String,
+}
+
+impl HttpRequest {
+    /// The request as scalar values, in [`HttpGenerator::schema`] order.
+    pub fn to_scalars(&self) -> Vec<Scalar> {
+        vec![Scalar::Str(self.host.clone())]
+    }
+}
+
+/// Configuration of the request-log generator. The defaults reproduce the
+/// cardinalities reported in the paper.
+#[derive(Debug, Clone)]
+pub struct HttpConfig {
+    /// Total number of requests (paper: 264,745).
+    pub requests: usize,
+    /// Number of distinct hosts (paper: 5,572).
+    pub hosts: usize,
+    /// Zipf exponent of the popularity distribution.
+    pub exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        HttpConfig {
+            requests: 264_745,
+            hosts: 5_572,
+            exponent: 1.0,
+            seed: 20120914,
+        }
+    }
+}
+
+/// Deterministic generator of the request log.
+#[derive(Debug)]
+pub struct HttpGenerator {
+    config: HttpConfig,
+    zipf: Zipf,
+    rng: StdRng,
+}
+
+impl HttpGenerator {
+    /// Create a generator from a configuration.
+    pub fn new(config: HttpConfig) -> Self {
+        let zipf = Zipf::new(config.hosts.max(1), config.exponent);
+        let rng = StdRng::seed_from_u64(config.seed);
+        HttpGenerator { config, zipf, rng }
+    }
+
+    /// A small configuration for fast tests (10,000 requests, 500 hosts).
+    pub fn small() -> Self {
+        Self::new(HttpConfig {
+            requests: 10_000,
+            hosts: 500,
+            ..HttpConfig::default()
+        })
+    }
+
+    /// The schema of the `Urls` table used by the "frequent" automaton of
+    /// Fig. 14.
+    pub fn schema() -> Schema {
+        Schema::new("Urls", vec![("host", AttrType::Str)])
+            .expect("the Urls schema is statically valid")
+    }
+
+    /// The `create table` statement for the `Urls` table.
+    pub fn create_table_sql() -> &'static str {
+        "create table Urls (host varchar(64))"
+    }
+
+    /// The host name of popularity rank `rank` (0 is the most popular).
+    pub fn host_name(rank: usize) -> String {
+        format!("host-{rank:04}.example.org")
+    }
+
+    /// Total number of requests this generator will produce.
+    pub fn len(&self) -> usize {
+        self.config.requests
+    }
+
+    /// True when configured for zero requests.
+    pub fn is_empty(&self) -> bool {
+        self.config.requests == 0
+    }
+
+    /// Generate the full request log.
+    pub fn generate(&mut self) -> Vec<HttpRequest> {
+        (0..self.config.requests)
+            .map(|_| HttpRequest {
+                host: Self::host_name(self.zipf.sample(&mut self.rng)),
+            })
+            .collect()
+    }
+
+    /// Rank/frequency table of a request log: the number of requests per
+    /// host, sorted descending — the series plotted in Fig. 15.
+    pub fn rank_frequency(requests: &[HttpRequest]) -> Vec<(String, usize)> {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for r in requests {
+            *counts.entry(r.host.as_str()).or_default() += 1;
+        }
+        let mut ranked: Vec<(String, usize)> = counts
+            .into_iter()
+            .map(|(h, c)| (h.to_owned(), c))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ranked
+    }
+
+    /// The exact multiset of hosts occurring more than `requests.len() / k`
+    /// times — the ground truth the "frequent" algorithm must not miss.
+    pub fn heavy_hitters(requests: &[HttpRequest], k: usize) -> Vec<String> {
+        let threshold = requests.len() / k.max(1);
+        Self::rank_frequency(requests)
+            .into_iter()
+            .filter(|(_, count)| *count > threshold)
+            .map(|(host, _)| host)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_the_configured_number_of_requests() {
+        let mut g = HttpGenerator::small();
+        assert_eq!(g.len(), 10_000);
+        assert!(!g.is_empty());
+        let log = g.generate();
+        assert_eq!(log.len(), 10_000);
+        let schema = HttpGenerator::schema();
+        assert!(schema.check(&log[0].to_scalars()).is_ok());
+    }
+
+    #[test]
+    fn the_popularity_distribution_is_zipf_like() {
+        let mut g = HttpGenerator::small();
+        let log = g.generate();
+        let ranked = HttpGenerator::rank_frequency(&log);
+        // The most popular host dominates.
+        assert!(ranked[0].1 > ranked[ranked.len() / 2].1 * 5);
+        // Counts are sorted descending.
+        for pair in ranked.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+        // The most popular generated host is the rank-0 host.
+        assert_eq!(ranked[0].0, HttpGenerator::host_name(0));
+    }
+
+    #[test]
+    fn heavy_hitters_match_the_definition() {
+        let mut g = HttpGenerator::small();
+        let log = g.generate();
+        let k = 20;
+        let hitters = HttpGenerator::heavy_hitters(&log, k);
+        let threshold = log.len() / k;
+        let ranked = HttpGenerator::rank_frequency(&log);
+        for (host, count) in ranked {
+            if count > threshold {
+                assert!(hitters.contains(&host));
+            } else {
+                assert!(!hitters.contains(&host));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = HttpGenerator::small().generate();
+        let b = HttpGenerator::small().generate();
+        assert_eq!(a, b);
+    }
+}

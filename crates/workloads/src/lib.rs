@@ -1,0 +1,36 @@
+//! # cep-workloads — synthetic workload generators
+//!
+//! The paper's evaluation uses several datasets we cannot redistribute:
+//! network flow records from the Homework router, an HTTP request log of
+//! 264,745 out-going requests to 5,572 unique hosts (Zipfian, Fig. 15), the
+//! anonymised stock dataset shipped with Cayuga (112,635 events), and the
+//! DEBS 2012 Grand Challenge manufacturing feed. This crate generates
+//! synthetic equivalents with the same shapes and cardinalities so every
+//! experiment can be reproduced end to end:
+//!
+//! * [`flows`] — network flow tuples for the bandwidth-monitoring scenario
+//!   and the scaling experiments (Figs. 9–10),
+//! * [`http`] — Zipf-distributed HTTP requests for the frequent-items
+//!   experiments (Figs. 15–16),
+//! * [`stocks`] — stock ticks with injected double-top formations and
+//!   monotone runs for the Cayuga comparison (Fig. 18),
+//! * [`debs`] — manufacturing telemetry for the DEBS 2012 operator-merging
+//!   example (Fig. 5),
+//! * [`zipf`] — the rank-frequency sampler underlying the HTTP generator.
+//!
+//! All generators are deterministic given a seed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod debs;
+pub mod flows;
+pub mod http;
+pub mod stocks;
+pub mod zipf;
+
+pub use debs::{DebsConfig, DebsEvent, DebsGenerator};
+pub use flows::{Flow, FlowConfig, FlowGenerator};
+pub use http::{HttpConfig, HttpGenerator, HttpRequest};
+pub use stocks::{StockConfig, StockGenerator, StockTick};
+pub use zipf::Zipf;

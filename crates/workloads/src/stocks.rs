@@ -1,0 +1,267 @@
+//! A synthetic stock-tick dataset standing in for the anonymised dataset
+//! shipped with the Cayuga distribution (112,635 events, §6.5).
+//!
+//! Prices follow a per-symbol random walk with occasional injected
+//! double-top (M-shaped) formations and monotone runs so that the Q2 and
+//! Q3 queries of Fig. 18 have non-trivial matches.
+
+use gapl::event::{AttrType, Scalar, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One stock tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StockTick {
+    /// Stock symbol.
+    pub name: String,
+    /// Trade price.
+    pub price: f64,
+    /// Trade volume.
+    pub volume: i64,
+}
+
+impl StockTick {
+    /// The tick as scalar values, in [`StockGenerator::schema`] order.
+    pub fn to_scalars(&self) -> Vec<Scalar> {
+        vec![
+            Scalar::Str(self.name.clone()),
+            Scalar::Real(self.price),
+            Scalar::Int(self.volume),
+        ]
+    }
+}
+
+/// Configuration of the stock generator. The default event count matches
+/// the paper's dataset size.
+#[derive(Debug, Clone)]
+pub struct StockConfig {
+    /// Total number of ticks (paper: 112,635).
+    pub events: usize,
+    /// Number of distinct symbols.
+    pub symbols: usize,
+    /// Probability that a symbol starts an injected double-top formation at
+    /// any given tick.
+    pub double_top_rate: f64,
+    /// Probability that a symbol starts an injected monotone run.
+    pub run_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StockConfig {
+    fn default() -> Self {
+        StockConfig {
+            events: 112_635,
+            symbols: 50,
+            double_top_rate: 0.002,
+            run_rate: 0.005,
+            seed: 2012,
+        }
+    }
+}
+
+/// Per-symbol walk state.
+#[derive(Debug, Clone)]
+struct SymbolState {
+    name: String,
+    price: f64,
+    /// Remaining scripted price deltas from an injected pattern.
+    script: Vec<f64>,
+}
+
+/// Deterministic generator of [`StockTick`]s.
+#[derive(Debug)]
+pub struct StockGenerator {
+    config: StockConfig,
+    rng: StdRng,
+    symbols: Vec<SymbolState>,
+}
+
+impl StockGenerator {
+    /// Create a generator from a configuration.
+    pub fn new(config: StockConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let symbols = (0..config.symbols.max(1))
+            .map(|i| SymbolState {
+                name: Self::symbol_name(i),
+                price: rng.gen_range(20.0..200.0),
+                script: Vec::new(),
+            })
+            .collect();
+        StockGenerator {
+            config,
+            rng,
+            symbols,
+        }
+    }
+
+    /// A small configuration for fast tests (5,000 ticks, 10 symbols).
+    pub fn small() -> Self {
+        Self::new(StockConfig {
+            events: 5_000,
+            symbols: 10,
+            ..StockConfig::default()
+        })
+    }
+
+    /// The schema of the `Stocks` stream.
+    pub fn schema() -> Schema {
+        Schema::new(
+            "Stocks",
+            vec![
+                ("name", AttrType::Str),
+                ("price", AttrType::Real),
+                ("volume", AttrType::Int),
+            ],
+        )
+        .expect("the Stocks schema is statically valid")
+    }
+
+    /// The `create table` statement for the `Stocks` stream.
+    pub fn create_table_sql() -> &'static str {
+        "create table Stocks (name varchar(8), price real, volume integer)"
+    }
+
+    /// The symbol name of index `i`.
+    pub fn symbol_name(i: usize) -> String {
+        format!("SYM{i:03}")
+    }
+
+    /// Total number of ticks this generator will produce.
+    pub fn len(&self) -> usize {
+        self.config.events
+    }
+
+    /// True when configured for zero ticks.
+    pub fn is_empty(&self) -> bool {
+        self.config.events == 0
+    }
+
+    /// Generate the full tick stream.
+    pub fn generate(&mut self) -> Vec<StockTick> {
+        (0..self.config.events).map(|_| self.next_tick()).collect()
+    }
+
+    fn next_tick(&mut self) -> StockTick {
+        let ix = self.rng.gen_range(0..self.symbols.len());
+        // Borrow-friendly: decide on pattern injection before mutating.
+        let inject_double_top = self.symbols[ix].script.is_empty()
+            && self.rng.gen_bool(self.config.double_top_rate.clamp(0.0, 1.0));
+        let inject_run = !inject_double_top
+            && self.symbols[ix].script.is_empty()
+            && self.rng.gen_bool(self.config.run_rate.clamp(0.0, 1.0));
+
+        if inject_double_top {
+            let amplitude = self.rng.gen_range(2.0..8.0);
+            let script = Self::double_top_script(amplitude);
+            self.symbols[ix].script = script;
+        } else if inject_run {
+            let len = self.rng.gen_range(4..12);
+            let step = self.rng.gen_range(0.2..1.5);
+            self.symbols[ix].script = vec![step; len];
+        }
+
+        let delta = if let Some(d) = self.symbols[ix].script.pop() {
+            d
+        } else {
+            self.rng.gen_range(-1.0..1.0)
+        };
+        let volume = self.rng.gen_range(100..10_000);
+        let state = &mut self.symbols[ix];
+        state.price = (state.price + delta).max(1.0);
+        StockTick {
+            name: state.name.clone(),
+            price: (state.price * 100.0).round() / 100.0,
+            volume,
+        }
+    }
+
+    /// The scripted deltas of an M-shaped formation (stored reversed so the
+    /// generator can `pop()` them in order): rise, fall, rise to roughly the
+    /// same peak, fall.
+    fn double_top_script(amplitude: f64) -> Vec<f64> {
+        let up = amplitude / 3.0;
+        let sequence = vec![
+            up, up, up, // first peak
+            -up, -up, // trough
+            up, up, // second peak (≈ first: 3·up − 2·up + 2·up = 3·up)
+            up * 0.01, // a hair above, still within tolerance
+            -up, -up, // confirmation fall
+        ];
+        sequence.into_iter().rev().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_the_configured_number_of_ticks() {
+        let mut g = StockGenerator::small();
+        assert_eq!(g.len(), 5_000);
+        assert!(!g.is_empty());
+        let ticks = g.generate();
+        assert_eq!(ticks.len(), 5_000);
+        let schema = StockGenerator::schema();
+        assert!(schema.check(&ticks[0].to_scalars()).is_ok());
+    }
+
+    #[test]
+    fn prices_stay_positive_and_symbols_stay_in_range() {
+        let mut g = StockGenerator::small();
+        for tick in g.generate() {
+            assert!(tick.price >= 1.0);
+            assert!(tick.volume >= 100);
+            assert!(tick.name.starts_with("SYM"));
+            let ix: usize = tick.name[3..].parse().unwrap();
+            assert!(ix < 10);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = StockGenerator::small().generate();
+        let b = StockGenerator::small().generate();
+        assert_eq!(a, b);
+        let c = StockGenerator::new(StockConfig {
+            events: 5_000,
+            symbols: 10,
+            seed: 99,
+            ..StockConfig::default()
+        })
+        .generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn the_stream_contains_monotone_runs_and_double_tops() {
+        let mut g = StockGenerator::new(StockConfig {
+            events: 20_000,
+            symbols: 5,
+            ..StockConfig::default()
+        });
+        let ticks = g.generate();
+        // Count, per symbol, the longest run of strictly increasing prices.
+        use std::collections::HashMap;
+        let mut prev: HashMap<&str, f64> = HashMap::new();
+        let mut run: HashMap<&str, usize> = HashMap::new();
+        let mut longest = 0usize;
+        for t in &ticks {
+            let entry = run.entry(&t.name).or_insert(1);
+            if let Some(p) = prev.get(t.name.as_str()) {
+                if t.price > *p {
+                    *entry += 1;
+                    longest = longest.max(*entry);
+                } else {
+                    *entry = 1;
+                }
+            }
+            prev.insert(&t.name, t.price);
+        }
+        assert!(
+            longest >= 4,
+            "injected monotone runs should produce runs of length >= 4, got {longest}"
+        );
+    }
+}

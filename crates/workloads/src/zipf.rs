@@ -1,0 +1,132 @@
+//! A Zipf (power-law) rank sampler.
+//!
+//! Web requests per host follow a Zipfian rank/frequency distribution
+//! (Fig. 15 of the paper): the `r`-th most popular host receives a number
+//! of requests proportional to `1 / r^s`.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability proportional to `1/(rank+1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with the given exponent (`s ≈ 1` is
+    /// classic web-traffic behaviour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `exponent` is not finite and positive.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "a Zipf distribution needs at least one rank");
+        assert!(
+            exponent.is_finite() && exponent > 0.0,
+            "the Zipf exponent must be positive"
+        );
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(exponent);
+            cumulative.push(total);
+        }
+        // Normalise so the last entry is exactly 1.0.
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Zipf {
+            cumulative,
+            exponent,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// The configured exponent.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Sample one rank in `0..ranks()` (0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative values are finite"))
+        {
+            Ok(ix) => ix,
+            Err(ix) => ix.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// The probability mass of a given rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rank` is out of range.
+    pub fn probability(&self, rank: usize) -> f64 {
+        let prev = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
+        self.cumulative[rank] - prev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one_and_decrease_with_rank() {
+        let z = Zipf::new(100, 1.0);
+        let total: f64 = (0..100).map(|r| z.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for r in 1..100 {
+            assert!(z.probability(r) <= z.probability(r - 1) + 1e-12);
+        }
+        assert_eq!(z.ranks(), 100);
+        assert_eq!(z.exponent(), 1.0);
+    }
+
+    #[test]
+    fn sampling_respects_the_distribution_roughly() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0u32; 50];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should be clearly more popular than rank 10, which should
+        // be clearly more popular than rank 40.
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[40]);
+        // Rank 0 should take roughly its theoretical share (within 20 %).
+        let expected = z.probability(0) * n as f64;
+        assert!((counts[0] as f64 - expected).abs() < expected * 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn non_positive_exponent_panics() {
+        let _ = Zipf::new(10, 0.0);
+    }
+}

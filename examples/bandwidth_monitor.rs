@@ -1,0 +1,102 @@
+//! The hybrid bandwidth-allowance scenario of §4.3 (Figs. 3 and 4).
+//!
+//! A shared household wants to know when any monitored machine exceeds its
+//! monthly download allowance. The automaton needs both faces of the
+//! system at once: it consumes the raw `Flows` stream (publish/subscribe)
+//! while reading and updating the persistent `Allowances` and `BWUsage`
+//! relations (stream database) — the paper's canonical *hybrid* automaton.
+//!
+//! Run with `cargo run --example bandwidth_monitor`.
+
+use std::time::Duration;
+
+use cep_workloads::{FlowConfig, FlowGenerator};
+use unipubsub::prelude::*;
+
+/// The automaton of Fig. 4, adapted to the generated flow schema.
+const BANDWIDTH_AUTOMATON: &str = r#"
+    subscribe f to Flows;
+    associate a with Allowances;
+    associate b with BWUsage;
+    int n, limit;
+    identifier ip;
+    sequence s;
+    behavior {
+        ip = Identifier(f.dstip);
+        if (hasEntry(a, ip)) {
+            limit = seqElement(lookup(a, ip), 1);
+            if (hasEntry(b, ip))
+                n = seqElement(lookup(b, ip), 1);
+            else
+                n = 0;
+            n += f.nbytes;
+            s = Sequence(f.dstip, n);
+            if (n > limit)
+                send(s, limit, 'limit exceeded');
+            insert(b, ip, s);
+        }
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cache = CacheBuilder::new().build();
+
+    // Tables of Fig. 3: the raw flow stream plus two persistent relations.
+    cache.execute(FlowGenerator::create_table_sql())?;
+    cache.execute(
+        "create persistenttable Allowances (ipaddr varchar(16) primary key, bytes integer)",
+    )?;
+    cache.execute(
+        "create persistenttable BWUsage (ipaddr varchar(16) primary key, bytes integer)",
+    )?;
+
+    // A network-management utility populates the monthly allowances.
+    let monitored = [
+        (FlowGenerator::local_ip(0), 40_000_000i64), // 40 MB
+        (FlowGenerator::local_ip(1), 10_000_000),    // 10 MB
+    ];
+    for (ip, allowance) in &monitored {
+        cache.execute(&format!(
+            "insert into Allowances values ('{ip}', {allowance})"
+        ))?;
+    }
+
+    let (_id, notifications) = cache.register_automaton(BANDWIDTH_AUTOMATON)?;
+
+    // Replay a day of traffic from the synthetic generator.
+    let mut generator = FlowGenerator::new(FlowConfig::default());
+    let flows = generator.take(5_000);
+    for flow in &flows {
+        cache.insert("Flows", flow.to_scalars())?;
+    }
+    cache.quiesce(Duration::from_secs(5));
+
+    // Every notification marks the first flow that pushed a host over its
+    // allowance (and each one after it).
+    let notes: Vec<Notification> = notifications.try_iter().collect();
+    println!("flows replayed:        {}", flows.len());
+    println!("allowance violations:  {}", notes.len());
+    if let Some(first) = notes.first() {
+        println!(
+            "first violation:       host {} at {} bytes (allowance {})",
+            first.values[0], first.values[1], first.values[2]
+        );
+    }
+
+    // The accumulated usage is an ordinary relation, queryable at any time.
+    let usage = cache
+        .execute("select * from BWUsage order by bytes desc")?
+        .rows()
+        .unwrap();
+    println!("\naccumulated usage (top consumers first):");
+    for row in usage.rows.iter().take(5) {
+        println!("  {} -> {} bytes", row.values[0], row.values[1]);
+    }
+
+    // Sanity: monitored hosts exceed their allowance in this replay.
+    assert!(
+        !notes.is_empty(),
+        "the synthetic replay always exceeds the configured allowances"
+    );
+    Ok(())
+}

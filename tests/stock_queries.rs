@@ -1,0 +1,175 @@
+//! Integration test: the Cayuga baseline and the cache-side (GAPL)
+//! implementations of the stock queries agree on what they detect.
+
+use std::sync::Arc;
+
+use cayuga::queries::{q1_select_publish, q3_increasing_runs, reference_maximal_runs};
+use cayuga::Engine;
+use cep_workloads::{StockConfig, StockGenerator};
+use gapl::event::Tuple;
+use gapl::vm::{RecordingHost, Vm};
+
+fn small_dataset() -> Vec<Tuple> {
+    let mut generator = StockGenerator::new(StockConfig {
+        events: 3_000,
+        symbols: 8,
+        seed: 99,
+        ..StockConfig::default()
+    });
+    let schema = Arc::new(StockGenerator::schema());
+    generator
+        .generate()
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Tuple::new(Arc::clone(&schema), t.to_scalars(), i as u64).unwrap())
+        .collect()
+}
+
+/// The GAPL implementation of Q3 used in the example and the benchmark.
+const Q3_GAPL: &str = r#"
+    subscribe s to Stocks;
+    associate runs with RunState;
+    real prev;
+    int len;
+    sequence st;
+    identifier name;
+    behavior {
+        name = Identifier(s.name);
+        if (hasEntry(runs, name)) {
+            st = lookup(runs, name);
+            prev = seqElement(st, 1);
+            len = seqElement(st, 2);
+        } else {
+            prev = s.price;
+            len = 1;
+        }
+        if (s.price > prev)
+            len += 1;
+        else {
+            if (len >= 3)
+                send(s.name, len);
+            len = 1;
+        }
+        insert(runs, name, Sequence(s.name, s.price, len));
+    }
+"#;
+
+#[test]
+fn q1_output_count_equals_the_input_size_for_both_engines() {
+    let events = small_dataset();
+
+    let mut engine = Engine::new(q1_select_publish());
+    engine.run(&events);
+    assert_eq!(engine.matches().len(), events.len());
+
+    let program = Arc::new(
+        gapl::compile("subscribe s to Stocks; behavior { publish('T', s.name, s.price); }")
+            .unwrap(),
+    );
+    let mut vm = Vm::new(program);
+    let mut host = RecordingHost::default();
+    vm.run_initialization(&mut host).unwrap();
+    for e in &events {
+        vm.run_behavior("Stocks", e, &mut host).unwrap();
+    }
+    assert_eq!(host.published.len(), events.len());
+    assert!(host.published.iter().all(|(topic, _)| topic == "T"));
+}
+
+#[test]
+fn q3_gapl_detects_exactly_the_maximal_runs_of_the_reference() {
+    let events = small_dataset();
+    let reference = reference_maximal_runs(&events, 3);
+
+    let program = Arc::new(gapl::compile(Q3_GAPL).unwrap());
+    let mut vm = Vm::new(program);
+    let mut host = RecordingHost::default();
+    vm.run_initialization(&mut host).unwrap();
+    for e in &events {
+        vm.run_behavior("Stocks", e, &mut host).unwrap();
+    }
+    // The GAPL automaton reports runs when they end, exactly like the
+    // streaming reference (except runs still open at end-of-stream, which
+    // the reference flushes and the automaton cannot see).
+    let gapl_runs: Vec<(String, i64)> = host
+        .sent
+        .iter()
+        .map(|values| {
+            (
+                values[0].as_str().unwrap().to_owned(),
+                values[1].as_int().unwrap(),
+            )
+        })
+        .collect();
+    let reference_closed: Vec<(String, i64)> = reference
+        .iter()
+        .cloned()
+        .take(gapl_runs.len())
+        .collect();
+    assert_eq!(gapl_runs, reference_closed);
+    assert!(!gapl_runs.is_empty(), "the dataset contains injected runs");
+}
+
+#[test]
+fn q3_nfa_superset_contains_every_maximal_run() {
+    let events = small_dataset();
+    let reference = reference_maximal_runs(&events, 3);
+    let mut engine = Engine::new(q3_increasing_runs(3));
+    engine.run(&events);
+    for (name, len) in &reference {
+        assert!(
+            engine.matches().iter().any(|m| {
+                m.bindings.get_str("name") == Some(name.as_str())
+                    && m.bindings.get_int("len") == Some(*len)
+            }),
+            "NFA missed the maximal run {name}:{len}"
+        );
+    }
+    // The NFA does strictly more bookkeeping than the single-pass automaton.
+    assert!(engine.instances_created() as usize > events.len());
+}
+
+#[test]
+fn the_cache_side_q3_also_runs_inside_the_cache_runtime() {
+    use std::time::Duration;
+    use unipubsub::prelude::*;
+
+    let cache = CacheBuilder::new().build();
+    cache.execute(StockGenerator::create_table_sql()).unwrap();
+    cache
+        .execute("create persistenttable RunState (name varchar(8), price real, len integer)")
+        .unwrap();
+    let (_id, rx) = cache.register_automaton(Q3_GAPL).unwrap();
+
+    let mut generator = StockGenerator::new(StockConfig {
+        events: 2_000,
+        symbols: 5,
+        seed: 7,
+        ..StockConfig::default()
+    });
+    let ticks = generator.generate();
+    for t in &ticks {
+        cache.insert("Stocks", t.to_scalars()).unwrap();
+    }
+    assert!(cache.quiesce(Duration::from_secs(30)));
+
+    let schema = Arc::new(StockGenerator::schema());
+    let events: Vec<Tuple> = ticks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Tuple::new(Arc::clone(&schema), t.to_scalars(), i as u64).unwrap())
+        .collect();
+    let reference = reference_maximal_runs(&events, 3);
+    let notified: Vec<(String, i64)> = rx
+        .try_iter()
+        .map(|n| {
+            (
+                n.values[0].as_str().unwrap().to_owned(),
+                n.values[1].as_int().unwrap(),
+            )
+        })
+        .collect();
+    let reference_closed: Vec<(String, i64)> =
+        reference.iter().cloned().take(notified.len()).collect();
+    assert_eq!(notified, reference_closed);
+}
