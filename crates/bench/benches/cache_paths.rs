@@ -3,16 +3,107 @@
 //!
 //! * direct insert into an unwatched table (pure stream-database path),
 //! * insert into a table with one subscribed automaton (publish path),
+//! * batched vs single-tuple bulk loads (the `insert_batch` fast path),
 //! * a full RPC round trip over the in-process transport (stress path),
 //! * an ad hoc `select ... since τ` query (continuous-query path).
+//!
+//! The batched group also prints an explicit single/batch speedup ratio
+//! for a 1000-tuple load, measured outside the sampling harness.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use gapl::event::Scalar;
-use pscache::{CacheBuilder, Query};
+use pscache::{Cache, CacheBuilder, Query};
 use psrpc::client::CacheClient;
+
+const BATCH_ROWS: usize = 1000;
+
+fn fresh_stream_cache() -> Cache {
+    let cache = CacheBuilder::new().build();
+    cache
+        .execute("create table Flows (srcip varchar(16), nbytes integer) capacity 65536")
+        .expect("create table");
+    cache
+}
+
+fn row(i: usize) -> Vec<Scalar> {
+    vec![Scalar::Str("10.0.0.1".into()), Scalar::Int(i as i64)]
+}
+
+fn bench_batched_inserts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_insert_batched");
+
+    let cache = fresh_stream_cache();
+    group.bench_function(BenchmarkId::new("single_inserts", BATCH_ROWS), |b| {
+        b.iter(|| {
+            for i in 0..BATCH_ROWS {
+                cache.insert("Flows", row(i)).expect("insert");
+            }
+        });
+    });
+
+    let cache = fresh_stream_cache();
+    group.bench_function(BenchmarkId::new("insert_batch", BATCH_ROWS), |b| {
+        b.iter(|| {
+            cache
+                .insert_batch("Flows", (0..BATCH_ROWS).map(row).collect())
+                .expect("insert batch")
+        });
+    });
+    group.finish();
+
+    // Direct ratio measurements for the acceptance check: 1k single
+    // inserts vs one 1k-row batch, several rounds, best of each — first
+    // against the cache API, then over the RPC path the batching exists
+    // for (one round trip instead of a thousand).
+    let rounds = 30;
+    let mut best_single = Duration::MAX;
+    let mut best_batch = Duration::MAX;
+    for _ in 0..rounds {
+        let cache = fresh_stream_cache();
+        let start = Instant::now();
+        for i in 0..BATCH_ROWS {
+            cache.insert("Flows", row(i)).expect("insert");
+        }
+        best_single = best_single.min(start.elapsed());
+
+        let cache = fresh_stream_cache();
+        let rows: Vec<Vec<Scalar>> = (0..BATCH_ROWS).map(row).collect();
+        let start = Instant::now();
+        cache.insert_batch("Flows", rows).expect("insert batch");
+        best_batch = best_batch.min(start.elapsed());
+    }
+    println!(
+        "cache_insert_batched/speedup(direct): {BATCH_ROWS} single inserts {best_single:?} vs \
+         one batch {best_batch:?} -> {:.2}x",
+        best_single.as_secs_f64() / best_batch.as_secs_f64()
+    );
+
+    let rounds = 10;
+    let mut best_single = Duration::MAX;
+    let mut best_batch = Duration::MAX;
+    for _ in 0..rounds {
+        let client = CacheClient::connect_inproc(fresh_stream_cache());
+        let start = Instant::now();
+        for i in 0..BATCH_ROWS {
+            client.insert("Flows", row(i)).expect("insert");
+        }
+        best_single = best_single.min(start.elapsed());
+
+        let client = CacheClient::connect_inproc(fresh_stream_cache());
+        let rows: Vec<Vec<Scalar>> = (0..BATCH_ROWS).map(row).collect();
+        let start = Instant::now();
+        client.insert_batch("Flows", rows).expect("insert batch");
+        best_batch = best_batch.min(start.elapsed());
+    }
+    println!(
+        "cache_insert_batched/speedup(rpc): {BATCH_ROWS} single inserts {best_single:?} vs one \
+         batched round trip {best_batch:?} -> {:.2}x",
+        best_single.as_secs_f64() / best_batch.as_secs_f64()
+    );
+}
 
 fn bench_insert_paths(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_insert");
@@ -66,6 +157,13 @@ fn bench_insert_paths(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("insert", attrs), &attrs, |b, _| {
             b.iter(|| client.insert("Test", values.clone()).expect("insert"));
         });
+        group.bench_with_input(BenchmarkId::new("insert_batch_x100", attrs), &attrs, |b, _| {
+            b.iter(|| {
+                client
+                    .insert_batch("Test", (0..100).map(|_| values.clone()).collect())
+                    .expect("insert batch")
+            });
+        });
     }
     group.finish();
 
@@ -91,5 +189,5 @@ fn bench_insert_paths(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_insert_paths);
+criterion_group!(benches, bench_insert_paths, bench_batched_inserts);
 criterion_main!(benches);

@@ -11,13 +11,14 @@ use parking_lot::{Mutex, RwLock};
 use gapl::event::{AttrType, Scalar, Schema, Timestamp, Tuple};
 
 use crate::clock::{Clock, ManualClock, SystemClock};
+use crate::config::DEFAULT_SHARD_COUNT;
 use crate::error::{Error, Result};
 use crate::query::{Query, ResultSet};
 use crate::runtime::{
     spawn_automaton, AutomatonHandle, AutomatonId, AutomatonStats, Delivery, Notification,
 };
 use crate::sql::{self, Command};
-use crate::table::{Table, TableKind, DEFAULT_STREAM_CAPACITY};
+use crate::table::{Table, TableKind, TableStore, DEFAULT_STREAM_CAPACITY};
 
 /// Name of the built-in heartbeat topic (§4.2): the cache delivers a tuple
 /// on `Timer` once per second (or whenever [`Cache::tick_timer`] is called),
@@ -36,6 +37,12 @@ pub enum Response {
         replaced: bool,
         /// The insertion timestamp assigned by the cache.
         tstamp: Timestamp,
+    },
+    /// A multi-row insert was applied; one timestamp per inserted tuple,
+    /// in insertion order.
+    InsertedBatch {
+        /// Insertion timestamps assigned by the cache, in row order.
+        tstamps: Vec<Timestamp>,
     },
     /// Rows returned by a `select`.
     Rows(ResultSet),
@@ -69,6 +76,7 @@ pub struct CacheBuilder {
     default_stream_capacity: usize,
     print_to_stdout: bool,
     timer_interval: Option<Duration>,
+    shard_count: usize,
 }
 
 impl Default for CacheBuilder {
@@ -87,7 +95,17 @@ impl CacheBuilder {
             default_stream_capacity: DEFAULT_STREAM_CAPACITY,
             print_to_stdout: false,
             timer_interval: None,
+            shard_count: DEFAULT_SHARD_COUNT,
         }
+    }
+
+    /// Number of lock stripes in the sharded table store (default
+    /// [`DEFAULT_SHARD_COUNT`]). Inserts into tables on different stripes
+    /// never contend; raise this on machines with many inserting cores,
+    /// or set it to 1 to recover the old single-map behaviour.
+    pub fn shard_count(mut self, shards: usize) -> Self {
+        self.shard_count = shards.max(1);
+        self
     }
 
     /// Use a deterministic, manually advanced clock (see
@@ -130,7 +148,7 @@ impl CacheBuilder {
     /// Build the cache. The built-in `Timer` topic is created here.
     pub fn build(self) -> Cache {
         let inner = Arc::new(CacheInner {
-            tables: RwLock::new(HashMap::new()),
+            tables: TableStore::new(self.shard_count),
             subscriptions: RwLock::new(HashMap::new()),
             senders: RwLock::new(HashMap::new()),
             automata: Mutex::new(HashMap::new()),
@@ -187,7 +205,8 @@ pub struct Cache {
 }
 
 pub(crate) struct CacheInner {
-    tables: RwLock<HashMap<String, Mutex<Table>>>,
+    /// The sharded table store; see [`TableStore`] for the locking story.
+    tables: TableStore,
     /// topic name -> automata subscribed to it
     subscriptions: RwLock<HashMap<String, Vec<AutomatonId>>>,
     /// automaton id -> its delivery channel + counters (hot path data)
@@ -203,7 +222,8 @@ pub(crate) struct CacheInner {
 impl std::fmt::Debug for CacheInner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CacheInner")
-            .field("tables", &self.tables.read().len())
+            .field("tables", &self.tables.len())
+            .field("shards", &self.tables.shard_count())
             .field("automata", &self.senders.read().len())
             .finish()
     }
@@ -263,6 +283,16 @@ impl Cache {
                     tstamp: outcome.stored.tstamp(),
                 })
             }
+            Command::InsertBatch {
+                table,
+                rows,
+                on_duplicate_update,
+            } => {
+                let tstamps = self
+                    .inner
+                    .insert_batch_values(&table, rows, on_duplicate_update)?;
+                Ok(Response::InsertedBatch { tstamps })
+            }
             Command::Select(query) => Ok(Response::Rows(self.select(&query)?)),
         }
     }
@@ -310,6 +340,36 @@ impl Cache {
             .map(|o| o.stored.tstamp())
     }
 
+    /// Insert many tuples into one table in a single operation — the
+    /// batched equivalent of calling [`Cache::insert`] once per row, but
+    /// the table lock is taken once and subscribers are resolved once, so
+    /// a 1000-row batch costs a fraction of 1000 single inserts.
+    ///
+    /// Subscribed automata receive the rows as a contiguous run, in row
+    /// order; tuples from concurrent writers never interleave with a
+    /// batch. Returns one insertion timestamp per row; the batch is a
+    /// single atomic insertion event, so every row shares the same
+    /// timestamp and a `since τ` window never splits a batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns unknown-table, schema and duplicate-key errors. The batch
+    /// is applied prefix-wise: rows before the first bad row stay
+    /// inserted, the bad row and everything after it are discarded.
+    pub fn insert_batch(&self, table: &str, rows: Vec<Vec<Scalar>>) -> Result<Vec<Timestamp>> {
+        self.inner.insert_batch_values(table, rows, false)
+    }
+
+    /// Batched [`Cache::upsert`]: like [`Cache::insert_batch`] with
+    /// `on duplicate key update` semantics for every row.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cache::insert_batch`].
+    pub fn upsert_batch(&self, table: &str, rows: Vec<Vec<Scalar>>) -> Result<Vec<Timestamp>> {
+        self.inner.insert_batch_values(table, rows, true)
+    }
+
     /// Run an ad hoc query.
     ///
     /// # Errors
@@ -348,7 +408,7 @@ impl Cache {
 
     /// Names of all tables/topics, in lexicographic order.
     pub fn table_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.inner.tables.read().keys().cloned().collect();
+        let mut names = self.inner.tables.names();
         names.sort();
         names
     }
@@ -388,21 +448,18 @@ impl Cache {
         })?);
         // Every subscribed topic must exist (they are created by
         // applications or from the configuration file; `Timer` is built in).
-        {
-            let tables = self.inner.tables.read();
-            for sub in program.subscriptions() {
-                if !tables.contains_key(&sub.topic) {
-                    return Err(Error::NoSuchTable {
-                        name: sub.topic.clone(),
-                    });
-                }
+        for sub in program.subscriptions() {
+            if !self.inner.tables.contains(&sub.topic) {
+                return Err(Error::NoSuchTable {
+                    name: sub.topic.clone(),
+                });
             }
-            for assoc in program.associations() {
-                if !tables.contains_key(&assoc.table) {
-                    return Err(Error::NoSuchTable {
-                        name: assoc.table.clone(),
-                    });
-                }
+        }
+        for assoc in program.associations() {
+            if !self.inner.tables.contains(&assoc.table) {
+                return Err(Error::NoSuchTable {
+                    name: assoc.table.clone(),
+                });
             }
         }
 
@@ -621,18 +678,11 @@ impl CacheInner {
         schema: Arc<Schema>,
         capacity: usize,
     ) -> Result<()> {
-        let mut tables = self.tables.write();
-        if tables.contains_key(name) {
-            return Err(Error::TableExists {
-                name: name.to_owned(),
-            });
-        }
         let table = match kind {
             TableKind::Ephemeral => Table::ephemeral(schema, capacity),
             TableKind::Persistent => Table::persistent(schema),
         };
-        tables.insert(name.to_owned(), Mutex::new(table));
-        Ok(())
+        self.tables.create(name, table)
     }
 
     pub(crate) fn with_table<R>(
@@ -640,10 +690,7 @@ impl CacheInner {
         name: &str,
         f: impl FnOnce(&mut Table) -> Result<R>,
     ) -> Result<R> {
-        let tables = self.tables.read();
-        let table = tables.get(name).ok_or_else(|| Error::NoSuchTable {
-            name: name.to_owned(),
-        })?;
+        let table = self.tables.get(name)?;
         let mut guard = table.lock();
         f(&mut guard)
     }
@@ -651,28 +698,93 @@ impl CacheInner {
     /// Insert and publish: the unification step. The per-table lock is held
     /// across both the buffer append and the enqueueing onto subscriber
     /// channels so that every automaton observes tuples in strict
-    /// time-of-insertion order.
+    /// time-of-insertion order. The table-store stripe lock is released
+    /// before the table lock is taken, so inserts into other tables are
+    /// never blocked by this one.
     pub(crate) fn insert_values(
         &self,
         table_name: &str,
         values: Vec<Scalar>,
         on_duplicate_update: bool,
     ) -> Result<crate::table::InsertOutcome> {
-        let tstamp = self.now();
-        let tables = self.tables.read();
-        let table = tables.get(table_name).ok_or_else(|| Error::NoSuchTable {
-            name: table_name.to_owned(),
-        })?;
+        let table = self.tables.get(table_name)?;
         let mut guard = table.lock();
-        let outcome = guard.insert(values, tstamp, on_duplicate_update)?;
-        self.publish_locked(table_name, &outcome.stored);
+        let outcome = guard.insert(values, self.now(), on_duplicate_update)?;
+        self.publish_locked(table_name, std::slice::from_ref(&outcome.stored));
         drop(guard);
         Ok(outcome)
     }
 
-    /// Enqueue `tuple` onto the delivery channel of every automaton
-    /// subscribed to `topic`. Callers must hold the topic's table lock.
-    fn publish_locked(&self, topic: &str, tuple: &Tuple) {
+    /// Insert many rows into one table under a single table-lock
+    /// acquisition, publishing each stored tuple in row order.
+    ///
+    /// The batch is applied *prefix-wise*: rows are validated and inserted
+    /// one at a time, and the first bad row aborts the remainder while the
+    /// rows before it stay inserted (and published). All-or-nothing
+    /// batches would require either a second validation pass or undo of
+    /// published deliveries, both of which the hot path cannot afford;
+    /// callers that need atomicity validate before batching.
+    ///
+    /// Subscribed automata observe the batch as a contiguous run of
+    /// deliveries in row order — the lock is held across the whole batch,
+    /// so tuples from concurrent writers can never interleave with it.
+    pub(crate) fn insert_batch_values(
+        &self,
+        table_name: &str,
+        rows: Vec<Vec<Scalar>>,
+        on_duplicate_update: bool,
+    ) -> Result<Vec<Timestamp>> {
+        let table = self.tables.get(table_name)?;
+        // A batch is one atomic insertion event: the clock is read once
+        // and every row carries the same insertion timestamp, so a batch
+        // can never straddle a `since τ` window boundary. Subscribers are
+        // likewise resolved once per batch; when nobody is watching the
+        // topic, the stored tuples are not even collected.
+        let tstamp = self.now();
+        let mut tstamps = Vec::with_capacity(rows.len());
+        let mut guard = table.lock();
+        // Resolved under the table lock — like the single-insert path —
+        // so an automaton whose registration completed before this batch
+        // took the lock can never miss the batch.
+        let watched = {
+            let subscriptions = self.subscriptions.read();
+            subscriptions
+                .get(table_name)
+                .is_some_and(|subs| !subs.is_empty())
+        };
+        let mut stored = Vec::new();
+        if watched {
+            stored.reserve(rows.len());
+        }
+        let mut result = Ok(());
+        for values in rows {
+            match guard.insert(values, tstamp, on_duplicate_update) {
+                Ok(outcome) => {
+                    tstamps.push(outcome.stored.tstamp());
+                    if watched {
+                        stored.push(outcome.stored);
+                    }
+                }
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        self.publish_locked(table_name, &stored);
+        drop(guard);
+        result?;
+        Ok(tstamps)
+    }
+
+    /// Enqueue `tuples` (in order) onto the delivery channel of every
+    /// automaton subscribed to `topic`. Callers must hold the topic's
+    /// table lock; subscriber resolution is done once per call, which is
+    /// what makes batched inserts cheap on watched tables.
+    fn publish_locked(&self, topic: &str, tuples: &[Tuple]) {
+        if tuples.is_empty() {
+            return;
+        }
         let subscriptions = self.subscriptions.read();
         let Some(subscribers) = subscriptions.get(topic) else {
             return;
@@ -682,13 +794,15 @@ impl CacheInner {
         }
         let senders = self.senders.read();
         let topic: Arc<str> = Arc::from(topic);
-        for id in subscribers {
-            if let Some((sender, stats)) = senders.get(id) {
-                stats.delivered.fetch_add(1, Ordering::Release);
-                let _ = sender.send(Delivery::Event {
-                    topic: Arc::clone(&topic),
-                    tuple: tuple.clone(),
-                });
+        for tuple in tuples {
+            for id in subscribers {
+                if let Some((sender, stats)) = senders.get(id) {
+                    stats.delivered.fetch_add(1, Ordering::Release);
+                    let _ = sender.send(Delivery::Event {
+                        topic: Arc::clone(&topic),
+                        tuple: tuple.clone(),
+                    });
+                }
             }
         }
     }
@@ -1045,6 +1159,128 @@ mod tests {
         }
         assert!(got >= 3, "expected at least 3 heartbeats, got {got}");
         c.shutdown();
+    }
+
+    #[test]
+    fn insert_batch_preserves_order_and_publishes_contiguously() {
+        let c = cache();
+        c.execute("create table S (v integer)").unwrap();
+        let (_id, rx) = c
+            .register_automaton("subscribe s to S; behavior { send(s.v); }")
+            .unwrap();
+        let rows: Vec<Vec<Scalar>> = (0..100).map(|i| vec![Scalar::Int(i)]).collect();
+        let tstamps = c.insert_batch("S", rows).unwrap();
+        assert_eq!(tstamps.len(), 100);
+        assert!(tstamps.windows(2).all(|w| w[0] <= w[1]));
+        assert!(c.quiesce(Duration::from_secs(5)));
+        let got: Vec<i64> = rx
+            .try_iter()
+            .map(|n| n.values[0].as_int().unwrap())
+            .collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert_eq!(c.table_len("S").unwrap(), 100);
+    }
+
+    #[test]
+    fn multi_row_sql_insert_goes_through_the_batch_path() {
+        let c = cache();
+        c.execute("create table S (v integer, w varchar(8))").unwrap();
+        let resp = c
+            .execute("insert into S values (1, 'a'), (2, 'b'), (3, 'c')")
+            .unwrap();
+        match resp {
+            Response::InsertedBatch { tstamps } => assert_eq!(tstamps.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.table_len("S").unwrap(), 3);
+        let rs = c.select(&Query::new("S")).unwrap();
+        let vals: Vec<i64> = rs
+            .rows
+            .iter()
+            .map(|r| r.values[0].as_int().unwrap())
+            .collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn batch_errors_keep_the_valid_prefix() {
+        let c = cache();
+        c.execute("create persistenttable P (k varchar(8) primary key, v integer)")
+            .unwrap();
+        let rows = vec![
+            vec![Scalar::Str("a".into()), Scalar::Int(1)],
+            vec![Scalar::Str("b".into()), Scalar::Int(2)],
+            vec![Scalar::Str("a".into()), Scalar::Int(3)], // duplicate key
+            vec![Scalar::Str("c".into()), Scalar::Int(4)], // never applied
+        ];
+        assert!(c.insert_batch("P", rows).is_err());
+        assert_eq!(c.table_len("P").unwrap(), 2);
+        assert!(c.lookup("P", "c").unwrap().is_none());
+
+        // The upsert batch accepts the duplicate instead.
+        let rows = vec![
+            vec![Scalar::Str("a".into()), Scalar::Int(9)],
+            vec![Scalar::Str("c".into()), Scalar::Int(4)],
+        ];
+        assert_eq!(c.upsert_batch("P", rows).unwrap().len(), 2);
+        assert_eq!(
+            c.lookup("P", "a").unwrap().unwrap().values()[1],
+            Scalar::Int(9)
+        );
+        // Batches into unknown tables fail cleanly.
+        assert!(matches!(
+            c.insert_batch("Nope", vec![vec![Scalar::Int(1)]]),
+            Err(Error::NoSuchTable { .. })
+        ));
+        // An empty batch is a no-op.
+        assert!(c.insert_batch("P", Vec::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn shard_count_is_configurable_and_transparent() {
+        for shards in [1usize, 4, 64] {
+            let c = CacheBuilder::new().manual_clock().shard_count(shards).build();
+            for i in 0..10 {
+                c.execute(&format!("create table T{i} (v integer)")).unwrap();
+                c.insert(&format!("T{i}"), vec![Scalar::Int(i as i64)]).unwrap();
+            }
+            assert_eq!(c.table_names().len(), 11); // 10 tables + Timer
+            for i in 0..10 {
+                assert_eq!(c.table_len(&format!("T{i}")).unwrap(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_across_shards_keep_per_table_order() {
+        let c = CacheBuilder::new().shard_count(8).build();
+        let threads = 4;
+        let per_thread = 500;
+        for t in 0..threads {
+            c.execute(&format!("create table W{t} (v integer)")).unwrap();
+        }
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        c.insert(&format!("W{t}"), vec![Scalar::Int(i)]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..threads {
+            let rs = c.select(&Query::new(format!("W{t}"))).unwrap();
+            let vals: Vec<i64> = rs
+                .rows
+                .iter()
+                .map(|r| r.values[0].as_int().unwrap())
+                .collect();
+            assert_eq!(vals, (0..per_thread).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -29,6 +29,15 @@ use crate::cache::Cache;
 use crate::error::{Error, Result};
 use crate::runtime::{AutomatonId, Notification};
 
+/// Default number of lock stripes in the sharded table store.
+///
+/// Sixteen stripes keep stripe-lock contention negligible up to roughly
+/// that many concurrently inserting cores while costing only sixteen
+/// (mostly empty) hash maps on an idle cache; deployments with wider
+/// machines can raise it via
+/// [`CacheBuilder::shard_count`](crate::CacheBuilder::shard_count).
+pub const DEFAULT_SHARD_COUNT: usize = 16;
+
 /// The outcome of loading a configuration.
 #[derive(Debug)]
 pub struct ConfigReport {

@@ -59,7 +59,7 @@ pub mod table;
 
 pub use cache::{Cache, CacheBuilder, Response};
 pub use clock::{Clock, ManualClock, SystemClock};
-pub use config::ConfigReport;
+pub use config::{ConfigReport, DEFAULT_SHARD_COUNT};
 pub use error::{Error, Result};
 pub use query::{Aggregate, Comparison, Predicate, Query, ResultSet, Row};
 pub use runtime::{AutomatonId, Notification};

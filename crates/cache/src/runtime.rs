@@ -7,7 +7,13 @@
 //! runtime guarantees that tuples are delivered to an automaton in strict
 //! time-of-insertion order: the cache appends every published tuple to the
 //! automaton's unbounded FIFO delivery channel while still holding the
-//! per-table lock, and the automaton drains the channel in order.
+//! per-table lock, and the automaton drains the channel in order. Batched
+//! inserts keep the same guarantee — the whole batch is appended under one
+//! lock acquisition, so an automaton sees a batch as a contiguous run of
+//! deliveries with nothing interleaved. Tables live in a lock-striped
+//! sharded store, so the ordering guarantee is *per table*: deliveries
+//! from different tables interleave in an unspecified (but
+//! per-channel-FIFO) order, exactly as in the single-map design.
 //!
 //! While processing an event the automaton may `send()` information to the
 //! registering application — surfaced here as a [`Notification`] on a

@@ -29,12 +29,22 @@ pub enum Command {
         /// Optional circular-buffer capacity (ephemeral tables only).
         capacity: Option<usize>,
     },
-    /// `insert into ... values (...)`.
+    /// `insert into ... values (...)` with a single row.
     Insert {
         /// Target table.
         table: String,
         /// Literal values, in schema order.
         values: Vec<Scalar>,
+        /// Whether `on duplicate key update` was given.
+        on_duplicate_update: bool,
+    },
+    /// `insert into ... values (...), (...), ...` with several rows; the
+    /// cache applies the whole batch under one table-lock acquisition.
+    InsertBatch {
+        /// Target table.
+        table: String,
+        /// Literal rows, each in schema order.
+        rows: Vec<Vec<Scalar>>,
         /// Whether `on duplicate key update` was given.
         on_duplicate_update: bool,
     },

@@ -298,19 +298,16 @@ impl Parser {
         self.expect_keyword("into")?;
         let table = self.expect_word()?;
         self.expect_keyword("values")?;
-        self.expect_tok(&Tok::LParen)?;
-        let mut values = Vec::new();
+        // One or more parenthesised rows, comma separated (multi-row
+        // inserts travel through the cache's batched insert path).
+        let mut rows = Vec::new();
         loop {
-            values.push(self.literal()?);
-            match self.bump() {
-                Some(Tok::Comma) => continue,
-                Some(Tok::RParen) => break,
-                other => {
-                    return Err(Error::sql(format!(
-                        "expected `,` or `)` in value list, found {other:?}"
-                    )))
-                }
+            rows.push(self.value_row()?);
+            if self.peek() == Some(&Tok::Comma) {
+                self.bump();
+                continue;
             }
+            break;
         }
         let mut on_duplicate_update = false;
         if self.eat_keyword("on") {
@@ -319,11 +316,36 @@ impl Parser {
             self.expect_keyword("update")?;
             on_duplicate_update = true;
         }
-        Ok(Command::Insert {
-            table,
-            values,
-            on_duplicate_update,
-        })
+        if rows.len() == 1 {
+            Ok(Command::Insert {
+                table,
+                values: rows.pop().expect("one row is present"),
+                on_duplicate_update,
+            })
+        } else {
+            Ok(Command::InsertBatch {
+                table,
+                rows,
+                on_duplicate_update,
+            })
+        }
+    }
+
+    fn value_row(&mut self) -> Result<Vec<Scalar>> {
+        self.expect_tok(&Tok::LParen)?;
+        let mut values = Vec::new();
+        loop {
+            values.push(self.literal()?);
+            match self.bump() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RParen) => return Ok(values),
+                other => {
+                    return Err(Error::sql(format!(
+                        "expected `,` or `)` in value list, found {other:?}"
+                    )))
+                }
+            }
+        }
     }
 
     fn literal(&mut self) -> Result<Scalar> {
@@ -600,6 +622,40 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_multi_row_inserts_as_batches() {
+        match parse("insert into T values (1, 'a'), (2, 'b'), (3, 'c')").unwrap() {
+            Command::InsertBatch {
+                table,
+                rows,
+                on_duplicate_update,
+            } => {
+                assert_eq!(table, "T");
+                assert_eq!(rows.len(), 3);
+                assert_eq!(rows[0], vec![Scalar::Int(1), Scalar::Str("a".into())]);
+                assert_eq!(rows[2], vec![Scalar::Int(3), Scalar::Str("c".into())]);
+                assert!(!on_duplicate_update);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A single row still parses to the plain insert command.
+        assert!(matches!(
+            parse("insert into T values (1)").unwrap(),
+            Command::Insert { .. }
+        ));
+        // The upsert modifier applies to the whole batch.
+        assert!(matches!(
+            parse("insert into T values ('a', 1), ('b', 2) on duplicate key update").unwrap(),
+            Command::InsertBatch {
+                on_duplicate_update: true,
+                ..
+            }
+        ));
+        // Malformed batches are rejected.
+        assert!(parse("insert into T values (1), ").is_err());
+        assert!(parse("insert into T values (1), 2").is_err());
     }
 
     #[test]

@@ -13,8 +13,12 @@
 //! Every table is simultaneously a publish/subscribe topic with the same
 //! name; publication is handled by [`crate::cache::Cache`], not here.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
 
 use gapl::event::{Scalar, Schema, Timestamp, Tuple};
 
@@ -241,6 +245,100 @@ impl PersistentTable {
     }
 }
 
+/// A lock-striped, sharded map from table name to table.
+///
+/// The table *map* is the structure every insert, select and registration
+/// touches, so a single `RwLock<HashMap>` around it serialises the whole
+/// cache under multi-core load. The store therefore splits tables across
+/// `shard_count` independent stripes, each guarded by its own
+/// [`RwLock`]; a table's stripe is chosen by hashing its name, and the
+/// per-table [`Mutex`] inside the stripe serialises inserts to *that*
+/// table only, preserving the paper's strict time-of-insertion order per
+/// topic while letting inserts into different tables proceed on
+/// different cores without contention.
+///
+/// Lock order: a stripe lock is never held while a table mutex is taken —
+/// lookups clone the `Arc` out of the stripe and release it first — so
+/// the store cannot deadlock against the publish path.
+#[derive(Debug)]
+pub(crate) struct TableStore {
+    shards: Box<[RwLock<HashMap<String, Arc<Mutex<Table>>>>]>,
+}
+
+impl TableStore {
+    /// A store striped over `shard_count` locks (rounded up to at least
+    /// one).
+    pub fn new(shard_count: usize) -> Self {
+        let shards = (0..shard_count.max(1))
+            .map(|_| RwLock::new(HashMap::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        TableStore { shards }
+    }
+
+    fn shard(&self, name: &str) -> &RwLock<HashMap<String, Arc<Mutex<Table>>>> {
+        let mut hasher = DefaultHasher::new();
+        name.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Number of stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Insert a fresh table under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TableExists`] when the name is taken.
+    pub fn create(&self, name: &str, table: Table) -> Result<()> {
+        let mut shard = self.shard(name).write();
+        if shard.contains_key(name) {
+            return Err(Error::TableExists {
+                name: name.to_owned(),
+            });
+        }
+        shard.insert(name.to_owned(), Arc::new(Mutex::new(table)));
+        Ok(())
+    }
+
+    /// The table registered under `name`, detached from its stripe lock
+    /// (callers lock the returned table themselves).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchTable`] for unknown names.
+    pub fn get(&self, name: &str) -> Result<Arc<Mutex<Table>>> {
+        self.shard(name)
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NoSuchTable {
+                name: name.to_owned(),
+            })
+    }
+
+    /// Whether a table named `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.shard(name).read().contains_key(name)
+    }
+
+    /// Total number of tables across all stripes.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Every table name, in stripe order (callers sort if they need a
+    /// stable order).
+    pub fn names(&self) -> Vec<String> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.read().keys().cloned().collect::<Vec<_>>())
+            .collect()
+    }
+}
+
 /// The primary key of a persistent-table tuple: the display form of its
 /// first attribute.
 pub fn primary_key(tuple: &Tuple) -> String {
@@ -378,6 +476,36 @@ mod tests {
         assert!(t.remove("a").unwrap().is_some());
         assert!(t.remove("a").unwrap().is_none());
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn table_store_stripes_tables_and_rejects_duplicates() {
+        let store = TableStore::new(4);
+        assert_eq!(store.shard_count(), 4);
+        for i in 0..32 {
+            store
+                .create(&format!("T{i}"), Table::ephemeral(flows_schema(), 4))
+                .unwrap();
+        }
+        assert_eq!(store.len(), 32);
+        assert!(store.contains("T7"));
+        assert!(!store.contains("T99"));
+        assert!(matches!(
+            store.create("T0", Table::ephemeral(flows_schema(), 4)),
+            Err(Error::TableExists { .. })
+        ));
+        assert!(matches!(store.get("nope"), Err(Error::NoSuchTable { .. })));
+        let mut names = store.names();
+        names.sort();
+        assert_eq!(names.len(), 32);
+        assert_eq!(names[0], "T0");
+        // A degenerate stripe count still works.
+        let store = TableStore::new(0);
+        assert_eq!(store.shard_count(), 1);
+        store
+            .create("only", Table::persistent(usage_schema()))
+            .unwrap();
+        store.get("only").unwrap().lock().len();
     }
 
     #[test]

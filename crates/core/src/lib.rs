@@ -16,7 +16,7 @@
 //!   transports);
 //! * [`cayuga`] — a Cayuga-style NFA engine used as the comparison baseline
 //!   of the paper's evaluation;
-//! * [`workloads`](cep_workloads) — synthetic stand-ins for the paper's
+//! * [`workloads`] — synthetic stand-ins for the paper's
 //!   proprietary datasets.
 //!
 //! ## Quick start
@@ -57,8 +57,9 @@ pub use psrpc;
 
 pub use pscache::{
     Aggregate, AutomatonId, Cache, CacheBuilder, Comparison, Error, Notification, Predicate,
-    Query, Response, Result, ResultSet, TableKind,
+    Query, Response, Result, ResultSet, TableKind, DEFAULT_SHARD_COUNT,
 };
+pub use psrpc::server::ServerStats;
 
 pub mod prelude {
     //! Everything a typical application needs, in one import.
@@ -68,6 +69,7 @@ pub mod prelude {
         Aggregate, AutomatonId, Cache, CacheBuilder, Comparison, Notification, Predicate, Query,
         Response, ResultSet, TableKind,
     };
+    pub use psrpc::server::ServerStats;
     pub use psrpc::{CacheClient, RpcServer};
 }
 

@@ -8,8 +8,6 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{Error, Result};
 
 /// A timestamp expressed as nanoseconds since the Unix epoch.
@@ -19,7 +17,7 @@ use crate::error::{Error, Result};
 pub type Timestamp = u64;
 
 /// The type of a single attribute (column) of a table / topic schema.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttrType {
     /// 64-bit signed integer (`integer` in the SQL layer, `int` in GAPL).
     Int,
@@ -47,7 +45,7 @@ impl fmt::Display for AttrType {
 }
 
 /// A single attribute value carried inside a [`Tuple`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Scalar {
     /// 64-bit signed integer.
     Int(i64),
@@ -157,7 +155,7 @@ impl From<String> for Scalar {
 }
 
 /// A named, typed attribute of a [`Schema`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Attribute {
     /// Attribute (column) name.
     pub name: String,
@@ -169,7 +167,7 @@ pub struct Attribute {
 ///
 /// Schemas are immutable once created and are shared via [`Arc`] between the
 /// cache, the delivery paths and every tuple inserted into the table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     name: String,
     attributes: Vec<Attribute>,

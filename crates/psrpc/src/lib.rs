@@ -9,20 +9,28 @@
 //!
 //! This crate provides:
 //!
-//! * a compact binary [`wire`] encoding for requests, responses and
-//!   asynchronous notifications,
+//! * a compact binary [`wire`] encoding for requests (including the
+//!   batched insert message), responses and asynchronous notifications,
 //! * [`framing`] with fragmentation/reassembly at 1024-byte boundaries —
 //!   the same boundary the paper calls out when explaining the shape of
 //!   the string stress test (Fig. 13),
 //! * a [`transport`] abstraction with a TCP implementation (separate
 //!   application processes, as in the paper) and an in-process loopback
 //!   (deterministic benchmarks),
-//! * an [`server::RpcServer`] that exposes a [`pscache::Cache`], and
-//! * a [`client::CacheClient`] used by applications.
+//! * a multi-client [`server::RpcServer`] that exposes a
+//!   [`pscache::Cache`] — one worker thread per connection plus a shared
+//!   notification fan-out — and
+//! * a [`client::CacheClient`] used by applications, with single-tuple
+//!   and batched insert fast paths.
 //!
 //! # Example
 //!
+//! Several clients talk to one server concurrently; bulk loads use the
+//! batched insert path, which costs one round trip and one table-lock
+//! acquisition for the whole batch:
+//!
 //! ```
+//! use gapl::event::Scalar;
 //! use pscache::CacheBuilder;
 //! use psrpc::{server::RpcServer, client::CacheClient};
 //!
@@ -30,11 +38,19 @@
 //! let server = RpcServer::bind(cache, "127.0.0.1:0")?;
 //! let addr = server.local_addr();
 //!
-//! let client = CacheClient::connect(addr)?;
-//! client.execute("create table Flows (srcip varchar(16), nbytes integer)")?;
-//! client.execute("insert into Flows values ('10.0.0.1', 1500)")?;
-//! let rows = client.select("select * from Flows")?;
+//! let loader = CacheClient::connect(addr)?;
+//! let reader = CacheClient::connect(addr)?;
+//! loader.execute("create table Flows (srcip varchar(16), nbytes integer)")?;
+//! loader.insert_batch(
+//!     "Flows",
+//!     vec![
+//!         vec![Scalar::Str("10.0.0.1".into()), Scalar::Int(1500)],
+//!         vec![Scalar::Str("10.0.0.2".into()), Scalar::Int(40)],
+//!     ],
+//! )?;
+//! let rows = reader.select("select * from Flows where nbytes > 100")?;
 //! assert_eq!(rows.len(), 1);
+//! assert_eq!(server.stats().connections_accepted, 2);
 //! server.shutdown();
 //! # Ok::<(), psrpc::Error>(())
 //! ```
@@ -52,4 +68,4 @@ pub mod wire;
 
 pub use client::CacheClient;
 pub use error::{Error, Result};
-pub use server::RpcServer;
+pub use server::{RpcServer, ServerStats};

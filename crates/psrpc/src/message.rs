@@ -5,6 +5,12 @@ use gapl::event::Scalar;
 use crate::error::{Error, Result};
 use crate::wire::{WireReader, WireWriter};
 
+/// The most rows a single [`Request::InsertBatch`] may carry — the same
+/// bound the decoder enforces, so a well-behaved client can check before
+/// encoding instead of having the server drop the connection on an
+/// oversized (or length-truncated) batch.
+pub const MAX_BATCH_ROWS: usize = 1_000_000;
+
 /// A request sent from an application to the cache.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -21,6 +27,18 @@ pub enum Request {
         /// Values in schema order.
         values: Vec<Scalar>,
         /// Whether to apply `on duplicate key update` semantics.
+        upsert: bool,
+    },
+    /// Insert many pre-parsed tuples into one table in a single round
+    /// trip; the cache applies the whole batch under one table-lock
+    /// acquisition, preserving row order.
+    InsertBatch {
+        /// Target table.
+        table: String,
+        /// Rows, each with values in schema order.
+        rows: Vec<Vec<Scalar>>,
+        /// Whether to apply `on duplicate key update` semantics to every
+        /// row.
         upsert: bool,
     },
     /// Register an automaton from GAPL source.
@@ -57,6 +75,11 @@ pub enum CacheReply {
         replaced: bool,
         /// The insertion timestamp assigned by the cache.
         tstamp: u64,
+    },
+    /// A batch of tuples was inserted.
+    InsertedBatch {
+        /// One insertion timestamp per row, in row order.
+        tstamps: Vec<u64>,
     },
     /// Rows returned by a `select`.
     Rows {
@@ -144,6 +167,16 @@ impl ClientMessage {
             Request::Ping => {
                 w.put_u8(4);
             }
+            Request::InsertBatch {
+                table,
+                rows,
+                upsert,
+            } => {
+                w.put_u8(5);
+                w.put_str(table);
+                w.put_rows(rows);
+                w.put_bool(*upsert);
+            }
         }
         w.finish().to_vec()
     }
@@ -170,6 +203,11 @@ impl ClientMessage {
             },
             3 => Request::UnregisterAutomaton { id: r.get_u64()? },
             4 => Request::Ping,
+            5 => Request::InsertBatch {
+                table: r.get_str()?,
+                rows: r.get_rows()?,
+                upsert: r.get_bool()?,
+            },
             other => return Err(Error::protocol(format!("unknown request tag {other}"))),
         };
         Ok(ClientMessage { seq, request })
@@ -250,6 +288,10 @@ fn encode_reply(w: &mut WireWriter, reply: &CacheReply) {
             w.put_u8(6);
             w.put_str(message);
         }
+        CacheReply::InsertedBatch { tstamps } => {
+            w.put_u8(7);
+            w.put_u64s(tstamps);
+        }
     }
 }
 
@@ -280,6 +322,9 @@ fn decode_reply(r: &mut WireReader<'_>) -> Result<CacheReply> {
         5 => CacheReply::Pong,
         6 => CacheReply::Error {
             message: r.get_str()?,
+        },
+        7 => CacheReply::InsertedBatch {
+            tstamps: r.get_u64s()?,
         },
         other => return Err(Error::protocol(format!("unknown reply tag {other}"))),
     })
@@ -328,6 +373,18 @@ mod tests {
         round_trip_client(ClientMessage {
             seq: 5,
             request: Request::Ping,
+        });
+        round_trip_client(ClientMessage {
+            seq: 6,
+            request: Request::InsertBatch {
+                table: "Flows".into(),
+                rows: vec![
+                    vec![Scalar::Str("a".into()), Scalar::Int(1)],
+                    vec![Scalar::Str("b".into()), Scalar::Int(2)],
+                    vec![],
+                ],
+                upsert: false,
+            },
         });
     }
 
@@ -382,6 +439,12 @@ mod tests {
         round_trip_server(ServerMessage::Reply {
             seq: 7,
             reply: CacheReply::Pong,
+        });
+        round_trip_server(ServerMessage::Reply {
+            seq: 8,
+            reply: CacheReply::InsertedBatch {
+                tstamps: vec![3, 4, 5],
+            },
         });
     }
 

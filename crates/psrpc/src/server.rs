@@ -1,18 +1,40 @@
-//! The RPC server: exposes a [`pscache::Cache`] to remote applications.
+//! The multi-client RPC server: exposes a [`pscache::Cache`] to remote
+//! applications.
 //!
-//! The server mirrors the paper's structure: the cache's main thread
-//! serially processes RPC requests from other processes (§6), compiling and
-//! registering automata on demand; notifications produced by `send()` in an
-//! automaton's behavior clause are pushed asynchronously to the application
-//! that registered it, over the same connection.
+//! The paper's prototype serves applications from a single accept loop
+//! and funnels every request through the cache's main thread (§6). This
+//! server keeps the paper's *semantics* — requests on one connection are
+//! answered in order, and an automaton's notifications flow back over the
+//! connection that registered it — but scales the mechanism out:
+//!
+//! * the accept loop only accepts; every connection gets a dedicated
+//!   **worker thread** that decodes and executes its requests against the
+//!   (internally sharded) cache, so clients inserting into different
+//!   tables run truly in parallel;
+//! * each connection also owns a **writer thread**, the single point that
+//!   serialises replies and asynchronous notifications onto the socket;
+//! * all automaton notifications, from every connection, pass through one
+//!   shared **notification fan-out** (the hub) that
+//!   routes them to the owning connection's writer — replacing the
+//!   per-connection forwarder thread of earlier designs, so the thread
+//!   count grows by two per connection rather than three;
+//! * when a client disconnects, its automata are unregistered and their
+//!   routes dropped, exactly as the paper's cache reclaims state for
+//!   vanished applications.
+//!
+//! [`serve_connection`] exposes the same machinery for a single duplex
+//! transport (TCP or in-process), which is how the stress benchmarks and
+//! [`crate::client::CacheClient::connect_inproc`] embed a server without
+//! a network stack.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
 
 use pscache::{AutomatonId, Cache, Response};
 
@@ -20,52 +42,274 @@ use crate::error::Result;
 use crate::message::{CacheReply, ClientMessage, Request, ServerMessage, WireRow};
 use crate::transport::{tcp_split, RecvHalf, SendHalf};
 
-/// A running RPC server bound to a TCP address.
+/// Counters describing a running server; a snapshot is returned by
+/// [`RpcServer::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Connections accepted since the server started.
+    pub connections_accepted: u64,
+    /// Connections currently being served.
+    pub connections_active: u64,
+    /// Requests decoded and executed, across all connections.
+    pub requests_served: u64,
+    /// Automaton notifications routed to clients by the fan-out hub.
+    pub notifications_routed: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    accepted: AtomicU64,
+    active: AtomicU64,
+    requests: AtomicU64,
+    notifications: AtomicU64,
+}
+
+impl StatsInner {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections_accepted: self.accepted.load(Ordering::Acquire),
+            connections_active: self.active.load(Ordering::Acquire),
+            requests_served: self.requests.load(Ordering::Acquire),
+            notifications_routed: self.notifications.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// Control messages for the fan-out hub, multiplexed with notifications.
+#[derive(Debug)]
+enum HubMsg {
+    /// An automaton produced a notification.
+    Note(pscache::Notification),
+    /// A connection registered an automaton; notifications for it (held
+    /// back while the registration raced ahead of the route) go to this
+    /// writer.
+    AddRoute(u64, Sender<ServerMessage>),
+    /// The automaton is gone; drop its route and anything held back.
+    RemoveRoute(u64),
+}
+
+/// The shared notification fan-out.
+///
+/// Automata registered over RPC all send into one channel; a single
+/// dispatch thread routes each notification to the connection that owns
+/// the automaton. Registration and routing race benignly: a notification
+/// arriving before its `AddRoute` is parked and flushed, in order, when
+/// the route appears.
+#[derive(Debug)]
+struct NotificationHub {
+    /// Handed (cloned) to every automaton registration.
+    note_tx: Sender<pscache::Notification>,
+    /// Route management from connection workers.
+    control_tx: Sender<HubMsg>,
+    pump: Option<JoinHandle<()>>,
+    dispatch: Option<JoinHandle<()>>,
+}
+
+impl NotificationHub {
+    fn start(stats: Arc<StatsInner>) -> NotificationHub {
+        let (note_tx, note_rx) = unbounded::<pscache::Notification>();
+        let (hub_tx, hub_rx) = unbounded::<HubMsg>();
+
+        // Pump: adapts the plain notification channel the cache runtime
+        // expects onto the hub's control stream.
+        let pump_tx = hub_tx.clone();
+        let pump = std::thread::Builder::new()
+            .name("psrpc-hub-pump".into())
+            .spawn(move || {
+                while let Ok(note) = note_rx.recv() {
+                    if pump_tx.send(HubMsg::Note(note)).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawning the hub pump thread never fails");
+
+        // Dispatch: owns the route table and the parked notifications.
+        let dispatch = std::thread::Builder::new()
+            .name("psrpc-hub-dispatch".into())
+            .spawn(move || {
+                let mut routes: HashMap<u64, Sender<ServerMessage>> = HashMap::new();
+                let mut parked: HashMap<u64, Vec<pscache::Notification>> = HashMap::new();
+                // Ids whose route was removed. A RemoveRoute sent on the
+                // control channel can overtake that automaton's last
+                // notifications, which are still crossing the pump; without
+                // this set they would be re-parked under an id that never
+                // gets another AddRoute and leak for the server's lifetime.
+                // Automaton ids are never reused, so the set only grows by
+                // one u64 per unregistered automaton.
+                let mut dead: HashSet<u64> = HashSet::new();
+                while let Ok(msg) = hub_rx.recv() {
+                    match msg {
+                        HubMsg::Note(note) => {
+                            let id = note.automaton.0;
+                            match routes.get(&id) {
+                                Some(writer) => {
+                                    stats.notifications.fetch_add(1, Ordering::Release);
+                                    let _ = writer.send(notification_message(note));
+                                }
+                                None if dead.contains(&id) => {
+                                    // Straggler from an unregistered
+                                    // automaton: its client is gone.
+                                }
+                                None => {
+                                    let slot = parked.entry(id).or_default();
+                                    // Bound memory if a route never shows
+                                    // up (e.g. a client that died mid
+                                    // registration).
+                                    if slot.len() < 65_536 {
+                                        slot.push(note);
+                                    }
+                                }
+                            }
+                        }
+                        HubMsg::AddRoute(id, writer) => {
+                            for note in parked.remove(&id).unwrap_or_default() {
+                                stats.notifications.fetch_add(1, Ordering::Release);
+                                let _ = writer.send(notification_message(note));
+                            }
+                            routes.insert(id, writer);
+                        }
+                        HubMsg::RemoveRoute(id) => {
+                            routes.remove(&id);
+                            parked.remove(&id);
+                            dead.insert(id);
+                        }
+                    }
+                }
+            })
+            .expect("spawning the hub dispatch thread never fails");
+
+        NotificationHub {
+            note_tx,
+            control_tx: hub_tx,
+            pump: Some(pump),
+            dispatch: Some(dispatch),
+        }
+    }
+
+    /// Drop the hub's own senders and wait for its threads; any automata
+    /// still holding notifier clones keep the pump alive until they are
+    /// unregistered, so callers unregister first.
+    fn finish(mut self) {
+        drop(self.note_tx);
+        drop(self.control_tx);
+        if let Some(h) = self.pump.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.dispatch.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn notification_message(note: pscache::Notification) -> ServerMessage {
+    ServerMessage::Notification {
+        automaton: note.automaton.0,
+        values: note.values,
+        at: note.at,
+    }
+}
+
+/// A running multi-client RPC server bound to a TCP address.
 #[derive(Debug)]
 pub struct RpcServer {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    stats: Arc<StatsInner>,
+    hub: Option<NotificationHub>,
 }
 
 impl RpcServer {
     /// Bind to `addr` (use port 0 for an ephemeral port) and start
-    /// accepting connections, each served on its own thread.
+    /// accepting connections. Every accepted connection is served by its
+    /// own worker thread against the shared cache; automaton
+    /// notifications from all connections flow through one fan-out hub.
     ///
     /// # Errors
     ///
     /// Returns an I/O error if the listener cannot be bound.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pscache::CacheBuilder;
+    /// use psrpc::{client::CacheClient, server::RpcServer};
+    ///
+    /// let server = RpcServer::bind(CacheBuilder::new().build(), "127.0.0.1:0")?;
+    ///
+    /// // Any number of clients may connect concurrently.
+    /// let a = CacheClient::connect(server.local_addr())?;
+    /// let b = CacheClient::connect(server.local_addr())?;
+    /// a.execute("create table T (v integer)")?;
+    /// b.insert_batch("T", (0..4).map(|i| vec![i.into()]).collect())?;
+    ///
+    /// assert_eq!(a.select("select * from T")?.len(), 4);
+    /// assert!(server.stats().connections_accepted >= 2);
+    /// server.shutdown();
+    /// # Ok::<(), psrpc::Error>(())
+    /// ```
     pub fn bind(cache: Cache, addr: impl ToSocketAddrs) -> Result<RpcServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(StatsInner::default());
+        let hub = NotificationHub::start(Arc::clone(&stats));
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_stats = Arc::clone(&stats);
+        let accept_workers = Arc::clone(&workers);
+        let accept_conns = Arc::clone(&conns);
+        let note_tx = hub.note_tx.clone();
+        let control_tx = hub.control_tx.clone();
         let accept_thread = std::thread::Builder::new()
             .name("psrpc-accept".into())
             .spawn(move || {
+                let mut next_conn_id: u64 = 0;
                 for stream in listener.incoming() {
                     if accept_shutdown.load(Ordering::Acquire) {
                         break;
                     }
-                    match stream {
-                        Ok(stream) => {
-                            let cache = cache.clone();
-                            std::thread::Builder::new()
-                                .name("psrpc-conn".into())
-                                .spawn(move || {
-                                    let _ = serve_tcp_connection(cache, stream);
-                                })
-                                .expect("spawning a connection thread never fails");
-                        }
-                        Err(_) => break,
+                    let Ok(stream) = stream else { break };
+                    let conn_id = next_conn_id;
+                    next_conn_id += 1;
+                    accept_stats.accepted.fetch_add(1, Ordering::Release);
+                    accept_stats.active.fetch_add(1, Ordering::Release);
+                    if let Ok(clone) = stream.try_clone() {
+                        accept_conns.lock().insert(conn_id, clone);
                     }
+                    let cache = cache.clone();
+                    let stats = Arc::clone(&accept_stats);
+                    let conns = Arc::clone(&accept_conns);
+                    let note_tx = note_tx.clone();
+                    let control_tx = control_tx.clone();
+                    let worker = std::thread::Builder::new()
+                        .name(format!("psrpc-conn-{conn_id}"))
+                        .spawn(move || {
+                            let _ = serve_tcp_connection(
+                                cache, stream, &note_tx, &control_tx, &stats,
+                            );
+                            stats.active.fetch_sub(1, Ordering::Release);
+                            conns.lock().remove(&conn_id);
+                        })
+                        .expect("spawning a connection worker never fails");
+                    accept_workers.lock().push(worker);
                 }
             })
             .expect("spawning the accept thread never fails");
+
         Ok(RpcServer {
             local_addr,
             shutdown,
             accept_thread: Some(accept_thread),
+            workers,
+            conns,
+            stats,
+            hub: Some(hub),
         })
     }
 
@@ -74,8 +318,13 @@ impl RpcServer {
         self.local_addr
     }
 
-    /// Stop accepting new connections and wait for the accept loop to exit.
-    /// Existing connections are closed when their clients disconnect.
+    /// A snapshot of the server's counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.snapshot()
+    }
+
+    /// Stop accepting, close every active connection, and wait for all
+    /// worker threads and the fan-out hub to exit.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -87,32 +336,76 @@ impl RpcServer {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
+        // Close every live socket so its worker unblocks, then join them.
+        for (_, stream) in self.conns.lock().drain() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        let workers: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock());
+        for worker in workers {
+            let _ = worker.join();
+        }
+        // Workers have unregistered their automata, so no notifier clones
+        // remain and the hub drains and exits.
+        if let Some(hub) = self.hub.take() {
+            hub.finish();
+        }
     }
 }
 
 impl Drop for RpcServer {
     fn drop(&mut self) {
-        if self.accept_thread.is_some() {
+        if self.accept_thread.is_some() || self.hub.is_some() {
             self.stop();
         }
     }
 }
 
-fn serve_tcp_connection(cache: Cache, stream: TcpStream) -> Result<()> {
+fn serve_tcp_connection(
+    cache: Cache,
+    stream: TcpStream,
+    note_tx: &Sender<pscache::Notification>,
+    control_tx: &Sender<HubMsg>,
+    stats: &StatsInner,
+) -> Result<()> {
     let (send, recv) = tcp_split(stream)?;
-    serve_connection(cache, send, recv)
+    serve_with_hub(cache, send, recv, note_tx, control_tx, stats)
 }
 
-/// Serve one duplex connection until the peer disconnects. Usable with any
-/// transport (TCP or in-process), which is how the stress benchmarks embed
-/// a server without a network stack.
+/// Serve one duplex connection until the peer disconnects, with a private
+/// fan-out hub. Usable with any transport (TCP or in-process), which is
+/// how the stress benchmarks and the in-process client embed a server
+/// without a network stack.
 pub fn serve_connection(
+    cache: Cache,
+    send: impl SendHalf + 'static,
+    recv: impl RecvHalf,
+) -> Result<()> {
+    let stats = Arc::new(StatsInner::default());
+    let hub = NotificationHub::start(Arc::clone(&stats));
+    let note_tx = hub.note_tx.clone();
+    let control_tx = hub.control_tx.clone();
+    let result = serve_with_hub(cache, send, recv, &note_tx, &control_tx, &stats);
+    // Our clones must go before finish(), or the hub threads never see
+    // the disconnect they join on.
+    drop(note_tx);
+    drop(control_tx);
+    hub.finish();
+    result
+}
+
+/// The per-connection worker body: spawns the connection's writer thread,
+/// decodes and executes requests in order, and tears down the
+/// connection's automata when the peer goes away.
+fn serve_with_hub(
     cache: Cache,
     mut send: impl SendHalf + 'static,
     mut recv: impl RecvHalf,
+    note_tx: &Sender<pscache::Notification>,
+    control_tx: &Sender<HubMsg>,
+    stats: &StatsInner,
 ) -> Result<()> {
-    // All messages to the client are funnelled through one writer thread so
-    // that replies and asynchronous notifications interleave safely.
+    // All messages to the client are funnelled through one writer thread
+    // so that replies and asynchronous notifications interleave safely.
     let (out_tx, out_rx) = unbounded::<ServerMessage>();
     let writer = std::thread::Builder::new()
         .name("psrpc-writer".into())
@@ -125,45 +418,38 @@ pub fn serve_connection(
         })
         .expect("spawning the writer thread never fails");
 
-    // Notifications from every automaton registered over this connection.
-    let (note_tx, note_rx) = unbounded::<pscache::Notification>();
-    let note_out = out_tx.clone();
-    let forwarder = std::thread::Builder::new()
-        .name("psrpc-notify".into())
-        .spawn(move || {
-            while let Ok(note) = note_rx.recv() {
-                let msg = ServerMessage::Notification {
-                    automaton: note.automaton.0,
-                    values: note.values,
-                    at: note.at,
-                };
-                if note_out.send(msg).is_err() {
-                    break;
-                }
-            }
-        })
-        .expect("spawning the notification thread never fails");
+    let mut conn = ConnectionContext {
+        cache: &cache,
+        note_tx: note_tx.clone(),
+        control_tx: control_tx.clone(),
+        out_tx,
+        registered: HashSet::new(),
+    };
+    let result = serve_requests(&mut conn, &mut recv, stats);
 
-    let mut registered: HashSet<AutomatonId> = HashSet::new();
-    let result = serve_requests(&cache, &mut recv, &out_tx, &note_tx, &mut registered);
-
-    // The client is gone: its automata go with it.
-    for id in registered {
+    // The client is gone: its automata (and their routes) go with it.
+    for id in conn.registered.drain() {
         let _ = cache.unregister_automaton(id);
+        let _ = conn.control_tx.send(HubMsg::RemoveRoute(id.0));
     }
-    drop(note_tx);
-    drop(out_tx);
-    let _ = forwarder.join();
+    drop(conn);
     let _ = writer.join();
     result
 }
 
+/// Everything a request needs to be executed on behalf of one connection.
+struct ConnectionContext<'a> {
+    cache: &'a Cache,
+    note_tx: Sender<pscache::Notification>,
+    control_tx: Sender<HubMsg>,
+    out_tx: Sender<ServerMessage>,
+    registered: HashSet<AutomatonId>,
+}
+
 fn serve_requests(
-    cache: &Cache,
+    conn: &mut ConnectionContext<'_>,
     recv: &mut impl RecvHalf,
-    out_tx: &Sender<ServerMessage>,
-    note_tx: &Sender<pscache::Notification>,
-    registered: &mut HashSet<AutomatonId>,
+    stats: &StatsInner,
 ) -> Result<()> {
     loop {
         let bytes = match recv.recv()? {
@@ -171,8 +457,10 @@ fn serve_requests(
             None => return Ok(()),
         };
         let msg = ClientMessage::decode(&bytes)?;
-        let reply = handle_request(cache, msg.request, note_tx, registered);
-        if out_tx
+        stats.requests.fetch_add(1, Ordering::Release);
+        let reply = handle_request(conn, msg.request);
+        if conn
+            .out_tx
             .send(ServerMessage::Reply {
                 seq: msg.seq,
                 reply,
@@ -184,15 +472,10 @@ fn serve_requests(
     }
 }
 
-fn handle_request(
-    cache: &Cache,
-    request: Request,
-    note_tx: &Sender<pscache::Notification>,
-    registered: &mut HashSet<AutomatonId>,
-) -> CacheReply {
+fn handle_request(conn: &mut ConnectionContext<'_>, request: Request) -> CacheReply {
     match request {
         Request::Ping => CacheReply::Pong,
-        Request::Execute { command } => match cache.execute(&command) {
+        Request::Execute { command } => match conn.cache.execute(&command) {
             Ok(response) => response_to_reply(response),
             Err(e) => CacheReply::Error {
                 message: e.to_string(),
@@ -204,9 +487,9 @@ fn handle_request(
             upsert,
         } => {
             let result = if upsert {
-                cache.upsert(&table, values)
+                conn.cache.upsert(&table, values)
             } else {
-                cache.insert(&table, values)
+                conn.cache.insert(&table, values)
             };
             match result {
                 Ok(tstamp) => CacheReply::Inserted {
@@ -218,10 +501,36 @@ fn handle_request(
                 },
             }
         }
+        Request::InsertBatch {
+            table,
+            rows,
+            upsert,
+        } => {
+            let result = if upsert {
+                conn.cache.upsert_batch(&table, rows)
+            } else {
+                conn.cache.insert_batch(&table, rows)
+            };
+            match result {
+                Ok(tstamps) => CacheReply::InsertedBatch { tstamps },
+                Err(e) => CacheReply::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
         Request::RegisterAutomaton { source } => {
-            match cache.register_automaton_with_notifier(&source, note_tx.clone()) {
+            match conn
+                .cache
+                .register_automaton_with_notifier(&source, conn.note_tx.clone())
+            {
                 Ok(id) => {
-                    registered.insert(id);
+                    conn.registered.insert(id);
+                    // Route the automaton's notifications to this
+                    // connection's writer; anything the hub parked while
+                    // we got here is flushed first.
+                    let _ = conn
+                        .control_tx
+                        .send(HubMsg::AddRoute(id.0, conn.out_tx.clone()));
                     CacheReply::Registered { id: id.0 }
                 }
                 Err(e) => CacheReply::Error {
@@ -231,9 +540,10 @@ fn handle_request(
         }
         Request::UnregisterAutomaton { id } => {
             let id = AutomatonId(id);
-            match cache.unregister_automaton(id) {
+            match conn.cache.unregister_automaton(id) {
                 Ok(()) => {
-                    registered.remove(&id);
+                    conn.registered.remove(&id);
+                    let _ = conn.control_tx.send(HubMsg::RemoveRoute(id.0));
                     CacheReply::Unregistered
                 }
                 Err(e) => CacheReply::Error {
@@ -248,6 +558,7 @@ fn response_to_reply(response: Response) -> CacheReply {
     match response {
         Response::Created => CacheReply::Created,
         Response::Inserted { replaced, tstamp } => CacheReply::Inserted { replaced, tstamp },
+        Response::InsertedBatch { tstamps } => CacheReply::InsertedBatch { tstamps },
         Response::Rows(rs) => CacheReply::Rows {
             columns: rs.columns,
             rows: rs
@@ -265,7 +576,23 @@ fn response_to_reply(response: Response) -> CacheReply {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crossbeam::channel::Receiver;
+    use gapl::event::Scalar;
     use pscache::CacheBuilder;
+
+    fn test_conn(cache: &Cache) -> (ConnectionContext<'_>, Receiver<ServerMessage>, NotificationHub) {
+        let stats = Arc::new(StatsInner::default());
+        let hub = NotificationHub::start(stats);
+        let (out_tx, out_rx) = unbounded();
+        let conn = ConnectionContext {
+            cache,
+            note_tx: hub.note_tx.clone(),
+            control_tx: hub.control_tx.clone(),
+            out_tx,
+            registered: HashSet::new(),
+        };
+        (conn, out_rx, hub)
+    }
 
     #[test]
     fn response_conversion_covers_all_variants() {
@@ -280,10 +607,18 @@ mod tests {
                 tstamp: 3
             }
         );
+        assert_eq!(
+            response_to_reply(Response::InsertedBatch {
+                tstamps: vec![1, 2]
+            }),
+            CacheReply::InsertedBatch {
+                tstamps: vec![1, 2]
+            }
+        );
         let rs = pscache::ResultSet {
             columns: vec!["a".into()],
             rows: vec![pscache::Row {
-                values: vec![gapl::event::Scalar::Int(1)],
+                values: vec![Scalar::Int(1)],
                 tstamp: 9,
             }],
         };
@@ -301,31 +636,79 @@ mod tests {
         let cache = CacheBuilder::new().build();
         let server = RpcServer::bind(cache, "127.0.0.1:0").unwrap();
         assert_ne!(server.local_addr().port(), 0);
+        assert_eq!(server.stats(), ServerStats::default());
         server.shutdown();
     }
 
     #[test]
     fn handle_request_reports_cache_errors() {
         let cache = CacheBuilder::new().build();
-        let (note_tx, _note_rx) = unbounded();
-        let mut registered = HashSet::new();
+        let (mut conn, _out_rx, _hub) = test_conn(&cache);
         let reply = handle_request(
-            &cache,
+            &mut conn,
             Request::Execute {
                 command: "select * from Missing".into(),
             },
-            &note_tx,
-            &mut registered,
         );
         assert!(matches!(reply, CacheReply::Error { .. }));
-        let reply = handle_request(
-            &cache,
-            Request::UnregisterAutomaton { id: 999 },
-            &note_tx,
-            &mut registered,
-        );
+        let reply = handle_request(&mut conn, Request::UnregisterAutomaton { id: 999 });
         assert!(matches!(reply, CacheReply::Error { .. }));
-        let reply = handle_request(&cache, Request::Ping, &note_tx, &mut registered);
+        let reply = handle_request(&mut conn, Request::Ping);
         assert_eq!(reply, CacheReply::Pong);
+        let reply = handle_request(
+            &mut conn,
+            Request::InsertBatch {
+                table: "Missing".into(),
+                rows: vec![vec![Scalar::Int(1)]],
+                upsert: false,
+            },
+        );
+        assert!(matches!(reply, CacheReply::Error { .. }));
+    }
+
+    #[test]
+    fn batched_inserts_execute_against_the_cache() {
+        let cache = CacheBuilder::new().build();
+        cache.execute("create table T (v integer)").unwrap();
+        let (mut conn, _out_rx, _hub) = test_conn(&cache);
+        let reply = handle_request(
+            &mut conn,
+            Request::InsertBatch {
+                table: "T".into(),
+                rows: (0..10).map(|i| vec![Scalar::Int(i)]).collect(),
+                upsert: false,
+            },
+        );
+        match reply {
+            CacheReply::InsertedBatch { tstamps } => assert_eq!(tstamps.len(), 10),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(cache.table_len("T").unwrap(), 10);
+    }
+
+    #[test]
+    fn the_hub_parks_notifications_until_the_route_appears() {
+        let stats = Arc::new(StatsInner::default());
+        let hub = NotificationHub::start(Arc::clone(&stats));
+        // A notification for an automaton with no route yet.
+        hub.note_tx
+            .send(pscache::Notification {
+                automaton: AutomatonId(7),
+                values: vec![Scalar::Int(1)],
+                at: 5,
+            })
+            .unwrap();
+        // Adding the route flushes the parked notification.
+        let (out_tx, out_rx) = unbounded();
+        hub.control_tx.send(HubMsg::AddRoute(7, out_tx)).unwrap();
+        let msg = out_rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .unwrap();
+        assert!(matches!(
+            msg,
+            ServerMessage::Notification { automaton: 7, .. }
+        ));
+        assert_eq!(stats.snapshot().notifications_routed, 1);
+        hub.finish();
     }
 }

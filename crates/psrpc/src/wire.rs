@@ -108,6 +108,23 @@ impl WireWriter {
             self.put_str(v);
         }
     }
+
+    /// Append a length-prefixed sequence of scalar rows (the payload of a
+    /// batched insert).
+    pub fn put_rows(&mut self, rows: &[Vec<Scalar>]) {
+        self.put_u32(rows.len() as u32);
+        for row in rows {
+            self.put_scalars(row);
+        }
+    }
+
+    /// Append a length-prefixed sequence of `u64`s.
+    pub fn put_u64s(&mut self, values: &[u64]) {
+        self.put_u32(values.len() as u32);
+        for v in values {
+            self.put_u64(*v);
+        }
+    }
 }
 
 /// Deserialises values from a byte slice, with bounds checking.
@@ -210,6 +227,33 @@ impl<'a> WireReader<'a> {
             return Err(Error::protocol("unreasonably large string sequence"));
         }
         (0..len).map(|_| self.get_str()).collect()
+    }
+
+    /// Read a length-prefixed sequence of scalar rows. The row bound
+    /// matches [`crate::message::MAX_BATCH_ROWS`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] on malformed input or absurd lengths.
+    pub fn get_rows(&mut self) -> Result<Vec<Vec<Scalar>>> {
+        let len = self.get_u32()? as usize;
+        if len > 1_000_000 {
+            return Err(Error::protocol("unreasonably large row batch"));
+        }
+        (0..len).map(|_| self.get_scalars()).collect()
+    }
+
+    /// Read a length-prefixed sequence of `u64`s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] on malformed input or absurd lengths.
+    pub fn get_u64s(&mut self) -> Result<Vec<u64>> {
+        let len = self.get_u32()? as usize;
+        if len > 1_000_000 {
+            return Err(Error::protocol("unreasonably large u64 sequence"));
+        }
+        (0..len).map(|_| self.get_u64()).collect()
     }
 }
 

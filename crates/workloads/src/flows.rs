@@ -121,7 +121,7 @@ impl FlowGenerator {
             sport: self.rng.gen_range(1024..65535),
             dstip: local,
             dport: *[80, 443, 8080, 53]
-                .get(self.rng.gen_range(0..4))
+                .get(self.rng.gen_range(0usize..4))
                 .expect("index in range"),
             npkts: (nbytes / 1400).max(1),
             nbytes,

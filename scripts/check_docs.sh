@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Documentation gate, run as part of tier-1 verification:
+#
+#   1. rustdoc over every workspace crate with warnings promoted to
+#      errors (broken intra-doc links, missing docs on public items —
+#      the crates opt in via #![warn(missing_docs)]);
+#   2. every doc example compiled and executed as a doctest.
+#
+# Also available as `cargo docs-check` (alias in .cargo/config.toml)
+# for step 1 only.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo doc --no-deps (RUSTDOCFLAGS='-D warnings')"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "==> cargo test --doc"
+cargo test -q --doc --workspace
+
+echo "docs are warning-free and every doc example passes"

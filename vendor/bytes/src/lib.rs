@@ -1,0 +1,205 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the subset of the `bytes` API used by `psrpc::wire`: a
+//! growable [`BytesMut`] writer, an immutable [`Bytes`] buffer, and the
+//! [`Buf`]/[`BufMut`] traits with little-endian accessors. Everything is
+//! backed by plain `Vec<u8>`/`&[u8]`; zero-copy reference counting of the
+//! real crate is not reproduced (the codec copies at message boundaries
+//! anyway).
+
+use std::ops::Deref;
+
+/// An immutable byte buffer, produced by [`BytesMut::freeze`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Copy the contents into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+/// A growable byte buffer with appending writers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer with at least `cap` bytes of capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Reading side: sequential little-endian accessors over a shrinking
+/// slice. Implemented for `&[u8]`, mirroring the real crate.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Drop `n` bytes from the front.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than `n` bytes remain (callers bound-check first).
+    fn advance(&mut self, n: usize);
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Read a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self[..4]);
+        self.advance(4);
+        u32::from_le_bytes(b)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self[..8]);
+        self.advance(8);
+        u64::from_le_bytes(b)
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        self.get_u64_le() as i64
+    }
+}
+
+/// Writing side: appending little-endian writers. Implemented for
+/// [`BytesMut`].
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64);
+    /// Append a byte slice.
+    fn put_slice(&mut self, v: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, v: i64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, v: &[u8]) {
+        self.0.extend_from_slice(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read_round_trip() {
+        let mut w = BytesMut::with_capacity(8);
+        w.put_u8(7);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(u64::MAX - 1);
+        w.put_i64_le(-9);
+        w.put_slice(b"xyz");
+        let frozen = w.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.get_i64_le(), -9);
+        assert_eq!(r.remaining(), 3);
+        r.advance(3);
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(frozen.to_vec().len(), 1 + 4 + 8 + 8 + 3);
+    }
+}
