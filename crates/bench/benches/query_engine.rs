@@ -1,0 +1,129 @@
+//! Criterion benchmarks of the zero-copy query engine: the paper's
+//! periodic-query workload (`select * from T since τ`, Fig. 1) against
+//! hot event tables at several table sizes.
+//!
+//! Three axes:
+//!
+//! * **full scan vs windowed** — the indexed `since` path binary-searches
+//!   the time-ordered suffix, so a 1% window over a 100k-row table should
+//!   run orders of magnitude faster than a full scan;
+//! * **plan-cached vs re-parsed SQL** — repeated query texts skip the
+//!   parser and name resolution entirely;
+//! * **predicate evaluation** — compiled (by-index) predicates over
+//!   string and integer columns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gapl::event::Scalar;
+use pscache::{Cache, CacheBuilder, Query};
+
+const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+
+/// A stream table with `rows` tuples at timestamps 1..=rows.
+fn populated_cache(rows: usize) -> Cache {
+    let cache = CacheBuilder::new().manual_clock().build();
+    cache
+        .execute(&format!(
+            "create table Flows (srcip varchar(16), nbytes integer) capacity {rows}"
+        ))
+        .expect("create table");
+    let clock = cache.manual_clock().expect("manual clock").clone();
+    // Chunk so timestamps resolve to 0.1% of the table: batches share one
+    // insertion timestamp by design, and the windowed queries below need
+    // the 1% boundary to fall *inside* the data at every size.
+    let chunk_rows = (rows / 1000).max(1);
+    for chunk in (0..rows).collect::<Vec<_>>().chunks(chunk_rows) {
+        clock.advance(chunk.len() as u64);
+        cache
+            .insert_batch(
+                "Flows",
+                chunk
+                    .iter()
+                    .map(|i| {
+                        vec![
+                            Scalar::from(format!("10.0.{}.{}", (i / 250) % 250, i % 250)),
+                            Scalar::Int(*i as i64),
+                        ]
+                    })
+                    .collect(),
+            )
+            .expect("insert batch");
+    }
+    cache
+}
+
+fn bench_full_scan_vs_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_since_window");
+    for rows in SIZES {
+        let cache = populated_cache(rows);
+        let full = Query::new("Flows");
+        group.bench_function(BenchmarkId::new("full_scan", rows), |b| {
+            b.iter(|| cache.select(&full).expect("select"));
+        });
+        // A 1% window at the tail of the table.
+        let tau = cache
+            .select(&Query::new("Flows"))
+            .expect("select")
+            .max_tstamp()
+            .expect("non-empty")
+            - (rows as u64) / 100;
+        let windowed = Query::new("Flows").since(tau);
+        group.bench_function(BenchmarkId::new("window_1pct", rows), |b| {
+            b.iter(|| cache.select(&windowed).expect("select"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_plan_cache");
+    let cache = populated_cache(10_000);
+    let sql = "select srcip, nbytes from Flows where nbytes >= 9900 limit 16";
+    // Warm the cache so the hot path is measured.
+    cache.execute(sql).expect("select");
+    group.bench_function("cached_sql_text", |b| {
+        b.iter(|| cache.execute(sql).expect("select"));
+    });
+    let programmatic = Query::new("Flows")
+        .columns(["srcip", "nbytes"])
+        .filter(pscache::Predicate::compare(
+            "nbytes",
+            pscache::Comparison::Ge,
+            9900i64,
+        ))
+        .limit(16);
+    group.bench_function("programmatic_recompiled", |b| {
+        b.iter(|| cache.select(&programmatic).expect("select"));
+    });
+    group.finish();
+}
+
+fn bench_compiled_predicates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_predicates");
+    let cache = populated_cache(10_000);
+    let by_int = Query::new("Flows").filter(pscache::Predicate::compare(
+        "nbytes",
+        pscache::Comparison::Gt,
+        5_000i64,
+    ));
+    group.bench_function("int_predicate_10k", |b| {
+        b.iter(|| cache.select(&by_int).expect("select"));
+    });
+    let by_str = Query::new("Flows").filter(pscache::Predicate::compare(
+        "srcip",
+        pscache::Comparison::Eq,
+        "10.0.3.7",
+    ));
+    group.bench_function("str_predicate_10k", |b| {
+        b.iter(|| cache.select(&by_str).expect("select"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_scan_vs_window,
+    bench_plan_cache,
+    bench_compiled_predicates
+);
+criterion_main!(benches);

@@ -60,7 +60,7 @@ impl StressSchema {
     fn tuple(&self) -> Vec<Scalar> {
         match self {
             StressSchema::Integers(n) => (0..*n as i64).map(Scalar::Int).collect(),
-            StressSchema::Varchar(len) => vec![Scalar::Str("x".repeat(*len))],
+            StressSchema::Varchar(len) => vec![Scalar::Str("x".repeat(*len).into())],
         }
     }
 

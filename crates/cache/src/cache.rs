@@ -13,6 +13,7 @@ use gapl::event::{AttrType, Scalar, Schema, Timestamp, Tuple};
 use crate::clock::{Clock, ManualClock, SystemClock};
 use crate::config::DEFAULT_SHARD_COUNT;
 use crate::error::{Error, Result};
+use crate::plan::QueryPlan;
 use crate::query::{Query, ResultSet};
 use crate::runtime::{
     spawn_automaton, AutomatonHandle, AutomatonId, AutomatonStats, Delivery, Notification,
@@ -149,6 +150,7 @@ impl CacheBuilder {
     pub fn build(self) -> Cache {
         let inner = Arc::new(CacheInner {
             tables: TableStore::new(self.shard_count),
+            plans: PlanCache::default(),
             subscriptions: RwLock::new(HashMap::new()),
             senders: RwLock::new(HashMap::new()),
             automata: Mutex::new(HashMap::new()),
@@ -204,9 +206,93 @@ pub struct Cache {
     timer_thread: Arc<Mutex<Option<std::thread::JoinHandle<()>>>>,
 }
 
+/// Whether a command text starts with the `select` keyword — the cheap
+/// pre-filter deciding if the plan cache is consulted at all.
+fn looks_like_select(command: &str) -> bool {
+    let trimmed = command.trim_start();
+    trimmed.len() >= 6
+        && trimmed.as_bytes()[..6].eq_ignore_ascii_case(b"select")
+        && trimmed.as_bytes().get(6).is_none_or(|b| !b.is_ascii_alphanumeric())
+}
+
+/// One cached `select`: its parsed query plus the plan compiled against
+/// the table's schema the first time it ran. The compiled plan is keyed
+/// by schema identity (`Arc::ptr_eq`) — schemas are immutable once
+/// created, so pointer equality proves the resolved indices are still
+/// valid; if the identity ever changes the plan is recompiled in place.
+#[derive(Debug)]
+pub(crate) struct PlanEntry {
+    query: Query,
+    compiled: Mutex<Option<Arc<QueryPlan>>>,
+}
+
+impl PlanEntry {
+    /// The plan for `schema`, compiling (and memoising) on first use or
+    /// schema change.
+    fn plan_for(&self, schema: &Arc<Schema>) -> Result<Arc<QueryPlan>> {
+        let mut slot = self.compiled.lock();
+        if let Some(plan) = slot.as_ref() {
+            if Arc::ptr_eq(plan.schema(), schema) {
+                return Ok(Arc::clone(plan));
+            }
+        }
+        let plan = Arc::new(QueryPlan::compile(&self.query, schema)?);
+        *slot = Some(Arc::clone(&plan));
+        Ok(plan)
+    }
+}
+
+/// The SQL-text → [`PlanEntry`] cache behind [`Cache::execute`].
+///
+/// Bounded: when full, a new insertion evicts the whole map. Eviction is
+/// a once-per-epoch event for workloads that cycle through more than
+/// [`PlanCache::CAPACITY`] distinct query texts, and those workloads get
+/// no benefit from plan caching anyway.
+#[derive(Debug, Default)]
+struct PlanCache {
+    map: RwLock<HashMap<String, Arc<PlanEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    const CAPACITY: usize = 1024;
+
+    fn get(&self, sql: &str) -> Option<Arc<PlanEntry>> {
+        let found = self.map.read().get(sql).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn insert(&self, sql: &str, query: Query) -> Arc<PlanEntry> {
+        let entry = Arc::new(PlanEntry {
+            query,
+            compiled: Mutex::new(None),
+        });
+        let mut map = self.map.write();
+        if map.len() >= Self::CAPACITY {
+            map.clear();
+        }
+        map.insert(sql.to_owned(), Arc::clone(&entry));
+        entry
+    }
+
+    fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
 pub(crate) struct CacheInner {
     /// The sharded table store; see [`TableStore`] for the locking story.
     tables: TableStore,
+    /// SQL-text plan cache for `select` statements.
+    plans: PlanCache,
     /// topic name -> automata subscribed to it
     subscriptions: RwLock<HashMap<String, Vec<AutomatonId>>>,
     /// automaton id -> its delivery channel + counters (hot path data)
@@ -249,10 +335,27 @@ impl Cache {
 
     /// Execute a SQL-ish command (`create table`, `insert`, `select`).
     ///
+    /// `select` statements are **plan-cached**: the first submission of a
+    /// given SQL text parses it and compiles a [`QueryPlan`] against the
+    /// table's schema; every repeat of the same text (the paper's
+    /// periodic-query loop re-issues the same `select … since τ` string
+    /// with a new τ only when the application rebuilds it — identical
+    /// texts are the common case for dashboards and pollers) skips both
+    /// the parser and name resolution entirely.
+    ///
     /// # Errors
     ///
     /// Returns parse errors, schema errors, and unknown-table errors.
     pub fn execute(&self, command: &str) -> Result<Response> {
+        // Fast path: a select text seen before runs its cached plan. Only
+        // select-shaped texts consult the cache — inserts and DDL on the
+        // write path must not pay a guaranteed-miss lookup (or skew the
+        // hit/miss counters).
+        if looks_like_select(command) {
+            if let Some(entry) = self.inner.plans.get(command) {
+                return Ok(Response::Rows(self.inner.select_cached(&entry)?));
+            }
+        }
         match sql::parse(command)? {
             Command::CreateTable {
                 name,
@@ -293,8 +396,18 @@ impl Cache {
                     .insert_batch_values(&table, rows, on_duplicate_update)?;
                 Ok(Response::InsertedBatch { tstamps })
             }
-            Command::Select(query) => Ok(Response::Rows(self.select(&query)?)),
+            Command::Select(query) => {
+                let entry = self.inner.plans.insert(command, query);
+                Ok(Response::Rows(self.inner.select_cached(&entry)?))
+            }
         }
+    }
+
+    /// `(hits, misses)` counters of the SQL plan cache, for observability
+    /// and benchmarks. A healthy periodic-query workload converges to a
+    /// hit rate near 1.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        self.inner.plans.stats()
     }
 
     /// Create a table (and its topic) programmatically.
@@ -807,12 +920,38 @@ impl CacheInner {
         }
     }
 
+    /// Take a consistent, windowed snapshot of a table.
+    ///
+    /// The table lock is held only long enough to `Arc`-clone the rows in
+    /// the `since` window (binary-searched, so a small window over a
+    /// large table copies almost nothing); evaluation then runs on the
+    /// snapshot *outside* the lock, so a long query never stalls
+    /// concurrent inserts into the same table. The snapshot is atomic
+    /// with respect to writers: it observes every insert completed before
+    /// the lock was taken and none after.
+    fn snapshot(
+        &self,
+        table_name: &str,
+        since: Option<Timestamp>,
+    ) -> Result<(Arc<Schema>, Vec<Tuple>)> {
+        let table = self.tables.get(table_name)?;
+        let guard = table.lock();
+        let schema = Arc::clone(guard.schema());
+        let rows = guard.snapshot_since(since);
+        Ok((schema, rows))
+    }
+
     pub(crate) fn select(&self, query: &Query) -> Result<ResultSet> {
-        self.with_table(query.table(), |table| {
-            let schema = Arc::clone(table.schema());
-            let rows = table.scan();
-            query.evaluate(&schema, &rows)
-        })
+        let (schema, rows) = self.snapshot(query.table(), query.since_tstamp())?;
+        // Lock released: compile and evaluate on the shared snapshot.
+        QueryPlan::compile(query, &schema)?.evaluate(&rows)
+    }
+
+    /// Run a plan-cached `select` (see [`Cache::execute`]).
+    pub(crate) fn select_cached(&self, entry: &PlanEntry) -> Result<ResultSet> {
+        let (schema, rows) =
+            self.snapshot(entry.query.table(), entry.query.since_tstamp())?;
+        entry.plan_for(&schema)?.evaluate(&rows)
     }
 
     pub(crate) fn table_len(&self, name: &str) -> Result<usize> {
@@ -844,7 +983,7 @@ impl CacheInner {
         // the non-key attributes only, in which case the key is prepended.
         let arity = self.with_table(table_name, |t| Ok(t.schema().arity()))?;
         if values.len() + 1 == arity {
-            values.insert(0, Scalar::Str(key.to_owned()));
+            values.insert(0, Scalar::Str(Arc::from(key)));
         }
         if let Some(first) = values.first() {
             if first.to_string() != key {

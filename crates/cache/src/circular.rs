@@ -69,6 +69,33 @@ impl<T> CircularBuffer<T> {
         self.items.iter()
     }
 
+    /// Iterate oldest-to-newest starting at logical position `start`
+    /// (clamped to the buffer length). Unlike `iter().skip(start)` this
+    /// jumps straight to the position, so taking a small suffix of a
+    /// large buffer costs O(suffix), not O(buffer).
+    pub fn iter_from(&self, start: usize) -> impl Iterator<Item = &T> {
+        let (a, b) = self.items.as_slices();
+        let a_start = start.min(a.len());
+        let b_start = start.saturating_sub(a.len()).min(b.len());
+        a[a_start..].iter().chain(b[b_start..].iter())
+    }
+
+    /// The index of the partition point of `pred`: the first logical
+    /// position whose item does *not* satisfy it. The buffer contents
+    /// must already be partitioned (every item satisfying `pred` before
+    /// every item that does not) — true for any monotone property of an
+    /// append-only stream, such as "inserted at or before τ". Runs two
+    /// binary searches, one per internal slice: O(log n).
+    pub fn partition_point(&self, mut pred: impl FnMut(&T) -> bool) -> usize {
+        let (a, b) = self.items.as_slices();
+        let pa = a.partition_point(&mut pred);
+        if pa < a.len() {
+            pa
+        } else {
+            a.len() + b.partition_point(&mut pred)
+        }
+    }
+
     /// The most recently pushed item, if any.
     pub fn newest(&self) -> Option<&T> {
         self.items.back()
@@ -126,6 +153,28 @@ mod tests {
         assert_eq!(b.push('b'), Some('a'));
         assert_eq!(b.push('c'), Some('b'));
         assert_eq!(b.newest(), Some(&'c'));
+    }
+
+    #[test]
+    fn iter_from_and_partition_point_agree_with_naive_scans() {
+        // Exercise both the contiguous and the wrapped-around layout.
+        for pushes in [3usize, 8, 13] {
+            let mut b = CircularBuffer::new(8);
+            for i in 0..pushes {
+                b.push(i);
+            }
+            let all: Vec<usize> = b.iter().copied().collect();
+            for start in 0..=b.len() + 2 {
+                let fast: Vec<usize> = b.iter_from(start).copied().collect();
+                let naive: Vec<usize> = all.iter().copied().skip(start).collect();
+                assert_eq!(fast, naive, "pushes={pushes} start={start}");
+            }
+            for threshold in 0..pushes + 2 {
+                let fast = b.partition_point(|&v| v < threshold);
+                let naive = all.iter().filter(|&&v| v < threshold).count();
+                assert_eq!(fast, naive, "pushes={pushes} threshold={threshold}");
+            }
+        }
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod circular;
 pub mod clock;
 pub mod config;
 pub mod error;
+pub mod plan;
 pub mod query;
 pub mod runtime;
 pub mod sql;
@@ -61,6 +62,7 @@ pub use cache::{Cache, CacheBuilder, Response};
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use config::{ConfigReport, DEFAULT_SHARD_COUNT};
 pub use error::{Error, Result};
+pub use plan::{ColRef, QueryPlan};
 pub use query::{Aggregate, Comparison, Predicate, Query, ResultSet, Row};
 pub use runtime::{AutomatonId, Notification};
 pub use table::TableKind;

@@ -1,0 +1,488 @@
+//! Compiled query plans: name resolution done once, evaluation by index.
+//!
+//! A [`crate::query::Query`] refers to columns by name. Evaluating it
+//! directly would re-resolve every name against the schema *per tuple* —
+//! the paper's periodic `select * from T since τ` workload (Fig. 1) makes
+//! that the hottest loop in the cache. A [`QueryPlan`] is the query
+//! compiled against a concrete schema: every projection, predicate,
+//! `order by` and `group by` column is resolved to an attribute index (or
+//! to the `tstamp` pseudo-column) exactly once, and evaluation then
+//! touches tuples only through index loads and refcount clones.
+//!
+//! Plans are immutable and cheap to share; [`crate::Cache`] keeps a
+//! cache of them keyed by the SQL text so a periodic query compiles only
+//! on its first submission.
+
+use std::sync::Arc;
+
+use gapl::event::{Scalar, Schema, Timestamp, Tuple};
+
+use crate::error::{Error, Result};
+use crate::query::{Aggregate, Comparison, Predicate, Query, ResultSet, Row};
+
+/// A resolved column reference: either an attribute index in the schema,
+/// or the `tstamp` pseudo-column every tuple carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColRef {
+    /// Index into the tuple's value array.
+    Index(usize),
+    /// The insertion timestamp.
+    Tstamp,
+}
+
+impl ColRef {
+    fn resolve(schema: &Schema, name: &str) -> Result<ColRef> {
+        if let Some(ix) = schema.index_of(name) {
+            return Ok(ColRef::Index(ix));
+        }
+        if name == "tstamp" {
+            return Ok(ColRef::Tstamp);
+        }
+        Err(Error::schema(format!(
+            "unknown column `{name}` in table `{}`",
+            schema.name()
+        )))
+    }
+
+    /// Load the referenced value out of a tuple without cloning it.
+    /// `Tstamp` loads have no backing storage, so the caller provides a
+    /// scratch slot that outlives the returned reference.
+    fn load<'t>(&self, tuple: &'t Tuple, scratch: &'t mut Scalar) -> &'t Scalar {
+        match self {
+            ColRef::Index(ix) => &tuple.values()[*ix],
+            ColRef::Tstamp => {
+                *scratch = Scalar::Tstamp(tuple.tstamp());
+                scratch
+            }
+        }
+    }
+
+    /// Load the referenced value, cloning (a refcount bump at most).
+    fn load_cloned(&self, tuple: &Tuple) -> Scalar {
+        match self {
+            ColRef::Index(ix) => tuple.values()[*ix].clone(),
+            ColRef::Tstamp => Scalar::Tstamp(tuple.tstamp()),
+        }
+    }
+}
+
+/// A predicate with every column name resolved to a [`ColRef`].
+#[derive(Debug, Clone)]
+enum CompiledPredicate {
+    Compare {
+        col: ColRef,
+        op: Comparison,
+        value: Scalar,
+    },
+    And(Box<CompiledPredicate>, Box<CompiledPredicate>),
+    Or(Box<CompiledPredicate>, Box<CompiledPredicate>),
+    Not(Box<CompiledPredicate>),
+}
+
+impl CompiledPredicate {
+    fn compile(p: &Predicate, schema: &Schema) -> Result<CompiledPredicate> {
+        Ok(match p {
+            Predicate::Compare { column, op, value } => CompiledPredicate::Compare {
+                col: ColRef::resolve(schema, column)?,
+                op: *op,
+                value: value.clone(),
+            },
+            Predicate::And(a, b) => CompiledPredicate::And(
+                Box::new(Self::compile(a, schema)?),
+                Box::new(Self::compile(b, schema)?),
+            ),
+            Predicate::Or(a, b) => CompiledPredicate::Or(
+                Box::new(Self::compile(a, schema)?),
+                Box::new(Self::compile(b, schema)?),
+            ),
+            Predicate::Not(a) => CompiledPredicate::Not(Box::new(Self::compile(a, schema)?)),
+        })
+    }
+
+    fn matches(&self, tuple: &Tuple) -> bool {
+        match self {
+            CompiledPredicate::Compare { col, op, value } => {
+                let mut scratch = Scalar::Int(0);
+                op.evaluate(col.load(tuple, &mut scratch), value)
+            }
+            CompiledPredicate::And(a, b) => a.matches(tuple) && b.matches(tuple),
+            CompiledPredicate::Or(a, b) => a.matches(tuple) || b.matches(tuple),
+            CompiledPredicate::Not(a) => !a.matches(tuple),
+        }
+    }
+}
+
+/// An aggregate with its input column resolved and its output name
+/// rendered once at compile time.
+#[derive(Debug, Clone)]
+struct CompiledAggregate {
+    /// `None` is `count(*)`.
+    input: Option<ColRef>,
+    kind: AggKind,
+    output_name: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AggKind {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl CompiledAggregate {
+    fn compile(agg: &Aggregate, schema: &Schema) -> Result<CompiledAggregate> {
+        let (kind, column) = match agg {
+            Aggregate::Count => (AggKind::Count, None),
+            Aggregate::Sum(c) => (AggKind::Sum, Some(c)),
+            Aggregate::Avg(c) => (AggKind::Avg, Some(c)),
+            Aggregate::Min(c) => (AggKind::Min, Some(c)),
+            Aggregate::Max(c) => (AggKind::Max, Some(c)),
+        };
+        let input = match column {
+            Some(name) => Some(ColRef::resolve(schema, name).map_err(|_| {
+                Error::schema(format!("unknown column `{name}` in aggregate"))
+            })?),
+            None => None,
+        };
+        Ok(CompiledAggregate {
+            input,
+            kind,
+            output_name: agg.output_name(),
+        })
+    }
+
+    fn compute(&self, tuples: &[&Tuple]) -> Scalar {
+        let Some(col) = self.input else {
+            return Scalar::Int(tuples.len() as i64);
+        };
+        match self.kind {
+            AggKind::Count => Scalar::Int(tuples.len() as i64),
+            AggKind::Sum => sum_column(col, tuples),
+            AggKind::Avg => {
+                if tuples.is_empty() {
+                    Scalar::Real(0.0)
+                } else {
+                    let total = match sum_column(col, tuples) {
+                        Scalar::Int(i) => i as f64,
+                        Scalar::Real(r) => r,
+                        _ => 0.0,
+                    };
+                    Scalar::Real(total / tuples.len() as f64)
+                }
+            }
+            AggKind::Min => extremum(col, tuples, std::cmp::Ordering::Less),
+            AggKind::Max => extremum(col, tuples, std::cmp::Ordering::Greater),
+        }
+    }
+}
+
+fn sum_column(col: ColRef, tuples: &[&Tuple]) -> Scalar {
+    let mut scratch = Scalar::Int(0);
+    let all_int = tuples.iter().all(|t| {
+        matches!(
+            col.load(t, &mut scratch),
+            Scalar::Int(_) | Scalar::Tstamp(_)
+        )
+    });
+    if all_int {
+        Scalar::Int(
+            tuples
+                .iter()
+                .filter_map(|t| col.load(t, &mut scratch).as_int())
+                .sum(),
+        )
+    } else {
+        Scalar::Real(
+            tuples
+                .iter()
+                .filter_map(|t| col.load(t, &mut scratch).as_real())
+                .sum(),
+        )
+    }
+}
+
+fn extremum(col: ColRef, tuples: &[&Tuple], want: std::cmp::Ordering) -> Scalar {
+    let mut best: Option<Scalar> = None;
+    let mut scratch = Scalar::Int(0);
+    for t in tuples {
+        let v = col.load(t, &mut scratch);
+        best = match best {
+            None => Some(v.clone()),
+            Some(b) => {
+                if v.total_cmp(&b) == want {
+                    Some(v.clone())
+                } else {
+                    Some(b)
+                }
+            }
+        };
+    }
+    best.unwrap_or(Scalar::Int(0))
+}
+
+/// A query compiled against a concrete schema.
+///
+/// Construction resolves every column reference; evaluation walks tuples
+/// by index and produces rows whose values are refcount clones of the
+/// stored scalars — no string is ever copied on the read path.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use gapl::event::{AttrType, Schema, Scalar, Tuple};
+/// use pscache::{Query, QueryPlan};
+///
+/// let schema = Arc::new(Schema::new(
+///     "Flows",
+///     vec![("srcip", AttrType::Str), ("nbytes", AttrType::Int)],
+/// )?);
+/// let plan = QueryPlan::compile(&Query::new("Flows").columns(["nbytes"]), &schema)?;
+/// let rows = vec![Tuple::new(
+///     Arc::clone(&schema),
+///     vec![Scalar::from("10.0.0.1"), Scalar::Int(1500)],
+///     7,
+/// )?];
+/// let rs = plan.evaluate(&rows)?;
+/// assert_eq!(rs.rows[0].values, vec![Scalar::Int(1500)]);
+/// # Ok::<(), pscache::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    schema: Arc<Schema>,
+    since: Option<Timestamp>,
+    predicate: Option<CompiledPredicate>,
+    /// Output column names and where each comes from.
+    projection: Vec<(String, ColRef)>,
+    order_by: Option<(ColRef, bool)>,
+    /// `order by` over a grouped result addresses output columns (the
+    /// group key or an aggregate name), which only exist after grouping;
+    /// it is matched against the output header during evaluation.
+    order_by_output: Option<(String, bool)>,
+    group_by: Option<(String, ColRef)>,
+    aggregates: Vec<CompiledAggregate>,
+    limit: Option<usize>,
+}
+
+impl QueryPlan {
+    /// Compile `query` against `schema`, resolving every column name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a schema error when the query references unknown columns.
+    pub fn compile(query: &Query, schema: &Arc<Schema>) -> Result<QueryPlan> {
+        let predicate = query
+            .predicate()
+            .map(|p| CompiledPredicate::compile(p, schema))
+            .transpose()?;
+        let projection = if query.projected_columns().is_empty() {
+            schema
+                .attributes()
+                .iter()
+                .enumerate()
+                .map(|(ix, a)| (a.name.clone(), ColRef::Index(ix)))
+                .collect()
+        } else {
+            query
+                .projected_columns()
+                .iter()
+                .map(|name| Ok((name.clone(), ColRef::resolve(schema, name)?)))
+                .collect::<Result<Vec<_>>>()?
+        };
+        let group_by = query
+            .group_by_column()
+            .map(|name| {
+                schema
+                    .index_of(name)
+                    .map(|ix| (name.to_owned(), ColRef::Index(ix)))
+                    .ok_or_else(|| {
+                        Error::schema(format!("unknown group by column `{name}`"))
+                    })
+            })
+            .transpose()?;
+        let aggregates = query
+            .aggregate_list()
+            .iter()
+            .map(|a| CompiledAggregate::compile(a, schema))
+            .collect::<Result<Vec<_>>>()?;
+        // `order by` over a grouped result addresses *output* columns
+        // (the group key or an aggregate name), which only exist after
+        // grouping; it is resolved during evaluation in that case.
+        let order_by = match query.order_by_spec() {
+            Some((name, descending)) if group_by.is_none() => {
+                Some((ColRef::resolve(schema, name).map_err(|_| {
+                    Error::schema(format!("unknown order by column `{name}`"))
+                })?, *descending))
+            }
+            _ => None,
+        };
+        Ok(QueryPlan {
+            schema: Arc::clone(schema),
+            since: query.since_tstamp(),
+            predicate,
+            projection,
+            order_by,
+            group_by,
+            aggregates,
+            limit: query.limit_rows(),
+            order_by_output: query
+                .order_by_spec()
+                .filter(|_| query.group_by_column().is_some())
+                .map(|(name, desc)| (name.clone(), *desc)),
+        })
+    }
+
+    /// The schema this plan was compiled against. A cached plan is only
+    /// reusable while the table still has this exact schema (compared by
+    /// pointer identity, since schemas are immutable once created).
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The `since` window carried by the plan, used by the cache to take
+    /// an already-windowed snapshot under the table lock.
+    pub fn since_tstamp(&self) -> Option<Timestamp> {
+        self.since
+    }
+
+    /// Evaluate the plan over tuples in time-of-insertion order.
+    ///
+    /// Tuples at or before the plan's `since` timestamp are skipped, so
+    /// callers may pass either a full scan or an already-windowed
+    /// snapshot (the re-check on a windowed snapshot is a single integer
+    /// comparison per tuple).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible (all names were resolved at compile time);
+    /// the `Result` is kept for evaluator extensions.
+    pub fn evaluate(&self, tuples: &[Tuple]) -> Result<ResultSet> {
+        // 1. Window and predicate filtering, by index.
+        let mut selected: Vec<&Tuple> = Vec::new();
+        for t in tuples {
+            if let Some(since) = self.since {
+                if t.tstamp() <= since {
+                    continue;
+                }
+            }
+            if let Some(p) = &self.predicate {
+                if !p.matches(t) {
+                    continue;
+                }
+            }
+            selected.push(t);
+        }
+
+        // 2. Grouping / aggregation.
+        if let Some((group_name, group_col)) = &self.group_by {
+            return Ok(self.evaluate_grouped(group_name, *group_col, &selected));
+        }
+        if !self.aggregates.is_empty() {
+            let mut columns = Vec::with_capacity(self.aggregates.len());
+            let mut values = Vec::with_capacity(self.aggregates.len());
+            for agg in &self.aggregates {
+                columns.push(agg.output_name.clone());
+                values.push(agg.compute(&selected));
+            }
+            return Ok(ResultSet {
+                columns,
+                rows: vec![Row { values, tstamp: 0 }],
+            });
+        }
+
+        // 3. Ordering (default is time of insertion, which `tuples`
+        //    already follows).
+        if let Some((col, descending)) = self.order_by {
+            selected.sort_by(|a, b| {
+                let (mut sa, mut sb) = (Scalar::Int(0), Scalar::Int(0));
+                let ord = col.load(a, &mut sa).total_cmp(col.load(b, &mut sb));
+                if descending {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+        }
+
+        // 4. Projection and limit: refcount clones only.
+        let limit = self.limit.unwrap_or(usize::MAX);
+        let columns: Vec<String> =
+            self.projection.iter().map(|(name, _)| name.clone()).collect();
+        let rows = selected
+            .into_iter()
+            .take(limit)
+            .map(|t| Row {
+                values: self
+                    .projection
+                    .iter()
+                    .map(|(_, col)| col.load_cloned(t))
+                    .collect(),
+                tstamp: t.tstamp(),
+            })
+            .collect();
+        Ok(ResultSet { columns, rows })
+    }
+
+    fn evaluate_grouped(
+        &self,
+        group_name: &str,
+        group_col: ColRef,
+        selected: &[&Tuple],
+    ) -> ResultSet {
+        // Preserve first-seen order of groups (time of insertion).
+        let mut order: Vec<Scalar> = Vec::new();
+        let mut groups: Vec<Vec<&Tuple>> = Vec::new();
+        for t in selected {
+            let key = group_col.load_cloned(t);
+            match order
+                .iter()
+                .position(|k| k.total_cmp(&key) == std::cmp::Ordering::Equal)
+            {
+                Some(ix) => groups[ix].push(t),
+                None => {
+                    order.push(key);
+                    groups.push(vec![t]);
+                }
+            }
+        }
+        let count_fallback = [CompiledAggregate {
+            input: None,
+            kind: AggKind::Count,
+            output_name: "count".to_owned(),
+        }];
+        let aggregates: &[CompiledAggregate] = if self.aggregates.is_empty() {
+            &count_fallback
+        } else {
+            &self.aggregates
+        };
+        let mut columns = vec![group_name.to_owned()];
+        columns.extend(aggregates.iter().map(|a| a.output_name.clone()));
+        let mut rows = Vec::with_capacity(groups.len());
+        for (key, members) in order.into_iter().zip(groups) {
+            let mut values = vec![key];
+            for agg in aggregates {
+                values.push(agg.compute(&members));
+            }
+            rows.push(Row { values, tstamp: 0 });
+        }
+        // `order by` on the group column or an aggregate output.
+        if let Some((col, descending)) = &self.order_by_output {
+            if let Some(ix) = columns.iter().position(|c| c == col) {
+                rows.sort_by(|a, b| {
+                    let ord = a.values[ix].total_cmp(&b.values[ix]);
+                    if *descending {
+                        ord.reverse()
+                    } else {
+                        ord
+                    }
+                });
+            }
+        }
+        if let Some(limit) = self.limit {
+            rows.truncate(limit);
+        }
+        ResultSet { columns, rows }
+    }
+}

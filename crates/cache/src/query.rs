@@ -10,9 +10,12 @@
 //! [`Query`] is the programmatic query model (a builder); the SQL surface
 //! syntax in [`crate::sql`] parses into it.
 
+use std::sync::Arc;
+
 use gapl::event::{Scalar, Schema, Timestamp, Tuple};
 
 use crate::error::{Error, Result};
+use crate::plan::QueryPlan;
 
 /// Comparison operators usable in `where` predicates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,7 +35,7 @@ pub enum Comparison {
 }
 
 impl Comparison {
-    fn evaluate(self, lhs: &Scalar, rhs: &Scalar) -> bool {
+    pub(crate) fn evaluate(self, lhs: &Scalar, rhs: &Scalar) -> bool {
         use std::cmp::Ordering::*;
         let ord = lhs.total_cmp(rhs);
         match self {
@@ -126,63 +129,6 @@ impl Aggregate {
         }
     }
 
-    fn compute(&self, tuples: &[&Tuple]) -> Result<Scalar> {
-        let column = match self {
-            Aggregate::Count => return Ok(Scalar::Int(tuples.len() as i64)),
-            Aggregate::Sum(c) | Aggregate::Avg(c) | Aggregate::Min(c) | Aggregate::Max(c) => c,
-        };
-        let mut values = Vec::with_capacity(tuples.len());
-        for t in tuples {
-            let v = t.field(column).ok_or_else(|| {
-                Error::schema(format!("unknown column `{column}` in aggregate"))
-            })?;
-            values.push(v);
-        }
-        Ok(match self {
-            Aggregate::Count => unreachable!("handled above"),
-            Aggregate::Sum(_) => sum_scalar(&values),
-            Aggregate::Avg(_) => {
-                if values.is_empty() {
-                    Scalar::Real(0.0)
-                } else {
-                    let total = match sum_scalar(&values) {
-                        Scalar::Int(i) => i as f64,
-                        Scalar::Real(r) => r,
-                        _ => 0.0,
-                    };
-                    Scalar::Real(total / values.len() as f64)
-                }
-            }
-            Aggregate::Min(_) => extremum(&values, std::cmp::Ordering::Less),
-            Aggregate::Max(_) => extremum(&values, std::cmp::Ordering::Greater),
-        })
-    }
-}
-
-fn sum_scalar(values: &[Scalar]) -> Scalar {
-    let all_int = values.iter().all(|v| matches!(v, Scalar::Int(_) | Scalar::Tstamp(_)));
-    if all_int {
-        Scalar::Int(values.iter().filter_map(Scalar::as_int).sum())
-    } else {
-        Scalar::Real(values.iter().filter_map(Scalar::as_real).sum())
-    }
-}
-
-fn extremum(values: &[Scalar], want: std::cmp::Ordering) -> Scalar {
-    let mut best: Option<&Scalar> = None;
-    for v in values {
-        best = match best {
-            None => Some(v),
-            Some(b) => {
-                if v.total_cmp(b) == want {
-                    Some(v)
-                } else {
-                    Some(b)
-                }
-            }
-        };
-    }
-    best.cloned().unwrap_or(Scalar::Int(0))
 }
 
 /// A single result row.
@@ -322,169 +268,48 @@ impl Query {
         self.since
     }
 
+    /// The `where` predicate, if set.
+    pub fn predicate(&self) -> Option<&Predicate> {
+        self.predicate.as_ref()
+    }
+
+    /// The projected column names (empty means `*`).
+    pub fn projected_columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The `order by` column and direction, if set.
+    pub fn order_by_spec(&self) -> Option<&(String, bool)> {
+        self.order_by.as_ref()
+    }
+
+    /// The `group by` column, if set.
+    pub fn group_by_column(&self) -> Option<&str> {
+        self.group_by.as_deref()
+    }
+
+    /// The aggregate outputs, in declaration order.
+    pub fn aggregate_list(&self) -> &[Aggregate] {
+        &self.aggregates
+    }
+
+    /// The row limit, if set.
+    pub fn limit_rows(&self) -> Option<usize> {
+        self.limit
+    }
+
     /// Evaluate the query against a scan of the table (tuples in
     /// time-of-insertion order) and its schema.
+    ///
+    /// This compiles a throw-away [`QueryPlan`] and runs it; callers on
+    /// the hot path (the cache's `execute`) compile once and reuse the
+    /// plan across periodic submissions instead.
     ///
     /// # Errors
     ///
     /// Returns a schema error when the query references unknown columns.
-    pub fn evaluate(&self, schema: &Schema, tuples: &[Tuple]) -> Result<ResultSet> {
-        // 1. Time window and predicate filtering.
-        let mut selected: Vec<&Tuple> = Vec::new();
-        for t in tuples {
-            if let Some(since) = self.since {
-                if t.tstamp() <= since {
-                    continue;
-                }
-            }
-            if let Some(p) = &self.predicate {
-                if !p.matches(t)? {
-                    continue;
-                }
-            }
-            selected.push(t);
-        }
-
-        // 2. Grouping / aggregation.
-        if let Some(group_col) = &self.group_by {
-            return self.evaluate_grouped(schema, group_col, &selected);
-        }
-        if !self.aggregates.is_empty() {
-            let mut columns = Vec::new();
-            let mut values = Vec::new();
-            for agg in &self.aggregates {
-                columns.push(agg.output_name());
-                values.push(agg.compute(&selected)?);
-            }
-            return Ok(ResultSet {
-                columns,
-                rows: vec![Row { values, tstamp: 0 }],
-            });
-        }
-
-        // 3. Ordering (default is time of insertion, which `tuples` already
-        //    follows).
-        if let Some((col, descending)) = &self.order_by {
-            if schema.index_of(col).is_none() && col != "tstamp" {
-                return Err(Error::schema(format!("unknown order by column `{col}`")));
-            }
-            selected.sort_by(|a, b| {
-                let av = a.field(col).unwrap_or(Scalar::Int(0));
-                let bv = b.field(col).unwrap_or(Scalar::Int(0));
-                let ord = av.total_cmp(&bv);
-                if *descending {
-                    ord.reverse()
-                } else {
-                    ord
-                }
-            });
-        }
-
-        // 4. Projection and limit.
-        let projection = self.resolve_projection(schema)?;
-        let limit = self.limit.unwrap_or(usize::MAX);
-        let columns: Vec<String> = projection.iter().map(|(name, _)| name.clone()).collect();
-        let rows = selected
-            .into_iter()
-            .take(limit)
-            .map(|t| Row {
-                values: projection
-                    .iter()
-                    .map(|(name, ix)| match ix {
-                        Some(ix) => t.values()[*ix].clone(),
-                        None => t.field(name).unwrap_or(Scalar::Tstamp(t.tstamp())),
-                    })
-                    .collect(),
-                tstamp: t.tstamp(),
-            })
-            .collect();
-        Ok(ResultSet { columns, rows })
-    }
-
-    fn resolve_projection(&self, schema: &Schema) -> Result<Vec<(String, Option<usize>)>> {
-        if self.columns.is_empty() {
-            return Ok(schema
-                .attributes()
-                .iter()
-                .enumerate()
-                .map(|(ix, a)| (a.name.clone(), Some(ix)))
-                .collect());
-        }
-        self.columns
-            .iter()
-            .map(|name| {
-                if name == "tstamp" {
-                    return Ok((name.clone(), None));
-                }
-                schema
-                    .index_of(name)
-                    .map(|ix| (name.clone(), Some(ix)))
-                    .ok_or_else(|| {
-                        Error::schema(format!(
-                            "unknown column `{name}` in table `{}`",
-                            schema.name()
-                        ))
-                    })
-            })
-            .collect()
-    }
-
-    fn evaluate_grouped(
-        &self,
-        schema: &Schema,
-        group_col: &str,
-        selected: &[&Tuple],
-    ) -> Result<ResultSet> {
-        if schema.index_of(group_col).is_none() {
-            return Err(Error::schema(format!(
-                "unknown group by column `{group_col}`"
-            )));
-        }
-        // Preserve first-seen order of groups (time of insertion).
-        let mut order: Vec<Scalar> = Vec::new();
-        let mut groups: Vec<Vec<&Tuple>> = Vec::new();
-        for t in selected {
-            let key = t.field(group_col).expect("column checked above");
-            match order.iter().position(|k| k.total_cmp(&key) == std::cmp::Ordering::Equal) {
-                Some(ix) => groups[ix].push(t),
-                None => {
-                    order.push(key);
-                    groups.push(vec![t]);
-                }
-            }
-        }
-        let aggregates = if self.aggregates.is_empty() {
-            vec![Aggregate::Count]
-        } else {
-            self.aggregates.clone()
-        };
-        let mut columns = vec![group_col.to_owned()];
-        columns.extend(aggregates.iter().map(Aggregate::output_name));
-        let mut rows = Vec::with_capacity(groups.len());
-        for (key, members) in order.into_iter().zip(groups) {
-            let mut values = vec![key];
-            for agg in &aggregates {
-                values.push(agg.compute(&members)?);
-            }
-            rows.push(Row { values, tstamp: 0 });
-        }
-        // `order by` on the group column or an aggregate output.
-        if let Some((col, descending)) = &self.order_by {
-            if let Some(ix) = columns.iter().position(|c| c == col) {
-                rows.sort_by(|a, b| {
-                    let ord = a.values[ix].total_cmp(&b.values[ix]);
-                    if *descending {
-                        ord.reverse()
-                    } else {
-                        ord
-                    }
-                });
-            }
-        }
-        if let Some(limit) = self.limit {
-            rows.truncate(limit);
-        }
-        Ok(ResultSet { columns, rows })
+    pub fn evaluate(&self, schema: &Arc<Schema>, tuples: &[Tuple]) -> Result<ResultSet> {
+        QueryPlan::compile(self, schema)?.evaluate(tuples)
     }
 }
 

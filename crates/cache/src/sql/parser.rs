@@ -352,7 +352,7 @@ impl Parser {
         match self.bump() {
             Some(Tok::Int(i)) => Ok(Scalar::Int(i)),
             Some(Tok::Real(r)) => Ok(Scalar::Real(r)),
-            Some(Tok::Str(s)) => Ok(Scalar::Str(s)),
+            Some(Tok::Str(s)) => Ok(Scalar::Str(s.into())),
             Some(Tok::Word(w)) if w.eq_ignore_ascii_case("true") => Ok(Scalar::Bool(true)),
             Some(Tok::Word(w)) if w.eq_ignore_ascii_case("false") => Ok(Scalar::Bool(false)),
             other => Err(Error::sql(format!("expected a literal, found {other:?}"))),

@@ -118,14 +118,43 @@ impl Table {
     }
 
     /// All rows in time-of-insertion order (the default retrieval order for
-    /// either table kind, per §3).
+    /// either table kind, per §3). Equivalent to
+    /// [`Table::snapshot_since`]`(None)`.
     pub fn scan(&self) -> Vec<Tuple> {
+        self.snapshot_since(None)
+    }
+
+    /// Rows in time-of-insertion order, restricted to those inserted
+    /// strictly after `since` when a timestamp is given.
+    ///
+    /// This is the indexed `select … since τ` path: insertion timestamps
+    /// are monotone (the table clamps them on insert), so the matching
+    /// rows are a *suffix* of the insertion order and a binary search
+    /// finds its start — O(log n + k) for a k-row window over an n-row
+    /// table, instead of the O(n) filter a full scan would need.
+    ///
+    /// The returned tuples share their rows with the table
+    /// (`Arc`-cloned, never deep-copied), so callers can evaluate
+    /// queries on the snapshot after releasing the table lock.
+    pub fn snapshot_since(&self, since: Option<Timestamp>) -> Vec<Tuple> {
         match self {
-            Table::Ephemeral(t) => t.buffer.iter().cloned().collect(),
+            Table::Ephemeral(t) => match since {
+                None => t.buffer.iter().cloned().collect(),
+                Some(tau) => {
+                    let start = t.buffer.partition_point(|tup| tup.tstamp() <= tau);
+                    t.buffer.iter_from(start).cloned().collect()
+                }
+            },
             Table::Persistent(t) => {
-                let mut rows: Vec<&(u64, Tuple)> = t.rows.values().collect();
-                rows.sort_by_key(|(seq, _)| *seq);
-                rows.into_iter().map(|(_, tuple)| tuple.clone()).collect()
+                let start = match since {
+                    None => 0,
+                    Some(tau) => t.log.partition_point(|e| e.tuple.tstamp() <= tau),
+                };
+                t.log[start..]
+                    .iter()
+                    .filter(|e| t.is_live(e))
+                    .map(|e| e.tuple.clone())
+                    .collect()
             }
         }
     }
@@ -149,7 +178,13 @@ impl Table {
                 name: t.schema.name().to_owned(),
                 message: "cannot remove keyed rows from an ephemeral stream".into(),
             }),
-            Table::Persistent(t) => Ok(t.rows.remove(key).map(|(_, tuple)| tuple)),
+            Table::Persistent(t) => {
+                let removed = t.rows.remove(key).map(|(_, tuple)| tuple);
+                if removed.is_some() {
+                    t.note_stale();
+                }
+                Ok(removed)
+            }
         }
     }
 
@@ -158,7 +193,7 @@ impl Table {
         match self {
             Table::Ephemeral(_) => Vec::new(),
             Table::Persistent(t) => {
-                let mut keys: Vec<String> = t.rows.keys().cloned().collect();
+                let mut keys: Vec<String> = t.rows.keys().map(|k| k.to_string()).collect();
                 keys.sort();
                 keys
             }
@@ -171,6 +206,10 @@ impl Table {
 pub struct EphemeralTable {
     schema: Arc<Schema>,
     buffer: CircularBuffer<Tuple>,
+    /// Largest insertion timestamp stored so far; inserts are clamped to
+    /// it so the buffer stays sorted by timestamp even if the clock
+    /// regresses, which is what lets `since τ` binary-search the suffix.
+    last_tstamp: Timestamp,
 }
 
 impl EphemeralTable {
@@ -178,11 +217,14 @@ impl EphemeralTable {
         EphemeralTable {
             schema,
             buffer: CircularBuffer::new(capacity.max(1)),
+            last_tstamp: 0,
         }
     }
 
     fn insert(&mut self, values: Vec<Scalar>, tstamp: Timestamp) -> Result<InsertOutcome> {
+        let tstamp = tstamp.max(self.last_tstamp);
         let tuple = Tuple::new(Arc::clone(&self.schema), values, tstamp)?;
+        self.last_tstamp = tstamp;
         self.buffer.push(tuple.clone());
         Ok(InsertOutcome {
             stored: tuple,
@@ -201,12 +243,42 @@ impl EphemeralTable {
     }
 }
 
+/// One entry of a persistent table's insertion-ordered log.
+#[derive(Debug)]
+struct LogEntry {
+    /// Sequence number the row had when this entry was appended.
+    seq: u64,
+    /// The row's primary key, shared with the stored tuple.
+    key: Arc<str>,
+    /// The row as stored (shared, never deep-copied).
+    tuple: Tuple,
+}
+
 /// A keyed relation held in the heap.
+///
+/// Alongside the key → row map, the table keeps an insertion-ordered
+/// **log** of `(seq, key, tuple)` entries. The log is what `scan` and the
+/// indexed `since τ` path read: it is already in temporal order (no
+/// per-query sort) and its timestamps are monotone, so a window query
+/// binary-searches its suffix. Updated or removed rows leave *stale*
+/// entries behind; readers skip an entry whose `seq` no longer matches
+/// the live row for its key, and the log is compacted once more than
+/// half of it is stale, keeping the amortized cost of maintenance O(1)
+/// per write.
 #[derive(Debug)]
 pub struct PersistentTable {
     schema: Arc<Schema>,
-    rows: HashMap<String, (u64, Tuple)>,
+    rows: HashMap<Arc<str>, (u64, Tuple)>,
+    /// Insertion-ordered history; temporally sorted, may contain stale
+    /// entries for updated/removed keys. The key is carried in the entry
+    /// (an `Arc` share of the scalar's text for string keys) so the
+    /// liveness check is a pure map probe, never a re-format.
+    log: Vec<LogEntry>,
+    /// Number of stale entries currently in the log.
+    stale: usize,
     next_seq: u64,
+    /// See [`EphemeralTable::last_tstamp`].
+    last_tstamp: Timestamp,
 }
 
 impl PersistentTable {
@@ -214,7 +286,29 @@ impl PersistentTable {
         PersistentTable {
             schema,
             rows: HashMap::new(),
+            log: Vec::new(),
+            stale: 0,
             next_seq: 0,
+            last_tstamp: 0,
+        }
+    }
+
+    /// Whether a log entry still describes the live row for its key.
+    fn is_live(&self, entry: &LogEntry) -> bool {
+        self.rows
+            .get(&*entry.key)
+            .is_some_and(|(cur, _)| *cur == entry.seq)
+    }
+
+    /// Record that one live log entry went stale, compacting the log when
+    /// stale entries outnumber live ones.
+    fn note_stale(&mut self) {
+        self.stale += 1;
+        if self.log.len() > 64 && self.stale * 2 > self.log.len() {
+            let rows = &self.rows;
+            self.log
+                .retain(|e| rows.get(&*e.key).is_some_and(|(cur, _)| *cur == e.seq));
+            self.stale = 0;
         }
     }
 
@@ -224,9 +318,10 @@ impl PersistentTable {
         tstamp: Timestamp,
         on_duplicate_update: bool,
     ) -> Result<InsertOutcome> {
+        let tstamp = tstamp.max(self.last_tstamp);
         let tuple = Tuple::new(Arc::clone(&self.schema), values, tstamp)?;
         let key = primary_key(&tuple);
-        let replaced = self.rows.contains_key(&key);
+        let replaced = self.rows.contains_key(&*key);
         if replaced && !on_duplicate_update {
             return Err(Error::WrongTableKind {
                 name: self.schema.name().to_owned(),
@@ -235,9 +330,18 @@ impl PersistentTable {
                 ),
             });
         }
+        self.last_tstamp = tstamp;
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.rows.insert(key, (seq, tuple.clone()));
+        self.rows.insert(Arc::clone(&key), (seq, tuple.clone()));
+        self.log.push(LogEntry {
+            seq,
+            key,
+            tuple: tuple.clone(),
+        });
+        if replaced {
+            self.note_stale();
+        }
         Ok(InsertOutcome {
             stored: tuple,
             replaced,
@@ -341,12 +445,17 @@ impl TableStore {
 
 /// The primary key of a persistent-table tuple: the display form of its
 /// first attribute.
-pub fn primary_key(tuple: &Tuple) -> String {
-    tuple
-        .values()
-        .first()
-        .map(|v| v.to_string())
-        .unwrap_or_default()
+///
+/// String-keyed tables are the common case (IP addresses, symbols,
+/// hostnames); for those the scalar's shared text is `Arc`-cloned
+/// instead of being re-formatted into a fresh `String` on every insert
+/// and lookup. Only non-string keys pay for formatting.
+pub fn primary_key(tuple: &Tuple) -> Arc<str> {
+    match tuple.values().first() {
+        Some(Scalar::Str(s)) => Arc::clone(s),
+        Some(other) => Arc::from(other.to_string()),
+        None => Arc::from(""),
+    }
 }
 
 #[cfg(test)]
@@ -379,7 +488,7 @@ mod tests {
         let mut t = Table::ephemeral(flows_schema(), 3);
         for i in 0..5i64 {
             t.insert(
-                vec![Scalar::Str(format!("10.0.0.{i}")), Scalar::Int(i)],
+                vec![Scalar::Str(format!("10.0.0.{i}").into()), Scalar::Int(i)],
                 i as u64,
                 false,
             )

@@ -25,7 +25,7 @@ fn price_of(event: &gapl::event::Tuple) -> f64 {
 }
 
 fn name_of(event: &gapl::event::Tuple) -> Scalar {
-    event.field("name").unwrap_or(Scalar::Str(String::new()))
+    event.field("name").unwrap_or(Scalar::Str("".into()))
 }
 
 /// Q1: `SELECT * FROM Stocks PUBLISH T` — a pass-through query; every event

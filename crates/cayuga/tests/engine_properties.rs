@@ -28,7 +28,7 @@ fn stream(ticks: &[(u8, f64)]) -> Vec<Tuple> {
         .map(|(i, (sym, price))| {
             Tuple::new(
                 Arc::clone(&schema),
-                vec![Scalar::Str(format!("S{sym}")), Scalar::Real(*price)],
+                vec![Scalar::Str(format!("S{sym}").into()), Scalar::Real(*price)],
                 i as u64,
             )
             .expect("valid tuple")

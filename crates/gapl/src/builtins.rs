@@ -188,7 +188,7 @@ fn type_error(id: BuiltinId, expected: &str, got: &Value) -> Error {
 
 fn key_text(id: BuiltinId, v: &Value) -> Result<String> {
     match v {
-        Value::Identifier(s) | Value::Str(s) => Ok(s.as_ref().clone()),
+        Value::Identifier(s) | Value::Str(s) => Ok(s.to_string()),
         Value::Int(i) => Ok(i.to_string()),
         Value::Tstamp(t) => Ok(t.to_string()),
         other => Err(type_error(id, "an identifier key", other)),
@@ -478,7 +478,7 @@ pub(crate) fn call(id: BuiltinId, mut args: Vec<Value>, ctx: &mut BuiltinCtx<'_>
             }
             let topic_arg = args.remove(0);
             let topic = match &topic_arg {
-                Value::Str(s) | Value::Identifier(s) => s.as_ref().clone(),
+                Value::Str(s) | Value::Identifier(s) => s.to_string(),
                 Value::Event(t) => t.schema().name().to_owned(),
                 other => return Err(type_error(id, "a topic name", other)),
             };

@@ -45,6 +45,12 @@ impl fmt::Display for AttrType {
 }
 
 /// A single attribute value carried inside a [`Tuple`].
+///
+/// Strings are reference-counted (`Arc<str>`): cloning a scalar — and
+/// therefore cloning a tuple, delivering it to an automaton, or
+/// projecting it into a query result — never copies string bytes, only
+/// bumps a refcount. This is the foundation of the cache's zero-copy
+/// read path.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Scalar {
     /// 64-bit signed integer.
@@ -55,8 +61,8 @@ pub enum Scalar {
     Tstamp(Timestamp),
     /// Boolean.
     Bool(bool),
-    /// UTF-8 string.
-    Str(String),
+    /// UTF-8 string, shared by reference count.
+    Str(Arc<str>),
 }
 
 impl Scalar {
@@ -93,6 +99,16 @@ impl Scalar {
 
     /// Interpret the scalar as a string slice if it is a string.
     pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The shared string behind a [`Scalar::Str`], if it is a string.
+    /// Cloning the returned `Arc` shares the bytes instead of copying
+    /// them.
+    pub fn as_shared_str(&self) -> Option<&Arc<str>> {
         match self {
             Scalar::Str(s) => Some(s),
             _ => None,
@@ -145,11 +161,16 @@ impl From<bool> for Scalar {
 }
 impl From<&str> for Scalar {
     fn from(v: &str) -> Self {
-        Scalar::Str(v.to_owned())
+        Scalar::Str(Arc::from(v))
     }
 }
 impl From<String> for Scalar {
     fn from(v: String) -> Self {
+        Scalar::Str(Arc::from(v))
+    }
+}
+impl From<Arc<str>> for Scalar {
+    fn from(v: Arc<str>) -> Self {
         Scalar::Str(v)
     }
 }
@@ -299,6 +320,13 @@ impl Tuple {
 
     /// The values, in schema order.
     pub fn values(&self) -> &[Scalar] {
+        &self.values
+    }
+
+    /// The shared row behind this tuple. Cloning the returned `Arc`
+    /// shares the whole row (all scalars) without copying it — this is
+    /// what result marshalling and snapshots use to stay zero-copy.
+    pub fn shared_values(&self) -> &Arc<[Scalar]> {
         &self.values
     }
 

@@ -16,6 +16,7 @@ use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::error::{Error, Result};
 use crate::event::{Scalar, Timestamp, Tuple};
@@ -86,8 +87,8 @@ impl DeclType {
             DeclType::Real => Value::Real(0.0),
             DeclType::Tstamp => Value::Tstamp(0),
             DeclType::Bool => Value::Bool(false),
-            DeclType::String => Value::Str(Rc::new(String::new())),
-            DeclType::Identifier => Value::Identifier(Rc::new(String::new())),
+            DeclType::String => Value::Str(Arc::from("")),
+            DeclType::Identifier => Value::Identifier(Arc::from("")),
             DeclType::Sequence => Value::Sequence(Rc::new(RefCell::new(Vec::new()))),
             DeclType::Map => Value::Map(Rc::new(RefCell::new(MapData::new(DeclType::Int)))),
             DeclType::Window => Value::Window(Rc::new(RefCell::new(WindowData::rows(
@@ -319,10 +320,12 @@ pub enum Value {
     Tstamp(Timestamp),
     /// Boolean.
     Bool(bool),
-    /// UTF-8 string.
-    Str(Rc<String>),
-    /// Map key.
-    Identifier(Rc<String>),
+    /// UTF-8 string, shared by reference count. `Arc` (not `Rc`) so a
+    /// string lifted out of a delivered tuple — or stored back into one —
+    /// is shared with the cache rather than copied.
+    Str(Arc<str>),
+    /// Map key, same shared representation as [`Value::Str`].
+    Identifier(Arc<str>),
     /// Ordered, heterogeneous sequence.
     Sequence(Rc<RefCell<Vec<Value>>>),
     /// Identifier-keyed dictionary.
@@ -359,13 +362,13 @@ impl Value {
     }
 
     /// Construct a string value.
-    pub fn string(s: impl Into<String>) -> Value {
-        Value::Str(Rc::new(s.into()))
+    pub fn string(s: impl Into<Arc<str>>) -> Value {
+        Value::Str(s.into())
     }
 
     /// Construct an identifier value.
-    pub fn identifier(s: impl Into<String>) -> Value {
-        Value::Identifier(Rc::new(s.into()))
+    pub fn identifier(s: impl Into<Arc<str>>) -> Value {
+        Value::Identifier(s.into())
     }
 
     /// Construct a sequence value from items.
@@ -417,7 +420,16 @@ impl Value {
     /// String view (strings and identifiers).
     pub fn as_text(&self) -> Option<String> {
         match self {
-            Value::Str(s) | Value::Identifier(s) => Some(s.as_ref().clone()),
+            Value::Str(s) | Value::Identifier(s) => Some(s.to_string()),
+            _ => None,
+        }
+    }
+
+    /// Shared string view (strings and identifiers); cloning the result
+    /// shares the bytes instead of copying them.
+    pub fn as_shared_text(&self) -> Option<&Arc<str>> {
+        match self {
+            Value::Str(s) | Value::Identifier(s) => Some(s),
             _ => None,
         }
     }
@@ -433,7 +445,7 @@ impl Value {
             Value::Real(r) => Scalar::Real(*r),
             Value::Tstamp(t) => Scalar::Tstamp(*t),
             Value::Bool(b) => Scalar::Bool(*b),
-            Value::Str(s) | Value::Identifier(s) => Scalar::Str(s.as_ref().clone()),
+            Value::Str(s) | Value::Identifier(s) => Scalar::Str(Arc::clone(s)),
             other => {
                 return Err(Error::runtime(format!(
                     "a {} cannot be converted to a tuple attribute",
@@ -522,7 +534,7 @@ impl From<Scalar> for Value {
             Scalar::Real(r) => Value::Real(r),
             Scalar::Tstamp(t) => Value::Tstamp(t),
             Scalar::Bool(b) => Value::Bool(b),
-            Scalar::Str(s) => Value::Str(Rc::new(s)),
+            Scalar::Str(s) => Value::Str(s),
         }
     }
 }

@@ -338,7 +338,7 @@ proptest! {
         for (i, item) in stream.iter().enumerate() {
             let name = format!("host{item}");
             *counts.entry(name.clone()).or_default() += 1;
-            let ev = int_event(&urls, vec![Scalar::Str(name)], i as u64);
+            let ev = int_event(&urls, vec![Scalar::Str(name.into())], i as u64);
             vm.run_behavior("Urls", &ev, &mut host).unwrap();
         }
 

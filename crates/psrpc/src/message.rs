@@ -1,4 +1,13 @@
 //! RPC message types and their wire encoding.
+//!
+//! Marshalling is zero-copy up to the final byte buffer: a
+//! [`CacheReply::Rows`] is built by *moving* each result row's scalars
+//! out of the cache's `ResultSet` — and since string scalars are
+//! `Arc<str>`, those moves shuffle pointers that still share storage
+//! with the table itself. String bytes are copied exactly once, from
+//! the shared row into the outgoing frame. Decoding is symmetric: string
+//! payloads are UTF-8-validated in place on the receive buffer and
+//! materialised with a single allocation each.
 
 use gapl::event::Scalar;
 

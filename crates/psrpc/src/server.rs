@@ -554,6 +554,10 @@ fn handle_request(conn: &mut ConnectionContext<'_>, request: Request) -> CacheRe
     }
 }
 
+/// Convert a cache response into its wire reply by moving the payload —
+/// result rows are never cloned, and their string scalars still share
+/// storage with the table they were selected from (see
+/// [`crate::message`] for the marshalling contract).
 fn response_to_reply(response: Response) -> CacheReply {
     match response {
         Response::Created => CacheReply::Created,

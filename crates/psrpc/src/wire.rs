@@ -189,16 +189,28 @@ impl<'a> WireReader<'a> {
         Ok(self.get_u8()? != 0)
     }
 
-    /// Read a length-prefixed UTF-8 string.
-    pub fn get_str(&mut self) -> Result<String> {
+    /// Read a length-prefixed UTF-8 string as a borrowed slice of the
+    /// underlying buffer. Validation happens on the borrowed bytes, so
+    /// malformed input is rejected *before* any allocation — and callers
+    /// choose their own owned representation (`String`, `Arc<str>`)
+    /// with exactly one copy.
+    pub fn get_str_slice(&mut self) -> Result<&'a str> {
         let len = self.get_u32()? as usize;
         self.need(len)?;
-        let bytes = self.buf[..len].to_vec();
-        self.buf.advance(len);
-        String::from_utf8(bytes).map_err(|_| Error::protocol("invalid UTF-8 in string"))
+        let (head, tail) = self.buf.split_at(len);
+        let s = std::str::from_utf8(head)
+            .map_err(|_| Error::protocol("invalid UTF-8 in string"))?;
+        self.buf = tail;
+        Ok(s)
     }
 
-    /// Read a [`Scalar`].
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String> {
+        self.get_str_slice().map(str::to_owned)
+    }
+
+    /// Read a [`Scalar`]. String payloads are validated in place and
+    /// copied once, straight into the shared `Arc<str>` representation.
     pub fn get_scalar(&mut self) -> Result<Scalar> {
         let tag = self.get_u8()?;
         Ok(match tag {
@@ -206,7 +218,7 @@ impl<'a> WireReader<'a> {
             1 => Scalar::Real(self.get_f64()?),
             2 => Scalar::Tstamp(self.get_u64()?),
             3 => Scalar::Bool(self.get_bool()?),
-            4 => Scalar::Str(self.get_str()?),
+            4 => Scalar::Str(self.get_str_slice()?.into()),
             other => return Err(Error::protocol(format!("unknown scalar tag {other}"))),
         })
     }

@@ -29,9 +29,9 @@ impl Flow {
     pub fn to_scalars(&self) -> Vec<Scalar> {
         vec![
             Scalar::Int(self.protocol),
-            Scalar::Str(self.srcip.clone()),
+            Scalar::Str(self.srcip.as_str().into()),
             Scalar::Int(self.sport),
-            Scalar::Str(self.dstip.clone()),
+            Scalar::Str(self.dstip.as_str().into()),
             Scalar::Int(self.dport),
             Scalar::Int(self.npkts),
             Scalar::Int(self.nbytes),

@@ -20,7 +20,7 @@ pub struct HttpRequest {
 impl HttpRequest {
     /// The request as scalar values, in [`HttpGenerator::schema`] order.
     pub fn to_scalars(&self) -> Vec<Scalar> {
-        vec![Scalar::Str(self.host.clone())]
+        vec![Scalar::Str(self.host.as_str().into())]
     }
 }
 

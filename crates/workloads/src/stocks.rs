@@ -24,7 +24,7 @@ impl StockTick {
     /// The tick as scalar values, in [`StockGenerator::schema`] order.
     pub fn to_scalars(&self) -> Vec<Scalar> {
         vec![
-            Scalar::Str(self.name.clone()),
+            Scalar::Str(self.name.as_str().into()),
             Scalar::Real(self.price),
             Scalar::Int(self.volume),
         ]

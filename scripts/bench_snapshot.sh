@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Performance snapshot of the query engine, seeding the perf trajectory:
+#
+#   1. the criterion benches covering the read path (`query_engine`:
+#      full scan vs `since τ` window, plan cache, compiled predicates;
+#      `cache_paths`: insert/select round trips) — human-readable timing
+#      per iteration;
+#   2. the `bench_query` binary, which measures ops/sec for a full-scan
+#      vs a 1%-window select at 1k/10k/100k rows and writes the result
+#      to BENCH_query.json at the repository root.
+#
+# The acceptance bar for the zero-copy engine is a >= 10x window speedup
+# at 100k rows; the script fails if BENCH_query.json misses it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> criterion: query engine"
+cargo bench -p cep_bench --bench query_engine
+
+echo "==> criterion: cache paths"
+cargo bench -p cep_bench --bench cache_paths
+
+echo "==> snapshot: BENCH_query.json"
+cargo run --release -p cep_bench --bin bench_query
+
+# Fail the snapshot when the 100k-row window speedup regresses below 10x.
+speedup=$(grep -o '"window_speedup": [0-9.]*' BENCH_query.json | tail -1 | cut -d' ' -f2)
+echo "100k-row 1% window speedup: ${speedup}x (floor: 10x)"
+awk "BEGIN { exit !(${speedup} >= 10.0) }" || {
+    echo "FAIL: window speedup ${speedup}x below the 10x floor" >&2
+    exit 1
+}
+
+echo "benchmark snapshot complete"

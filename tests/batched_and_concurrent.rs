@@ -29,7 +29,7 @@ fn batched_inserts_preserve_sequential_order() {
         .unwrap();
 
     let rows: Vec<Vec<Scalar>> = (0..500)
-        .map(|i| vec![Scalar::Int(i), Scalar::Str(format!("r{i}"))])
+        .map(|i| vec![Scalar::Int(i), Scalar::Str(format!("r{i}").into())])
         .collect();
     for row in rows.clone() {
         single.insert("S", row).unwrap();

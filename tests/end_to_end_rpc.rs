@@ -139,8 +139,8 @@ fn the_inproc_transport_behaves_like_tcp() {
         .unwrap();
     let big = "x".repeat(8_000);
     client
-        .insert("Blobs", vec![Scalar::Str(big.clone())])
+        .insert("Blobs", vec![Scalar::Str(big.as_str().into())])
         .unwrap();
     let rows = client.select("select * from Blobs").unwrap();
-    assert_eq!(rows.rows[0].values[0], Scalar::Str(big));
+    assert_eq!(rows.rows[0].values[0], Scalar::from(big));
 }

@@ -91,7 +91,7 @@ fn bandwidth_allowance_scenario_detects_exactly_the_right_violations() {
     assert_eq!(notes.len(), expected_small_violations);
     assert!(notes
         .iter()
-        .all(|n| n.values[0] == Scalar::Str(monitored_small.clone())));
+        .all(|n| n.values[0].as_str() == Some(monitored_small.as_str())));
 
     // The BWUsage relation holds the exact accumulated usage for every
     // monitored host — global state updated by the automaton, readable by
