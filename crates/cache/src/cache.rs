@@ -11,12 +11,13 @@ use parking_lot::{Mutex, RwLock};
 use gapl::event::{AttrType, Scalar, Schema, Timestamp, Tuple};
 
 use crate::clock::{Clock, ManualClock, SystemClock};
-use crate::config::DEFAULT_SHARD_COUNT;
+use crate::config::{DEFAULT_AUTOMATON_WORKERS, DEFAULT_SHARD_COUNT};
+use crate::dispatch::{DispatchIndex, TopicDispatch};
 use crate::error::{Error, Result};
 use crate::plan::QueryPlan;
 use crate::query::{Query, ResultSet};
 use crate::runtime::{
-    spawn_automaton, AutomatonHandle, AutomatonId, AutomatonStats, Delivery, Notification,
+    AutomatonId, AutomatonStats, Executor, Notification, RegisterCmd, WorkerMsg,
 };
 use crate::sql::{self, Command};
 use crate::table::{Table, TableKind, TableStore, DEFAULT_STREAM_CAPACITY};
@@ -59,6 +60,42 @@ impl Response {
     }
 }
 
+/// Per-automaton dispatch telemetry (see
+/// [`Cache::automaton_telemetry`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AutomatonTelemetry {
+    /// Events enqueued into the automaton's mailbox.
+    pub delivered: u64,
+    /// Events fully processed by its behavior clause.
+    pub processed: u64,
+    /// Events published on its subscribed topics that the predicate
+    /// index proved could not affect it and therefore never delivered.
+    pub skipped_by_prefilter: u64,
+    /// Events currently waiting in its mailbox.
+    pub queue_depth: u64,
+    /// The largest mailbox backlog ever observed at enqueue time.
+    pub max_queue_depth: u64,
+}
+
+/// Cache-wide dispatch statistics (see [`Cache::dispatch_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DispatchStats {
+    /// Automata currently registered.
+    pub automata: usize,
+    /// Size of the executor pool.
+    pub workers: usize,
+    /// Sum of [`AutomatonTelemetry::delivered`] over all automata.
+    pub delivered: u64,
+    /// Sum of [`AutomatonTelemetry::processed`] over all automata.
+    pub processed: u64,
+    /// Sum of [`AutomatonTelemetry::skipped_by_prefilter`].
+    pub skipped_by_prefilter: u64,
+    /// Sum of current mailbox backlogs.
+    pub queue_depth: u64,
+    /// Largest per-automaton backlog high-water mark.
+    pub max_queue_depth: u64,
+}
+
 /// Builder for a [`Cache`].
 ///
 /// # Example
@@ -78,6 +115,8 @@ pub struct CacheBuilder {
     print_to_stdout: bool,
     timer_interval: Option<Duration>,
     shard_count: usize,
+    automaton_workers: usize,
+    naive_fanout: bool,
 }
 
 impl Default for CacheBuilder {
@@ -97,7 +136,30 @@ impl CacheBuilder {
             print_to_stdout: false,
             timer_interval: None,
             shard_count: DEFAULT_SHARD_COUNT,
+            automaton_workers: DEFAULT_AUTOMATON_WORKERS,
+            naive_fanout: false,
         }
+    }
+
+    /// Size of the executor pool animating registered automata (default
+    /// [`DEFAULT_AUTOMATON_WORKERS`]). Each automaton is pinned to one
+    /// worker for its whole life, so per-automaton delivery order is
+    /// independent of the pool size; raise this on machines with many
+    /// cores and VM-heavy automata, or set it to 1 to serialise all
+    /// automaton execution.
+    pub fn automaton_workers(mut self, workers: usize) -> Self {
+        self.automaton_workers = workers.max(1);
+        self
+    }
+
+    /// **Test-only.** Disable the predicate index and deliver every
+    /// published tuple to every subscriber of its topic, exactly like
+    /// the paper's prototype. The differential test suite runs the same
+    /// workload in both modes and asserts byte-identical per-automaton
+    /// output; production callers should never enable this.
+    pub fn naive_fanout(mut self, enabled: bool) -> Self {
+        self.naive_fanout = enabled;
+        self
     }
 
     /// Number of lock stripes in the sharded table store (default
@@ -151,13 +213,15 @@ impl CacheBuilder {
         let inner = Arc::new(CacheInner {
             tables: TableStore::new(self.shard_count),
             plans: PlanCache::default(),
-            subscriptions: RwLock::new(HashMap::new()),
-            senders: RwLock::new(HashMap::new()),
+            dispatch: DispatchIndex::default(),
+            routes: RwLock::new(HashMap::new()),
             automata: Mutex::new(HashMap::new()),
+            executor: Executor::start(self.automaton_workers),
             clock: self.clock,
             next_automaton_id: AtomicU64::new(1),
             default_stream_capacity: self.default_stream_capacity,
             print_to_stdout: self.print_to_stdout,
+            naive_fanout: self.naive_fanout,
             shutting_down: AtomicBool::new(false),
         });
         let timer_schema = Schema::new(TIMER_TOPIC, vec![("tstamp", AttrType::Tstamp)])
@@ -288,20 +352,66 @@ impl PlanCache {
     }
 }
 
+/// How the cache reaches one registered automaton on the hot path: the
+/// mailbox of the pool worker that owns it, plus its counters.
+#[derive(Debug)]
+struct Route {
+    tx: Sender<WorkerMsg>,
+    stats: Arc<AutomatonStats>,
+}
+
+/// Registry data for one automaton (management path, not hot path).
+struct AutomatonEntry {
+    program: Arc<gapl::Program>,
+    stats: Arc<AutomatonStats>,
+    /// Per subscribed topic: the topic's dispatch entry and its
+    /// `published` counter at registration time, from which the exact
+    /// `skipped_by_prefilter` count is derived on demand.
+    baselines: Vec<(Arc<TopicDispatch>, u64)>,
+}
+
+impl AutomatonEntry {
+    /// Derive the automaton's telemetry. `skipped_by_prefilter` is exact
+    /// by construction: every tuple published on a subscribed topic
+    /// since registration was either enqueued (counted in `delivered`)
+    /// or pruned by the index.
+    fn telemetry(&self) -> AutomatonTelemetry {
+        let delivered = self.stats.delivered.load(Ordering::Acquire);
+        let published: u64 = self
+            .baselines
+            .iter()
+            .map(|(td, baseline)| td.published().saturating_sub(*baseline))
+            .sum();
+        AutomatonTelemetry {
+            delivered,
+            processed: self.stats.processed.load(Ordering::Acquire),
+            skipped_by_prefilter: published.saturating_sub(delivered),
+            queue_depth: self.stats.queue_depth(),
+            max_queue_depth: self.stats.max_queue_depth.load(Ordering::Acquire),
+        }
+    }
+}
+
 pub(crate) struct CacheInner {
     /// The sharded table store; see [`TableStore`] for the locking story.
     tables: TableStore,
     /// SQL-text plan cache for `select` statements.
     plans: PlanCache,
-    /// topic name -> automata subscribed to it
-    subscriptions: RwLock<HashMap<String, Vec<AutomatonId>>>,
-    /// automaton id -> its delivery channel + counters (hot path data)
-    senders: RwLock<HashMap<AutomatonId, (Sender<Delivery>, Arc<AutomatonStats>)>>,
-    automata: Mutex<HashMap<AutomatonId, AutomatonHandle>>,
+    /// The predicate-indexed dispatch layer (per-topic subscriber
+    /// indexes + publish counters).
+    dispatch: DispatchIndex,
+    /// automaton id -> worker mailbox + counters (hot path data)
+    routes: RwLock<HashMap<AutomatonId, Route>>,
+    automata: Mutex<HashMap<AutomatonId, AutomatonEntry>>,
+    /// The bounded worker pool animating the automata.
+    executor: Executor,
     clock: Arc<dyn Clock>,
     next_automaton_id: AtomicU64,
     default_stream_capacity: usize,
     print_to_stdout: bool,
+    /// Test-only: bypass the predicate index and fan out to every
+    /// subscriber.
+    naive_fanout: bool,
     shutting_down: AtomicBool,
 }
 
@@ -310,7 +420,8 @@ impl std::fmt::Debug for CacheInner {
         f.debug_struct("CacheInner")
             .field("tables", &self.tables.len())
             .field("shards", &self.tables.shard_count())
-            .field("automata", &self.senders.read().len())
+            .field("automata", &self.routes.read().len())
+            .field("workers", &self.executor.worker_count())
             .finish()
     }
 }
@@ -519,6 +630,16 @@ impl Cache {
         self.inner.table_len(table)
     }
 
+    /// Number of automata currently subscribed to `topic` (0 for
+    /// unknown topics) — useful when sizing fan-out experiments and
+    /// verifying registrations took effect.
+    pub fn topic_subscriber_count(&self, topic: &str) -> usize {
+        self.inner
+            .dispatch
+            .get(topic)
+            .map_or(0, |td| td.current().subscriber_count())
+    }
+
     /// Names of all tables/topics, in lexicographic order.
     pub fn table_names(&self) -> Vec<String> {
         let mut names = self.inner.tables.names();
@@ -576,64 +697,117 @@ impl Cache {
             }
         }
 
-        let id = AutomatonId(self.inner.next_automaton_id.fetch_add(1, Ordering::Relaxed));
-        let (tx, rx) = unbounded();
-        let stats = Arc::new(AutomatonStats::default());
-        let join = spawn_automaton(
-            id,
-            Arc::clone(&program),
-            Arc::downgrade(&self.inner),
-            rx,
-            notifier,
-            Arc::clone(&stats),
-            self.inner.print_to_stdout,
-        );
-
-        self.inner
-            .senders
-            .write()
-            .insert(id, (tx.clone(), Arc::clone(&stats)));
-        {
-            let mut subs = self.inner.subscriptions.write();
-            for topic in program.topics() {
-                let entry = subs.entry(topic.to_owned()).or_default();
-                if !entry.contains(&id) {
-                    entry.push(id);
-                }
+        // Resolve every subscribed topic's schema *before* anything
+        // observable happens: past this point registration is
+        // infallible, so a failure can never leave a half-registered
+        // automaton (VM built, routed, indexed, but absent from the
+        // registry).
+        let mut subscribed: Vec<(String, Arc<Schema>)> = Vec::new();
+        for sub in program.subscriptions() {
+            if subscribed.iter().any(|(topic, _)| *topic == sub.topic) {
+                continue;
             }
+            let schema = self
+                .inner
+                .with_table(&sub.topic, |t| Ok(Arc::clone(t.schema())))?;
+            subscribed.push((sub.topic.clone(), schema));
+        }
+
+        let id = AutomatonId(self.inner.next_automaton_id.fetch_add(1, Ordering::Relaxed));
+        let stats = Arc::new(AutomatonStats::default());
+        let tx = self.inner.executor.sender_for(id).clone();
+        // The Register message goes into the owning worker's mailbox
+        // *before* the automaton becomes routable, so every event ever
+        // enqueued for it is behind its VM construction in the FIFO.
+        let _ = tx.send(WorkerMsg::Register(Box::new(RegisterCmd {
+            id,
+            program: Arc::clone(&program),
+            cache: Arc::downgrade(&self.inner),
+            notifier,
+            stats: Arc::clone(&stats),
+            print_to_stdout: self.inner.print_to_stdout,
+        })));
+        self.inner.routes.write().insert(
+            id,
+            Route {
+                tx,
+                stats: Arc::clone(&stats),
+            },
+        );
+        // Publish the subscription in each topic's predicate index. The
+        // returned baselines make the skip counters exact: skipped =
+        // (published since baseline) - delivered.
+        let mut baselines = Vec::new();
+        for (topic, schema) in &subscribed {
+            let td = self.inner.dispatch.topic(topic);
+            let baseline = td.add(id, program.prefilter_for(topic), schema);
+            baselines.push((td, baseline));
         }
         self.inner.automata.lock().insert(
             id,
-            AutomatonHandle {
+            AutomatonEntry {
                 program,
-                sender: tx,
-                join: Some(join),
+                stats,
+                baselines,
             },
         );
         Ok(id)
     }
 
-    /// Unregister an automaton: unsubscribe it, stop its thread and wait for
-    /// it to exit.
+    /// Unregister an automaton: unsubscribe it from every topic index,
+    /// drain its mailbox (events already enqueued are processed, events
+    /// racing past the unsubscription are discarded), and wait for the
+    /// owning pool worker to acknowledge the drain.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::NoSuchAutomaton`] for unknown ids.
+    /// Returns [`Error::NoSuchAutomaton`] for unknown ids, and
+    /// [`Error::Internal`] if the owning worker fails to acknowledge the
+    /// drain within 30 seconds. The timeout distinguishes a wedged worker
+    /// (an automaton spinning in an infinite GAPL loop, or an extreme
+    /// backlog from co-pinned automata) from a deadlock — but in **both**
+    /// return cases the automaton is already unregistered: it is out of
+    /// every topic index and route table, no new event can reach it, and
+    /// retrying reports [`Error::NoSuchAutomaton`]. The error only means
+    /// the drain of already-mailed events could not be *confirmed* in
+    /// time.
     pub fn unregister_automaton(&self, id: AutomatonId) -> Result<()> {
-        let handle = self
+        let entry = self
             .inner
             .automata
             .lock()
             .remove(&id)
             .ok_or(Error::NoSuchAutomaton { id: id.0 })?;
-        self.inner.senders.write().remove(&id);
-        {
-            let mut subs = self.inner.subscriptions.write();
-            for list in subs.values_mut() {
-                list.retain(|a| *a != id);
+        // 1. Out of the predicate indexes: publishers resolving the topic
+        //    from now on will not select this automaton.
+        for (td, _) in &entry.baselines {
+            td.remove(id);
+        }
+        // 2. Out of the route table: publishers that already selected it
+        //    from an in-flight index snapshot find no mailbox.
+        let route = self.inner.routes.write().remove(&id);
+        // 3. Acknowledged drain: the Unregister message queues behind
+        //    every event already mailed to the automaton, so the ack
+        //    proves the mailbox was drained — by processing, never by
+        //    dropping a pending event.
+        if let Some(route) = route {
+            let (ack_tx, ack_rx) = unbounded();
+            if route.tx.send(WorkerMsg::Unregister { id, ack: ack_tx }).is_ok() {
+                use crossbeam::channel::RecvTimeoutError;
+                match ack_rx.recv_timeout(Duration::from_secs(30)) {
+                    Ok(()) => {}
+                    // The pool is already shut down; nothing left to drain.
+                    Err(RecvTimeoutError::Disconnected) => {}
+                    Err(RecvTimeoutError::Timeout) => {
+                        return Err(Error::Internal {
+                            message: format!(
+                                "worker owning {id} did not acknowledge the drain within 30s"
+                            ),
+                        })
+                    }
+                }
             }
         }
-        handle.shutdown();
         Ok(())
     }
 
@@ -665,14 +839,46 @@ impl Cache {
     ///
     /// Returns [`Error::NoSuchAutomaton`] for unknown ids.
     pub fn automaton_progress(&self, id: AutomatonId) -> Result<(u64, u64)> {
-        let senders = self.inner.senders.read();
-        let (_, stats) = senders
-            .get(&id)
-            .ok_or(Error::NoSuchAutomaton { id: id.0 })?;
+        let routes = self.inner.routes.read();
+        let route = routes.get(&id).ok_or(Error::NoSuchAutomaton { id: id.0 })?;
         Ok((
-            stats.delivered.load(Ordering::Acquire),
-            stats.processed.load(Ordering::Acquire),
+            route.stats.delivered.load(Ordering::Acquire),
+            route.stats.processed.load(Ordering::Acquire),
         ))
+    }
+
+    /// Full per-automaton dispatch telemetry: delivery/processing
+    /// counters, the exact number of events the predicate index skipped
+    /// for it, and its mailbox backlog.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchAutomaton`] for unknown ids.
+    pub fn automaton_telemetry(&self, id: AutomatonId) -> Result<AutomatonTelemetry> {
+        let automata = self.inner.automata.lock();
+        let entry = automata.get(&id).ok_or(Error::NoSuchAutomaton { id: id.0 })?;
+        Ok(entry.telemetry())
+    }
+
+    /// Aggregate dispatch statistics across every registered automaton,
+    /// plus the executor-pool size. This is what the RPC server surfaces
+    /// in its `ServerStats`.
+    pub fn dispatch_stats(&self) -> DispatchStats {
+        let automata = self.inner.automata.lock();
+        let mut stats = DispatchStats {
+            automata: automata.len(),
+            workers: self.inner.executor.worker_count(),
+            ..DispatchStats::default()
+        };
+        for entry in automata.values() {
+            let t = entry.telemetry();
+            stats.delivered += t.delivered;
+            stats.processed += t.processed;
+            stats.skipped_by_prefilter += t.skipped_by_prefilter;
+            stats.queue_depth += t.queue_depth;
+            stats.max_queue_depth = stats.max_queue_depth.max(t.max_queue_depth);
+        }
+        stats
     }
 
     /// Lines printed by the automaton's `print()` calls so far.
@@ -681,11 +887,9 @@ impl Cache {
     ///
     /// Returns [`Error::NoSuchAutomaton`] for unknown ids.
     pub fn printed(&self, id: AutomatonId) -> Result<Vec<String>> {
-        let senders = self.inner.senders.read();
-        let (_, stats) = senders
-            .get(&id)
-            .ok_or(Error::NoSuchAutomaton { id: id.0 })?;
-        let printed = stats.printed.lock().clone();
+        let routes = self.inner.routes.read();
+        let route = routes.get(&id).ok_or(Error::NoSuchAutomaton { id: id.0 })?;
+        let printed = route.stats.printed.lock().clone();
         Ok(printed)
     }
 
@@ -696,11 +900,9 @@ impl Cache {
     ///
     /// Returns [`Error::NoSuchAutomaton`] for unknown ids.
     pub fn automaton_errors(&self, id: AutomatonId) -> Result<Vec<String>> {
-        let senders = self.inner.senders.read();
-        let (_, stats) = senders
-            .get(&id)
-            .ok_or(Error::NoSuchAutomaton { id: id.0 })?;
-        let errors = stats.errors.lock().clone();
+        let routes = self.inner.routes.read();
+        let route = routes.get(&id).ok_or(Error::NoSuchAutomaton { id: id.0 })?;
+        let errors = route.stats.errors.lock().clone();
         Ok(errors)
     }
 
@@ -719,10 +921,10 @@ impl Cache {
         let deadline = Instant::now() + timeout;
         loop {
             let quiescent = {
-                let senders = self.inner.senders.read();
-                senders.values().all(|(_, stats)| {
-                    stats.processed.load(Ordering::Acquire)
-                        >= stats.delivered.load(Ordering::Acquire)
+                let routes = self.inner.routes.read();
+                routes.values().all(|route| {
+                    route.stats.processed.load(Ordering::Acquire)
+                        >= route.stats.delivered.load(Ordering::Acquire)
                 })
             };
             if quiescent {
@@ -736,22 +938,18 @@ impl Cache {
         }
     }
 
-    /// Shut down all automata and the timer thread. Called automatically
-    /// when the last clone of the cache is dropped.
+    /// Shut down the executor pool (draining every mailbox first) and
+    /// the timer thread. Called automatically when the last clone of the
+    /// cache is dropped.
     pub fn shutdown(&self) {
         self.inner.shutting_down.store(true, Ordering::Release);
-        let handles: Vec<AutomatonHandle> = {
-            let mut automata = self.inner.automata.lock();
-            let ids: Vec<AutomatonId> = automata.keys().copied().collect();
-            ids.into_iter()
-                .filter_map(|id| automata.remove(&id))
-                .collect()
-        };
-        self.inner.senders.write().clear();
-        self.inner.subscriptions.write().clear();
-        for handle in handles {
-            handle.shutdown();
-        }
+        self.inner.automata.lock().clear();
+        self.inner.dispatch.clear_subscribers();
+        self.inner.routes.write().clear();
+        // The Shutdown marker queues behind all pending events in each
+        // worker's mailbox, so automata finish their backlog before the
+        // pool joins — no event accepted before shutdown is dropped.
+        self.inner.executor.shutdown();
         if let Some(join) = self.timer_thread.lock().take() {
             // The timer thread checks the shutdown flag after its sleep; do
             // not block the caller on that sleep, just detach if needed.
@@ -859,12 +1057,7 @@ impl CacheInner {
         // Resolved under the table lock — like the single-insert path —
         // so an automaton whose registration completed before this batch
         // took the lock can never miss the batch.
-        let watched = {
-            let subscriptions = self.subscriptions.read();
-            subscriptions
-                .get(table_name)
-                .is_some_and(|subs| !subs.is_empty())
-        };
+        let watched = !self.dispatch.topic(table_name).current().is_empty();
         let mut stored = Vec::new();
         if watched {
             stored.reserve(rows.len());
@@ -890,28 +1083,38 @@ impl CacheInner {
         Ok(tstamps)
     }
 
-    /// Enqueue `tuples` (in order) onto the delivery channel of every
-    /// automaton subscribed to `topic`. Callers must hold the topic's
-    /// table lock; subscriber resolution is done once per call, which is
-    /// what makes batched inserts cheap on watched tables.
+    /// Dispatch `tuples` (in order) to the mailboxes of the automata
+    /// whose prefilter can match them. Callers must hold the topic's
+    /// table lock; the topic's predicate index is resolved **once per
+    /// call** (one probe per batch), then each tuple selects its
+    /// candidates from the snapshot — equality guards via bucket
+    /// lookup, range guards via band test, residual guards by
+    /// evaluation — so an insert wakes only the automata that can act
+    /// on it. In naive fan-out mode (test-only) every subscriber is
+    /// selected, reproducing the paper's prototype exactly.
     fn publish_locked(&self, topic: &str, tuples: &[Tuple]) {
         if tuples.is_empty() {
             return;
         }
-        let subscriptions = self.subscriptions.read();
-        let Some(subscribers) = subscriptions.get(topic) else {
-            return;
-        };
-        if subscribers.is_empty() {
+        let td = self.dispatch.topic(topic);
+        let index = td.snapshot_and_count(tuples.len() as u64);
+        if index.is_empty() {
             return;
         }
-        let senders = self.senders.read();
+        let routes = self.routes.read();
         let topic: Arc<str> = Arc::from(topic);
+        let mut selected: Vec<AutomatonId> = Vec::new();
         for tuple in tuples {
-            for id in subscribers {
-                if let Some((sender, stats)) = senders.get(id) {
-                    stats.delivered.fetch_add(1, Ordering::Release);
-                    let _ = sender.send(Delivery::Event {
+            if self.naive_fanout {
+                selected.extend_from_slice(index.all());
+            } else {
+                index.select_into(tuple, &mut selected);
+            }
+            for id in selected.drain(..) {
+                if let Some(route) = routes.get(&id) {
+                    route.stats.record_enqueued();
+                    let _ = route.tx.send(WorkerMsg::Event {
+                        id,
                         topic: Arc::clone(&topic),
                         tuple: tuple.clone(),
                     });
@@ -1002,16 +1205,9 @@ impl CacheInner {
     }
 }
 
-impl Drop for CacheInner {
-    fn drop(&mut self) {
-        // Belt and braces: if a caller leaked automata handles without
-        // calling shutdown, stop their threads now so the process can exit.
-        let automata = std::mem::take(&mut *self.automata.lock());
-        for (_, handle) in automata {
-            handle.shutdown();
-        }
-    }
-}
+// No Drop impl is needed on CacheInner: dropping it drops the Executor,
+// whose own Drop drains every worker mailbox and joins the pool threads
+// (workers hold only Weak references back to the cache).
 
 #[cfg(test)]
 mod tests {
@@ -1499,6 +1695,121 @@ mod tests {
         c.insert("T", vec![Scalar::Int(7)]).unwrap();
         assert!(c.quiesce(Duration::from_secs(5)));
         assert_eq!(c.printed(id).unwrap(), vec!["saw 7".to_string()]);
+    }
+
+    #[test]
+    fn prefiltered_automata_only_receive_matching_events() {
+        let c = cache();
+        c.execute("create table Ticks (sym varchar(8), price integer)")
+            .unwrap();
+        let (ibm, rx_ibm) = c
+            .register_automaton(
+                "subscribe t to Ticks; behavior { if (t.sym == 'IBM') send(t.price); }",
+            )
+            .unwrap();
+        let (all, rx_all) = c
+            .register_automaton(
+                "subscribe t to Ticks; int n; behavior { n += 1; send(n); }",
+            )
+            .unwrap();
+        for (sym, price) in [("IBM", 1), ("MSFT", 2), ("IBM", 3), ("AAPL", 4)] {
+            c.insert("Ticks", vec![Scalar::Str(sym.into()), Scalar::Int(price)])
+                .unwrap();
+        }
+        assert!(c.quiesce(Duration::from_secs(5)));
+
+        // The guarded automaton was only ever woken for its two events…
+        let t = c.automaton_telemetry(ibm).unwrap();
+        assert_eq!((t.delivered, t.processed), (2, 2));
+        assert_eq!(t.skipped_by_prefilter, 2);
+        let got: Vec<i64> = rx_ibm
+            .try_iter()
+            .map(|n| n.values[0].as_int().unwrap())
+            .collect();
+        assert_eq!(got, vec![1, 3]);
+
+        // …while the opaque one saw everything and skipped nothing.
+        let t = c.automaton_telemetry(all).unwrap();
+        assert_eq!((t.delivered, t.processed), (4, 4));
+        assert_eq!(t.skipped_by_prefilter, 0);
+        assert_eq!(rx_all.try_iter().count(), 4);
+
+        assert_eq!(c.topic_subscriber_count("Ticks"), 2);
+        let stats = c.dispatch_stats();
+        assert_eq!(stats.automata, 2);
+        assert_eq!(stats.delivered, 6);
+        assert_eq!(stats.skipped_by_prefilter, 2);
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn naive_fanout_mode_delivers_everything() {
+        let c = CacheBuilder::new().manual_clock().naive_fanout(true).build();
+        c.execute("create table Ticks (sym varchar(8), price integer)")
+            .unwrap();
+        let (id, rx) = c
+            .register_automaton(
+                "subscribe t to Ticks; behavior { if (t.sym == 'IBM') send(t.price); }",
+            )
+            .unwrap();
+        for sym in ["IBM", "MSFT", "AAPL"] {
+            c.insert("Ticks", vec![Scalar::Str(sym.into()), Scalar::Int(1)])
+                .unwrap();
+        }
+        assert!(c.quiesce(Duration::from_secs(5)));
+        let t = c.automaton_telemetry(id).unwrap();
+        // All three tuples were delivered; the guard ran inside the VM.
+        assert_eq!((t.delivered, t.skipped_by_prefilter), (3, 0));
+        assert_eq!(rx.try_iter().count(), 1);
+    }
+
+    #[test]
+    fn batches_route_through_the_prefilter_index() {
+        let c = cache();
+        c.execute("create table Ticks (sym varchar(8), price integer)")
+            .unwrap();
+        let (id, rx) = c
+            .register_automaton(
+                "subscribe t to Ticks; behavior { if (t.price >= 10 && t.price < 20) send(t.price); }",
+            )
+            .unwrap();
+        let rows: Vec<Vec<Scalar>> = (0..100)
+            .map(|i| vec![Scalar::Str("S".into()), Scalar::Int(i)])
+            .collect();
+        c.insert_batch("Ticks", rows).unwrap();
+        assert!(c.quiesce(Duration::from_secs(5)));
+        let got: Vec<i64> = rx
+            .try_iter()
+            .map(|n| n.values[0].as_int().unwrap())
+            .collect();
+        assert_eq!(got, (10..20).collect::<Vec<_>>());
+        let t = c.automaton_telemetry(id).unwrap();
+        assert_eq!(t.delivered, 10);
+        assert_eq!(t.skipped_by_prefilter, 90);
+        assert!(t.max_queue_depth >= 1);
+    }
+
+    #[test]
+    fn a_single_worker_pool_preserves_order_across_automata() {
+        let c = CacheBuilder::new()
+            .manual_clock()
+            .automaton_workers(1)
+            .build();
+        c.execute("create table S (v integer)").unwrap();
+        let (_a, rx_a) = c
+            .register_automaton("subscribe s to S; behavior { send(s.v); }")
+            .unwrap();
+        let (_b, rx_b) = c
+            .register_automaton("subscribe s to S; behavior { send(s.v * 10); }")
+            .unwrap();
+        for i in 0..50 {
+            c.insert("S", vec![Scalar::Int(i)]).unwrap();
+        }
+        assert!(c.quiesce(Duration::from_secs(5)));
+        let got_a: Vec<i64> = rx_a.try_iter().map(|n| n.values[0].as_int().unwrap()).collect();
+        let got_b: Vec<i64> = rx_b.try_iter().map(|n| n.values[0].as_int().unwrap()).collect();
+        assert_eq!(got_a, (0..50).collect::<Vec<_>>());
+        assert_eq!(got_b, (0..50).map(|i| i * 10).collect::<Vec<_>>());
     }
 
     #[test]

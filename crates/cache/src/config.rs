@@ -38,6 +38,17 @@ use crate::runtime::{AutomatonId, Notification};
 /// [`CacheBuilder::shard_count`](crate::CacheBuilder::shard_count).
 pub const DEFAULT_SHARD_COUNT: usize = 16;
 
+/// Default size of the automaton executor pool.
+///
+/// Four workers keep even a single-core container responsive (workers
+/// spend most of their life parked on their mailbox) while letting
+/// automaton execution overlap on multi-core machines. The old
+/// one-thread-per-automaton behaviour does not exist any more — the
+/// pool is the only execution model — but its concurrency can be
+/// approximated by raising this via
+/// [`CacheBuilder::automaton_workers`](crate::CacheBuilder::automaton_workers).
+pub const DEFAULT_AUTOMATON_WORKERS: usize = 4;
+
 /// The outcome of loading a configuration.
 #[derive(Debug)]
 pub struct ConfigReport {

@@ -12,8 +12,9 @@
 //!   `insert ... on duplicate key update` replaces rows in place.
 //! * Every insertion into a table is also **published** on the topic of the
 //!   same name; automata (compiled [`gapl`] programs) that subscribe to the
-//!   topic receive the tuple, in strict time-of-insertion order, on their
-//!   own thread.
+//!   topic receive the tuple, in strict time-of-insertion order, on the
+//!   executor-pool worker that owns them — and only when their compiled
+//!   prefilter says the tuple can affect them at all.
 //! * Ad hoc `select` queries — augmented with `since <timestamp>` time
 //!   windows, `order by`, `group by` and aggregates — can be presented to
 //!   the cache at any time.
@@ -51,6 +52,7 @@ pub mod cache;
 pub mod circular;
 pub mod clock;
 pub mod config;
+pub(crate) mod dispatch;
 pub mod error;
 pub mod plan;
 pub mod query;
@@ -58,9 +60,9 @@ pub mod runtime;
 pub mod sql;
 pub mod table;
 
-pub use cache::{Cache, CacheBuilder, Response};
+pub use cache::{AutomatonTelemetry, Cache, CacheBuilder, DispatchStats, Response};
 pub use clock::{Clock, ManualClock, SystemClock};
-pub use config::{ConfigReport, DEFAULT_SHARD_COUNT};
+pub use config::{ConfigReport, DEFAULT_AUTOMATON_WORKERS, DEFAULT_SHARD_COUNT};
 pub use error::{Error, Result};
 pub use plan::{ColRef, QueryPlan};
 pub use query::{Aggregate, Comparison, Predicate, Query, ResultSet, Row};

@@ -1,30 +1,44 @@
-//! The automaton execution runtime (§5 of the paper).
+//! The automaton execution runtime (§5 of the paper), on a pooled
+//! executor.
 //!
-//! When an application registers an automaton, the cache compiles its GAPL
-//! source; on success a dedicated thread is created to animate the
-//! automaton. The thread executes the `initialization` clause once and then
-//! blocks waiting for events on the topics the automaton subscribed to. The
-//! runtime guarantees that tuples are delivered to an automaton in strict
-//! time-of-insertion order: the cache appends every published tuple to the
-//! automaton's unbounded FIFO delivery channel while still holding the
-//! per-table lock, and the automaton drains the channel in order. Batched
-//! inserts keep the same guarantee — the whole batch is appended under one
-//! lock acquisition, so an automaton sees a batch as a contiguous run of
-//! deliveries with nothing interleaved. Tables live in a lock-striped
-//! sharded store, so the ordering guarantee is *per table*: deliveries
-//! from different tables interleave in an unspecified (but
-//! per-channel-FIFO) order, exactly as in the single-map design.
+//! The paper's prototype animates every registered automaton with a
+//! dedicated OS thread. That model stops scaling long before the
+//! "millions of users" mark: a thousand registered automata is a
+//! thousand mostly-idle threads. This runtime replaces it with a
+//! **bounded worker pool** (sized by
+//! [`CacheBuilder::automaton_workers`](crate::CacheBuilder::automaton_workers)):
 //!
-//! While processing an event the automaton may `send()` information to the
-//! registering application — surfaced here as a [`Notification`] on a
-//! channel — and may `publish()` tuples into other tables, potentially
-//! triggering other automata.
+//! * every automaton is **pinned** to one worker (`id mod workers`) for
+//!   its whole life; the worker owns the automaton's [`Vm`] — whose
+//!   aggregate values are deliberately not `Send` — so VM state never
+//!   crosses a thread boundary;
+//! * a worker's FIFO channel is the fused **single-owner mailbox** of
+//!   the automata pinned to it: the cache enqueues registration,
+//!   events and unregistration in order, and the worker consumes them
+//!   in order, which preserves the per-automaton delivery guarantee of
+//!   the thread-per-automaton design (tuples of one table arrive in
+//!   strict time-of-insertion order, batches arrive contiguously);
+//! * unregistration is an **acknowledged drain**: the `Unregister`
+//!   message queues *behind* every event already mailed to the
+//!   automaton, so by the time the ack comes back the mailbox has been
+//!   drained by processing; late events that raced past unregistration
+//!   are discarded deterministically (their automaton no longer exists
+//!   on the worker).
+//!
+//! Ordering across automata — even two automata pinned to the same
+//! worker — is unspecified, exactly as it was across dedicated
+//! threads. While processing an event an automaton may `send()`
+//! notifications (surfaced as [`Notification`]s) and `publish()`
+//! tuples into other tables, potentially cascading into other automata
+//! on other workers; channels are unbounded, so cascades never
+//! deadlock the pool.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use gapl::event::{Scalar, Timestamp, Tuple};
@@ -56,47 +70,188 @@ pub struct Notification {
     pub at: Timestamp,
 }
 
-/// A message on an automaton's delivery channel.
-#[derive(Debug)]
-pub(crate) enum Delivery {
+/// Everything a worker needs to bring an automaton to life on its own
+/// thread. The [`Vm`] is constructed worker-side because its values are
+/// not `Send`.
+pub(crate) struct RegisterCmd {
+    pub id: AutomatonId,
+    pub program: Arc<Program>,
+    pub cache: Weak<CacheInner>,
+    pub notifier: Sender<Notification>,
+    pub stats: Arc<AutomatonStats>,
+    pub print_to_stdout: bool,
+}
+
+/// A message in a worker's mailbox.
+pub(crate) enum WorkerMsg {
+    /// Create the automaton's VM and run its `initialization` clause.
+    Register(Box<RegisterCmd>),
     /// An event published on a subscribed topic.
     Event {
+        /// Target automaton.
+        id: AutomatonId,
         /// The topic the tuple was inserted into.
         topic: Arc<str>,
         /// The tuple itself.
         tuple: Tuple,
     },
-    /// Ask the automaton thread to exit.
+    /// Drop the automaton's VM; acknowledge once every earlier event in
+    /// the mailbox has been processed.
+    Unregister {
+        /// Target automaton.
+        id: AutomatonId,
+        /// Acknowledged after the drain.
+        ack: Sender<()>,
+    },
+    /// Drain the mailbox and exit the worker thread.
     Shutdown,
 }
 
-/// Counters and buffers shared between an automaton thread and the cache.
+/// Counters and buffers shared between the executor and the cache.
 #[derive(Debug, Default)]
 pub(crate) struct AutomatonStats {
     /// Events enqueued for this automaton.
     pub delivered: AtomicU64,
     /// Events fully processed by the behavior clause.
     pub processed: AtomicU64,
+    /// High-water mark of the mailbox backlog (`delivered - processed`
+    /// observed at enqueue time).
+    pub max_queue_depth: AtomicU64,
     /// Runtime errors raised while processing events.
     pub errors: Mutex<Vec<String>>,
     /// Lines produced by `print()`.
     pub printed: Mutex<Vec<String>>,
 }
 
-/// The cache-side handle for a running automaton.
-#[derive(Debug)]
-pub(crate) struct AutomatonHandle {
-    pub program: Arc<Program>,
-    pub sender: Sender<Delivery>,
-    pub join: Option<JoinHandle<()>>,
+impl AutomatonStats {
+    /// Count one enqueued event and update the backlog high-water mark.
+    pub fn record_enqueued(&self) {
+        let delivered = self.delivered.fetch_add(1, Ordering::AcqRel) + 1;
+        let processed = self.processed.load(Ordering::Acquire);
+        self.max_queue_depth
+            .fetch_max(delivered.saturating_sub(processed), Ordering::AcqRel);
+    }
+
+    /// Events currently waiting in the automaton's mailbox.
+    pub fn queue_depth(&self) -> u64 {
+        self.delivered
+            .load(Ordering::Acquire)
+            .saturating_sub(self.processed.load(Ordering::Acquire))
+    }
 }
 
-impl AutomatonHandle {
-    /// Ask the thread to stop and wait for it.
-    pub fn shutdown(mut self) {
-        let _ = self.sender.send(Delivery::Shutdown);
-        if let Some(join) = self.join.take() {
-            let _ = join.join();
+/// The bounded worker pool animating every registered automaton.
+#[derive(Debug)]
+pub(crate) struct Executor {
+    txs: Vec<Sender<WorkerMsg>>,
+    joins: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Executor {
+    /// Start `workers` pool threads (at least one).
+    pub fn start(workers: usize) -> Executor {
+        let workers = workers.max(1);
+        let mut txs = Vec::with_capacity(workers);
+        let mut joins = Vec::with_capacity(workers);
+        for n in 0..workers {
+            let (tx, rx) = unbounded();
+            let join = std::thread::Builder::new()
+                .name(format!("automaton-worker-{n}"))
+                .spawn(move || worker_loop(rx))
+                .expect("spawning a pool worker never fails on supported platforms");
+            txs.push(tx);
+            joins.push(join);
+        }
+        Executor {
+            txs,
+            joins: Mutex::new(joins),
+        }
+    }
+
+    /// Number of pool workers.
+    pub fn worker_count(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// The mailbox of the worker that owns `id`. Pinning is static, so
+    /// every message for one automaton lands in the same FIFO.
+    pub fn sender_for(&self, id: AutomatonId) -> &Sender<WorkerMsg> {
+        &self.txs[(id.0 as usize) % self.txs.len()]
+    }
+
+    /// Ask every worker to drain its mailbox and exit, then join them.
+    /// Idempotent: later calls find nothing to join.
+    pub fn shutdown(&self) {
+        for tx in &self.txs {
+            let _ = tx.send(WorkerMsg::Shutdown);
+        }
+        let joins = std::mem::take(&mut *self.joins.lock());
+        let current = std::thread::current().id();
+        for join in joins {
+            // The executor can be dropped *on a pool worker*: if an
+            // automaton behavior holds the last temporarily upgraded
+            // Arc<CacheInner> when the final Cache clone goes away,
+            // CacheInner (and this executor) drop on that worker's own
+            // thread. Joining ourselves would deadlock/panic — detach
+            // instead; the worker exits as soon as the behavior returns
+            // and its (already sent) Shutdown message is consumed.
+            if join.thread().id() == current {
+                drop(join);
+            } else {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One worker: owns the VMs of the automata pinned to it and consumes
+/// its mailbox in FIFO order.
+fn worker_loop(rx: Receiver<WorkerMsg>) {
+    struct Runner {
+        vm: Vm,
+        host: CacheHost,
+    }
+    let mut runners: HashMap<u64, Runner> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Register(cmd) => {
+                let mut host = CacheHost {
+                    cache: cmd.cache,
+                    automaton: cmd.id,
+                    notifier: cmd.notifier,
+                    stats: cmd.stats,
+                    print_to_stdout: cmd.print_to_stdout,
+                };
+                let mut vm = Vm::new(cmd.program);
+                if let Err(e) = vm.run_initialization(&mut host) {
+                    host.stats.errors.lock().push(format!("initialization: {e}"));
+                }
+                runners.insert(cmd.id.0, Runner { vm, host });
+            }
+            WorkerMsg::Event { id, topic, tuple } => {
+                // An absent runner means the automaton was unregistered
+                // while this event was in flight; discarding is the
+                // deterministic choice (the drain ack has already been
+                // sent, so nobody is waiting on this event).
+                let Some(runner) = runners.get_mut(&id.0) else {
+                    continue;
+                };
+                if let Err(e) = runner.vm.run_behavior(&topic, &tuple, &mut runner.host) {
+                    runner.host.stats.errors.lock().push(format!("behavior: {e}"));
+                }
+                runner.host.stats.processed.fetch_add(1, Ordering::Release);
+            }
+            WorkerMsg::Unregister { id, ack } => {
+                runners.remove(&id.0);
+                let _ = ack.send(());
+            }
+            WorkerMsg::Shutdown => break,
         }
     }
 }
@@ -195,47 +350,6 @@ impl HostInterface for CacheHost {
     }
 }
 
-/// Spawn the thread animating one automaton. The thread owns the [`Vm`]
-/// (whose values are deliberately not `Send`); only the compiled
-/// [`Program`] crosses the thread boundary.
-pub(crate) fn spawn_automaton(
-    id: AutomatonId,
-    program: Arc<Program>,
-    cache: Weak<CacheInner>,
-    receiver: Receiver<Delivery>,
-    notifier: Sender<Notification>,
-    stats: Arc<AutomatonStats>,
-    print_to_stdout: bool,
-) -> JoinHandle<()> {
-    std::thread::Builder::new()
-        .name(format!("automaton-{}", id.0))
-        .spawn(move || {
-            let mut host = CacheHost {
-                cache,
-                automaton: id,
-                notifier,
-                stats: Arc::clone(&stats),
-                print_to_stdout,
-            };
-            let mut vm = Vm::new(Arc::clone(&program));
-            if let Err(e) = vm.run_initialization(&mut host) {
-                stats.errors.lock().push(format!("initialization: {e}"));
-            }
-            while let Ok(delivery) = receiver.recv() {
-                match delivery {
-                    Delivery::Event { topic, tuple } => {
-                        if let Err(e) = vm.run_behavior(&topic, &tuple, &mut host) {
-                            stats.errors.lock().push(format!("behavior: {e}"));
-                        }
-                        stats.processed.fetch_add(1, Ordering::Release);
-                    }
-                    Delivery::Shutdown => break,
-                }
-            }
-        })
-        .expect("spawning an automaton thread never fails on supported platforms")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,11 +370,33 @@ mod tests {
     }
 
     #[test]
-    fn stats_start_at_zero() {
+    fn stats_start_at_zero_and_track_the_backlog() {
         let s = AutomatonStats::default();
         assert_eq!(s.delivered.load(Ordering::Relaxed), 0);
         assert_eq!(s.processed.load(Ordering::Relaxed), 0);
+        assert_eq!(s.queue_depth(), 0);
         assert!(s.errors.lock().is_empty());
         assert!(s.printed.lock().is_empty());
+        s.record_enqueued();
+        s.record_enqueued();
+        assert_eq!(s.queue_depth(), 2);
+        assert_eq!(s.max_queue_depth.load(Ordering::Relaxed), 2);
+        s.processed.fetch_add(2, Ordering::Release);
+        assert_eq!(s.queue_depth(), 0);
+        assert_eq!(s.max_queue_depth.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn executor_pins_automata_to_workers_and_shuts_down_cleanly() {
+        let pool = Executor::start(3);
+        assert_eq!(pool.worker_count(), 3);
+        // Pinning is stable and spreads ids round-robin.
+        for id in 0..9u64 {
+            let a = pool.sender_for(AutomatonId(id)) as *const _;
+            let b = pool.sender_for(AutomatonId(id)) as *const _;
+            assert_eq!(a, b);
+        }
+        pool.shutdown();
+        pool.shutdown(); // idempotent
     }
 }

@@ -56,8 +56,9 @@ pub use pscache;
 pub use psrpc;
 
 pub use pscache::{
-    Aggregate, AutomatonId, Cache, CacheBuilder, Comparison, Error, Notification, Predicate,
-    Query, Response, Result, ResultSet, TableKind, DEFAULT_SHARD_COUNT,
+    Aggregate, AutomatonId, AutomatonTelemetry, Cache, CacheBuilder, Comparison, DispatchStats,
+    Error, Notification, Predicate, Query, Response, Result, ResultSet, TableKind,
+    DEFAULT_AUTOMATON_WORKERS, DEFAULT_SHARD_COUNT,
 };
 pub use psrpc::server::ServerStats;
 
@@ -66,8 +67,8 @@ pub mod prelude {
     pub use crate::continuous::ContinuousQuery;
     pub use gapl::event::{AttrType, Scalar, Schema, Timestamp, Tuple};
     pub use pscache::{
-        Aggregate, AutomatonId, Cache, CacheBuilder, Comparison, Notification, Predicate, Query,
-        Response, ResultSet, TableKind,
+        Aggregate, AutomatonId, AutomatonTelemetry, Cache, CacheBuilder, Comparison,
+        DispatchStats, Notification, Predicate, Query, Response, ResultSet, TableKind,
     };
     pub use psrpc::server::ServerStats;
     pub use psrpc::{CacheClient, RpcServer};

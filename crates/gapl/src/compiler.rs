@@ -98,6 +98,7 @@ impl Compiler {
             consts: self.consts,
             init_code,
             behavior_code,
+            prefilter: crate::prefilter::extract(ast),
         })
     }
 

@@ -70,12 +70,14 @@ pub mod error;
 pub mod event;
 pub mod lexer;
 pub mod parser;
+pub mod prefilter;
 pub mod program;
 pub mod token;
 pub mod value;
 pub mod vm;
 
 pub use error::{Error, Result};
+pub use prefilter::{Guard, GuardOp, Prefilter};
 pub use program::Program;
 
 /// Compile GAPL source text into an executable [`Program`].

@@ -1,0 +1,404 @@
+//! Compile-time prefilters: the leading guard of a behavior clause,
+//! extracted so the cache can decide *before dispatch* whether an event
+//! can possibly affect an automaton.
+//!
+//! The paper's delivery model hands every tuple published on a topic to
+//! every automaton subscribed to it; an automaton whose behavior starts
+//! with `if (t.sym == 'IBM') { … }` then burns a VM activation just to
+//! discover the event is not for it. The [`Prefilter`] captures exactly
+//! that guard at compile time so the dispatch layer can skip the
+//! delivery entirely.
+//!
+//! # Soundness
+//!
+//! A prefilter is extracted only when skipping a non-matching event is
+//! *provably unobservable*:
+//!
+//! * the automaton has exactly **one subscription** — with several, a
+//!   skipped event would leave the subscription variable pointing at an
+//!   older tuple that a later event on another topic could observe;
+//! * the whole behavior clause is a **single `if` with no `else`** — any
+//!   statement outside the guard would have run unconditionally;
+//! * the condition is built only from **fields of the subscription
+//!   variable, literals, comparisons, `&&` and `||`** — it can touch no
+//!   mutable state and has no side effects.
+//!
+//! Guard evaluation mirrors the VM exactly ([`Value::gapl_eq`] /
+//! [`Value::gapl_cmp`], both of which compare numerics through `f64`),
+//! and every situation the VM would turn into a runtime error (missing
+//! attribute, string/number comparison, NaN ordering) makes the guard
+//! *undecidable*, which conservatively delivers the event so the error
+//! is still raised and recorded. The differential property suite in the
+//! workspace root asserts byte-identical per-automaton output against
+//! the naive all-subscribers fan-out.
+
+use std::fmt;
+
+use crate::ast::{AutomatonAst, BinOp, Block, Expr, Stmt, UnOp};
+use crate::event::Tuple;
+use crate::program::Const;
+use crate::value::Value;
+
+/// A comparison operator appearing in a guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl GuardOp {
+    /// The operator with its operands swapped (`5 < t.v` ⇒ `t.v > 5`).
+    pub fn flipped(self) -> GuardOp {
+        match self {
+            GuardOp::Eq => GuardOp::Eq,
+            GuardOp::Ne => GuardOp::Ne,
+            GuardOp::Lt => GuardOp::Gt,
+            GuardOp::Le => GuardOp::Ge,
+            GuardOp::Gt => GuardOp::Lt,
+            GuardOp::Ge => GuardOp::Le,
+        }
+    }
+}
+
+impl fmt::Display for GuardOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GuardOp::Eq => "==",
+            GuardOp::Ne => "!=",
+            GuardOp::Lt => "<",
+            GuardOp::Le => "<=",
+            GuardOp::Gt => ">",
+            GuardOp::Ge => ">=",
+        })
+    }
+}
+
+/// A pure predicate over the attributes of one event tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Guard {
+    /// `event.field <op> literal`.
+    Cmp {
+        /// Attribute name on the event (may be the `tstamp` pseudo-field).
+        field: String,
+        /// Comparison operator.
+        op: GuardOp,
+        /// The literal compared against.
+        value: Const,
+    },
+    /// Conjunction: every part must hold.
+    All(Vec<Guard>),
+    /// Disjunction: at least one part must hold.
+    AnyOf(Vec<Guard>),
+}
+
+impl Guard {
+    /// Tri-state evaluation against a tuple: `Some(b)` when the VM would
+    /// compute the condition to `b` without error, `None` when the VM
+    /// would raise a runtime error (undecidable — the caller must
+    /// deliver). Mirrors the VM's non-short-circuiting `&&`/`||`.
+    pub fn eval(&self, tuple: &Tuple) -> Option<bool> {
+        match self {
+            Guard::Cmp { field, op, value } => {
+                let lhs = Value::from(tuple.field(field)?);
+                let rhs = const_value(value);
+                match op {
+                    GuardOp::Eq => Some(lhs.gapl_eq(&rhs)),
+                    GuardOp::Ne => Some(!lhs.gapl_eq(&rhs)),
+                    GuardOp::Lt => lhs.gapl_cmp(&rhs).ok().map(std::cmp::Ordering::is_lt),
+                    GuardOp::Le => lhs.gapl_cmp(&rhs).ok().map(std::cmp::Ordering::is_le),
+                    GuardOp::Gt => lhs.gapl_cmp(&rhs).ok().map(std::cmp::Ordering::is_gt),
+                    GuardOp::Ge => lhs.gapl_cmp(&rhs).ok().map(std::cmp::Ordering::is_ge),
+                }
+            }
+            // The VM evaluates both operands of `&&`/`||` (no short
+            // circuit), so an error in either side must force delivery
+            // even when the other side already decides the outcome.
+            Guard::All(parts) => parts
+                .iter()
+                .map(|g| g.eval(tuple))
+                .try_fold(true, |acc, b| Some(acc && b?)),
+            Guard::AnyOf(parts) => parts
+                .iter()
+                .map(|g| g.eval(tuple))
+                .try_fold(false, |acc, b| Some(acc || b?)),
+        }
+    }
+
+    /// Whether the event may affect the automaton: `true` when the guard
+    /// holds **or is undecidable** (deliver), `false` only when the VM
+    /// would provably evaluate the condition to false without error.
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        self.eval(tuple).unwrap_or(true)
+    }
+}
+
+/// The literal as a VM value, for guard evaluation.
+fn const_value(c: &Const) -> Value {
+    match c {
+        Const::Int(i) => Value::Int(*i),
+        Const::Real(r) => Value::Real(*r),
+        Const::Str(s) => Value::string(s.clone()),
+        Const::Bool(b) => Value::Bool(*b),
+    }
+}
+
+/// What the dispatch layer may assume about an automaton before
+/// delivering an event of its (single) subscribed topic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Prefilter {
+    /// No guard could be extracted: the automaton may act on any event
+    /// and must receive everything published on its topics.
+    #[default]
+    Opaque,
+    /// Events for which the guard is provably false cannot affect the
+    /// automaton and need not be delivered.
+    Guard(Guard),
+}
+
+impl Prefilter {
+    /// True when this prefilter carries an extracted guard.
+    pub fn is_guard(&self) -> bool {
+        matches!(self, Prefilter::Guard(_))
+    }
+
+    /// Whether an event must be delivered ([`Guard::matches`]; an opaque
+    /// prefilter always delivers).
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        match self {
+            Prefilter::Opaque => true,
+            Prefilter::Guard(g) => g.matches(tuple),
+        }
+    }
+}
+
+/// Extract the leading guard of an automaton, when sound (see the
+/// [module documentation](self) for the exact conditions).
+pub fn extract(ast: &AutomatonAst) -> Prefilter {
+    let [subscription] = ast.subscriptions.as_slice() else {
+        return Prefilter::Opaque;
+    };
+    let Some(Stmt::If {
+        cond,
+        else_branch: None,
+        ..
+    }) = sole_stmt(&ast.behavior)
+    else {
+        return Prefilter::Opaque;
+    };
+    match guard_of(cond, &subscription.var) {
+        Some(guard) => Prefilter::Guard(guard),
+        None => Prefilter::Opaque,
+    }
+}
+
+/// The single statement of a block, looking through nested one-statement
+/// blocks (`behavior { { if (…) … } }`).
+fn sole_stmt(block: &Block) -> Option<&Stmt> {
+    match block.stmts.as_slice() {
+        [Stmt::Block(inner)] => sole_stmt(inner),
+        [stmt] => Some(stmt),
+        _ => None,
+    }
+}
+
+/// Lower a condition expression to a [`Guard`], or `None` when any part
+/// of it is outside the pure `field ⋈ literal` fragment.
+fn guard_of(expr: &Expr, var: &str) -> Option<Guard> {
+    match expr {
+        Expr::Binary { op: BinOp::And, lhs, rhs } => Some(Guard::All(vec![
+            guard_of(lhs, var)?,
+            guard_of(rhs, var)?,
+        ])),
+        Expr::Binary { op: BinOp::Or, lhs, rhs } => Some(Guard::AnyOf(vec![
+            guard_of(lhs, var)?,
+            guard_of(rhs, var)?,
+        ])),
+        Expr::Binary { op, lhs, rhs } => {
+            let op = cmp_op(*op)?;
+            if let (Some(field), Some(value)) = (field_of(lhs, var), literal_of(rhs)) {
+                return Some(Guard::Cmp { field, op, value });
+            }
+            if let (Some(value), Some(field)) = (literal_of(lhs), field_of(rhs, var)) {
+                return Some(Guard::Cmp {
+                    field,
+                    op: op.flipped(),
+                    value,
+                });
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn cmp_op(op: BinOp) -> Option<GuardOp> {
+    Some(match op {
+        BinOp::Eq => GuardOp::Eq,
+        BinOp::NotEq => GuardOp::Ne,
+        BinOp::Lt => GuardOp::Lt,
+        BinOp::Le => GuardOp::Le,
+        BinOp::Gt => GuardOp::Gt,
+        BinOp::Ge => GuardOp::Ge,
+        _ => return None,
+    })
+}
+
+fn field_of(expr: &Expr, var: &str) -> Option<String> {
+    match expr {
+        Expr::Field { object, field } if object == var => Some(field.clone()),
+        _ => None,
+    }
+}
+
+fn literal_of(expr: &Expr) -> Option<Const> {
+    match expr {
+        Expr::Int(i) => Some(Const::Int(*i)),
+        Expr::Real(r) => Some(Const::Real(*r)),
+        Expr::Str(s) => Some(Const::Str(s.clone())),
+        Expr::Bool(b) => Some(Const::Bool(*b)),
+        Expr::Unary {
+            op: UnOp::Neg,
+            expr,
+        } => match expr.as_ref() {
+            Expr::Int(i) => Some(Const::Int(i.checked_neg()?)),
+            Expr::Real(r) => Some(Const::Real(-*r)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{AttrType, Scalar, Schema};
+    use std::sync::Arc;
+
+    fn prefilter(src: &str) -> Prefilter {
+        crate::compile(src).unwrap().prefilter().clone()
+    }
+
+    fn tick_tuple(sym: &str, price: i64) -> Tuple {
+        let schema = Arc::new(
+            Schema::new(
+                "Ticks",
+                vec![("sym", AttrType::Str), ("price", AttrType::Int)],
+            )
+            .unwrap(),
+        );
+        Tuple::new(
+            schema,
+            vec![Scalar::Str(sym.into()), Scalar::Int(price)],
+            7,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn equality_guard_is_extracted_and_filters() {
+        let p = prefilter(
+            "subscribe t to Ticks; behavior { if (t.sym == 'IBM') send(t.price); }",
+        );
+        assert!(p.is_guard());
+        assert!(p.matches(&tick_tuple("IBM", 1)));
+        assert!(!p.matches(&tick_tuple("MSFT", 1)));
+    }
+
+    #[test]
+    fn range_and_flipped_comparisons_are_extracted() {
+        let p = prefilter(
+            "subscribe t to Ticks; behavior { if (t.price >= 10 && 20 > t.price) send(t.price); }",
+        );
+        assert!(p.is_guard());
+        assert!(p.matches(&tick_tuple("A", 10)));
+        assert!(p.matches(&tick_tuple("A", 19)));
+        assert!(!p.matches(&tick_tuple("A", 9)));
+        assert!(!p.matches(&tick_tuple("A", 20)));
+    }
+
+    #[test]
+    fn disjunction_and_negative_literals_are_extracted() {
+        let p = prefilter(
+            "subscribe t to Ticks; behavior { if (t.price < -5 || t.sym == 'X') send(1); }",
+        );
+        assert!(p.matches(&tick_tuple("X", 0)));
+        assert!(p.matches(&tick_tuple("A", -6)));
+        assert!(!p.matches(&tick_tuple("A", -5)));
+    }
+
+    #[test]
+    fn unsound_shapes_stay_opaque() {
+        // An else branch runs on non-matching events.
+        let p = prefilter(
+            "subscribe t to Ticks; int n; behavior { if (t.price > 1) send(1); else n += 1; }",
+        );
+        assert_eq!(p, Prefilter::Opaque);
+        // A leading statement runs unconditionally.
+        let p = prefilter(
+            "subscribe t to Ticks; int n; behavior { n += 1; if (t.price > 1) send(n); }",
+        );
+        assert_eq!(p, Prefilter::Opaque);
+        // The condition reads mutable state.
+        let p = prefilter(
+            "subscribe t to Ticks; int n; behavior { if (n < 3) send(1); }",
+        );
+        assert_eq!(p, Prefilter::Opaque);
+        // The condition calls a builtin.
+        let p = prefilter(
+            "subscribe t to Ticks; behavior { if (currentTopic() == 'Ticks') send(1); }",
+        );
+        assert_eq!(p, Prefilter::Opaque);
+        // Two subscriptions: a skipped event would be observable later.
+        let p = prefilter(
+            "subscribe t to Ticks; subscribe x to Timer; \
+             behavior { if (t.price > 1) send(1); }",
+        );
+        assert_eq!(p, Prefilter::Opaque);
+    }
+
+    #[test]
+    fn undecidable_guards_deliver() {
+        // Missing attribute: the VM would error, so the event must go
+        // through for the error to be recorded.
+        let p = prefilter(
+            "subscribe t to Ticks; behavior { if (t.nosuch == 1) send(1); }",
+        );
+        assert!(p.is_guard());
+        assert!(p.matches(&tick_tuple("A", 1)));
+        // String/number comparison errors in the VM.
+        let p = prefilter(
+            "subscribe t to Ticks; behavior { if (t.sym > 3) send(1); }",
+        );
+        assert!(p.matches(&tick_tuple("A", 1)));
+        // …but string *equality* with a number is decidably false.
+        let p = prefilter(
+            "subscribe t to Ticks; behavior { if (t.sym == 3) send(1); }",
+        );
+        assert!(!p.matches(&tick_tuple("A", 1)));
+        // An undecidable disjunct forces delivery even when the other
+        // side is false, because the VM evaluates both operands.
+        let p = prefilter(
+            "subscribe t to Ticks; behavior { if (t.sym == 'Z' || t.sym > 3) send(1); }",
+        );
+        assert!(p.matches(&tick_tuple("A", 1)));
+    }
+
+    #[test]
+    fn tstamp_pseudo_field_guards_work() {
+        let p = prefilter(
+            "subscribe t to Ticks; behavior { if (t.tstamp > 5) send(1); }",
+        );
+        assert!(p.is_guard());
+        assert!(p.matches(&tick_tuple("A", 1))); // tstamp is 7
+    }
+}

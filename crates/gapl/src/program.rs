@@ -10,6 +10,7 @@
 //! state is constructed on the automaton's own thread.
 
 use crate::builtins::BuiltinId;
+use crate::prefilter::Prefilter;
 use crate::value::DeclType;
 
 /// A compile-time constant in the program's constant pool.
@@ -150,6 +151,7 @@ pub struct Program {
     pub(crate) consts: Vec<Const>,
     pub(crate) init_code: Vec<Instr>,
     pub(crate) behavior_code: Vec<Instr>,
+    pub(crate) prefilter: Prefilter,
 }
 
 impl Program {
@@ -191,6 +193,26 @@ impl Program {
     /// Names of all subscribed topics, in declaration order.
     pub fn topics(&self) -> Vec<&str> {
         self.subscriptions.iter().map(|s| s.topic.as_str()).collect()
+    }
+
+    /// The leading guard extracted from the behavior clause, when sound
+    /// (see [`crate::prefilter`]). [`Prefilter::Opaque`] means the
+    /// automaton must receive every event on its topics.
+    pub fn prefilter(&self) -> &Prefilter {
+        &self.prefilter
+    }
+
+    /// The prefilter applicable to events published on `topic`.
+    ///
+    /// Guards are only ever extracted for single-subscription automata,
+    /// so this is the extracted guard when `topic` is that subscription's
+    /// topic and [`Prefilter::Opaque`] otherwise.
+    pub fn prefilter_for(&self, topic: &str) -> &Prefilter {
+        const OPAQUE: &Prefilter = &Prefilter::Opaque;
+        match self.subscriptions.as_slice() {
+            [only] if only.topic == topic => &self.prefilter,
+            _ => OPAQUE,
+        }
     }
 }
 

@@ -8,8 +8,9 @@
 //! variable aliases the same underlying container, exactly like the C
 //! implementation described in the paper. Aggregates therefore use
 //! [`Rc<RefCell<...>>`] internally; a [`crate::vm::Vm`] (and all its values)
-//! lives on a single automaton thread, so no cross-thread sharing of values
-//! ever happens — tuples, not values, are what crosses threads.
+//! lives on the single executor-pool worker that owns its automaton, so no
+//! cross-thread sharing of values ever happens — tuples, not values, are
+//! what crosses threads.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;

@@ -308,6 +308,23 @@ impl CacheClient {
         }
     }
 
+    /// Fetch the server's counters: connections, requests, notification
+    /// routing, and the cache's automaton-dispatch statistics (events
+    /// delivered / processed / skipped by the predicate index, mailbox
+    /// backlog).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Disconnected`] when the server is gone.
+    pub fn server_stats(&self) -> Result<crate::message::ServerStats> {
+        match self.request(Request::ServerStats)? {
+            CacheReply::Stats { stats } => Ok(stats),
+            other => Err(Error::protocol(format!(
+                "unexpected reply to a stats request: {other:?}"
+            ))),
+        }
+    }
+
     /// Liveness check.
     ///
     /// # Errors

@@ -62,6 +62,34 @@ pub enum Request {
     },
     /// Liveness check.
     Ping,
+    /// Ask for the server's counters (connections, requests, and the
+    /// cache's automaton-dispatch statistics).
+    ServerStats,
+}
+
+/// Counters describing a running server; a snapshot is returned by
+/// [`crate::server::RpcServer::stats`] and over the wire by
+/// [`Request::ServerStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Connections accepted since the server started.
+    pub connections_accepted: u64,
+    /// Connections currently being served.
+    pub connections_active: u64,
+    /// Requests decoded and executed, across all connections.
+    pub requests_served: u64,
+    /// Automaton notifications routed to clients by the fan-out hub.
+    pub notifications_routed: u64,
+    /// Automata currently registered in the cache.
+    pub automata_active: u64,
+    /// Events enqueued to automaton mailboxes, across all automata.
+    pub events_delivered: u64,
+    /// Events fully processed by automaton behavior clauses.
+    pub events_processed: u64,
+    /// Events the predicate index proved irrelevant and never delivered.
+    pub events_skipped_by_prefilter: u64,
+    /// Events currently waiting in automaton mailboxes.
+    pub automaton_queue_depth: u64,
 }
 
 /// A row of a result set on the wire.
@@ -110,6 +138,11 @@ pub enum CacheReply {
     Error {
         /// Error message.
         message: String,
+    },
+    /// Reply to [`Request::ServerStats`].
+    Stats {
+        /// The server's counters at the time of the request.
+        stats: ServerStats,
     },
 }
 
@@ -186,6 +219,9 @@ impl ClientMessage {
                 w.put_rows(rows);
                 w.put_bool(*upsert);
             }
+            Request::ServerStats => {
+                w.put_u8(6);
+            }
         }
         w.finish().to_vec()
     }
@@ -217,6 +253,7 @@ impl ClientMessage {
                 rows: r.get_rows()?,
                 upsert: r.get_bool()?,
             },
+            6 => Request::ServerStats,
             other => return Err(Error::protocol(format!("unknown request tag {other}"))),
         };
         Ok(ClientMessage { seq, request })
@@ -301,7 +338,28 @@ fn encode_reply(w: &mut WireWriter, reply: &CacheReply) {
             w.put_u8(7);
             w.put_u64s(tstamps);
         }
+        CacheReply::Stats { stats } => {
+            w.put_u8(8);
+            for field in stats_fields(stats) {
+                w.put_u64(field);
+            }
+        }
     }
+}
+
+/// The wire order of [`ServerStats`] fields (shared by encode/decode).
+fn stats_fields(s: &ServerStats) -> [u64; 9] {
+    [
+        s.connections_accepted,
+        s.connections_active,
+        s.requests_served,
+        s.notifications_routed,
+        s.automata_active,
+        s.events_delivered,
+        s.events_processed,
+        s.events_skipped_by_prefilter,
+        s.automaton_queue_depth,
+    ]
 }
 
 fn decode_reply(r: &mut WireReader<'_>) -> Result<CacheReply> {
@@ -334,6 +392,19 @@ fn decode_reply(r: &mut WireReader<'_>) -> Result<CacheReply> {
         },
         7 => CacheReply::InsertedBatch {
             tstamps: r.get_u64s()?,
+        },
+        8 => CacheReply::Stats {
+            stats: ServerStats {
+                connections_accepted: r.get_u64()?,
+                connections_active: r.get_u64()?,
+                requests_served: r.get_u64()?,
+                notifications_routed: r.get_u64()?,
+                automata_active: r.get_u64()?,
+                events_delivered: r.get_u64()?,
+                events_processed: r.get_u64()?,
+                events_skipped_by_prefilter: r.get_u64()?,
+                automaton_queue_depth: r.get_u64()?,
+            },
         },
         other => return Err(Error::protocol(format!("unknown reply tag {other}"))),
     })
@@ -382,6 +453,10 @@ mod tests {
         round_trip_client(ClientMessage {
             seq: 5,
             request: Request::Ping,
+        });
+        round_trip_client(ClientMessage {
+            seq: 7,
+            request: Request::ServerStats,
         });
         round_trip_client(ClientMessage {
             seq: 6,
@@ -453,6 +528,22 @@ mod tests {
             seq: 8,
             reply: CacheReply::InsertedBatch {
                 tstamps: vec![3, 4, 5],
+            },
+        });
+        round_trip_server(ServerMessage::Reply {
+            seq: 9,
+            reply: CacheReply::Stats {
+                stats: ServerStats {
+                    connections_accepted: 1,
+                    connections_active: 2,
+                    requests_served: 3,
+                    notifications_routed: 4,
+                    automata_active: 5,
+                    events_delivered: 6,
+                    events_processed: 7,
+                    events_skipped_by_prefilter: 8,
+                    automaton_queue_depth: 9,
+                },
             },
         });
     }

@@ -42,19 +42,7 @@ use crate::error::Result;
 use crate::message::{CacheReply, ClientMessage, Request, ServerMessage, WireRow};
 use crate::transport::{tcp_split, RecvHalf, SendHalf};
 
-/// Counters describing a running server; a snapshot is returned by
-/// [`RpcServer::stats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct ServerStats {
-    /// Connections accepted since the server started.
-    pub connections_accepted: u64,
-    /// Connections currently being served.
-    pub connections_active: u64,
-    /// Requests decoded and executed, across all connections.
-    pub requests_served: u64,
-    /// Automaton notifications routed to clients by the fan-out hub.
-    pub notifications_routed: u64,
-}
+pub use crate::message::ServerStats;
 
 #[derive(Debug, Default)]
 struct StatsInner {
@@ -65,12 +53,20 @@ struct StatsInner {
 }
 
 impl StatsInner {
-    fn snapshot(&self) -> ServerStats {
+    /// The server-side counters plus the cache's automaton-dispatch
+    /// statistics (delivery/skip/backlog), as one snapshot.
+    fn snapshot(&self, cache: &Cache) -> ServerStats {
+        let dispatch = cache.dispatch_stats();
         ServerStats {
             connections_accepted: self.accepted.load(Ordering::Acquire),
             connections_active: self.active.load(Ordering::Acquire),
             requests_served: self.requests.load(Ordering::Acquire),
             notifications_routed: self.notifications.load(Ordering::Acquire),
+            automata_active: dispatch.automata as u64,
+            events_delivered: dispatch.delivered,
+            events_processed: dispatch.processed,
+            events_skipped_by_prefilter: dispatch.skipped_by_prefilter,
+            automaton_queue_depth: dispatch.queue_depth,
         }
     }
 }
@@ -214,6 +210,9 @@ fn notification_message(note: pscache::Notification) -> ServerMessage {
 #[derive(Debug)]
 pub struct RpcServer {
     local_addr: SocketAddr,
+    /// The served cache; kept for stats snapshots (cloning a cache is a
+    /// refcount bump — state is shared with the connection workers).
+    cache: Cache,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
@@ -266,6 +265,7 @@ impl RpcServer {
         let accept_conns = Arc::clone(&conns);
         let note_tx = hub.note_tx.clone();
         let control_tx = hub.control_tx.clone();
+        let served_cache = cache.clone();
         let accept_thread = std::thread::Builder::new()
             .name("psrpc-accept".into())
             .spawn(move || {
@@ -304,6 +304,7 @@ impl RpcServer {
 
         Ok(RpcServer {
             local_addr,
+            cache: served_cache,
             shutdown,
             accept_thread: Some(accept_thread),
             workers,
@@ -318,9 +319,10 @@ impl RpcServer {
         self.local_addr
     }
 
-    /// A snapshot of the server's counters.
+    /// A snapshot of the server's counters, including the cache's
+    /// automaton-dispatch statistics.
     pub fn stats(&self) -> ServerStats {
-        self.stats.snapshot()
+        self.stats.snapshot(&self.cache)
     }
 
     /// Stop accepting, close every active connection, and wait for all
@@ -458,7 +460,7 @@ fn serve_requests(
         };
         let msg = ClientMessage::decode(&bytes)?;
         stats.requests.fetch_add(1, Ordering::Release);
-        let reply = handle_request(conn, msg.request);
+        let reply = handle_request(conn, msg.request, stats);
         if conn
             .out_tx
             .send(ServerMessage::Reply {
@@ -472,9 +474,16 @@ fn serve_requests(
     }
 }
 
-fn handle_request(conn: &mut ConnectionContext<'_>, request: Request) -> CacheReply {
+fn handle_request(
+    conn: &mut ConnectionContext<'_>,
+    request: Request,
+    stats: &StatsInner,
+) -> CacheReply {
     match request {
         Request::Ping => CacheReply::Pong,
+        Request::ServerStats => CacheReply::Stats {
+            stats: stats.snapshot(conn.cache),
+        },
         Request::Execute { command } => match conn.cache.execute(&command) {
             Ok(response) => response_to_reply(response),
             Err(e) => CacheReply::Error {
@@ -584,9 +593,16 @@ mod tests {
     use gapl::event::Scalar;
     use pscache::CacheBuilder;
 
-    fn test_conn(cache: &Cache) -> (ConnectionContext<'_>, Receiver<ServerMessage>, NotificationHub) {
+    fn test_conn(
+        cache: &Cache,
+    ) -> (
+        ConnectionContext<'_>,
+        Receiver<ServerMessage>,
+        NotificationHub,
+        Arc<StatsInner>,
+    ) {
         let stats = Arc::new(StatsInner::default());
-        let hub = NotificationHub::start(stats);
+        let hub = NotificationHub::start(Arc::clone(&stats));
         let (out_tx, out_rx) = unbounded();
         let conn = ConnectionContext {
             cache,
@@ -595,7 +611,7 @@ mod tests {
             out_tx,
             registered: HashSet::new(),
         };
-        (conn, out_rx, hub)
+        (conn, out_rx, hub, stats)
     }
 
     #[test]
@@ -647,17 +663,18 @@ mod tests {
     #[test]
     fn handle_request_reports_cache_errors() {
         let cache = CacheBuilder::new().build();
-        let (mut conn, _out_rx, _hub) = test_conn(&cache);
+        let (mut conn, _out_rx, _hub, stats) = test_conn(&cache);
         let reply = handle_request(
             &mut conn,
             Request::Execute {
                 command: "select * from Missing".into(),
             },
+            &stats,
         );
         assert!(matches!(reply, CacheReply::Error { .. }));
-        let reply = handle_request(&mut conn, Request::UnregisterAutomaton { id: 999 });
+        let reply = handle_request(&mut conn, Request::UnregisterAutomaton { id: 999 }, &stats);
         assert!(matches!(reply, CacheReply::Error { .. }));
-        let reply = handle_request(&mut conn, Request::Ping);
+        let reply = handle_request(&mut conn, Request::Ping, &stats);
         assert_eq!(reply, CacheReply::Pong);
         let reply = handle_request(
             &mut conn,
@@ -666,6 +683,7 @@ mod tests {
                 rows: vec![vec![Scalar::Int(1)]],
                 upsert: false,
             },
+            &stats,
         );
         assert!(matches!(reply, CacheReply::Error { .. }));
     }
@@ -674,7 +692,7 @@ mod tests {
     fn batched_inserts_execute_against_the_cache() {
         let cache = CacheBuilder::new().build();
         cache.execute("create table T (v integer)").unwrap();
-        let (mut conn, _out_rx, _hub) = test_conn(&cache);
+        let (mut conn, _out_rx, _hub, stats) = test_conn(&cache);
         let reply = handle_request(
             &mut conn,
             Request::InsertBatch {
@@ -682,12 +700,43 @@ mod tests {
                 rows: (0..10).map(|i| vec![Scalar::Int(i)]).collect(),
                 upsert: false,
             },
+            &stats,
         );
         match reply {
             CacheReply::InsertedBatch { tstamps } => assert_eq!(tstamps.len(), 10),
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(cache.table_len("T").unwrap(), 10);
+    }
+
+    #[test]
+    fn stats_requests_surface_dispatch_counters() {
+        let cache = CacheBuilder::new().build();
+        cache
+            .execute("create table Ticks (sym varchar(8), price integer)")
+            .unwrap();
+        let (_id, _rx) = cache
+            .register_automaton(
+                "subscribe t to Ticks; behavior { if (t.sym == 'IBM') send(t.price); }",
+            )
+            .unwrap();
+        for sym in ["IBM", "A", "B", "C"] {
+            cache
+                .insert("Ticks", vec![Scalar::Str(sym.into()), Scalar::Int(1)])
+                .unwrap();
+        }
+        assert!(cache.quiesce(std::time::Duration::from_secs(5)));
+        let (mut conn, _out_rx, _hub, stats) = test_conn(&cache);
+        match handle_request(&mut conn, Request::ServerStats, &stats) {
+            CacheReply::Stats { stats } => {
+                assert_eq!(stats.automata_active, 1);
+                assert_eq!(stats.events_delivered, 1);
+                assert_eq!(stats.events_processed, 1);
+                assert_eq!(stats.events_skipped_by_prefilter, 3);
+                assert_eq!(stats.automaton_queue_depth, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]
@@ -712,7 +761,7 @@ mod tests {
             msg,
             ServerMessage::Notification { automaton: 7, .. }
         ));
-        assert_eq!(stats.snapshot().notifications_routed, 1);
+        assert_eq!(stats.notifications.load(Ordering::Acquire), 1);
         hub.finish();
     }
 }

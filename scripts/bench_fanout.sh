@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Fan-out performance snapshot: insert throughput with 1,000 registered
+# automata at 1% guard selectivity, predicate-indexed dispatch vs the
+# naive all-subscribers fan-out. Writes BENCH_fanout.json at the
+# repository root and fails if the speedup regresses below the 10x
+# acceptance floor.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> snapshot: BENCH_fanout.json"
+cargo run --release -p cep_bench --bin bench_fanout
+
+speedup=$(grep -o '"speedup": [0-9.]*' BENCH_fanout.json | tail -1 | cut -d' ' -f2)
+echo "indexed dispatch speedup at 1000 automata / 1% selectivity: ${speedup}x (floor: 10x)"
+awk "BEGIN { exit !(${speedup} >= 10.0) }" || {
+    echo "FAIL: fan-out speedup ${speedup}x below the 10x floor" >&2
+    exit 1
+}
+
+echo "fan-out snapshot complete"

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# The tier-1 gate as a single command:
+#
+#   1. release build of the whole workspace;
+#   2. the full test suite (unit, integration, property suites);
+#   3. the documentation gate (rustdoc -D warnings + every doctest),
+#      i.e. `cargo docs-check` plus doctests, via scripts/check_docs.sh;
+#   4. the benchmark floors: the query engine's >= 10x window speedup
+#      (BENCH_query.json) and the dispatch layer's >= 10x fan-out
+#      speedup at 1,000 automata / 1% selectivity (BENCH_fanout.json).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> documentation gate"
+sh scripts/check_docs.sh
+
+echo "==> bench floor: query engine window speedup"
+cargo run --release -p cep_bench --bin bench_query
+speedup=$(grep -o '"window_speedup": [0-9.]*' BENCH_query.json | tail -1 | cut -d' ' -f2)
+echo "100k-row 1% window speedup: ${speedup}x (floor: 10x)"
+awk "BEGIN { exit !(${speedup} >= 10.0) }" || {
+    echo "FAIL: window speedup ${speedup}x below the 10x floor" >&2
+    exit 1
+}
+
+echo "==> bench floor: automaton fan-out"
+sh scripts/bench_fanout.sh
+
+echo "CI gate passed"

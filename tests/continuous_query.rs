@@ -73,6 +73,69 @@ fn the_automaton_of_fig_2_matches_the_polling_loop_of_fig_1() {
     assert_eq!(polled_batches[3], vec![6, 7, 8, 9]);
 }
 
+/// The same agreement as above, but the bursts arrive as **batches**:
+/// a programmatic `insert_batch` (every row shares one insertion
+/// timestamp) followed by a multi-row SQL `values (…),(…)` insert. The
+/// polling loop must neither split nor double-count a batch at its
+/// `since τ` boundary, and the automaton must observe each batch as a
+/// contiguous run — so both sides still emit identical windows.
+#[test]
+fn batched_inserts_agree_between_the_polling_loop_and_the_automaton() {
+    let cache = CacheBuilder::new().manual_clock().build();
+    cache.execute("create table Readings (value integer)").unwrap();
+    let (_id, notifications) = cache.register_automaton(WINDOWED_AUTOMATON).unwrap();
+
+    let mut continuous = ContinuousQuery::new(Query::new("Readings").columns(["value"]));
+    let mut polled_batches: Vec<Vec<i64>> = Vec::new();
+    let mut pushed_batches: Vec<Vec<i64>> = Vec::new();
+
+    let mut next_value = 0i64;
+    for round in 0..4 {
+        // A burst arrives as one shared-timestamp batch…
+        cache.manual_clock().unwrap().advance(1_000_000);
+        let rows: Vec<Vec<Scalar>> = (0..3 * (round + 1))
+            .map(|_| {
+                let v = next_value;
+                next_value += 1;
+                vec![Scalar::Int(v)]
+            })
+            .collect();
+        cache.insert_batch("Readings", rows).unwrap();
+        // …plus a multi-row SQL insert through the batch path.
+        cache.manual_clock().unwrap().advance(1_000_000);
+        cache
+            .execute(&format!(
+                "insert into Readings values ({}), ({})",
+                next_value,
+                next_value + 1
+            ))
+            .unwrap();
+        next_value += 2;
+        assert!(cache.quiesce(Duration::from_secs(5)));
+
+        let batch = continuous.poll(&cache).unwrap();
+        polled_batches.push(
+            batch
+                .rows
+                .iter()
+                .map(|r| r.values[0].as_int().unwrap())
+                .collect(),
+        );
+
+        cache.tick_timer().unwrap();
+        assert!(cache.quiesce(Duration::from_secs(5)));
+        let note = notifications
+            .recv_timeout(Duration::from_secs(5))
+            .expect("one window per timer tick");
+        pushed_batches.push(note.values.iter().filter_map(Scalar::as_int).collect());
+    }
+
+    assert_eq!(polled_batches, pushed_batches);
+    // Round r inserts 3·(r+1) batched values + 2 SQL values, in order.
+    assert_eq!(polled_batches[0], (0..5).collect::<Vec<i64>>());
+    assert_eq!(polled_batches[3], (24..38).collect::<Vec<i64>>());
+}
+
 #[test]
 fn since_queries_never_return_a_tuple_twice_and_never_miss_one() {
     let cache = CacheBuilder::new().manual_clock().build();
