@@ -26,7 +26,8 @@ fn bench_builtins(c: &mut Criterion) {
             b.iter(|| {
                 host.published.clear();
                 host.sent.clear();
-                vm.run_behavior("Timer", &tick, &mut host).expect("behavior");
+                vm.run_behavior("Timer", &tick, &mut host)
+                    .expect("behavior");
             });
         });
     }

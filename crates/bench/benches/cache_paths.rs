@@ -157,13 +157,17 @@ fn bench_insert_paths(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("insert", attrs), &attrs, |b, _| {
             b.iter(|| client.insert("Test", values.clone()).expect("insert"));
         });
-        group.bench_with_input(BenchmarkId::new("insert_batch_x100", attrs), &attrs, |b, _| {
-            b.iter(|| {
-                client
-                    .insert_batch("Test", (0..100).map(|_| values.clone()).collect())
-                    .expect("insert batch")
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("insert_batch_x100", attrs),
+            &attrs,
+            |b, _| {
+                b.iter(|| {
+                    client
+                        .insert_batch("Test", (0..100).map(|_| values.clone()).collect())
+                        .expect("insert batch")
+                });
+            },
+        );
     }
     group.finish();
 

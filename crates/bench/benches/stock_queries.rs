@@ -18,7 +18,8 @@ fn bench_stock_queries(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig18_stock_queries");
     group.sample_size(10);
 
-    let cases: Vec<(&str, Box<dyn Fn() -> cayuga::Nfa>, &str)> = vec![
+    type Case = (&'static str, Box<dyn Fn() -> cayuga::Nfa>, &'static str);
+    let cases: Vec<Case> = vec![
         ("Q1", Box::new(q1_select_publish), fig18::Q1_GAPL),
         ("Q2", Box::new(|| q2_double_top(0.02)), fig18::Q2_GAPL),
         ("Q3", Box::new(|| q3_increasing_runs(3)), fig18::Q3_GAPL),

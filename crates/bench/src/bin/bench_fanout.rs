@@ -72,8 +72,7 @@ fn insert_throughput(cache: &Cache, tuples: usize) -> f64 {
 }
 
 fn main() {
-    let out_path =
-        std::env::var("BENCH_FANOUT_OUT").unwrap_or_else(|_| "BENCH_fanout.json".into());
+    let out_path = std::env::var("BENCH_FANOUT_OUT").unwrap_or_else(|_| "BENCH_fanout.json".into());
     let tuples: usize = std::env::var("BENCH_FANOUT_TUPLES")
         .ok()
         .and_then(|s| s.parse().ok())

@@ -11,7 +11,9 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(250);
 
-    println!("Fig. 10 — delay vs event inter-arrival period (4 automata, {events} events per point)\n");
+    println!(
+        "Fig. 10 — delay vs event inter-arrival period (4 automata, {events} events per point)\n"
+    );
     println!(
         "{:>9} {:>12} {:>12} {:>12} {:>12}",
         "Δt (ms)", "mean (ms)", "stddev (ms)", "min (ms)", "max (ms)"

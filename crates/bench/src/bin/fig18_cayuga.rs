@@ -17,9 +17,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(50);
 
-    println!(
-        "Fig. 18 — benchmarking against Cayuga ({events} stock ticks, {symbols} symbols)\n"
-    );
+    println!("Fig. 18 — benchmarking against Cayuga ({events} stock ticks, {symbols} symbols)\n");
     println!(
         "{:>4} {:>14} {:>14} {:>10} {:>16} {:>16}",
         "", "cayuga (s)", "cache (s)", "speedup", "cayuga outputs", "cache outputs"

@@ -145,7 +145,8 @@ pub fn measure_case(case: &BuiltinCase, repetitions: usize) -> BuiltinCost {
     let program = Arc::new(gapl::compile(&template(case)).expect("the template compiles"));
     let mut vm = Vm::new(program);
     let mut host = RecordingHost::default();
-    vm.run_initialization(&mut host).expect("initialization succeeds");
+    vm.run_initialization(&mut host)
+        .expect("initialization succeeds");
 
     let timer_schema =
         Arc::new(Schema::new("Timer", vec![("tstamp", AttrType::Tstamp)]).expect("valid schema"));
@@ -201,7 +202,11 @@ mod tests {
         let costs = run(200, 3);
         assert_eq!(costs.len(), 9);
         for cost in &costs {
-            assert!(cost.microseconds.mean > 0.0, "{} should cost > 0", cost.label);
+            assert!(
+                cost.microseconds.mean > 0.0,
+                "{} should cost > 0",
+                cost.label
+            );
             assert!(cost.microseconds.min <= cost.microseconds.p50);
             assert!(cost.microseconds.p50 <= cost.microseconds.max);
         }

@@ -105,7 +105,12 @@ pub fn run_fig10(events_per_point: usize) -> Vec<ScalePoint> {
 
 /// Shared helper for delivering a cache to other experiments needing the
 /// same structure (kept public for the Criterion benches).
-pub fn cache_with_flows_and_automata(automata: usize) -> (Cache, Vec<crossbeam::channel::Receiver<pscache::Notification>>) {
+pub fn cache_with_flows_and_automata(
+    automata: usize,
+) -> (
+    Cache,
+    Vec<crossbeam::channel::Receiver<pscache::Notification>>,
+) {
     let cache = CacheBuilder::new().build();
     cache
         .execute(FlowGenerator::create_table_sql())
@@ -133,7 +138,10 @@ mod tests {
         // 2 automata × 50 events = 100 delay observations.
         assert_eq!(point.delay_ms.count, 100);
         assert!(point.delay_ms.mean > 0.0);
-        assert!(point.delay_ms.max < 1_000.0, "delays should be far below a second");
+        assert!(
+            point.delay_ms.max < 1_000.0,
+            "delays should be far below a second"
+        );
     }
 
     #[test]

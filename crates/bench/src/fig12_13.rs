@@ -181,7 +181,11 @@ pub fn run_fig12(duration_per_point: Duration) -> Vec<StressPoint> {
     let mut points = Vec::new();
     for mode in [StressMode::OneWay, StressMode::TwoWay] {
         for n in [1usize, 2, 4, 8, 16] {
-            points.push(run_point(StressSchema::Integers(n), mode, duration_per_point));
+            points.push(run_point(
+                StressSchema::Integers(n),
+                mode,
+                duration_per_point,
+            ));
         }
     }
     points
@@ -192,7 +196,11 @@ pub fn run_fig13(duration_per_point: Duration) -> Vec<StressPoint> {
     let mut points = Vec::new();
     for mode in [StressMode::OneWay, StressMode::TwoWay] {
         for len in [10usize, 100, 1_000, 10_000] {
-            points.push(run_point(StressSchema::Varchar(len), mode, duration_per_point));
+            points.push(run_point(
+                StressSchema::Varchar(len),
+                mode,
+                duration_per_point,
+            ));
         }
     }
     points

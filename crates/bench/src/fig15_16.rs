@@ -107,11 +107,17 @@ pub struct FrequentPoint {
 }
 
 /// Execute one implementation over the request log, timing every event.
-pub fn measure_frequent(source: &str, implementation: &'static str, k: usize, log: &[Tuple]) -> FrequentPoint {
+pub fn measure_frequent(
+    source: &str,
+    implementation: &'static str,
+    k: usize,
+    log: &[Tuple],
+) -> FrequentPoint {
     let program = Arc::new(gapl::compile(source).expect("the frequent automata compile"));
     let mut vm = Vm::new(program);
     let mut host = RecordingHost::default();
-    vm.run_initialization(&mut host).expect("initialization succeeds");
+    vm.run_initialization(&mut host)
+        .expect("initialization succeeds");
     let mut samples = Vec::with_capacity(log.len());
     for event in log {
         let start = Instant::now();

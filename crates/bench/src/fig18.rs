@@ -149,7 +149,8 @@ pub fn run_gapl(source: &str, events: &[Tuple]) -> (usize, Duration) {
     let program = Arc::new(gapl::compile(source).expect("the Fig. 18 automata compile"));
     let mut vm = Vm::new(program);
     let mut host = RecordingHost::default();
-    vm.run_initialization(&mut host).expect("initialization succeeds");
+    vm.run_initialization(&mut host)
+        .expect("initialization succeeds");
     let start = Instant::now();
     for event in events {
         vm.run_behavior("Stocks", event, &mut host)

@@ -1,6 +1,7 @@
 //! The cache itself: tables unified with publish/subscribe topics.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -11,16 +12,15 @@ use parking_lot::{Mutex, RwLock};
 use gapl::event::{AttrType, Scalar, Schema, Timestamp, Tuple};
 
 use crate::clock::{Clock, ManualClock, SystemClock};
-use crate::config::{DEFAULT_AUTOMATON_WORKERS, DEFAULT_SHARD_COUNT};
+use crate::config::{DEFAULT_AUTOMATON_WORKERS, DEFAULT_CHECKPOINT_EVERY, DEFAULT_SHARD_COUNT};
 use crate::dispatch::{DispatchIndex, TopicDispatch};
 use crate::error::{Error, Result};
 use crate::plan::QueryPlan;
 use crate::query::{Query, ResultSet};
-use crate::runtime::{
-    AutomatonId, AutomatonStats, Executor, Notification, RegisterCmd, WorkerMsg,
-};
+use crate::runtime::{AutomatonId, AutomatonStats, Executor, Notification, RegisterCmd, WorkerMsg};
 use crate::sql::{self, Command};
 use crate::table::{Table, TableKind, TableStore, DEFAULT_STREAM_CAPACITY};
+use crate::wal::{self, Recovery, ReplayOp, SnapshotTable, SyncPolicy, Wal, WalStats, WalTicket};
 
 /// Name of the built-in heartbeat topic (§4.2): the cache delivers a tuple
 /// on `Timer` once per second (or whenever [`Cache::tick_timer`] is called),
@@ -117,6 +117,9 @@ pub struct CacheBuilder {
     shard_count: usize,
     automaton_workers: usize,
     naive_fanout: bool,
+    durability: Option<PathBuf>,
+    sync_policy: SyncPolicy,
+    checkpoint_every: u64,
 }
 
 impl Default for CacheBuilder {
@@ -138,7 +141,42 @@ impl CacheBuilder {
             shard_count: DEFAULT_SHARD_COUNT,
             automaton_workers: DEFAULT_AUTOMATON_WORKERS,
             naive_fanout: false,
+            durability: None,
+            sync_policy: SyncPolicy::default(),
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
         }
+    }
+
+    /// Enable durability: persistent tables are write-ahead logged into
+    /// `dir` and [`CacheBuilder::open`] (or [`Cache::recover`]) restores
+    /// them after a crash or restart. The directory is created if
+    /// missing; if it already holds a log, **building the cache replays
+    /// it** — a durable cache always comes up with its recovered state.
+    ///
+    /// Ephemeral streams are never logged: after recovery they exist
+    /// (their `create table` is durable) but hold no rows, matching
+    /// their in-memory, ring-buffered semantics.
+    pub fn durability(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durability = Some(dir.into());
+        self
+    }
+
+    /// When inserts into durable tables are flushed to disk (default
+    /// [`SyncPolicy::Group`]: group commit — concurrent inserters share
+    /// one fsync). Only meaningful together with
+    /// [`CacheBuilder::durability`].
+    pub fn sync_policy(mut self, policy: SyncPolicy) -> Self {
+        self.sync_policy = policy;
+        self
+    }
+
+    /// Logged records between automatic snapshot + log-truncation
+    /// checkpoints (default [`DEFAULT_CHECKPOINT_EVERY`]; 0 disables
+    /// automatic checkpoints — [`Cache::checkpoint`] still works). Only
+    /// meaningful together with [`CacheBuilder::durability`].
+    pub fn checkpoint_every(mut self, records: u64) -> Self {
+        self.checkpoint_every = records;
+        self
     }
 
     /// Size of the executor pool animating registered automata (default
@@ -209,7 +247,38 @@ impl CacheBuilder {
     }
 
     /// Build the cache. The built-in `Timer` topic is created here.
+    ///
+    /// When [`CacheBuilder::durability`] is configured this delegates to
+    /// [`CacheBuilder::open`] and **panics** on I/O or recovery errors;
+    /// durable deployments should call `open()` and handle the error.
     pub fn build(self) -> Cache {
+        self.open().expect(
+            "opening the durability directory failed; use CacheBuilder::open() to handle the error",
+        )
+    }
+
+    /// Build the cache, opening (and replaying) the durability directory
+    /// when one is configured. Identical to [`CacheBuilder::build`] for
+    /// purely in-memory caches, which cannot fail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Wal`] when the durability directory cannot be
+    /// opened or its contents cannot be replayed (unreadable snapshot,
+    /// undecodable record that passed its checksum).
+    pub fn open(self) -> Result<Cache> {
+        let (wal, recovery) = match &self.durability {
+            Some(dir) => {
+                let (wal, recovery) = Wal::open(
+                    dir,
+                    self.shard_count,
+                    self.sync_policy,
+                    self.checkpoint_every,
+                )?;
+                (Some(Arc::new(wal)), Some(recovery))
+            }
+            None => (None, None),
+        };
         let inner = Arc::new(CacheInner {
             tables: TableStore::new(self.shard_count),
             plans: PlanCache::default(),
@@ -223,12 +292,26 @@ impl CacheBuilder {
             print_to_stdout: self.print_to_stdout,
             naive_fanout: self.naive_fanout,
             shutting_down: AtomicBool::new(false),
+            wal,
+            checkpoint_lock: Mutex::new(()),
         });
         let timer_schema = Schema::new(TIMER_TOPIC, vec![("tstamp", AttrType::Tstamp)])
             .expect("the Timer schema is statically valid");
         inner
-            .create_table(TIMER_TOPIC, TableKind::Ephemeral, Arc::new(timer_schema), 16)
+            .create_table(
+                TIMER_TOPIC,
+                TableKind::Ephemeral,
+                Arc::new(timer_schema),
+                16,
+            )
             .expect("the Timer topic cannot already exist in a fresh cache");
+        if let Some(recovery) = recovery {
+            // Replay happens before the cache is returned, so no automaton
+            // can be registered yet: recovered inserts are applied to the
+            // tables directly and are never published (§ "Durability &
+            // recovery" in docs/architecture.md).
+            inner.apply_recovery(recovery)?;
+        }
 
         let timer_thread = self.timer_interval.map(|interval| {
             let weak = Arc::downgrade(&inner);
@@ -249,11 +332,11 @@ impl CacheBuilder {
                 .expect("spawning the timer thread never fails on supported platforms")
         });
 
-        Cache {
+        Ok(Cache {
             inner,
             manual_clock: self.manual_clock,
             timer_thread: Arc::new(Mutex::new(timer_thread)),
-        }
+        })
     }
 }
 
@@ -276,7 +359,10 @@ fn looks_like_select(command: &str) -> bool {
     let trimmed = command.trim_start();
     trimmed.len() >= 6
         && trimmed.as_bytes()[..6].eq_ignore_ascii_case(b"select")
-        && trimmed.as_bytes().get(6).is_none_or(|b| !b.is_ascii_alphanumeric())
+        && trimmed
+            .as_bytes()
+            .get(6)
+            .is_none_or(|b| !b.is_ascii_alphanumeric())
 }
 
 /// One cached `select`: its parsed query plus the plan compiled against
@@ -413,6 +499,10 @@ pub(crate) struct CacheInner {
     /// subscriber.
     naive_fanout: bool,
     shutting_down: AtomicBool,
+    /// The write-ahead log, when durability is enabled.
+    wal: Option<Arc<Wal>>,
+    /// Serialises checkpoints (snapshot + log truncation).
+    checkpoint_lock: Mutex<()>,
 }
 
 impl std::fmt::Debug for CacheInner {
@@ -437,6 +527,78 @@ impl Cache {
     /// [`CacheBuilder::manual_clock`].
     pub fn manual_clock(&self) -> Option<&ManualClock> {
         self.manual_clock.as_ref()
+    }
+
+    /// Open a durable cache from `dir` with default settings, replaying
+    /// the snapshot and write-ahead log left by a previous process.
+    /// Equivalent to `CacheBuilder::new().durability(dir).open()`; use
+    /// the builder form to combine recovery with other settings.
+    ///
+    /// Recovery restores every persistent table byte-for-byte (rows,
+    /// scan order, timestamps) up to the last durable record; a torn
+    /// final record — the signature of a crash mid-write — is detected
+    /// by its checksum and dropped. Ephemeral streams come back empty.
+    /// Replayed inserts are **not** published: automata registered on
+    /// the recovered cache only observe live traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Wal`] when the directory cannot be opened or its
+    /// contents cannot be replayed.
+    pub fn recover(dir: impl Into<PathBuf>) -> Result<Cache> {
+        CacheBuilder::new().durability(dir).open()
+    }
+
+    /// Force a checkpoint now: flush and rotate every log shard, write a
+    /// consistent snapshot of every table to `snapshot.snap`, and delete
+    /// the rotated logs. Bounds recovery time; runs automatically every
+    /// [`CacheBuilder::checkpoint_every`] records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Wal`] when durability is not enabled or the
+    /// snapshot cannot be persisted.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.inner.checkpoint()
+    }
+
+    /// Flush every buffered write-ahead-log record to disk. A no-op
+    /// under [`SyncPolicy::Immediate`] and [`SyncPolicy::Group`] (the
+    /// insert path already waited for durability) and the explicit
+    /// durability point under [`SyncPolicy::OsOnly`] — the RPC server
+    /// calls this before acknowledging inserts, so a client ack always
+    /// implies the data is on disk. Without durability enabled this
+    /// returns `Ok(())`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Wal`] when the flush fails.
+    pub fn flush_wal(&self) -> Result<()> {
+        match &self.inner.wal {
+            Some(wal) => wal.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Durability counters (records logged, fsyncs issued, checkpoints,
+    /// records replayed at open), or `None` when durability is off.
+    /// `records / syncs` is the achieved group-commit size.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.inner.wal.as_ref().map(|w| w.stats())
+    }
+
+    /// The durability directory, when durability is enabled.
+    pub fn durability_dir(&self) -> Option<&Path> {
+        self.inner.wal.as_ref().map(|w| w.dir())
+    }
+
+    /// Whether a table is an ephemeral stream or a persistent relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchTable`] when the table does not exist.
+    pub fn table_kind(&self, table: &str) -> Result<TableKind> {
+        self.inner.with_table(table, |t| Ok(t.kind()))
     }
 
     /// Current cache time in nanoseconds.
@@ -474,10 +636,8 @@ impl Cache {
                 columns,
                 capacity,
             } => {
-                let schema = Schema::new(
-                    name.clone(),
-                    columns.into_iter().map(|c| (c.name, c.ty)),
-                )?;
+                let schema =
+                    Schema::new(name.clone(), columns.into_iter().map(|c| (c.name, c.ty)))?;
                 self.inner.create_table(
                     &name,
                     kind,
@@ -491,7 +651,9 @@ impl Cache {
                 values,
                 on_duplicate_update,
             } => {
-                let outcome = self.inner.insert_values(&table, values, on_duplicate_update)?;
+                let outcome = self
+                    .inner
+                    .insert_values(&table, values, on_duplicate_update)?;
                 Ok(Response::Inserted {
                     replaced: outcome.replaced,
                     tstamp: outcome.stored.tstamp(),
@@ -610,6 +772,19 @@ impl Cache {
     /// Returns [`Error::NoSuchTable`] when the table does not exist.
     pub fn lookup(&self, table: &str, key: &str) -> Result<Option<Tuple>> {
         self.inner.with_table(table, |t| Ok(t.lookup(key)))
+    }
+
+    /// Remove a persistent-table row by primary key, returning it if it
+    /// existed. The same operation automata perform through
+    /// `remove(assoc, key)`; on a durable cache the removal is
+    /// write-ahead logged like any insert.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchTable`] for unknown tables and
+    /// [`Error::WrongTableKind`] for ephemeral streams.
+    pub fn remove(&self, table: &str, key: &str) -> Result<Option<Tuple>> {
+        self.inner.persistent_remove(table, key)
     }
 
     /// The schema of a table.
@@ -792,7 +967,11 @@ impl Cache {
         //    dropping a pending event.
         if let Some(route) = route {
             let (ack_tx, ack_rx) = unbounded();
-            if route.tx.send(WorkerMsg::Unregister { id, ack: ack_tx }).is_ok() {
+            if route
+                .tx
+                .send(WorkerMsg::Unregister { id, ack: ack_tx })
+                .is_ok()
+            {
                 use crossbeam::channel::RecvTimeoutError;
                 match ack_rx.recv_timeout(Duration::from_secs(30)) {
                     Ok(()) => {}
@@ -856,7 +1035,9 @@ impl Cache {
     /// Returns [`Error::NoSuchAutomaton`] for unknown ids.
     pub fn automaton_telemetry(&self, id: AutomatonId) -> Result<AutomatonTelemetry> {
         let automata = self.inner.automata.lock();
-        let entry = automata.get(&id).ok_or(Error::NoSuchAutomaton { id: id.0 })?;
+        let entry = automata
+            .get(&id)
+            .ok_or(Error::NoSuchAutomaton { id: id.0 })?;
         Ok(entry.telemetry())
     }
 
@@ -943,6 +1124,11 @@ impl Cache {
     /// cache is dropped.
     pub fn shutdown(&self) {
         self.inner.shutting_down.store(true, Ordering::Release);
+        // Push any OsOnly-buffered log records to disk; a clean shutdown
+        // should never lose acknowledged writes regardless of policy.
+        if let Some(wal) = &self.inner.wal {
+            let _ = wal.flush();
+        }
         self.inner.automata.lock().clear();
         self.inner.dispatch.clear_subscribers();
         self.inner.routes.write().clear();
@@ -989,11 +1175,224 @@ impl CacheInner {
         schema: Arc<Schema>,
         capacity: usize,
     ) -> Result<()> {
+        let columns: Vec<(String, AttrType)> = schema
+            .attributes()
+            .iter()
+            .map(|a| (a.name.clone(), a.ty))
+            .collect();
         let table = match kind {
             TableKind::Ephemeral => Table::ephemeral(schema, capacity),
             TableKind::Persistent => Table::persistent(schema),
         };
-        self.tables.create(name, table)
+        // DDL is logged for *every* table kind: a recovered cache has the
+        // same topics as the crashed one, even though only persistent
+        // tables get their rows back. The record is appended *before* the
+        // table becomes visible in the store — a concurrent inserter can
+        // only reach the table after its create record is in the log, so
+        // the create's LSN is always below any of the table's row LSNs
+        // and replay can never see an insert into a not-yet-created
+        // table. Holding the checkpoint lock across append + publish
+        // keeps a concurrent rotation from sandwiching in between, which
+        // would snapshot the store without the table while retiring its
+        // create record. (A spurious record from a losing TableExists
+        // race is harmless: replay skips creates for existing tables.)
+        let ticket = match &self.wal {
+            Some(wal) => {
+                let _ckpt = self.checkpoint_lock.lock();
+                let framed = wal::encode_create(wal.next_lsn(), name, kind, capacity, &columns);
+                let ticket = wal.append(self.tables.shard_index(name), &framed)?;
+                self.tables.create(name, table)?;
+                Some(ticket)
+            }
+            None => {
+                self.tables.create(name, table)?;
+                None
+            }
+        };
+        self.wal_commit(ticket)?;
+        Ok(())
+    }
+
+    /// Append one insert/upsert record for `rows` (already applied to the
+    /// locked table behind `guard`) to the log. Returns the commit ticket
+    /// to await once the table lock is released, or `None` when the write
+    /// needs no logging (durability off, or an ephemeral stream).
+    fn wal_log_insert(
+        &self,
+        table_name: &str,
+        guard: &mut Table,
+        rows: &[Tuple],
+        upsert: bool,
+    ) -> Result<Option<WalTicket>> {
+        let Some(wal) = &self.wal else {
+            return Ok(None);
+        };
+        if guard.kind() != TableKind::Persistent || rows.is_empty() {
+            return Ok(None);
+        }
+        let lsn = wal.next_lsn();
+        let values: Vec<&[Scalar]> = rows.iter().map(Tuple::values).collect();
+        let framed = wal::encode_insert(lsn, table_name, upsert, rows[0].tstamp(), &values);
+        let ticket = wal.append(self.tables.shard_index(table_name), &framed)?;
+        guard.note_wal(lsn);
+        Ok(Some(ticket))
+    }
+
+    /// Wait for a commit ticket issued by [`CacheInner::wal_log_insert`]
+    /// (after the table lock has been dropped) and run a checkpoint if
+    /// one is due.
+    fn wal_commit(&self, ticket: Option<WalTicket>) -> Result<()> {
+        let (Some(wal), Some(ticket)) = (&self.wal, ticket) else {
+            return Ok(());
+        };
+        wal.wait_durable(ticket)?;
+        self.maybe_checkpoint();
+        Ok(())
+    }
+
+    /// Run a checkpoint if the record threshold has been crossed and no
+    /// other thread is already checkpointing — `try_lock`, never a
+    /// blocking wait, so when many inserters cross the threshold at
+    /// once exactly one runs the checkpoint (which resets the counter)
+    /// and the rest carry on; re-checking the threshold under the lock
+    /// keeps a raced-ahead second checkpoint from running back-to-back.
+    /// Failures are not fatal to the insert that tripped the threshold
+    /// (its record is already durable); the un-reset counter retries the
+    /// checkpoint on the next write, and [`Cache::checkpoint`] surfaces
+    /// the error to callers who want it.
+    fn maybe_checkpoint(&self) {
+        if let Some(wal) = &self.wal {
+            if wal.checkpoint_due() && !self.shutting_down.load(Ordering::Acquire) {
+                if let Some(_guard) = self.checkpoint_lock.try_lock() {
+                    if wal.checkpoint_due() {
+                        let _ = self.checkpoint_phases(wal);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Snapshot every table and truncate the logs. See
+    /// [`Cache::checkpoint`] for the public contract.
+    pub(crate) fn checkpoint(&self) -> Result<()> {
+        let Some(wal) = &self.wal else {
+            return Err(Error::wal("durability is not enabled on this cache"));
+        };
+        let _guard = self.checkpoint_lock.lock();
+        self.checkpoint_phases(wal)
+    }
+
+    /// The three checkpoint phases; callers hold [`CacheInner::checkpoint_lock`].
+    fn checkpoint_phases(&self, wal: &Arc<Wal>) -> Result<()> {
+        // Phase 1: rotate the logs. Records appended from here on go to
+        // fresh files and are *newer* than the snapshot below; records
+        // already in the rotated files are *older* and will be covered
+        // by it (each table's watermark is read under the same lock that
+        // appends its records, so snapshot and log can never disagree).
+        wal.rotate_begin()?;
+        // Phase 2: snapshot every table. Locks are taken one table at a
+        // time — inserts into other tables proceed during the copy.
+        let mut tables = Vec::new();
+        for (name, table) in self.tables.tables() {
+            let guard = table.lock();
+            let schema = guard.schema();
+            let columns = schema
+                .attributes()
+                .iter()
+                .map(|a| (a.name.clone(), a.ty))
+                .collect();
+            let rows = if guard.kind() == TableKind::Persistent {
+                guard
+                    .scan()
+                    .iter()
+                    .map(|t| (t.tstamp(), t.values().to_vec()))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            tables.push(SnapshotTable {
+                name,
+                kind: guard.kind(),
+                capacity: guard.stream_capacity(),
+                columns,
+                watermark: guard.wal_watermark(),
+                rows,
+            });
+        }
+        wal.write_snapshot(&tables)?;
+        // Phase 3: the snapshot is durable; the rotated logs are dead.
+        wal.rotate_end()
+    }
+
+    /// Re-apply recovered state: snapshot tables first, then the log
+    /// tail in global LSN order. Everything here bypasses both the log
+    /// (nothing is re-logged) and publication (no automaton can observe
+    /// a replayed tuple — replay happens before the cache is handed to
+    /// the application, and this path never touches the dispatch index).
+    fn apply_recovery(&self, recovery: Recovery) -> Result<()> {
+        for snap in recovery.snapshot {
+            let schema = Arc::new(Schema::new(snap.name.clone(), snap.columns)?);
+            if !self.tables.contains(&snap.name) {
+                let table = match snap.kind {
+                    TableKind::Ephemeral => Table::ephemeral(schema, snap.capacity),
+                    TableKind::Persistent => Table::persistent(schema),
+                };
+                self.tables.create(&snap.name, table)?;
+            }
+            let table = self.tables.get(&snap.name)?;
+            let mut guard = table.lock();
+            for (tstamp, values) in snap.rows {
+                guard.insert(values, tstamp, true)?;
+            }
+            guard.note_wal(snap.watermark);
+        }
+        for op in recovery.ops {
+            match op {
+                ReplayOp::CreateTable {
+                    name,
+                    kind,
+                    capacity,
+                    columns,
+                    ..
+                } => {
+                    if !self.tables.contains(&name) {
+                        let schema = Arc::new(Schema::new(name.clone(), columns)?);
+                        let table = match kind {
+                            TableKind::Ephemeral => Table::ephemeral(schema, capacity),
+                            TableKind::Persistent => Table::persistent(schema),
+                        };
+                        self.tables.create(&name, table)?;
+                    }
+                }
+                ReplayOp::Insert {
+                    lsn,
+                    table,
+                    upsert,
+                    tstamp,
+                    rows,
+                } => {
+                    let t = self.tables.get(&table)?;
+                    let mut guard = t.lock();
+                    for values in rows {
+                        guard.insert(values, tstamp, upsert)?;
+                    }
+                    guard.note_wal(lsn);
+                }
+                ReplayOp::Remove { lsn, table, key } => {
+                    let t = self.tables.get(&table)?;
+                    let mut guard = t.lock();
+                    guard.remove(&key)?;
+                    guard.note_wal(lsn);
+                }
+            }
+        }
+        if recovery.needs_checkpoint {
+            // A previous checkpoint was interrupted mid-flight; complete
+            // it now so rotated logs never survive past the snapshot
+            // that makes them redundant.
+            self.checkpoint()?;
+        }
+        Ok(())
     }
 
     pub(crate) fn with_table<R>(
@@ -1021,8 +1420,19 @@ impl CacheInner {
         let table = self.tables.get(table_name)?;
         let mut guard = table.lock();
         let outcome = guard.insert(values, self.now(), on_duplicate_update)?;
+        // The log record is appended in the same critical section that
+        // applied the row, so the shard log's order for this table equals
+        // its apply order; the durability *wait* happens after the lock
+        // drops, which is what lets concurrent inserters group-commit.
+        let ticket = self.wal_log_insert(
+            table_name,
+            &mut guard,
+            std::slice::from_ref(&outcome.stored),
+            on_duplicate_update,
+        )?;
         self.publish_locked(table_name, std::slice::from_ref(&outcome.stored));
         drop(guard);
+        self.wal_commit(ticket)?;
         Ok(outcome)
     }
 
@@ -1056,10 +1466,13 @@ impl CacheInner {
         let mut guard = table.lock();
         // Resolved under the table lock — like the single-insert path —
         // so an automaton whose registration completed before this batch
-        // took the lock can never miss the batch.
+        // took the lock can never miss the batch. The stored tuples are
+        // also needed when the table is durable: the applied prefix of
+        // the batch becomes one log record.
         let watched = !self.dispatch.topic(table_name).current().is_empty();
+        let durable = self.wal.is_some() && guard.kind() == TableKind::Persistent;
         let mut stored = Vec::new();
-        if watched {
+        if watched || durable {
             stored.reserve(rows.len());
         }
         let mut result = Ok(());
@@ -1067,7 +1480,7 @@ impl CacheInner {
             match guard.insert(values, tstamp, on_duplicate_update) {
                 Ok(outcome) => {
                     tstamps.push(outcome.stored.tstamp());
-                    if watched {
+                    if watched || durable {
                         stored.push(outcome.stored);
                     }
                 }
@@ -1077,8 +1490,12 @@ impl CacheInner {
                 }
             }
         }
-        self.publish_locked(table_name, &stored);
+        let ticket = self.wal_log_insert(table_name, &mut guard, &stored, on_duplicate_update)?;
+        if watched {
+            self.publish_locked(table_name, &stored);
+        }
         drop(guard);
+        self.wal_commit(ticket)?;
         result?;
         Ok(tstamps)
     }
@@ -1152,8 +1569,7 @@ impl CacheInner {
 
     /// Run a plan-cached `select` (see [`Cache::execute`]).
     pub(crate) fn select_cached(&self, entry: &PlanEntry) -> Result<ResultSet> {
-        let (schema, rows) =
-            self.snapshot(entry.query.table(), entry.query.since_tstamp())?;
+        let (schema, rows) = self.snapshot(entry.query.table(), entry.query.since_tstamp())?;
         entry.plan_for(&schema)?.evaluate(&rows)
     }
 
@@ -1170,7 +1586,26 @@ impl CacheInner {
     }
 
     pub(crate) fn persistent_remove(&self, table: &str, key: &str) -> Result<Option<Tuple>> {
-        self.with_table(table, |t| t.remove(key))
+        let t = self.tables.get(table)?;
+        let mut guard = t.lock();
+        let removed = guard.remove(key)?;
+        // Removals are logged unconditionally (even when the key was
+        // absent): a remove is idempotent to replay, and logging every
+        // call keeps the log a faithful, one-record-per-operation
+        // transcript of the mutation history.
+        let ticket = match &self.wal {
+            Some(wal) if guard.kind() == TableKind::Persistent => {
+                let lsn = wal.next_lsn();
+                let framed = wal::encode_remove(lsn, table, key);
+                let ticket = wal.append(self.tables.shard_index(table), &framed)?;
+                guard.note_wal(lsn);
+                Some(ticket)
+            }
+            _ => None,
+        };
+        drop(guard);
+        self.wal_commit(ticket)?;
+        Ok(removed)
     }
 
     /// Upsert a row into a persistent table on behalf of an automaton
@@ -1224,9 +1659,11 @@ mod tests {
         c.execute("create table Flows (srcip varchar(16), nbytes integer)")
             .unwrap();
         c.manual_clock().unwrap().advance(10);
-        c.execute("insert into Flows values ('10.0.0.1', 100)").unwrap();
+        c.execute("insert into Flows values ('10.0.0.1', 100)")
+            .unwrap();
         c.manual_clock().unwrap().advance(10);
-        c.execute("insert into Flows values ('10.0.0.2', 2000)").unwrap();
+        c.execute("insert into Flows values ('10.0.0.2', 2000)")
+            .unwrap();
 
         let rs = c
             .execute("select * from Flows where nbytes > 500")
@@ -1268,9 +1705,7 @@ mod tests {
             c.manual_clock().unwrap().advance(100);
             c.insert("Readings", vec![Scalar::Int(i)]).unwrap();
         }
-        let first = c
-            .select(&Query::new("Readings"))
-            .unwrap();
+        let first = c.select(&Query::new("Readings")).unwrap();
         assert_eq!(first.len(), 5);
         let tau = first.max_tstamp().unwrap();
 
@@ -1290,12 +1725,15 @@ mod tests {
         let c = cache();
         c.execute("create persistenttable BWUsage (ipaddr varchar(16) primary key, bytes integer)")
             .unwrap();
-        c.execute("insert into BWUsage values ('10.0.0.1', 10)").unwrap();
+        c.execute("insert into BWUsage values ('10.0.0.1', 10)")
+            .unwrap();
         let resp = c
             .execute("insert into BWUsage values ('10.0.0.1', 20) on duplicate key update")
             .unwrap();
         assert!(matches!(resp, Response::Inserted { replaced: true, .. }));
-        assert!(c.execute("insert into BWUsage values ('10.0.0.1', 30)").is_err());
+        assert!(c
+            .execute("insert into BWUsage values ('10.0.0.1', 30)")
+            .is_err());
         assert_eq!(c.table_len("BWUsage").unwrap(), 1);
         let row = c.lookup("BWUsage", "10.0.0.1").unwrap().unwrap();
         assert_eq!(row.values()[1], Scalar::Int(20));
@@ -1372,9 +1810,7 @@ mod tests {
         c.execute("create table Raw (v integer)").unwrap();
         c.execute("create table Derived (v integer)").unwrap();
         let (_a, _rx_a) = c
-            .register_automaton(
-                "subscribe r to Raw; behavior { publish('Derived', r.v * 10); }",
-            )
+            .register_automaton("subscribe r to Raw; behavior { publish('Derived', r.v * 10); }")
             .unwrap();
         let (_b, rx_b) = c
             .register_automaton("subscribe d to Derived; behavior { send(d.v); }")
@@ -1466,9 +1902,7 @@ mod tests {
         let c = cache();
         assert!(c.table_names().contains(&TIMER_TOPIC.to_string()));
         let (_id, rx) = c
-            .register_automaton(
-                "subscribe t to Timer; behavior { send(t.tstamp); }",
-            )
+            .register_automaton("subscribe t to Timer; behavior { send(t.tstamp); }")
             .unwrap();
         c.manual_clock().unwrap().set(5_000_000_000);
         c.tick_timer().unwrap();
@@ -1519,7 +1953,8 @@ mod tests {
     #[test]
     fn multi_row_sql_insert_goes_through_the_batch_path() {
         let c = cache();
-        c.execute("create table S (v integer, w varchar(8))").unwrap();
+        c.execute("create table S (v integer, w varchar(8))")
+            .unwrap();
         let resp = c
             .execute("insert into S values (1, 'a'), (2, 'b'), (3, 'c')")
             .unwrap();
@@ -1574,10 +2009,15 @@ mod tests {
     #[test]
     fn shard_count_is_configurable_and_transparent() {
         for shards in [1usize, 4, 64] {
-            let c = CacheBuilder::new().manual_clock().shard_count(shards).build();
+            let c = CacheBuilder::new()
+                .manual_clock()
+                .shard_count(shards)
+                .build();
             for i in 0..10 {
-                c.execute(&format!("create table T{i} (v integer)")).unwrap();
-                c.insert(&format!("T{i}"), vec![Scalar::Int(i as i64)]).unwrap();
+                c.execute(&format!("create table T{i} (v integer)"))
+                    .unwrap();
+                c.insert(&format!("T{i}"), vec![Scalar::Int(i as i64)])
+                    .unwrap();
             }
             assert_eq!(c.table_names().len(), 11); // 10 tables + Timer
             for i in 0..10 {
@@ -1592,7 +2032,8 @@ mod tests {
         let threads = 4;
         let per_thread = 500;
         for t in 0..threads {
-            c.execute(&format!("create table W{t} (v integer)")).unwrap();
+            c.execute(&format!("create table W{t} (v integer)"))
+                .unwrap();
         }
         let handles: Vec<_> = (0..threads)
             .map(|t| {
@@ -1640,9 +2081,7 @@ mod tests {
         let c = cache();
         c.execute("create table T (v integer)").unwrap();
         let (id, _rx) = c
-            .register_automaton(
-                "subscribe t to T; int x; behavior { x = 1 / (t.v - t.v); }",
-            )
+            .register_automaton("subscribe t to T; int x; behavior { x = 1 / (t.v - t.v); }")
             .unwrap();
         c.insert("T", vec![Scalar::Int(3)]).unwrap();
         c.insert("T", vec![Scalar::Int(4)]).unwrap();
@@ -1688,9 +2127,7 @@ mod tests {
         let c = cache();
         c.execute("create table T (v integer)").unwrap();
         let (id, _rx) = c
-            .register_automaton(
-                "subscribe t to T; behavior { print(String('saw ', t.v)); }",
-            )
+            .register_automaton("subscribe t to T; behavior { print(String('saw ', t.v)); }")
             .unwrap();
         c.insert("T", vec![Scalar::Int(7)]).unwrap();
         assert!(c.quiesce(Duration::from_secs(5)));
@@ -1708,9 +2145,7 @@ mod tests {
             )
             .unwrap();
         let (all, rx_all) = c
-            .register_automaton(
-                "subscribe t to Ticks; int n; behavior { n += 1; send(n); }",
-            )
+            .register_automaton("subscribe t to Ticks; int n; behavior { n += 1; send(n); }")
             .unwrap();
         for (sym, price) in [("IBM", 1), ("MSFT", 2), ("IBM", 3), ("AAPL", 4)] {
             c.insert("Ticks", vec![Scalar::Str(sym.into()), Scalar::Int(price)])
@@ -1744,7 +2179,10 @@ mod tests {
 
     #[test]
     fn naive_fanout_mode_delivers_everything() {
-        let c = CacheBuilder::new().manual_clock().naive_fanout(true).build();
+        let c = CacheBuilder::new()
+            .manual_clock()
+            .naive_fanout(true)
+            .build();
         c.execute("create table Ticks (sym varchar(8), price integer)")
             .unwrap();
         let (id, rx) = c
@@ -1806,8 +2244,14 @@ mod tests {
             c.insert("S", vec![Scalar::Int(i)]).unwrap();
         }
         assert!(c.quiesce(Duration::from_secs(5)));
-        let got_a: Vec<i64> = rx_a.try_iter().map(|n| n.values[0].as_int().unwrap()).collect();
-        let got_b: Vec<i64> = rx_b.try_iter().map(|n| n.values[0].as_int().unwrap()).collect();
+        let got_a: Vec<i64> = rx_a
+            .try_iter()
+            .map(|n| n.values[0].as_int().unwrap())
+            .collect();
+        let got_b: Vec<i64> = rx_b
+            .try_iter()
+            .map(|n| n.values[0].as_int().unwrap())
+            .collect();
         assert_eq!(got_a, (0..50).collect::<Vec<_>>());
         assert_eq!(got_b, (0..50).map(|i| i * 10).collect::<Vec<_>>());
     }

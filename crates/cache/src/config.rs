@@ -49,6 +49,18 @@ pub const DEFAULT_SHARD_COUNT: usize = 16;
 /// [`CacheBuilder::automaton_workers`](crate::CacheBuilder::automaton_workers).
 pub const DEFAULT_AUTOMATON_WORKERS: usize = 4;
 
+/// Default number of logged records between automatic checkpoints when
+/// durability is enabled.
+///
+/// A checkpoint rewrites every table into `snapshot.snap` and truncates
+/// the per-shard logs, so it trades a burst of I/O for bounded recovery
+/// time. Ten thousand records keeps the log tail short (replay is tens
+/// of milliseconds) without snapshotting so often that checkpoint I/O
+/// competes with the insert path; tune via
+/// [`CacheBuilder::checkpoint_every`](crate::CacheBuilder::checkpoint_every)
+/// (0 disables automatic checkpoints entirely).
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 10_000;
+
 /// The outcome of loading a configuration.
 #[derive(Debug)]
 pub struct ConfigReport {
@@ -187,7 +199,10 @@ mod tests {
         let err = cache
             .load_config("automaton bad <<<\nsubscribe t to T; behavior { y = 1; }\n>>>\n")
             .unwrap_err();
-        assert!(matches!(err, Error::AutomatonCompile { .. } | Error::NoSuchTable { .. }));
+        assert!(matches!(
+            err,
+            Error::AutomatonCompile { .. } | Error::NoSuchTable { .. }
+        ));
         assert!(cache.table_names().contains(&"T".to_string()));
     }
 

@@ -500,9 +500,7 @@ mod tests {
     #[test]
     fn numeric_equality_buckets_match_vm_f64_semantics() {
         let schema = ticks_schema();
-        let p = prefilter_of(
-            "subscribe t to Ticks; behavior { if (t.price == 10.0) send(1); }",
-        );
+        let p = prefilter_of("subscribe t to Ticks; behavior { if (t.price == 10.0) send(1); }");
         let index = SubscriberIndex::default().with(AutomatonId(1), &p, &schema);
         // A Real literal matches an Int column through the f64 view,
         // exactly as the VM's `==` does.
@@ -549,9 +547,7 @@ mod tests {
     #[test]
     fn removal_restores_the_empty_index() {
         let schema = ticks_schema();
-        let p = prefilter_of(
-            "subscribe t to Ticks; behavior { if (t.sym == 'A') send(1); }",
-        );
+        let p = prefilter_of("subscribe t to Ticks; behavior { if (t.sym == 'A') send(1); }");
         let index = SubscriberIndex::default().with(AutomatonId(1), &p, &schema);
         let index = index.without(AutomatonId(1));
         assert!(index.is_empty());

@@ -51,6 +51,19 @@ pub enum Error {
         /// Explanation of the failure.
         message: String,
     },
+    /// Bytes did not decode as a valid wire value (see [`crate::wire`]);
+    /// raised by the RPC layer on malformed frames and by recovery on
+    /// corrupt log payloads.
+    Protocol {
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// The durability subsystem failed: write-ahead-log or snapshot I/O,
+    /// or an unrecoverable inconsistency found during replay.
+    Wal {
+        /// Explanation of the failure.
+        message: String,
+    },
     /// Internal invariant violation (poisoned thread, disconnected channel).
     Internal {
         /// Explanation of the failure.
@@ -79,6 +92,20 @@ impl Error {
             message: message.into(),
         }
     }
+
+    /// Construct a [`Error::Protocol`].
+    pub fn protocol(message: impl Into<String>) -> Self {
+        Error::Protocol {
+            message: message.into(),
+        }
+    }
+
+    /// Construct a [`Error::Wal`].
+    pub fn wal(message: impl Into<String>) -> Self {
+        Error::Wal {
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -95,6 +122,8 @@ impl fmt::Display for Error {
                 write!(f, "automaton failed to compile: {message}")
             }
             Error::NoSuchAutomaton { id } => write!(f, "no such automaton #{id}"),
+            Error::Protocol { message } => write!(f, "protocol error: {message}"),
+            Error::Wal { message } => write!(f, "durability error: {message}"),
             Error::AutomatonRuntime { message } => {
                 write!(f, "automaton runtime error: {message}")
             }
@@ -104,6 +133,14 @@ impl fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        // The only I/O the cache performs is durability I/O, so every
+        // `io::Error` reaching this crate's `?` is a WAL/snapshot failure.
+        Error::wal(e.to_string())
+    }
+}
 
 impl From<gapl::Error> for Error {
     fn from(e: gapl::Error) -> Self {

@@ -59,12 +59,17 @@ pub mod query;
 pub mod runtime;
 pub mod sql;
 pub mod table;
+pub mod wal;
+pub mod wire;
 
 pub use cache::{AutomatonTelemetry, Cache, CacheBuilder, DispatchStats, Response};
 pub use clock::{Clock, ManualClock, SystemClock};
-pub use config::{ConfigReport, DEFAULT_AUTOMATON_WORKERS, DEFAULT_SHARD_COUNT};
+pub use config::{
+    ConfigReport, DEFAULT_AUTOMATON_WORKERS, DEFAULT_CHECKPOINT_EVERY, DEFAULT_SHARD_COUNT,
+};
 pub use error::{Error, Result};
 pub use plan::{ColRef, QueryPlan};
 pub use query::{Aggregate, Comparison, Predicate, Query, ResultSet, Row};
 pub use runtime::{AutomatonId, Notification};
 pub use table::TableKind;
+pub use wal::{SyncPolicy, WalStats};

@@ -141,9 +141,10 @@ impl CompiledAggregate {
             Aggregate::Max(c) => (AggKind::Max, Some(c)),
         };
         let input = match column {
-            Some(name) => Some(ColRef::resolve(schema, name).map_err(|_| {
-                Error::schema(format!("unknown column `{name}` in aggregate"))
-            })?),
+            Some(name) => Some(
+                ColRef::resolve(schema, name)
+                    .map_err(|_| Error::schema(format!("unknown column `{name}` in aggregate")))?,
+            ),
             None => None,
         };
         Ok(CompiledAggregate {
@@ -297,9 +298,7 @@ impl QueryPlan {
                 schema
                     .index_of(name)
                     .map(|ix| (name.to_owned(), ColRef::Index(ix)))
-                    .ok_or_else(|| {
-                        Error::schema(format!("unknown group by column `{name}`"))
-                    })
+                    .ok_or_else(|| Error::schema(format!("unknown group by column `{name}`")))
             })
             .transpose()?;
         let aggregates = query
@@ -311,11 +310,11 @@ impl QueryPlan {
         // (the group key or an aggregate name), which only exist after
         // grouping; it is resolved during evaluation in that case.
         let order_by = match query.order_by_spec() {
-            Some((name, descending)) if group_by.is_none() => {
-                Some((ColRef::resolve(schema, name).map_err(|_| {
-                    Error::schema(format!("unknown order by column `{name}`"))
-                })?, *descending))
-            }
+            Some((name, descending)) if group_by.is_none() => Some((
+                ColRef::resolve(schema, name)
+                    .map_err(|_| Error::schema(format!("unknown order by column `{name}`")))?,
+                *descending,
+            )),
             _ => None,
         };
         Ok(QueryPlan {
@@ -408,8 +407,11 @@ impl QueryPlan {
 
         // 4. Projection and limit: refcount clones only.
         let limit = self.limit.unwrap_or(usize::MAX);
-        let columns: Vec<String> =
-            self.projection.iter().map(|(name, _)| name.clone()).collect();
+        let columns: Vec<String> = self
+            .projection
+            .iter()
+            .map(|(name, _)| name.clone())
+            .collect();
         let rows = selected
             .into_iter()
             .take(limit)

@@ -128,7 +128,6 @@ impl Aggregate {
             Aggregate::Max(c) => format!("max({c})"),
         }
     }
-
 }
 
 /// A single result row.

@@ -32,6 +32,16 @@
 //! tuples into other tables, potentially cascading into other automata
 //! on other workers; channels are unbounded, so cascades never
 //! deadlock the pool.
+//!
+//! **Durability and replay.** When the cache is opened from a
+//! durability directory (see [`crate::wal`]), recovered inserts are
+//! applied to the tables *before* the cache is handed back to the
+//! application, through a path that never touches the dispatch index —
+//! so no worker mailbox ever receives a replayed tuple. An automaton
+//! registered on a recovered cache starts from its `initialization`
+//! clause and observes live traffic only; automaton state (VM
+//! variables) is deliberately not durable, but any state an automaton
+//! `insert()`s into an associated persistent table is.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -230,7 +240,10 @@ fn worker_loop(rx: Receiver<WorkerMsg>) {
                 };
                 let mut vm = Vm::new(cmd.program);
                 if let Err(e) = vm.run_initialization(&mut host) {
-                    host.stats.errors.lock().push(format!("initialization: {e}"));
+                    host.stats
+                        .errors
+                        .lock()
+                        .push(format!("initialization: {e}"));
                 }
                 runners.insert(cmd.id.0, Runner { vm, host });
             }
@@ -243,7 +256,12 @@ fn worker_loop(rx: Receiver<WorkerMsg>) {
                     continue;
                 };
                 if let Err(e) = runner.vm.run_behavior(&topic, &tuple, &mut runner.host) {
-                    runner.host.stats.errors.lock().push(format!("behavior: {e}"));
+                    runner
+                        .host
+                        .stats
+                        .errors
+                        .lock()
+                        .push(format!("behavior: {e}"));
                 }
                 runner.host.stats.processed.fetch_add(1, Ordering::Release);
             }

@@ -98,17 +98,20 @@ fn tokenize(input: &str) -> Result<Vec<Tok>> {
             }
             let text: String = chars[start..i].iter().collect();
             if is_real {
-                out.push(Tok::Real(text.parse().map_err(|_| {
-                    Error::sql(format!("invalid number `{text}`"))
-                })?));
+                out.push(Tok::Real(
+                    text.parse()
+                        .map_err(|_| Error::sql(format!("invalid number `{text}`")))?,
+                ));
             } else {
-                out.push(Tok::Int(text.parse().map_err(|_| {
-                    Error::sql(format!("invalid number `{text}`"))
-                })?));
+                out.push(Tok::Int(
+                    text.parse()
+                        .map_err(|_| Error::sql(format!("invalid number `{text}`")))?,
+                ));
             }
         } else if c == '_' || c.is_alphabetic() {
             let start = i;
-            while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric() || chars[i] == '.')
+            while i < chars.len()
+                && (chars[i] == '_' || chars[i].is_alphanumeric() || chars[i] == '.')
             {
                 i += 1;
             }
@@ -178,7 +181,9 @@ impl Parser {
     fn expect_word(&mut self) -> Result<String> {
         match self.bump() {
             Some(Tok::Word(w)) => Ok(w),
-            other => Err(Error::sql(format!("expected an identifier, found {other:?}"))),
+            other => Err(Error::sql(format!(
+                "expected an identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -404,7 +409,11 @@ impl Parser {
                         columns.push(w);
                     }
                 }
-                other => return Err(Error::sql(format!("expected a projection, found {other:?}"))),
+                other => {
+                    return Err(Error::sql(format!(
+                        "expected a projection, found {other:?}"
+                    )))
+                }
             }
             if self.peek() == Some(&Tok::Comma) {
                 self.bump();
@@ -464,9 +473,7 @@ impl Parser {
                     match self.bump() {
                         Some(Tok::Int(n)) if n >= 0 => query = query.limit(n as usize),
                         other => {
-                            return Err(Error::sql(format!(
-                                "expected a limit, found {other:?}"
-                            )))
+                            return Err(Error::sql(format!("expected a limit, found {other:?}")))
                         }
                     }
                 }
@@ -519,7 +526,11 @@ impl Parser {
                 ">=" => Comparison::Ge,
                 other => return Err(Error::sql(format!("unknown comparison `{other}`"))),
             },
-            other => return Err(Error::sql(format!("expected a comparison, found {other:?}"))),
+            other => {
+                return Err(Error::sql(format!(
+                    "expected a comparison, found {other:?}"
+                )))
+            }
         };
         let value = self.literal()?;
         Ok(Predicate::Compare { column, op, value })
@@ -602,7 +613,10 @@ mod tests {
                 on_duplicate_update,
             } => {
                 assert_eq!(table, "BWUsage");
-                assert_eq!(values, vec![Scalar::Str("10.0.0.1".into()), Scalar::Int(42)]);
+                assert_eq!(
+                    values,
+                    vec![Scalar::Str("10.0.0.1".into()), Scalar::Int(42)]
+                );
                 assert!(on_duplicate_update);
             }
             other => panic!("unexpected {other:?}"),

@@ -188,6 +188,36 @@ impl Table {
         }
     }
 
+    /// Circular-buffer capacity of an ephemeral stream; 0 for relations
+    /// (used when encoding checkpoint snapshots).
+    pub fn stream_capacity(&self) -> usize {
+        match self {
+            Table::Ephemeral(t) => t.capacity(),
+            Table::Persistent(_) => 0,
+        }
+    }
+
+    /// LSN of the newest write-ahead-log record covering this table
+    /// (persistent tables only; streams are never logged). A checkpoint
+    /// snapshot stores this watermark so recovery replays exactly the
+    /// records the snapshot does not already reflect.
+    pub fn wal_watermark(&self) -> u64 {
+        match self {
+            Table::Ephemeral(_) => 0,
+            Table::Persistent(t) => t.wal_watermark,
+        }
+    }
+
+    /// Record that the table's newest logged record has sequence number
+    /// `lsn`. Called with the table lock held, in the same critical
+    /// section that appended the record, so the watermark and the log
+    /// can never disagree.
+    pub fn note_wal(&mut self, lsn: u64) {
+        if let Table::Persistent(t) = self {
+            t.wal_watermark = t.wal_watermark.max(lsn);
+        }
+    }
+
     /// Primary keys of a persistent table, in key order; empty for streams.
     pub fn keys(&self) -> Vec<String> {
         match self {
@@ -279,6 +309,8 @@ pub struct PersistentTable {
     next_seq: u64,
     /// See [`EphemeralTable::last_tstamp`].
     last_tstamp: Timestamp,
+    /// See [`Table::wal_watermark`].
+    wal_watermark: u64,
 }
 
 impl PersistentTable {
@@ -290,6 +322,7 @@ impl PersistentTable {
             stale: 0,
             next_seq: 0,
             last_tstamp: 0,
+            wal_watermark: 0,
         }
     }
 
@@ -325,9 +358,7 @@ impl PersistentTable {
         if replaced && !on_duplicate_update {
             return Err(Error::WrongTableKind {
                 name: self.schema.name().to_owned(),
-                message: format!(
-                    "duplicate primary key `{key}` (use `on duplicate key update`)"
-                ),
+                message: format!("duplicate primary key `{key}` (use `on duplicate key update`)"),
             });
         }
         self.last_tstamp = tstamp;
@@ -364,9 +395,12 @@ impl PersistentTable {
 /// Lock order: a stripe lock is never held while a table mutex is taken —
 /// lookups clone the `Arc` out of the stripe and release it first — so
 /// the store cannot deadlock against the publish path.
+/// One lock stripe of the store: a name → table map under its own lock.
+type Stripe = RwLock<HashMap<String, Arc<Mutex<Table>>>>;
+
 #[derive(Debug)]
 pub(crate) struct TableStore {
-    shards: Box<[RwLock<HashMap<String, Arc<Mutex<Table>>>>]>,
+    shards: Box<[Stripe]>,
 }
 
 impl TableStore {
@@ -380,10 +414,17 @@ impl TableStore {
         TableStore { shards }
     }
 
-    fn shard(&self, name: &str) -> &RwLock<HashMap<String, Arc<Mutex<Table>>>> {
+    fn shard(&self, name: &str) -> &Stripe {
+        &self.shards[self.shard_index(name)]
+    }
+
+    /// The stripe index `name` hashes to. The write-ahead log is striped
+    /// by the same function, so a table's records always land in the log
+    /// shard of its store stripe.
+    pub fn shard_index(&self, name: &str) -> usize {
         let mut hasher = DefaultHasher::new();
         name.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+        (hasher.finish() as usize) % self.shards.len()
     }
 
     /// Number of stripes.
@@ -440,6 +481,24 @@ impl TableStore {
             .iter()
             .flat_map(|s| s.read().keys().cloned().collect::<Vec<_>>())
             .collect()
+    }
+
+    /// Every `(name, table)` pair, detached from the stripe locks, in
+    /// name order. Used by checkpoints, which then lock each table
+    /// individually — never a stripe lock and a table lock at once.
+    pub fn tables(&self) -> Vec<(String, Arc<Mutex<Table>>)> {
+        let mut all: Vec<(String, Arc<Mutex<Table>>)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .iter()
+                    .map(|(name, table)| (name.clone(), Arc::clone(table)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
     }
 }
 
@@ -526,7 +585,10 @@ mod tests {
         assert_eq!(t.len(), 2);
         let row = t.lookup("10.0.0.1").unwrap();
         assert_eq!(row.values()[1], Scalar::Int(100));
-        assert_eq!(t.keys(), vec!["10.0.0.1".to_string(), "10.0.0.2".to_string()]);
+        assert_eq!(
+            t.keys(),
+            vec!["10.0.0.1".to_string(), "10.0.0.2".to_string()]
+        );
     }
 
     #[test]

@@ -96,10 +96,7 @@ impl Engine {
     pub fn process(&mut self, event: &Tuple) {
         self.events_processed += 1;
         let partition = match self.nfa.partition_by() {
-            Some(attr) => event
-                .field(attr)
-                .map(|v| v.to_string())
-                .unwrap_or_default(),
+            Some(attr) => event.field(attr).map(|v| v.to_string()).unwrap_or_default(),
             None => String::new(),
         };
 
@@ -210,17 +207,21 @@ mod tests {
         let start = b.add_state("start", false);
         let first = b.add_state("first", false);
         let done = b.add_state("done", true);
-        b.transition(start, first, TransitionEffect::Move, |_, _| true, |bind, ev| {
-            bind.set("name", ev.field("name").unwrap());
-            bind.set("p0", ev.field("price").unwrap());
-        });
+        b.transition(
+            start,
+            first,
+            TransitionEffect::Move,
+            |_, _| true,
+            |bind, ev| {
+                bind.set("name", ev.field("name").unwrap());
+                bind.set("p0", ev.field("price").unwrap());
+            },
+        );
         b.transition(
             first,
             done,
             TransitionEffect::Move,
-            |bind, ev| {
-                ev.field("price").unwrap().as_real().unwrap() > bind.get_real("p0").unwrap()
-            },
+            |bind, ev| ev.field("price").unwrap().as_real().unwrap() > bind.get_real("p0").unwrap(),
             |bind, ev| {
                 bind.set("p1", ev.field("price").unwrap());
             },
@@ -254,10 +255,7 @@ mod tests {
         engine.run(&[tick("A", 10.0, 1), tick("A", 9.0, 2), tick("A", 9.5, 3)]);
         // 10 -> 9 is not rising (instance from t=1 dies); 9 -> 9.5 matches.
         assert_eq!(engine.matches().len(), 1);
-        assert_eq!(
-            engine.matches()[0].bindings.get_real("p0"),
-            Some(9.0)
-        );
+        assert_eq!(engine.matches()[0].bindings.get_real("p0"), Some(9.0));
 
         // Skip-till-next-match keeps the instance alive across the dip.
         let mut b = NfaBuilder::new("skip");
@@ -266,16 +264,20 @@ mod tests {
         let first = b.add_state("first", false);
         let done = b.add_state("done", true);
         b.skip_unmatched(first);
-        b.transition(start, first, TransitionEffect::Move, |_, _| true, |bind, ev| {
-            bind.set("p0", ev.field("price").unwrap());
-        });
+        b.transition(
+            start,
+            first,
+            TransitionEffect::Move,
+            |_, _| true,
+            |bind, ev| {
+                bind.set("p0", ev.field("price").unwrap());
+            },
+        );
         b.transition(
             first,
             done,
             TransitionEffect::Move,
-            |bind, ev| {
-                ev.field("price").unwrap().as_real().unwrap() > bind.get_real("p0").unwrap()
-            },
+            |bind, ev| ev.field("price").unwrap().as_real().unwrap() > bind.get_real("p0").unwrap(),
             |_, _| (),
         );
         let mut engine = Engine::new(b.build());
@@ -292,7 +294,10 @@ mod tests {
         assert_eq!(engine.take_matches().len(), 1);
         assert!(engine.matches().is_empty());
         assert!(engine.max_live_instances() >= 1);
-        assert_eq!(engine.live_instances(), engine.partitions.values().map(Vec::len).sum());
+        assert_eq!(
+            engine.live_instances(),
+            engine.partitions.values().map(Vec::len).sum()
+        );
     }
 
     #[test]
@@ -304,10 +309,14 @@ mod tests {
         b.transition(start, done, TransitionEffect::Fork, |_, _| true, |_, _| ());
         let mut engine = Engine::new(b.build());
         // Seed one instance manually by enabling spawn for the first event.
-        engine.partitions.entry(String::new()).or_default().push(Instance {
-            state: 0,
-            bindings: Bindings::new(),
-        });
+        engine
+            .partitions
+            .entry(String::new())
+            .or_default()
+            .push(Instance {
+                state: 0,
+                bindings: Bindings::new(),
+            });
         engine.run(&[tick("A", 1.0, 1), tick("A", 1.0, 2)]);
         // The forked original stays alive, so both events produce a match.
         assert_eq!(engine.matches().len(), 2);

@@ -67,13 +67,19 @@ pub fn q2_double_top(tolerance: f64) -> Nfa {
     let matched = b.add_state("double-top", true);
 
     // A: anchor the pattern at any event.
-    b.transition(start, rising1, TransitionEffect::Move, |_, _| true, |bind, ev| {
-        let p = price_of(ev);
-        bind.set("name", name_of(ev));
-        bind.set("start", Scalar::Real(p));
-        bind.set("prev", Scalar::Real(p));
-        bind.set("peak1", Scalar::Real(p));
-    });
+    b.transition(
+        start,
+        rising1,
+        TransitionEffect::Move,
+        |_, _| true,
+        |bind, ev| {
+            let p = price_of(ev);
+            bind.set("name", name_of(ev));
+            bind.set("start", Scalar::Real(p));
+            bind.set("prev", Scalar::Real(p));
+            bind.set("peak1", Scalar::Real(p));
+        },
+    );
 
     // B: keep climbing to the first peak.
     b.transition(
@@ -182,13 +188,19 @@ pub fn q3_increasing_runs(min_len: i64) -> Nfa {
     let folding = b.add_state("folding", false);
     let done = b.add_state("run-ended", true);
 
-    b.transition(start, folding, TransitionEffect::Move, |_, _| true, |bind, ev| {
-        let p = price_of(ev);
-        bind.set("name", name_of(ev));
-        bind.set("first", Scalar::Real(p));
-        bind.set("prev", Scalar::Real(p));
-        bind.set("len", Scalar::Int(1));
-    });
+    b.transition(
+        start,
+        folding,
+        TransitionEffect::Move,
+        |_, _| true,
+        |bind, ev| {
+            let p = price_of(ev);
+            bind.set("name", name_of(ev));
+            bind.set("first", Scalar::Real(p));
+            bind.set("prev", Scalar::Real(p));
+            bind.set("len", Scalar::Int(1));
+        },
+    );
     // FOLD iteration: the run continues while the price keeps rising.
     b.transition(
         folding,
@@ -222,10 +234,7 @@ pub fn q3_increasing_runs(min_len: i64) -> Nfa {
 /// name and the run length, in stream order of run end. Only the *maximal*
 /// runs are reported (the NFA also reports sub-runs because a fresh
 /// instance starts at every event; see the tests for the relationship).
-pub fn reference_maximal_runs(
-    events: &[gapl::event::Tuple],
-    min_len: i64,
-) -> Vec<(String, i64)> {
+pub fn reference_maximal_runs(events: &[gapl::event::Tuple], min_len: i64) -> Vec<(String, i64)> {
     use std::collections::HashMap;
     let mut state: HashMap<String, (f64, i64)> = HashMap::new();
     let mut out = Vec::new();

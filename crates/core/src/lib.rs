@@ -67,8 +67,8 @@ pub mod prelude {
     pub use crate::continuous::ContinuousQuery;
     pub use gapl::event::{AttrType, Scalar, Schema, Timestamp, Tuple};
     pub use pscache::{
-        Aggregate, AutomatonId, AutomatonTelemetry, Cache, CacheBuilder, Comparison,
-        DispatchStats, Notification, Predicate, Query, Response, ResultSet, TableKind,
+        Aggregate, AutomatonId, AutomatonTelemetry, Cache, CacheBuilder, Comparison, DispatchStats,
+        Notification, Predicate, Query, Response, ResultSet, TableKind,
     };
     pub use psrpc::server::ServerStats;
     pub use psrpc::{CacheClient, RpcServer};

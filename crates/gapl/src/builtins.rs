@@ -156,10 +156,39 @@ impl BuiltinId {
     pub fn all() -> &'static [BuiltinId] {
         use BuiltinId::*;
         &[
-            Sequence, Map, Window, Identifier, Iterator, Insert, Lookup, HasEntry, Remove,
-            MapSize, HasNext, Next, SeqElement, SeqSize, Append, WinSize, WinClear, LsqSlope,
-            Send, Publish, Print, TstampNow, TstampDiff, HourInDay, Float, Int, StringOf,
-            CurrentTopic, Delete, Frequent, Abs, Min, Max,
+            Sequence,
+            Map,
+            Window,
+            Identifier,
+            Iterator,
+            Insert,
+            Lookup,
+            HasEntry,
+            Remove,
+            MapSize,
+            HasNext,
+            Next,
+            SeqElement,
+            SeqSize,
+            Append,
+            WinSize,
+            WinClear,
+            LsqSlope,
+            Send,
+            Publish,
+            Print,
+            TstampNow,
+            TstampDiff,
+            HourInDay,
+            Float,
+            Int,
+            StringOf,
+            CurrentTopic,
+            Delete,
+            Frequent,
+            Abs,
+            Min,
+            Max,
         ]
     }
 }
@@ -195,7 +224,7 @@ fn key_text(id: BuiltinId, v: &Value) -> Result<String> {
     }
 }
 
-fn assoc_table<'p>(program: &'p Program, index: usize) -> Result<&'p str> {
+fn assoc_table(program: &Program, index: usize) -> Result<&str> {
     program
         .associations()
         .get(index)
@@ -279,9 +308,9 @@ pub(crate) fn call(id: BuiltinId, mut args: Vec<Value>, ctx: &mut BuiltinCtx<'_>
                         keys,
                     )))))
                 }
-                Value::Window(w) => Ok(Value::Iterator(Rc::new(RefCell::new(
-                    IteratorData::over(w.borrow().values()),
-                )))),
+                Value::Window(w) => Ok(Value::Iterator(Rc::new(RefCell::new(IteratorData::over(
+                    w.borrow().values(),
+                ))))),
                 Value::Sequence(s) => Ok(Value::Iterator(Rc::new(RefCell::new(
                     IteratorData::over(s.borrow().clone()),
                 )))),
@@ -292,7 +321,11 @@ pub(crate) fn call(id: BuiltinId, mut args: Vec<Value>, ctx: &mut BuiltinCtx<'_>
                         keys.into_iter().map(Value::identifier).collect(),
                     )))))
                 }
-                other => Err(type_error(id, "a map, window, sequence or association", &other)),
+                other => Err(type_error(
+                    id,
+                    "a map, window, sequence or association",
+                    &other,
+                )),
             }
         }
 
@@ -455,10 +488,9 @@ pub(crate) fn call(id: BuiltinId, mut args: Vec<Value>, ctx: &mut BuiltinCtx<'_>
             match w {
                 Value::Window(w) => {
                     let w = w.borrow();
-                    Ok(Value::Real(least_squares_slope(
-                        w.iter()
-                            .filter_map(|(t, v)| v.as_real().map(|y| (*t as f64 / 1e9, y))),
-                    )))
+                    Ok(Value::Real(least_squares_slope(w.iter().filter_map(
+                        |(t, v)| v.as_real().map(|y| (*t as f64 / 1e9, y)),
+                    ))))
                 }
                 other => Err(type_error(id, "a window", &other)),
             }

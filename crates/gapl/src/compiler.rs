@@ -262,9 +262,8 @@ impl Compiler {
                 code.push(Instr::LoadField { slot, name_const });
             }
             Expr::Call { name, args } => {
-                let builtin = BuiltinId::from_name(name).ok_or_else(|| {
-                    Error::compile(format!("unknown function `{name}`"))
-                })?;
+                let builtin = BuiltinId::from_name(name)
+                    .ok_or_else(|| Error::compile(format!("unknown function `{name}`")))?;
                 for arg in args {
                     self.compile_expr(arg, code)?;
                 }
@@ -335,17 +334,14 @@ mod tests {
     fn assignment_to_subscription_or_association_is_rejected() {
         let err = compile("subscribe f to Flows; behavior { f = 1; }").unwrap_err();
         assert!(err.to_string().contains("subscription"));
-        let err = compile(
-            "subscribe f to Flows; associate a with T; behavior { a = 1; }",
-        )
-        .unwrap_err();
+        let err =
+            compile("subscribe f to Flows; associate a with T; behavior { a = 1; }").unwrap_err();
         assert!(err.to_string().contains("association"));
     }
 
     #[test]
     fn field_access_requires_subscription_variable() {
-        let err = compile("subscribe f to Flows; int x, y; behavior { x = y.field; }")
-            .unwrap_err();
+        let err = compile("subscribe f to Flows; int x, y; behavior { x = y.field; }").unwrap_err();
         assert!(err.to_string().contains("subscription"));
     }
 
@@ -360,8 +356,7 @@ mod tests {
 
     #[test]
     fn constants_are_deduplicated() {
-        let p = compile("subscribe f to Flows; int x; behavior { x = 5; x = 5; x = 5; }")
-            .unwrap();
+        let p = compile("subscribe f to Flows; int x; behavior { x = 5; x = 5; x = 5; }").unwrap();
         let fives = p
             .consts()
             .iter()
@@ -372,10 +367,8 @@ mod tests {
 
     #[test]
     fn if_else_produces_patched_jumps() {
-        let p = compile(
-            "subscribe f to Flows; int x; behavior { if (x > 0) x = 1; else x = 2; }",
-        )
-        .unwrap();
+        let p = compile("subscribe f to Flows; int x; behavior { if (x > 0) x = 1; else x = 2; }")
+            .unwrap();
         for instr in p.behavior_code() {
             match instr {
                 Instr::Jump(t) | Instr::JumpIfFalse(t) => {

@@ -25,7 +25,12 @@ impl Program {
     /// ```
     pub fn disassemble(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "; automaton: {} local(s), {} constant(s)", self.locals().len(), self.consts().len());
+        let _ = writeln!(
+            out,
+            "; automaton: {} local(s), {} constant(s)",
+            self.locals().len(),
+            self.consts().len()
+        );
         for (ix, local) in self.locals().iter().enumerate() {
             let kind = match &local.kind {
                 LocalKind::Subscription { topic } => format!("subscription of `{topic}`"),
@@ -177,7 +182,8 @@ mod tests {
             "cmp.le", "cmp.gt", "cmp.ge", "and", "or",
         ] {
             assert!(
-                text.lines().any(|l| l.trim().ends_with(op) || l.contains(&format!("  {op}"))),
+                text.lines()
+                    .any(|l| l.trim().ends_with(op) || l.contains(&format!("  {op}"))),
                 "missing `{op}` in:\n{text}"
             );
         }

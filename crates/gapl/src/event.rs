@@ -270,14 +270,14 @@ impl Schema {
             )));
         }
         for (attr, value) in self.attributes.iter().zip(values) {
-            let ok = match (attr.ty, value) {
-                (AttrType::Int, Scalar::Int(_)) => true,
-                (AttrType::Real, Scalar::Real(_) | Scalar::Int(_)) => true,
-                (AttrType::Tstamp, Scalar::Tstamp(_) | Scalar::Int(_)) => true,
-                (AttrType::Bool, Scalar::Bool(_)) => true,
-                (AttrType::Str, Scalar::Str(_)) => true,
-                _ => false,
-            };
+            let ok = matches!(
+                (attr.ty, value),
+                (AttrType::Int, Scalar::Int(_))
+                    | (AttrType::Real, Scalar::Real(_) | Scalar::Int(_))
+                    | (AttrType::Tstamp, Scalar::Tstamp(_) | Scalar::Int(_))
+                    | (AttrType::Bool, Scalar::Bool(_))
+                    | (AttrType::Str, Scalar::Str(_))
+            );
             if !ok {
                 return Err(Error::data(format!(
                     "attribute `{}` of `{}` expects {} but got {:?}",

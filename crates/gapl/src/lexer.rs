@@ -293,7 +293,10 @@ impl<'a> Lexer<'a> {
 }
 
 fn is_quote(c: char) -> bool {
-    matches!(c, '\'' | '"' | '\u{2018}' | '\u{2019}' | '\u{201C}' | '\u{201D}')
+    matches!(
+        c,
+        '\'' | '"' | '\u{2018}' | '\u{2019}' | '\u{201C}' | '\u{201D}'
+    )
 }
 
 /// Whether `close` terminates a string opened with `open`, accepting the
@@ -413,7 +416,12 @@ mod tests {
         let src = "# a comment\nint x; // trailing\n# another";
         assert_eq!(
             kinds(src),
-            vec![K::Ident("int".into()), K::Ident("x".into()), K::Semicolon, K::Eof]
+            vec![
+                K::Ident("int".into()),
+                K::Ident("x".into()),
+                K::Semicolon,
+                K::Eof
+            ]
         );
     }
 

@@ -25,11 +25,7 @@ use crate::value::DeclType;
 /// # Ok::<(), gapl::Error>(())
 /// ```
 pub fn parse(tokens: &[Token]) -> Result<AutomatonAst> {
-    Parser {
-        tokens,
-        pos: 0,
-    }
-    .automaton()
+    Parser { tokens, pos: 0 }.automaton()
 }
 
 struct Parser<'a> {
@@ -453,8 +449,7 @@ mod tests {
 
     #[test]
     fn parses_declarations_with_multiple_names() {
-        let ast = parse_src("subscribe t to Timer; int a, b; real r; behavior { a = 1; }")
-            .unwrap();
+        let ast = parse_src("subscribe t to Timer; int a, b; real r; behavior { a = 1; }").unwrap();
         assert_eq!(ast.declarations.len(), 2);
         assert_eq!(ast.declarations[0].names, vec!["a", "b"]);
         assert_eq!(ast.declarations[0].ty, DeclType::Int);
@@ -502,7 +497,11 @@ mod tests {
                 .unwrap();
         match &ast.behavior.stmts[0] {
             Stmt::Assign { value, .. } => match value {
-                Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                Expr::Binary {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
                     assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
                 }
                 other => panic!("unexpected expression {other:?}"),
@@ -559,8 +558,8 @@ mod tests {
 
     #[test]
     fn unary_operators() {
-        let ast = parse_src("subscribe t to Timer; int x; bool b; behavior { x = -x; b = !b; }")
-            .unwrap();
+        let ast =
+            parse_src("subscribe t to Timer; int x; bool b; behavior { x = -x; b = !b; }").unwrap();
         assert_eq!(ast.behavior.stmts.len(), 2);
     }
 

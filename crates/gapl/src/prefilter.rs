@@ -215,14 +215,16 @@ fn sole_stmt(block: &Block) -> Option<&Stmt> {
 /// of it is outside the pure `field ⋈ literal` fragment.
 fn guard_of(expr: &Expr, var: &str) -> Option<Guard> {
     match expr {
-        Expr::Binary { op: BinOp::And, lhs, rhs } => Some(Guard::All(vec![
-            guard_of(lhs, var)?,
-            guard_of(rhs, var)?,
-        ])),
-        Expr::Binary { op: BinOp::Or, lhs, rhs } => Some(Guard::AnyOf(vec![
-            guard_of(lhs, var)?,
-            guard_of(rhs, var)?,
-        ])),
+        Expr::Binary {
+            op: BinOp::And,
+            lhs,
+            rhs,
+        } => Some(Guard::All(vec![guard_of(lhs, var)?, guard_of(rhs, var)?])),
+        Expr::Binary {
+            op: BinOp::Or,
+            lhs,
+            rhs,
+        } => Some(Guard::AnyOf(vec![guard_of(lhs, var)?, guard_of(rhs, var)?])),
         Expr::Binary { op, lhs, rhs } => {
             let op = cmp_op(*op)?;
             if let (Some(field), Some(value)) = (field_of(lhs, var), literal_of(rhs)) {
@@ -296,19 +298,12 @@ mod tests {
             )
             .unwrap(),
         );
-        Tuple::new(
-            schema,
-            vec![Scalar::Str(sym.into()), Scalar::Int(price)],
-            7,
-        )
-        .unwrap()
+        Tuple::new(schema, vec![Scalar::Str(sym.into()), Scalar::Int(price)], 7).unwrap()
     }
 
     #[test]
     fn equality_guard_is_extracted_and_filters() {
-        let p = prefilter(
-            "subscribe t to Ticks; behavior { if (t.sym == 'IBM') send(t.price); }",
-        );
+        let p = prefilter("subscribe t to Ticks; behavior { if (t.sym == 'IBM') send(t.price); }");
         assert!(p.is_guard());
         assert!(p.matches(&tick_tuple("IBM", 1)));
         assert!(!p.matches(&tick_tuple("MSFT", 1)));
@@ -349,14 +344,11 @@ mod tests {
         );
         assert_eq!(p, Prefilter::Opaque);
         // The condition reads mutable state.
-        let p = prefilter(
-            "subscribe t to Ticks; int n; behavior { if (n < 3) send(1); }",
-        );
+        let p = prefilter("subscribe t to Ticks; int n; behavior { if (n < 3) send(1); }");
         assert_eq!(p, Prefilter::Opaque);
         // The condition calls a builtin.
-        let p = prefilter(
-            "subscribe t to Ticks; behavior { if (currentTopic() == 'Ticks') send(1); }",
-        );
+        let p =
+            prefilter("subscribe t to Ticks; behavior { if (currentTopic() == 'Ticks') send(1); }");
         assert_eq!(p, Prefilter::Opaque);
         // Two subscriptions: a skipped event would be observable later.
         let p = prefilter(
@@ -370,34 +362,25 @@ mod tests {
     fn undecidable_guards_deliver() {
         // Missing attribute: the VM would error, so the event must go
         // through for the error to be recorded.
-        let p = prefilter(
-            "subscribe t to Ticks; behavior { if (t.nosuch == 1) send(1); }",
-        );
+        let p = prefilter("subscribe t to Ticks; behavior { if (t.nosuch == 1) send(1); }");
         assert!(p.is_guard());
         assert!(p.matches(&tick_tuple("A", 1)));
         // String/number comparison errors in the VM.
-        let p = prefilter(
-            "subscribe t to Ticks; behavior { if (t.sym > 3) send(1); }",
-        );
+        let p = prefilter("subscribe t to Ticks; behavior { if (t.sym > 3) send(1); }");
         assert!(p.matches(&tick_tuple("A", 1)));
         // …but string *equality* with a number is decidably false.
-        let p = prefilter(
-            "subscribe t to Ticks; behavior { if (t.sym == 3) send(1); }",
-        );
+        let p = prefilter("subscribe t to Ticks; behavior { if (t.sym == 3) send(1); }");
         assert!(!p.matches(&tick_tuple("A", 1)));
         // An undecidable disjunct forces delivery even when the other
         // side is false, because the VM evaluates both operands.
-        let p = prefilter(
-            "subscribe t to Ticks; behavior { if (t.sym == 'Z' || t.sym > 3) send(1); }",
-        );
+        let p =
+            prefilter("subscribe t to Ticks; behavior { if (t.sym == 'Z' || t.sym > 3) send(1); }");
         assert!(p.matches(&tick_tuple("A", 1)));
     }
 
     #[test]
     fn tstamp_pseudo_field_guards_work() {
-        let p = prefilter(
-            "subscribe t to Ticks; behavior { if (t.tstamp > 5) send(1); }",
-        );
+        let p = prefilter("subscribe t to Ticks; behavior { if (t.tstamp > 5) send(1); }");
         assert!(p.is_guard());
         assert!(p.matches(&tick_tuple("A", 1))); // tstamp is 7
     }

@@ -192,7 +192,10 @@ impl Program {
 
     /// Names of all subscribed topics, in declaration order.
     pub fn topics(&self) -> Vec<&str> {
-        self.subscriptions.iter().map(|s| s.topic.as_str()).collect()
+        self.subscriptions
+            .iter()
+            .map(|s| s.topic.as_str())
+            .collect()
     }
 
     /// The leading guard extracted from the behavior clause, when sound

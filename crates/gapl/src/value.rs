@@ -92,10 +92,9 @@ impl DeclType {
             DeclType::Identifier => Value::Identifier(Arc::from("")),
             DeclType::Sequence => Value::Sequence(Rc::new(RefCell::new(Vec::new()))),
             DeclType::Map => Value::Map(Rc::new(RefCell::new(MapData::new(DeclType::Int)))),
-            DeclType::Window => Value::Window(Rc::new(RefCell::new(WindowData::rows(
-                DeclType::Int,
-                0,
-            )))),
+            DeclType::Window => {
+                Value::Window(Rc::new(RefCell::new(WindowData::rows(DeclType::Int, 0))))
+            }
             DeclType::Iterator => Value::Iterator(Rc::new(RefCell::new(IteratorData::empty()))),
         }
     }
@@ -309,9 +308,10 @@ impl IteratorData {
 }
 
 /// A run-time GAPL value.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub enum Value {
     /// Absence of a value (uninitialised aggregate slots, missing lookups).
+    #[default]
     Null,
     /// 64-bit integer.
     Int(i64),
@@ -519,12 +519,6 @@ impl Value {
                 ))),
             },
         }
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
     }
 }
 

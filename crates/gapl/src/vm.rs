@@ -342,9 +342,13 @@ impl Vm {
                     let v = pop(&mut stack)?;
                     stack.push(Value::Bool(!v.truthy()?));
                 }
-                Instr::Add => binary(&mut stack, |a, b| add(a, b))?,
-                Instr::Sub => binary(&mut stack, |a, b| numeric(a, b, "-", |x, y| x - y, |x, y| x.checked_sub(y)))?,
-                Instr::Mul => binary(&mut stack, |a, b| numeric(a, b, "*", |x, y| x * y, |x, y| x.checked_mul(y)))?,
+                Instr::Add => binary(&mut stack, add)?,
+                Instr::Sub => binary(&mut stack, |a, b| {
+                    numeric(a, b, "-", |x, y| x - y, |x, y| x.checked_sub(y))
+                })?,
+                Instr::Mul => binary(&mut stack, |a, b| {
+                    numeric(a, b, "*", |x, y| x * y, |x, y| x.checked_mul(y))
+                })?,
                 Instr::Div => binary(&mut stack, div)?,
                 Instr::Rem => binary(&mut stack, rem)?,
                 Instr::CmpEq => binary(&mut stack, |a, b| Ok(Value::Bool(a.gapl_eq(&b))))?,
@@ -353,8 +357,12 @@ impl Vm {
                 Instr::CmpLe => compare(&mut stack, |o| o != std::cmp::Ordering::Greater)?,
                 Instr::CmpGt => compare(&mut stack, |o| o == std::cmp::Ordering::Greater)?,
                 Instr::CmpGe => compare(&mut stack, |o| o != std::cmp::Ordering::Less)?,
-                Instr::And => binary(&mut stack, |a, b| Ok(Value::Bool(a.truthy()? && b.truthy()?)))?,
-                Instr::Or => binary(&mut stack, |a, b| Ok(Value::Bool(a.truthy()? || b.truthy()?)))?,
+                Instr::And => binary(&mut stack, |a, b| {
+                    Ok(Value::Bool(a.truthy()? && b.truthy()?))
+                })?,
+                Instr::Or => binary(&mut stack, |a, b| {
+                    Ok(Value::Bool(a.truthy()? || b.truthy()?))
+                })?,
                 Instr::Jump(target) => {
                     pc = *target;
                     continue;
@@ -396,10 +404,7 @@ fn pop(stack: &mut Vec<Value>) -> Result<Value> {
         .ok_or_else(|| Error::runtime("operand stack underflow"))
 }
 
-fn binary(
-    stack: &mut Vec<Value>,
-    f: impl FnOnce(Value, Value) -> Result<Value>,
-) -> Result<()> {
+fn binary(stack: &mut Vec<Value>, f: impl FnOnce(Value, Value) -> Result<Value>) -> Result<()> {
     let rhs = pop(stack)?;
     let lhs = pop(stack)?;
     let out = f(lhs, rhs)?;
@@ -627,7 +632,7 @@ mod tests {
         vm.run_behavior("Flows", &flows_tuple(100, "10.9.9.9", 1), &mut host)
             .unwrap();
         assert!(host.sent.is_empty());
-        assert!(host.tables.get("BWUsage").is_none());
+        assert!(!host.tables.contains_key("BWUsage"));
 
         // First flow for the monitored address: usage recorded, below limit.
         vm.run_behavior("Flows", &flows_tuple(100, "10.0.0.9", 2), &mut host)

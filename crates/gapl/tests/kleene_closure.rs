@@ -74,7 +74,8 @@ fn run_over(prices: &[(&str, f64)]) -> RecordingHost {
     vm.run_initialization(&mut host).expect("initialization");
     for (i, (name, price)) in prices.iter().enumerate() {
         let event = tick(&schema, name, *price, i as u64);
-        vm.run_behavior("Stocks", &event, &mut host).expect("behavior");
+        vm.run_behavior("Stocks", &event, &mut host)
+            .expect("behavior");
     }
     host
 }

@@ -69,7 +69,12 @@ fn min_max_abs_and_remainder() {
     let (_vm, host) = run_program(src, &[("T", int_event(&s, vec![Scalar::Int(23)], 1))]);
     assert_eq!(
         host.sent[0],
-        vec![Scalar::Int(10), Scalar::Int(23), Scalar::Int(23), Scalar::Int(2)]
+        vec![
+            Scalar::Int(10),
+            Scalar::Int(23),
+            Scalar::Int(23),
+            Scalar::Int(2)
+        ]
     );
 }
 
@@ -187,11 +192,26 @@ fn delete_is_accepted_and_harmless() {
 fn runtime_errors_carry_useful_messages() {
     let s = schema("T", vec![("v", AttrType::Int)]);
     let cases = [
-        ("subscribe t to T; int x; behavior { x = seqElement(Sequence(1), 5); }", "out of bounds"),
-        ("subscribe t to T; int x; behavior { x = lookup(5, Identifier('k')); }", "expects a map"),
-        ("subscribe t to T; behavior { publish(42, 1); }", "topic name"),
-        ("subscribe t to T; int x; behavior { x = int('not a number'); }", "cannot parse"),
-        ("subscribe t to T; window w; behavior { w = Window(int, 'FURLONGS', 3); }", "SECS or ROWS"),
+        (
+            "subscribe t to T; int x; behavior { x = seqElement(Sequence(1), 5); }",
+            "out of bounds",
+        ),
+        (
+            "subscribe t to T; int x; behavior { x = lookup(5, Identifier('k')); }",
+            "expects a map",
+        ),
+        (
+            "subscribe t to T; behavior { publish(42, 1); }",
+            "topic name",
+        ),
+        (
+            "subscribe t to T; int x; behavior { x = int('not a number'); }",
+            "cannot parse",
+        ),
+        (
+            "subscribe t to T; window w; behavior { w = Window(int, 'FURLONGS', 3); }",
+            "SECS or ROWS",
+        ),
     ];
     for (src, expected) in cases {
         let program = Arc::new(gapl::compile(src).expect("compiles"));

@@ -108,9 +108,9 @@ impl CacheClient {
         let (note_tx, note_rx) = unbounded();
         let reader_thread = std::thread::Builder::new()
             .name("psrpc-client-reader".into())
-            .spawn(move || loop {
-                match recv.recv() {
-                    Ok(Some(bytes)) => match ServerMessage::decode(&bytes) {
+            .spawn(move || {
+                while let Ok(Some(bytes)) = recv.recv() {
+                    match ServerMessage::decode(&bytes) {
                         Ok(ServerMessage::Reply { seq, reply }) => {
                             if reply_tx.send((seq, reply)).is_err() {
                                 break;
@@ -128,8 +128,7 @@ impl CacheClient {
                             });
                         }
                         Err(_) => break,
-                    },
-                    Ok(None) | Err(_) => break,
+                    }
                 }
             })
             .expect("spawning the client reader thread never fails");
@@ -384,7 +383,10 @@ mod tests {
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         let mut notes = Vec::new();
         while notes.len() < n && std::time::Instant::now() < deadline {
-            if let Ok(note) = client.notifications().recv_timeout(Duration::from_millis(50)) {
+            if let Ok(note) = client
+                .notifications()
+                .recv_timeout(Duration::from_millis(50))
+            {
                 notes.push(note);
             }
         }

@@ -60,6 +60,20 @@ impl From<std::io::Error> for Error {
     }
 }
 
+impl From<pscache::Error> for Error {
+    fn from(e: pscache::Error) -> Self {
+        match e {
+            // Wire-decoding failures (the shared encoder/decoder lives in
+            // `pscache::wire`) are protocol errors of this layer.
+            pscache::Error::Protocol { message } => Error::Protocol { message },
+            // Anything else is the cache rejecting the request.
+            other => Error::Remote {
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,7 +82,7 @@ mod tests {
     fn display_variants() {
         assert!(Error::protocol("bad tag").to_string().contains("bad tag"));
         assert_eq!(Error::Disconnected.to_string(), "rpc connection closed");
-        let io: Error = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let io: Error = std::io::Error::other("boom").into();
         assert!(io.to_string().contains("boom"));
         assert!(std::error::Error::source(&io).is_some());
     }

@@ -200,7 +200,10 @@ mod tests {
         let mut cursor = Cursor::new(wire);
         assert_eq!(read_message(&mut cursor).unwrap().unwrap(), b"first");
         assert_eq!(read_message(&mut cursor).unwrap().unwrap(), vec![7u8; 3000]);
-        assert_eq!(read_message(&mut cursor).unwrap().unwrap(), Vec::<u8>::new());
+        assert_eq!(
+            read_message(&mut cursor).unwrap().unwrap(),
+            Vec::<u8>::new()
+        );
         assert!(read_message(&mut cursor).unwrap().is_none());
     }
 

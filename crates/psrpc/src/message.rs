@@ -302,7 +302,9 @@ impl ServerMessage {
                 values: r.get_scalars()?,
                 at: r.get_u64()?,
             }),
-            other => Err(Error::protocol(format!("unknown server message tag {other}"))),
+            other => Err(Error::protocol(format!(
+                "unknown server message tag {other}"
+            ))),
         }
     }
 }

@@ -269,14 +269,11 @@ impl RpcServer {
         let accept_thread = std::thread::Builder::new()
             .name("psrpc-accept".into())
             .spawn(move || {
-                let mut next_conn_id: u64 = 0;
-                for stream in listener.incoming() {
+                for (conn_id, stream) in (0_u64..).zip(listener.incoming()) {
                     if accept_shutdown.load(Ordering::Acquire) {
                         break;
                     }
                     let Ok(stream) = stream else { break };
-                    let conn_id = next_conn_id;
-                    next_conn_id += 1;
                     accept_stats.accepted.fetch_add(1, Ordering::Release);
                     accept_stats.active.fetch_add(1, Ordering::Release);
                     if let Ok(clone) = stream.try_clone() {
@@ -290,9 +287,8 @@ impl RpcServer {
                     let worker = std::thread::Builder::new()
                         .name(format!("psrpc-conn-{conn_id}"))
                         .spawn(move || {
-                            let _ = serve_tcp_connection(
-                                cache, stream, &note_tx, &control_tx, &stats,
-                            );
+                            let _ =
+                                serve_tcp_connection(cache, stream, &note_tx, &control_tx, &stats);
                             stats.active.fetch_sub(1, Ordering::Release);
                             conns.lock().remove(&conn_id);
                         })
@@ -484,7 +480,16 @@ fn handle_request(
         Request::ServerStats => CacheReply::Stats {
             stats: stats.snapshot(conn.cache),
         },
-        Request::Execute { command } => match conn.cache.execute(&command) {
+        Request::Execute { command } => match conn.cache.execute(&command).and_then(|response| {
+            // Flush-before-ack for the SQL surface too: an insert or
+            // create arriving as text must be as durable at ack time as
+            // one arriving through the typed fast path below. Selects
+            // skip the flush — they wrote nothing.
+            if !matches!(response, Response::Rows(_)) {
+                conn.cache.flush_wal()?;
+            }
+            Ok(response)
+        }) {
             Ok(response) => response_to_reply(response),
             Err(e) => CacheReply::Error {
                 message: e.to_string(),
@@ -500,7 +505,16 @@ fn handle_request(
             } else {
                 conn.cache.insert(&table, values)
             };
-            match result {
+            match result.and_then(|tstamp| {
+                // Flush-before-ack: under every sync policy the reply a
+                // client sees for a durable-table insert implies the
+                // record is on disk. Under the default group-commit
+                // policy the insert already waited for durability and
+                // this is a no-op; under `SyncPolicy::OsOnly` it is the
+                // flush that upgrades the write to durable.
+                conn.cache.flush_wal()?;
+                Ok(tstamp)
+            }) {
                 Ok(tstamp) => CacheReply::Inserted {
                     replaced: upsert,
                     tstamp,
@@ -520,7 +534,11 @@ fn handle_request(
             } else {
                 conn.cache.insert_batch(&table, rows)
             };
-            match result {
+            match result.and_then(|tstamps| {
+                // Flush-before-ack, as for Request::Insert above.
+                conn.cache.flush_wal()?;
+                Ok(tstamps)
+            }) {
                 Ok(tstamps) => CacheReply::InsertedBatch { tstamps },
                 Err(e) => CacheReply::Error {
                     message: e.to_string(),

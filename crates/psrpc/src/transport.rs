@@ -133,9 +133,7 @@ pub fn inproc_pair() -> (InprocEndpoint, InprocEndpoint) {
 impl SendHalf for InprocSendHalf {
     fn send(&mut self, message: &[u8]) -> Result<()> {
         for frag in fragment(message) {
-            self.tx
-                .send(frag)
-                .map_err(|_| Error::Disconnected)?;
+            self.tx.send(frag).map_err(|_| Error::Disconnected)?;
         }
         Ok(())
     }

@@ -171,7 +171,8 @@ mod tests {
         let mut generator = FlowGenerator::new(config);
         for flow in generator.take(200) {
             assert!(
-                flow.dstip == FlowGenerator::local_ip(0) || flow.dstip == FlowGenerator::local_ip(1)
+                flow.dstip == FlowGenerator::local_ip(0)
+                    || flow.dstip == FlowGenerator::local_ip(1)
             );
         }
     }

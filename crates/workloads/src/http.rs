@@ -117,10 +117,8 @@ impl HttpGenerator {
         for r in requests {
             *counts.entry(r.host.as_str()).or_default() += 1;
         }
-        let mut ranked: Vec<(String, usize)> = counts
-            .into_iter()
-            .map(|(h, c)| (h.to_owned(), c))
-            .collect();
+        let mut ranked: Vec<(String, usize)> =
+            counts.into_iter().map(|(h, c)| (h.to_owned(), c)).collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         ranked
     }

@@ -146,7 +146,9 @@ impl StockGenerator {
         let ix = self.rng.gen_range(0..self.symbols.len());
         // Borrow-friendly: decide on pattern injection before mutating.
         let inject_double_top = self.symbols[ix].script.is_empty()
-            && self.rng.gen_bool(self.config.double_top_rate.clamp(0.0, 1.0));
+            && self
+                .rng
+                .gen_bool(self.config.double_top_rate.clamp(0.0, 1.0));
         let inject_run = !inject_double_top
             && self.symbols[ix].script.is_empty()
             && self.rng.gen_bool(self.config.run_rate.clamp(0.0, 1.0));
@@ -182,11 +184,16 @@ impl StockGenerator {
     fn double_top_script(amplitude: f64) -> Vec<f64> {
         let up = amplitude / 3.0;
         let sequence = vec![
-            up, up, up, // first peak
-            -up, -up, // trough
-            up, up, // second peak (≈ first: 3·up − 2·up + 2·up = 3·up)
+            up,
+            up,
+            up, // first peak
+            -up,
+            -up, // trough
+            up,
+            up,        // second peak (≈ first: 3·up − 2·up + 2·up = 3·up)
             up * 0.01, // a hair above, still within tolerance
-            -up, -up, // confirmation fall
+            -up,
+            -up, // confirmation fall
         ];
         sequence.into_iter().rev().collect()
     }

@@ -104,7 +104,7 @@ mod tests {
     fn sampling_respects_the_distribution_roughly() {
         let z = Zipf::new(50, 1.0);
         let mut rng = StdRng::seed_from_u64(7);
-        let mut counts = vec![0u32; 50];
+        let mut counts = [0u32; 50];
         let n = 50_000;
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;

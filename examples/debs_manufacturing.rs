@@ -95,10 +95,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         elapsed,
         telemetry.len() as f64 / elapsed.as_secs_f64()
     );
-    println!("derived state transitions: {transitions} (reference: {})", reference.len());
+    println!(
+        "derived state transitions: {transitions} (reference: {})",
+        reference.len()
+    );
     println!("delay-increasing alarms:   {}", alarms.len());
     if let Some(last) = alarms.last() {
-        println!("last alarm: slope {} at delay {}", last.values[1], last.values[2]);
+        println!(
+            "last alarm: slope {} at delay {}",
+            last.values[1], last.values[2]
+        );
     }
     assert!(cache.automaton_errors(id)?.is_empty());
     assert!(

@@ -107,7 +107,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // errors and both kept up with the stream.
     for id in [imperative_id, builtin_id] {
         let errors = cache.automaton_errors(id)?;
-        assert!(errors.is_empty(), "automaton {id} reported errors: {errors:?}");
+        assert!(
+            errors.is_empty(),
+            "automaton {id} reported errors: {errors:?}"
+        );
         let (delivered, processed) = cache.automaton_progress(id)?;
         assert_eq!(delivered, processed);
         println!("{id}: processed {processed} events without errors");

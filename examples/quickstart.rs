@@ -75,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     cache.execute("insert into Flows values ('10.0.0.9', '192.168.1.13', 77)")?;
     let second = cq.poll(&cache)?;
-    println!("continuous query: second round returned {} new tuple(s)", second.len());
+    println!(
+        "continuous query: second round returned {} new tuple(s)",
+        second.len()
+    );
 
     cache.unregister_automaton(automaton)?;
     Ok(())

@@ -103,7 +103,8 @@ fn run_gapl(name: &str, source: &str, events: &[Tuple]) -> (usize, std::time::Du
     let program = Arc::new(gapl::compile(source).expect("the example automata compile"));
     let mut vm = Vm::new(program);
     let mut host = RecordingHost::default();
-    vm.run_initialization(&mut host).expect("initialization succeeds");
+    vm.run_initialization(&mut host)
+        .expect("initialization succeeds");
     let start = Instant::now();
     for event in events {
         vm.run_behavior("Stocks", event, &mut host)

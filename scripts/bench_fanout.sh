@@ -12,6 +12,10 @@ echo "==> snapshot: BENCH_fanout.json"
 cargo run --release -p cep_bench --bin bench_fanout
 
 speedup=$(grep -o '"speedup": [0-9.]*' BENCH_fanout.json | tail -1 | cut -d' ' -f2)
+if [ -z "${speedup}" ]; then
+    echo "FAIL: speedup missing from BENCH_fanout.json" >&2
+    exit 1
+fi
 echo "indexed dispatch speedup at 1000 automata / 1% selectivity: ${speedup}x (floor: 10x)"
 awk "BEGIN { exit !(${speedup} >= 10.0) }" || {
     echo "FAIL: fan-out speedup ${speedup}x below the 10x floor" >&2

@@ -25,7 +25,12 @@ echo "==> snapshot: BENCH_query.json"
 cargo run --release -p cep_bench --bin bench_query
 
 # Fail the snapshot when the 100k-row window speedup regresses below 10x.
+# A missing or unparsable metric is a hard failure, never a silent pass.
 speedup=$(grep -o '"window_speedup": [0-9.]*' BENCH_query.json | tail -1 | cut -d' ' -f2)
+if [ -z "${speedup}" ]; then
+    echo "FAIL: window_speedup missing from BENCH_query.json" >&2
+    exit 1
+fi
 echo "100k-row 1% window speedup: ${speedup}x (floor: 10x)"
 awk "BEGIN { exit !(${speedup} >= 10.0) }" || {
     echo "FAIL: window speedup ${speedup}x below the 10x floor" >&2

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Durability performance snapshot: insert throughput with 16 concurrent
+# clients into one durable persistent table, group commit vs one fsync
+# per insert. Writes BENCH_wal.json at the repository root and fails if
+# the group-commit speedup regresses below the 5x acceptance floor.
+#
+# A missing or unparsable metric is a hard failure: a bench that did not
+# produce its number must never count as a pass.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> snapshot: BENCH_wal.json"
+cargo run --release -p cep_bench --bin bench_wal
+
+speedup=$(grep -o '"group_commit_speedup": [0-9.]*' BENCH_wal.json | tail -1 | cut -d' ' -f2)
+if [ -z "${speedup}" ]; then
+    echo "FAIL: group_commit_speedup missing from BENCH_wal.json" >&2
+    exit 1
+fi
+echo "group-commit speedup at 16 concurrent inserters: ${speedup}x (floor: 5x)"
+awk "BEGIN { exit !(${speedup} >= 5.0) }" || {
+    echo "FAIL: group-commit speedup ${speedup}x below the 5x floor" >&2
+    exit 1
+}
+
+echo "wal snapshot complete"

@@ -88,12 +88,7 @@ fn since_windows_never_split_a_batch() {
         let window = cache.select(&Query::new("S").since(tau)).unwrap();
         assert_eq!(window.len() % 37, 0, "a window split a batch");
         tau = window.max_tstamp().unwrap_or(tau);
-        collected.extend(
-            window
-                .rows
-                .iter()
-                .map(|r| r.values[0].as_int().unwrap()),
-        );
+        collected.extend(window.rows.iter().map(|r| r.values[0].as_int().unwrap()));
     }
     assert_eq!(collected, (0..370).collect::<Vec<_>>());
 }
@@ -121,10 +116,7 @@ fn four_concurrent_clients_on_disjoint_tables() {
                     // Mix single and batched inserts to cross the paths.
                     if i % 50 == 0 {
                         client
-                            .insert_batch(
-                                &format!("D{c}"),
-                                vec![vec![Scalar::Int(i as i64)]],
-                            )
+                            .insert_batch(&format!("D{c}"), vec![vec![Scalar::Int(i as i64)]])
                             .unwrap();
                     } else {
                         client
@@ -175,9 +167,7 @@ fn four_concurrent_clients_on_a_shared_table() {
                 let client = CacheClient::connect(addr).unwrap();
                 for b in 0..batches_per_client {
                     let rows: Vec<Vec<Scalar>> = (0..batch_size)
-                        .map(|i| {
-                            vec![Scalar::Int(c), Scalar::Int((b * batch_size + i) as i64)]
-                        })
+                        .map(|i| vec![Scalar::Int(c), Scalar::Int((b * batch_size + i) as i64)])
                         .collect();
                     client.insert_batch("Shared", rows).unwrap();
                 }
@@ -195,16 +185,15 @@ fn four_concurrent_clients_on_a_shared_table() {
     let stream: Vec<(i64, i64)> = rows
         .rows
         .iter()
-        .map(|r| {
-            (
-                r.values[0].as_int().unwrap(),
-                r.values[1].as_int().unwrap(),
-            )
-        })
+        .map(|r| (r.values[0].as_int().unwrap(), r.values[1].as_int().unwrap()))
         .collect();
     // Per-client order is preserved within the interleaving...
     for c in 0..4 {
-        let vals: Vec<i64> = stream.iter().filter(|(cl, _)| *cl == c).map(|(_, v)| *v).collect();
+        let vals: Vec<i64> = stream
+            .iter()
+            .filter(|(cl, _)| *cl == c)
+            .map(|(_, v)| *v)
+            .collect();
         assert_eq!(
             vals,
             (0..(batches_per_client * batch_size) as i64).collect::<Vec<_>>(),
@@ -234,14 +223,10 @@ fn notifications_route_to_the_registering_client() {
     let odd_watcher = CacheClient::connect(addr).unwrap();
     let writer = CacheClient::connect(addr).unwrap();
     let even_id = even_watcher
-        .register_automaton(
-            "subscribe n to N; behavior { if ((n.v % 2) == 0) send(n.v); }",
-        )
+        .register_automaton("subscribe n to N; behavior { if ((n.v % 2) == 0) send(n.v); }")
         .unwrap();
     let odd_id = odd_watcher
-        .register_automaton(
-            "subscribe n to N; behavior { if ((n.v % 2) == 1) send(n.v); }",
-        )
+        .register_automaton("subscribe n to N; behavior { if ((n.v % 2) == 1) send(n.v); }")
         .unwrap();
 
     writer
@@ -265,11 +250,17 @@ fn notifications_route_to_the_registering_client() {
     let odds = collect(&odd_watcher, 10);
     assert_eq!(
         evens,
-        (0..20).filter(|v| v % 2 == 0).map(|v| (even_id, v)).collect::<Vec<_>>()
+        (0..20)
+            .filter(|v| v % 2 == 0)
+            .map(|v| (even_id, v))
+            .collect::<Vec<_>>()
     );
     assert_eq!(
         odds,
-        (0..20).filter(|v| v % 2 == 1).map(|v| (odd_id, v)).collect::<Vec<_>>()
+        (0..20)
+            .filter(|v| v % 2 == 1)
+            .map(|v| (odd_id, v))
+            .collect::<Vec<_>>()
     );
     // Nothing leaked across connections.
     assert!(writer.drain_notifications().is_empty());

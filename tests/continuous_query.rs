@@ -30,7 +30,9 @@ const WINDOWED_AUTOMATON: &str = r#"
 #[test]
 fn the_automaton_of_fig_2_matches_the_polling_loop_of_fig_1() {
     let cache = CacheBuilder::new().manual_clock().build();
-    cache.execute("create table Readings (value integer)").unwrap();
+    cache
+        .execute("create table Readings (value integer)")
+        .unwrap();
     let (_id, notifications) = cache.register_automaton(WINDOWED_AUTOMATON).unwrap();
 
     let mut continuous = ContinuousQuery::new(Query::new("Readings").columns(["value"]));
@@ -82,7 +84,9 @@ fn the_automaton_of_fig_2_matches_the_polling_loop_of_fig_1() {
 #[test]
 fn batched_inserts_agree_between_the_polling_loop_and_the_automaton() {
     let cache = CacheBuilder::new().manual_clock().build();
-    cache.execute("create table Readings (value integer)").unwrap();
+    cache
+        .execute("create table Readings (value integer)")
+        .unwrap();
     let (_id, notifications) = cache.register_automaton(WINDOWED_AUTOMATON).unwrap();
 
     let mut continuous = ContinuousQuery::new(Query::new("Readings").columns(["value"]));
@@ -149,12 +153,7 @@ fn since_queries_never_return_a_tuple_twice_and_never_miss_one() {
         inserted.push(i);
         if i % 5 == 0 {
             let batch = cq.poll(&cache).unwrap();
-            seen.extend(
-                batch
-                    .rows
-                    .iter()
-                    .map(|r| r.values[0].as_int().unwrap()),
-            );
+            seen.extend(batch.rows.iter().map(|r| r.values[0].as_int().unwrap()));
         }
     }
     seen.extend(

@@ -55,9 +55,9 @@ fn automaton_source(spec: &AutomatonSpec) -> String {
             "subscribe t to T; int n; behavior {{ if (t.sym == '{sym}') {{ n += 1; send(n, t.load); }} }}"
         ),
         // Real-column band, plus a print side effect.
-        6 => format!(
-            "subscribe t to T; behavior {{ if (t.load > 0.5) {{ print(String('hot ', t.price)); send(t.load); }} }}"
-        ),
+        6 => "subscribe t to T; behavior { if (t.load > 0.5) \
+              { print(String('hot ', t.price)); send(t.load); } }"
+            .to_string(),
         // Multi-topic: must stay opaque (and may raise runtime errors on
         // U events before any T event arrived — identically in both
         // modes).
@@ -94,9 +94,7 @@ fn run_workload(naive: bool, specs: &[AutomatonSpec], ops: &[InsertOp]) -> Vec<O
     for (topic_sel, rows, price_base, sym_base) in ops {
         cache.manual_clock().unwrap().advance(1000);
         if topic_sel % 4 == 0 {
-            cache
-                .insert("U", vec![Scalar::Int(*price_base)])
-                .unwrap();
+            cache.insert("U", vec![Scalar::Int(*price_base)]).unwrap();
             continue;
         }
         let batch: Vec<Vec<Scalar>> = (0..*rows)
@@ -110,12 +108,17 @@ fn run_workload(naive: bool, specs: &[AutomatonSpec], ops: &[InsertOp]) -> Vec<O
             })
             .collect();
         if batch.len() == 1 {
-            cache.insert("T", batch.into_iter().next().unwrap()).unwrap();
+            cache
+                .insert("T", batch.into_iter().next().unwrap())
+                .unwrap();
         } else {
             cache.insert_batch("T", batch).unwrap();
         }
     }
-    assert!(cache.quiesce(Duration::from_secs(30)), "cache failed to quiesce");
+    assert!(
+        cache.quiesce(Duration::from_secs(30)),
+        "cache failed to quiesce"
+    );
 
     let mut observed = Vec::new();
     for (id, rx) in automata {

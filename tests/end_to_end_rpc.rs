@@ -9,7 +9,10 @@ use psrpc::client::CacheClient;
 use psrpc::server::RpcServer;
 use unipubsub::prelude::*;
 
-fn wait_for_notifications(client: &CacheClient, n: usize) -> Vec<psrpc::client::ClientNotification> {
+fn wait_for_notifications(
+    client: &CacheClient,
+    n: usize,
+) -> Vec<psrpc::client::ClientNotification> {
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     let mut notes = Vec::new();
     while notes.len() < n && std::time::Instant::now() < deadline {
@@ -47,7 +50,9 @@ fn a_remote_application_can_populate_query_and_react_over_tcp() {
     }
 
     // Role 2: retrieve data with ad hoc queries (time windows included).
-    let rows = client.select("select * from Flows where nbytes > 500").unwrap();
+    let rows = client
+        .select("select * from Flows where nbytes > 500")
+        .unwrap();
     assert_eq!(rows.len(), 2);
     let all = client.select("select * from Flows").unwrap();
     assert_eq!(all.len(), 3);

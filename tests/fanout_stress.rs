@@ -78,7 +78,10 @@ fn thousand_automata_sixteen_topics_four_rpc_clients() {
             (per_automaton, per_automaton),
             "automaton {i} lost or duplicated deliveries"
         );
-        assert_eq!(t.skipped_by_prefilter, tuples_per_topic as u64 - per_automaton);
+        assert_eq!(
+            t.skipped_by_prefilter,
+            tuples_per_topic as u64 - per_automaton
+        );
         assert_eq!(t.queue_depth, 0);
         assert_eq!(rx.try_iter().count() as u64, per_automaton);
     }
@@ -116,8 +119,7 @@ fn unregister_under_load_never_deadlocks_or_drops_an_ack() {
             let cache = cache.clone();
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
-                let rows: Vec<Vec<Scalar>> =
-                    (0..32).map(|i| vec![Scalar::Int(i % 10)]).collect();
+                let rows: Vec<Vec<Scalar>> = (0..32).map(|i| vec![Scalar::Int(i % 10)]).collect();
                 while !stop.load(Ordering::Relaxed) {
                     cache.insert_batch("Load", rows.clone()).unwrap();
                 }
@@ -127,9 +129,7 @@ fn unregister_under_load_never_deadlocks_or_drops_an_ack() {
 
     for round in 0..40 {
         let (id, rx) = cache
-            .register_automaton(
-                "subscribe t to Load; behavior { if (t.v == 7) send(t.v); }",
-            )
+            .register_automaton("subscribe t to Load; behavior { if (t.v == 7) send(t.v); }")
             .unwrap();
         // Let load flow through the automaton's mailbox.
         std::thread::sleep(Duration::from_millis(2));

@@ -14,7 +14,9 @@ fn bandwidth_allowance_scenario_detects_exactly_the_right_violations() {
     let cache = CacheBuilder::new().build();
     cache.execute(FlowGenerator::create_table_sql()).unwrap();
     cache
-        .execute("create persistenttable Allowances (ipaddr varchar(16) primary key, bytes integer)")
+        .execute(
+            "create persistenttable Allowances (ipaddr varchar(16) primary key, bytes integer)",
+        )
         .unwrap();
     cache
         .execute("create persistenttable BWUsage (ipaddr varchar(16) primary key, bytes integer)")

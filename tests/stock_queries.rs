@@ -101,11 +101,8 @@ fn q3_gapl_detects_exactly_the_maximal_runs_of_the_reference() {
             )
         })
         .collect();
-    let reference_closed: Vec<(String, i64)> = reference
-        .iter()
-        .cloned()
-        .take(gapl_runs.len())
-        .collect();
+    let reference_closed: Vec<(String, i64)> =
+        reference.iter().take(gapl_runs.len()).cloned().collect();
     assert_eq!(gapl_runs, reference_closed);
     assert!(!gapl_runs.is_empty(), "the dataset contains injected runs");
 }
@@ -170,6 +167,6 @@ fn the_cache_side_q3_also_runs_inside_the_cache_runtime() {
         })
         .collect();
     let reference_closed: Vec<(String, i64)> =
-        reference.iter().cloned().take(notified.len()).collect();
+        reference.iter().take(notified.len()).cloned().collect();
     assert_eq!(notified, reference_closed);
 }

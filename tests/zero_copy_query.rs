@@ -22,7 +22,10 @@ fn query_results_share_string_storage_with_the_table() {
 
     let ip: Arc<str> = Arc::from("10.0.0.1");
     cache
-        .insert("Flows", vec![Scalar::Str(Arc::clone(&ip)), Scalar::Int(1500)])
+        .insert(
+            "Flows",
+            vec![Scalar::Str(Arc::clone(&ip)), Scalar::Int(1500)],
+        )
         .unwrap();
 
     // Through a full select (projection included).
@@ -39,9 +42,11 @@ fn query_results_share_string_storage_with_the_table() {
 
     // Through a filtered select — predicates compare in place.
     let rows = cache
-        .select(
-            &Query::new("Flows").filter(Predicate::compare("srcip", Comparison::Eq, "10.0.0.1")),
-        )
+        .select(&Query::new("Flows").filter(Predicate::compare(
+            "srcip",
+            Comparison::Eq,
+            "10.0.0.1",
+        )))
         .unwrap();
     match &rows.rows[0].values[0] {
         Scalar::Str(s) => assert!(Arc::ptr_eq(s, &ip)),
@@ -142,7 +147,10 @@ fn repeated_select_texts_hit_the_plan_cache() {
     for i in 0..20i64 {
         cache.manual_clock().unwrap().advance(10);
         cache
-            .insert("T", vec![Scalar::from(format!("h{}", i % 4)), Scalar::Int(i)])
+            .insert(
+                "T",
+                vec![Scalar::from(format!("h{}", i % 4)), Scalar::Int(i)],
+            )
             .unwrap();
     }
     let sql = "select host, v from T where v >= 5 order by v desc limit 7";

@@ -166,12 +166,7 @@ impl Bencher {
     }
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(
-    label: &str,
-    samples: usize,
-    budget: Duration,
-    f: &mut F,
-) {
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, budget: Duration, f: &mut F) {
     // Calibration: find an iteration count that makes one sample take
     // roughly budget/samples, starting from a single iteration.
     let per_sample = budget / samples as u32;
@@ -275,7 +270,10 @@ mod tests {
 
     #[test]
     fn benchmark_ids_format_as_expected() {
-        assert_eq!(BenchmarkId::new("insert", 16).into_benchmark_name(), "insert/16");
+        assert_eq!(
+            BenchmarkId::new("insert", 16).into_benchmark_name(),
+            "insert/16"
+        );
         assert_eq!(BenchmarkId::from_parameter("x").into_benchmark_name(), "x");
     }
 }

@@ -405,7 +405,6 @@ macro_rules! proptest {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
-    use crate::strategy::Strategy as _;
 
     #[test]
     fn ranges_and_maps_generate_in_bounds() {
