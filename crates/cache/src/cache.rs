@@ -17,10 +17,19 @@ use crate::dispatch::{DispatchIndex, TopicDispatch};
 use crate::error::{Error, Result};
 use crate::plan::QueryPlan;
 use crate::query::{Query, ResultSet};
+use crate::repl::follower::FollowerHandle;
+use crate::repl::hub::ReplHub;
+use crate::repl::server::ReplListener;
+use crate::repl::{ReplRole, ReplStats};
 use crate::runtime::{AutomatonId, AutomatonStats, Executor, Notification, RegisterCmd, WorkerMsg};
 use crate::sql::{self, Command};
 use crate::table::{Table, TableKind, TableStore, DEFAULT_STREAM_CAPACITY};
 use crate::wal::{self, Recovery, ReplayOp, SnapshotTable, SyncPolicy, Wal, WalStats, WalTicket};
+
+/// [`CacheInner::role`] encoding: writable primary.
+const ROLE_PRIMARY: u8 = 0;
+/// [`CacheInner::role`] encoding: read-only follower.
+const ROLE_FOLLOWER: u8 = 1;
 
 /// Name of the built-in heartbeat topic (§4.2): the cache delivers a tuple
 /// on `Timer` once per second (or whenever [`Cache::tick_timer`] is called),
@@ -120,6 +129,8 @@ pub struct CacheBuilder {
     durability: Option<PathBuf>,
     sync_policy: SyncPolicy,
     checkpoint_every: u64,
+    replicate_to: Option<String>,
+    follow: Option<String>,
 }
 
 impl Default for CacheBuilder {
@@ -144,7 +155,36 @@ impl CacheBuilder {
             durability: None,
             sync_policy: SyncPolicy::default(),
             checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+            replicate_to: None,
+            follow: None,
         }
+    }
+
+    /// Serve this cache's write-ahead-log stream to follower replicas at
+    /// `addr` (use port 0 for an ephemeral port; the bound address is
+    /// [`Cache::repl_addr`]). Requires [`CacheBuilder::durability`] —
+    /// the stream ships sealed log frames, so there must be a log.
+    ///
+    /// Followers connect with [`Cache::follow`] /
+    /// [`CacheBuilder::follow`]; a durable follower may itself
+    /// `replicate_to`, chaining the stream onward.
+    pub fn replicate_to(mut self, addr: impl Into<String>) -> Self {
+        self.replicate_to = Some(addr.into());
+        self
+    }
+
+    /// Open this cache as a **read-only follower** of the primary
+    /// serving replication at `addr`. The follower applies the
+    /// primary's stream through the recovery path (never publishing to
+    /// automata), answers queries with bounded staleness
+    /// ([`Cache::replica_lsn`]), survives primary restarts with capped
+    /// exponential backoff, and becomes writable via
+    /// [`Cache::promote`]. Combine with [`CacheBuilder::durability`]
+    /// for a follower that persists the shipped log and can restart or
+    /// be promoted without data loss.
+    pub fn follow(mut self, addr: impl Into<String>) -> Self {
+        self.follow = Some(addr.into());
+        self
     }
 
     /// Enable durability: persistent tables are write-ahead logged into
@@ -267,6 +307,12 @@ impl CacheBuilder {
     /// opened or its contents cannot be replayed (unreadable snapshot,
     /// undecodable record that passed its checksum).
     pub fn open(self) -> Result<Cache> {
+        let is_follower = self.follow.is_some();
+        if self.replicate_to.is_some() && self.durability.is_none() {
+            return Err(Error::repl(
+                "replicate_to requires durability(..): the stream ships write-ahead-log frames",
+            ));
+        }
         let (wal, recovery) = match &self.durability {
             Some(dir) => {
                 let (wal, recovery) = Wal::open(
@@ -279,6 +325,23 @@ impl CacheBuilder {
             }
             None => (None, None),
         };
+        // Every durable cache runs the replication hub: it is the
+        // authority on the contiguous durable commit watermark
+        // (`Cache::commit_lsn`) whether or not followers ever attach.
+        // A primary seeds it at the highest recovered LSN (records lost
+        // in a crash hole were never acknowledged and simply do not
+        // exist); a replica seeds both the hub and its applied
+        // watermark at the *contiguous* recovered LSN, so a hole left
+        // by a crash between per-shard fsyncs is re-fetched from the
+        // primary instead of silently skipped.
+        let repl_hub = wal.as_ref().map(|w| {
+            Arc::new(ReplHub::new(if is_follower {
+                w.recovered_contiguous_lsn()
+            } else {
+                w.recovered_lsn()
+            }))
+        });
+        let repl_applied = wal.as_ref().map_or(0, |w| w.recovered_contiguous_lsn());
         let inner = Arc::new(CacheInner {
             tables: TableStore::new(self.shard_count),
             plans: PlanCache::default(),
@@ -294,17 +357,40 @@ impl CacheBuilder {
             shutting_down: AtomicBool::new(false),
             wal,
             checkpoint_lock: Mutex::new(()),
+            role: std::sync::atomic::AtomicU8::new(if is_follower {
+                ROLE_FOLLOWER
+            } else {
+                ROLE_PRIMARY
+            }),
+            repl_hub,
+            repl_applied_lsn: AtomicU64::new(repl_applied),
         });
+        if let (Some(wal), Some(hub)) = (&inner.wal, &inner.repl_hub) {
+            let hub = Arc::clone(hub);
+            wal.set_sink(Arc::new(move |chunk: &[u8]| hub.ingest(chunk)));
+        }
         let timer_schema = Schema::new(TIMER_TOPIC, vec![("tstamp", AttrType::Tstamp)])
             .expect("the Timer schema is statically valid");
-        inner
-            .create_table(
-                TIMER_TOPIC,
-                TableKind::Ephemeral,
-                Arc::new(timer_schema),
-                16,
-            )
-            .expect("the Timer topic cannot already exist in a fresh cache");
+        if is_follower {
+            // A follower's log must stay a verbatim copy of the
+            // primary's, so its built-in Timer topic is created directly
+            // (unlogged): the primary's own Timer create record arrives
+            // on the stream and is skipped as already-existing, exactly
+            // like at recovery.
+            inner
+                .tables
+                .create(TIMER_TOPIC, Table::ephemeral(Arc::new(timer_schema), 16))
+                .expect("the Timer topic cannot already exist in a fresh cache");
+        } else {
+            inner
+                .create_table(
+                    TIMER_TOPIC,
+                    TableKind::Ephemeral,
+                    Arc::new(timer_schema),
+                    16,
+                )
+                .expect("the Timer topic cannot already exist in a fresh cache");
+        }
         if let Some(recovery) = recovery {
             // Replay happens before the cache is returned, so no automaton
             // can be registered yet: recovered inserts are applied to the
@@ -312,6 +398,15 @@ impl CacheBuilder {
             // recovery" in docs/architecture.md).
             inner.apply_recovery(recovery)?;
         }
+
+        let repl_listener = match &self.replicate_to {
+            Some(addr) => Some(ReplListener::bind(addr.as_str(), Arc::downgrade(&inner))?),
+            None => None,
+        };
+        let follower = self
+            .follow
+            .as_ref()
+            .map(|addr| FollowerHandle::start(Arc::downgrade(&inner), addr.clone()));
 
         let timer_thread = self.timer_interval.map(|interval| {
             let weak = Arc::downgrade(&inner);
@@ -336,6 +431,8 @@ impl CacheBuilder {
             inner,
             manual_clock: self.manual_clock,
             timer_thread: Arc::new(Mutex::new(timer_thread)),
+            repl_listener: Arc::new(Mutex::new(repl_listener)),
+            follower: Arc::new(Mutex::new(follower)),
         })
     }
 }
@@ -351,6 +448,10 @@ pub struct Cache {
     inner: Arc<CacheInner>,
     manual_clock: Option<ManualClock>,
     timer_thread: Arc<Mutex<Option<std::thread::JoinHandle<()>>>>,
+    /// The replication listener, when this cache serves a stream.
+    repl_listener: Arc<Mutex<Option<ReplListener>>>,
+    /// The follower stream, while this cache is a replica.
+    follower: Arc<Mutex<Option<FollowerHandle>>>,
 }
 
 /// Whether a command text starts with the `select` keyword — the cheap
@@ -503,6 +604,14 @@ pub(crate) struct CacheInner {
     wal: Option<Arc<Wal>>,
     /// Serialises checkpoints (snapshot + log truncation).
     checkpoint_lock: Mutex<()>,
+    /// [`ROLE_PRIMARY`] or [`ROLE_FOLLOWER`]; flipped by promotion.
+    role: std::sync::atomic::AtomicU8,
+    /// The replication hub (present on every durable cache): commit
+    /// watermark tracking plus follower fan-out.
+    repl_hub: Option<Arc<ReplHub>>,
+    /// Highest LSN this replica has applied from its stream (followers;
+    /// a durable follower starts it at its recovered watermark).
+    repl_applied_lsn: AtomicU64,
 }
 
 impl std::fmt::Debug for CacheInner {
@@ -547,6 +656,151 @@ impl Cache {
     /// contents cannot be replayed.
     pub fn recover(dir: impl Into<PathBuf>) -> Result<Cache> {
         CacheBuilder::new().durability(dir).open()
+    }
+
+    /// Open a **read-only follower replica** of the primary serving
+    /// replication at `addr` — equivalent to
+    /// `CacheBuilder::new().follow(addr).open()`; use the builder form
+    /// to combine following with durability or other settings.
+    ///
+    /// The replica bootstraps from the primary's latest checkpoint
+    /// (never from log-zero), then applies the live stream in global
+    /// LSN order through the same never-publishing path as crash
+    /// recovery. Queries are served locally with bounded staleness:
+    /// [`Cache::replica_lsn`] is the applied watermark. Mutations
+    /// return [`Error::ReadOnlyReplica`] until [`Cache::promote`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Repl`] when the replica cannot be set up. An
+    /// unreachable primary is **not** an error: the stream dials (and
+    /// redials, with capped exponential backoff and jitter) in the
+    /// background.
+    pub fn follow(addr: impl Into<String>) -> Result<Cache> {
+        CacheBuilder::new().follow(addr).open()
+    }
+
+    /// Promote this follower to a writable primary: seal the
+    /// replication stream (no further record will be applied), flush
+    /// the local write-ahead log, bump the LSN allocator past the
+    /// replicated history, and flip the role. Every record the replica
+    /// received is preserved; drain the stream first (stop writes on
+    /// the old primary, wait for [`Cache::replica_lsn`] to reach its
+    /// commit watermark) for a lossless planned failover.
+    ///
+    /// A promoted cache keeps whatever replication listener it was
+    /// built with, so chained followers can re-subscribe to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Repl`] when this cache is not a follower (never
+    /// was, or was already promoted), and [`Error::Wal`] when the final
+    /// log flush fails.
+    pub fn promote(&self) -> Result<()> {
+        let mut slot = self.follower.lock();
+        let handle = slot.take().ok_or_else(|| {
+            Error::repl("promote() requires a follower (Cache::follow / CacheBuilder::follow)")
+        })?;
+        let addr = handle.shared().addr.clone();
+        handle.seal();
+        if let Some(wal) = &self.inner.wal {
+            if let Err(e) = wal.flush() {
+                // The promotion did not happen: restore the stream so
+                // the cache stays a functioning (retryable) follower
+                // instead of wedging read-only with no subscription.
+                *slot = Some(FollowerHandle::start(Arc::downgrade(&self.inner), addr));
+                return Err(e);
+            }
+            wal.bump_next_lsn(self.inner.repl_applied_lsn.load(Ordering::Acquire) + 1);
+        }
+        self.inner.role.store(ROLE_PRIMARY, Ordering::Release);
+        Ok(())
+    }
+
+    /// This cache's replication role.
+    pub fn repl_role(&self) -> ReplRole {
+        match self.inner.role.load(Ordering::Acquire) {
+            ROLE_FOLLOWER => ReplRole::Follower,
+            _ => ReplRole::Primary,
+        }
+    }
+
+    /// The bounded-staleness watermark: the highest LSN whose effects
+    /// are visible to queries on this node. On a follower this is the
+    /// applied position of the replication stream; on a durable primary
+    /// it is the contiguous durable commit watermark; 0 on a purely
+    /// in-memory primary (nothing is LSN-stamped).
+    pub fn replica_lsn(&self) -> u64 {
+        match self.repl_role() {
+            ReplRole::Follower => self.inner.repl_applied_lsn.load(Ordering::Acquire),
+            // A promoted in-memory replica has no hub but its applied
+            // history is still what queries see — the watermark must
+            // not regress to 0 at promotion.
+            ReplRole::Primary => self.inner.repl_hub.as_ref().map_or_else(
+                || self.inner.repl_applied_lsn.load(Ordering::Acquire),
+                |h| h.commit_lsn(),
+            ),
+        }
+    }
+
+    /// The primary's contiguous durable commit watermark as known here:
+    /// the hub watermark on a primary, the latest heartbeat (or the
+    /// applied position, whichever is higher) on a follower.
+    /// `commit_lsn() - replica_lsn()` is a follower's staleness in
+    /// records.
+    pub fn commit_lsn(&self) -> u64 {
+        match self.repl_role() {
+            ReplRole::Primary => self.inner.repl_hub.as_ref().map_or_else(
+                || self.inner.repl_applied_lsn.load(Ordering::Acquire),
+                |h| h.commit_lsn(),
+            ),
+            ReplRole::Follower => {
+                let heard = self
+                    .follower
+                    .lock()
+                    .as_ref()
+                    .map_or(0, |f| f.shared().primary_commit_lsn.load(Ordering::Acquire));
+                heard.max(self.inner.repl_applied_lsn.load(Ordering::Acquire))
+            }
+        }
+    }
+
+    /// The address this cache serves its replication stream on, when
+    /// built with [`CacheBuilder::replicate_to`]. With port 0 this is
+    /// the actual bound port — hand it to [`Cache::follow`].
+    pub fn repl_addr(&self) -> Option<std::net::SocketAddr> {
+        self.repl_listener.lock().as_ref().map(|l| l.local_addr())
+    }
+
+    /// A snapshot of the replication subsystem's counters: role,
+    /// watermarks, subscribed followers and their lag, ship volume, and
+    /// the follower-side stream health. All zeros (with
+    /// [`ReplRole::Primary`]) on a cache that neither serves nor
+    /// follows a stream.
+    pub fn repl_stats(&self) -> ReplStats {
+        let role = self.repl_role();
+        let mut stats = ReplStats {
+            role,
+            replica_lsn: self.replica_lsn(),
+            commit_lsn: self.commit_lsn(),
+            ..ReplStats::default()
+        };
+        if let Some(hub) = &self.inner.repl_hub {
+            let (followers, min_acked) = hub.follower_lag();
+            let (frames, bytes, snaps) = hub.ship_stats();
+            stats.followers = followers;
+            stats.min_follower_acked_lsn = min_acked;
+            stats.frames_shipped = frames;
+            stats.bytes_shipped = bytes;
+            stats.snapshots_served = snaps;
+        }
+        if let Some(f) = self.follower.lock().as_ref() {
+            let shared = f.shared();
+            stats.connected = shared.connected.load(Ordering::Acquire);
+            stats.reconnects = shared.reconnects.load(Ordering::Relaxed);
+            stats.snapshots_loaded = shared.snapshots_loaded.load(Ordering::Relaxed);
+        }
+        stats
     }
 
     /// Force a checkpoint now: flush and rotate every log shard, write a
@@ -1124,6 +1378,14 @@ impl Cache {
     /// cache is dropped.
     pub fn shutdown(&self) {
         self.inner.shutting_down.store(true, Ordering::Release);
+        // Replication first: stop serving followers and seal our own
+        // stream before tearing anything else down.
+        if let Some(mut listener) = self.repl_listener.lock().take() {
+            listener.stop();
+        }
+        if let Some(follower) = self.follower.lock().take() {
+            follower.seal();
+        }
         // Push any OsOnly-buffered log records to disk; a clean shutdown
         // should never lose acknowledged writes regardless of policy.
         if let Some(wal) = &self.inner.wal {
@@ -1168,6 +1430,19 @@ impl CacheInner {
         self.clock.now()
     }
 
+    /// Reject the mutation when this cache is a read-only follower. The
+    /// replication apply paths never come through here — they mirror
+    /// the primary's mutations and bypass the public write surface,
+    /// exactly like crash-recovery replay.
+    fn ensure_writable(&self, what: &str) -> Result<()> {
+        if self.role.load(Ordering::Acquire) == ROLE_FOLLOWER {
+            return Err(Error::read_only(format!(
+                "{what} must go to the primary (or promote() this replica)"
+            )));
+        }
+        Ok(())
+    }
+
     pub(crate) fn create_table(
         &self,
         name: &str,
@@ -1175,6 +1450,7 @@ impl CacheInner {
         schema: Arc<Schema>,
         capacity: usize,
     ) -> Result<()> {
+        self.ensure_writable("create table")?;
         let columns: Vec<(String, AttrType)> = schema
             .attributes()
             .iter()
@@ -1199,8 +1475,15 @@ impl CacheInner {
         let ticket = match &self.wal {
             Some(wal) => {
                 let _ckpt = self.checkpoint_lock.lock();
-                let framed = wal::encode_create(wal.next_lsn(), name, kind, capacity, &columns);
+                let lsn = wal.next_lsn();
+                let framed = wal::encode_create(lsn, name, kind, capacity, &columns);
                 let ticket = wal.append(self.tables.shard_index(name), &framed)?;
+                // The create record is the table's first watermark entry
+                // (for streams, the only one): snapshots must claim the
+                // DDL's LSN so replication bootstraps know a checkpoint
+                // covers it.
+                let mut table = table;
+                table.note_wal(lsn);
                 self.tables.create(name, table)?;
                 Some(ticket)
             }
@@ -1349,18 +1632,19 @@ impl CacheInner {
         for op in recovery.ops {
             match op {
                 ReplayOp::CreateTable {
+                    lsn,
                     name,
                     kind,
                     capacity,
                     columns,
-                    ..
                 } => {
                     if !self.tables.contains(&name) {
                         let schema = Arc::new(Schema::new(name.clone(), columns)?);
-                        let table = match kind {
+                        let mut table = match kind {
                             TableKind::Ephemeral => Table::ephemeral(schema, capacity),
                             TableKind::Persistent => Table::persistent(schema),
                         };
+                        table.note_wal(lsn);
                         self.tables.create(&name, table)?;
                     }
                 }
@@ -1417,6 +1701,7 @@ impl CacheInner {
         values: Vec<Scalar>,
         on_duplicate_update: bool,
     ) -> Result<crate::table::InsertOutcome> {
+        self.ensure_writable("insert")?;
         let table = self.tables.get(table_name)?;
         let mut guard = table.lock();
         let outcome = guard.insert(values, self.now(), on_duplicate_update)?;
@@ -1455,6 +1740,7 @@ impl CacheInner {
         rows: Vec<Vec<Scalar>>,
         on_duplicate_update: bool,
     ) -> Result<Vec<Timestamp>> {
+        self.ensure_writable("insert")?;
         let table = self.tables.get(table_name)?;
         // A batch is one atomic insertion event: the clock is read once
         // and every row carries the same insertion timestamp, so a batch
@@ -1586,6 +1872,7 @@ impl CacheInner {
     }
 
     pub(crate) fn persistent_remove(&self, table: &str, key: &str) -> Result<Option<Tuple>> {
+        self.ensure_writable("remove")?;
         let t = self.tables.get(table)?;
         let mut guard = t.lock();
         let removed = guard.remove(key)?;
@@ -1635,8 +1922,201 @@ impl CacheInner {
 
     pub(crate) fn tick_timer(&self) -> Result<Timestamp> {
         let now = self.now();
+        if self.role.load(Ordering::Acquire) == ROLE_FOLLOWER {
+            // A follower publishes nothing: its automata only ever see
+            // live local traffic, of which a pure replica has none. The
+            // heartbeat silently idles until promotion.
+            return Ok(now);
+        }
         self.insert_values(TIMER_TOPIC, vec![Scalar::Tstamp(now)], false)
             .map(|o| o.stored.tstamp())
+    }
+
+    // -----------------------------------------------------------------
+    // Replication: the primary's bootstrap reads and the follower's
+    // apply paths. Everything here bypasses the public write surface
+    // (and publication) the same way crash-recovery replay does.
+    // -----------------------------------------------------------------
+
+    /// The replication hub, present on every durable cache.
+    pub(crate) fn repl_hub(&self) -> Option<&Arc<ReplHub>> {
+        self.repl_hub.as_ref()
+    }
+
+    /// Highest LSN this replica has applied.
+    pub(crate) fn repl_applied(&self) -> u64 {
+        self.repl_applied_lsn.load(Ordering::Acquire)
+    }
+
+    /// Read the snapshot and full on-disk frame backlog for a follower
+    /// bootstrap, under the checkpoint lock so no concurrent rotation
+    /// can retire a log file mid-read.
+    pub(crate) fn repl_bootstrap(&self) -> Result<wal::Backlog> {
+        let wal = self
+            .wal
+            .as_ref()
+            .ok_or_else(|| Error::repl("replication is served only by durable caches"))?;
+        let _guard = self.checkpoint_lock.lock();
+        wal.read_backlog()
+    }
+
+    /// Reset this replica to a shipped snapshot: every table is
+    /// replaced by its snapshot image, tables the snapshot does not
+    /// contain are dropped (a divergence reset must not leave orphans
+    /// from the discarded history — their stale watermarks would
+    /// silently suppress the new primary's records at reused LSNs), and
+    /// the local log, when this follower keeps one, is truncated and
+    /// re-seeded. Afterwards the replica is complete up to the
+    /// snapshot's high watermark — exactly it, in both directions.
+    pub(crate) fn repl_apply_snapshot(&self, bytes: &[u8]) -> Result<()> {
+        let tables = wal::decode_snapshot(bytes)?;
+        for name in self.tables.names() {
+            if !tables.iter().any(|t| t.name == name) {
+                self.tables.remove(&name);
+            }
+        }
+        for snap in &tables {
+            let schema = Arc::new(Schema::new(snap.name.clone(), snap.columns.clone())?);
+            // Populate the replacement fully *before* it becomes
+            // visible: concurrent follower reads must see the old state
+            // or the snapshot state, never an empty or half-loaded
+            // table in between.
+            let mut fresh = match snap.kind {
+                TableKind::Ephemeral => Table::ephemeral(schema, snap.capacity),
+                TableKind::Persistent => Table::persistent(schema),
+            };
+            for (tstamp, values) in &snap.rows {
+                fresh.insert(values.clone(), *tstamp, true)?;
+            }
+            fresh.note_wal(snap.watermark);
+            if self.tables.contains(&snap.name) {
+                let t = self.tables.get(&snap.name)?;
+                *t.lock() = fresh;
+            } else {
+                self.tables.create(&snap.name, fresh)?;
+            }
+        }
+        let high = wal::snapshot_high_watermark(&tables);
+        if let Some(wal) = &self.wal {
+            wal.reset_to_snapshot(&tables)?;
+        }
+        if let Some(hub) = &self.repl_hub {
+            hub.reset_commit(high);
+        }
+        // A plain store, not max: a divergence reset (this follower had
+        // records the primary's authoritative history does not) moves
+        // the applied watermark *backwards* to the snapshot.
+        self.repl_applied_lsn.store(high, Ordering::Release);
+        Ok(())
+    }
+
+    /// Apply one shipped batch of WAL frames, in order, revalidating
+    /// every record checksum; a durable follower appends the identical
+    /// bytes to its own log (waiting for their durability once per
+    /// shard, not per record) before acknowledging. Returns the new
+    /// applied watermark.
+    pub(crate) fn repl_apply_frames(&self, bytes: &[u8]) -> Result<u64> {
+        let (payloads, consumed) = wal::scan_frames(bytes);
+        if consumed < bytes.len() {
+            return Err(Error::repl(
+                "torn or corrupt frame in the replication stream",
+            ));
+        }
+        let mut hi = self.repl_applied_lsn.load(Ordering::Acquire);
+        let mut last_tickets: HashMap<usize, WalTicket> = HashMap::new();
+        for payload in payloads {
+            let op = wal::decode_record(payload)?;
+            let lsn = op.lsn();
+            if lsn <= self.repl_applied_lsn.load(Ordering::Acquire) {
+                // Redelivery across a reconnect boundary: already applied.
+                hi = hi.max(lsn);
+                continue;
+            }
+            self.repl_apply_op(&op)?;
+            // Every frame of new history is appended — including ones
+            // whose apply was a no-op, like the primary's create record
+            // for a table this replica already has (its own built-in
+            // Timer). The local log must stay a verbatim, gap-free copy
+            // of the primary's: a gap would stall this cache's own hub
+            // watermark forever (pending frames above it can never
+            // drain), wedging `commit_lsn()` after promotion and any
+            // chained followers. Recovery dedups replayed creates, so
+            // the duplicate-looking record is harmless there.
+            if let Some(wal) = &self.wal {
+                let shard = self.tables.shard_index(op.table());
+                let framed = wal::frame(payload);
+                let ticket = wal.append(shard, &framed)?;
+                last_tickets.insert(ticket.shard_index(), ticket);
+            }
+            hi = hi.max(lsn);
+        }
+        if let Some(wal) = &self.wal {
+            for ticket in last_tickets.into_values() {
+                wal.wait_durable(ticket)?;
+            }
+        }
+        self.repl_applied_lsn.fetch_max(hi, Ordering::AcqRel);
+        // A durable follower checkpoints on the same cadence as a
+        // primary, bounding its own recovery (and the snapshot it can
+        // serve onward when chained).
+        self.maybe_checkpoint();
+        Ok(self.repl_applied_lsn.load(Ordering::Acquire))
+    }
+
+    /// Apply one replicated record. Records at or below a table's
+    /// watermark are already reflected (the snapshot bootstrap covered
+    /// them) and creates for existing tables are skipped — the same
+    /// filters that make recovery replay exact.
+    fn repl_apply_op(&self, op: &ReplayOp) -> Result<()> {
+        match op {
+            ReplayOp::CreateTable {
+                lsn,
+                name,
+                kind,
+                capacity,
+                columns,
+            } => {
+                if self.tables.contains(name) {
+                    return Ok(());
+                }
+                let schema = Arc::new(Schema::new(name.clone(), columns.clone())?);
+                let mut table = match kind {
+                    TableKind::Ephemeral => Table::ephemeral(schema, *capacity),
+                    TableKind::Persistent => Table::persistent(schema),
+                };
+                table.note_wal(*lsn);
+                self.tables.create(name, table)?;
+                Ok(())
+            }
+            ReplayOp::Insert {
+                lsn,
+                table,
+                upsert,
+                tstamp,
+                rows,
+            } => {
+                let t = self.tables.get(table)?;
+                let mut guard = t.lock();
+                if guard.wal_watermark() >= *lsn {
+                    return Ok(());
+                }
+                for values in rows {
+                    guard.insert(values.clone(), *tstamp, *upsert)?;
+                }
+                guard.note_wal(*lsn);
+                Ok(())
+            }
+            ReplayOp::Remove { lsn, table, key } => {
+                let t = self.tables.get(table)?;
+                let mut guard = t.lock();
+                if guard.wal_watermark() >= *lsn {
+                    return Ok(());
+                }
+                guard.remove(key)?;
+                guard.note_wal(*lsn);
+                Ok(())
+            }
+        }
     }
 }
 

@@ -64,6 +64,20 @@ pub enum Error {
         /// Explanation of the failure.
         message: String,
     },
+    /// The replication subsystem failed: the stream could not be
+    /// established, a shipped frame did not decode, or a promotion was
+    /// requested on a cache that is not a follower.
+    Repl {
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// A mutation was attempted on a read-only follower replica. Writes
+    /// go to the primary; the follower applies its replication stream
+    /// only, until [`Cache::promote`](crate::Cache::promote) flips it.
+    ReadOnlyReplica {
+        /// The rejected operation.
+        message: String,
+    },
     /// Internal invariant violation (poisoned thread, disconnected channel).
     Internal {
         /// Explanation of the failure.
@@ -106,6 +120,20 @@ impl Error {
             message: message.into(),
         }
     }
+
+    /// Construct a [`Error::Repl`].
+    pub fn repl(message: impl Into<String>) -> Self {
+        Error::Repl {
+            message: message.into(),
+        }
+    }
+
+    /// Construct a [`Error::ReadOnlyReplica`].
+    pub fn read_only(message: impl Into<String>) -> Self {
+        Error::ReadOnlyReplica {
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -124,6 +152,10 @@ impl fmt::Display for Error {
             Error::NoSuchAutomaton { id } => write!(f, "no such automaton #{id}"),
             Error::Protocol { message } => write!(f, "protocol error: {message}"),
             Error::Wal { message } => write!(f, "durability error: {message}"),
+            Error::Repl { message } => write!(f, "replication error: {message}"),
+            Error::ReadOnlyReplica { message } => {
+                write!(f, "read-only follower replica: {message}")
+            }
             Error::AutomatonRuntime { message } => {
                 write!(f, "automaton runtime error: {message}")
             }

@@ -56,6 +56,7 @@ pub(crate) mod dispatch;
 pub mod error;
 pub mod plan;
 pub mod query;
+pub mod repl;
 pub mod runtime;
 pub mod sql;
 pub mod table;
@@ -70,6 +71,7 @@ pub use config::{
 pub use error::{Error, Result};
 pub use plan::{ColRef, QueryPlan};
 pub use query::{Aggregate, Comparison, Predicate, Query, ResultSet, Row};
+pub use repl::{ReplRole, ReplStats};
 pub use runtime::{AutomatonId, Notification};
 pub use table::TableKind;
 pub use wal::{SyncPolicy, WalStats};

@@ -1,0 +1,296 @@
+//! The replication wire protocol: a handful of length-prefixed messages
+//! over a dedicated TCP connection.
+//!
+//! The payload of every message is trivial — tags and little-endian
+//! integers framing **opaque WAL bytes**. Shipped frames are the exact
+//! `[len][crc32][payload]` records of the primary's log
+//! ([`crate::wal`]), so the follower revalidates every record's
+//! checksum on receipt and, when it keeps its own log, appends the very
+//! same bytes it was sent: replication is WAL shipping in the literal
+//! sense, and the two logs stay byte-compatible.
+//!
+//! Message layout on the wire: `[u64 len][u8 tag][body…]` (the length
+//! is 8 bytes so any snapshot the WAL can legally produce — up to its
+//! 4 GiB frame limit — fits in one message), little
+//! endian. A connection starts with the follower writing the 8-byte
+//! magic [`MAGIC`] followed by [`FollowerMsg::Subscribe`]; everything
+//! after that is [`PrimaryMsg`] downstream and [`FollowerMsg::Ack`]
+//! upstream.
+
+use std::io::{Read, Write};
+
+use crate::error::{Error, Result};
+
+/// Handshake magic: guards the replication port against stray
+/// connections speaking some other protocol (version-suffixed so a
+/// future incompatible revision is rejected at the first byte).
+pub const MAGIC: [u8; 8] = *b"PSREPL01";
+
+/// Hard cap on one replication message. Snapshots dominate, and the
+/// WAL refuses to checkpoint a snapshot whose frame exceeds its 4 GiB
+/// length prefix — so with a little headroom for the message envelope,
+/// every snapshot a primary can legally produce also fits the wire.
+const MAX_MSG_BYTES: u64 = (1 << 32) + 1024;
+
+const TAG_SUBSCRIBE: u8 = 0;
+const TAG_ACK: u8 = 1;
+
+const TAG_SNAPSHOT: u8 = 0;
+const TAG_FRAMES: u8 = 1;
+const TAG_HEARTBEAT: u8 = 2;
+
+/// Messages flowing follower → primary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FollowerMsg {
+    /// Open (or resume) the stream: the follower has every record with
+    /// an LSN at or below `from_lsn` and wants everything after it.
+    Subscribe {
+        /// The follower's replica watermark at connect time.
+        from_lsn: u64,
+    },
+    /// The follower has applied every record up to `lsn`; the primary
+    /// records it for end-to-end lag observability.
+    Ack {
+        /// The follower's new replica watermark.
+        lsn: u64,
+    },
+}
+
+/// Messages flowing primary → follower.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrimaryMsg {
+    /// Bootstrap: the raw bytes of the primary's checkpoint snapshot.
+    /// The follower **resets** to it (tables and, when durable, its own
+    /// log) before applying any frames — sent when the subscriber's
+    /// `from_lsn` predates the log retention horizon, or when the
+    /// follower claims records the primary does not have (divergence
+    /// after an unclean primary restart).
+    Snapshot(Vec<u8>),
+    /// A batch of sealed WAL frames, contiguous in the stream: after
+    /// applying a batch the follower is complete up to the highest LSN
+    /// it has seen.
+    Frames(Vec<u8>),
+    /// Periodic liveness + staleness beacon carrying the primary's
+    /// durable commit watermark.
+    Heartbeat {
+        /// Highest LSN the primary has committed (contiguous, durable).
+        commit_lsn: u64,
+    },
+}
+
+fn write_msg(w: &mut impl Write, tag: u8, head: &[u64], raw: &[u8]) -> Result<()> {
+    let len = 1 + head.len() as u64 * 8 + raw.len() as u64;
+    if len > MAX_MSG_BYTES {
+        return Err(Error::repl(format!(
+            "replication message of {len} bytes exceeds the {MAX_MSG_BYTES}-byte cap"
+        )));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&[tag])?;
+    for v in head {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.write_all(raw)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one raw message body (tag + body). `Ok(None)` means the peer
+/// closed the connection at a message boundary.
+fn read_msg(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    let mut lenb = [0u8; 8];
+    // A clean close before the first length byte is a normal
+    // end-of-stream; anything mid-header is a torn connection.
+    let mut filled = 0;
+    while filled < lenb.len() {
+        match r.read(&mut lenb[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(Error::repl("replication stream ended mid-header")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(Error::repl(format!("replication read failed: {e}"))),
+        }
+    }
+    let len = u64::from_le_bytes(lenb);
+    if len == 0 || len > MAX_MSG_BYTES {
+        return Err(Error::repl(format!(
+            "invalid replication message length {len}"
+        )));
+    }
+    let len = len as usize;
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)
+        .map_err(|e| Error::repl(format!("replication read failed: {e}")))?;
+    Ok(Some(body))
+}
+
+fn u64_at(body: &[u8], pos: usize) -> Result<u64> {
+    body.get(pos..pos + 8)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+        .ok_or_else(|| Error::repl("truncated replication message body"))
+}
+
+/// Write the connection-opening magic.
+pub fn write_magic(w: &mut impl Write) -> Result<()> {
+    w.write_all(&MAGIC)?;
+    Ok(())
+}
+
+/// Read and validate the connection-opening magic.
+pub fn read_magic(r: &mut impl Read) -> Result<()> {
+    let mut got = [0u8; 8];
+    r.read_exact(&mut got)
+        .map_err(|e| Error::repl(format!("replication handshake failed: {e}")))?;
+    if got != MAGIC {
+        return Err(Error::repl("peer did not speak the replication protocol"));
+    }
+    Ok(())
+}
+
+impl FollowerMsg {
+    /// Write this message to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures as [`Error::Repl`].
+    pub fn write(&self, w: &mut impl Write) -> Result<()> {
+        match self {
+            FollowerMsg::Subscribe { from_lsn } => write_msg(w, TAG_SUBSCRIBE, &[*from_lsn], &[]),
+            FollowerMsg::Ack { lsn } => write_msg(w, TAG_ACK, &[*lsn], &[]),
+        }
+    }
+
+    /// Read one follower message; `Ok(None)` on a clean close.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Repl`] on transport failures or unknown tags.
+    pub fn read(r: &mut impl Read) -> Result<Option<FollowerMsg>> {
+        let Some(body) = read_msg(r)? else {
+            return Ok(None);
+        };
+        match body[0] {
+            TAG_SUBSCRIBE => Ok(Some(FollowerMsg::Subscribe {
+                from_lsn: u64_at(&body, 1)?,
+            })),
+            TAG_ACK => Ok(Some(FollowerMsg::Ack {
+                lsn: u64_at(&body, 1)?,
+            })),
+            other => Err(Error::repl(format!("unknown follower message tag {other}"))),
+        }
+    }
+}
+
+impl PrimaryMsg {
+    /// Write this message to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures as [`Error::Repl`].
+    pub fn write(&self, w: &mut impl Write) -> Result<()> {
+        match self {
+            PrimaryMsg::Snapshot(bytes) => write_msg(w, TAG_SNAPSHOT, &[], bytes),
+            PrimaryMsg::Frames(bytes) => write_msg(w, TAG_FRAMES, &[], bytes),
+            PrimaryMsg::Heartbeat { commit_lsn } => {
+                write_msg(w, TAG_HEARTBEAT, &[*commit_lsn], &[])
+            }
+        }
+    }
+
+    /// Read one primary message; `Ok(None)` on a clean close.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Repl`] on transport failures or unknown tags.
+    pub fn read(r: &mut impl Read) -> Result<Option<PrimaryMsg>> {
+        let Some(body) = read_msg(r)? else {
+            return Ok(None);
+        };
+        match body[0] {
+            TAG_SNAPSHOT => Ok(Some(PrimaryMsg::Snapshot(body[1..].to_vec()))),
+            TAG_FRAMES => Ok(Some(PrimaryMsg::Frames(body[1..].to_vec()))),
+            TAG_HEARTBEAT => Ok(Some(PrimaryMsg::Heartbeat {
+                commit_lsn: u64_at(&body, 1)?,
+            })),
+            other => Err(Error::repl(format!("unknown primary message tag {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn messages_round_trip() {
+        let mut wire = Vec::new();
+        write_magic(&mut wire).unwrap();
+        FollowerMsg::Subscribe { from_lsn: 42 }
+            .write(&mut wire)
+            .unwrap();
+        FollowerMsg::Ack { lsn: 43 }.write(&mut wire).unwrap();
+        let mut cur = Cursor::new(wire);
+        read_magic(&mut cur).unwrap();
+        assert_eq!(
+            FollowerMsg::read(&mut cur).unwrap(),
+            Some(FollowerMsg::Subscribe { from_lsn: 42 })
+        );
+        assert_eq!(
+            FollowerMsg::read(&mut cur).unwrap(),
+            Some(FollowerMsg::Ack { lsn: 43 })
+        );
+        assert_eq!(FollowerMsg::read(&mut cur).unwrap(), None);
+
+        let mut wire = Vec::new();
+        PrimaryMsg::Snapshot(vec![1, 2, 3])
+            .write(&mut wire)
+            .unwrap();
+        PrimaryMsg::Frames(vec![9; 2000]).write(&mut wire).unwrap();
+        PrimaryMsg::Heartbeat { commit_lsn: 7 }
+            .write(&mut wire)
+            .unwrap();
+        let mut cur = Cursor::new(wire);
+        assert_eq!(
+            PrimaryMsg::read(&mut cur).unwrap(),
+            Some(PrimaryMsg::Snapshot(vec![1, 2, 3]))
+        );
+        assert_eq!(
+            PrimaryMsg::read(&mut cur).unwrap(),
+            Some(PrimaryMsg::Frames(vec![9; 2000]))
+        );
+        assert_eq!(
+            PrimaryMsg::read(&mut cur).unwrap(),
+            Some(PrimaryMsg::Heartbeat { commit_lsn: 7 })
+        );
+        assert_eq!(PrimaryMsg::read(&mut cur).unwrap(), None);
+    }
+
+    #[test]
+    fn bad_magic_and_bad_tags_are_rejected() {
+        let mut cur = Cursor::new(b"NOTREPL0".to_vec());
+        assert!(read_magic(&mut cur).is_err());
+
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&1u64.to_le_bytes());
+        wire.push(99);
+        assert!(FollowerMsg::read(&mut Cursor::new(wire.clone())).is_err());
+        assert!(PrimaryMsg::read(&mut Cursor::new(wire)).is_err());
+
+        // A zero-length message is malformed, not a clean close.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&0u64.to_le_bytes());
+        assert!(FollowerMsg::read(&mut Cursor::new(wire)).is_err());
+    }
+
+    #[test]
+    fn torn_header_is_an_error_but_boundary_close_is_clean() {
+        let mut wire = Vec::new();
+        FollowerMsg::Ack { lsn: 1 }.write(&mut wire).unwrap();
+        // Cut inside the next message's length header.
+        wire.extend_from_slice(&[5, 0]);
+        let mut cur = Cursor::new(wire);
+        assert!(FollowerMsg::read(&mut cur).unwrap().is_some());
+        assert!(FollowerMsg::read(&mut cur).is_err());
+    }
+}

@@ -1,0 +1,298 @@
+//! The primary side of replication: a TCP listener that serves the WAL
+//! stream to follower subscriptions.
+//!
+//! Each accepted connection performs the bootstrap handshake
+//! (snapshot + disk backlog up to the hub watermark at attach time),
+//! then settles into the live loop: sealed frame batches from the
+//! [`ReplHub`](super::hub::ReplHub) as they commit, heartbeats when the
+//! stream is idle, and follower acks flowing back on a side thread for
+//! lag accounting. The ordering argument lives with the hub; this
+//! module only has to *attach the subscriber before reading disk* so
+//! that every record is either in the backlog it reads or in the live
+//! stream it forwards — never in neither.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::cache::CacheInner;
+use crate::error::{Error, Result};
+use crate::repl::proto::{self, FollowerMsg, PrimaryMsg};
+use crate::wal;
+
+/// How often the primary beacons its commit watermark on an idle stream.
+pub(crate) const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Target size of one bootstrap `Frames` message: large enough to
+/// amortise syscalls, small enough that a follower starts applying
+/// while the rest of the backlog is still in flight.
+const BOOTSTRAP_CHUNK_BYTES: usize = 256 * 1024;
+
+/// A bound replication listener; dropped (or stopped) with the cache.
+#[derive(Debug)]
+pub(crate) struct ReplListener {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+}
+
+impl ReplListener {
+    /// Bind `addr` (port 0 for an ephemeral port) and serve the WAL
+    /// stream of the cache behind `inner` until stopped. The listener
+    /// holds only a weak reference: it never keeps a dropped cache
+    /// alive.
+    pub fn bind(addr: impl ToSocketAddrs, inner: Weak<CacheInner>) -> Result<ReplListener> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| Error::repl(format!("binding the replication listener failed: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| Error::repl(e.to_string()))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_workers = Arc::clone(&workers);
+        let accept_conns = Arc::clone(&conns);
+        let accept = std::thread::Builder::new()
+            .name("pscache-repl-accept".into())
+            .spawn(move || {
+                for (conn_id, stream) in (0_u64..).zip(listener.incoming()) {
+                    if accept_shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { break };
+                    if let Ok(clone) = stream.try_clone() {
+                        accept_conns.lock().insert(conn_id, clone);
+                    }
+                    let inner = inner.clone();
+                    let shutdown = Arc::clone(&accept_shutdown);
+                    let conns = Arc::clone(&accept_conns);
+                    let worker = std::thread::Builder::new()
+                        .name(format!("pscache-repl-conn-{conn_id}"))
+                        .spawn(move || {
+                            let _ = serve_conn(&inner, stream, &shutdown);
+                            conns.lock().remove(&conn_id);
+                        })
+                        .expect("spawning a replication worker never fails");
+                    // Reap workers whose connection already ended, so a
+                    // crash-looping follower cannot grow this vector for
+                    // the listener's whole lifetime.
+                    let mut workers = accept_workers.lock();
+                    workers.retain(|w| !w.is_finished());
+                    workers.push(worker);
+                }
+            })
+            .expect("spawning the replication accept thread never fails");
+
+        Ok(ReplListener {
+            local_addr,
+            shutdown,
+            accept: Some(accept),
+            workers,
+            conns,
+        })
+    }
+
+    /// The address the listener is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting, close every follower connection, and join all
+    /// threads.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        for (_, stream) in self.conns.lock().drain() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        let workers: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock());
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ReplListener {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn serve_conn(
+    inner: &Weak<CacheInner>,
+    stream: TcpStream,
+    shutdown: &Arc<AtomicBool>,
+) -> Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| Error::repl(e.to_string()))?);
+    let writer = BufWriter::new(stream.try_clone().map_err(|e| Error::repl(e.to_string()))?);
+    proto::read_magic(&mut reader)?;
+    let Some(FollowerMsg::Subscribe { from_lsn }) = FollowerMsg::read(&mut reader)? else {
+        return Err(Error::repl("expected a Subscribe to open the stream"));
+    };
+    // The accepted connection must never keep a dropped cache alive:
+    // the strong reference is held only across the bootstrap reads, and
+    // the live loop runs on the hub alone.
+    let (hub, sub_id, rx, attach_lsn, snapshot, frames) = {
+        let Some(cache) = inner.upgrade() else {
+            return Ok(());
+        };
+        let hub = Arc::clone(
+            cache
+                .repl_hub()
+                .ok_or_else(|| Error::repl("replication is served only by durable caches"))?,
+        );
+        // Attach the live subscription *before* reading disk: every
+        // sealed record is now either in the backlog (lsn <= the attach
+        // watermark) or will arrive on `rx` (lsn above it).
+        let (sub_id, rx, attach_lsn) = hub.subscribe();
+        // Seed the lag accounting with what the follower claims to
+        // have, so one resuming subscriber does not read as "the whole
+        // history behind" until its first ack lands.
+        hub.note_ack(sub_id, from_lsn.min(attach_lsn));
+        // A follower claiming records the primary does not have
+        // diverged (typically: the primary restarted and lost an
+        // unacknowledged tail). Force a checkpoint so a snapshot exists
+        // that captures the primary's authoritative state, then reset
+        // the follower to it.
+        let bootstrap = (|| {
+            if from_lsn > attach_lsn {
+                cache.checkpoint()?;
+            }
+            cache.repl_bootstrap()
+        })();
+        match bootstrap {
+            Ok((snapshot, frames)) => (hub, sub_id, rx, attach_lsn, snapshot, frames),
+            Err(e) => {
+                hub.unsubscribe(sub_id);
+                return Err(e);
+            }
+        }
+    };
+    let result = stream_to_follower(
+        &hub, sub_id, rx, attach_lsn, from_lsn, snapshot, frames, reader, writer, &stream, shutdown,
+    );
+    hub.unsubscribe(sub_id);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn stream_to_follower(
+    hub: &Arc<super::hub::ReplHub>,
+    sub_id: u64,
+    rx: crossbeam::channel::Receiver<super::hub::StreamBatch>,
+    attach_lsn: u64,
+    from_lsn: u64,
+    snapshot: Option<Vec<u8>>,
+    frames: Vec<(u64, Vec<u8>)>,
+    reader: BufReader<TcpStream>,
+    mut writer: BufWriter<TcpStream>,
+    stream: &TcpStream,
+    shutdown: &Arc<AtomicBool>,
+) -> Result<()> {
+    let mut reset = false;
+    if let Some(snap_bytes) = &snapshot {
+        let high = wal::scan_snapshot_high_watermark(snap_bytes)?;
+        if from_lsn < high || from_lsn > attach_lsn {
+            PrimaryMsg::Snapshot(snap_bytes.clone()).write(&mut writer)?;
+            hub.note_snapshot_served();
+            reset = true;
+        }
+    } else if from_lsn > attach_lsn {
+        return Err(Error::repl(
+            "diverged follower but no snapshot could be produced",
+        ));
+    }
+
+    // After a reset the follower filters snapshot-covered records by
+    // per-table watermark, so ship the full disk backlog; otherwise
+    // only the records it is missing.
+    let effective_from = if reset { 0 } else { from_lsn };
+    let mut chunk: Vec<u8> = Vec::new();
+    for (lsn, frame) in &frames {
+        if *lsn <= effective_from || *lsn > attach_lsn {
+            continue;
+        }
+        chunk.extend_from_slice(frame);
+        if chunk.len() >= BOOTSTRAP_CHUNK_BYTES {
+            PrimaryMsg::Frames(std::mem::take(&mut chunk)).write(&mut writer)?;
+        }
+    }
+    if !chunk.is_empty() {
+        PrimaryMsg::Frames(chunk).write(&mut writer)?;
+    }
+    PrimaryMsg::Heartbeat {
+        commit_lsn: hub.commit_lsn(),
+    }
+    .write(&mut writer)?;
+
+    // Acks arrive on a side thread so a slow ack can never stall the
+    // stream (and vice versa).
+    let closed = Arc::new(AtomicBool::new(false));
+    let ack_closed = Arc::clone(&closed);
+    let ack_hub = Arc::clone(hub);
+    let ack_thread = std::thread::Builder::new()
+        .name("pscache-repl-acks".into())
+        .spawn(move || {
+            let mut reader = reader;
+            // Anything other than an ack — a renewed Subscribe, a clean
+            // close, a transport error — ends the connection.
+            while let Ok(Some(FollowerMsg::Ack { lsn })) = FollowerMsg::read(&mut reader) {
+                ack_hub.note_ack(sub_id, lsn);
+            }
+            ack_closed.store(true, Ordering::Release);
+        })
+        .expect("spawning the ack reader never fails");
+
+    // The live loop: forward committed batches as they arrive, beacon
+    // the watermark when idle.
+    let result = loop {
+        if shutdown.load(Ordering::Acquire) || closed.load(Ordering::Acquire) {
+            break Ok(());
+        }
+        match rx.recv_timeout(HEARTBEAT_INTERVAL) {
+            Ok((_hi, first)) => {
+                let mut batch = first.to_vec();
+                // Coalesce whatever else has already committed into one
+                // message — keeps the frame rate bounded under load.
+                while let Ok((_h, more)) = rx.try_recv() {
+                    batch.extend_from_slice(&more);
+                }
+                if let Err(e) = PrimaryMsg::Frames(batch).write(&mut writer) {
+                    break Err(e);
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                if let Err(e) = (PrimaryMsg::Heartbeat {
+                    commit_lsn: hub.commit_lsn(),
+                })
+                .write(&mut writer)
+                {
+                    break Err(e);
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break Ok(()),
+        }
+    };
+
+    // Unblock and reap the ack reader.
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let _ = ack_thread.join();
+    result
+}

@@ -197,13 +197,16 @@ impl Table {
         }
     }
 
-    /// LSN of the newest write-ahead-log record covering this table
-    /// (persistent tables only; streams are never logged). A checkpoint
-    /// snapshot stores this watermark so recovery replays exactly the
-    /// records the snapshot does not already reflect.
+    /// LSN of the newest write-ahead-log record covering this table. A
+    /// checkpoint snapshot stores this watermark so recovery (and a
+    /// replication bootstrap) replays exactly the records the snapshot
+    /// does not already reflect. Ephemeral streams carry only their
+    /// `create` record's LSN — their rows are never logged — which
+    /// keeps the snapshot's high watermark an honest statement of how
+    /// much history it covers.
     pub fn wal_watermark(&self) -> u64 {
         match self {
-            Table::Ephemeral(_) => 0,
+            Table::Ephemeral(t) => t.wal_watermark,
             Table::Persistent(t) => t.wal_watermark,
         }
     }
@@ -213,8 +216,9 @@ impl Table {
     /// section that appended the record, so the watermark and the log
     /// can never disagree.
     pub fn note_wal(&mut self, lsn: u64) {
-        if let Table::Persistent(t) = self {
-            t.wal_watermark = t.wal_watermark.max(lsn);
+        match self {
+            Table::Ephemeral(t) => t.wal_watermark = t.wal_watermark.max(lsn),
+            Table::Persistent(t) => t.wal_watermark = t.wal_watermark.max(lsn),
         }
     }
 
@@ -240,6 +244,8 @@ pub struct EphemeralTable {
     /// it so the buffer stays sorted by timestamp even if the clock
     /// regresses, which is what lets `since τ` binary-search the suffix.
     last_tstamp: Timestamp,
+    /// See [`Table::wal_watermark`]: the stream's `create` record LSN.
+    wal_watermark: u64,
 }
 
 impl EphemeralTable {
@@ -248,6 +254,7 @@ impl EphemeralTable {
             schema,
             buffer: CircularBuffer::new(capacity.max(1)),
             last_tstamp: 0,
+            wal_watermark: 0,
         }
     }
 
@@ -467,6 +474,14 @@ impl TableStore {
     /// Whether a table named `name` exists.
     pub fn contains(&self, name: &str) -> bool {
         self.shard(name).read().contains_key(name)
+    }
+
+    /// Drop the table registered under `name`, if any. Used by the
+    /// replication snapshot reset, which must leave *exactly* the
+    /// snapshot's tables behind; queries holding an `Arc` to the table
+    /// finish against the detached instance.
+    pub fn remove(&self, name: &str) -> bool {
+        self.shard(name).write().remove(name).is_some()
     }
 
     /// Total number of tables across all stripes.

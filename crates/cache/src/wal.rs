@@ -59,7 +59,7 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use gapl::event::{AttrType, Scalar};
 
@@ -204,7 +204,7 @@ impl ReplayOp {
         }
     }
 
-    fn table(&self) -> &str {
+    pub(crate) fn table(&self) -> &str {
         match self {
             ReplayOp::CreateTable { name, .. } => name,
             ReplayOp::Insert { table, .. } | ReplayOp::Remove { table, .. } => table,
@@ -254,7 +254,7 @@ fn attr_from_byte(b: u8) -> Result<AttrType> {
 /// beyond any record (`MAX_BATCH_ROWS` bounds batches long before
 /// that); snapshots check the limit explicitly in [`encode_snapshot`]
 /// and fail the checkpoint rather than write an undecodable frame.
-fn frame(payload: &[u8]) -> Vec<u8> {
+pub(crate) fn frame(payload: &[u8]) -> Vec<u8> {
     let len = u32::try_from(payload.len())
         .expect("frame payloads are bounded below the u32 length prefix");
     let mut framed = Vec::with_capacity(payload.len() + 8);
@@ -314,7 +314,7 @@ pub(crate) fn encode_remove(lsn: u64, table: &str, key: &str) -> Vec<u8> {
     frame(&w.finish())
 }
 
-fn decode_record(payload: &[u8]) -> Result<ReplayOp> {
+pub(crate) fn decode_record(payload: &[u8]) -> Result<ReplayOp> {
     let mut r = WireReader::new(payload);
     let lsn = r.get_u64()?;
     let op = r.get_u8()?;
@@ -374,7 +374,7 @@ pub fn count_complete_records(bytes: &[u8]) -> usize {
 /// which `crc32(&[]) == 0` would otherwise accept as a valid record. No
 /// real record or snapshot has an empty payload, so `len == 0` always
 /// means "torn tail", never data.
-fn scan_frames(bytes: &[u8]) -> (Vec<&[u8]>, usize) {
+pub(crate) fn scan_frames(bytes: &[u8]) -> (Vec<&[u8]>, usize) {
     let mut payloads = Vec::new();
     let mut pos = 0usize;
     while bytes.len() - pos >= 8 {
@@ -398,6 +398,42 @@ fn scan_frames(bytes: &[u8]) -> (Vec<&[u8]>, usize) {
         pos = end;
     }
     (payloads, pos)
+}
+
+/// Split a buffer of concatenated log frames into `(lsn, frame)` pairs
+/// — each frame slice **includes** its `[len][crc]` header and is
+/// checksum-validated; scanning stops at the first torn or corrupt
+/// frame, exactly like [`scan_frames`]. This is the shared walk behind
+/// the replication hub (re-sequencing sealed chunks) and the bootstrap
+/// backlog read.
+pub(crate) fn split_frames(bytes: &[u8]) -> Vec<(u64, &[u8])> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while bytes.len() - pos >= 8 {
+        let len =
+            u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4-byte slice")) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4-byte slice"));
+        // Every record payload starts with its u64 LSN, so anything
+        // shorter (including the zero-filled torn-tail case) is not a
+        // record.
+        if len < 8 {
+            break;
+        }
+        let Some(end) = (pos + 8).checked_add(len) else {
+            break;
+        };
+        if end > bytes.len() {
+            break;
+        }
+        let payload = &bytes[pos + 8..end];
+        if crc32(payload) != crc {
+            break;
+        }
+        let lsn = u64::from_le_bytes(payload[..8].try_into().expect("8-byte slice"));
+        out.push((lsn, &bytes[pos..end]));
+        pos = end;
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -493,7 +529,84 @@ fn encode_snapshot(tables: &[SnapshotTable]) -> Result<Vec<u8>> {
     Ok(frame(&payload))
 }
 
-fn decode_snapshot(bytes: &[u8]) -> Result<Vec<SnapshotTable>> {
+/// Highest LSN covered by a snapshot: the max of its per-table
+/// watermarks. A replication subscriber whose `from_lsn` is below this
+/// cannot be served from the logs alone (the checkpoint that wrote the
+/// snapshot truncated them) and bootstraps from the snapshot instead.
+pub(crate) fn snapshot_high_watermark(tables: &[SnapshotTable]) -> u64 {
+    tables.iter().map(|t| t.watermark).max().unwrap_or(0)
+}
+
+/// The snapshot's high watermark, read with a header-only walk: row
+/// payloads are stepped over (strings validated in place, nothing
+/// materialised), so probing a multi-gigabyte snapshot on every
+/// follower subscription costs a scan, not an allocation storm.
+pub(crate) fn scan_snapshot_high_watermark(bytes: &[u8]) -> Result<u64> {
+    let (payloads, _) = scan_frames(bytes);
+    let payload = payloads
+        .first()
+        .ok_or_else(|| Error::wal("snapshot file is torn or corrupt"))?;
+    let mut r = WireReader::new(payload);
+    let version = r.get_u8()?;
+    if version != 1 {
+        return Err(Error::wal(format!("unknown snapshot version {version}")));
+    }
+    let ntables = r.get_u32()? as usize;
+    if ntables > 1_000_000 {
+        return Err(Error::wal("unreasonably many tables in snapshot"));
+    }
+    let mut high = 0u64;
+    for _ in 0..ntables {
+        r.get_str_slice()?; // name
+        r.get_u8()?; // kind
+        r.get_u64()?; // capacity
+        let ncols = r.get_u32()? as usize;
+        if ncols > 1_000_000 {
+            return Err(Error::wal("unreasonably wide schema in snapshot"));
+        }
+        for _ in 0..ncols {
+            r.get_str_slice()?;
+            r.get_u8()?;
+        }
+        high = high.max(r.get_u64()?); // watermark
+        let nrows = r.get_u32()? as usize;
+        if nrows > 100_000_000 {
+            return Err(Error::wal("unreasonably many rows in snapshot"));
+        }
+        for _ in 0..nrows {
+            r.get_u64()?; // tstamp
+            let nvals = r.get_u32()? as usize;
+            if nvals > 1_000_000 {
+                return Err(Error::protocol("unreasonably large scalar sequence"));
+            }
+            for _ in 0..nvals {
+                match r.get_u8()? {
+                    0 => {
+                        r.get_i64()?;
+                    }
+                    1 => {
+                        r.get_f64()?;
+                    }
+                    2 => {
+                        r.get_u64()?;
+                    }
+                    3 => {
+                        r.get_bool()?;
+                    }
+                    4 => {
+                        r.get_str_slice()?;
+                    }
+                    other => {
+                        return Err(Error::protocol(format!("unknown scalar tag {other}")));
+                    }
+                }
+            }
+        }
+    }
+    Ok(high)
+}
+
+pub(crate) fn decode_snapshot(bytes: &[u8]) -> Result<Vec<SnapshotTable>> {
     let (payloads, _) = scan_frames(bytes);
     let payload = payloads
         .first()
@@ -593,20 +706,58 @@ pub(crate) struct WalTicket {
     seq: u64,
 }
 
+impl WalTicket {
+    /// The log shard this ticket commits on; the follower apply path
+    /// waits for the *last* ticket of each shard instead of every one.
+    pub(crate) fn shard_index(&self) -> usize {
+        self.shard
+    }
+}
+
+/// A consumer of sealed log bytes — the replication tailer. The sink is
+/// handed every chunk of framed records in the order it reached the log
+/// *file* of its shard; chunks from different shards arrive unordered
+/// and carry their LSNs in-band, so the hub behind the sink re-sequences
+/// them into the global commit order.
+pub(crate) type ReplSink = Arc<dyn Fn(&[u8]) + Send + Sync>;
+
+/// Everything durable on disk for a replication bootstrap: the raw
+/// snapshot file (if any) plus every complete framed record as
+/// `(lsn, frame bytes)`, deduplicated and sorted by LSN.
+pub(crate) type Backlog = (Option<Vec<u8>>, Vec<(u64, Vec<u8>)>);
+
 /// The write-ahead log: one buffered, group-committed file per table
 /// store stripe. See the [module documentation](self).
-#[derive(Debug)]
 pub(crate) struct Wal {
     dir: PathBuf,
     policy: SyncPolicy,
     shards: Box<[WalShard]>,
     next_lsn: AtomicU64,
+    /// Highest LSN found on disk when the log was opened (0 for a fresh
+    /// directory); the replication hub starts its commit watermark here.
+    recovered_lsn: u64,
+    /// Highest LSN below which recovery found **no holes** (see
+    /// [`Wal::open`]); a replica resumes its subscription from here.
+    recovered_contiguous_lsn: u64,
     checkpoint_every: u64,
     records_since_checkpoint: AtomicU64,
     records: AtomicU64,
     syncs: AtomicU64,
     checkpoints: AtomicU64,
     replayed: AtomicU64,
+    /// Where sealed frames are shipped (the replication hub), when the
+    /// cache serves a replication stream.
+    sink: std::sync::RwLock<Option<ReplSink>>,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.dir)
+            .field("policy", &self.policy)
+            .field("shards", &self.shards.len())
+            .finish()
+    }
 }
 
 fn lock<'a>(m: &'a Mutex<ShardState>) -> MutexGuard<'a, ShardState> {
@@ -696,6 +847,28 @@ impl Wal {
         // records in both files; LSNs are globally unique per record, so
         // duplicates are exactly that and the first copy wins.
         ops.dedup_by_key(|op| op.lsn());
+        // The *contiguous* recovered watermark: the highest LSN such
+        // that every record above the snapshot's high watermark and at
+        // or below it survived on disk. A crash between the per-shard
+        // fsyncs of one commit wave can persist a higher-LSN record
+        // while losing a lower one; `max_lsn` papers over that hole
+        // (correct for a primary, whose lost record was simply never
+        // acknowledged), but a *replica* resuming its subscription must
+        // resume from the contiguous point, or the hole would never be
+        // re-fetched from the primary that still has the record.
+        let snapshot_high = snapshot.iter().map(|t| t.watermark).max().unwrap_or(0);
+        let mut contiguous_lsn = snapshot_high;
+        for op in &ops {
+            let lsn = op.lsn();
+            if lsn <= contiguous_lsn {
+                continue;
+            }
+            if lsn == contiguous_lsn + 1 {
+                contiguous_lsn += 1;
+            } else {
+                break;
+            }
+        }
         ops.retain(|op| match op {
             ReplayOp::CreateTable { name, .. } => created.insert(name.clone()),
             other => other.lsn() > watermarks.get(other.table()).copied().unwrap_or(0),
@@ -728,12 +901,15 @@ impl Wal {
             policy,
             shards,
             next_lsn: AtomicU64::new(max_lsn + 1),
+            recovered_lsn: max_lsn,
+            recovered_contiguous_lsn: contiguous_lsn,
             checkpoint_every,
             records_since_checkpoint: AtomicU64::new(0),
             records: AtomicU64::new(0),
             syncs: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
             replayed: AtomicU64::new(replayed),
+            sink: std::sync::RwLock::new(None),
         };
         Ok((
             wal,
@@ -753,6 +929,43 @@ impl Wal {
     /// Allocate the next global log sequence number.
     pub fn next_lsn(&self) -> u64 {
         self.next_lsn.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Highest LSN found on disk when the log was opened.
+    pub fn recovered_lsn(&self) -> u64 {
+        self.recovered_lsn
+    }
+
+    /// Highest LSN with no hole below it (above the snapshot): the safe
+    /// point for a replica to resume its subscription from.
+    pub fn recovered_contiguous_lsn(&self) -> u64 {
+        self.recovered_contiguous_lsn
+    }
+
+    /// Ensure the next allocated LSN is at least `to`. Used at follower
+    /// promotion: the promoted cache must mint LSNs strictly above every
+    /// record it replicated, or its own writes would collide with the
+    /// history it inherited.
+    pub fn bump_next_lsn(&self, to: u64) {
+        self.next_lsn.fetch_max(to, Ordering::Relaxed);
+    }
+
+    /// Install the replication tailer: every chunk of framed records is
+    /// handed to `sink` as soon as it reaches the shard's log file.
+    pub fn set_sink(&self, sink: ReplSink) {
+        *self.sink.write().unwrap_or_else(|p| p.into_inner()) = Some(sink);
+    }
+
+    /// Ship `chunk` (concatenated framed records, in the order they hit
+    /// one shard's file) to the replication tailer, if one is attached.
+    fn ship(&self, chunk: &[u8]) {
+        if chunk.is_empty() {
+            return;
+        }
+        let sink = self.sink.read().unwrap_or_else(|p| p.into_inner());
+        if let Some(sink) = sink.as_ref() {
+            sink(chunk);
+        }
     }
 
     /// Counters snapshot.
@@ -844,6 +1057,11 @@ impl Wal {
                 file.sync_data()?;
                 Ok(())
             });
+            if outcome.is_ok() {
+                // Still the leader (`syncing` is ours), so chunks reach
+                // the replication tailer in this shard's file order.
+                self.ship(&chunk);
+            }
             self.syncs.fetch_add(1, Ordering::Relaxed);
             state = lock(&s.state);
             state.syncing = false;
@@ -865,6 +1083,9 @@ impl Wal {
                 state.failed = Some(e.to_string());
                 return Err(e.into());
             }
+            // The bytes are in the log file: seal them for replication.
+            // The shard lock is held, so chunks ship in file order.
+            self.ship(&buf);
         }
         if sync {
             if let Err(e) = state.file.sync_data() {
@@ -964,6 +1185,67 @@ impl Wal {
     /// from a larger previous `shard_count` (no append can ever reach a
     /// shard index at or beyond the current count, so its records are
     /// all in the snapshot too).
+    /// Read everything durable on disk for a replication bootstrap: the
+    /// raw snapshot file (if any) and every complete framed record in
+    /// the log files, re-framed, deduplicated and sorted by LSN.
+    ///
+    /// Callers hold the cache's checkpoint lock, so no rotation can
+    /// delete or rename a log file mid-read. Records buffered in memory
+    /// but not yet written are *not* returned — they have not been
+    /// shipped to the hub either, so a subscriber attached before this
+    /// read receives them on the live stream instead.
+    pub fn read_backlog(&self) -> Result<Backlog> {
+        let snapshot_path = self.dir.join(SNAPSHOT_FILE);
+        let snapshot = if snapshot_path.exists() {
+            Some(fs::read(&snapshot_path)?)
+        } else {
+            None
+        };
+        let mut frames: Vec<(u64, Vec<u8>)> = Vec::new();
+        for shard in existing_shards(&self.dir)? {
+            for path in [rotated_path(&self.dir, shard), log_path(&self.dir, shard)] {
+                if !path.exists() {
+                    continue;
+                }
+                let bytes = fs::read(&path)?;
+                for (lsn, frame) in split_frames(&bytes) {
+                    frames.push((lsn, frame.to_vec()));
+                }
+            }
+        }
+        frames.sort_by_key(|(lsn, _)| *lsn);
+        frames.dedup_by_key(|(lsn, _)| *lsn);
+        Ok((snapshot, frames))
+    }
+
+    /// Replace the entire on-disk state with `tables` — the follower
+    /// bootstrap path: a shipped snapshot supersedes whatever the
+    /// follower had, so its live logs are truncated, rotated leftovers
+    /// removed, and the snapshot written in their place. The follower's
+    /// replication thread is the only writer, so no append can race the
+    /// reset.
+    pub fn reset_to_snapshot(&self, tables: &[SnapshotTable]) -> Result<()> {
+        for (idx, s) in self.shards.iter().enumerate() {
+            let mut state = lock(&s.state);
+            while state.syncing {
+                state = s
+                    .cond
+                    .wait(state)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+            state.buf.clear();
+            state.durable = state.appended;
+            state.file.set_len(0)?;
+            let rotated = rotated_path(&self.dir, idx);
+            if rotated.exists() {
+                fs::remove_file(rotated)?;
+            }
+        }
+        self.write_snapshot(tables)?;
+        self.records_since_checkpoint.store(0, Ordering::Relaxed);
+        Ok(())
+    }
+
     pub fn rotate_end(&self) -> Result<()> {
         for idx in existing_shards(&self.dir)? {
             let rotated = rotated_path(&self.dir, idx);
@@ -1079,7 +1361,10 @@ mod tests {
         ];
         let bytes = encode_snapshot(&tables).unwrap();
         assert_eq!(decode_snapshot(&bytes).unwrap(), tables);
+        // The header-only watermark scan agrees with the full decode.
+        assert_eq!(scan_snapshot_high_watermark(&bytes).unwrap(), 17);
         // A torn snapshot is rejected outright.
         assert!(decode_snapshot(&bytes[..bytes.len() - 1]).is_err());
+        assert!(scan_snapshot_high_watermark(&bytes[..bytes.len() - 1]).is_err());
     }
 }

@@ -3,6 +3,7 @@
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -12,6 +13,48 @@ use gapl::event::Scalar;
 use crate::error::{Error, Result};
 use crate::message::{CacheReply, ClientMessage, Request, ServerMessage, WireRow};
 use crate::transport::{inproc_pair, tcp_split, RecvHalf, SendHalf};
+
+/// How a [`CacheClient`] built with
+/// [`CacheClient::connect_reconnecting`] survives a server restart:
+/// when a request fails on a dead transport, the client redials with
+/// **capped exponential backoff plus jitter** and retries the request
+/// on the fresh connection.
+///
+/// Two caveats, by design:
+///
+/// * a retried mutation may be applied **twice** if the server executed
+///   it but died before the reply arrived — use upserts (idempotent) or
+///   a reconnecting client only for workloads that tolerate replays;
+/// * server-side per-connection state (registered automata and their
+///   notification routes) does not survive the server that held it —
+///   re-register automata after a reconnect.
+#[derive(Debug, Clone)]
+pub struct ReconnectPolicy {
+    /// Dial attempts per failed request before giving up (each request
+    /// failure starts a fresh budget).
+    pub max_attempts: u32,
+    /// Delay before the first redial; doubles per attempt.
+    pub base_delay: Duration,
+    /// Ceiling on the per-attempt delay.
+    pub max_delay: Duration,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The retry curve is the system-wide one — `pscache::repl`'s capped,
+/// jittered exponential backoff — so RPC clients and replication
+/// followers stampede-protect a restarted server identically.
+fn backoff_delay(attempt: u32, policy: &ReconnectPolicy) -> Duration {
+    pscache::repl::backoff_delay(attempt, policy.base_delay, policy.max_delay)
+}
 
 /// An asynchronous complex-event notification received from the cache, the
 /// client-side image of an automaton's `send()`.
@@ -57,11 +100,24 @@ impl ClientResultSet {
 /// registered over this connection arrive asynchronously on
 /// [`CacheClient::notifications`].
 pub struct CacheClient {
-    writer: Mutex<Box<dyn SendHalf>>,
-    replies: Mutex<Receiver<(u64, CacheReply)>>,
+    conn: Mutex<Conn>,
     notifications: Receiver<ClientNotification>,
+    /// Cloned into every reader thread, so notifications survive a
+    /// reconnect on the same receiver.
+    note_tx: Sender<ClientNotification>,
     seq: AtomicU64,
-    reader_thread: Option<JoinHandle<()>>,
+    /// `(address, policy)` when this client redials a dead server.
+    reconnect: Option<(String, ReconnectPolicy)>,
+    /// Streams re-established so far.
+    reconnects: AtomicU64,
+}
+
+/// One live transport: its writer, the reply stream its reader feeds,
+/// and the reader thread itself. Replaced wholesale on reconnect.
+struct Conn {
+    writer: Box<dyn SendHalf>,
+    replies: Receiver<(u64, CacheReply)>,
+    reader: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for CacheClient {
@@ -69,6 +125,7 @@ impl std::fmt::Debug for CacheClient {
         f.debug_struct("CacheClient")
             .field("next_seq", &self.seq.load(Ordering::Relaxed))
             .field("pending_notifications", &self.notifications.len())
+            .field("reconnects", &self.reconnects.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -83,6 +140,33 @@ impl CacheClient {
         let stream = TcpStream::connect(addr)?;
         let (send, recv) = tcp_split(stream)?;
         Ok(Self::from_halves(Box::new(send), Box::new(recv)))
+    }
+
+    /// Connect over TCP with automatic reconnection: when a request
+    /// fails because the transport died, the client redials `addr`
+    /// (capped exponential backoff plus jitter, per `policy`) and
+    /// retries the request on the fresh connection. See
+    /// [`ReconnectPolicy`] for the retry semantics and caveats.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the *initial* connection cannot be
+    /// established — later failures are what the policy absorbs.
+    pub fn connect_reconnecting(
+        addr: impl Into<String>,
+        policy: ReconnectPolicy,
+    ) -> Result<CacheClient> {
+        let addr = addr.into();
+        let stream = TcpStream::connect(addr.as_str())?;
+        let (send, recv) = tcp_split(stream)?;
+        let mut client = Self::from_halves(Box::new(send), Box::new(recv));
+        client.reconnect = Some((addr, policy));
+        Ok(client)
+    }
+
+    /// Streams this client has re-established after transport failures.
+    pub fn reconnect_count(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
     }
 
     /// Create a client talking to an in-process cache: spawns a server
@@ -103,54 +187,50 @@ impl CacheClient {
     }
 
     /// Build a client from pre-connected transport halves.
-    pub fn from_halves(send: Box<dyn SendHalf>, mut recv: Box<dyn RecvHalf>) -> CacheClient {
-        let (reply_tx, reply_rx): (Sender<(u64, CacheReply)>, _) = unbounded();
+    pub fn from_halves(send: Box<dyn SendHalf>, recv: Box<dyn RecvHalf>) -> CacheClient {
         let (note_tx, note_rx) = unbounded();
-        let reader_thread = std::thread::Builder::new()
-            .name("psrpc-client-reader".into())
-            .spawn(move || {
-                while let Ok(Some(bytes)) = recv.recv() {
-                    match ServerMessage::decode(&bytes) {
-                        Ok(ServerMessage::Reply { seq, reply }) => {
-                            if reply_tx.send((seq, reply)).is_err() {
-                                break;
-                            }
-                        }
-                        Ok(ServerMessage::Notification {
-                            automaton,
-                            values,
-                            at,
-                        }) => {
-                            let _ = note_tx.send(ClientNotification {
-                                automaton,
-                                values,
-                                at,
-                            });
-                        }
-                        Err(_) => break,
-                    }
-                }
-            })
-            .expect("spawning the client reader thread never fails");
+        let (replies, reader) = spawn_reader(recv, note_tx.clone());
         CacheClient {
-            writer: Mutex::new(send),
-            replies: Mutex::new(reply_rx),
+            conn: Mutex::new(Conn {
+                writer: send,
+                replies,
+                reader: Some(reader),
+            }),
             notifications: note_rx,
+            note_tx,
             seq: AtomicU64::new(1),
-            reader_thread: Some(reader_thread),
+            reconnect: None,
+            reconnects: AtomicU64::new(0),
         }
     }
 
     fn request(&self, request: Request) -> Result<CacheReply> {
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let message = ClientMessage { seq, request }.encode();
-        // Hold the writer lock across send + receive so concurrent callers
-        // cannot steal each other's replies.
-        let mut writer = self.writer.lock();
-        writer.send(&message)?;
-        let replies = self.replies.lock();
+        // Hold the connection lock across send + receive so concurrent
+        // callers cannot steal each other's replies (and a reconnect
+        // can atomically swap the transport under the same lock).
+        let mut conn = self.conn.lock();
         loop {
-            match replies.recv() {
+            match self.request_on(&mut conn, &request) {
+                Err(e) if transport_failed(&e) && self.reconnect.is_some() => {
+                    self.reestablish(&mut conn)?;
+                    // Loop: retry the request on the fresh connection.
+                }
+                outcome => return outcome,
+            }
+        }
+    }
+
+    /// One send + receive on the given connection.
+    fn request_on(&self, conn: &mut Conn, request: &Request) -> Result<CacheReply> {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let message = ClientMessage {
+            seq,
+            request: request.clone(),
+        }
+        .encode();
+        conn.writer.send(&message)?;
+        loop {
+            match conn.replies.recv() {
                 Ok((reply_seq, reply)) if reply_seq == seq => {
                     return match reply {
                         CacheReply::Error { message } => Err(Error::Remote { message }),
@@ -161,6 +241,36 @@ impl CacheClient {
                 Err(_) => return Err(Error::Disconnected),
             }
         }
+    }
+
+    /// Redial the server and swap the connection in place, with capped
+    /// exponential backoff and jitter between attempts.
+    fn reestablish(&self, conn: &mut Conn) -> Result<()> {
+        let (addr, policy) = self
+            .reconnect
+            .as_ref()
+            .expect("reestablish is only called with a policy");
+        for attempt in 0..policy.max_attempts {
+            std::thread::sleep(backoff_delay(attempt, policy));
+            let Ok(stream) = TcpStream::connect(addr.as_str()) else {
+                continue;
+            };
+            let (send, recv) = tcp_split(stream)?;
+            // Retire the old transport: replacing the writer drops it
+            // (shutting the socket down), which terminates the old
+            // reader; join it so threads never accumulate.
+            conn.writer = Box::new(send);
+            let old_reader = conn.reader.take();
+            let (replies, reader) = spawn_reader(Box::new(recv), self.note_tx.clone());
+            conn.replies = replies;
+            conn.reader = Some(reader);
+            if let Some(handle) = old_reader {
+                let _ = handle.join();
+            }
+            self.reconnects.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        Err(Error::Disconnected)
     }
 
     /// Execute any SQL-ish command and discard the detail of the reply.
@@ -349,15 +459,56 @@ impl CacheClient {
     }
 }
 
+/// The reader side of one connection: decodes replies onto a fresh
+/// reply channel and notifications onto the client's long-lived
+/// notification channel.
+fn spawn_reader(
+    mut recv: Box<dyn RecvHalf>,
+    note_tx: Sender<ClientNotification>,
+) -> (Receiver<(u64, CacheReply)>, JoinHandle<()>) {
+    let (reply_tx, reply_rx): (Sender<(u64, CacheReply)>, _) = unbounded();
+    let reader = std::thread::Builder::new()
+        .name("psrpc-client-reader".into())
+        .spawn(move || {
+            while let Ok(Some(bytes)) = recv.recv() {
+                match ServerMessage::decode(&bytes) {
+                    Ok(ServerMessage::Reply { seq, reply }) => {
+                        if reply_tx.send((seq, reply)).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(ServerMessage::Notification {
+                        automaton,
+                        values,
+                        at,
+                    }) => {
+                        let _ = note_tx.send(ClientNotification {
+                            automaton,
+                            values,
+                            at,
+                        });
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+        .expect("spawning the client reader thread never fails");
+    (reply_rx, reader)
+}
+
+/// Whether an error means the transport is dead (worth redialling), as
+/// opposed to the server rejecting a well-delivered request.
+fn transport_failed(e: &Error) -> bool {
+    matches!(e, Error::Disconnected | Error::Io(_))
+}
+
 impl Drop for CacheClient {
     fn drop(&mut self) {
         // Dropping the writer closes the connection, which unblocks and
         // terminates the reader thread.
-        if let Some(handle) = self.reader_thread.take() {
-            drop(std::mem::replace(
-                &mut *self.writer.lock(),
-                Box::new(ClosedSend),
-            ));
+        let mut conn = self.conn.lock();
+        if let Some(handle) = conn.reader.take() {
+            conn.writer = Box::new(ClosedSend);
             let _ = handle.join();
         }
     }

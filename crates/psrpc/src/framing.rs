@@ -70,6 +70,21 @@ pub fn write_message<W: Write>(writer: &mut W, message: &[u8]) -> Result<()> {
     Ok(())
 }
 
+/// The outcome of one idle-aware read attempt; see
+/// [`read_message_or_idle`].
+#[derive(Debug)]
+pub enum ReadEvent {
+    /// A complete logical message.
+    Message(Vec<u8>),
+    /// The transport's read timeout elapsed **between** messages —
+    /// nothing was consumed, nothing is torn, the caller may poll a
+    /// shutdown flag and try again. Only occurs when the underlying
+    /// stream has a read timeout configured.
+    Idle,
+    /// The peer closed the stream cleanly at a message boundary.
+    Closed,
+}
+
 /// Read one full logical message from `reader`, reassembling fragments.
 ///
 /// Returns `Ok(None)` on a clean end-of-stream at a message boundary.
@@ -79,13 +94,36 @@ pub fn write_message<W: Write>(writer: &mut W, message: &[u8]) -> Result<()> {
 /// Returns [`Error::Io`] on transport errors and [`Error::Protocol`] on a
 /// stream that ends mid-message or carries an oversized fragment length.
 pub fn read_message<R: Read>(reader: &mut R) -> Result<Option<Vec<u8>>> {
+    loop {
+        match read_message_or_idle(reader)? {
+            ReadEvent::Message(m) => return Ok(Some(m)),
+            // Without a read timeout Idle never occurs; with one, the
+            // blocking API simply waits through it.
+            ReadEvent::Idle => continue,
+            ReadEvent::Closed => return Ok(None),
+        }
+    }
+}
+
+/// Like [`read_message`], but a read timeout that fires **before the
+/// first byte of a message** surfaces as [`ReadEvent::Idle`] instead of
+/// blocking forever — the hook that lets a draining server finish the
+/// request in flight, notice the drain flag between requests, and exit
+/// without tearing a mid-message stream. A timeout that fires
+/// mid-message is retried internally (the peer is mid-send, not idle).
+///
+/// # Errors
+///
+/// See [`read_message`].
+pub fn read_message_or_idle<R: Read>(reader: &mut R) -> Result<ReadEvent> {
     let mut message = Vec::new();
     let mut first = true;
     loop {
         let mut header = [0u8; FRAGMENT_HEADER];
-        match read_exact_or_eof(reader, &mut header)? {
-            ReadOutcome::Eof if first && message.is_empty() => return Ok(None),
+        match read_exact_or_eof(reader, &mut header, first)? {
+            ReadOutcome::Eof if first && message.is_empty() => return Ok(ReadEvent::Closed),
             ReadOutcome::Eof => return Err(Error::protocol("stream ended mid-message")),
+            ReadOutcome::Idle => return Ok(ReadEvent::Idle),
             ReadOutcome::Read => {}
         }
         first = false;
@@ -98,9 +136,9 @@ pub fn read_message<R: Read>(reader: &mut R) -> Result<Option<Vec<u8>>> {
         }
         let start = message.len();
         message.resize(start + len, 0);
-        reader.read_exact(&mut message[start..])?;
+        read_full_retrying(reader, &mut message[start..])?;
         if last {
-            return Ok(Some(message));
+            return Ok(ReadEvent::Message(message));
         }
     }
 }
@@ -108,9 +146,23 @@ pub fn read_message<R: Read>(reader: &mut R) -> Result<Option<Vec<u8>>> {
 enum ReadOutcome {
     Read,
     Eof,
+    /// The read timed out before the first byte (only when
+    /// `allow_idle`).
+    Idle,
 }
 
-fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<ReadOutcome> {
+fn is_timeout(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+fn read_exact_or_eof<R: Read>(
+    reader: &mut R,
+    buf: &mut [u8],
+    allow_idle: bool,
+) -> Result<ReadOutcome> {
     let mut filled = 0;
     while filled < buf.len() {
         match reader.read(&mut buf[filled..]) {
@@ -122,10 +174,35 @@ fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<ReadOutc
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            // A timeout with nothing read yet is a clean idle gap (when
+            // the caller can use it); mid-header it means the peer is
+            // mid-send, so keep reading.
+            Err(e) if is_timeout(e.kind()) => {
+                if filled == 0 && allow_idle {
+                    return Ok(ReadOutcome::Idle);
+                }
+            }
             Err(e) => return Err(e.into()),
         }
     }
     Ok(ReadOutcome::Read)
+}
+
+/// `read_exact` that retries through timeouts: once a message has
+/// started, a read timeout never tears it.
+fn read_full_retrying<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return Err(Error::protocol("stream ended mid-fragment")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted || is_timeout(e.kind()) => {
+                continue
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
 }
 
 /// Number of fragments a message of `len` bytes occupies on the wire; used

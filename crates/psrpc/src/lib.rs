@@ -66,6 +66,6 @@ pub mod server;
 pub mod transport;
 pub mod wire;
 
-pub use client::CacheClient;
+pub use client::{CacheClient, ReconnectPolicy};
 pub use error::{Error, Result};
 pub use server::{RpcServer, ServerStats};

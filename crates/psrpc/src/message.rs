@@ -90,6 +90,32 @@ pub struct ServerStats {
     pub events_skipped_by_prefilter: u64,
     /// Events currently waiting in automaton mailboxes.
     pub automaton_queue_depth: u64,
+    /// Largest per-automaton mailbox backlog ever observed.
+    pub automaton_max_queue_depth: u64,
+    /// Write-ahead-log records appended since the cache opened (0 when
+    /// durability is off).
+    pub wal_records: u64,
+    /// Disk flushes issued by the commit path; `wal_records / wal_syncs`
+    /// is the achieved group-commit size.
+    pub wal_syncs: u64,
+    /// Checkpoints completed (snapshot written, logs truncated).
+    pub wal_checkpoints: u64,
+    /// Records replayed from the log when the cache opened.
+    pub wal_replayed: u64,
+    /// 1 when the served cache is a read-only follower replica, else 0.
+    pub repl_is_follower: u64,
+    /// The cache's durable commit watermark (see
+    /// `pscache::Cache::commit_lsn`).
+    pub repl_commit_lsn: u64,
+    /// The cache's applied/visible watermark (see
+    /// `pscache::Cache::replica_lsn`).
+    pub repl_replica_lsn: u64,
+    /// Follower replicas currently subscribed to this cache's stream.
+    pub repl_followers: u64,
+    /// Lowest LSN acknowledged across subscribed followers;
+    /// `repl_commit_lsn - repl_min_follower_acked_lsn` is the
+    /// end-to-end replication lag in records.
+    pub repl_min_follower_acked_lsn: u64,
 }
 
 /// A row of a result set on the wire.
@@ -350,7 +376,7 @@ fn encode_reply(w: &mut WireWriter, reply: &CacheReply) {
 }
 
 /// The wire order of [`ServerStats`] fields (shared by encode/decode).
-fn stats_fields(s: &ServerStats) -> [u64; 9] {
+fn stats_fields(s: &ServerStats) -> [u64; 19] {
     [
         s.connections_accepted,
         s.connections_active,
@@ -361,6 +387,16 @@ fn stats_fields(s: &ServerStats) -> [u64; 9] {
         s.events_processed,
         s.events_skipped_by_prefilter,
         s.automaton_queue_depth,
+        s.automaton_max_queue_depth,
+        s.wal_records,
+        s.wal_syncs,
+        s.wal_checkpoints,
+        s.wal_replayed,
+        s.repl_is_follower,
+        s.repl_commit_lsn,
+        s.repl_replica_lsn,
+        s.repl_followers,
+        s.repl_min_follower_acked_lsn,
     ]
 }
 
@@ -406,6 +442,16 @@ fn decode_reply(r: &mut WireReader<'_>) -> Result<CacheReply> {
                 events_processed: r.get_u64()?,
                 events_skipped_by_prefilter: r.get_u64()?,
                 automaton_queue_depth: r.get_u64()?,
+                automaton_max_queue_depth: r.get_u64()?,
+                wal_records: r.get_u64()?,
+                wal_syncs: r.get_u64()?,
+                wal_checkpoints: r.get_u64()?,
+                wal_replayed: r.get_u64()?,
+                repl_is_follower: r.get_u64()?,
+                repl_commit_lsn: r.get_u64()?,
+                repl_replica_lsn: r.get_u64()?,
+                repl_followers: r.get_u64()?,
+                repl_min_follower_acked_lsn: r.get_u64()?,
             },
         },
         other => return Err(Error::protocol(format!("unknown reply tag {other}"))),
@@ -545,6 +591,16 @@ mod tests {
                     events_processed: 7,
                     events_skipped_by_prefilter: 8,
                     automaton_queue_depth: 9,
+                    automaton_max_queue_depth: 10,
+                    wal_records: 11,
+                    wal_syncs: 12,
+                    wal_checkpoints: 13,
+                    wal_replayed: 14,
+                    repl_is_follower: 1,
+                    repl_commit_lsn: 15,
+                    repl_replica_lsn: 16,
+                    repl_followers: 17,
+                    repl_min_follower_acked_lsn: 18,
                 },
             },
         });

@@ -40,7 +40,7 @@ use pscache::{AutomatonId, Cache, Response};
 
 use crate::error::Result;
 use crate::message::{CacheReply, ClientMessage, Request, ServerMessage, WireRow};
-use crate::transport::{tcp_split, RecvHalf, SendHalf};
+use crate::transport::{tcp_split, RecvEvent, RecvHalf, SendHalf};
 
 pub use crate::message::ServerStats;
 
@@ -53,10 +53,15 @@ struct StatsInner {
 }
 
 impl StatsInner {
-    /// The server-side counters plus the cache's automaton-dispatch
-    /// statistics (delivery/skip/backlog), as one snapshot.
+    /// The server-side counters plus the cache's automaton-dispatch,
+    /// durability and replication statistics, as one snapshot — the
+    /// end-to-end observability surface: a remote client can read
+    /// group-commit behaviour and replication lag without shell access
+    /// to the cache host.
     fn snapshot(&self, cache: &Cache) -> ServerStats {
         let dispatch = cache.dispatch_stats();
+        let wal = cache.wal_stats().unwrap_or_default();
+        let repl = cache.repl_stats();
         ServerStats {
             connections_accepted: self.accepted.load(Ordering::Acquire),
             connections_active: self.active.load(Ordering::Acquire),
@@ -67,6 +72,16 @@ impl StatsInner {
             events_processed: dispatch.processed,
             events_skipped_by_prefilter: dispatch.skipped_by_prefilter,
             automaton_queue_depth: dispatch.queue_depth,
+            automaton_max_queue_depth: dispatch.max_queue_depth,
+            wal_records: wal.records,
+            wal_syncs: wal.syncs,
+            wal_checkpoints: wal.checkpoints,
+            wal_replayed: wal.replayed,
+            repl_is_follower: u64::from(repl.role == pscache::ReplRole::Follower),
+            repl_commit_lsn: repl.commit_lsn,
+            repl_replica_lsn: repl.replica_lsn,
+            repl_followers: repl.followers as u64,
+            repl_min_follower_acked_lsn: repl.min_follower_acked_lsn,
         }
     }
 }
@@ -214,12 +229,23 @@ pub struct RpcServer {
     /// refcount bump — state is shared with the connection workers).
     cache: Cache,
     shutdown: Arc<AtomicBool>,
+    /// Graceful-drain signal: workers finish the request in flight,
+    /// then exit at the next idle gap instead of waiting for more.
+    draining: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
     stats: Arc<StatsInner>,
     hub: Option<NotificationHub>,
 }
+
+/// How long between idle checks of the drain flag on a server-side
+/// connection (its socket read timeout).
+const DRAIN_POLL: std::time::Duration = std::time::Duration::from_millis(100);
+
+/// How long [`RpcServer::shutdown`] waits for workers to drain before
+/// force-closing the remaining sockets.
+const DRAIN_GRACE: std::time::Duration = std::time::Duration::from_secs(5);
 
 impl RpcServer {
     /// Bind to `addr` (use port 0 for an ephemeral port) and start
@@ -254,12 +280,14 @@ impl RpcServer {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let draining = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(StatsInner::default());
         let hub = NotificationHub::start(Arc::clone(&stats));
         let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
 
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_draining = Arc::clone(&draining);
         let accept_stats = Arc::clone(&stats);
         let accept_workers = Arc::clone(&workers);
         let accept_conns = Arc::clone(&conns);
@@ -274,6 +302,10 @@ impl RpcServer {
                         break;
                     }
                     let Ok(stream) = stream else { break };
+                    // The read timeout is what lets a worker notice the
+                    // drain flag between requests without tearing the
+                    // one in flight.
+                    let _ = stream.set_read_timeout(Some(DRAIN_POLL));
                     accept_stats.accepted.fetch_add(1, Ordering::Release);
                     accept_stats.active.fetch_add(1, Ordering::Release);
                     if let Ok(clone) = stream.try_clone() {
@@ -284,16 +316,28 @@ impl RpcServer {
                     let conns = Arc::clone(&accept_conns);
                     let note_tx = note_tx.clone();
                     let control_tx = control_tx.clone();
+                    let draining = Arc::clone(&accept_draining);
                     let worker = std::thread::Builder::new()
                         .name(format!("psrpc-conn-{conn_id}"))
                         .spawn(move || {
-                            let _ =
-                                serve_tcp_connection(cache, stream, &note_tx, &control_tx, &stats);
+                            let _ = serve_tcp_connection(
+                                cache,
+                                stream,
+                                &note_tx,
+                                &control_tx,
+                                &stats,
+                                &draining,
+                            );
                             stats.active.fetch_sub(1, Ordering::Release);
                             conns.lock().remove(&conn_id);
                         })
                         .expect("spawning a connection worker never fails");
-                    accept_workers.lock().push(worker);
+                    // Reap workers whose connection already ended, so
+                    // short-lived clients cannot grow this vector for
+                    // the server's whole lifetime.
+                    let mut workers = accept_workers.lock();
+                    workers.retain(|w| !w.is_finished());
+                    workers.push(worker);
                 }
             })
             .expect("spawning the accept thread never fails");
@@ -302,6 +346,7 @@ impl RpcServer {
             local_addr,
             cache: served_cache,
             shutdown,
+            draining,
             accept_thread: Some(accept_thread),
             workers,
             conns,
@@ -321,8 +366,12 @@ impl RpcServer {
         self.stats.snapshot(&self.cache)
     }
 
-    /// Stop accepting, close every active connection, and wait for all
-    /// worker threads and the fan-out hub to exit.
+    /// Graceful shutdown: stop accepting, let every connection worker
+    /// finish its request in flight and drain out at its next idle gap,
+    /// force-close whatever is still connected after a grace period,
+    /// join all threads, and **flush the cache's write-ahead log** —
+    /// an acknowledged insert can never be lost to a server exit,
+    /// regardless of sync policy.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -334,7 +383,16 @@ impl RpcServer {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
-        // Close every live socket so its worker unblocks, then join them.
+        // Phase 1 — drain: workers exit on their own once their current
+        // request is answered and their socket goes idle.
+        self.draining.store(true, Ordering::Release);
+        let deadline = std::time::Instant::now() + DRAIN_GRACE;
+        while self.stats.active.load(Ordering::Acquire) > 0 && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        // Phase 2 — force: close whatever outlived the grace period
+        // (e.g. a peer mid-send that never completes its message).
         for (_, stream) in self.conns.lock().drain() {
             let _ = stream.shutdown(std::net::Shutdown::Both);
         }
@@ -347,6 +405,9 @@ impl RpcServer {
         if let Some(hub) = self.hub.take() {
             hub.finish();
         }
+        // Every request is answered and no new one can arrive: force any
+        // buffered log records to disk before the server is gone.
+        let _ = self.cache.flush_wal();
     }
 }
 
@@ -364,9 +425,10 @@ fn serve_tcp_connection(
     note_tx: &Sender<pscache::Notification>,
     control_tx: &Sender<HubMsg>,
     stats: &StatsInner,
+    draining: &AtomicBool,
 ) -> Result<()> {
     let (send, recv) = tcp_split(stream)?;
-    serve_with_hub(cache, send, recv, note_tx, control_tx, stats)
+    serve_with_hub(cache, send, recv, note_tx, control_tx, stats, draining)
 }
 
 /// Serve one duplex connection until the peer disconnects, with a private
@@ -382,7 +444,16 @@ pub fn serve_connection(
     let hub = NotificationHub::start(Arc::clone(&stats));
     let note_tx = hub.note_tx.clone();
     let control_tx = hub.control_tx.clone();
-    let result = serve_with_hub(cache, send, recv, &note_tx, &control_tx, &stats);
+    let never_draining = AtomicBool::new(false);
+    let result = serve_with_hub(
+        cache,
+        send,
+        recv,
+        &note_tx,
+        &control_tx,
+        &stats,
+        &never_draining,
+    );
     // Our clones must go before finish(), or the hub threads never see
     // the disconnect they join on.
     drop(note_tx);
@@ -394,6 +465,7 @@ pub fn serve_connection(
 /// The per-connection worker body: spawns the connection's writer thread,
 /// decodes and executes requests in order, and tears down the
 /// connection's automata when the peer goes away.
+#[allow(clippy::too_many_arguments)]
 fn serve_with_hub(
     cache: Cache,
     mut send: impl SendHalf + 'static,
@@ -401,6 +473,7 @@ fn serve_with_hub(
     note_tx: &Sender<pscache::Notification>,
     control_tx: &Sender<HubMsg>,
     stats: &StatsInner,
+    draining: &AtomicBool,
 ) -> Result<()> {
     // All messages to the client are funnelled through one writer thread
     // so that replies and asynchronous notifications interleave safely.
@@ -423,7 +496,7 @@ fn serve_with_hub(
         out_tx,
         registered: HashSet::new(),
     };
-    let result = serve_requests(&mut conn, &mut recv, stats);
+    let result = serve_requests(&mut conn, &mut recv, stats, draining);
 
     // The client is gone: its automata (and their routes) go with it.
     for id in conn.registered.drain() {
@@ -448,11 +521,20 @@ fn serve_requests(
     conn: &mut ConnectionContext<'_>,
     recv: &mut impl RecvHalf,
     stats: &StatsInner,
+    draining: &AtomicBool,
 ) -> Result<()> {
     loop {
-        let bytes = match recv.recv()? {
-            Some(bytes) => bytes,
-            None => return Ok(()),
+        let bytes = match recv.recv_idle()? {
+            RecvEvent::Message(bytes) => bytes,
+            // Idle gap between requests: the one place a draining
+            // worker may exit — never mid-request, never mid-message.
+            RecvEvent::Idle => {
+                if draining.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+                continue;
+            }
+            RecvEvent::Closed => return Ok(()),
         };
         let msg = ClientMessage::decode(&bytes)?;
         stats.requests.fetch_add(1, Ordering::Release);

@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# Replication performance snapshot: a durable primary streams its WAL to
+# one follower under sustained batched write load, then both nodes serve
+# the same windowed select. Writes BENCH_repl.json at the repository
+# root and enforces two acceptance floors:
+#
+#   converged == 1            the stream drains to zero staleness after
+#                             sustained load (lag is bounded, not
+#                             divergent)
+#   follower_read_ratio >= 0.5  follower read throughput is within 2x of
+#                               the primary's (reads actually scale out)
+#
+# A missing or unparsable metric is a hard failure: a bench that did not
+# produce its number must never count as a pass.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> snapshot: BENCH_repl.json"
+cargo run --release -p cep_bench --bin bench_repl
+
+converged=$(grep -o '"converged": [0-9]*' BENCH_repl.json | tail -1 | cut -d' ' -f2)
+if [ -z "${converged}" ]; then
+    echo "FAIL: converged missing from BENCH_repl.json" >&2
+    exit 1
+fi
+if [ "${converged}" != "1" ]; then
+    echo "FAIL: the follower never drained the stream (converged=${converged})" >&2
+    exit 1
+fi
+echo "replication stream drained to zero staleness after sustained load"
+
+ratio=$(grep -o '"follower_read_ratio": [0-9.]*' BENCH_repl.json | tail -1 | cut -d' ' -f2)
+if [ -z "${ratio}" ]; then
+    echo "FAIL: follower_read_ratio missing from BENCH_repl.json" >&2
+    exit 1
+fi
+echo "follower/primary read-throughput ratio: ${ratio} (floor: 0.5)"
+awk "BEGIN { exit !(${ratio} >= 0.5) }" || {
+    echo "FAIL: follower read ratio ${ratio} below the 0.5 floor (follower slower than 2x)" >&2
+    exit 1
+}
+
+echo "replication snapshot complete"

@@ -18,7 +18,8 @@
 #   docs    rustdoc -D warnings + every doctest (scripts/check_docs.sh)
 #   bench   the benchmark floors: query-window >= 10x
 #           (BENCH_query.json), fan-out >= 10x (BENCH_fanout.json),
-#           WAL group commit >= 5x (BENCH_wal.json)
+#           WAL group commit >= 5x (BENCH_wal.json), replication
+#           drained + follower reads within 2x (BENCH_repl.json)
 #
 # Every floor is parsed hard: a missing or unparsable metric fails the
 # gate — a bench that did not produce its number never counts as a pass.
@@ -112,6 +113,8 @@ stage_bench() {
     sh scripts/bench_fanout.sh
     echo "--> bench floor: WAL group commit"
     sh scripts/bench_wal.sh
+    echo "--> bench floor: replication lag + follower reads"
+    sh scripts/bench_repl.sh
 }
 
 # ---------------------------------------------------------------------
