@@ -125,6 +125,7 @@ pub struct CacheBuilder {
     timer_interval: Option<Duration>,
     shard_count: usize,
     automaton_workers: usize,
+    rpc_workers: usize,
     naive_fanout: bool,
     durability: Option<PathBuf>,
     sync_policy: SyncPolicy,
@@ -151,6 +152,7 @@ impl CacheBuilder {
             timer_interval: None,
             shard_count: DEFAULT_SHARD_COUNT,
             automaton_workers: DEFAULT_AUTOMATON_WORKERS,
+            rpc_workers: crate::config::DEFAULT_RPC_WORKERS,
             naive_fanout: false,
             durability: None,
             sync_policy: SyncPolicy::default(),
@@ -227,6 +229,18 @@ impl CacheBuilder {
     /// automaton execution.
     pub fn automaton_workers(mut self, workers: usize) -> Self {
         self.automaton_workers = workers.max(1);
+        self
+    }
+
+    /// Size of the request-execution pool an event-driven RPC server
+    /// (`psrpc::reactor::ReactorServer`) will use when serving this
+    /// cache (default
+    /// [`DEFAULT_RPC_WORKERS`](crate::config::DEFAULT_RPC_WORKERS)).
+    /// Stored on the cache so deployments tune one builder, not every
+    /// transport call site; the thread pool itself belongs to the RPC
+    /// layer, which reads this via [`Cache::rpc_workers`].
+    pub fn rpc_workers(mut self, workers: usize) -> Self {
+        self.rpc_workers = workers.max(1);
         self
     }
 
@@ -353,6 +367,7 @@ impl CacheBuilder {
             next_automaton_id: AtomicU64::new(1),
             default_stream_capacity: self.default_stream_capacity,
             print_to_stdout: self.print_to_stdout,
+            rpc_workers: self.rpc_workers,
             naive_fanout: self.naive_fanout,
             shutting_down: AtomicBool::new(false),
             wal,
@@ -596,6 +611,9 @@ pub(crate) struct CacheInner {
     next_automaton_id: AtomicU64,
     default_stream_capacity: usize,
     print_to_stdout: bool,
+    /// Configured execution-pool size for an event-driven RPC server
+    /// fronting this cache (see [`CacheBuilder::rpc_workers`]).
+    rpc_workers: usize,
     /// Test-only: bypass the predicate index and fan out to every
     /// subscriber.
     naive_fanout: bool,
@@ -636,6 +654,12 @@ impl Cache {
     /// [`CacheBuilder::manual_clock`].
     pub fn manual_clock(&self) -> Option<&ManualClock> {
         self.manual_clock.as_ref()
+    }
+
+    /// The configured RPC request-execution pool size (see
+    /// [`CacheBuilder::rpc_workers`]).
+    pub fn rpc_workers(&self) -> usize {
+        self.inner.rpc_workers
     }
 
     /// Open a durable cache from `dir` with default settings, replaying

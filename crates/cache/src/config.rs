@@ -49,6 +49,23 @@ pub const DEFAULT_SHARD_COUNT: usize = 16;
 /// [`CacheBuilder::automaton_workers`](crate::CacheBuilder::automaton_workers).
 pub const DEFAULT_AUTOMATON_WORKERS: usize = 4;
 
+/// Default size of the RPC reactor's request-execution pool
+/// (`psrpc::reactor::ReactorServer`).
+///
+/// Like [`DEFAULT_AUTOMATON_WORKERS`], four workers cover a small
+/// container while letting request execution overlap on multi-core
+/// machines; the reactor thread itself never executes a request. Tune
+/// via [`CacheBuilder::rpc_workers`](crate::CacheBuilder::rpc_workers).
+pub const DEFAULT_RPC_WORKERS: usize = 4;
+
+/// Default per-connection cap on decoded-but-unanswered RPC requests
+/// before the reactor parks that connection's read interest.
+///
+/// 128 in-flight requests is deep enough to hide a LAN round-trip many
+/// times over, while bounding the per-connection memory a hostile or
+/// runaway pipelining client can pin.
+pub const DEFAULT_RPC_MAX_PIPELINE: usize = 128;
+
 /// Default number of logged records between automatic checkpoints when
 /// durability is enabled.
 ///

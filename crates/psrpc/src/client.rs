@@ -1,12 +1,25 @@
-//! The application-side RPC client.
+//! The application-side RPC client, with pipelining and multiplexing.
+//!
+//! Every request carries a correlation id (the wire `seq`); the client
+//! keeps a map of in-flight ids to waiting callers, so **many requests
+//! can be on the wire at once** — from many threads sharing one
+//! [`CacheClient`], or from one thread using the
+//! [`CacheClient::begin_request`] / [`PendingReply::wait`] split — and
+//! replies complete in whatever order the server answers. A bounded
+//! in-flight window (default
+//! [`pscache::config::DEFAULT_RPC_MAX_PIPELINE`]) keeps a runaway
+//! pipeliner from queuing unbounded memory on both ends. Asynchronous
+//! automaton notifications interleave on the same stream, tagged by
+//! automaton id, and surface on [`CacheClient::notifications`].
 
+use std::collections::HashMap;
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex as StdMutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 
 use gapl::event::Scalar;
 
@@ -17,14 +30,19 @@ use crate::transport::{inproc_pair, tcp_split, RecvHalf, SendHalf};
 /// How a [`CacheClient`] built with
 /// [`CacheClient::connect_reconnecting`] survives a server restart:
 /// when a request fails on a dead transport, the client redials with
-/// **capped exponential backoff plus jitter** and retries the request
-/// on the fresh connection.
+/// **capped exponential backoff plus jitter** and — when it is safe —
+/// retries the request on the fresh connection.
 ///
-/// Two caveats, by design:
+/// What "safe" means, per failure mode:
 ///
-/// * a retried mutation may be applied **twice** if the server executed
-///   it but died before the reply arrived — use upserts (idempotent) or
-///   a reconnecting client only for workloads that tolerate replays;
+/// * the request could not be (fully) **sent**: the server never saw a
+///   complete message, so any request is retried;
+/// * the request was sent but the connection died before its **reply**
+///   arrived: only *idempotent* requests (reads, pings, stats, and
+///   upsert-mode inserts) are retried. A non-idempotent mutation may
+///   already have been applied, so the client surfaces
+///   [`Error::MaybeApplied`] instead of silently applying it twice —
+///   the caller decides whether to re-issue;
 /// * server-side per-connection state (registered automata and their
 ///   notification routes) does not survive the server that held it —
 ///   re-register automata after a reconnect.
@@ -94,44 +112,170 @@ impl ClientResultSet {
     }
 }
 
-/// A connection to the cache, usable from multiple threads.
-///
-/// Requests are answered synchronously; notifications from automata
-/// registered over this connection arrive asynchronously on
-/// [`CacheClient::notifications`].
-pub struct CacheClient {
-    conn: Mutex<Conn>,
-    notifications: Receiver<ClientNotification>,
-    /// Cloned into every reader thread, so notifications survive a
+/// How one in-flight request resolved at the transport layer.
+enum Outcome {
+    /// The server answered.
+    Reply(CacheReply),
+    /// The connection died before the reply arrived.
+    Dropped,
+}
+
+/// One live transport generation: its writer, the in-flight correlation
+/// map, and the reader thread decoding replies into it.
+struct Inner {
+    writer: Box<dyn SendHalf>,
+    /// False once the transport is known dead; flipped back by a
+    /// successful redial.
+    open: bool,
+    /// Bumped on every reconnect, so a late-exiting old reader cannot
+    /// fail requests issued on the connection that replaced it.
+    generation: u64,
+    /// seq -> the waiting caller's completion channel.
+    pending: HashMap<u64, Sender<Outcome>>,
+    reader: Option<JoinHandle<()>>,
+}
+
+/// State shared between callers, the reader thread, and pending-reply
+/// handles.
+struct ClientState {
+    inner: StdMutex<Inner>,
+    /// Requests currently in flight (window accounting).
+    in_flight: StdMutex<usize>,
+    window_cv: Condvar,
+    max_window: AtomicUsize,
+    /// Cloned into every reader generation, so notifications survive a
     /// reconnect on the same receiver.
     note_tx: Sender<ClientNotification>,
+}
+
+/// Lock a std mutex, shrugging off poisoning: the protected state is
+/// queue bookkeeping that stays consistent even if a panicking thread
+/// held the guard.
+fn lock<T>(m: &StdMutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A connection to the cache, usable from multiple threads.
+///
+/// The one-call-per-method API ([`CacheClient::execute`],
+/// [`CacheClient::insert`], ...) blocks per request but pipelines across
+/// threads; [`CacheClient::begin_request`] pipelines from a single
+/// thread. Notifications from automata registered over this connection
+/// arrive asynchronously on [`CacheClient::notifications`].
+pub struct CacheClient {
+    state: std::sync::Arc<ClientState>,
+    notifications: Receiver<ClientNotification>,
     seq: AtomicU64,
     /// `(address, policy)` when this client redials a dead server.
     reconnect: Option<(String, ReconnectPolicy)>,
+    /// Serialises redial attempts across threads.
+    redial: StdMutex<()>,
     /// Streams re-established so far.
     reconnects: AtomicU64,
-}
-
-/// One live transport: its writer, the reply stream its reader feeds,
-/// and the reader thread itself. Replaced wholesale on reconnect.
-struct Conn {
-    writer: Box<dyn SendHalf>,
-    replies: Receiver<(u64, CacheReply)>,
-    reader: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for CacheClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CacheClient")
             .field("next_seq", &self.seq.load(Ordering::Relaxed))
+            .field("in_flight", &*lock(&self.state.in_flight))
             .field("pending_notifications", &self.notifications.len())
             .field("reconnects", &self.reconnects.load(Ordering::Relaxed))
             .finish()
     }
 }
 
+/// A request that has been sent but not yet answered. Obtain from
+/// [`CacheClient::begin_request`]; resolve with [`PendingReply::wait`].
+///
+/// Dropping the handle without waiting abandons the reply (it is
+/// discarded on arrival) and releases its window slot.
+pub struct PendingReply {
+    rx: Receiver<Outcome>,
+    state: std::sync::Arc<ClientState>,
+    idempotent: bool,
+    done: bool,
+}
+
+impl std::fmt::Debug for PendingReply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingReply")
+            .field("idempotent", &self.idempotent)
+            .field("resolved", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Outcome::Reply(_) => f.write_str("Reply(..)"),
+            Outcome::Dropped => f.write_str("Dropped"),
+        }
+    }
+}
+
+impl PendingReply {
+    /// Block until the reply arrives and return it.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Remote`] when the cache rejected the request. If the
+    /// connection died first: [`Error::Disconnected`] for idempotent
+    /// requests, [`Error::MaybeApplied`] for mutations that may already
+    /// have been applied. Pipelined handles are **not** retried
+    /// automatically, even on a reconnecting client — the caller owns
+    /// the in-flight set and decides what is safe to re-issue.
+    pub fn wait(mut self) -> Result<CacheReply> {
+        match self.take_outcome() {
+            Outcome::Reply(CacheReply::Error { message }) => Err(Error::Remote { message }),
+            Outcome::Reply(reply) => Ok(reply),
+            Outcome::Dropped if self.idempotent => Err(Error::Disconnected),
+            Outcome::Dropped => Err(Error::MaybeApplied),
+        }
+    }
+
+    /// Resolve to the raw transport outcome, releasing the window slot.
+    fn take_outcome(&mut self) -> Outcome {
+        let outcome = self.rx.recv().unwrap_or(Outcome::Dropped);
+        self.release();
+        outcome
+    }
+
+    fn release(&mut self) {
+        if !self.done {
+            self.done = true;
+            *lock(&self.state.in_flight) -= 1;
+            self.state.window_cv.notify_one();
+        }
+    }
+}
+
+impl Drop for PendingReply {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+/// Whether re-sending `request` after a lost reply cannot change state
+/// beyond what a single application would have: reads and pings
+/// trivially, upserts because replaying one overwrites the same key
+/// with the same values.
+fn is_idempotent(request: &Request) -> bool {
+    match request {
+        Request::Ping | Request::ServerStats => true,
+        Request::Execute { command } => {
+            let trimmed = command.trim_start();
+            trimmed.len() >= 6 && trimmed.as_bytes()[..6].eq_ignore_ascii_case(b"select")
+        }
+        Request::Insert { upsert, .. } | Request::InsertBatch { upsert, .. } => *upsert,
+        Request::RegisterAutomaton { .. } | Request::UnregisterAutomaton { .. } => false,
+    }
+}
+
 impl CacheClient {
-    /// Connect to an [`crate::server::RpcServer`] over TCP.
+    /// Connect to an RPC server ([`crate::server::RpcServer`] or
+    /// [`crate::reactor::ReactorServer`] — same wire protocol) over TCP.
     ///
     /// # Errors
     ///
@@ -144,9 +288,10 @@ impl CacheClient {
 
     /// Connect over TCP with automatic reconnection: when a request
     /// fails because the transport died, the client redials `addr`
-    /// (capped exponential backoff plus jitter, per `policy`) and
-    /// retries the request on the fresh connection. See
-    /// [`ReconnectPolicy`] for the retry semantics and caveats.
+    /// (capped exponential backoff plus jitter, per `policy`) and — when
+    /// safe — retries the request on the fresh connection. See
+    /// [`ReconnectPolicy`] for exactly which failures are retried and
+    /// which surface [`Error::MaybeApplied`].
     ///
     /// # Errors
     ///
@@ -189,81 +334,184 @@ impl CacheClient {
     /// Build a client from pre-connected transport halves.
     pub fn from_halves(send: Box<dyn SendHalf>, recv: Box<dyn RecvHalf>) -> CacheClient {
         let (note_tx, note_rx) = unbounded();
-        let (replies, reader) = spawn_reader(recv, note_tx.clone());
-        CacheClient {
-            conn: Mutex::new(Conn {
+        let state = std::sync::Arc::new(ClientState {
+            inner: StdMutex::new(Inner {
                 writer: send,
-                replies,
-                reader: Some(reader),
+                open: true,
+                generation: 0,
+                pending: HashMap::new(),
+                reader: None,
             }),
-            notifications: note_rx,
+            in_flight: StdMutex::new(0),
+            window_cv: Condvar::new(),
+            max_window: AtomicUsize::new(pscache::config::DEFAULT_RPC_MAX_PIPELINE),
             note_tx,
+        });
+        let reader = spawn_reader(recv, 0, std::sync::Arc::clone(&state));
+        lock(&state.inner).reader = Some(reader);
+        CacheClient {
+            state,
+            notifications: note_rx,
             seq: AtomicU64::new(1),
             reconnect: None,
+            redial: StdMutex::new(()),
             reconnects: AtomicU64::new(0),
         }
     }
 
-    fn request(&self, request: Request) -> Result<CacheReply> {
-        // Hold the connection lock across send + receive so concurrent
-        // callers cannot steal each other's replies (and a reconnect
-        // can atomically swap the transport under the same lock).
-        let mut conn = self.conn.lock();
-        loop {
-            match self.request_on(&mut conn, &request) {
-                Err(e) if transport_failed(&e) && self.reconnect.is_some() => {
-                    self.reestablish(&mut conn)?;
-                    // Loop: retry the request on the fresh connection.
-                }
-                outcome => return outcome,
-            }
-        }
+    /// Cap on requests this client keeps in flight at once (default
+    /// [`pscache::config::DEFAULT_RPC_MAX_PIPELINE`]). Callers over the
+    /// cap block in [`CacheClient::begin_request`] until a reply frees a
+    /// slot.
+    pub fn set_pipeline_window(&self, window: usize) {
+        self.state
+            .max_window
+            .store(window.max(1), Ordering::Release);
+        self.state.window_cv.notify_all();
     }
 
-    /// One send + receive on the given connection.
-    fn request_on(&self, conn: &mut Conn, request: &Request) -> Result<CacheReply> {
+    /// Send `request` without waiting for its reply: the pipelining
+    /// primitive. Issue many, then [`PendingReply::wait`] in any order —
+    /// replies are matched by correlation id, so a slow query does not
+    /// stall the replies queued behind it on the server.
+    ///
+    /// Blocks while the in-flight window
+    /// ([`CacheClient::set_pipeline_window`]) is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Disconnected`] (or the underlying I/O error)
+    /// when the request cannot be sent; nothing was delivered, so
+    /// re-issuing is always safe. Unlike the blocking methods, this
+    /// does **not** redial a reconnecting client.
+    pub fn begin_request(&self, request: Request) -> Result<PendingReply> {
+        self.begin(&request)
+    }
+
+    /// [`CacheClient::begin_request`] for a SQL-ish command.
+    ///
+    /// # Errors
+    ///
+    /// See [`CacheClient::begin_request`].
+    pub fn begin_execute(&self, command: &str) -> Result<PendingReply> {
+        self.begin_request(Request::Execute {
+            command: command.to_owned(),
+        })
+    }
+
+    fn begin(&self, request: &Request) -> Result<PendingReply> {
+        // Window first: a full pipeline must block *before* touching the
+        // connection, so waiters never hold the connection lock.
+        {
+            let max = self.state.max_window.load(Ordering::Acquire);
+            let mut in_flight = lock(&self.state.in_flight);
+            while *in_flight >= max {
+                in_flight = self
+                    .state
+                    .window_cv
+                    .wait(in_flight)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            *in_flight += 1;
+        }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let message = ClientMessage {
+        let bytes = ClientMessage {
             seq,
             request: request.clone(),
         }
         .encode();
-        conn.writer.send(&message)?;
+        let (tx, rx) = unbounded();
+        let pending = PendingReply {
+            rx,
+            state: std::sync::Arc::clone(&self.state),
+            idempotent: is_idempotent(request),
+            done: false,
+        };
+        let mut inner = lock(&self.state.inner);
+        if !inner.open {
+            return Err(Error::Disconnected);
+        }
+        // Register before sending: a reply cannot race its own entry
+        // because the reader needs this lock to resolve it.
+        inner.pending.insert(seq, tx);
+        if let Err(e) = inner.writer.send(&bytes) {
+            inner.pending.remove(&seq);
+            inner.open = false;
+            return Err(e);
+        }
+        Ok(pending)
+    }
+
+    fn request(&self, request: Request) -> Result<CacheReply> {
+        let idempotent = is_idempotent(&request);
         loop {
-            match conn.replies.recv() {
-                Ok((reply_seq, reply)) if reply_seq == seq => {
-                    return match reply {
-                        CacheReply::Error { message } => Err(Error::Remote { message }),
-                        other => Ok(other),
-                    }
+            let mut pending = match self.begin(&request) {
+                Ok(p) => p,
+                // Send failure: the server never saw a complete message,
+                // so redial-and-retry is safe for any request.
+                Err(e) if transport_failed(&e) && self.reconnect.is_some() => {
+                    self.reestablish()?;
+                    continue;
                 }
-                Ok(_) => continue, // a stale reply from an abandoned request
-                Err(_) => return Err(Error::Disconnected),
+                Err(e) => return Err(e),
+            };
+            match pending.take_outcome() {
+                Outcome::Reply(CacheReply::Error { message }) => {
+                    return Err(Error::Remote { message })
+                }
+                Outcome::Reply(reply) => return Ok(reply),
+                Outcome::Dropped => {
+                    // Fully sent, reply lost. Retrying is only safe when
+                    // a second application changes nothing.
+                    if self.reconnect.is_none() {
+                        return Err(Error::Disconnected);
+                    }
+                    if !idempotent {
+                        return Err(Error::MaybeApplied);
+                    }
+                    self.reestablish()?;
+                }
             }
         }
     }
 
-    /// Redial the server and swap the connection in place, with capped
-    /// exponential backoff and jitter between attempts.
-    fn reestablish(&self, conn: &mut Conn) -> Result<()> {
+    /// Redial the server and swap the transport generation, with capped
+    /// exponential backoff and jitter between attempts. Concurrent
+    /// callers coalesce onto one redial.
+    fn reestablish(&self) -> Result<()> {
         let (addr, policy) = self
             .reconnect
             .as_ref()
             .expect("reestablish is only called with a policy");
+        let _serialised = lock(&self.redial);
+        if lock(&self.state.inner).open {
+            return Ok(()); // another caller already reconnected
+        }
         for attempt in 0..policy.max_attempts {
             std::thread::sleep(backoff_delay(attempt, policy));
             let Ok(stream) = TcpStream::connect(addr.as_str()) else {
                 continue;
             };
             let (send, recv) = tcp_split(stream)?;
-            // Retire the old transport: replacing the writer drops it
-            // (shutting the socket down), which terminates the old
-            // reader; join it so threads never accumulate.
-            conn.writer = Box::new(send);
-            let old_reader = conn.reader.take();
-            let (replies, reader) = spawn_reader(Box::new(recv), self.note_tx.clone());
-            conn.replies = replies;
-            conn.reader = Some(reader);
+            let old_reader;
+            {
+                let mut inner = lock(&self.state.inner);
+                inner.generation += 1;
+                let generation = inner.generation;
+                // Replacing the writer drops the old one, shutting the
+                // dead socket's write side and unblocking its reader.
+                inner.writer = Box::new(send);
+                inner.open = true;
+                for (_, tx) in inner.pending.drain() {
+                    let _ = tx.send(Outcome::Dropped);
+                }
+                old_reader = inner.reader.take();
+                inner.reader = Some(spawn_reader(
+                    Box::new(recv),
+                    generation,
+                    std::sync::Arc::clone(&self.state),
+                ));
+            }
             if let Some(handle) = old_reader {
                 let _ = handle.join();
             }
@@ -417,10 +665,9 @@ impl CacheClient {
         }
     }
 
-    /// Fetch the server's counters: connections, requests, notification
-    /// routing, and the cache's automaton-dispatch statistics (events
-    /// delivered / processed / skipped by the predicate index, mailbox
-    /// backlog).
+    /// Fetch the server's counters: connections, requests, in-flight
+    /// pipeline depth, notification routing, and the cache's
+    /// automaton-dispatch statistics.
     ///
     /// # Errors
     ///
@@ -459,22 +706,24 @@ impl CacheClient {
     }
 }
 
-/// The reader side of one connection: decodes replies onto a fresh
-/// reply channel and notifications onto the client's long-lived
-/// notification channel.
+/// The reader side of one connection generation: resolves replies
+/// through the correlation map and forwards notifications. On exit it
+/// fails whatever is still pending — unless a newer generation has
+/// already taken over.
 fn spawn_reader(
     mut recv: Box<dyn RecvHalf>,
-    note_tx: Sender<ClientNotification>,
-) -> (Receiver<(u64, CacheReply)>, JoinHandle<()>) {
-    let (reply_tx, reply_rx): (Sender<(u64, CacheReply)>, _) = unbounded();
-    let reader = std::thread::Builder::new()
+    generation: u64,
+    state: std::sync::Arc<ClientState>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
         .name("psrpc-client-reader".into())
         .spawn(move || {
             while let Ok(Some(bytes)) = recv.recv() {
                 match ServerMessage::decode(&bytes) {
                     Ok(ServerMessage::Reply { seq, reply }) => {
-                        if reply_tx.send((seq, reply)).is_err() {
-                            break;
+                        let waiter = lock(&state.inner).pending.remove(&seq);
+                        if let Some(tx) = waiter {
+                            let _ = tx.send(Outcome::Reply(reply));
                         }
                     }
                     Ok(ServerMessage::Notification {
@@ -482,7 +731,7 @@ fn spawn_reader(
                         values,
                         at,
                     }) => {
-                        let _ = note_tx.send(ClientNotification {
+                        let _ = state.note_tx.send(ClientNotification {
                             automaton,
                             values,
                             at,
@@ -491,9 +740,15 @@ fn spawn_reader(
                     Err(_) => break,
                 }
             }
+            let mut inner = lock(&state.inner);
+            if inner.generation == generation {
+                inner.open = false;
+                for (_, tx) in inner.pending.drain() {
+                    let _ = tx.send(Outcome::Dropped);
+                }
+            }
         })
-        .expect("spawning the client reader thread never fails");
-    (reply_rx, reader)
+        .expect("spawning the client reader thread never fails")
 }
 
 /// Whether an error means the transport is dead (worth redialling), as
@@ -504,11 +759,15 @@ fn transport_failed(e: &Error) -> bool {
 
 impl Drop for CacheClient {
     fn drop(&mut self) {
-        // Dropping the writer closes the connection, which unblocks and
-        // terminates the reader thread.
-        let mut conn = self.conn.lock();
-        if let Some(handle) = conn.reader.take() {
-            conn.writer = Box::new(ClosedSend);
+        let reader = {
+            let mut inner = lock(&self.state.inner);
+            // Dropping the writer closes the connection, which unblocks
+            // and terminates the reader thread.
+            inner.writer = Box::new(ClosedSend);
+            inner.open = false;
+            inner.reader.take()
+        };
+        if let Some(handle) = reader {
             let _ = handle.join();
         }
     }
@@ -590,6 +849,74 @@ mod tests {
         assert_eq!(rows.columns, vec!["v"]);
         drop(client);
         server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_complete_out_of_issue_order() {
+        let cache = CacheBuilder::new().build();
+        let server = crate::reactor::ReactorServer::bind(cache, "127.0.0.1:0").unwrap();
+        let client = CacheClient::connect(server.local_addr()).unwrap();
+        client.execute("create table T (v integer)").unwrap();
+        // Issue a burst without waiting, then resolve newest-first.
+        let pendings: Vec<PendingReply> = (0..32)
+            .map(|i| {
+                client
+                    .begin_request(Request::Insert {
+                        table: "T".into(),
+                        values: vec![Scalar::Int(i)],
+                        upsert: false,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        let mut tstamps: Vec<u64> = pendings
+            .into_iter()
+            .rev()
+            .map(|p| match p.wait().unwrap() {
+                CacheReply::Inserted { tstamp, .. } => tstamp,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        tstamps.sort_unstable();
+        tstamps.dedup();
+        assert_eq!(tstamps.len(), 32);
+        assert_eq!(client.select("select * from T").unwrap().len(), 32);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn the_pipeline_window_bounds_in_flight_requests() {
+        let cache = CacheBuilder::new().build();
+        let client = CacheClient::connect_inproc(cache);
+        client.set_pipeline_window(2);
+        client.execute("create table T (v integer)").unwrap();
+        let a = client.begin_execute("select * from T").unwrap();
+        let b = client.begin_execute("select * from T").unwrap();
+        // The window is full: a third begin must block until a slot
+        // frees. Prove it from another thread.
+        let (probe_tx, probe_rx) = unbounded();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let c = client.begin_execute("select * from T").unwrap();
+                probe_tx.send(()).unwrap();
+                c.wait().unwrap();
+            });
+            assert!(probe_rx.recv_timeout(Duration::from_millis(200)).is_err());
+            a.wait().unwrap();
+            assert!(probe_rx.recv_timeout(Duration::from_secs(5)).is_ok());
+            b.wait().unwrap();
+        });
+    }
+
+    #[test]
+    fn an_abandoned_pending_reply_releases_its_window_slot() {
+        let cache = CacheBuilder::new().build();
+        let client = CacheClient::connect_inproc(cache);
+        client.set_pipeline_window(1);
+        drop(client.begin_request(Request::Ping).unwrap());
+        // If the slot leaked, this second begin would deadlock.
+        client.begin_request(Request::Ping).unwrap().wait().unwrap();
     }
 
     #[test]
@@ -690,5 +1017,31 @@ mod tests {
             std::thread::sleep(Duration::from_millis(10));
         }
         assert!(cache.automata().is_empty());
+    }
+
+    #[test]
+    fn idempotency_classification_matches_the_retry_contract() {
+        assert!(is_idempotent(&Request::Ping));
+        assert!(is_idempotent(&Request::ServerStats));
+        assert!(is_idempotent(&Request::Execute {
+            command: "  SELECT * from T".into()
+        }));
+        assert!(!is_idempotent(&Request::Execute {
+            command: "insert into T values (1)".into()
+        }));
+        assert!(is_idempotent(&Request::Insert {
+            table: "T".into(),
+            values: vec![],
+            upsert: true
+        }));
+        assert!(!is_idempotent(&Request::Insert {
+            table: "T".into(),
+            values: vec![],
+            upsert: false
+        }));
+        assert!(!is_idempotent(&Request::RegisterAutomaton {
+            source: String::new()
+        }));
+        assert!(!is_idempotent(&Request::UnregisterAutomaton { id: 1 }));
     }
 }

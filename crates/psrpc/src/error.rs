@@ -23,6 +23,14 @@ pub enum Error {
         /// The error reported by the cache.
         message: String,
     },
+    /// The connection died after a non-idempotent request was fully sent
+    /// but before its reply arrived: the server may or may not have
+    /// applied it, and a blind retry could apply it twice. A
+    /// reconnecting client surfaces this instead of silently re-sending;
+    /// the caller decides whether to re-issue (e.g. after reading the
+    /// current state back). Idempotent requests — reads, pings, upserts —
+    /// are retried internally and never produce this error.
+    MaybeApplied,
 }
 
 impl Error {
@@ -41,6 +49,10 @@ impl fmt::Display for Error {
             Error::Protocol { message } => write!(f, "rpc protocol error: {message}"),
             Error::Disconnected => write!(f, "rpc connection closed"),
             Error::Remote { message } => write!(f, "cache error: {message}"),
+            Error::MaybeApplied => write!(
+                f,
+                "rpc connection lost after the request was sent; it may or may not have been applied"
+            ),
         }
     }
 }
@@ -82,6 +94,9 @@ mod tests {
     fn display_variants() {
         assert!(Error::protocol("bad tag").to_string().contains("bad tag"));
         assert_eq!(Error::Disconnected.to_string(), "rpc connection closed");
+        assert!(Error::MaybeApplied
+            .to_string()
+            .contains("may or may not have been applied"));
         let io: Error = std::io::Error::other("boom").into();
         assert!(io.to_string().contains("boom"));
         assert!(std::error::Error::source(&io).is_some());

@@ -19,9 +19,14 @@
 //!   (deterministic benchmarks),
 //! * a multi-client [`server::RpcServer`] that exposes a
 //!   [`pscache::Cache`] — one worker thread per connection plus a shared
-//!   notification fan-out — and
+//!   notification fan-out,
+//! * an event-driven [`reactor::ReactorServer`] serving the same wire
+//!   protocol from one [`poll`]-based reactor thread plus a small worker
+//!   pool — thousands of connections, bounded threads — with the
+//!   blocking server retained as its differential-testing oracle, and
 //! * a [`client::CacheClient`] used by applications, with single-tuple
-//!   and batched insert fast paths.
+//!   and batched insert fast paths plus pipelining: many correlated
+//!   requests in flight on one connection, completing out of order.
 //!
 //! # Example
 //!
@@ -62,10 +67,13 @@ pub mod client;
 pub mod error;
 pub mod framing;
 pub mod message;
+pub mod poll;
+pub mod reactor;
 pub mod server;
 pub mod transport;
 pub mod wire;
 
-pub use client::{CacheClient, ReconnectPolicy};
+pub use client::{CacheClient, PendingReply, ReconnectPolicy};
 pub use error::{Error, Result};
+pub use reactor::{ReactorConfig, ReactorServer};
 pub use server::{RpcServer, ServerStats};

@@ -116,6 +116,15 @@ pub struct ServerStats {
     /// `repl_commit_lsn - repl_min_follower_acked_lsn` is the
     /// end-to-end replication lag in records.
     pub repl_min_follower_acked_lsn: u64,
+    /// Requests decoded but not yet answered across all connections
+    /// (reactor transport only; always 0 on the blocking transport,
+    /// whose workers execute synchronously).
+    pub rpc_in_flight: u64,
+    /// Times the reactor parked a connection's read interest because
+    /// its decoded-request queue hit the pipeline cap — persistent
+    /// growth means clients pipeline deeper than the server's
+    /// configured window.
+    pub rpc_queue_stalls: u64,
 }
 
 /// A row of a result set on the wire.
@@ -376,7 +385,7 @@ fn encode_reply(w: &mut WireWriter, reply: &CacheReply) {
 }
 
 /// The wire order of [`ServerStats`] fields (shared by encode/decode).
-fn stats_fields(s: &ServerStats) -> [u64; 19] {
+fn stats_fields(s: &ServerStats) -> [u64; 21] {
     [
         s.connections_accepted,
         s.connections_active,
@@ -397,6 +406,8 @@ fn stats_fields(s: &ServerStats) -> [u64; 19] {
         s.repl_replica_lsn,
         s.repl_followers,
         s.repl_min_follower_acked_lsn,
+        s.rpc_in_flight,
+        s.rpc_queue_stalls,
     ]
 }
 
@@ -452,6 +463,8 @@ fn decode_reply(r: &mut WireReader<'_>) -> Result<CacheReply> {
                 repl_replica_lsn: r.get_u64()?,
                 repl_followers: r.get_u64()?,
                 repl_min_follower_acked_lsn: r.get_u64()?,
+                rpc_in_flight: r.get_u64()?,
+                rpc_queue_stalls: r.get_u64()?,
             },
         },
         other => return Err(Error::protocol(format!("unknown reply tag {other}"))),
@@ -601,6 +614,8 @@ mod tests {
                     repl_replica_lsn: 16,
                     repl_followers: 17,
                     repl_min_follower_acked_lsn: 18,
+                    rpc_in_flight: 19,
+                    rpc_queue_stalls: 20,
                 },
             },
         });

@@ -1,0 +1,880 @@
+//! The event-driven RPC server: thousands of connections, a handful of
+//! threads.
+//!
+//! [`crate::server::RpcServer`] spends two threads per connection, which
+//! caps a node at hundreds of clients and — because each connection's
+//! worker blocks in `read` between requests — serialises every client on
+//! its own round-trip latency. This module keeps that server compiled in
+//! as the semantic oracle and adds a second transport with the same wire
+//! format and the same request semantics (both call the server module's
+//! `handle_request`) but an inverted thread model:
+//!
+//! * one **reactor thread** owns every socket. It blocks in
+//!   [`crate::poll::wait`] over the listener, a [`Waker`] doorbell, and
+//!   all nonblocking connection sockets; it reads bytes, reassembles
+//!   fragments, decodes [`ClientMessage`]s into per-connection inboxes,
+//!   and flushes per-connection outboxes;
+//! * a small **worker pool** executes decoded requests. At most one
+//!   worker drains a given connection at a time (the `executing` flag),
+//!   which preserves the blocking server's contract: requests on one
+//!   connection are executed and answered in receive order. Workers for
+//!   *different* connections run in parallel, exactly as the blocking
+//!   server's per-connection threads did;
+//! * **backpressure** is per connection: when a client pipelines more
+//!   than [`ReactorConfig::max_pipeline_depth`] undecided requests, the
+//!   reactor parks that connection's read interest (counted in
+//!   `rpc_queue_stalls`) and lets TCP flow control push back, resuming
+//!   as workers drain the inbox.
+//!
+//! Shutdown preserves [`crate::server::RpcServer::shutdown`]'s drain
+//! contract: stop accepting, stop reading, execute every request already
+//! received, flush every reply, then tear down — force-closing only what
+//! outlives the grace period — and finally flush the write-ahead log so
+//! an acknowledged insert can never be lost to a server exit.
+
+use std::collections::{HashSet, VecDeque};
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use pscache::{AutomatonId, Cache};
+
+use crate::error::{Error, Result};
+use crate::framing::{fragment, FRAGMENT_HEADER, FRAGMENT_PAYLOAD};
+use crate::message::{ClientMessage, ServerMessage, ServerStats};
+use crate::poll::{self, PollFd, Waker, POLL_IN, POLL_OUT};
+use crate::server::{
+    handle_request, teardown_registered, HubMsg, NotificationHub, RequestCtx, RouteSink, StatsInner,
+};
+
+/// Requests one worker executes for a connection before re-queuing it,
+/// so one deeply pipelined client cannot starve the others.
+const WORKER_BUDGET: usize = 32;
+
+/// How long [`ReactorServer::shutdown`] lets connections drain before
+/// force-closing the stragglers (mirrors the blocking server's grace).
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// Tuning knobs for a [`ReactorServer`].
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Worker threads executing decoded requests. The reactor thread
+    /// itself never executes a request, so this is the server's whole
+    /// execution parallelism.
+    pub workers: usize,
+    /// Decoded-but-unanswered requests one connection may queue before
+    /// its read interest is parked (counted in
+    /// [`ServerStats::rpc_queue_stalls`]).
+    pub max_pipeline_depth: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            workers: pscache::config::DEFAULT_RPC_WORKERS,
+            max_pipeline_depth: pscache::config::DEFAULT_RPC_MAX_PIPELINE,
+        }
+    }
+}
+
+/// What a worker pulls off the shared job queue.
+enum Job {
+    /// Drain this connection's inbox (its `executing` flag is set).
+    Conn(Arc<ConnShared>),
+    /// Exit; one per worker at shutdown.
+    Stop,
+}
+
+/// Per-connection execution state, behind one mutex. The invariant the
+/// whole design rests on: `executing` is true exactly while one worker
+/// owns this connection, so requests execute strictly in inbox order.
+#[derive(Default)]
+struct ExecState {
+    /// Decoded requests awaiting execution, in receive order.
+    inbox: VecDeque<ClientMessage>,
+    /// A worker currently owns this connection's inbox.
+    executing: bool,
+    /// No more bytes will be read (EOF, parse error, or drain).
+    read_closed: bool,
+    /// The connection is dead: discard the inbox, tear down, free.
+    defunct: bool,
+    /// Teardown (automaton unregistration) has run; the reactor may
+    /// drop the socket.
+    torn_down: bool,
+    /// Read interest is currently parked for backpressure (tracked so a
+    /// stall is counted once per episode, not once per poll iteration).
+    paused: bool,
+}
+
+/// The parts of a connection shared between the reactor thread, the
+/// worker pool, and the notification hub's route.
+struct ConnShared {
+    exec: Mutex<ExecState>,
+    /// Outbound wire bytes (already fragmented); only the reactor
+    /// thread drains it into the socket.
+    out: Mutex<Vec<u8>>,
+    /// Automata this connection registered; touched only by the single
+    /// active worker, including at teardown.
+    registered: Mutex<HashSet<AutomatonId>>,
+    /// The reactor's doorbell, rung whenever `out` gains bytes.
+    waker: Arc<Waker>,
+}
+
+/// Append one logical message to an outbox, atomically with respect to
+/// other messages (fragments of two messages must never interleave).
+fn append_message(out: &Mutex<Vec<u8>>, message: &[u8]) {
+    let mut out = out.lock();
+    for frag in fragment(message) {
+        out.extend_from_slice(&frag);
+    }
+}
+
+/// The hub's route to a reactor connection: append to the outbox, ring
+/// the doorbell.
+struct ReactorRoute {
+    shared: Arc<ConnShared>,
+}
+
+impl RouteSink for ReactorRoute {
+    fn deliver(&self, msg: ServerMessage) -> bool {
+        if self.shared.exec.lock().defunct {
+            return false;
+        }
+        append_message(&self.shared.out, &msg.encode());
+        self.shared.waker.wake();
+        true
+    }
+}
+
+/// Incremental fragment reassembly over a nonblocking byte stream — the
+/// streaming counterpart of [`crate::framing::read_message`], fed bytes
+/// as the socket produces them.
+#[derive(Default)]
+struct FrameParser {
+    buf: Vec<u8>,
+    pos: usize,
+    msg: Vec<u8>,
+}
+
+impl FrameParser {
+    fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// The next complete logical message, if the buffer holds one.
+    fn next_message(&mut self) -> Result<Option<Vec<u8>>> {
+        loop {
+            let avail = self.buf.len() - self.pos;
+            if avail < FRAGMENT_HEADER {
+                break;
+            }
+            let h = &self.buf[self.pos..];
+            let len = u16::from_le_bytes([h[0], h[1]]) as usize;
+            let last = h[2] != 0;
+            if len > FRAGMENT_PAYLOAD {
+                return Err(Error::protocol(format!(
+                    "fragment length {len} exceeds the {FRAGMENT_PAYLOAD}-byte payload limit"
+                )));
+            }
+            if avail < FRAGMENT_HEADER + len {
+                break;
+            }
+            let start = self.pos + FRAGMENT_HEADER;
+            self.msg.extend_from_slice(&self.buf[start..start + len]);
+            self.pos += FRAGMENT_HEADER + len;
+            if last {
+                self.compact();
+                return Ok(Some(std::mem::take(&mut self.msg)));
+            }
+        }
+        self.compact();
+        Ok(None)
+    }
+
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+/// The reactor thread's view of one connection: the socket plus the
+/// shared queues.
+struct Conn {
+    shared: Arc<ConnShared>,
+    stream: TcpStream,
+    parser: FrameParser,
+}
+
+/// A running event-driven RPC server bound to a TCP address.
+///
+/// Wire-compatible with [`crate::server::RpcServer`] — any
+/// [`crate::client::CacheClient`] works against either — but built to
+/// hold thousands of concurrent connections and to let a pipelining
+/// client keep many requests in flight on one socket.
+pub struct ReactorServer {
+    local_addr: SocketAddr,
+    cache: Cache,
+    stats: Arc<StatsInner>,
+    shutting_down: Arc<AtomicBool>,
+    waker: Arc<Waker>,
+    reactor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    job_tx: Sender<Job>,
+    hub: Option<NotificationHub>,
+}
+
+impl std::fmt::Debug for ReactorServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactorServer")
+            .field("local_addr", &self.local_addr)
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ReactorServer {
+    /// Bind with the cache's configured worker count (see
+    /// `pscache::CacheBuilder::rpc_workers`) and the default pipeline
+    /// depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the listener or the reactor's doorbell
+    /// cannot be created.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pscache::CacheBuilder;
+    /// use psrpc::{client::CacheClient, reactor::ReactorServer};
+    ///
+    /// let server = ReactorServer::bind(CacheBuilder::new().build(), "127.0.0.1:0")?;
+    /// let client = CacheClient::connect(server.local_addr())?;
+    /// client.execute("create table T (v integer)")?;
+    /// client.insert("T", vec![7i64.into()])?;
+    /// assert_eq!(client.select("select * from T")?.len(), 1);
+    /// drop(client);
+    /// server.shutdown();
+    /// # Ok::<(), psrpc::Error>(())
+    /// ```
+    pub fn bind(cache: Cache, addr: impl ToSocketAddrs) -> Result<ReactorServer> {
+        let config = ReactorConfig {
+            workers: cache.rpc_workers(),
+            ..ReactorConfig::default()
+        };
+        Self::bind_with(cache, addr, config)
+    }
+
+    /// Bind with explicit tuning.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReactorServer::bind`].
+    pub fn bind_with(
+        cache: Cache,
+        addr: impl ToSocketAddrs,
+        config: ReactorConfig,
+    ) -> Result<ReactorServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let stats = Arc::new(StatsInner::default());
+        let hub = NotificationHub::start(Arc::clone(&stats));
+        let waker = Arc::new(Waker::new()?);
+        let shutting_down = Arc::new(AtomicBool::new(false));
+        let (job_tx, job_rx) = unbounded::<Job>();
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let cache = cache.clone();
+                let note_tx = hub.note_tx.clone();
+                let control_tx = hub.control_tx.clone();
+                let stats = Arc::clone(&stats);
+                let job_rx = job_rx.clone();
+                let job_tx = job_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("psrpc-reactor-worker-{i}"))
+                    .spawn(move || {
+                        worker_loop(&cache, &note_tx, &control_tx, &stats, &job_rx, &job_tx)
+                    })
+                    .expect("spawning a reactor worker never fails")
+            })
+            .collect();
+
+        let reactor = {
+            let stats = Arc::clone(&stats);
+            let waker = Arc::clone(&waker);
+            let shutting_down = Arc::clone(&shutting_down);
+            let job_tx = job_tx.clone();
+            let max_pipeline = config.max_pipeline_depth.max(1);
+            std::thread::Builder::new()
+                .name("psrpc-reactor".into())
+                .spawn(move || {
+                    reactor_loop(
+                        &listener,
+                        &stats,
+                        &shutting_down,
+                        &waker,
+                        &job_tx,
+                        max_pipeline,
+                    );
+                })
+                .expect("spawning the reactor thread never fails")
+        };
+
+        Ok(ReactorServer {
+            local_addr,
+            cache,
+            stats,
+            shutting_down,
+            waker,
+            reactor: Some(reactor),
+            workers,
+            job_tx,
+            hub: Some(hub),
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of the server's counters, including the reactor's
+    /// in-flight depth and backpressure stalls.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.snapshot(&self.cache)
+    }
+
+    /// Graceful shutdown with the same contract as
+    /// [`crate::server::RpcServer::shutdown`]: stop accepting, stop
+    /// reading, execute every request already received and flush its
+    /// reply, force-close what outlives the grace period, join every
+    /// thread, and flush the write-ahead log.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutting_down.store(true, Ordering::Release);
+        self.waker.wake();
+        if let Some(handle) = self.reactor.take() {
+            let _ = handle.join();
+        }
+        // Teardown jobs the reactor queued on its way out run before
+        // these sentinels, so every automaton is unregistered by the
+        // time the workers exit.
+        for _ in 0..self.workers.len() {
+            let _ = self.job_tx.send(Job::Stop);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(hub) = self.hub.take() {
+            hub.finish();
+        }
+        let _ = self.cache.flush_wal();
+    }
+}
+
+impl Drop for ReactorServer {
+    fn drop(&mut self) {
+        if self.reactor.is_some() || self.hub.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn worker_loop(
+    cache: &Cache,
+    note_tx: &Sender<pscache::Notification>,
+    control_tx: &Sender<HubMsg>,
+    stats: &StatsInner,
+    job_rx: &Receiver<Job>,
+    job_tx: &Sender<Job>,
+) {
+    let ctx = RequestCtx {
+        cache,
+        note_tx,
+        control_tx,
+        stats,
+    };
+    while let Ok(job) = job_rx.recv() {
+        match job {
+            Job::Stop => break,
+            Job::Conn(conn) => run_conn(&ctx, job_tx, &conn),
+        }
+    }
+}
+
+/// Drain one connection's inbox (up to [`WORKER_BUDGET`] requests),
+/// append each reply to its outbox, and ring the reactor. Runs with the
+/// connection's `executing` flag held; clears it on every return path
+/// except the fairness re-queue.
+fn run_conn(ctx: &RequestCtx<'_>, job_tx: &Sender<Job>, conn: &Arc<ConnShared>) {
+    for _ in 0..WORKER_BUDGET {
+        let msg = {
+            let mut exec = conn.exec.lock();
+            if exec.defunct {
+                let dropped = exec.inbox.len() as u64;
+                exec.inbox.clear();
+                if dropped > 0 {
+                    ctx.stats.in_flight.fetch_sub(dropped, Ordering::Release);
+                }
+                if exec.torn_down {
+                    exec.executing = false;
+                    return;
+                }
+                exec.torn_down = true;
+                drop(exec);
+                {
+                    let mut registered = conn.registered.lock();
+                    teardown_registered(ctx, &mut registered);
+                }
+                ctx.stats.active.fetch_sub(1, Ordering::Release);
+                conn.exec.lock().executing = false;
+                conn.waker.wake();
+                return;
+            }
+            match exec.inbox.pop_front() {
+                Some(msg) => msg,
+                None => {
+                    exec.executing = false;
+                    drop(exec);
+                    // The finalisation sweep skips connections while
+                    // `executing` is set; if an EOF (or drain) arrived
+                    // during this run, nothing else will wake the
+                    // reactor to notice the flag cleared. Ring it.
+                    conn.waker.wake();
+                    return;
+                }
+            }
+        };
+        let route_conn = Arc::clone(conn);
+        let route = move || {
+            Box::new(ReactorRoute {
+                shared: Arc::clone(&route_conn),
+            }) as Box<dyn RouteSink>
+        };
+        let reply = {
+            let mut registered = conn.registered.lock();
+            handle_request(ctx, &mut registered, &route, msg.request)
+        };
+        append_message(
+            &conn.out,
+            &ServerMessage::Reply {
+                seq: msg.seq,
+                reply,
+            }
+            .encode(),
+        );
+        ctx.stats.in_flight.fetch_sub(1, Ordering::Release);
+        conn.waker.wake();
+    }
+    // Budget spent with work possibly left: go to the back of the queue
+    // (keeping `executing` set, so the reactor won't double-enqueue).
+    let _ = job_tx.send(Job::Conn(Arc::clone(conn)));
+}
+
+/// The connection is unusable (write failure): discard undecided work
+/// and flag it for teardown. Idempotent.
+fn mark_defunct(shared: &ConnShared, stats: &StatsInner) {
+    let mut exec = shared.exec.lock();
+    if exec.defunct {
+        return;
+    }
+    exec.defunct = true;
+    let dropped = exec.inbox.len() as u64;
+    exec.inbox.clear();
+    if dropped > 0 {
+        stats.in_flight.fetch_sub(dropped, Ordering::Release);
+    }
+}
+
+fn accept_all(
+    listener: &TcpListener,
+    conns: &mut Vec<Conn>,
+    stats: &StatsInner,
+    waker: &Arc<Waker>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                stream.set_nodelay(true).ok();
+                stats.accepted.fetch_add(1, Ordering::Release);
+                stats.active.fetch_add(1, Ordering::Release);
+                conns.push(Conn {
+                    shared: Arc::new(ConnShared {
+                        exec: Mutex::new(ExecState::default()),
+                        out: Mutex::new(Vec::new()),
+                        registered: Mutex::new(HashSet::new()),
+                        waker: Arc::clone(waker),
+                    }),
+                    stream,
+                    parser: FrameParser::default(),
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Drain readable bytes into the parser and decoded requests into the
+/// inbox, handing the connection to a worker when it goes busy.
+fn reactor_read(
+    conn: &mut Conn,
+    buf: &mut [u8],
+    stats: &StatsInner,
+    job_tx: &Sender<Job>,
+    max_pipeline: usize,
+) {
+    loop {
+        match (&conn.stream).read(buf) {
+            Ok(0) => {
+                conn.shared.exec.lock().read_closed = true;
+                return;
+            }
+            Ok(n) => {
+                conn.parser.push(&buf[..n]);
+                loop {
+                    match conn.parser.next_message() {
+                        Ok(Some(bytes)) => match ClientMessage::decode(&bytes) {
+                            Ok(msg) => {
+                                stats.requests.fetch_add(1, Ordering::Release);
+                                stats.in_flight.fetch_add(1, Ordering::Release);
+                                let mut exec = conn.shared.exec.lock();
+                                exec.inbox.push_back(msg);
+                                if !exec.executing {
+                                    exec.executing = true;
+                                    drop(exec);
+                                    let _ = job_tx.send(Job::Conn(Arc::clone(&conn.shared)));
+                                }
+                            }
+                            // Undecodable message: stop reading; queued
+                            // requests still get their replies.
+                            Err(_) => {
+                                conn.shared.exec.lock().read_closed = true;
+                                return;
+                            }
+                        },
+                        Ok(None) => break,
+                        Err(_) => {
+                            conn.shared.exec.lock().read_closed = true;
+                            return;
+                        }
+                    }
+                }
+                // At the pipeline cap: leave the rest in the kernel
+                // buffer and let TCP flow control push back.
+                if conn.shared.exec.lock().inbox.len() >= max_pipeline {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                mark_defunct(&conn.shared, stats);
+                return;
+            }
+        }
+    }
+}
+
+/// Write as much buffered output as the socket accepts right now.
+fn flush_out(conn: &Conn, stats: &StatsInner) {
+    let mut failed = false;
+    {
+        let mut out = conn.shared.out.lock();
+        let mut written = 0;
+        while written < out.len() {
+            match (&conn.stream).write(&out[written..]) {
+                Ok(0) => {
+                    failed = true;
+                    break;
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        out.drain(..written);
+        if failed {
+            out.clear();
+        }
+    }
+    if failed {
+        mark_defunct(&conn.shared, stats);
+    }
+}
+
+fn reactor_loop(
+    listener: &TcpListener,
+    stats: &Arc<StatsInner>,
+    shutting_down: &AtomicBool,
+    waker: &Arc<Waker>,
+    job_tx: &Sender<Job>,
+    max_pipeline: usize,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut read_buf = vec![0u8; 16 * 1024];
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        let draining = shutting_down.load(Ordering::Acquire);
+        if draining && drain_deadline.is_none() {
+            drain_deadline = Some(Instant::now() + DRAIN_GRACE);
+        }
+        let force = drain_deadline.is_some_and(|d| Instant::now() >= d);
+
+        // Finalisation sweep: flag finished (or force-expired)
+        // connections defunct and queue their teardown on a worker.
+        for conn in &conns {
+            let mut exec = conn.shared.exec.lock();
+            if force && !exec.defunct {
+                exec.defunct = true;
+            }
+            if exec.torn_down || exec.executing {
+                continue;
+            }
+            if exec.defunct {
+                exec.executing = true;
+                drop(exec);
+                let _ = job_tx.send(Job::Conn(Arc::clone(&conn.shared)));
+                continue;
+            }
+            let quiesced = exec.inbox.is_empty() && (exec.read_closed || draining);
+            drop(exec);
+            if quiesced && conn.shared.out.lock().is_empty() {
+                let mut exec = conn.shared.exec.lock();
+                // Re-check under the lock: a worker or the hub may have
+                // raced new state in.
+                if !exec.executing && !exec.defunct && exec.inbox.is_empty() {
+                    exec.defunct = true;
+                    exec.executing = true;
+                    drop(exec);
+                    let _ = job_tx.send(Job::Conn(Arc::clone(&conn.shared)));
+                }
+            }
+        }
+        // Dropping a torn-down Conn closes its socket.
+        conns.retain(|c| !c.shared.exec.lock().torn_down);
+
+        if draining && conns.is_empty() {
+            return;
+        }
+
+        // Interest list, rebuilt every iteration (interest flips with
+        // backpressure and outbox occupancy).
+        let mut fds = Vec::with_capacity(conns.len() + 2);
+        fds.push(PollFd::new(waker.poll_fd(), POLL_IN));
+        let listener_slot = if draining {
+            None
+        } else {
+            fds.push(PollFd::new(listener.as_raw_fd(), POLL_IN));
+            Some(fds.len() - 1)
+        };
+        let base = fds.len();
+        let mut slots: Vec<usize> = Vec::with_capacity(conns.len());
+        for (i, conn) in conns.iter().enumerate() {
+            let mut events = 0i16;
+            {
+                let mut exec = conn.shared.exec.lock();
+                if !exec.read_closed && !exec.defunct && !draining {
+                    if exec.inbox.len() < max_pipeline {
+                        events |= POLL_IN;
+                        exec.paused = false;
+                    } else if !exec.paused {
+                        exec.paused = true;
+                        stats.queue_stalls.fetch_add(1, Ordering::Release);
+                    }
+                }
+            }
+            if !conn.shared.out.lock().is_empty() {
+                events |= POLL_OUT;
+            }
+            if events != 0 {
+                fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+                slots.push(i);
+            }
+        }
+
+        let timeout = draining.then(|| Duration::from_millis(25));
+        if poll::wait(&mut fds, timeout).is_err() {
+            // A transient poll failure: back off instead of spinning.
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+
+        if fds[0].readable() {
+            waker.drain();
+        }
+        if let Some(slot) = listener_slot {
+            if fds[slot].readable() {
+                accept_all(listener, &mut conns, stats, waker);
+            }
+        }
+        for (k, &i) in slots.iter().enumerate() {
+            if fds[base + k].readable() {
+                reactor_read(&mut conns[i], &mut read_buf, stats, job_tx, max_pipeline);
+            }
+        }
+        // Flush every non-empty outbox — including connections that
+        // gained bytes while we were blocked (their wake got us here)
+        // and were not registered for POLLOUT this round.
+        for conn in &conns {
+            if !conn.shared.out.lock().is_empty() {
+                flush_out(conn, stats);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::CacheClient;
+    use gapl::event::Scalar;
+    use pscache::CacheBuilder;
+
+    #[test]
+    fn bind_and_shutdown_do_not_hang() {
+        let server = ReactorServer::bind(CacheBuilder::new().build(), "127.0.0.1:0").unwrap();
+        assert_ne!(server.local_addr().port(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_the_same_wire_protocol_as_the_blocking_server() {
+        let server = ReactorServer::bind(CacheBuilder::new().build(), "127.0.0.1:0").unwrap();
+        let client = CacheClient::connect(server.local_addr()).unwrap();
+        client.ping().unwrap();
+        client.execute("create table T (v integer)").unwrap();
+        let tstamps = client
+            .insert_batch("T", (0..20).map(|i| vec![Scalar::Int(i)]).collect())
+            .unwrap();
+        assert_eq!(tstamps.len(), 20);
+        let rows = client.select("select * from T where v >= 10").unwrap();
+        assert_eq!(rows.len(), 10);
+        let stats = client.server_stats().unwrap();
+        assert!(stats.requests_served >= 4);
+        assert_eq!(stats.connections_active, 1);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn notifications_route_back_over_the_registering_connection() {
+        let server = ReactorServer::bind(CacheBuilder::new().build(), "127.0.0.1:0").unwrap();
+        let listener = CacheClient::connect(server.local_addr()).unwrap();
+        let inserter = CacheClient::connect(server.local_addr()).unwrap();
+        listener.execute("create table T (v integer)").unwrap();
+        let id = listener
+            .register_automaton("subscribe t to T; behavior { if (t.v > 5) send(t.v); }")
+            .unwrap();
+        for i in 0..10 {
+            inserter.insert("T", vec![Scalar::Int(i)]).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut notes = Vec::new();
+        while notes.len() < 4 && Instant::now() < deadline {
+            if let Ok(n) = listener
+                .notifications()
+                .recv_timeout(Duration::from_millis(50))
+            {
+                notes.push(n);
+            }
+        }
+        assert_eq!(notes.len(), 4);
+        assert!(notes.iter().all(|n| n.automaton == id));
+        assert!(inserter.drain_notifications().is_empty());
+        drop(listener);
+        drop(inserter);
+        server.shutdown();
+    }
+
+    #[test]
+    fn disconnect_unregisters_the_connections_automata() {
+        let cache = CacheBuilder::new().build();
+        let server = ReactorServer::bind(cache.clone(), "127.0.0.1:0").unwrap();
+        let client = CacheClient::connect(server.local_addr()).unwrap();
+        client.execute("create table T (v integer)").unwrap();
+        client
+            .register_automaton("subscribe t to T; behavior { }")
+            .unwrap();
+        assert_eq!(cache.automata().len(), 1);
+        drop(client);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !cache.automata().is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(cache.automata().is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn many_concurrent_connections_are_served() {
+        let server = ReactorServer::bind(CacheBuilder::new().build(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let clients: Vec<CacheClient> = (0..64)
+            .map(|_| CacheClient::connect(addr).unwrap())
+            .collect();
+        for client in &clients {
+            client.ping().unwrap();
+        }
+        assert_eq!(server.stats().connections_active, 64);
+        assert_eq!(server.stats().rpc_in_flight, 0);
+        drop(clients);
+        server.shutdown();
+    }
+
+    #[test]
+    fn frame_parser_reassembles_across_arbitrary_chunking() {
+        let msg_small = b"hello".to_vec();
+        let msg_big: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+        let mut wire = Vec::new();
+        for m in [&msg_small, &msg_big] {
+            for frag in fragment(m) {
+                wire.extend_from_slice(&frag);
+            }
+        }
+        // Feed one byte at a time: worst-case chunking.
+        let mut parser = FrameParser::default();
+        let mut out = Vec::new();
+        for b in wire {
+            parser.push(&[b]);
+            while let Some(m) = parser.next_message().unwrap() {
+                out.push(m);
+            }
+        }
+        assert_eq!(out, vec![msg_small, msg_big]);
+    }
+
+    #[test]
+    fn frame_parser_rejects_oversized_fragments() {
+        let mut parser = FrameParser::default();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(2000u16).to_le_bytes());
+        bytes.push(1);
+        bytes.push(0);
+        parser.push(&bytes);
+        assert!(parser.next_message().is_err());
+    }
+}

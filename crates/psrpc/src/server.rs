@@ -45,11 +45,18 @@ use crate::transport::{tcp_split, RecvEvent, RecvHalf, SendHalf};
 pub use crate::message::ServerStats;
 
 #[derive(Debug, Default)]
-struct StatsInner {
-    accepted: AtomicU64,
-    active: AtomicU64,
-    requests: AtomicU64,
-    notifications: AtomicU64,
+pub(crate) struct StatsInner {
+    pub(crate) accepted: AtomicU64,
+    pub(crate) active: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    pub(crate) notifications: AtomicU64,
+    /// Requests decoded but not yet answered (reactor transport only;
+    /// the blocking transport executes synchronously so its depth is
+    /// bounded by its thread count).
+    pub(crate) in_flight: AtomicU64,
+    /// Times a connection's read interest was parked because its
+    /// decoded-request queue hit the pipeline cap.
+    pub(crate) queue_stalls: AtomicU64,
 }
 
 impl StatsInner {
@@ -58,13 +65,15 @@ impl StatsInner {
     /// end-to-end observability surface: a remote client can read
     /// group-commit behaviour and replication lag without shell access
     /// to the cache host.
-    fn snapshot(&self, cache: &Cache) -> ServerStats {
+    pub(crate) fn snapshot(&self, cache: &Cache) -> ServerStats {
         let dispatch = cache.dispatch_stats();
         let wal = cache.wal_stats().unwrap_or_default();
         let repl = cache.repl_stats();
         ServerStats {
             connections_accepted: self.accepted.load(Ordering::Acquire),
             connections_active: self.active.load(Ordering::Acquire),
+            rpc_in_flight: self.in_flight.load(Ordering::Acquire),
+            rpc_queue_stalls: self.queue_stalls.load(Ordering::Acquire),
             requests_served: self.requests.load(Ordering::Acquire),
             notifications_routed: self.notifications.load(Ordering::Acquire),
             automata_active: dispatch.automata as u64,
@@ -86,15 +95,30 @@ impl StatsInner {
     }
 }
 
+/// Where the hub delivers one automaton's notifications: the blocking
+/// transport routes to a connection's writer-thread channel, the
+/// reactor transport appends to a connection's outbound byte queue and
+/// rings the poller's doorbell. Either way the hub stays the single
+/// ordering point between an automaton and its owning connection.
+pub(crate) trait RouteSink: Send {
+    /// Deliver one message; `false` means the connection is gone.
+    fn deliver(&self, msg: ServerMessage) -> bool;
+}
+
+impl RouteSink for Sender<ServerMessage> {
+    fn deliver(&self, msg: ServerMessage) -> bool {
+        self.send(msg).is_ok()
+    }
+}
+
 /// Control messages for the fan-out hub, multiplexed with notifications.
-#[derive(Debug)]
-enum HubMsg {
+pub(crate) enum HubMsg {
     /// An automaton produced a notification.
     Note(pscache::Notification),
     /// A connection registered an automaton; notifications for it (held
     /// back while the registration raced ahead of the route) go to this
-    /// writer.
-    AddRoute(u64, Sender<ServerMessage>),
+    /// sink.
+    AddRoute(u64, Box<dyn RouteSink>),
     /// The automaton is gone; drop its route and anything held back.
     RemoveRoute(u64),
 }
@@ -106,18 +130,17 @@ enum HubMsg {
 /// the automaton. Registration and routing race benignly: a notification
 /// arriving before its `AddRoute` is parked and flushed, in order, when
 /// the route appears.
-#[derive(Debug)]
-struct NotificationHub {
+pub(crate) struct NotificationHub {
     /// Handed (cloned) to every automaton registration.
-    note_tx: Sender<pscache::Notification>,
+    pub(crate) note_tx: Sender<pscache::Notification>,
     /// Route management from connection workers.
-    control_tx: Sender<HubMsg>,
+    pub(crate) control_tx: Sender<HubMsg>,
     pump: Option<JoinHandle<()>>,
     dispatch: Option<JoinHandle<()>>,
 }
 
 impl NotificationHub {
-    fn start(stats: Arc<StatsInner>) -> NotificationHub {
+    pub(crate) fn start(stats: Arc<StatsInner>) -> NotificationHub {
         let (note_tx, note_rx) = unbounded::<pscache::Notification>();
         let (hub_tx, hub_rx) = unbounded::<HubMsg>();
 
@@ -139,7 +162,7 @@ impl NotificationHub {
         let dispatch = std::thread::Builder::new()
             .name("psrpc-hub-dispatch".into())
             .spawn(move || {
-                let mut routes: HashMap<u64, Sender<ServerMessage>> = HashMap::new();
+                let mut routes: HashMap<u64, Box<dyn RouteSink>> = HashMap::new();
                 let mut parked: HashMap<u64, Vec<pscache::Notification>> = HashMap::new();
                 // Ids whose route was removed. A RemoveRoute sent on the
                 // control channel can overtake that automaton's last
@@ -156,7 +179,7 @@ impl NotificationHub {
                             match routes.get(&id) {
                                 Some(writer) => {
                                     stats.notifications.fetch_add(1, Ordering::Release);
-                                    let _ = writer.send(notification_message(note));
+                                    let _ = writer.deliver(notification_message(note));
                                 }
                                 None if dead.contains(&id) => {
                                     // Straggler from an unregistered
@@ -176,7 +199,7 @@ impl NotificationHub {
                         HubMsg::AddRoute(id, writer) => {
                             for note in parked.remove(&id).unwrap_or_default() {
                                 stats.notifications.fetch_add(1, Ordering::Release);
-                                let _ = writer.send(notification_message(note));
+                                let _ = writer.deliver(notification_message(note));
                             }
                             routes.insert(id, writer);
                         }
@@ -201,7 +224,7 @@ impl NotificationHub {
     /// Drop the hub's own senders and wait for its threads; any automata
     /// still holding notifier clones keep the pump alive until they are
     /// unregistered, so callers unregister first.
-    fn finish(mut self) {
+    pub(crate) fn finish(mut self) {
         drop(self.note_tx);
         drop(self.control_tx);
         if let Some(h) = self.pump.take() {
@@ -222,7 +245,6 @@ fn notification_message(note: pscache::Notification) -> ServerMessage {
 }
 
 /// A running multi-client RPC server bound to a TCP address.
-#[derive(Debug)]
 pub struct RpcServer {
     local_addr: SocketAddr,
     /// The served cache; kept for stats snapshots (cloning a cache is a
@@ -237,6 +259,14 @@ pub struct RpcServer {
     conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
     stats: Arc<StatsInner>,
     hub: Option<NotificationHub>,
+}
+
+impl std::fmt::Debug for RpcServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RpcServer")
+            .field("local_addr", &self.local_addr)
+            .finish_non_exhaustive()
+    }
 }
 
 /// How long between idle checks of the drain flag on a server-side
@@ -489,38 +519,48 @@ fn serve_with_hub(
         })
         .expect("spawning the writer thread never fails");
 
-    let mut conn = ConnectionContext {
+    let ctx = RequestCtx {
         cache: &cache,
-        note_tx: note_tx.clone(),
-        control_tx: control_tx.clone(),
-        out_tx,
-        registered: HashSet::new(),
+        note_tx,
+        control_tx,
+        stats,
     };
-    let result = serve_requests(&mut conn, &mut recv, stats, draining);
+    let mut registered = HashSet::new();
+    let result = serve_requests(&ctx, &mut registered, &out_tx, &mut recv, draining);
 
     // The client is gone: its automata (and their routes) go with it.
-    for id in conn.registered.drain() {
-        let _ = cache.unregister_automaton(id);
-        let _ = conn.control_tx.send(HubMsg::RemoveRoute(id.0));
-    }
-    drop(conn);
+    teardown_registered(&ctx, &mut registered);
+    drop(out_tx);
     let _ = writer.join();
     result
 }
 
-/// Everything a request needs to be executed on behalf of one connection.
-struct ConnectionContext<'a> {
-    cache: &'a Cache,
-    note_tx: Sender<pscache::Notification>,
-    control_tx: Sender<HubMsg>,
-    out_tx: Sender<ServerMessage>,
-    registered: HashSet<AutomatonId>,
+/// The transport-independent surroundings of one request: the cache it
+/// executes against, the hub handles new automata attach to, and the
+/// counters it reports into. The blocking server builds one per
+/// connection worker; the reactor builds one per worker thread and
+/// shares it across the connections that worker drains.
+pub(crate) struct RequestCtx<'a> {
+    pub(crate) cache: &'a Cache,
+    pub(crate) note_tx: &'a Sender<pscache::Notification>,
+    pub(crate) control_tx: &'a Sender<HubMsg>,
+    pub(crate) stats: &'a StatsInner,
+}
+
+/// Unregister everything a departed connection had registered and drop
+/// the hub routes; shared by both transports' teardown paths.
+pub(crate) fn teardown_registered(ctx: &RequestCtx<'_>, registered: &mut HashSet<AutomatonId>) {
+    for id in registered.drain() {
+        let _ = ctx.cache.unregister_automaton(id);
+        let _ = ctx.control_tx.send(HubMsg::RemoveRoute(id.0));
+    }
 }
 
 fn serve_requests(
-    conn: &mut ConnectionContext<'_>,
+    ctx: &RequestCtx<'_>,
+    registered: &mut HashSet<AutomatonId>,
+    out_tx: &Sender<ServerMessage>,
     recv: &mut impl RecvHalf,
-    stats: &StatsInner,
     draining: &AtomicBool,
 ) -> Result<()> {
     loop {
@@ -537,10 +577,10 @@ fn serve_requests(
             RecvEvent::Closed => return Ok(()),
         };
         let msg = ClientMessage::decode(&bytes)?;
-        stats.requests.fetch_add(1, Ordering::Release);
-        let reply = handle_request(conn, msg.request, stats);
-        if conn
-            .out_tx
+        ctx.stats.requests.fetch_add(1, Ordering::Release);
+        let route = || Box::new(out_tx.clone()) as Box<dyn RouteSink>;
+        let reply = handle_request(ctx, registered, &route, msg.request);
+        if out_tx
             .send(ServerMessage::Reply {
                 seq: msg.seq,
                 reply,
@@ -552,23 +592,30 @@ fn serve_requests(
     }
 }
 
-fn handle_request(
-    conn: &mut ConnectionContext<'_>,
+/// Execute one decoded request against the cache on behalf of one
+/// connection. `registered` is that connection's automaton ownership
+/// set and `make_route` builds the sink the hub will route the new
+/// automaton's notifications through — the only two transport-specific
+/// inputs, which is what lets the blocking server and the reactor share
+/// every request semantic (including flush-before-ack durability).
+pub(crate) fn handle_request(
+    ctx: &RequestCtx<'_>,
+    registered: &mut HashSet<AutomatonId>,
+    make_route: &dyn Fn() -> Box<dyn RouteSink>,
     request: Request,
-    stats: &StatsInner,
 ) -> CacheReply {
     match request {
         Request::Ping => CacheReply::Pong,
         Request::ServerStats => CacheReply::Stats {
-            stats: stats.snapshot(conn.cache),
+            stats: ctx.stats.snapshot(ctx.cache),
         },
-        Request::Execute { command } => match conn.cache.execute(&command).and_then(|response| {
+        Request::Execute { command } => match ctx.cache.execute(&command).and_then(|response| {
             // Flush-before-ack for the SQL surface too: an insert or
             // create arriving as text must be as durable at ack time as
             // one arriving through the typed fast path below. Selects
             // skip the flush — they wrote nothing.
             if !matches!(response, Response::Rows(_)) {
-                conn.cache.flush_wal()?;
+                ctx.cache.flush_wal()?;
             }
             Ok(response)
         }) {
@@ -583,9 +630,9 @@ fn handle_request(
             upsert,
         } => {
             let result = if upsert {
-                conn.cache.upsert(&table, values)
+                ctx.cache.upsert(&table, values)
             } else {
-                conn.cache.insert(&table, values)
+                ctx.cache.insert(&table, values)
             };
             match result.and_then(|tstamp| {
                 // Flush-before-ack: under every sync policy the reply a
@@ -594,7 +641,7 @@ fn handle_request(
                 // policy the insert already waited for durability and
                 // this is a no-op; under `SyncPolicy::OsOnly` it is the
                 // flush that upgrades the write to durable.
-                conn.cache.flush_wal()?;
+                ctx.cache.flush_wal()?;
                 Ok(tstamp)
             }) {
                 Ok(tstamp) => CacheReply::Inserted {
@@ -612,13 +659,13 @@ fn handle_request(
             upsert,
         } => {
             let result = if upsert {
-                conn.cache.upsert_batch(&table, rows)
+                ctx.cache.upsert_batch(&table, rows)
             } else {
-                conn.cache.insert_batch(&table, rows)
+                ctx.cache.insert_batch(&table, rows)
             };
             match result.and_then(|tstamps| {
                 // Flush-before-ack, as for Request::Insert above.
-                conn.cache.flush_wal()?;
+                ctx.cache.flush_wal()?;
                 Ok(tstamps)
             }) {
                 Ok(tstamps) => CacheReply::InsertedBatch { tstamps },
@@ -628,18 +675,16 @@ fn handle_request(
             }
         }
         Request::RegisterAutomaton { source } => {
-            match conn
+            match ctx
                 .cache
-                .register_automaton_with_notifier(&source, conn.note_tx.clone())
+                .register_automaton_with_notifier(&source, ctx.note_tx.clone())
             {
                 Ok(id) => {
-                    conn.registered.insert(id);
+                    registered.insert(id);
                     // Route the automaton's notifications to this
                     // connection's writer; anything the hub parked while
                     // we got here is flushed first.
-                    let _ = conn
-                        .control_tx
-                        .send(HubMsg::AddRoute(id.0, conn.out_tx.clone()));
+                    let _ = ctx.control_tx.send(HubMsg::AddRoute(id.0, make_route()));
                     CacheReply::Registered { id: id.0 }
                 }
                 Err(e) => CacheReply::Error {
@@ -649,10 +694,10 @@ fn handle_request(
         }
         Request::UnregisterAutomaton { id } => {
             let id = AutomatonId(id);
-            match conn.cache.unregister_automaton(id) {
+            match ctx.cache.unregister_automaton(id) {
                 Ok(()) => {
-                    conn.registered.remove(&id);
-                    let _ = conn.control_tx.send(HubMsg::RemoveRoute(id.0));
+                    registered.remove(&id);
+                    let _ = ctx.control_tx.send(HubMsg::RemoveRoute(id.0));
                     CacheReply::Unregistered
                 }
                 Err(e) => CacheReply::Error {
@@ -693,25 +738,41 @@ mod tests {
     use gapl::event::Scalar;
     use pscache::CacheBuilder;
 
-    fn test_conn(
-        cache: &Cache,
-    ) -> (
-        ConnectionContext<'_>,
-        Receiver<ServerMessage>,
-        NotificationHub,
-        Arc<StatsInner>,
-    ) {
+    /// A per-test harness owning the hub handles [`RequestCtx`] borrows.
+    struct TestConn {
+        note_tx: Sender<pscache::Notification>,
+        control_tx: Sender<HubMsg>,
+        out_tx: Sender<ServerMessage>,
+        stats: Arc<StatsInner>,
+        registered: HashSet<AutomatonId>,
+    }
+
+    impl TestConn {
+        fn handle(&mut self, cache: &Cache, request: Request) -> CacheReply {
+            let ctx = RequestCtx {
+                cache,
+                note_tx: &self.note_tx,
+                control_tx: &self.control_tx,
+                stats: &self.stats,
+            };
+            let out_tx = self.out_tx.clone();
+            let route = move || Box::new(out_tx.clone()) as Box<dyn RouteSink>;
+            handle_request(&ctx, &mut self.registered, &route, request)
+        }
+    }
+
+    fn test_conn(_cache: &Cache) -> (TestConn, Receiver<ServerMessage>, NotificationHub) {
         let stats = Arc::new(StatsInner::default());
         let hub = NotificationHub::start(Arc::clone(&stats));
         let (out_tx, out_rx) = unbounded();
-        let conn = ConnectionContext {
-            cache,
+        let conn = TestConn {
             note_tx: hub.note_tx.clone(),
             control_tx: hub.control_tx.clone(),
             out_tx,
+            stats,
             registered: HashSet::new(),
         };
-        (conn, out_rx, hub, stats)
+        (conn, out_rx, hub)
     }
 
     #[test]
@@ -763,27 +824,25 @@ mod tests {
     #[test]
     fn handle_request_reports_cache_errors() {
         let cache = CacheBuilder::new().build();
-        let (mut conn, _out_rx, _hub, stats) = test_conn(&cache);
-        let reply = handle_request(
-            &mut conn,
+        let (mut conn, _out_rx, _hub) = test_conn(&cache);
+        let reply = conn.handle(
+            &cache,
             Request::Execute {
                 command: "select * from Missing".into(),
             },
-            &stats,
         );
         assert!(matches!(reply, CacheReply::Error { .. }));
-        let reply = handle_request(&mut conn, Request::UnregisterAutomaton { id: 999 }, &stats);
+        let reply = conn.handle(&cache, Request::UnregisterAutomaton { id: 999 });
         assert!(matches!(reply, CacheReply::Error { .. }));
-        let reply = handle_request(&mut conn, Request::Ping, &stats);
+        let reply = conn.handle(&cache, Request::Ping);
         assert_eq!(reply, CacheReply::Pong);
-        let reply = handle_request(
-            &mut conn,
+        let reply = conn.handle(
+            &cache,
             Request::InsertBatch {
                 table: "Missing".into(),
                 rows: vec![vec![Scalar::Int(1)]],
                 upsert: false,
             },
-            &stats,
         );
         assert!(matches!(reply, CacheReply::Error { .. }));
     }
@@ -792,15 +851,14 @@ mod tests {
     fn batched_inserts_execute_against_the_cache() {
         let cache = CacheBuilder::new().build();
         cache.execute("create table T (v integer)").unwrap();
-        let (mut conn, _out_rx, _hub, stats) = test_conn(&cache);
-        let reply = handle_request(
-            &mut conn,
+        let (mut conn, _out_rx, _hub) = test_conn(&cache);
+        let reply = conn.handle(
+            &cache,
             Request::InsertBatch {
                 table: "T".into(),
                 rows: (0..10).map(|i| vec![Scalar::Int(i)]).collect(),
                 upsert: false,
             },
-            &stats,
         );
         match reply {
             CacheReply::InsertedBatch { tstamps } => assert_eq!(tstamps.len(), 10),
@@ -826,8 +884,8 @@ mod tests {
                 .unwrap();
         }
         assert!(cache.quiesce(std::time::Duration::from_secs(5)));
-        let (mut conn, _out_rx, _hub, stats) = test_conn(&cache);
-        match handle_request(&mut conn, Request::ServerStats, &stats) {
+        let (mut conn, _out_rx, _hub) = test_conn(&cache);
+        match conn.handle(&cache, Request::ServerStats) {
             CacheReply::Stats { stats } => {
                 assert_eq!(stats.automata_active, 1);
                 assert_eq!(stats.events_delivered, 1);
@@ -853,7 +911,10 @@ mod tests {
             .unwrap();
         // Adding the route flushes the parked notification.
         let (out_tx, out_rx) = unbounded();
-        hub.control_tx.send(HubMsg::AddRoute(7, out_tx)).unwrap();
+        assert!(hub
+            .control_tx
+            .send(HubMsg::AddRoute(7, Box::new(out_tx)))
+            .is_ok());
         let msg = out_rx
             .recv_timeout(std::time::Duration::from_secs(5))
             .unwrap();

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# RPC throughput snapshot: the event-driven reactor serves the same
+# small windowed select to 1/16/256/1024 concurrent connections, serial
+# (one request per round trip) vs pipelined (32 correlated requests in
+# flight per connection). Writes BENCH_rpc.json at the repository root
+# and enforces one acceptance floor:
+#
+#   rpc_speedup_16 >= 10    sixteen pipelined connections must clear at
+#                           least 10x the ~550 reads/sec serial
+#                           windowed-select ceiling recorded by the
+#                           replication snapshot — the per-connection
+#                           read ceiling is actually broken, not merely
+#                           refactored around
+#
+# A missing or unparsable metric is a hard failure: a bench that did not
+# produce its number must never count as a pass.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> snapshot: BENCH_rpc.json"
+cargo run --release -p cep_bench --bin bench_rpc
+
+speedup=$(grep -o '"rpc_speedup_16": [0-9.]*' BENCH_rpc.json | tail -1 | cut -d' ' -f2)
+if [ -z "${speedup}" ]; then
+    echo "FAIL: rpc_speedup_16 missing from BENCH_rpc.json" >&2
+    exit 1
+fi
+echo "pipelined/baseline speedup at 16 connections: ${speedup}x (floor: 10)"
+awk "BEGIN { exit !(${speedup} >= 10.0) }" || {
+    echo "FAIL: rpc speedup ${speedup}x below the 10x floor (pipelining is not paying for itself)" >&2
+    exit 1
+}
+
+echo "rpc snapshot complete"

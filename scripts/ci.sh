@@ -19,7 +19,9 @@
 #   bench   the benchmark floors: query-window >= 10x
 #           (BENCH_query.json), fan-out >= 10x (BENCH_fanout.json),
 #           WAL group commit >= 5x (BENCH_wal.json), replication
-#           drained + follower reads within 2x (BENCH_repl.json)
+#           drained + follower reads within 2x (BENCH_repl.json),
+#           RPC pipelining >= 10x the serial read ceiling at 16
+#           connections (BENCH_rpc.json)
 #
 # Every floor is parsed hard: a missing or unparsable metric fails the
 # gate — a bench that did not produce its number never counts as a pass.
@@ -115,6 +117,8 @@ stage_bench() {
     sh scripts/bench_wal.sh
     echo "--> bench floor: replication lag + follower reads"
     sh scripts/bench_repl.sh
+    echo "--> bench floor: RPC reactor pipelining"
+    sh scripts/bench_rpc.sh
 }
 
 # ---------------------------------------------------------------------
