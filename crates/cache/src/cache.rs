@@ -12,10 +12,13 @@ use parking_lot::{Mutex, RwLock};
 use gapl::event::{AttrType, Scalar, Schema, Timestamp, Tuple};
 
 use crate::clock::{Clock, ManualClock, SystemClock};
-use crate::config::{DEFAULT_AUTOMATON_WORKERS, DEFAULT_CHECKPOINT_EVERY, DEFAULT_SHARD_COUNT};
+use crate::config::{
+    DEFAULT_AUTOMATON_WORKERS, DEFAULT_CHECKPOINT_EVERY, DEFAULT_SHARD_COUNT, DEFAULT_TOKEN_HISTORY,
+};
 use crate::dispatch::{DispatchIndex, TopicDispatch};
 use crate::error::{Error, Result};
 use crate::plan::QueryPlan;
+use crate::protect::{ClientPolicy, IdemToken, TokenOutcome, TokenTable};
 use crate::query::{Query, ResultSet};
 use crate::repl::follower::FollowerHandle;
 use crate::repl::hub::ReplHub;
@@ -132,6 +135,8 @@ pub struct CacheBuilder {
     checkpoint_every: u64,
     replicate_to: Option<String>,
     follow: Option<String>,
+    client_policy: ClientPolicy,
+    token_history: usize,
 }
 
 impl Default for CacheBuilder {
@@ -159,7 +164,28 @@ impl CacheBuilder {
             checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
             replicate_to: None,
             follow: None,
+            client_policy: ClientPolicy::default(),
+            token_history: DEFAULT_TOKEN_HISTORY,
         }
+    }
+
+    /// Per-client admission policy enforced by an event-driven RPC
+    /// server (`psrpc::reactor::ReactorServer`) fronting this cache:
+    /// request/byte rate limits, in-flight caps and slow-consumer
+    /// eviction. The default [`ClientPolicy`] disables every limit.
+    /// Stored on the cache (like [`CacheBuilder::rpc_workers`]) so
+    /// deployments tune one builder, not every transport call site.
+    pub fn client_policy(mut self, policy: ClientPolicy) -> Self {
+        self.client_policy = policy;
+        self
+    }
+
+    /// Outcomes remembered per client in the idempotency-token table
+    /// (default [`DEFAULT_TOKEN_HISTORY`]); the oldest entries are
+    /// evicted FIFO beyond this. Clamped to at least 1.
+    pub fn token_history(mut self, entries: usize) -> Self {
+        self.token_history = entries.max(1);
+        self
     }
 
     /// Serve this cache's write-ahead-log stream to follower replicas at
@@ -379,6 +405,9 @@ impl CacheBuilder {
             }),
             repl_hub,
             repl_applied_lsn: AtomicU64::new(repl_applied),
+            tokens: Mutex::new(TokenTable::new(self.token_history)),
+            token_history: self.token_history,
+            client_policy: self.client_policy,
         });
         if let (Some(wal), Some(hub)) = (&inner.wal, &inner.repl_hub) {
             let hub = Arc::clone(hub);
@@ -630,6 +659,14 @@ pub(crate) struct CacheInner {
     /// Highest LSN this replica has applied from its stream (followers;
     /// a durable follower starts it at its recovered watermark).
     repl_applied_lsn: AtomicU64,
+    /// The bounded idempotency-token table (see [`crate::protect`]).
+    tokens: Mutex<TokenTable>,
+    /// Per-client capacity of `tokens` (needed to rebuild it at
+    /// follower bootstrap).
+    token_history: usize,
+    /// Per-client admission policy an RPC reactor fronting this cache
+    /// enforces (see [`CacheBuilder::client_policy`]).
+    client_policy: ClientPolicy,
 }
 
 impl std::fmt::Debug for CacheInner {
@@ -660,6 +697,25 @@ impl Cache {
     /// [`CacheBuilder::rpc_workers`]).
     pub fn rpc_workers(&self) -> usize {
         self.inner.rpc_workers
+    }
+
+    /// The per-client admission policy an RPC reactor fronting this
+    /// cache enforces (see [`CacheBuilder::client_policy`]).
+    pub fn client_policy(&self) -> ClientPolicy {
+        self.inner.client_policy.clone()
+    }
+
+    /// The remembered outcome of a token-stamped mutation, if the
+    /// bounded token table still holds it — the dedup lookup the RPC
+    /// server performs before executing a tokened request.
+    pub fn token_lookup(&self, token: IdemToken) -> Option<TokenOutcome> {
+        self.inner.tokens.lock().lookup(token)
+    }
+
+    /// Total outcomes currently remembered across all clients (test and
+    /// observability hook for the bounded token table).
+    pub fn token_count(&self) -> usize {
+        self.inner.tokens.lock().len()
     }
 
     /// Open a durable cache from `dir` with default settings, replaying
@@ -898,6 +954,24 @@ impl Cache {
     ///
     /// Returns parse errors, schema errors, and unknown-table errors.
     pub fn execute(&self, command: &str) -> Result<Response> {
+        self.execute_with_token(command, None)
+    }
+
+    /// [`Cache::execute`] for a request stamped with an idempotency
+    /// token: a mutating command (create / insert) that succeeds records
+    /// its outcome in the bounded token table, so a retry carrying the
+    /// same token deduplicates via [`Cache::token_lookup`] instead of
+    /// applying twice. `select`s ignore the token (re-running a read is
+    /// harmless), and failed commands record nothing — re-executing them
+    /// is safe and gives the retry a chance to succeed.
+    ///
+    /// The caller (the RPC server) performs the dedup lookup *before*
+    /// calling this; the cache only records.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cache::execute`].
+    pub fn execute_with_token(&self, command: &str, token: Option<IdemToken>) -> Result<Response> {
         // Fast path: a select text seen before runs its cached plan. Only
         // select-shaped texts consult the cache — inserts and DDL on the
         // write path must not pay a guaranteed-miss lookup (or skew the
@@ -916,11 +990,12 @@ impl Cache {
             } => {
                 let schema =
                     Schema::new(name.clone(), columns.into_iter().map(|c| (c.name, c.ty)))?;
-                self.inner.create_table(
+                self.inner.create_table_tokened(
                     &name,
                     kind,
                     Arc::new(schema),
                     capacity.unwrap_or(self.inner.default_stream_capacity),
+                    token,
                 )?;
                 Ok(Response::Created)
             }
@@ -929,9 +1004,9 @@ impl Cache {
                 values,
                 on_duplicate_update,
             } => {
-                let outcome = self
-                    .inner
-                    .insert_values(&table, values, on_duplicate_update)?;
+                let outcome =
+                    self.inner
+                        .insert_values_tokened(&table, values, on_duplicate_update, token)?;
                 Ok(Response::Inserted {
                     replaced: outcome.replaced,
                     tstamp: outcome.stored.tstamp(),
@@ -942,9 +1017,12 @@ impl Cache {
                 rows,
                 on_duplicate_update,
             } => {
-                let tstamps = self
-                    .inner
-                    .insert_batch_values(&table, rows, on_duplicate_update)?;
+                let tstamps = self.inner.insert_batch_values_tokened(
+                    &table,
+                    rows,
+                    on_duplicate_update,
+                    token,
+                )?;
                 Ok(Response::InsertedBatch { tstamps })
             }
             Command::Select(query) => {
@@ -1032,6 +1110,47 @@ impl Cache {
     /// See [`Cache::insert_batch`].
     pub fn upsert_batch(&self, table: &str, rows: Vec<Vec<Scalar>>) -> Result<Vec<Timestamp>> {
         self.inner.insert_batch_values(table, rows, true)
+    }
+
+    /// [`Cache::insert`]/[`Cache::upsert`] for a token-stamped request:
+    /// on success the outcome `(replaced, tstamp)` is remembered in the
+    /// bounded token table (and, for a durable table, embedded in the
+    /// insert's own write-ahead-log record, making retry dedup survive
+    /// crash recovery and failover). The caller deduplicates via
+    /// [`Cache::token_lookup`] before calling this.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cache::insert`].
+    pub fn insert_with_token(
+        &self,
+        table: &str,
+        values: Vec<Scalar>,
+        upsert: bool,
+        token: Option<IdemToken>,
+    ) -> Result<(bool, Timestamp)> {
+        self.inner
+            .insert_values_tokened(table, values, upsert, token)
+            .map(|o| (o.replaced, o.stored.tstamp()))
+    }
+
+    /// [`Cache::insert_batch`]/[`Cache::upsert_batch`] for a
+    /// token-stamped request; see [`Cache::insert_with_token`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Cache::insert_batch`]. A batch that fails mid-way records
+    /// no token: its applied prefix stays at-least-once — the documented
+    /// limitation of prefix-wise batch semantics.
+    pub fn insert_batch_with_token(
+        &self,
+        table: &str,
+        rows: Vec<Vec<Scalar>>,
+        upsert: bool,
+        token: Option<IdemToken>,
+    ) -> Result<Vec<Timestamp>> {
+        self.inner
+            .insert_batch_values_tokened(table, rows, upsert, token)
     }
 
     /// Run an ad hoc query.
@@ -1474,6 +1593,17 @@ impl CacheInner {
         schema: Arc<Schema>,
         capacity: usize,
     ) -> Result<()> {
+        self.create_table_tokened(name, kind, schema, capacity, None)
+    }
+
+    pub(crate) fn create_table_tokened(
+        &self,
+        name: &str,
+        kind: TableKind,
+        schema: Arc<Schema>,
+        capacity: usize,
+        token: Option<IdemToken>,
+    ) -> Result<()> {
         self.ensure_writable("create table")?;
         let columns: Vec<(String, AttrType)> = schema
             .attributes()
@@ -1501,7 +1631,8 @@ impl CacheInner {
                 let _ckpt = self.checkpoint_lock.lock();
                 let lsn = wal.next_lsn();
                 let framed = wal::encode_create(lsn, name, kind, capacity, &columns);
-                let ticket = wal.append(self.tables.shard_index(name), &framed)?;
+                let shard = self.tables.shard_index(name);
+                let ticket = wal.append(shard, &framed)?;
                 // The create record is the table's first watermark entry
                 // (for streams, the only one): snapshots must claim the
                 // DDL's LSN so replication bootstraps know a checkpoint
@@ -1509,10 +1640,33 @@ impl CacheInner {
                 let mut table = table;
                 table.note_wal(lsn);
                 self.tables.create(name, table)?;
-                Some(ticket)
+                match token {
+                    Some(t) => {
+                        // The token record goes to the same shard right
+                        // behind the create, still under the checkpoint
+                        // lock; waiting on the later ticket implies the
+                        // create is durable too.
+                        let token_lsn = wal.next_lsn();
+                        let framed = wal::encode_token(
+                            token_lsn,
+                            t.client_id,
+                            t.seq,
+                            &TokenOutcome::Created,
+                        );
+                        let token_ticket = wal.append(shard, &framed)?;
+                        self.tokens
+                            .lock()
+                            .record(t, TokenOutcome::Created, token_lsn);
+                        Some(token_ticket)
+                    }
+                    None => Some(ticket),
+                }
             }
             None => {
                 self.tables.create(name, table)?;
+                if let Some(t) = token {
+                    self.tokens.lock().record(t, TokenOutcome::Created, 0);
+                }
                 None
             }
         };
@@ -1522,15 +1676,20 @@ impl CacheInner {
 
     /// Append one insert/upsert record for `rows` (already applied to the
     /// locked table behind `guard`) to the log. Returns the commit ticket
-    /// to await once the table lock is released, or `None` when the write
-    /// needs no logging (durability off, or an ephemeral stream).
+    /// to await once the table lock is released (paired with the record's
+    /// LSN), or `None` when the write needs no logging (durability off,
+    /// or an ephemeral stream). A token, when present, is embedded in the
+    /// record itself ([`wal::ReplayOp::Insert`]'s `token` field): one
+    /// frame, one checksum — the mutation and its token are durable
+    /// atomically.
     fn wal_log_insert(
         &self,
         table_name: &str,
         guard: &mut Table,
         rows: &[Tuple],
         upsert: bool,
-    ) -> Result<Option<WalTicket>> {
+        token: Option<(u64, u64, bool)>,
+    ) -> Result<Option<(WalTicket, u64)>> {
         let Some(wal) = &self.wal else {
             return Ok(None);
         };
@@ -1539,10 +1698,10 @@ impl CacheInner {
         }
         let lsn = wal.next_lsn();
         let values: Vec<&[Scalar]> = rows.iter().map(Tuple::values).collect();
-        let framed = wal::encode_insert(lsn, table_name, upsert, rows[0].tstamp(), &values);
+        let framed = wal::encode_insert(lsn, table_name, upsert, rows[0].tstamp(), &values, token);
         let ticket = wal.append(self.tables.shard_index(table_name), &framed)?;
         guard.note_wal(lsn);
-        Ok(Some(ticket))
+        Ok(Some((ticket, lsn)))
     }
 
     /// Wait for a commit ticket issued by [`CacheInner::wal_log_insert`]
@@ -1626,7 +1785,20 @@ impl CacheInner {
                 rows,
             });
         }
-        wal.write_snapshot(&tables)?;
+        // The token table is snapshotted *after* every table: a token is
+        // recorded under its table's lock, so any insert a table snapshot
+        // observed has its token here too (the reverse overlap — a token
+        // whose insert replays from the fresh log — is harmless, since
+        // re-recording is an idempotent overwrite).
+        let (tokens, token_watermark) = {
+            let t = self.tokens.lock();
+            (t.entries(), t.high_lsn())
+        };
+        wal.write_snapshot(&wal::Snapshot {
+            tables,
+            tokens,
+            token_watermark,
+        })?;
         // Phase 3: the snapshot is durable; the rotated logs are dead.
         wal.rotate_end()
     }
@@ -1637,7 +1809,14 @@ impl CacheInner {
     /// a replayed tuple — replay happens before the cache is handed to
     /// the application, and this path never touches the dispatch index).
     fn apply_recovery(&self, recovery: Recovery) -> Result<()> {
-        for snap in recovery.snapshot {
+        {
+            let mut tokens = self.tokens.lock();
+            for (client_id, seq, outcome) in recovery.snapshot.tokens {
+                tokens.record(IdemToken { client_id, seq }, outcome, 0);
+            }
+            tokens.set_high_lsn(recovery.snapshot.token_watermark);
+        }
+        for snap in recovery.snapshot.tables {
             let schema = Arc::new(Schema::new(snap.name.clone(), snap.columns)?);
             if !self.tables.contains(&snap.name) {
                 let table = match snap.kind {
@@ -1678,19 +1857,47 @@ impl CacheInner {
                     upsert,
                     tstamp,
                     rows,
+                    token,
                 } => {
                     let t = self.tables.get(&table)?;
                     let mut guard = t.lock();
+                    let nrows = rows.len();
+                    let mut replaced = false;
                     for values in rows {
-                        guard.insert(values, tstamp, upsert)?;
+                        replaced = guard.insert(values, tstamp, upsert)?.replaced;
                     }
                     guard.note_wal(lsn);
+                    if let Some((client_id, seq, batch)) = token {
+                        // Rebuild the remembered outcome exactly as the
+                        // original request reported it, so a client
+                        // retrying across the crash gets the same reply.
+                        let outcome = if batch {
+                            TokenOutcome::InsertedBatch {
+                                tstamps: vec![tstamp; nrows],
+                            }
+                        } else {
+                            TokenOutcome::Inserted { replaced, tstamp }
+                        };
+                        self.tokens
+                            .lock()
+                            .record(IdemToken { client_id, seq }, outcome, lsn);
+                    }
                 }
                 ReplayOp::Remove { lsn, table, key } => {
                     let t = self.tables.get(&table)?;
                     let mut guard = t.lock();
                     guard.remove(&key)?;
                     guard.note_wal(lsn);
+                }
+                ReplayOp::Token {
+                    lsn,
+                    client_id,
+                    seq,
+                    outcome,
+                } => {
+                    self.tokens
+                        .lock()
+                        .record(IdemToken { client_id, seq }, outcome, lsn);
                 }
             }
         }
@@ -1725,6 +1932,16 @@ impl CacheInner {
         values: Vec<Scalar>,
         on_duplicate_update: bool,
     ) -> Result<crate::table::InsertOutcome> {
+        self.insert_values_tokened(table_name, values, on_duplicate_update, None)
+    }
+
+    pub(crate) fn insert_values_tokened(
+        &self,
+        table_name: &str,
+        values: Vec<Scalar>,
+        on_duplicate_update: bool,
+        token: Option<IdemToken>,
+    ) -> Result<crate::table::InsertOutcome> {
         self.ensure_writable("insert")?;
         let table = self.tables.get(table_name)?;
         let mut guard = table.lock();
@@ -1738,10 +1955,26 @@ impl CacheInner {
             &mut guard,
             std::slice::from_ref(&outcome.stored),
             on_duplicate_update,
+            token.map(|t| (t.client_id, t.seq, false)),
         )?;
+        if let Some(t) = token {
+            // Recorded under the table lock: once the table snapshot of a
+            // checkpoint has observed this insert, the (later) token
+            // snapshot is guaranteed to hold its token too. For an
+            // unlogged (in-memory) table the token survives reconnects
+            // but not crashes — matching the table's own semantics.
+            self.tokens.lock().record(
+                t,
+                TokenOutcome::Inserted {
+                    replaced: outcome.replaced,
+                    tstamp: outcome.stored.tstamp(),
+                },
+                ticket.map_or(0, |(_, lsn)| lsn),
+            );
+        }
         self.publish_locked(table_name, std::slice::from_ref(&outcome.stored));
         drop(guard);
-        self.wal_commit(ticket)?;
+        self.wal_commit(ticket.map(|(t, _)| t))?;
         Ok(outcome)
     }
 
@@ -1763,6 +1996,16 @@ impl CacheInner {
         table_name: &str,
         rows: Vec<Vec<Scalar>>,
         on_duplicate_update: bool,
+    ) -> Result<Vec<Timestamp>> {
+        self.insert_batch_values_tokened(table_name, rows, on_duplicate_update, None)
+    }
+
+    pub(crate) fn insert_batch_values_tokened(
+        &self,
+        table_name: &str,
+        rows: Vec<Vec<Scalar>>,
+        on_duplicate_update: bool,
+        token: Option<IdemToken>,
     ) -> Result<Vec<Timestamp>> {
         self.ensure_writable("insert")?;
         let table = self.tables.get(table_name)?;
@@ -1800,12 +2043,32 @@ impl CacheInner {
                 }
             }
         }
-        let ticket = self.wal_log_insert(table_name, &mut guard, &stored, on_duplicate_update)?;
+        // A batch that failed mid-way records no token: its applied
+        // prefix stays at-least-once (documented limitation), and
+        // embedding a token would make a retry of the *whole* batch
+        // deduplicate against a partial application.
+        let record_token = if result.is_ok() { token } else { None };
+        let ticket = self.wal_log_insert(
+            table_name,
+            &mut guard,
+            &stored,
+            on_duplicate_update,
+            record_token.map(|t| (t.client_id, t.seq, true)),
+        )?;
+        if let Some(t) = record_token {
+            self.tokens.lock().record(
+                t,
+                TokenOutcome::InsertedBatch {
+                    tstamps: tstamps.clone(),
+                },
+                ticket.map_or(0, |(_, lsn)| lsn),
+            );
+        }
         if watched {
             self.publish_locked(table_name, &stored);
         }
         drop(guard);
-        self.wal_commit(ticket)?;
+        self.wal_commit(ticket.map(|(t, _)| t))?;
         result?;
         Ok(tstamps)
     }
@@ -1993,13 +2256,13 @@ impl CacheInner {
     /// re-seeded. Afterwards the replica is complete up to the
     /// snapshot's high watermark — exactly it, in both directions.
     pub(crate) fn repl_apply_snapshot(&self, bytes: &[u8]) -> Result<()> {
-        let tables = wal::decode_snapshot(bytes)?;
+        let snapshot = wal::decode_snapshot(bytes)?;
         for name in self.tables.names() {
-            if !tables.iter().any(|t| t.name == name) {
+            if !snapshot.tables.iter().any(|t| t.name == name) {
                 self.tables.remove(&name);
             }
         }
-        for snap in &tables {
+        for snap in &snapshot.tables {
             let schema = Arc::new(Schema::new(snap.name.clone(), snap.columns.clone())?);
             // Populate the replacement fully *before* it becomes
             // visible: concurrent follower reads must see the old state
@@ -2020,9 +2283,26 @@ impl CacheInner {
                 self.tables.create(&snap.name, fresh)?;
             }
         }
-        let high = wal::snapshot_high_watermark(&tables);
+        // The token table is reset wholesale too: a divergence reset
+        // discards local token history the same way it discards rows.
+        {
+            let mut tokens = self.tokens.lock();
+            *tokens = TokenTable::new(self.token_history);
+            for (client_id, seq, outcome) in &snapshot.tokens {
+                tokens.record(
+                    IdemToken {
+                        client_id: *client_id,
+                        seq: *seq,
+                    },
+                    outcome.clone(),
+                    0,
+                );
+            }
+            tokens.set_high_lsn(snapshot.token_watermark);
+        }
+        let high = wal::snapshot_high_watermark(&snapshot);
         if let Some(wal) = &self.wal {
-            wal.reset_to_snapshot(&tables)?;
+            wal.reset_to_snapshot(&snapshot)?;
         }
         if let Some(hub) = &self.repl_hub {
             hub.reset_commit(high);
@@ -2118,16 +2398,43 @@ impl CacheInner {
                 upsert,
                 tstamp,
                 rows,
+                token,
             } => {
                 let t = self.tables.get(table)?;
                 let mut guard = t.lock();
                 if guard.wal_watermark() >= *lsn {
+                    // Already reflected by a snapshot bootstrap — which
+                    // carried the token table too.
                     return Ok(());
                 }
+                let mut replaced = false;
                 for values in rows {
-                    guard.insert(values.clone(), *tstamp, *upsert)?;
+                    replaced = guard.insert(values.clone(), *tstamp, *upsert)?.replaced;
                 }
                 guard.note_wal(*lsn);
+                if let Some((client_id, seq, batch)) = token {
+                    // The follower mirrors the primary's token table so a
+                    // client retrying across `promote()` failover still
+                    // deduplicates.
+                    let outcome = if *batch {
+                        TokenOutcome::InsertedBatch {
+                            tstamps: vec![*tstamp; rows.len()],
+                        }
+                    } else {
+                        TokenOutcome::Inserted {
+                            replaced,
+                            tstamp: *tstamp,
+                        }
+                    };
+                    self.tokens.lock().record(
+                        IdemToken {
+                            client_id: *client_id,
+                            seq: *seq,
+                        },
+                        outcome,
+                        *lsn,
+                    );
+                }
                 Ok(())
             }
             ReplayOp::Remove { lsn, table, key } => {
@@ -2138,6 +2445,24 @@ impl CacheInner {
                 }
                 guard.remove(key)?;
                 guard.note_wal(*lsn);
+                Ok(())
+            }
+            ReplayOp::Token {
+                lsn,
+                client_id,
+                seq,
+                outcome,
+            } => {
+                // Recording is an idempotent overwrite, so re-delivery
+                // needs no watermark check.
+                self.tokens.lock().record(
+                    IdemToken {
+                        client_id: *client_id,
+                        seq: *seq,
+                    },
+                    outcome.clone(),
+                    *lsn,
+                );
                 Ok(())
             }
         }

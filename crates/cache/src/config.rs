@@ -78,6 +78,17 @@ pub const DEFAULT_RPC_MAX_PIPELINE: usize = 128;
 /// (0 disables automatic checkpoints entirely).
 pub const DEFAULT_CHECKPOINT_EVERY: u64 = 10_000;
 
+/// Default per-client capacity of the idempotency-token table (see
+/// [`crate::protect`]).
+///
+/// A thousand remembered outcomes cover far more retries than any
+/// reconnecting client keeps in flight (the client retries one logical
+/// request at a time, and pipelines are bounded by
+/// [`DEFAULT_RPC_MAX_PIPELINE`]) while costing a few tens of kilobytes
+/// per client at worst; tune via
+/// [`CacheBuilder::token_history`](crate::CacheBuilder::token_history).
+pub const DEFAULT_TOKEN_HISTORY: usize = 1024;
+
 /// The outcome of loading a configuration.
 #[derive(Debug)]
 pub struct ConfigReport {

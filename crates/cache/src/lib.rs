@@ -55,6 +55,7 @@ pub mod config;
 pub(crate) mod dispatch;
 pub mod error;
 pub mod plan;
+pub mod protect;
 pub mod query;
 pub mod repl;
 pub mod runtime;
@@ -67,9 +68,11 @@ pub use cache::{AutomatonTelemetry, Cache, CacheBuilder, DispatchStats, Response
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use config::{
     ConfigReport, DEFAULT_AUTOMATON_WORKERS, DEFAULT_CHECKPOINT_EVERY, DEFAULT_SHARD_COUNT,
+    DEFAULT_TOKEN_HISTORY,
 };
 pub use error::{Error, Result};
 pub use plan::{ColRef, QueryPlan};
+pub use protect::{ClientPolicy, IdemToken, TokenOutcome};
 pub use query::{Aggregate, Comparison, Predicate, Query, ResultSet, Row};
 pub use repl::{ReplRole, ReplStats};
 pub use runtime::{AutomatonId, Notification};

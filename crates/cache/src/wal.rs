@@ -64,6 +64,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use gapl::event::{AttrType, Scalar};
 
 use crate::error::{Error, Result};
+use crate::protect::{decode_outcome, encode_outcome, TokenOutcome};
 use crate::table::TableKind;
 use crate::wire::{WireReader, WireWriter};
 
@@ -154,6 +155,21 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 const OP_CREATE: u8 = 0;
 const OP_INSERT: u8 = 1;
 const OP_REMOVE: u8 = 2;
+const OP_TOKEN: u8 = 3;
+/// An insert carrying its idempotency token *inside* the record: one
+/// frame, one checksum, so the mutation and its token are durable — or
+/// torn away — strictly together. A separate token frame could be
+/// split from its insert by a crash between two fsync waves, breaking
+/// the exactly-once contract; embedding closes that window for the
+/// insert hot path. (`OP_TOKEN` remains for outcomes with no row
+/// record of their own, i.e. `create table`.)
+const OP_INSERT_TOKENED: u8 = 4;
+
+/// Pseudo table name token records report from [`ReplayOp::table`]. The
+/// leading control byte cannot appear in a real table name, so token
+/// records never collide with a table's snapshot watermark; they are
+/// filtered against the snapshot's dedicated token watermark instead.
+pub(crate) const TOKEN_TABLE_NAME: &str = "\u{1}tokens";
 
 /// One decoded log record, ready to re-apply at recovery.
 #[derive(Debug, Clone, PartialEq)]
@@ -183,6 +199,13 @@ pub(crate) enum ReplayOp {
         tstamp: u64,
         /// Rows in application order.
         rows: Vec<Vec<Scalar>>,
+        /// The idempotency token the originating request was stamped
+        /// with, when there was one: `(client_id, token_seq, batch)`.
+        /// `batch` records whether the outcome re-materialises as a
+        /// batch reply (the two reply shapes differ on the wire even
+        /// for one row). Embedded in the insert's own record so token
+        /// and mutation are durable atomically ([`OP_INSERT_TOKENED`]).
+        token: Option<(u64, u64, bool)>,
     },
     /// A keyed removal from a persistent table.
     Remove {
@@ -193,6 +216,19 @@ pub(crate) enum ReplayOp {
         /// Primary key of the removed row.
         key: String,
     },
+    /// An idempotency-token outcome, logged in the same critical section
+    /// (and to the same shard) as the mutation it covers so the two are
+    /// durable — or lost — together. Re-applying is idempotent.
+    Token {
+        /// Log sequence number of the record.
+        lsn: u64,
+        /// The issuing client's identity.
+        client_id: u64,
+        /// The client's token counter for the mutation.
+        seq: u64,
+        /// The remembered outcome, re-materialised for retries.
+        outcome: TokenOutcome,
+    },
 }
 
 impl ReplayOp {
@@ -200,7 +236,8 @@ impl ReplayOp {
         match self {
             ReplayOp::CreateTable { lsn, .. }
             | ReplayOp::Insert { lsn, .. }
-            | ReplayOp::Remove { lsn, .. } => *lsn,
+            | ReplayOp::Remove { lsn, .. }
+            | ReplayOp::Token { lsn, .. } => *lsn,
         }
     }
 
@@ -208,6 +245,7 @@ impl ReplayOp {
         match self {
             ReplayOp::CreateTable { name, .. } => name,
             ReplayOp::Insert { table, .. } | ReplayOp::Remove { table, .. } => table,
+            ReplayOp::Token { .. } => TOKEN_TABLE_NAME,
         }
     }
 }
@@ -291,10 +329,19 @@ pub(crate) fn encode_insert(
     upsert: bool,
     tstamp: u64,
     rows: &[&[Scalar]],
+    token: Option<(u64, u64, bool)>,
 ) -> Vec<u8> {
     let mut w = WireWriter::new();
     w.put_u64(lsn);
-    w.put_u8(OP_INSERT);
+    match token {
+        None => w.put_u8(OP_INSERT),
+        Some((client_id, seq, batch)) => {
+            w.put_u8(OP_INSERT_TOKENED);
+            w.put_u64(client_id);
+            w.put_u64(seq);
+            w.put_bool(batch);
+        }
+    }
     w.put_str(table);
     w.put_bool(upsert);
     w.put_u64(tstamp);
@@ -311,6 +358,16 @@ pub(crate) fn encode_remove(lsn: u64, table: &str, key: &str) -> Vec<u8> {
     w.put_u8(OP_REMOVE);
     w.put_str(table);
     w.put_str(key);
+    frame(&w.finish())
+}
+
+pub(crate) fn encode_token(lsn: u64, client_id: u64, seq: u64, outcome: &TokenOutcome) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u64(lsn);
+    w.put_u8(OP_TOKEN);
+    w.put_u64(client_id);
+    w.put_u64(seq);
+    encode_outcome(&mut w, outcome);
     frame(&w.finish())
 }
 
@@ -347,11 +404,29 @@ pub(crate) fn decode_record(payload: &[u8]) -> Result<ReplayOp> {
             upsert: r.get_bool()?,
             tstamp: r.get_u64()?,
             rows: r.get_rows()?,
+            token: None,
         }),
+        OP_INSERT_TOKENED => {
+            let token = Some((r.get_u64()?, r.get_u64()?, r.get_bool()?));
+            Ok(ReplayOp::Insert {
+                lsn,
+                table: r.get_str()?,
+                upsert: r.get_bool()?,
+                tstamp: r.get_u64()?,
+                rows: r.get_rows()?,
+                token,
+            })
+        }
         OP_REMOVE => Ok(ReplayOp::Remove {
             lsn,
             table: r.get_str()?,
             key: r.get_str()?,
+        }),
+        OP_TOKEN => Ok(ReplayOp::Token {
+            lsn,
+            client_id: r.get_u64()?,
+            seq: r.get_u64()?,
+            outcome: decode_outcome(&mut r)?,
         }),
         other => Err(Error::protocol(format!("unknown log op byte {other}"))),
     }
@@ -496,11 +571,29 @@ pub(crate) struct SnapshotTable {
     pub rows: Vec<(u64, Vec<Scalar>)>,
 }
 
-fn encode_snapshot(tables: &[SnapshotTable]) -> Result<Vec<u8>> {
+/// A full checkpoint image: every table plus the idempotency-token
+/// table. The token watermark is written **before** the token entries so
+/// [`scan_snapshot_high_watermark`]'s header-only walk can reach it
+/// without stepping over the entries.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct Snapshot {
+    /// Tables in snapshot order.
+    pub tables: Vec<SnapshotTable>,
+    /// Idempotency-token outcomes as `(client_id, token_seq, outcome)`,
+    /// in per-client FIFO (record) order.
+    pub tokens: Vec<(u64, u64, TokenOutcome)>,
+    /// Highest LSN at which a token was recorded when the snapshot was
+    /// taken. Participates in the snapshot's high watermark so a token
+    /// frame with the globally newest LSN never loses LSN ground when a
+    /// checkpoint truncates the logs.
+    pub token_watermark: u64,
+}
+
+fn encode_snapshot(snapshot: &Snapshot) -> Result<Vec<u8>> {
     let mut w = WireWriter::new();
-    w.put_u8(1); // version
-    w.put_u32(tables.len() as u32);
-    for t in tables {
+    w.put_u8(2); // version: 2 = v1 table section + trailing token section
+    w.put_u32(snapshot.tables.len() as u32);
+    for t in &snapshot.tables {
         w.put_str(&t.name);
         w.put_u8(kind_to_byte(t.kind));
         w.put_u64(t.capacity as u64);
@@ -516,6 +609,13 @@ fn encode_snapshot(tables: &[SnapshotTable]) -> Result<Vec<u8>> {
             w.put_scalars(values);
         }
     }
+    w.put_u64(snapshot.token_watermark);
+    w.put_u32(snapshot.tokens.len() as u32);
+    for (client_id, seq, outcome) in &snapshot.tokens {
+        w.put_u64(*client_id);
+        w.put_u64(*seq);
+        encode_outcome(&mut w, outcome);
+    }
     let payload = w.finish();
     if u32::try_from(payload.len()).is_err() {
         // Refusing the checkpoint beats writing a frame whose u32 length
@@ -530,11 +630,18 @@ fn encode_snapshot(tables: &[SnapshotTable]) -> Result<Vec<u8>> {
 }
 
 /// Highest LSN covered by a snapshot: the max of its per-table
-/// watermarks. A replication subscriber whose `from_lsn` is below this
-/// cannot be served from the logs alone (the checkpoint that wrote the
-/// snapshot truncated them) and bootstraps from the snapshot instead.
-pub(crate) fn snapshot_high_watermark(tables: &[SnapshotTable]) -> u64 {
-    tables.iter().map(|t| t.watermark).max().unwrap_or(0)
+/// watermarks and the token watermark. A replication subscriber whose
+/// `from_lsn` is below this cannot be served from the logs alone (the
+/// checkpoint that wrote the snapshot truncated them) and bootstraps
+/// from the snapshot instead.
+pub(crate) fn snapshot_high_watermark(snapshot: &Snapshot) -> u64 {
+    snapshot
+        .tables
+        .iter()
+        .map(|t| t.watermark)
+        .max()
+        .unwrap_or(0)
+        .max(snapshot.token_watermark)
 }
 
 /// The snapshot's high watermark, read with a header-only walk: row
@@ -548,7 +655,7 @@ pub(crate) fn scan_snapshot_high_watermark(bytes: &[u8]) -> Result<u64> {
         .ok_or_else(|| Error::wal("snapshot file is torn or corrupt"))?;
     let mut r = WireReader::new(payload);
     let version = r.get_u8()?;
-    if version != 1 {
+    if version != 1 && version != 2 {
         return Err(Error::wal(format!("unknown snapshot version {version}")));
     }
     let ntables = r.get_u32()? as usize;
@@ -603,17 +710,22 @@ pub(crate) fn scan_snapshot_high_watermark(bytes: &[u8]) -> Result<u64> {
             }
         }
     }
+    if version >= 2 {
+        // The token watermark sits right after the table section,
+        // before the token entries — no need to walk them.
+        high = high.max(r.get_u64()?);
+    }
     Ok(high)
 }
 
-pub(crate) fn decode_snapshot(bytes: &[u8]) -> Result<Vec<SnapshotTable>> {
+pub(crate) fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot> {
     let (payloads, _) = scan_frames(bytes);
     let payload = payloads
         .first()
         .ok_or_else(|| Error::wal("snapshot file is torn or corrupt"))?;
     let mut r = WireReader::new(payload);
     let version = r.get_u8()?;
-    if version != 1 {
+    if version != 1 && version != 2 {
         return Err(Error::wal(format!("unknown snapshot version {version}")));
     }
     let ntables = r.get_u32()? as usize;
@@ -654,7 +766,26 @@ pub(crate) fn decode_snapshot(bytes: &[u8]) -> Result<Vec<SnapshotTable>> {
             rows,
         });
     }
-    Ok(tables)
+    let mut tokens = Vec::new();
+    let mut token_watermark = 0u64;
+    if version >= 2 {
+        token_watermark = r.get_u64()?;
+        let ntokens = r.get_u32()? as usize;
+        if ntokens > 100_000_000 {
+            return Err(Error::wal("unreasonably many tokens in snapshot"));
+        }
+        tokens.reserve(ntokens);
+        for _ in 0..ntokens {
+            let client_id = r.get_u64()?;
+            let seq = r.get_u64()?;
+            tokens.push((client_id, seq, decode_outcome(&mut r)?));
+        }
+    }
+    Ok(Snapshot {
+        tables,
+        tokens,
+        token_watermark,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -664,8 +795,8 @@ pub(crate) fn decode_snapshot(bytes: &[u8]) -> Result<Vec<SnapshotTable>> {
 /// What [`Wal::open`] found on disk, ready to re-apply.
 #[derive(Debug)]
 pub(crate) struct Recovery {
-    /// Tables from the checkpoint snapshot (may be empty).
-    pub snapshot: Vec<SnapshotTable>,
+    /// The checkpoint snapshot — tables plus token table (may be empty).
+    pub snapshot: Snapshot,
     /// Log records newer than the snapshot, in global LSN order, already
     /// filtered against the per-table watermarks.
     pub ops: Vec<ReplayOp>,
@@ -783,14 +914,15 @@ impl Wal {
         let snapshot = if snapshot_path.exists() {
             decode_snapshot(&fs::read(&snapshot_path)?)?
         } else {
-            Vec::new()
+            Snapshot::default()
         };
         let watermarks: std::collections::HashMap<&str, u64> = snapshot
+            .tables
             .iter()
             .map(|t| (t.name.as_str(), t.watermark))
             .collect();
         let mut created: std::collections::HashSet<String> =
-            snapshot.iter().map(|t| t.name.clone()).collect();
+            snapshot.tables.iter().map(|t| t.name.clone()).collect();
 
         // Read every log file present — rotated (`.log.1`) and live — not
         // just the shards the current configuration would use: the shard
@@ -799,7 +931,7 @@ impl Wal {
         // replay semantics.
         let mut ops: Vec<ReplayOp> = Vec::new();
         let mut needs_checkpoint = false;
-        let mut max_lsn = snapshot.iter().map(|t| t.watermark).max().unwrap_or(0);
+        let mut max_lsn = snapshot_high_watermark(&snapshot);
         for shard in existing_shards(dir)? {
             if shard >= shard_count.max(1) {
                 // An orphan from a larger previous shard_count: nothing
@@ -856,7 +988,7 @@ impl Wal {
         // acknowledged), but a *replica* resuming its subscription must
         // resume from the contiguous point, or the hole would never be
         // re-fetched from the primary that still has the record.
-        let snapshot_high = snapshot.iter().map(|t| t.watermark).max().unwrap_or(0);
+        let snapshot_high = snapshot_high_watermark(&snapshot);
         let mut contiguous_lsn = snapshot_high;
         for op in &ops {
             let lsn = op.lsn();
@@ -871,6 +1003,11 @@ impl Wal {
         }
         ops.retain(|op| match op {
             ReplayOp::CreateTable { name, .. } => created.insert(name.clone()),
+            // Token records are filtered against the snapshot's token
+            // watermark, not a per-table one. (Replaying one the snapshot
+            // already carries would be harmless — recording is an
+            // idempotent overwrite — this just avoids the wasted work.)
+            ReplayOp::Token { lsn, .. } => *lsn > snapshot.token_watermark,
             other => other.lsn() > watermarks.get(other.table()).copied().unwrap_or(0),
         });
 
@@ -1168,9 +1305,9 @@ impl Wal {
 
     /// Checkpoint phase 2: persist the snapshot atomically (temp file,
     /// fsync, rename, directory fsync).
-    pub fn write_snapshot(&self, tables: &[SnapshotTable]) -> Result<()> {
+    pub fn write_snapshot(&self, snapshot: &Snapshot) -> Result<()> {
         let tmp = self.dir.join("snapshot.tmp");
-        let bytes = encode_snapshot(tables)?;
+        let bytes = encode_snapshot(snapshot)?;
         let mut file = File::create(&tmp)?;
         file.write_all(&bytes)?;
         file.sync_all()?;
@@ -1218,13 +1355,13 @@ impl Wal {
         Ok((snapshot, frames))
     }
 
-    /// Replace the entire on-disk state with `tables` — the follower
+    /// Replace the entire on-disk state with `snapshot` — the follower
     /// bootstrap path: a shipped snapshot supersedes whatever the
     /// follower had, so its live logs are truncated, rotated leftovers
     /// removed, and the snapshot written in their place. The follower's
     /// replication thread is the only writer, so no append can race the
     /// reset.
-    pub fn reset_to_snapshot(&self, tables: &[SnapshotTable]) -> Result<()> {
+    pub fn reset_to_snapshot(&self, snapshot: &Snapshot) -> Result<()> {
         for (idx, s) in self.shards.iter().enumerate() {
             let mut state = lock(&s.state);
             while state.syncing {
@@ -1241,7 +1378,7 @@ impl Wal {
                 fs::remove_file(rotated)?;
             }
         }
-        self.write_snapshot(tables)?;
+        self.write_snapshot(snapshot)?;
         self.records_since_checkpoint.store(0, Ordering::Relaxed);
         Ok(())
     }
@@ -1285,14 +1422,26 @@ mod tests {
         ];
         let create = encode_create(1, "BWUsage", TableKind::Persistent, 0, &cols);
         let row: Vec<Scalar> = vec![Scalar::Str("10.0.0.1".into()), Scalar::Int(7)];
-        let insert = encode_insert(2, "BWUsage", true, 42, &[&row]);
+        let insert = encode_insert(2, "BWUsage", true, 42, &[&row], None);
         let remove = encode_remove(3, "BWUsage", "10.0.0.1");
+        let token = encode_token(
+            4,
+            99,
+            7,
+            &TokenOutcome::Inserted {
+                replaced: false,
+                tstamp: 42,
+            },
+        );
+        let tokened_insert = encode_insert(5, "BWUsage", false, 43, &[&row], Some((99, 8, false)));
         let mut log = Vec::new();
         log.extend_from_slice(&create);
         log.extend_from_slice(&insert);
         log.extend_from_slice(&remove);
+        log.extend_from_slice(&token);
+        log.extend_from_slice(&tokened_insert);
 
-        assert_eq!(count_complete_records(&log), 3);
+        assert_eq!(count_complete_records(&log), 5);
         let (payloads, consumed) = scan_frames(&log);
         assert_eq!(consumed, log.len());
         let ops: Vec<ReplayOp> = payloads
@@ -1306,12 +1455,31 @@ mod tests {
         ));
         assert!(matches!(
             &ops[1],
-            ReplayOp::Insert { lsn: 2, table, upsert: true, tstamp: 42, rows }
+            ReplayOp::Insert { lsn: 2, table, upsert: true, tstamp: 42, rows, token: None }
                 if table == "BWUsage" && rows.len() == 1
         ));
         assert!(matches!(
             &ops[2],
             ReplayOp::Remove { lsn: 3, table, key } if table == "BWUsage" && key == "10.0.0.1"
+        ));
+        assert!(matches!(
+            &ops[3],
+            ReplayOp::Token {
+                lsn: 4,
+                client_id: 99,
+                seq: 7,
+                outcome: TokenOutcome::Inserted {
+                    replaced: false,
+                    tstamp: 42
+                }
+            }
+        ));
+        assert_eq!(ops[3].table(), TOKEN_TABLE_NAME);
+        assert!(matches!(
+            &ops[4],
+            ReplayOp::Insert { lsn: 5, table, upsert: false, tstamp: 43, rows,
+                token: Some((99, 8, false)) }
+                if table == "BWUsage" && rows.len() == 1
         ));
     }
 
@@ -1359,12 +1527,53 @@ mod tests {
                 ],
             },
         ];
-        let bytes = encode_snapshot(&tables).unwrap();
-        assert_eq!(decode_snapshot(&bytes).unwrap(), tables);
-        // The header-only watermark scan agrees with the full decode.
-        assert_eq!(scan_snapshot_high_watermark(&bytes).unwrap(), 17);
+        let snapshot = Snapshot {
+            tables,
+            tokens: vec![
+                (7, 0, TokenOutcome::Created),
+                (
+                    7,
+                    1,
+                    TokenOutcome::InsertedBatch {
+                        tstamps: vec![5, 6],
+                    },
+                ),
+            ],
+            token_watermark: 23,
+        };
+        let bytes = encode_snapshot(&snapshot).unwrap();
+        assert_eq!(decode_snapshot(&bytes).unwrap(), snapshot);
+        // The header-only watermark scan agrees with the full decode —
+        // and includes the token watermark, which here exceeds every
+        // table watermark.
+        assert_eq!(scan_snapshot_high_watermark(&bytes).unwrap(), 23);
+        assert_eq!(snapshot_high_watermark(&snapshot), 23);
         // A torn snapshot is rejected outright.
         assert!(decode_snapshot(&bytes[..bytes.len() - 1]).is_err());
         assert!(scan_snapshot_high_watermark(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn version_one_snapshots_still_decode() {
+        // Hand-build a v1 snapshot (no token section) and check both
+        // readers accept it: durability directories written before the
+        // protection layer must keep opening.
+        let mut w = WireWriter::new();
+        w.put_u8(1); // version
+        w.put_u32(1); // one table
+        w.put_str("T");
+        w.put_u8(1); // persistent
+        w.put_u64(0); // capacity
+        w.put_u32(1); // one column
+        w.put_str("v");
+        w.put_u8(0); // Int
+        w.put_u64(9); // watermark
+        w.put_u32(0); // no rows
+        let bytes = frame(&w.finish());
+        let snapshot = decode_snapshot(&bytes).unwrap();
+        assert_eq!(snapshot.tables.len(), 1);
+        assert!(snapshot.tokens.is_empty());
+        assert_eq!(snapshot.token_watermark, 0);
+        assert_eq!(scan_snapshot_high_watermark(&bytes).unwrap(), 9);
     }
 }

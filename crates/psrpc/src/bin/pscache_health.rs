@@ -1,0 +1,144 @@
+//! `pscache-health` — the load-balancer probe for a running cache
+//! server.
+//!
+//! Issues one [`Request::Health`](psrpc::message::Request::Health) RPC
+//! and reports the snapshot. The server answers it inline on the
+//! reactor's event thread, so the probe stays meaningful when every
+//! worker is saturated: a wedged worker pool is *visible* in the
+//! report (`rpc_worker_busy == rpc_workers`, growing `rpc_in_flight`)
+//! instead of timing the probe out.
+//!
+//! ```text
+//! pscache-health <host:port> [--require-primary] [--max-lag N] [--quiet]
+//! ```
+//!
+//! Exit codes, shaped for probe configs (Kubernetes, HAProxy, …):
+//!
+//! * `0` — the server answered and passed every requested check;
+//! * `1` — the server answered but failed a check (follower when
+//!   `--require-primary`, replication lag above `--max-lag`);
+//! * `2` — unreachable, timed out, or bad usage.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use psrpc::client::CacheClient;
+
+const USAGE: &str = "usage: pscache-health <host:port> [--require-primary] [--max-lag N] [--quiet]";
+
+struct Options {
+    addr: String,
+    require_primary: bool,
+    max_lag: Option<u64>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut addr = None;
+    let mut require_primary = false;
+    let mut max_lag = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--require-primary" => require_primary = true,
+            "--quiet" => quiet = true,
+            "--max-lag" => {
+                let value = args.next().ok_or("--max-lag needs a value")?;
+                max_lag = Some(value.parse().map_err(|_| "--max-lag needs an integer")?);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => {
+                if addr.replace(other.to_owned()).is_some() {
+                    return Err("more than one address given".into());
+                }
+            }
+        }
+    }
+    Ok(Options {
+        addr: addr.ok_or("an address is required")?,
+        require_primary,
+        max_lag,
+        quiet,
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("pscache-health: {message}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let started = Instant::now();
+    let client = match CacheClient::connect(opts.addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("pscache-health: {}: {e}", opts.addr);
+            return ExitCode::from(2);
+        }
+    };
+    let report = match client.health() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("pscache-health: {}: health rpc failed: {e}", opts.addr);
+            return ExitCode::from(2);
+        }
+    };
+    let elapsed = started.elapsed();
+
+    let role = if report.role_follower == 1 {
+        "follower"
+    } else {
+        "primary"
+    };
+    if !opts.quiet {
+        println!(
+            "{} {role} commit_lsn={} replica_lsn={} repl_lag={} conns={} in_flight={} \
+             workers={}/{} throttled={} ({}ms)",
+            opts.addr,
+            report.commit_lsn,
+            report.replica_lsn,
+            report.repl_lag,
+            report.connections_active,
+            report.rpc_in_flight,
+            report.rpc_worker_busy,
+            report.rpc_workers,
+            report.rpc_requests_throttled,
+            elapsed.as_millis(),
+        );
+    }
+
+    if opts.require_primary && report.role_follower == 1 {
+        eprintln!(
+            "pscache-health: {} is a follower (--require-primary)",
+            opts.addr
+        );
+        return ExitCode::from(1);
+    }
+    if let Some(max_lag) = opts.max_lag {
+        if report.repl_lag > max_lag {
+            eprintln!(
+                "pscache-health: {} replication lag {} exceeds --max-lag {max_lag}",
+                opts.addr, report.repl_lag
+            );
+            return ExitCode::from(1);
+        }
+    }
+    // Guard against pathological probe latency even on success paths:
+    // a probe that took this long is a readiness problem in itself.
+    if elapsed > Duration::from_secs(5) {
+        eprintln!(
+            "pscache-health: {} answered but took {elapsed:?}",
+            opts.addr
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

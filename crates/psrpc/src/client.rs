@@ -14,17 +14,17 @@
 
 use std::collections::HashMap;
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex as StdMutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use gapl::event::Scalar;
 
 use crate::error::{Error, Result};
-use crate::message::{CacheReply, ClientMessage, Request, ServerMessage, WireRow};
+use crate::message::{CacheReply, ClientMessage, HealthReport, Request, ServerMessage, WireRow};
 use crate::transport::{inproc_pair, tcp_split, RecvHalf, SendHalf};
 
 /// How a [`CacheClient`] built with
@@ -38,11 +38,13 @@ use crate::transport::{inproc_pair, tcp_split, RecvHalf, SendHalf};
 /// * the request could not be (fully) **sent**: the server never saw a
 ///   complete message, so any request is retried;
 /// * the request was sent but the connection died before its **reply**
-///   arrived: only *idempotent* requests (reads, pings, stats, and
-///   upsert-mode inserts) are retried. A non-idempotent mutation may
-///   already have been applied, so the client surfaces
-///   [`Error::MaybeApplied`] instead of silently applying it twice —
-///   the caller decides whether to re-issue;
+///   arrived: *idempotent* requests (reads, pings, stats, and
+///   upsert-mode inserts) are retried, and so is any mutation stamped
+///   with an idempotency token (the default — see
+///   [`CacheClient::set_idempotency_tokens`]): the server deduplicates
+///   the retry by token and returns the original outcome, so the
+///   mutation applies exactly once. Only unstamped non-idempotent
+///   mutations surface [`Error::MaybeApplied`];
 /// * server-side per-connection state (registered automata and their
 ///   notification routes) does not survive the server that held it —
 ///   re-register automata after a reconnect.
@@ -55,6 +57,15 @@ pub struct ReconnectPolicy {
     pub base_delay: Duration,
     /// Ceiling on the per-attempt delay.
     pub max_delay: Duration,
+    /// Total wall-clock budget for one logical request across all its
+    /// retries — redials, throttle waits, *and* the wait for each reply
+    /// on a live connection. `None` (the default) bounds redials only
+    /// by `max_attempts` and everything else not at all; a probe or
+    /// latency-sensitive caller sets a deadline and gets a typed error
+    /// back when it expires ([`crate::Error::Disconnected`] for
+    /// idempotent requests, [`crate::Error::MaybeApplied`] for
+    /// mutations whose fate is unknown).
+    pub deadline: Option<Duration>,
 }
 
 impl Default for ReconnectPolicy {
@@ -63,6 +74,7 @@ impl Default for ReconnectPolicy {
             max_attempts: 10,
             base_delay: Duration::from_millis(25),
             max_delay: Duration::from_secs(2),
+            deadline: None,
         }
     }
 }
@@ -172,6 +184,27 @@ pub struct CacheClient {
     redial: StdMutex<()>,
     /// Streams re-established so far.
     reconnects: AtomicU64,
+    /// This client's idempotency-token identity, minted once per client.
+    client_id: u64,
+    /// Next token sequence number.
+    token_seq: AtomicU64,
+    /// Whether blocking mutations are stamped with idempotency tokens
+    /// (default true; see [`CacheClient::set_idempotency_tokens`]).
+    tokens_enabled: AtomicBool,
+}
+
+/// Mint a client identity for idempotency tokens: unique enough across
+/// processes and within one (time XOR pid XOR a process-local counter)
+/// that two clients colliding is as likely as a random 64-bit collision.
+fn mint_client_id() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    let salt = COUNTER
+        .fetch_add(1, Ordering::Relaxed)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    nanos ^ (u64::from(std::process::id()) << 32) ^ salt
 }
 
 impl std::fmt::Debug for CacheClient {
@@ -242,6 +275,29 @@ impl PendingReply {
         outcome
     }
 
+    /// Like [`PendingReply::take_outcome`], but give up at `deadline`:
+    /// `None` means the reply had not arrived in time. The slot is
+    /// released either way; a reply that arrives after the timeout is
+    /// discarded like any abandoned handle's.
+    fn take_outcome_by(&mut self, deadline: Option<Instant>) -> Option<Outcome> {
+        let Some(d) = deadline else {
+            return Some(self.take_outcome());
+        };
+        let outcome = match self
+            .rx
+            .recv_timeout(d.saturating_duration_since(Instant::now()))
+        {
+            Ok(outcome) => outcome,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Outcome::Dropped,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                self.release();
+                return None;
+            }
+        };
+        self.release();
+        Some(outcome)
+    }
+
     fn release(&mut self) {
         if !self.done {
             self.done = true;
@@ -263,13 +319,28 @@ impl Drop for PendingReply {
 /// with the same values.
 fn is_idempotent(request: &Request) -> bool {
     match request {
-        Request::Ping | Request::ServerStats => true,
-        Request::Execute { command } => {
-            let trimmed = command.trim_start();
-            trimmed.len() >= 6 && trimmed.as_bytes()[..6].eq_ignore_ascii_case(b"select")
-        }
+        Request::Ping | Request::ServerStats | Request::Health => true,
+        Request::Execute { command } => is_select(command),
         Request::Insert { upsert, .. } | Request::InsertBatch { upsert, .. } => *upsert,
         Request::RegisterAutomaton { .. } | Request::UnregisterAutomaton { .. } => false,
+    }
+}
+
+fn is_select(command: &str) -> bool {
+    let trimmed = command.trim_start();
+    trimmed.len() >= 6 && trimmed.as_bytes()[..6].eq_ignore_ascii_case(b"select")
+}
+
+/// Whether a request gets an idempotency token: exactly the mutations
+/// whose blind retry would double-apply. Registration is excluded — a
+/// registered automaton is per-connection state that dies with its
+/// connection, so "retry re-registers" is the correct semantic, not a
+/// duplicate.
+fn wants_token(request: &Request) -> bool {
+    match request {
+        Request::Insert { upsert, .. } | Request::InsertBatch { upsert, .. } => !*upsert,
+        Request::Execute { command } => !is_select(command),
+        _ => false,
     }
 }
 
@@ -356,7 +427,27 @@ impl CacheClient {
             reconnect: None,
             redial: StdMutex::new(()),
             reconnects: AtomicU64::new(0),
+            client_id: mint_client_id(),
+            token_seq: AtomicU64::new(1),
+            tokens_enabled: AtomicBool::new(true),
         }
+    }
+
+    /// Enable or disable idempotency tokens on blocking mutations
+    /// (enabled by default). With tokens on, the server remembers each
+    /// stamped mutation's outcome and a reconnecting client retries
+    /// *every* request safely — a retry of an applied mutation returns
+    /// the original outcome instead of applying twice. Disabling
+    /// restores the bare at-least-once transport (and its
+    /// [`Error::MaybeApplied`] ambiguity); the benchmark suite uses this
+    /// to price the dedup path.
+    pub fn set_idempotency_tokens(&self, enabled: bool) {
+        self.tokens_enabled.store(enabled, Ordering::Release);
+    }
+
+    /// The identity this client stamps idempotency tokens with.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
     }
 
     /// Cap on requests this client keeps in flight at once (default
@@ -385,7 +476,33 @@ impl CacheClient {
     /// re-issuing is always safe. Unlike the blocking methods, this
     /// does **not** redial a reconnecting client.
     pub fn begin_request(&self, request: Request) -> Result<PendingReply> {
-        self.begin(&request)
+        self.begin(&request, None)
+    }
+
+    /// [`CacheClient::begin_request`] with an explicit idempotency token
+    /// `(client id, token seq)`. Re-issuing the same token after a lost
+    /// reply returns the original outcome instead of re-applying — the
+    /// building block for callers that manage their own retry loop over
+    /// pipelined requests (and for the differential protocol suite).
+    ///
+    /// # Errors
+    ///
+    /// See [`CacheClient::begin_request`].
+    pub fn begin_request_with_token(
+        &self,
+        request: Request,
+        token: Option<(u64, u64)>,
+    ) -> Result<PendingReply> {
+        self.begin(&request, token)
+    }
+
+    /// Mint a fresh idempotency token for use with
+    /// [`CacheClient::begin_request_with_token`].
+    pub fn next_token(&self) -> (u64, u64) {
+        (
+            self.client_id,
+            self.token_seq.fetch_add(1, Ordering::Relaxed),
+        )
     }
 
     /// [`CacheClient::begin_request`] for a SQL-ish command.
@@ -399,7 +516,7 @@ impl CacheClient {
         })
     }
 
-    fn begin(&self, request: &Request) -> Result<PendingReply> {
+    fn begin(&self, request: &Request, token: Option<(u64, u64)>) -> Result<PendingReply> {
         // Window first: a full pipeline must block *before* touching the
         // connection, so waiters never hold the connection lock.
         {
@@ -417,6 +534,7 @@ impl CacheClient {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let bytes = ClientMessage {
             seq,
+            token,
             request: request.clone(),
         }
         .encode();
@@ -444,32 +562,62 @@ impl CacheClient {
 
     fn request(&self, request: Request) -> Result<CacheReply> {
         let idempotent = is_idempotent(&request);
+        // The token is minted once per *logical* request and reused on
+        // every retry — that identity stability is the whole mechanism:
+        // the server recognises the re-send and answers with the
+        // remembered outcome.
+        let token = (self.tokens_enabled.load(Ordering::Acquire) && wants_token(&request))
+            .then(|| self.next_token());
+        let deadline = self
+            .reconnect
+            .as_ref()
+            .and_then(|(_, p)| p.deadline)
+            .map(|d| Instant::now() + d);
         loop {
-            let mut pending = match self.begin(&request) {
+            let mut pending = match self.begin(&request, token) {
                 Ok(p) => p,
                 // Send failure: the server never saw a complete message,
                 // so redial-and-retry is safe for any request.
                 Err(e) if transport_failed(&e) && self.reconnect.is_some() => {
-                    self.reestablish()?;
+                    self.reestablish(deadline)?;
                     continue;
                 }
                 Err(e) => return Err(e),
             };
-            match pending.take_outcome() {
-                Outcome::Reply(CacheReply::Error { message }) => {
+            match pending.take_outcome_by(deadline) {
+                // The reply outwaited the policy deadline on a live
+                // connection: surface the same contract as a dropped
+                // transport instead of waiting forever. The request may
+                // still be applied, so mutations report `MaybeApplied`
+                // (the minted token is abandoned with the handle).
+                None if idempotent => return Err(Error::Disconnected),
+                None => return Err(Error::MaybeApplied),
+                Some(Outcome::Reply(CacheReply::Error { message })) => {
                     return Err(Error::Remote { message })
                 }
-                Outcome::Reply(reply) => return Ok(reply),
-                Outcome::Dropped => {
-                    // Fully sent, reply lost. Retrying is only safe when
-                    // a second application changes nothing.
+                Some(Outcome::Reply(CacheReply::Throttled { retry_after_ms })) => {
+                    // Admission control said no. Honour the server's
+                    // pacing hint, bounded by the policy deadline — a
+                    // caller that set one gets the typed error instead
+                    // of an open-ended wait.
+                    let retry_after = Duration::from_millis(retry_after_ms.max(1));
+                    if deadline.is_some_and(|d| Instant::now() + retry_after >= d) {
+                        return Err(Error::Throttled { retry_after });
+                    }
+                    std::thread::sleep(retry_after);
+                }
+                Some(Outcome::Reply(reply)) => return Ok(reply),
+                Some(Outcome::Dropped) => {
+                    // Fully sent, reply lost. Retrying is safe when a
+                    // second application changes nothing — or when the
+                    // request carries a token the server will dedup.
                     if self.reconnect.is_none() {
                         return Err(Error::Disconnected);
                     }
-                    if !idempotent {
+                    if !idempotent && token.is_none() {
                         return Err(Error::MaybeApplied);
                     }
-                    self.reestablish()?;
+                    self.reestablish(deadline)?;
                 }
             }
         }
@@ -478,7 +626,7 @@ impl CacheClient {
     /// Redial the server and swap the transport generation, with capped
     /// exponential backoff and jitter between attempts. Concurrent
     /// callers coalesce onto one redial.
-    fn reestablish(&self) -> Result<()> {
+    fn reestablish(&self, deadline: Option<Instant>) -> Result<()> {
         let (addr, policy) = self
             .reconnect
             .as_ref()
@@ -488,6 +636,9 @@ impl CacheClient {
             return Ok(()); // another caller already reconnected
         }
         for attempt in 0..policy.max_attempts {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(Error::Disconnected);
+            }
             std::thread::sleep(backoff_delay(attempt, policy));
             let Ok(stream) = TcpStream::connect(addr.as_str()) else {
                 continue;
@@ -677,6 +828,24 @@ impl CacheClient {
             CacheReply::Stats { stats } => Ok(stats),
             other => Err(Error::protocol(format!(
                 "unexpected reply to a stats request: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the server's health/readiness snapshot: role, durability
+    /// and replication watermarks, queue depths, and throttle counters.
+    /// Against a `ReactorServer` this is answered on the reactor thread
+    /// itself — never queued behind request execution — so a probe gets
+    /// its answer even when every worker is saturated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Disconnected`] when the server is gone.
+    pub fn health(&self) -> Result<HealthReport> {
+        match self.request(Request::Health)? {
+            CacheReply::Health { report } => Ok(report),
+            other => Err(Error::protocol(format!(
+                "unexpected reply to a health probe: {other:?}"
             ))),
         }
     }
@@ -1023,6 +1192,28 @@ mod tests {
     fn idempotency_classification_matches_the_retry_contract() {
         assert!(is_idempotent(&Request::Ping));
         assert!(is_idempotent(&Request::ServerStats));
+        assert!(is_idempotent(&Request::Health));
+        assert!(!wants_token(&Request::Ping));
+        assert!(!wants_token(&Request::Health));
+        assert!(wants_token(&Request::Execute {
+            command: "insert into T values (1)".into()
+        }));
+        assert!(!wants_token(&Request::Execute {
+            command: "select * from T".into()
+        }));
+        assert!(wants_token(&Request::Insert {
+            table: "T".into(),
+            values: vec![],
+            upsert: false
+        }));
+        assert!(!wants_token(&Request::Insert {
+            table: "T".into(),
+            values: vec![],
+            upsert: true
+        }));
+        assert!(!wants_token(&Request::RegisterAutomaton {
+            source: String::new()
+        }));
         assert!(is_idempotent(&Request::Execute {
             command: "  SELECT * from T".into()
         }));

@@ -29,8 +29,22 @@ pub enum Error {
     /// reconnecting client surfaces this instead of silently re-sending;
     /// the caller decides whether to re-issue (e.g. after reading the
     /// current state back). Idempotent requests — reads, pings, upserts —
-    /// are retried internally and never produce this error.
+    /// are retried internally and never produce this error. Requests
+    /// stamped with an idempotency token do not produce it on a dropped
+    /// connection either: the server's token table makes their retries
+    /// exactly-once. The one remaining producer for tokened mutations is
+    /// a [`crate::client::ReconnectPolicy::deadline`] expiring before
+    /// the reply arrives — the client stops waiting and abandons the
+    /// token with the request, so the mutation's fate is unknown.
     MaybeApplied,
+    /// The server's per-client admission control rejected the request
+    /// before it was applied (rate, byte or in-flight quota). Retrying
+    /// after `retry_after` is always safe; a reconnecting client honors
+    /// the delay and retries internally until its policy's deadline.
+    Throttled {
+        /// The server's suggested backoff before re-sending.
+        retry_after: std::time::Duration,
+    },
 }
 
 impl Error {
@@ -52,6 +66,10 @@ impl fmt::Display for Error {
             Error::MaybeApplied => write!(
                 f,
                 "rpc connection lost after the request was sent; it may or may not have been applied"
+            ),
+            Error::Throttled { retry_after } => write!(
+                f,
+                "request rejected by admission control; retry after {retry_after:?}"
             ),
         }
     }
@@ -97,6 +115,11 @@ mod tests {
         assert!(Error::MaybeApplied
             .to_string()
             .contains("may or may not have been applied"));
+        assert!(Error::Throttled {
+            retry_after: std::time::Duration::from_millis(5)
+        }
+        .to_string()
+        .contains("admission control"));
         let io: Error = std::io::Error::other("boom").into();
         assert!(io.to_string().contains("boom"));
         assert!(std::error::Error::source(&io).is_some());

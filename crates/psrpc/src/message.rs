@@ -65,6 +65,39 @@ pub enum Request {
     /// Ask for the server's counters (connections, requests, and the
     /// cache's automaton-dispatch statistics).
     ServerStats,
+    /// Ask for the cheap health/readiness snapshot. Unlike
+    /// [`Request::ServerStats`] this is answered from atomic counters
+    /// only — the reactor answers it inline on the event thread, so a
+    /// load-balancer probe gets a reply even when every worker is busy.
+    Health,
+}
+
+/// The health/readiness snapshot returned by [`Request::Health`]:
+/// everything a load balancer needs to keep or drop a backend, cheap
+/// enough to be answered without touching a lock or a worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthReport {
+    /// 1 when the served cache is a read-only follower replica, else 0.
+    pub role_follower: u64,
+    /// Durable commit watermark (`pscache::Cache::commit_lsn`).
+    pub commit_lsn: u64,
+    /// Applied/visible watermark (`pscache::Cache::replica_lsn`).
+    pub replica_lsn: u64,
+    /// `commit_lsn - min(follower acked)` on a primary with followers —
+    /// the end-to-end replication lag in records; 0 otherwise.
+    pub repl_lag: u64,
+    /// Connections currently being served.
+    pub connections_active: u64,
+    /// Requests decoded but not yet answered (queue depth).
+    pub rpc_in_flight: u64,
+    /// Read-interest parkings due to the pipeline cap.
+    pub rpc_queue_stalls: u64,
+    /// Workers currently executing a request.
+    pub rpc_worker_busy: u64,
+    /// Size of the request-execution worker pool.
+    pub rpc_workers: u64,
+    /// Requests rejected by admission control since the server started.
+    pub rpc_requests_throttled: u64,
 }
 
 /// Counters describing a running server; a snapshot is returned by
@@ -125,6 +158,13 @@ pub struct ServerStats {
     /// growth means clients pipeline deeper than the server's
     /// configured window.
     pub rpc_queue_stalls: u64,
+    /// Workers currently executing a request. Pinned at the pool size
+    /// while every worker is busy — the observable signature of the
+    /// fixed-size `rpc_workers` pool saturating.
+    pub rpc_worker_busy: u64,
+    /// Requests rejected by per-client admission control (rate, byte or
+    /// in-flight quota) since the server started.
+    pub rpc_requests_throttled: u64,
 }
 
 /// A row of a result set on the wire.
@@ -179,13 +219,32 @@ pub enum CacheReply {
         /// The server's counters at the time of the request.
         stats: ServerStats,
     },
+    /// Reply to [`Request::Health`].
+    Health {
+        /// The health snapshot at the time of the request.
+        report: HealthReport,
+    },
+    /// The request was rejected by per-client admission control before
+    /// it reached a worker. The request was **not** applied; retrying
+    /// after `retry_after_ms` is always safe.
+    Throttled {
+        /// Suggested client-side delay before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
-/// A message sent from the client to the server: a sequenced request.
+/// A message sent from the client to the server: a sequenced request,
+/// optionally stamped with an idempotency token.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClientMessage {
     /// Client-assigned sequence number echoed in the reply.
     pub seq: u64,
+    /// Idempotency token `(client id, token seq)` on mutating requests:
+    /// the server remembers the outcome keyed by this pair (durably, on
+    /// a durable cache), so re-sending the same token after a lost reply
+    /// returns the original outcome instead of applying the mutation
+    /// twice. `None` on reads and on clients that opted out.
+    pub token: Option<(u64, u64)>,
     /// The request.
     pub request: Request,
 }
@@ -218,6 +277,14 @@ impl ClientMessage {
     pub fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
         w.put_u64(self.seq);
+        match self.token {
+            None => w.put_u8(0),
+            Some((client_id, token_seq)) => {
+                w.put_u8(1);
+                w.put_u64(client_id);
+                w.put_u64(token_seq);
+            }
+        }
         match &self.request {
             Request::Execute { command } => {
                 w.put_u8(0);
@@ -257,6 +324,9 @@ impl ClientMessage {
             Request::ServerStats => {
                 w.put_u8(6);
             }
+            Request::Health => {
+                w.put_u8(7);
+            }
         }
         w.finish().to_vec()
     }
@@ -269,6 +339,15 @@ impl ClientMessage {
     pub fn decode(bytes: &[u8]) -> Result<Self> {
         let mut r = WireReader::new(bytes);
         let seq = r.get_u64()?;
+        let token = match r.get_u8()? {
+            0 => None,
+            1 => Some((r.get_u64()?, r.get_u64()?)),
+            other => {
+                return Err(Error::protocol(format!(
+                    "unknown idempotency-token flag {other}"
+                )))
+            }
+        };
         let request = match r.get_u8()? {
             0 => Request::Execute {
                 command: r.get_str()?,
@@ -289,9 +368,14 @@ impl ClientMessage {
                 upsert: r.get_bool()?,
             },
             6 => Request::ServerStats,
+            7 => Request::Health,
             other => return Err(Error::protocol(format!("unknown request tag {other}"))),
         };
-        Ok(ClientMessage { seq, request })
+        Ok(ClientMessage {
+            seq,
+            token,
+            request,
+        })
     }
 }
 
@@ -381,11 +465,37 @@ fn encode_reply(w: &mut WireWriter, reply: &CacheReply) {
                 w.put_u64(field);
             }
         }
+        CacheReply::Health { report } => {
+            w.put_u8(9);
+            for field in health_fields(report) {
+                w.put_u64(field);
+            }
+        }
+        CacheReply::Throttled { retry_after_ms } => {
+            w.put_u8(10);
+            w.put_u64(*retry_after_ms);
+        }
     }
 }
 
+/// The wire order of [`HealthReport`] fields (shared by encode/decode).
+fn health_fields(h: &HealthReport) -> [u64; 10] {
+    [
+        h.role_follower,
+        h.commit_lsn,
+        h.replica_lsn,
+        h.repl_lag,
+        h.connections_active,
+        h.rpc_in_flight,
+        h.rpc_queue_stalls,
+        h.rpc_worker_busy,
+        h.rpc_workers,
+        h.rpc_requests_throttled,
+    ]
+}
+
 /// The wire order of [`ServerStats`] fields (shared by encode/decode).
-fn stats_fields(s: &ServerStats) -> [u64; 21] {
+fn stats_fields(s: &ServerStats) -> [u64; 23] {
     [
         s.connections_accepted,
         s.connections_active,
@@ -408,6 +518,8 @@ fn stats_fields(s: &ServerStats) -> [u64; 21] {
         s.repl_min_follower_acked_lsn,
         s.rpc_in_flight,
         s.rpc_queue_stalls,
+        s.rpc_worker_busy,
+        s.rpc_requests_throttled,
     ]
 }
 
@@ -465,7 +577,26 @@ fn decode_reply(r: &mut WireReader<'_>) -> Result<CacheReply> {
                 repl_min_follower_acked_lsn: r.get_u64()?,
                 rpc_in_flight: r.get_u64()?,
                 rpc_queue_stalls: r.get_u64()?,
+                rpc_worker_busy: r.get_u64()?,
+                rpc_requests_throttled: r.get_u64()?,
             },
+        },
+        9 => CacheReply::Health {
+            report: HealthReport {
+                role_follower: r.get_u64()?,
+                commit_lsn: r.get_u64()?,
+                replica_lsn: r.get_u64()?,
+                repl_lag: r.get_u64()?,
+                connections_active: r.get_u64()?,
+                rpc_in_flight: r.get_u64()?,
+                rpc_queue_stalls: r.get_u64()?,
+                rpc_worker_busy: r.get_u64()?,
+                rpc_workers: r.get_u64()?,
+                rpc_requests_throttled: r.get_u64()?,
+            },
+        },
+        10 => CacheReply::Throttled {
+            retry_after_ms: r.get_u64()?,
         },
         other => return Err(Error::protocol(format!("unknown reply tag {other}"))),
     })
@@ -489,12 +620,14 @@ mod tests {
     fn client_messages_round_trip() {
         round_trip_client(ClientMessage {
             seq: 1,
+            token: None,
             request: Request::Execute {
                 command: "select * from Flows".into(),
             },
         });
         round_trip_client(ClientMessage {
             seq: 2,
+            token: None,
             request: Request::Insert {
                 table: "Flows".into(),
                 values: vec![Scalar::Str("a".into()), Scalar::Int(5)],
@@ -503,24 +636,29 @@ mod tests {
         });
         round_trip_client(ClientMessage {
             seq: 3,
+            token: None,
             request: Request::RegisterAutomaton {
                 source: "subscribe t to Timer; behavior { }".into(),
             },
         });
         round_trip_client(ClientMessage {
             seq: 4,
+            token: None,
             request: Request::UnregisterAutomaton { id: 9 },
         });
         round_trip_client(ClientMessage {
             seq: 5,
+            token: None,
             request: Request::Ping,
         });
         round_trip_client(ClientMessage {
             seq: 7,
+            token: None,
             request: Request::ServerStats,
         });
         round_trip_client(ClientMessage {
             seq: 6,
+            token: None,
             request: Request::InsertBatch {
                 table: "Flows".into(),
                 rows: vec![
@@ -616,9 +754,61 @@ mod tests {
                     repl_min_follower_acked_lsn: 18,
                     rpc_in_flight: 19,
                     rpc_queue_stalls: 20,
+                    rpc_worker_busy: 21,
+                    rpc_requests_throttled: 22,
                 },
             },
         });
+        round_trip_server(ServerMessage::Reply {
+            seq: 10,
+            reply: CacheReply::Health {
+                report: HealthReport {
+                    role_follower: 1,
+                    commit_lsn: 2,
+                    replica_lsn: 3,
+                    repl_lag: 4,
+                    connections_active: 5,
+                    rpc_in_flight: 6,
+                    rpc_queue_stalls: 7,
+                    rpc_worker_busy: 8,
+                    rpc_workers: 9,
+                    rpc_requests_throttled: 10,
+                },
+            },
+        });
+        round_trip_server(ServerMessage::Reply {
+            seq: 11,
+            reply: CacheReply::Throttled {
+                retry_after_ms: 250,
+            },
+        });
+    }
+
+    #[test]
+    fn tokened_and_health_client_messages_round_trip() {
+        round_trip_client(ClientMessage {
+            seq: 8,
+            token: Some((0xDEAD_BEEF, 42)),
+            request: Request::Insert {
+                table: "Flows".into(),
+                values: vec![Scalar::Int(1)],
+                upsert: false,
+            },
+        });
+        round_trip_client(ClientMessage {
+            seq: 9,
+            token: None,
+            request: Request::Health,
+        });
+        // The token flag byte only admits 0 and 1.
+        let mut bytes = ClientMessage {
+            seq: 1,
+            token: None,
+            request: Request::Ping,
+        }
+        .encode();
+        bytes[8] = 2;
+        assert!(ClientMessage::decode(&bytes).is_err());
     }
 
     #[test]

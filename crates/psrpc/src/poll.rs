@@ -14,15 +14,19 @@
 //! [`Waker`] is the reactor's cross-thread doorbell: a nonblocking
 //! socketpair whose read end sits in the poll set, so worker threads
 //! (and the notification hub) can interrupt a blocked `poll` by writing
-//! one byte. Wakes are coalesced through an atomic flag — a thousand
-//! replies queued while the reactor is mid-iteration cost one byte on
-//! the pipe, not a thousand.
+//! one byte. Every wake writes — unconditionally. An earlier version
+//! coalesced wakes through an atomic flag; a wake landing inside
+//! [`Waker::drain`] could then have its byte consumed while the flag
+//! stayed armed, leaving an empty pipe that silently swallowed every
+//! later wake (including shutdown's) and wedged the reactor in an
+//! infinite `poll`. The socketpair buffer bounds the cost of the
+//! unconditional write: once it fills, `WouldBlock` is itself proof
+//! the descriptor is readable.
 
 use std::io;
 use std::os::raw::{c_int, c_ulong};
 use std::os::unix::io::{AsRawFd, RawFd};
 use std::os::unix::net::UnixStream;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 /// Readable-interest/readiness bit (`POLLIN`).
@@ -108,14 +112,13 @@ pub fn wait(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> 
 /// A cross-thread doorbell for a thread blocked in [`wait`].
 ///
 /// The read end is registered in the poll set; any thread holding the
-/// waker can make that descriptor readable. Redundant wakes are
-/// coalesced: only the first wake after a [`Waker::drain`] writes to
-/// the pipe.
+/// waker can make that descriptor readable. Wakes write a byte
+/// unconditionally — see the module docs for why a coalescing flag is
+/// a lost-wakeup bug, not an optimisation.
 #[derive(Debug)]
 pub struct Waker {
     read_end: UnixStream,
     write_end: UnixStream,
-    armed: AtomicBool,
 }
 
 impl Waker {
@@ -131,7 +134,6 @@ impl Waker {
         Ok(Waker {
             read_end,
             write_end,
-            armed: AtomicBool::new(false),
         })
     }
 
@@ -140,25 +142,21 @@ impl Waker {
         self.read_end.as_raw_fd()
     }
 
-    /// Make the poll descriptor readable. Cheap when already pending.
+    /// Make the poll descriptor readable.
     pub fn wake(&self) {
-        if self.armed.swap(true, Ordering::AcqRel) {
-            return; // a wake is already in flight
-        }
         use std::io::Write as _;
         // A full pipe still wakes the poller; WouldBlock is success.
         let _ = (&self.write_end).write(&[1u8]);
     }
 
     /// Consume pending wake bytes after the poller observed readability.
+    /// Bytes written by wakes that race this drain are either consumed
+    /// here (their state change is visible to the caller's next sweep)
+    /// or left pending (the next poll returns immediately) — with an
+    /// unconditional write in [`Waker::wake`], a wake is never lost.
     pub fn drain(&self) {
-        // Disarm first: a wake() racing with this drain either lands
-        // its byte before the reads below (harmlessly drained) or after
-        // (left pending, so the next poll returns immediately) — a wake
-        // is never lost.
-        self.armed.store(false, Ordering::Release);
         use std::io::Read as _;
-        let mut buf = [0u8; 64];
+        let mut buf = [0u8; 512];
         while matches!((&self.read_end).read(&mut buf), Ok(n) if n > 0) {}
     }
 }
@@ -166,6 +164,9 @@ impl Waker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
 
     #[test]
     fn wait_times_out_with_nothing_ready() {
@@ -180,7 +181,7 @@ mod tests {
     fn a_wake_makes_the_poll_fd_readable_and_drain_clears_it() {
         let waker = Waker::new().unwrap();
         waker.wake();
-        waker.wake(); // coalesced
+        waker.wake();
         let mut fds = [PollFd::new(waker.poll_fd(), POLL_IN)];
         let ready = wait(&mut fds, Some(Duration::from_secs(5))).unwrap();
         assert_eq!(ready, 1);
@@ -202,6 +203,66 @@ mod tests {
         let ready = wait(&mut fds, Some(Duration::from_secs(5))).unwrap();
         assert_eq!(ready, 1);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_wakes_are_never_lost() {
+        // Regression for a lost-wakeup bug: wakes were once coalesced
+        // through an atomic flag, and a wake landing inside drain()
+        // could have its byte consumed while the flag stayed armed —
+        // silencing every later wake and wedging the poller forever.
+        // Two threads recreate the shape: a free-runner hammers wakes
+        // (to land inside drains), while a lockstep waker requires an
+        // answered poll for every wake it sends. If the doorbell ever
+        // goes silent, the lockstep thread stalls and the round count
+        // falls short.
+        const ROUNDS: u64 = 1000;
+        let waker = Arc::new(Waker::new().unwrap());
+        let done = Arc::new(AtomicBool::new(false));
+        let acks = Arc::new(AtomicU64::new(0));
+
+        let free_runner = {
+            let (waker, done) = (Arc::clone(&waker), Arc::clone(&done));
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    waker.wake();
+                    std::hint::spin_loop();
+                }
+            })
+        };
+        let lockstep = {
+            let (waker, done, acks) = (Arc::clone(&waker), Arc::clone(&done), Arc::clone(&acks));
+            std::thread::spawn(move || {
+                let bail = Instant::now() + Duration::from_secs(10);
+                let mut completed = 0;
+                for round in 1..=ROUNDS {
+                    waker.wake();
+                    while acks.load(Ordering::Acquire) < round {
+                        if Instant::now() >= bail {
+                            done.store(true, Ordering::Release);
+                            return completed;
+                        }
+                        std::hint::spin_loop();
+                    }
+                    completed = round;
+                }
+                done.store(true, Ordering::Release);
+                completed
+            })
+        };
+
+        while !done.load(Ordering::Acquire) {
+            let mut fds = [PollFd::new(waker.poll_fd(), POLL_IN)];
+            let _ = wait(&mut fds, Some(Duration::from_millis(100))).unwrap();
+            waker.drain();
+            acks.fetch_add(1, Ordering::Release);
+        }
+        free_runner.join().unwrap();
+        let completed = lockstep.join().unwrap();
+        assert_eq!(
+            completed, ROUNDS,
+            "the doorbell went silent: a wake was lost after {completed} rounds"
+        );
     }
 
     #[test]

@@ -44,14 +44,15 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-use pscache::{AutomatonId, Cache};
+use pscache::{AutomatonId, Cache, ClientPolicy, IdemToken};
 
 use crate::error::{Error, Result};
 use crate::framing::{fragment, FRAGMENT_HEADER, FRAGMENT_PAYLOAD};
-use crate::message::{ClientMessage, ServerMessage, ServerStats};
+use crate::message::{CacheReply, ClientMessage, Request, ServerMessage, ServerStats};
 use crate::poll::{self, PollFd, Waker, POLL_IN, POLL_OUT};
 use crate::server::{
-    handle_request, teardown_registered, HubMsg, NotificationHub, RequestCtx, RouteSink, StatsInner,
+    handle_request, health_report, teardown_registered, HubMsg, NotificationHub, RequestCtx,
+    RouteSink, StatsInner,
 };
 
 /// Requests one worker executes for a connection before re-queuing it,
@@ -125,6 +126,13 @@ struct ConnShared {
     registered: Mutex<HashSet<AutomatonId>>,
     /// The reactor's doorbell, rung whenever `out` gains bytes.
     waker: Arc<Waker>,
+    /// Server counters, reachable from the hub's delivery path (which
+    /// holds only this struct) so slow-consumer eviction can account.
+    stats: Arc<StatsInner>,
+    /// Outbox bytes beyond which the hub evicts this connection as a
+    /// slow consumer ([`pscache::ClientPolicy::max_outbox_bytes`]; 0
+    /// disables eviction).
+    max_outbox_bytes: usize,
 }
 
 /// Append one logical message to an outbox, atomically with respect to
@@ -148,6 +156,18 @@ impl RouteSink for ReactorRoute {
             return false;
         }
         append_message(&self.shared.out, &msg.encode());
+        // Slow-consumer eviction: a client that subscribes to a firehose
+        // and stops draining its socket would otherwise buffer unbounded
+        // notification bytes server-side. Past the policy cap the
+        // connection is defunct — its automata are unregistered by the
+        // teardown worker, exactly as if it had disconnected.
+        if self.shared.max_outbox_bytes > 0
+            && self.shared.out.lock().len() > self.shared.max_outbox_bytes
+        {
+            mark_defunct(&self.shared, &self.shared.stats);
+            self.shared.waker.wake();
+            return false;
+        }
         self.shared.waker.wake();
         true
     }
@@ -206,12 +226,77 @@ impl FrameParser {
     }
 }
 
+/// Continuously-refilled token buckets backing the per-connection
+/// request-rate and byte quotas. Touched only by the reactor thread, so
+/// no lock; floats so sub-1/sec refill accumulates across polls.
+struct Throttle {
+    req_tokens: f64,
+    byte_tokens: f64,
+    last_refill: Instant,
+}
+
+impl Throttle {
+    /// A fresh connection starts with full buckets: an idle client may
+    /// spend its whole burst allowance immediately.
+    fn full(policy: &ClientPolicy) -> Throttle {
+        Throttle {
+            req_tokens: request_bucket_cap(policy),
+            byte_tokens: policy.max_bytes_per_sec as f64,
+            last_refill: Instant::now(),
+        }
+    }
+}
+
+fn request_bucket_cap(policy: &ClientPolicy) -> f64 {
+    if policy.burst > 0 {
+        policy.burst as f64
+    } else {
+        policy.max_requests_per_sec as f64
+    }
+}
+
+/// Admission decision for one decoded request of `nbytes` wire bytes
+/// with `inbox_len` requests already decoded-but-unanswered on the same
+/// connection. Refills the buckets by wall-clock time, then either
+/// admits (consuming tokens) or rejects (consuming nothing — a rejected
+/// request must not push the client further into debt).
+fn admit(policy: &ClientPolicy, t: &mut Throttle, nbytes: usize, inbox_len: usize) -> bool {
+    if policy.max_in_flight > 0 && inbox_len >= policy.max_in_flight {
+        return false;
+    }
+    let now = Instant::now();
+    let dt = now.duration_since(t.last_refill).as_secs_f64();
+    t.last_refill = now;
+    if policy.max_requests_per_sec > 0 {
+        t.req_tokens = (t.req_tokens + dt * policy.max_requests_per_sec as f64)
+            .min(request_bucket_cap(policy));
+        if t.req_tokens < 1.0 {
+            return false;
+        }
+    }
+    if policy.max_bytes_per_sec > 0 {
+        t.byte_tokens = (t.byte_tokens + dt * policy.max_bytes_per_sec as f64)
+            .min(policy.max_bytes_per_sec as f64);
+        if t.byte_tokens < nbytes as f64 {
+            return false;
+        }
+    }
+    if policy.max_requests_per_sec > 0 {
+        t.req_tokens -= 1.0;
+    }
+    if policy.max_bytes_per_sec > 0 {
+        t.byte_tokens -= nbytes as f64;
+    }
+    true
+}
+
 /// The reactor thread's view of one connection: the socket plus the
 /// shared queues.
 struct Conn {
     shared: Arc<ConnShared>,
     stream: TcpStream,
     parser: FrameParser,
+    throttle: Throttle,
 }
 
 /// A running event-driven RPC server bound to a TCP address.
@@ -311,6 +396,8 @@ impl ReactorServer {
             .collect();
 
         let reactor = {
+            let reactor_cache = cache.clone();
+            let policy = cache.client_policy();
             let stats = Arc::clone(&stats);
             let waker = Arc::clone(&waker);
             let shutting_down = Arc::clone(&shutting_down);
@@ -321,6 +408,8 @@ impl ReactorServer {
                 .spawn(move || {
                     reactor_loop(
                         &listener,
+                        &reactor_cache,
+                        &policy,
                         &stats,
                         &shutting_down,
                         &waker,
@@ -465,10 +554,15 @@ fn run_conn(ctx: &RequestCtx<'_>, job_tx: &Sender<Job>, conn: &Arc<ConnShared>) 
                 shared: Arc::clone(&route_conn),
             }) as Box<dyn RouteSink>
         };
+        let token = msg
+            .token
+            .map(|(client_id, seq)| IdemToken { client_id, seq });
+        ctx.stats.worker_busy.fetch_add(1, Ordering::Release);
         let reply = {
             let mut registered = conn.registered.lock();
-            handle_request(ctx, &mut registered, &route, msg.request)
+            handle_request(ctx, &mut registered, &route, msg.request, token)
         };
+        ctx.stats.worker_busy.fetch_sub(1, Ordering::Release);
         append_message(
             &conn.out,
             &ServerMessage::Reply {
@@ -503,8 +597,9 @@ fn mark_defunct(shared: &ConnShared, stats: &StatsInner) {
 fn accept_all(
     listener: &TcpListener,
     conns: &mut Vec<Conn>,
-    stats: &StatsInner,
+    stats: &Arc<StatsInner>,
     waker: &Arc<Waker>,
+    policy: &ClientPolicy,
 ) {
     loop {
         match listener.accept() {
@@ -521,9 +616,12 @@ fn accept_all(
                         out: Mutex::new(Vec::new()),
                         registered: Mutex::new(HashSet::new()),
                         waker: Arc::clone(waker),
+                        stats: Arc::clone(stats),
+                        max_outbox_bytes: policy.max_outbox_bytes,
                     }),
                     stream,
                     parser: FrameParser::default(),
+                    throttle: Throttle::full(policy),
                 });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -535,9 +633,17 @@ fn accept_all(
 
 /// Drain readable bytes into the parser and decoded requests into the
 /// inbox, handing the connection to a worker when it goes busy.
+///
+/// This is also where admission control lives: health probes are
+/// answered inline (never queued, so a probe gets its reply even with
+/// every worker wedged), and requests over the connection's rate, byte
+/// or in-flight budget are answered with a typed `Throttled` rejection
+/// without ever reaching the worker pool.
 fn reactor_read(
     conn: &mut Conn,
     buf: &mut [u8],
+    cache: &Cache,
+    policy: &ClientPolicy,
     stats: &StatsInner,
     job_tx: &Sender<Job>,
     max_pipeline: usize,
@@ -555,6 +661,40 @@ fn reactor_read(
                         Ok(Some(bytes)) => match ClientMessage::decode(&bytes) {
                             Ok(msg) => {
                                 stats.requests.fetch_add(1, Ordering::Release);
+                                if matches!(msg.request, Request::Health) {
+                                    // Readiness must not depend on worker
+                                    // availability: answer from atomics on
+                                    // the reactor thread. The outbox is
+                                    // flushed later this same poll
+                                    // iteration.
+                                    append_message(
+                                        &conn.shared.out,
+                                        &ServerMessage::Reply {
+                                            seq: msg.seq,
+                                            reply: CacheReply::Health {
+                                                report: health_report(cache, stats),
+                                            },
+                                        }
+                                        .encode(),
+                                    );
+                                    continue;
+                                }
+                                let inbox_len = conn.shared.exec.lock().inbox.len();
+                                if !admit(policy, &mut conn.throttle, bytes.len(), inbox_len) {
+                                    stats.requests_throttled.fetch_add(1, Ordering::Release);
+                                    append_message(
+                                        &conn.shared.out,
+                                        &ServerMessage::Reply {
+                                            seq: msg.seq,
+                                            reply: CacheReply::Throttled {
+                                                retry_after_ms: policy.retry_after().as_millis()
+                                                    as u64,
+                                            },
+                                        }
+                                        .encode(),
+                                    );
+                                    continue;
+                                }
                                 stats.in_flight.fetch_add(1, Ordering::Release);
                                 let mut exec = conn.shared.exec.lock();
                                 exec.inbox.push_back(msg);
@@ -625,8 +765,11 @@ fn flush_out(conn: &Conn, stats: &StatsInner) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn reactor_loop(
     listener: &TcpListener,
+    cache: &Cache,
+    policy: &ClientPolicy,
     stats: &Arc<StatsInner>,
     shutting_down: &AtomicBool,
     waker: &Arc<Waker>,
@@ -728,12 +871,20 @@ fn reactor_loop(
         }
         if let Some(slot) = listener_slot {
             if fds[slot].readable() {
-                accept_all(listener, &mut conns, stats, waker);
+                accept_all(listener, &mut conns, stats, waker, policy);
             }
         }
         for (k, &i) in slots.iter().enumerate() {
             if fds[base + k].readable() {
-                reactor_read(&mut conns[i], &mut read_buf, stats, job_tx, max_pipeline);
+                reactor_read(
+                    &mut conns[i],
+                    &mut read_buf,
+                    cache,
+                    policy,
+                    stats,
+                    job_tx,
+                    max_pipeline,
+                );
             }
         }
         // Flush every non-empty outbox — including connections that

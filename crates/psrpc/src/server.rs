@@ -36,10 +36,10 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 
-use pscache::{AutomatonId, Cache, Response};
+use pscache::{AutomatonId, Cache, IdemToken, Response, TokenOutcome};
 
 use crate::error::Result;
-use crate::message::{CacheReply, ClientMessage, Request, ServerMessage, WireRow};
+use crate::message::{CacheReply, ClientMessage, HealthReport, Request, ServerMessage, WireRow};
 use crate::transport::{tcp_split, RecvEvent, RecvHalf, SendHalf};
 
 pub use crate::message::ServerStats;
@@ -57,6 +57,13 @@ pub(crate) struct StatsInner {
     /// Times a connection's read interest was parked because its
     /// decoded-request queue hit the pipeline cap.
     pub(crate) queue_stalls: AtomicU64,
+    /// Workers currently executing a request (incremented around
+    /// [`handle_request`] on both transports).
+    pub(crate) worker_busy: AtomicU64,
+    /// Requests rejected by admission control (reactor transport only;
+    /// the blocking transport enforces no client policy and serves as
+    /// the differential oracle).
+    pub(crate) requests_throttled: AtomicU64,
 }
 
 impl StatsInner {
@@ -91,7 +98,35 @@ impl StatsInner {
             repl_replica_lsn: repl.replica_lsn,
             repl_followers: repl.followers as u64,
             repl_min_follower_acked_lsn: repl.min_follower_acked_lsn,
+            rpc_worker_busy: self.worker_busy.load(Ordering::Acquire),
+            rpc_requests_throttled: self.requests_throttled.load(Ordering::Acquire),
         }
+    }
+}
+
+/// Build the health/readiness snapshot for [`Request::Health`] from
+/// nothing but atomics and lock-free cache accessors — both transports
+/// share it, and the reactor answers it inline on the poll thread so a
+/// probe gets a reply even when every worker is wedged on a slow
+/// request.
+pub(crate) fn health_report(cache: &Cache, stats: &StatsInner) -> HealthReport {
+    let repl = cache.repl_stats();
+    let lag = if repl.followers > 0 {
+        repl.commit_lsn.saturating_sub(repl.min_follower_acked_lsn)
+    } else {
+        0
+    };
+    HealthReport {
+        role_follower: u64::from(repl.role == pscache::ReplRole::Follower),
+        commit_lsn: repl.commit_lsn,
+        replica_lsn: repl.replica_lsn,
+        repl_lag: lag,
+        connections_active: stats.active.load(Ordering::Acquire),
+        rpc_in_flight: stats.in_flight.load(Ordering::Acquire),
+        rpc_queue_stalls: stats.queue_stalls.load(Ordering::Acquire),
+        rpc_worker_busy: stats.worker_busy.load(Ordering::Acquire),
+        rpc_workers: cache.rpc_workers() as u64,
+        rpc_requests_throttled: stats.requests_throttled.load(Ordering::Acquire),
     }
 }
 
@@ -579,7 +614,12 @@ fn serve_requests(
         let msg = ClientMessage::decode(&bytes)?;
         ctx.stats.requests.fetch_add(1, Ordering::Release);
         let route = || Box::new(out_tx.clone()) as Box<dyn RouteSink>;
-        let reply = handle_request(ctx, registered, &route, msg.request);
+        let token = msg
+            .token
+            .map(|(client_id, seq)| IdemToken { client_id, seq });
+        ctx.stats.worker_busy.fetch_add(1, Ordering::Release);
+        let reply = handle_request(ctx, registered, &route, msg.request, token);
+        ctx.stats.worker_busy.fetch_sub(1, Ordering::Release);
         if out_tx
             .send(ServerMessage::Reply {
                 seq: msg.seq,
@@ -592,33 +632,63 @@ fn serve_requests(
     }
 }
 
+/// Re-materialise the wire reply a token's original execution produced.
+/// Byte-for-byte what the lost first reply carried (same variant, same
+/// payload), which is what the differential proptest pins down.
+fn outcome_to_reply(outcome: TokenOutcome) -> CacheReply {
+    match outcome {
+        TokenOutcome::Created => CacheReply::Created,
+        TokenOutcome::Inserted { replaced, tstamp } => CacheReply::Inserted { replaced, tstamp },
+        TokenOutcome::InsertedBatch { tstamps } => CacheReply::InsertedBatch { tstamps },
+    }
+}
+
 /// Execute one decoded request against the cache on behalf of one
 /// connection. `registered` is that connection's automaton ownership
 /// set and `make_route` builds the sink the hub will route the new
 /// automaton's notifications through — the only two transport-specific
 /// inputs, which is what lets the blocking server and the reactor share
-/// every request semantic (including flush-before-ack durability).
+/// every request semantic (including flush-before-ack durability and
+/// idempotency-token dedup). `token` is the client's exactly-once stamp
+/// on mutating requests: a token whose outcome the cache already
+/// remembers short-circuits to that outcome instead of re-executing.
 pub(crate) fn handle_request(
     ctx: &RequestCtx<'_>,
     registered: &mut HashSet<AutomatonId>,
     make_route: &dyn Fn() -> Box<dyn RouteSink>,
     request: Request,
+    token: Option<IdemToken>,
 ) -> CacheReply {
+    // Dedup before execution: a retry of an already-applied mutation
+    // must return the original outcome, not apply again (and not fail
+    // with DuplicateKey). The lookup-then-execute window is safe because
+    // a client never has two in-flight requests with the same token.
+    if let Some(t) = token {
+        if let Some(outcome) = ctx.cache.token_lookup(t) {
+            return outcome_to_reply(outcome);
+        }
+    }
     match request {
         Request::Ping => CacheReply::Pong,
         Request::ServerStats => CacheReply::Stats {
             stats: ctx.stats.snapshot(ctx.cache),
         },
-        Request::Execute { command } => match ctx.cache.execute(&command).and_then(|response| {
-            // Flush-before-ack for the SQL surface too: an insert or
-            // create arriving as text must be as durable at ack time as
-            // one arriving through the typed fast path below. Selects
-            // skip the flush — they wrote nothing.
-            if !matches!(response, Response::Rows(_)) {
-                ctx.cache.flush_wal()?;
-            }
-            Ok(response)
-        }) {
+        Request::Health => CacheReply::Health {
+            report: health_report(ctx.cache, ctx.stats),
+        },
+        Request::Execute { command } => match ctx
+            .cache
+            .execute_with_token(&command, token)
+            .and_then(|response| {
+                // Flush-before-ack for the SQL surface too: an insert or
+                // create arriving as text must be as durable at ack time as
+                // one arriving through the typed fast path below. Selects
+                // skip the flush — they wrote nothing.
+                if !matches!(response, Response::Rows(_)) {
+                    ctx.cache.flush_wal()?;
+                }
+                Ok(response)
+            }) {
             Ok(response) => response_to_reply(response),
             Err(e) => CacheReply::Error {
                 message: e.to_string(),
@@ -629,12 +699,8 @@ pub(crate) fn handle_request(
             values,
             upsert,
         } => {
-            let result = if upsert {
-                ctx.cache.upsert(&table, values)
-            } else {
-                ctx.cache.insert(&table, values)
-            };
-            match result.and_then(|tstamp| {
+            let result = ctx.cache.insert_with_token(&table, values, upsert, token);
+            match result.and_then(|outcome| {
                 // Flush-before-ack: under every sync policy the reply a
                 // client sees for a durable-table insert implies the
                 // record is on disk. Under the default group-commit
@@ -642,12 +708,9 @@ pub(crate) fn handle_request(
                 // this is a no-op; under `SyncPolicy::OsOnly` it is the
                 // flush that upgrades the write to durable.
                 ctx.cache.flush_wal()?;
-                Ok(tstamp)
+                Ok(outcome)
             }) {
-                Ok(tstamp) => CacheReply::Inserted {
-                    replaced: upsert,
-                    tstamp,
-                },
+                Ok((replaced, tstamp)) => CacheReply::Inserted { replaced, tstamp },
                 Err(e) => CacheReply::Error {
                     message: e.to_string(),
                 },
@@ -658,11 +721,9 @@ pub(crate) fn handle_request(
             rows,
             upsert,
         } => {
-            let result = if upsert {
-                ctx.cache.upsert_batch(&table, rows)
-            } else {
-                ctx.cache.insert_batch(&table, rows)
-            };
+            let result = ctx
+                .cache
+                .insert_batch_with_token(&table, rows, upsert, token);
             match result.and_then(|tstamps| {
                 // Flush-before-ack, as for Request::Insert above.
                 ctx.cache.flush_wal()?;
@@ -757,7 +818,7 @@ mod tests {
             };
             let out_tx = self.out_tx.clone();
             let route = move || Box::new(out_tx.clone()) as Box<dyn RouteSink>;
-            handle_request(&ctx, &mut self.registered, &route, request)
+            handle_request(&ctx, &mut self.registered, &route, request, None)
         }
     }
 

@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# Protection-layer snapshot: prices exactly-once dedup on the insert
+# hot path and admission-control fairness under a flooding client.
+# Writes BENCH_protect.json at the repository root and enforces two
+# acceptance floors:
+#
+#   protect_dedup_ratio    >= 0.9   idempotency tokens (the default for
+#                                   every blocking mutation) may cost at
+#                                   most 10% of the untokened pipelined
+#                                   insert throughput
+#   protect_fairness_ratio >= 0.5   a well-behaved, self-paced client
+#                                   keeps at least half its isolated
+#                                   throughput while a hostile
+#                                   connection floods ~10x the quota
+#
+# A missing or unparsable metric is a hard failure: a bench that did not
+# produce its number must never count as a pass.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> snapshot: BENCH_protect.json"
+cargo run --release -p cep_bench --bin bench_protect
+
+check_floor() {
+    key=$1
+    floor=$2
+    desc=$3
+    value=$(grep -o "\"${key}\": [0-9.]*" BENCH_protect.json | tail -1 | cut -d' ' -f2)
+    if [ -z "${value}" ]; then
+        echo "FAIL: ${key} missing from BENCH_protect.json" >&2
+        exit 1
+    fi
+    echo "${desc}: ${value} (floor: ${floor})"
+    awk "BEGIN { exit !(${value} >= ${floor}) }" || {
+        echo "FAIL: ${desc} ${value} below the ${floor} floor" >&2
+        exit 1
+    }
+}
+
+check_floor protect_dedup_ratio 0.9 \
+    "tokened/untokened insert throughput ratio"
+check_floor protect_fairness_ratio 0.5 \
+    "paced-client flooded/isolated throughput ratio"
+
+echo "protect snapshot complete"

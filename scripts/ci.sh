@@ -21,7 +21,9 @@
 #           WAL group commit >= 5x (BENCH_wal.json), replication
 #           drained + follower reads within 2x (BENCH_repl.json),
 #           RPC pipelining >= 10x the serial read ceiling at 16
-#           connections (BENCH_rpc.json)
+#           connections (BENCH_rpc.json), protection layer — dedup
+#           within 10% of the untokened hot path and flood fairness
+#           >= 0.5 (BENCH_protect.json)
 #
 # Every floor is parsed hard: a missing or unparsable metric fails the
 # gate — a bench that did not produce its number never counts as a pass.
@@ -119,6 +121,8 @@ stage_bench() {
     sh scripts/bench_repl.sh
     echo "--> bench floor: RPC reactor pipelining"
     sh scripts/bench_rpc.sh
+    echo "--> bench floor: protection layer (dedup overhead + flood fairness)"
+    sh scripts/bench_protect.sh
 }
 
 # ---------------------------------------------------------------------

@@ -50,9 +50,13 @@ proptest! {
         table in "[A-Za-z][A-Za-z0-9_]{0,12}",
         values in proptest::collection::vec(arb_scalar(), 0..8),
         upsert in any::<bool>(),
+        tokened in any::<bool>(),
+        client_id in any::<u64>(),
+        token_seq in any::<u64>(),
     ) {
         let msg = ClientMessage {
             seq,
+            token: tokened.then_some((client_id, token_seq)),
             request: Request::Insert { table: table.clone(), values: values.clone(), upsert },
         };
         prop_assert_eq!(ClientMessage::decode(&msg.encode()).unwrap(), msg);

@@ -13,9 +13,10 @@
 //!   sixteen hot pipelined clients are served underneath them;
 //! * graceful shutdown answers or error-fails every in-flight request
 //!   and leaves every *acknowledged* durable write recoverable;
-//! * a reply lost after the request was applied surfaces
-//!   [`psrpc::Error::MaybeApplied`] on non-idempotent requests instead
-//!   of silently applying them twice, while idempotent requests retry.
+//! * a reply lost after the request was applied resolves exactly-once
+//!   through idempotency tokens (the default); with tokens disabled the
+//!   client surfaces [`psrpc::Error::MaybeApplied`] instead of silently
+//!   applying twice, while idempotent requests retry either way.
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -83,6 +84,7 @@ fn a_slow_reader_cannot_stall_other_connections() {
     let raw = TcpStream::connect(server.local_addr()).unwrap();
     let msg = ClientMessage {
         seq: 1,
+        token: None,
         request: Request::Execute {
             command: "select * from Blobs".into(),
         },
@@ -392,7 +394,7 @@ fn reply_dropping_proxy(upstream: SocketAddr) -> (SocketAddr, Arc<AtomicBool>) {
 }
 
 #[test]
-fn a_reply_lost_after_apply_surfaces_maybe_applied_instead_of_a_double_write() {
+fn a_reply_lost_after_apply_resolves_exactly_once_through_tokens() {
     let cache = CacheBuilder::new().build();
     let server = ReactorServer::bind(cache.clone(), "127.0.0.1:0").unwrap();
     let (proxy_addr, drop_replies) = reply_dropping_proxy(server.local_addr());
@@ -403,13 +405,57 @@ fn a_reply_lost_after_apply_surfaces_maybe_applied_instead_of_a_double_write() {
             max_attempts: 20,
             base_delay: Duration::from_millis(5),
             max_delay: Duration::from_millis(50),
+            deadline: None,
         },
     )
     .unwrap();
     client.execute("create table T (v integer)").unwrap();
 
     // Kill the reply of a non-idempotent insert after the server
-    // applied it: the client must NOT silently re-send.
+    // applied it. The default idempotency token lets the client retry:
+    // the server recognises the token and answers with the remembered
+    // outcome instead of inserting again.
+    drop_replies.store(true, Ordering::Release);
+    let healer = {
+        let flag = Arc::clone(&drop_replies);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            flag.store(false, Ordering::Release);
+        })
+    };
+    client.insert("T", vec![Scalar::Int(7)]).unwrap();
+    healer.join().unwrap();
+
+    // Applied exactly once: no silent duplicate, no silent loss, no
+    // MaybeApplied ambiguity surfaced to the caller.
+    assert_eq!(cache.table_len("T").unwrap(), 1);
+    assert_eq!(client.select("select * from T").unwrap().len(), 1);
+    assert!(client.reconnect_count() >= 1);
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn with_tokens_disabled_a_lost_reply_surfaces_maybe_applied() {
+    let cache = CacheBuilder::new().build();
+    let server = ReactorServer::bind(cache.clone(), "127.0.0.1:0").unwrap();
+    let (proxy_addr, drop_replies) = reply_dropping_proxy(server.local_addr());
+
+    let client = CacheClient::connect_reconnecting(
+        proxy_addr.to_string(),
+        ReconnectPolicy {
+            max_attempts: 20,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(50),
+            deadline: None,
+        },
+    )
+    .unwrap();
+    client.set_idempotency_tokens(false);
+    client.execute("create table T (v integer)").unwrap();
+
+    // Without a token the client cannot tell "applied, ack lost" from
+    // "never arrived", so it must NOT silently re-send.
     drop_replies.store(true, Ordering::Release);
     let err = client.insert("T", vec![Scalar::Int(7)]).unwrap_err();
     assert!(
@@ -418,12 +464,10 @@ fn a_reply_lost_after_apply_surfaces_maybe_applied_instead_of_a_double_write() {
     );
     drop_replies.store(false, Ordering::Release);
 
-    // Applied exactly once — the retry hole is closed from both sides:
-    // no silent duplicate, no silent loss.
+    // The honest at-least-once contract: applied once, caller informed.
     assert!(wait_until(Duration::from_secs(5), || {
         cache.table_len("T").unwrap() == 1
     }));
-    // The same client recovers for subsequent requests (fresh dial).
     assert_eq!(client.select("select * from T").unwrap().len(), 1);
     assert!(client.reconnect_count() >= 1);
     drop(client);
@@ -442,6 +486,7 @@ fn idempotent_requests_retry_transparently_across_a_lost_reply() {
             max_attempts: 50,
             base_delay: Duration::from_millis(5),
             max_delay: Duration::from_millis(50),
+            deadline: None,
         },
     )
     .unwrap();
