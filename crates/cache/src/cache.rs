@@ -130,6 +130,7 @@ pub struct CacheBuilder {
     automaton_workers: usize,
     rpc_workers: usize,
     naive_fanout: bool,
+    mutex_read_path: bool,
     durability: Option<PathBuf>,
     sync_policy: SyncPolicy,
     checkpoint_every: u64,
@@ -159,6 +160,7 @@ impl CacheBuilder {
             automaton_workers: DEFAULT_AUTOMATON_WORKERS,
             rpc_workers: crate::config::DEFAULT_RPC_WORKERS,
             naive_fanout: false,
+            mutex_read_path: false,
             durability: None,
             sync_policy: SyncPolicy::default(),
             checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
@@ -280,6 +282,18 @@ impl CacheBuilder {
         self
     }
 
+    /// **Benchmark/test-only.** Serve `select`s by locking the table
+    /// mutex and `Arc`-cloning the `since` window, exactly like the
+    /// pre-snapshot storage engine, instead of reading the published
+    /// [`TableSnapshot`](crate::snapshot::TableSnapshot) lock-free.
+    /// Exists so the readers×writers scaling bench (and differential
+    /// tests) can compare both paths in one binary; production callers
+    /// should never enable this.
+    pub fn mutex_read_path(mut self, enabled: bool) -> Self {
+        self.mutex_read_path = enabled;
+        self
+    }
+
     /// Number of lock stripes in the sharded table store (default
     /// [`DEFAULT_SHARD_COUNT`]). Inserts into tables on different stripes
     /// never contend; raise this on machines with many inserting cores,
@@ -395,6 +409,7 @@ impl CacheBuilder {
             print_to_stdout: self.print_to_stdout,
             rpc_workers: self.rpc_workers,
             naive_fanout: self.naive_fanout,
+            mutex_read_path: self.mutex_read_path,
             shutting_down: AtomicBool::new(false),
             wal,
             checkpoint_lock: Mutex::new(()),
@@ -519,21 +534,65 @@ fn looks_like_select(command: &str) -> bool {
 pub(crate) struct PlanEntry {
     query: Query,
     compiled: Mutex<Option<Arc<QueryPlan>>>,
+    /// The owning cache's schema-change recompile counter (shared by
+    /// every entry; see [`PlanCacheStats::recompiles`]).
+    recompiles: Arc<AtomicU64>,
 }
 
 impl PlanEntry {
     /// The plan for `schema`, compiling (and memoising) on first use or
     /// schema change.
+    ///
+    /// The schema-identity check is deliberately `Arc::ptr_eq`, not
+    /// structural equality: schemas are immutable once created, so
+    /// pointer identity proves the plan's resolved indices are valid.
+    /// When the identity *does* change — recovery and replication
+    /// bootstraps rebuild schema `Arc`s, and drop+recreate mints a new
+    /// schema outright — the plan is recompiled in place (and counted),
+    /// so a promoted follower misses each cached text exactly once and
+    /// then resumes hitting; it can never serve a plan compiled against
+    /// the dead schema, and never misses forever.
     fn plan_for(&self, schema: &Arc<Schema>) -> Result<Arc<QueryPlan>> {
         let mut slot = self.compiled.lock();
         if let Some(plan) = slot.as_ref() {
             if Arc::ptr_eq(plan.schema(), schema) {
                 return Ok(Arc::clone(plan));
             }
+            self.recompiles.fetch_add(1, Ordering::Relaxed);
         }
         let plan = Arc::new(QueryPlan::compile(&self.query, schema)?);
         *slot = Some(Arc::clone(&plan));
         Ok(plan)
+    }
+}
+
+/// Counters of the SQL-text plan cache, from
+/// [`Cache::plan_cache_stats`]. A healthy periodic-query workload
+/// converges to a hit rate near 1; `recompiles` stays 0 until a schema
+/// identity changes under a cached text (recovery, follower promotion,
+/// drop+recreate), then grows by exactly one per affected entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Texts served from the cache.
+    pub hits: u64,
+    /// Select-shaped texts that had to be parsed.
+    pub misses: u64,
+    /// Cached plans recompiled because their table's schema `Arc`
+    /// identity changed.
+    pub recompiles: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+impl PlanCacheStats {
+    /// `hits / (hits + misses)`, or 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
     }
 }
 
@@ -548,6 +607,7 @@ struct PlanCache {
     map: RwLock<HashMap<String, Arc<PlanEntry>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    recompiles: Arc<AtomicU64>,
 }
 
 impl PlanCache {
@@ -566,6 +626,7 @@ impl PlanCache {
         let entry = Arc::new(PlanEntry {
             query,
             compiled: Mutex::new(None),
+            recompiles: Arc::clone(&self.recompiles),
         });
         let mut map = self.map.write();
         if map.len() >= Self::CAPACITY {
@@ -575,11 +636,24 @@ impl PlanCache {
         entry
     }
 
-    fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+    /// Drop every cached text that reads `table`. Called when the table
+    /// is dropped: a recreate under the same name mints a new schema,
+    /// and while `plan_for` would recompile against it anyway, the
+    /// evicted texts must also stop *hitting* for a table that no
+    /// longer exists (a hit would otherwise answer from the entry and
+    /// then fail name resolution confusingly, or — for drop without
+    /// recreate — keep dead entries pinned until the epoch eviction).
+    fn evict_table(&self, table: &str) {
+        self.map.write().retain(|_, e| e.query.table() != table);
+    }
+
+    fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            recompiles: self.recompiles.load(Ordering::Relaxed),
+            entries: self.map.read().len(),
+        }
     }
 }
 
@@ -646,6 +720,10 @@ pub(crate) struct CacheInner {
     /// Test-only: bypass the predicate index and fan out to every
     /// subscriber.
     naive_fanout: bool,
+    /// Bench/test-only: serve selects through the table mutex instead
+    /// of the published snapshot (see
+    /// [`CacheBuilder::mutex_read_path`]).
+    mutex_read_path: bool,
     shutting_down: AtomicBool,
     /// The write-ahead log, when durability is enabled.
     wal: Option<Arc<Wal>>,
@@ -932,7 +1010,7 @@ impl Cache {
     ///
     /// Returns [`Error::NoSuchTable`] when the table does not exist.
     pub fn table_kind(&self, table: &str) -> Result<TableKind> {
-        self.inner.with_table(table, |t| Ok(t.kind()))
+        Ok(self.inner.tables.get(table)?.kind())
     }
 
     /// Current cache time in nanoseconds.
@@ -1032,11 +1110,33 @@ impl Cache {
         }
     }
 
-    /// `(hits, misses)` counters of the SQL plan cache, for observability
-    /// and benchmarks. A healthy periodic-query workload converges to a
-    /// hit rate near 1.
-    pub fn plan_cache_stats(&self) -> (u64, u64) {
+    /// Counters of the SQL plan cache, for observability and
+    /// benchmarks; see [`PlanCacheStats`].
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.inner.plans.stats()
+    }
+
+    /// Drop a table (and its topic): the binding is removed from the
+    /// store, every cached `select` plan over the table is evicted, and
+    /// the topic's dispatch entry — including any compiled prefilter
+    /// index — is discarded, so a later `create table` under the same
+    /// name (possibly with a different schema) starts from nothing. A
+    /// `select` holding the published snapshot finishes against the
+    /// detached instance; subscribed automata simply stop receiving
+    /// (their next event can only come from a table that no longer
+    /// publishes).
+    ///
+    /// On a durable cache the drop is made durable by an immediate
+    /// checkpoint: the post-drop snapshot supersedes the table's
+    /// `create` and row records, so recovery cannot resurrect it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchTable`] for unknown names, a follower
+    /// error on replicas, and checkpoint I/O errors (the drop itself
+    /// has already happened in memory).
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        self.inner.drop_table(name)
     }
 
     /// Create a table (and its topic) programmatically.
@@ -1168,7 +1268,7 @@ impl Cache {
     ///
     /// Returns [`Error::NoSuchTable`] when the table does not exist.
     pub fn lookup(&self, table: &str, key: &str) -> Result<Option<Tuple>> {
-        self.inner.with_table(table, |t| Ok(t.lookup(key)))
+        Ok(self.inner.tables.get(table)?.lookup(key))
     }
 
     /// Remove a persistent-table row by primary key, returning it if it
@@ -1190,7 +1290,7 @@ impl Cache {
     ///
     /// Returns [`Error::NoSuchTable`] when the table does not exist.
     pub fn schema(&self, table: &str) -> Result<Arc<Schema>> {
-        self.inner.with_table(table, |t| Ok(Arc::clone(t.schema())))
+        Ok(self.inner.tables.get(table)?.schema())
     }
 
     /// Number of rows currently held by a table.
@@ -1674,6 +1774,30 @@ impl CacheInner {
         Ok(())
     }
 
+    /// Drop a table: unregister it from the store and purge every
+    /// cache keyed by its name — compiled plans (the SQL text may be
+    /// re-issued against a recreated table with a different schema)
+    /// and the per-topic dispatch entry (whose prefilter buckets were
+    /// compiled against the old schema). There is no drop record in
+    /// the WAL format; durability comes from checkpointing
+    /// immediately, which snapshots the store *without* the table and
+    /// retires every log record that mentioned it (replay of any
+    /// older log tolerates records for missing tables).
+    pub(crate) fn drop_table(&self, name: &str) -> Result<()> {
+        self.ensure_writable("drop table")?;
+        if !self.tables.remove(name) {
+            return Err(Error::NoSuchTable {
+                name: name.to_owned(),
+            });
+        }
+        self.plans.evict_table(name);
+        self.dispatch.remove_topic(name);
+        if self.wal.is_some() {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
     /// Append one insert/upsert record for `rows` (already applied to the
     /// locked table behind `guard`) to the log. Returns the commit ticket
     /// to await once the table lock is released (paired with the record's
@@ -1767,9 +1891,13 @@ impl CacheInner {
                 .iter()
                 .map(|a| (a.name.clone(), a.ty))
                 .collect();
+            // `checkpoint_rows`, not `scan`: rows staged by in-flight
+            // writers (awaiting group commit) are already covered by
+            // the watermark read below — a snapshot claiming their
+            // LSNs must contain them.
             let rows = if guard.kind() == TableKind::Persistent {
                 guard
-                    .scan()
+                    .checkpoint_rows()
                     .iter()
                     .map(|t| (t.tstamp(), t.values().to_vec()))
                     .collect()
@@ -1859,7 +1987,15 @@ impl CacheInner {
                     rows,
                     token,
                 } => {
-                    let t = self.tables.get(&table)?;
+                    // A record for a table the snapshot no longer has:
+                    // the table was dropped after this record was
+                    // logged (the drop's checkpoint superseded it, but
+                    // an older log segment can still replay on an
+                    // interrupted-checkpoint recovery). Skip, like a
+                    // watermark-covered record.
+                    let Ok(t) = self.tables.get(&table) else {
+                        continue;
+                    };
                     let mut guard = t.lock();
                     let nrows = rows.len();
                     let mut replaced = false;
@@ -1884,7 +2020,9 @@ impl CacheInner {
                     }
                 }
                 ReplayOp::Remove { lsn, table, key } => {
-                    let t = self.tables.get(&table)?;
+                    let Ok(t) = self.tables.get(&table) else {
+                        continue;
+                    };
                     let mut guard = t.lock();
                     guard.remove(&key)?;
                     guard.note_wal(lsn);
@@ -1945,18 +2083,29 @@ impl CacheInner {
         self.ensure_writable("insert")?;
         let table = self.tables.get(table_name)?;
         let mut guard = table.lock();
-        let outcome = guard.insert(values, self.now(), on_duplicate_update)?;
+        let outcome = guard.stage_insert(values, self.now(), on_duplicate_update)?;
+        let staged_end = guard.staged_tail();
         // The log record is appended in the same critical section that
-        // applied the row, so the shard log's order for this table equals
-        // its apply order; the durability *wait* happens after the lock
+        // staged the row, so the shard log's order for this table equals
+        // its staging order; the durability *wait* happens after the lock
         // drops, which is what lets concurrent inserters group-commit.
-        let ticket = self.wal_log_insert(
+        let ticket = match self.wal_log_insert(
             table_name,
             &mut guard,
             std::slice::from_ref(&outcome.stored),
             on_duplicate_update,
             token.map(|t| (t.client_id, t.seq, false)),
-        )?;
+        ) {
+            Ok(ticket) => ticket,
+            Err(e) => {
+                // The append failed but the row is staged; commit it
+                // (matching the old apply-then-log semantics, where a
+                // log error left the row in place) and surface the
+                // error.
+                guard.commit_visible(staged_end);
+                return Err(e);
+            }
+        };
         if let Some(t) = token {
             // Recorded under the table lock: once the table snapshot of a
             // checkpoint has observed this insert, the (later) token
@@ -1973,9 +2122,44 @@ impl CacheInner {
             );
         }
         self.publish_locked(table_name, std::slice::from_ref(&outcome.stored));
-        drop(guard);
-        self.wal_commit(ticket.map(|(t, _)| t))?;
+        self.commit_staged(&table, guard, staged_end, ticket.map(|(t, _)| t))?;
         Ok(outcome)
+    }
+
+    /// Make a staged prefix visible to the lock-free read path,
+    /// honouring **flush-before-visible**: with no WAL ticket the rows
+    /// commit under the lock already held; with one, the lock is
+    /// dropped first, the ticket is awaited (group commit — the bytes
+    /// reach the disk here, not at append time), and only then is the
+    /// table re-locked to commit. A reader can therefore never observe
+    /// a row whose log record is still sitting in the group-commit
+    /// buffer. Out-of-order ticket completion is safe: per-shard
+    /// durability is prefix-ordered and a table maps to one shard, so
+    /// a later writer's commit covering an earlier writer's staged rows
+    /// implies their records are durable too.
+    ///
+    /// On a flush error the staged rows are committed anyway — the old
+    /// engine had them visible from apply time, and wedging them
+    /// invisible would block every later commit of the table — and the
+    /// error propagates to the writer.
+    fn commit_staged(
+        &self,
+        table: &Arc<crate::table::TableHandle>,
+        guard: parking_lot::MutexGuard<'_, Table>,
+        staged_end: u64,
+        ticket: Option<WalTicket>,
+    ) -> Result<()> {
+        let mut guard = guard;
+        let (Some(wal), Some(ticket)) = (&self.wal, ticket) else {
+            guard.commit_visible(staged_end);
+            return Ok(());
+        };
+        drop(guard);
+        let durable = wal.wait_durable(ticket);
+        table.lock().commit_visible(staged_end);
+        durable?;
+        self.maybe_checkpoint();
+        Ok(())
     }
 
     /// Insert many rows into one table under a single table-lock
@@ -2030,7 +2214,7 @@ impl CacheInner {
         }
         let mut result = Ok(());
         for values in rows {
-            match guard.insert(values, tstamp, on_duplicate_update) {
+            match guard.stage_insert(values, tstamp, on_duplicate_update) {
                 Ok(outcome) => {
                     tstamps.push(outcome.stored.tstamp());
                     if watched || durable {
@@ -2043,18 +2227,27 @@ impl CacheInner {
                 }
             }
         }
+        // The staged prefix (everything before the first bad row)
+        // commits together below, as one visibility event.
+        let staged_end = guard.staged_tail();
         // A batch that failed mid-way records no token: its applied
         // prefix stays at-least-once (documented limitation), and
         // embedding a token would make a retry of the *whole* batch
         // deduplicate against a partial application.
         let record_token = if result.is_ok() { token } else { None };
-        let ticket = self.wal_log_insert(
+        let ticket = match self.wal_log_insert(
             table_name,
             &mut guard,
             &stored,
             on_duplicate_update,
             record_token.map(|t| (t.client_id, t.seq, true)),
-        )?;
+        ) {
+            Ok(ticket) => ticket,
+            Err(e) => {
+                guard.commit_visible(staged_end);
+                return Err(e);
+            }
+        };
         if let Some(t) = record_token {
             self.tokens.lock().record(
                 t,
@@ -2067,8 +2260,7 @@ impl CacheInner {
         if watched {
             self.publish_locked(table_name, &stored);
         }
-        drop(guard);
-        self.wal_commit(ticket.map(|(t, _)| t))?;
+        self.commit_staged(&table, guard, staged_end, ticket.map(|(t, _)| t))?;
         result?;
         Ok(tstamps)
     }
@@ -2113,16 +2305,11 @@ impl CacheInner {
         }
     }
 
-    /// Take a consistent, windowed snapshot of a table.
-    ///
-    /// The table lock is held only long enough to `Arc`-clone the rows in
-    /// the `since` window (binary-searched, so a small window over a
-    /// large table copies almost nothing); evaluation then runs on the
-    /// snapshot *outside* the lock, so a long query never stalls
-    /// concurrent inserts into the same table. The snapshot is atomic
-    /// with respect to writers: it observes every insert completed before
-    /// the lock was taken and none after.
-    fn snapshot(
+    /// Take a consistent, windowed *cloned* snapshot of a table through
+    /// the table mutex — the pre-snapshot storage engine's read path,
+    /// kept verbatim behind [`CacheBuilder::mutex_read_path`] as the
+    /// bench baseline and differential oracle.
+    fn mutex_snapshot(
         &self,
         table_name: &str,
         since: Option<Timestamp>,
@@ -2134,35 +2321,63 @@ impl CacheInner {
         Ok((schema, rows))
     }
 
+    /// The lock-free read path: load the table's published snapshot
+    /// (one shared-pointer clone under a momentary slot read-guard —
+    /// never the table mutex) and evaluate the plan directly over the
+    /// snapshot's borrowed rows. The evaluation cuts one visible
+    /// horizon when iteration starts, so it observes every write
+    /// committed before the call and none after — the same atomicity
+    /// the mutex path bought with its lock, now for free. Matching
+    /// rows alone pay refcount clones, at projection time; with a
+    /// selective predicate the win over clone-the-window is large even
+    /// single-threaded, before any reader parallelism.
     pub(crate) fn select(&self, query: &Query) -> Result<ResultSet> {
-        let (schema, rows) = self.snapshot(query.table(), query.since_tstamp())?;
-        // Lock released: compile and evaluate on the shared snapshot.
-        QueryPlan::compile(query, &schema)?.evaluate(&rows)
+        if self.mutex_read_path {
+            let (schema, rows) = self.mutex_snapshot(query.table(), query.since_tstamp())?;
+            return QueryPlan::compile(query, &schema)?.evaluate(&rows);
+        }
+        let snap = self.tables.get(query.table())?.snapshot();
+        let plan = QueryPlan::compile(query, snap.schema())?;
+        plan.evaluate_rows(snap.range(query.since_tstamp()))
     }
 
-    /// Run a plan-cached `select` (see [`Cache::execute`]).
+    /// Run a plan-cached `select` (see [`Cache::execute`]). Cached
+    /// plans key on schema `Arc` identity, which is stable across
+    /// snapshot generations of one table instance, so the steady state
+    /// is: one atomic snapshot load, one pointer compare, evaluate.
     pub(crate) fn select_cached(&self, entry: &PlanEntry) -> Result<ResultSet> {
-        let (schema, rows) = self.snapshot(entry.query.table(), entry.query.since_tstamp())?;
-        entry.plan_for(&schema)?.evaluate(&rows)
+        if self.mutex_read_path {
+            let (schema, rows) =
+                self.mutex_snapshot(entry.query.table(), entry.query.since_tstamp())?;
+            return entry.plan_for(&schema)?.evaluate(&rows);
+        }
+        let snap = self.tables.get(entry.query.table())?.snapshot();
+        let plan = entry.plan_for(snap.schema())?;
+        plan.evaluate_rows(snap.range(entry.query.since_tstamp()))
     }
 
     pub(crate) fn table_len(&self, name: &str) -> Result<usize> {
-        self.with_table(name, |t| Ok(t.len()))
+        Ok(self.tables.get(name)?.len())
     }
 
     pub(crate) fn persistent_lookup(&self, table: &str, key: &str) -> Result<Option<Vec<Scalar>>> {
-        self.with_table(table, |t| Ok(t.lookup(key).map(|r| r.values().to_vec())))
+        Ok(self
+            .tables
+            .get(table)?
+            .lookup(key)
+            .map(|r| r.values().to_vec()))
     }
 
     pub(crate) fn persistent_keys(&self, table: &str) -> Result<Vec<String>> {
-        self.with_table(table, |t| Ok(t.keys()))
+        Ok(self.tables.get(table)?.keys())
     }
 
     pub(crate) fn persistent_remove(&self, table: &str, key: &str) -> Result<Option<Tuple>> {
         self.ensure_writable("remove")?;
         let t = self.tables.get(table)?;
         let mut guard = t.lock();
-        let removed = guard.remove(key)?;
+        let removed = guard.stage_remove(key)?;
+        let staged_end = guard.staged_tail();
         // Removals are logged unconditionally (even when the key was
         // absent): a remove is idempotent to replay, and logging every
         // call keeps the log a faithful, one-record-per-operation
@@ -2171,14 +2386,20 @@ impl CacheInner {
             Some(wal) if guard.kind() == TableKind::Persistent => {
                 let lsn = wal.next_lsn();
                 let framed = wal::encode_remove(lsn, table, key);
-                let ticket = wal.append(self.tables.shard_index(table), &framed)?;
-                guard.note_wal(lsn);
-                Some(ticket)
+                match wal.append(self.tables.shard_index(table), &framed) {
+                    Ok(ticket) => {
+                        guard.note_wal(lsn);
+                        Some(ticket)
+                    }
+                    Err(e) => {
+                        guard.commit_visible(staged_end);
+                        return Err(e);
+                    }
+                }
             }
             _ => None,
         };
-        drop(guard);
-        self.wal_commit(ticket)?;
+        self.commit_staged(&t, guard, staged_end, ticket)?;
         Ok(removed)
     }
 
@@ -2260,6 +2481,11 @@ impl CacheInner {
         for name in self.tables.names() {
             if !snapshot.tables.iter().any(|t| t.name == name) {
                 self.tables.remove(&name);
+                // A divergence reset drops the table for good; its
+                // cached plans and topic dispatch state go with it,
+                // exactly as in a local drop.
+                self.plans.evict_table(&name);
+                self.dispatch.remove_topic(&name);
             }
         }
         for snap in &snapshot.tables {
@@ -2277,8 +2503,13 @@ impl CacheInner {
             }
             fresh.note_wal(snap.watermark);
             if self.tables.contains(&snap.name) {
-                let t = self.tables.get(&snap.name)?;
-                *t.lock() = fresh;
+                // Swap through the handle, not into it: `replace`
+                // rebinds the fresh table's snapshot and key map onto
+                // the handle's reader-shared state, so follower reads
+                // holding the handle flip atomically from old state to
+                // snapshot state. (A plain `*lock() = fresh` would
+                // strand readers on the orphaned published slot.)
+                self.tables.get(&snap.name)?.replace(fresh);
             } else {
                 self.tables.create(&snap.name, fresh)?;
             }
@@ -2400,7 +2631,13 @@ impl CacheInner {
                 rows,
                 token,
             } => {
-                let t = self.tables.get(table)?;
+                // The table may have been dropped locally (divergence
+                // reset) while older frames for it are still in
+                // flight; they are history the reset already
+                // superseded.
+                let Ok(t) = self.tables.get(table) else {
+                    return Ok(());
+                };
                 let mut guard = t.lock();
                 if guard.wal_watermark() >= *lsn {
                     // Already reflected by a snapshot bootstrap — which
@@ -2438,7 +2675,9 @@ impl CacheInner {
                 Ok(())
             }
             ReplayOp::Remove { lsn, table, key } => {
-                let t = self.tables.get(table)?;
+                let Ok(t) = self.tables.get(table) else {
+                    return Ok(());
+                };
                 let mut guard = t.lock();
                 if guard.wal_watermark() >= *lsn {
                     return Ok(());

@@ -436,6 +436,14 @@ impl DispatchIndex {
         )
     }
 
+    /// Forget a topic entirely (table dropped). A later table of the
+    /// same name starts from a fresh dispatch entry, so no stale
+    /// prefilter buckets compiled against the old schema can route
+    /// its tuples.
+    pub fn remove_topic(&self, name: &str) {
+        self.topics.write().remove(name);
+    }
+
     /// Drop every subscriber from every topic (shutdown).
     pub fn clear_subscribers(&self) {
         for td in self.topics.read().values() {

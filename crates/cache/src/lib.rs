@@ -5,8 +5,8 @@
 //! topic-based publish/subscribe cache in which every stream-database table
 //! is simultaneously a pub/sub topic.
 //!
-//! * **Ephemeral tables** are append-only streams held in a circular memory
-//!   buffer; the primary key is the time of insertion.
+//! * **Ephemeral tables** are append-only streams held in a bounded
+//!   retention window; the primary key is the time of insertion.
 //! * **Persistent tables** are time-varying relations held in the heap; the
 //!   primary key is the first attribute of the schema and
 //!   `insert ... on duplicate key update` replaces rows in place.
@@ -49,7 +49,6 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cache;
-pub mod circular;
 pub mod clock;
 pub mod config;
 pub(crate) mod dispatch;
@@ -59,12 +58,13 @@ pub mod protect;
 pub mod query;
 pub mod repl;
 pub mod runtime;
+pub mod snapshot;
 pub mod sql;
 pub mod table;
 pub mod wal;
 pub mod wire;
 
-pub use cache::{AutomatonTelemetry, Cache, CacheBuilder, DispatchStats, Response};
+pub use cache::{AutomatonTelemetry, Cache, CacheBuilder, DispatchStats, PlanCacheStats, Response};
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use config::{
     ConfigReport, DEFAULT_AUTOMATON_WORKERS, DEFAULT_CHECKPOINT_EVERY, DEFAULT_SHARD_COUNT,

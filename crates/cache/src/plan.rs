@@ -358,6 +358,23 @@ impl QueryPlan {
     /// Currently infallible (all names were resolved at compile time);
     /// the `Result` is kept for evaluator extensions.
     pub fn evaluate(&self, tuples: &[Tuple]) -> Result<ResultSet> {
+        self.evaluate_rows(tuples)
+    }
+
+    /// Evaluate the plan over *borrowed* tuples in time-of-insertion
+    /// order — the lock-free read path's entry point. Rows stream
+    /// straight out of a published
+    /// [`TableSnapshot`](crate::snapshot::TableSnapshot) without a
+    /// single tuple clone; only rows that survive filtering pay
+    /// refcount bumps, at projection time.
+    ///
+    /// # Errors
+    ///
+    /// See [`QueryPlan::evaluate`].
+    pub fn evaluate_rows<'a, I>(&self, tuples: I) -> Result<ResultSet>
+    where
+        I: IntoIterator<Item = &'a Tuple>,
+    {
         // 1. Window and predicate filtering, by index.
         let mut selected: Vec<&Tuple> = Vec::new();
         for t in tuples {

@@ -124,6 +124,11 @@ impl Scalar {
         match (self, other) {
             (Scalar::Str(a), Scalar::Str(b)) => a.cmp(b),
             (Scalar::Bool(a), Scalar::Bool(b)) => a.cmp(b),
+            // Same-type numeric fast paths: native comparison, no
+            // round-trip through f64 (which would also collapse
+            // integers beyond 2^53). Mixed-type pairs still coerce.
+            (Scalar::Int(a), Scalar::Int(b)) => a.cmp(b),
+            (Scalar::Tstamp(a), Scalar::Tstamp(b)) => a.cmp(b),
             (a, b) => match (a.as_real(), b.as_real()) {
                 (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
                 _ => format!("{a:?}").cmp(&format!("{b:?}")),

@@ -98,6 +98,10 @@ fn main() -> ExitCode {
     } else {
         "primary"
     };
+    let lag_text = match report.repl_lag {
+        Some(lag) => lag.to_string(),
+        None => "-".to_string(),
+    };
     if !opts.quiet {
         println!(
             "{} {role} commit_lsn={} replica_lsn={} repl_lag={} conns={} in_flight={} \
@@ -105,7 +109,7 @@ fn main() -> ExitCode {
             opts.addr,
             report.commit_lsn,
             report.replica_lsn,
-            report.repl_lag,
+            lag_text,
             report.connections_active,
             report.rpc_in_flight,
             report.rpc_worker_busy,
@@ -123,12 +127,25 @@ fn main() -> ExitCode {
         return ExitCode::from(1);
     }
     if let Some(max_lag) = opts.max_lag {
-        if report.repl_lag > max_lag {
-            eprintln!(
-                "pscache-health: {} replication lag {} exceeds --max-lag {max_lag}",
-                opts.addr, report.repl_lag
-            );
-            return ExitCode::from(1);
+        // --max-lag asserts "replication is keeping up", which needs a
+        // follower to be keeping up at all: an unreplicated server
+        // fails the check instead of passing it vacuously with lag 0.
+        match report.repl_lag {
+            None => {
+                eprintln!(
+                    "pscache-health: {} has no follower attached (--max-lag {max_lag})",
+                    opts.addr
+                );
+                return ExitCode::from(1);
+            }
+            Some(lag) if lag > max_lag => {
+                eprintln!(
+                    "pscache-health: {} replication lag {lag} exceeds --max-lag {max_lag}",
+                    opts.addr
+                );
+                return ExitCode::from(1);
+            }
+            Some(_) => {}
         }
     }
     // Guard against pathological probe latency even on success paths:

@@ -84,8 +84,12 @@ pub struct HealthReport {
     /// Applied/visible watermark (`pscache::Cache::replica_lsn`).
     pub replica_lsn: u64,
     /// `commit_lsn - min(follower acked)` on a primary with followers —
-    /// the end-to-end replication lag in records; 0 otherwise.
-    pub repl_lag: u64,
+    /// the end-to-end replication lag in records. `None` when no
+    /// follower is attached: "nobody is replicating" must not be
+    /// conflated with "fully caught up", or a `--max-lag` probe passes
+    /// vacuously on an unreplicated primary. On the wire `None` is
+    /// `u64::MAX` (an impossible lag: it exceeds every reachable LSN).
+    pub repl_lag: Option<u64>,
     /// Connections currently being served.
     pub connections_active: u64,
     /// Requests decoded but not yet answered (queue depth).
@@ -484,7 +488,7 @@ fn health_fields(h: &HealthReport) -> [u64; 10] {
         h.role_follower,
         h.commit_lsn,
         h.replica_lsn,
-        h.repl_lag,
+        h.repl_lag.unwrap_or(u64::MAX),
         h.connections_active,
         h.rpc_in_flight,
         h.rpc_queue_stalls,
@@ -586,7 +590,10 @@ fn decode_reply(r: &mut WireReader<'_>) -> Result<CacheReply> {
                 role_follower: r.get_u64()?,
                 commit_lsn: r.get_u64()?,
                 replica_lsn: r.get_u64()?,
-                repl_lag: r.get_u64()?,
+                repl_lag: match r.get_u64()? {
+                    u64::MAX => None,
+                    lag => Some(lag),
+                },
                 connections_active: r.get_u64()?,
                 rpc_in_flight: r.get_u64()?,
                 rpc_queue_stalls: r.get_u64()?,
@@ -766,13 +773,24 @@ mod tests {
                     role_follower: 1,
                     commit_lsn: 2,
                     replica_lsn: 3,
-                    repl_lag: 4,
+                    repl_lag: Some(4),
                     connections_active: 5,
                     rpc_in_flight: 6,
                     rpc_queue_stalls: 7,
                     rpc_worker_busy: 8,
                     rpc_workers: 9,
                     rpc_requests_throttled: 10,
+                },
+            },
+        });
+        // No follower attached: the lag is absent, not zero, and must
+        // survive the wire as such.
+        round_trip_server(ServerMessage::Reply {
+            seq: 12,
+            reply: CacheReply::Health {
+                report: HealthReport {
+                    repl_lag: None,
+                    ..HealthReport::default()
                 },
             },
         });

@@ -111,10 +111,12 @@ impl StatsInner {
 /// request.
 pub(crate) fn health_report(cache: &Cache, stats: &StatsInner) -> HealthReport {
     let repl = cache.repl_stats();
+    // Lag is only meaningful with a follower attached: None (not 0)
+    // otherwise, so probes can tell "caught up" from "unreplicated".
     let lag = if repl.followers > 0 {
-        repl.commit_lsn.saturating_sub(repl.min_follower_acked_lsn)
+        Some(repl.commit_lsn.saturating_sub(repl.min_follower_acked_lsn))
     } else {
-        0
+        None
     };
     HealthReport {
         role_follower: u64::from(repl.role == pscache::ReplRole::Follower),

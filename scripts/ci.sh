@@ -23,7 +23,9 @@
 #           RPC pipelining >= 10x the serial read ceiling at 16
 #           connections (BENCH_rpc.json), protection layer — dedup
 #           within 10% of the untokened hot path and flood fairness
-#           >= 0.5 (BENCH_protect.json)
+#           >= 0.5 (BENCH_protect.json), lock-free read path —
+#           snapshot selects >= 4x the mutex baseline at 8 readers
+#           with writer throughput >= 0.8x (BENCH_readpath.json)
 #
 # Every floor is parsed hard: a missing or unparsable metric fails the
 # gate — a bench that did not produce its number never counts as a pass.
@@ -123,6 +125,8 @@ stage_bench() {
     sh scripts/bench_rpc.sh
     echo "--> bench floor: protection layer (dedup overhead + flood fairness)"
     sh scripts/bench_protect.sh
+    echo "--> bench floor: lock-free read path (snapshot vs mutex selects)"
+    sh scripts/bench_readpath.sh
 }
 
 # ---------------------------------------------------------------------

@@ -149,3 +149,71 @@ fn the_inproc_transport_behaves_like_tcp() {
     let rows = client.select("select * from Blobs").unwrap();
     assert_eq!(rows.rows[0].values[0], Scalar::from(big));
 }
+
+/// `repl_lag` in the health report distinguishes "no follower ever
+/// attached" (`None`) from "followers fully caught up" (`Some(0)`).
+/// The regression: both used to encode as 0, so a `--max-lag` probe
+/// against an unreplicated primary passed vacuously.
+#[test]
+fn health_lag_is_absent_without_a_follower_and_present_with_one() {
+    let dir = std::env::temp_dir().join(format!("pscache-health-lag-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = CacheBuilder::new()
+        .durability(&dir)
+        .replicate_to("127.0.0.1:0")
+        .open()
+        .unwrap();
+    let repl_addr = cache.repl_addr().unwrap().to_string();
+    let server = RpcServer::bind(cache.clone(), "127.0.0.1:0").unwrap();
+    let client = CacheClient::connect(server.local_addr()).unwrap();
+
+    client
+        .execute("create persistenttable KV (k varchar(16) primary key, v integer)")
+        .unwrap();
+    client
+        .insert("KV", vec![Scalar::from("a"), Scalar::Int(1)])
+        .unwrap();
+
+    let unreplicated = client.health().unwrap();
+    assert_eq!(
+        unreplicated.repl_lag, None,
+        "an unreplicated primary has no lag to report"
+    );
+
+    let follower = pscache::Cache::follow(&repl_addr).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let lag = loop {
+        let report = client.health().unwrap();
+        if let Some(lag) = report.repl_lag {
+            break lag;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "follower never showed up in the health report"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(lag <= cache.commit_lsn(), "lag is bounded by history");
+
+    // And once the follower has acked everything, the lag is an
+    // explicit zero — present, not missing.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match client.health().unwrap().repl_lag {
+            Some(0) => break,
+            Some(_) => {}
+            None => panic!("follower disappeared from the health report"),
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "follower never caught up"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    follower.shutdown();
+    drop(client);
+    server.shutdown();
+    cache.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

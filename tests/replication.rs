@@ -851,3 +851,117 @@ proptest! {
         let _ = fs::remove_dir_all(&dir_f);
     }
 }
+
+/// A follower that cached query plans, was reset by a snapshot
+/// bootstrap (which rebuilds every table — and every schema `Arc` —
+/// from the wire image), and was then promoted must *recompile* each
+/// cached SQL text exactly once against the rebuilt schemas, after
+/// which plan-cache hits resume. The regression: plan identity was
+/// checked by schema-`Arc` pointer, and a pointer miss that recompiled
+/// without re-caching would miss forever.
+#[test]
+fn a_promoted_follower_recompiles_cached_plans_once_then_hits_resume() {
+    let dir = scratch("promote-replan");
+    let primary = CacheBuilder::new()
+        .durability(&dir)
+        .replicate_to("127.0.0.1:0")
+        .open()
+        .unwrap();
+    let addr_str = primary.repl_addr().unwrap().to_string();
+    primary
+        .execute("create persistenttable KV (k varchar(16) primary key, v integer)")
+        .unwrap();
+    for i in 0..20i64 {
+        primary
+            .insert(
+                "KV",
+                vec![Scalar::Str(format!("k{i}").into()), Scalar::Int(i)],
+            )
+            .unwrap();
+    }
+
+    let follower = Cache::follow(&addr_str).unwrap();
+    converge(&primary, &follower, Duration::from_secs(10));
+
+    // Warm the follower's plan cache against the bootstrap-built schema.
+    let sql = "select k, v from KV where v >= 10 order by v";
+    let warm_rows = follower.execute(sql).unwrap().rows().unwrap();
+    assert_eq!(warm_rows.rows.len(), 10);
+    let _ = follower.execute(sql).unwrap();
+    let warm = follower.plan_cache_stats();
+    assert!(warm.hits >= 1, "repeat text must hit before the reset");
+    assert_eq!(warm.recompiles, 0);
+    let snapshots_before = follower.repl_stats().snapshots_loaded;
+
+    // Kill the primary, then advance its durable history *and its
+    // checkpoint* past the follower's watermark while no listener is
+    // up (the follower just redials and fails). The relaunched primary
+    // must then answer the redial with a snapshot bootstrap — the
+    // follower's subscribe LSN is below the checkpoint's high
+    // watermark — which rebuilds the follower's tables wholesale.
+    drop(primary);
+    {
+        let offline = CacheBuilder::new().durability(&dir).open().unwrap();
+        for i in 20..40i64 {
+            offline
+                .insert(
+                    "KV",
+                    vec![Scalar::Str(format!("k{i}").into()), Scalar::Int(i)],
+                )
+                .unwrap();
+        }
+        offline.checkpoint().unwrap();
+        offline.shutdown();
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let primary = loop {
+        match CacheBuilder::new()
+            .durability(&dir)
+            .replicate_to(&addr_str)
+            .open()
+        {
+            Ok(cache) => break cache,
+            Err(e) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "could not rebind {addr_str}: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    };
+    converge(&primary, &follower, Duration::from_secs(15));
+    assert!(
+        follower.repl_stats().snapshots_loaded > snapshots_before,
+        "the reconnect must have re-bootstrapped from a snapshot"
+    );
+
+    // Failover: the promoted cache serves the same cached SQL text.
+    drop(primary);
+    follower.promote().unwrap();
+    assert_eq!(follower.repl_role(), ReplRole::Primary);
+
+    let after = follower.execute(sql).unwrap().rows().unwrap();
+    assert_eq!(after.rows.len(), 30, "post-reset data answers the query");
+    let first = follower.plan_cache_stats();
+    assert_eq!(
+        first.recompiles, 1,
+        "the rebuilt schema Arc forces exactly one recompile"
+    );
+    let _ = follower.execute(sql).unwrap();
+    let _ = follower.execute(sql).unwrap();
+    let second = follower.plan_cache_stats();
+    assert_eq!(
+        second.recompiles, 1,
+        "recompile must re-cache the plan, not recompile per query"
+    );
+    assert!(
+        second.hits >= first.hits + 2,
+        "plan-cache hits must resume after promotion ({} -> {})",
+        first.hits,
+        second.hits
+    );
+
+    follower.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}

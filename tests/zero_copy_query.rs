@@ -155,15 +155,19 @@ fn repeated_select_texts_hit_the_plan_cache() {
     }
     let sql = "select host, v from T where v >= 5 order by v desc limit 7";
     let first = cache.execute(sql).unwrap().rows().unwrap();
-    let (_, misses_after_first) = cache.plan_cache_stats();
+    let misses_after_first = cache.plan_cache_stats().misses;
     for _ in 0..5 {
         let again = cache.execute(sql).unwrap().rows().unwrap();
         assert_eq!(again, first);
     }
-    let (hits, misses) = cache.plan_cache_stats();
-    assert!(hits >= 5, "expected plan-cache hits, got {hits}");
+    let stats = cache.plan_cache_stats();
+    assert!(
+        stats.hits >= 5,
+        "expected plan-cache hits, got {}",
+        stats.hits
+    );
     assert_eq!(
-        misses, misses_after_first,
+        stats.misses, misses_after_first,
         "repeats must not add plan-cache misses"
     );
 
