@@ -1,0 +1,68 @@
+//! `check_floor` — assert a `BENCH_*.json` metric clears its floor.
+//!
+//! ```text
+//! check_floor <file> <key> <min> [description]
+//! ```
+//!
+//! Reads the snapshot, extracts `"key"`'s numeric value with a real
+//! scan (`cep_bench::floor`) instead of the byte-layout-sensitive
+//! `grep -o` the CI gate used to carry, and exits `0` when
+//! `value >= min`. Every failure mode is loud and distinct: missing
+//! file, missing key, unparsable value, value below the floor — a
+//! bench that did not produce its number never counts as a pass.
+//!
+//! Exit codes: `0` pass, `1` floor failure (including missing
+//! file/key), `2` bad usage.
+
+use std::process::ExitCode;
+
+use cep_bench::floor::{check, FloorError};
+
+const USAGE: &str = "usage: check_floor <file> <key> <min> [description]";
+
+fn main() -> ExitCode {
+    // Tolerate the subcommand-style spelling `check_floor --check-floor
+    // file key min` so callers can read either way.
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .skip_while(|a| a == "--check-floor")
+        .collect();
+    let (file, key, min_text) = match (args.first(), args.get(1), args.get(2)) {
+        (Some(f), Some(k), Some(m)) => (f, k, m),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let Ok(min) = min_text.parse::<f64>() else {
+        eprintln!("check_floor: floor '{min_text}' is not a number");
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let desc = args
+        .get(3)
+        .cloned()
+        .unwrap_or_else(|| format!("{key} in {file}"));
+
+    let json = match std::fs::read_to_string(file) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("FAIL: {file} was not produced ({e})");
+            return ExitCode::from(1);
+        }
+    };
+    match check(&json, key, min) {
+        Ok(value) => {
+            println!("{desc}: {value} (floor: {min})");
+            ExitCode::SUCCESS
+        }
+        Err(FloorError::Below { value, .. }) => {
+            eprintln!("FAIL: {desc} {value} below the {min} floor");
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("FAIL: {e} in {file}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -17,4 +17,5 @@ pub mod fig09_10;
 pub mod fig12_13;
 pub mod fig15_16;
 pub mod fig18;
+pub mod floor;
 pub mod stats;

@@ -12,6 +12,7 @@ use parking_lot::{Mutex, RwLock};
 use gapl::event::{AttrType, Scalar, Schema, Timestamp, Tuple};
 
 use crate::clock::{Clock, ManualClock, SystemClock};
+use crate::cluster::ClusterSpec;
 use crate::config::{
     DEFAULT_AUTOMATON_WORKERS, DEFAULT_CHECKPOINT_EVERY, DEFAULT_SHARD_COUNT, DEFAULT_TOKEN_HISTORY,
 };
@@ -423,6 +424,7 @@ impl CacheBuilder {
             tokens: Mutex::new(TokenTable::new(self.token_history)),
             token_history: self.token_history,
             client_policy: self.client_policy,
+            cluster: RwLock::new(None),
         });
         if let (Some(wal), Some(hub)) = (&inner.wal, &inner.repl_hub) {
             let hub = Arc::clone(hub);
@@ -745,6 +747,11 @@ pub(crate) struct CacheInner {
     /// Per-client admission policy an RPC reactor fronting this cache
     /// enforces (see [`CacheBuilder::client_policy`]).
     client_policy: ClientPolicy,
+    /// This node's cluster membership, when it serves one partition of
+    /// a sharded cluster (see [`crate::cluster`]). Installed after
+    /// build by [`Cache::set_cluster_spec`]; turns key ownership into
+    /// an enforced write invariant.
+    cluster: RwLock<Option<Arc<ClusterSpec>>>,
 }
 
 impl std::fmt::Debug for CacheInner {
@@ -781,6 +788,31 @@ impl Cache {
     /// cache enforces (see [`CacheBuilder::client_policy`]).
     pub fn client_policy(&self) -> ClientPolicy {
         self.inner.client_policy.clone()
+    }
+
+    /// Install this node's cluster membership: from now on every write
+    /// whose routing key hashes to another partition is rejected with
+    /// [`Error::WrongPartition`] naming the owner, before any row is
+    /// staged (see [`crate::cluster`]). The built-in `Timer` topic and
+    /// internal tables are exempt — they are per-node, not partitioned.
+    ///
+    /// Installing a spec on a follower is the normal failover
+    /// preparation: the check only runs on writable paths, so it is
+    /// inert until [`Cache::promote`] flips the role.
+    pub fn set_cluster_spec(&self, spec: ClusterSpec) {
+        *self.inner.cluster.write() = Some(Arc::new(spec));
+    }
+
+    /// This node's cluster membership, when one was installed.
+    pub fn cluster_spec(&self) -> Option<Arc<ClusterSpec>> {
+        self.inner.cluster.read().clone()
+    }
+
+    /// A weak handle to the cache internals, for in-crate background
+    /// machinery (the subscription bridge) that must never keep a
+    /// dropped cache alive.
+    pub(crate) fn inner_weak(&self) -> std::sync::Weak<CacheInner> {
+        Arc::downgrade(&self.inner)
     }
 
     /// The remembered outcome of a token-stamped mutation, if the
@@ -2058,6 +2090,56 @@ impl CacheInner {
         f(&mut guard)
     }
 
+    /// Enforce cluster key ownership for a write of `rows` into
+    /// `table_name` (see [`Cache::set_cluster_spec`]): with a spec
+    /// installed, every row's routing key must hash to this node's
+    /// partition. Validated before anything is staged, so a
+    /// [`Error::WrongPartition`] reply always means "nothing was
+    /// applied — resend to the named owner". The built-in `Timer`
+    /// topic and internal tables are per-node, not partitioned.
+    fn ensure_owned(&self, table_name: &str, rows: &[Vec<Scalar>]) -> Result<()> {
+        if table_name == TIMER_TOPIC || table_name.starts_with('\u{1}') {
+            return Ok(());
+        }
+        let Some(spec) = self.cluster.read().clone() else {
+            return Ok(());
+        };
+        for row in rows {
+            spec.check_owned(row)?;
+        }
+        Ok(())
+    }
+
+    /// Publish rows inserted on a *remote* partition to this node's
+    /// automata — the subscription bridge's delivery seam. The rows are
+    /// never stored locally (they live on their owning partition;
+    /// queries scatter-gather): the local table of the same name —
+    /// created by the cluster client's DDL broadcast — supplies the
+    /// schema and the lock [`CacheInner::publish_locked`] requires.
+    /// Returns how many rows were published. An unknown table or a
+    /// schema mismatch delivers nothing rather than wedging the
+    /// stream — the remote partition is authoritative for its own data,
+    /// and a local mismatch means this node's DDL hasn't caught up.
+    pub(crate) fn publish_remote(
+        &self,
+        topic: &str,
+        rows: &[Vec<Scalar>],
+        tstamp: Timestamp,
+    ) -> usize {
+        let Ok(table) = self.tables.get(topic) else {
+            return 0;
+        };
+        let guard = table.lock();
+        let schema = Arc::clone(guard.schema());
+        let tuples: Vec<Tuple> = rows
+            .iter()
+            .filter_map(|values| Tuple::new(Arc::clone(&schema), values.clone(), tstamp).ok())
+            .collect();
+        self.publish_locked(topic, &tuples);
+        drop(guard);
+        tuples.len()
+    }
+
     /// Insert and publish: the unification step. The per-table lock is held
     /// across both the buffer append and the enqueueing onto subscriber
     /// channels so that every automaton observes tuples in strict
@@ -2081,6 +2163,7 @@ impl CacheInner {
         token: Option<IdemToken>,
     ) -> Result<crate::table::InsertOutcome> {
         self.ensure_writable("insert")?;
+        self.ensure_owned(table_name, std::slice::from_ref(&values))?;
         let table = self.tables.get(table_name)?;
         let mut guard = table.lock();
         let outcome = guard.stage_insert(values, self.now(), on_duplicate_update)?;
@@ -2192,6 +2275,11 @@ impl CacheInner {
         token: Option<IdemToken>,
     ) -> Result<Vec<Timestamp>> {
         self.ensure_writable("insert")?;
+        // Ownership is validated for the *whole* batch before any row
+        // is staged — unlike schema errors (prefix-applied, documented
+        // above), a misrouted batch applies nothing, so the redirected
+        // retry against the owning partition can resend it verbatim.
+        self.ensure_owned(table_name, &rows)?;
         let table = self.tables.get(table_name)?;
         // A batch is one atomic insertion event: the clock is read once
         // and every row carries the same insertion timestamp, so a batch
@@ -2374,6 +2462,18 @@ impl CacheInner {
 
     pub(crate) fn persistent_remove(&self, table: &str, key: &str) -> Result<Option<Tuple>> {
         self.ensure_writable("remove")?;
+        // Removals are keyed, so ownership is checked on the key
+        // directly — same rule as inserts, same redirectable error.
+        if table != TIMER_TOPIC && !table.starts_with('\u{1}') {
+            if let Some(spec) = self.cluster.read().clone() {
+                let owner = spec.owner_of(key);
+                if owner != spec.index() {
+                    return Err(Error::WrongPartition {
+                        partition: owner as u64,
+                    });
+                }
+            }
+        }
         let t = self.tables.get(table)?;
         let mut guard = t.lock();
         let removed = guard.stage_remove(key)?;

@@ -1,0 +1,240 @@
+//! Scatter-gather query assembly: merge per-partition row streams by
+//! timestamp, then evaluate the full query plan over the merged window.
+//!
+//! The scatter side pushes only the `since τ` window down to each
+//! partition (`select * from T since τ`) and ships the raw rows back;
+//! everything else — predicate, projection, `order by`, `group by`,
+//! aggregates, `limit` — runs **here**, over the merged stream, through
+//! the same [`QueryPlan`](crate::query) compilation the single-node
+//! read path uses. That reuse is the correctness argument: a grouped or
+//! ordered query never needs partial-aggregate merging logic of its
+//! own, because the plan sees one logically-contiguous window exactly
+//! as it would on an unpartitioned cache.
+//!
+//! The merge itself is a streaming k-way merge: each partition returns
+//! its window in scan order, which is timestamp-nondecreasing (the
+//! cache clamps every table's clock monotone), so one binary heap of
+//! `k` cursors yields the global timestamp order in `O(n log k)`
+//! without ever re-sorting. Ties across partitions break by partition
+//! index — deterministic, and invisible to any query whose timestamps
+//! are distinct (an unpartitioned oracle could order equal-timestamp
+//! rows from different clients either way too).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use gapl::event::{Scalar, Schema, Tuple};
+
+use crate::error::{Error, Result};
+use crate::query::{Query, ResultSet};
+
+/// One raw row shipped back by a partition: its insertion timestamp and
+/// full value vector (the scatter query is always `select *`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatheredRow {
+    /// Insertion timestamp at the owning partition.
+    pub tstamp: u64,
+    /// The row's values, in schema order.
+    pub values: Vec<Scalar>,
+}
+
+/// A heap entry: the head row of one partition's stream. `BinaryHeap`
+/// is a max-heap, so the ordering is reversed to pop the smallest
+/// `(tstamp, partition)` first.
+struct Head {
+    tstamp: u64,
+    partition: usize,
+}
+
+impl PartialEq for Head {
+    fn eq(&self, other: &Self) -> bool {
+        self.tstamp == other.tstamp && self.partition == other.partition
+    }
+}
+impl Eq for Head {}
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Head {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.tstamp, other.partition).cmp(&(self.tstamp, self.partition))
+    }
+}
+
+/// Merge per-partition windows (each timestamp-nondecreasing, in scan
+/// order) into one globally timestamp-ordered stream. Ties break by
+/// partition index.
+#[must_use]
+pub fn merge_by_tstamp(mut parts: Vec<Vec<GatheredRow>>) -> Vec<GatheredRow> {
+    let total: usize = parts.iter().map(Vec::len).sum();
+    let mut heap: BinaryHeap<Head> = BinaryHeap::with_capacity(parts.len());
+    // Rows are moved out of their vectors one cursor step at a time;
+    // `Vec::drain` per element would be quadratic, so each partition's
+    // vector is consumed by index with `std::mem::take` on the row.
+    let mut streams: Vec<std::vec::IntoIter<GatheredRow>> = Vec::with_capacity(parts.len());
+    let mut pending: Vec<Option<GatheredRow>> = Vec::with_capacity(parts.len());
+    for (p, rows) in parts.drain(..).enumerate() {
+        let mut it = rows.into_iter();
+        if let Some(first) = it.next() {
+            heap.push(Head {
+                tstamp: first.tstamp,
+                partition: p,
+            });
+            pending.push(Some(first));
+        } else {
+            pending.push(None);
+        }
+        streams.push(it);
+    }
+    let mut merged = Vec::with_capacity(total);
+    while let Some(head) = heap.pop() {
+        let row = pending[head.partition]
+            .take()
+            .expect("a heap entry always has its row staged");
+        merged.push(row);
+        if let Some(next) = streams[head.partition].next() {
+            heap.push(Head {
+                tstamp: next.tstamp,
+                partition: head.partition,
+            });
+            pending[head.partition] = Some(next);
+        }
+    }
+    merged
+}
+
+/// Evaluate `query` over an already-merged window, exactly as the
+/// single-node read path would: build tuples against `schema`, compile
+/// the plan, evaluate.
+///
+/// # Errors
+///
+/// Propagates plan-compilation errors (unknown columns, type
+/// mismatches) and schema violations in the gathered rows — either
+/// means the scatter replies and the schema disagree, which is a
+/// cluster-configuration error worth surfacing loudly.
+pub fn evaluate_gathered(
+    query: &Query,
+    schema: &Arc<Schema>,
+    merged: Vec<GatheredRow>,
+) -> Result<ResultSet> {
+    let tuples: Vec<Tuple> = merged
+        .into_iter()
+        .map(|row| {
+            Tuple::new(Arc::clone(schema), row.values, row.tstamp).map_err(|e| Error::Schema {
+                message: format!(
+                    "gathered row does not match schema `{}`: {e}",
+                    schema.name()
+                ),
+            })
+        })
+        .collect::<Result<_>>()?;
+    query.evaluate(schema, &tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gapl::event::AttrType;
+
+    fn parse_select(text: &str) -> Query {
+        match crate::sql::parse(text).expect("query parses") {
+            crate::sql::Command::Select(q) => q,
+            other => panic!("expected a select, parsed {other:?}"),
+        }
+    }
+
+    fn row(tstamp: u64, n: i64) -> GatheredRow {
+        GatheredRow {
+            tstamp,
+            values: vec![Scalar::Int(n)],
+        }
+    }
+
+    #[test]
+    fn merge_orders_globally_by_tstamp() {
+        let parts = vec![
+            vec![row(1, 10), row(4, 40), row(6, 60)],
+            vec![row(2, 20), row(3, 30)],
+            vec![],
+            vec![row(5, 50)],
+        ];
+        let merged = merge_by_tstamp(parts);
+        let ts: Vec<u64> = merged.iter().map(|r| r.tstamp).collect();
+        assert_eq!(ts, vec![1, 2, 3, 4, 5, 6]);
+        let ns: Vec<i64> = merged
+            .iter()
+            .map(|r| r.values[0].as_int().unwrap())
+            .collect();
+        assert_eq!(ns, vec![10, 20, 30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn merge_breaks_tstamp_ties_by_partition_index() {
+        let parts = vec![vec![row(7, 1)], vec![row(7, 2)], vec![row(7, 3)]];
+        let merged = merge_by_tstamp(parts);
+        let ns: Vec<i64> = merged
+            .iter()
+            .map(|r| r.values[0].as_int().unwrap())
+            .collect();
+        assert_eq!(ns, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_is_stable_within_a_partition() {
+        // Equal timestamps inside one partition keep their scan order —
+        // the order the partition inserted (and published) them.
+        let parts = vec![vec![row(5, 1), row(5, 2), row(5, 3)]];
+        let merged = merge_by_tstamp(parts);
+        let ns: Vec<i64> = merged
+            .iter()
+            .map(|r| r.values[0].as_int().unwrap())
+            .collect();
+        assert_eq!(ns, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn evaluate_gathered_runs_the_full_plan() {
+        let schema =
+            Arc::new(Schema::new("T", vec![("k", AttrType::Str), ("n", AttrType::Int)]).unwrap());
+        let merged = vec![
+            GatheredRow {
+                tstamp: 1,
+                values: vec![Scalar::Str(Arc::from("a")), Scalar::Int(3)],
+            },
+            GatheredRow {
+                tstamp: 2,
+                values: vec![Scalar::Str(Arc::from("b")), Scalar::Int(5)],
+            },
+            GatheredRow {
+                tstamp: 3,
+                values: vec![Scalar::Str(Arc::from("a")), Scalar::Int(4)],
+            },
+        ];
+        let query = parse_select("select sum(n) from T group by k order by k");
+        let rs = evaluate_gathered(&query, &schema, merged).unwrap();
+        assert_eq!(rs.columns, vec!["k".to_owned(), "sum(n)".to_owned()]);
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0].values[0].as_str(), Some("a"));
+        assert_eq!(rs.rows[0].values[1].as_int(), Some(7));
+        assert_eq!(rs.rows[1].values[0].as_str(), Some("b"));
+        assert_eq!(rs.rows[1].values[1].as_int(), Some(5));
+    }
+
+    #[test]
+    fn evaluate_gathered_rejects_mismatched_rows() {
+        let schema = Arc::new(Schema::new("T", vec![("n", AttrType::Int)]).unwrap());
+        let merged = vec![GatheredRow {
+            tstamp: 1,
+            values: vec![Scalar::Str(Arc::from("not an int"))],
+        }];
+        let query = parse_select("select * from T");
+        assert!(matches!(
+            evaluate_gathered(&query, &schema, merged),
+            Err(Error::Schema { .. })
+        ));
+    }
+}

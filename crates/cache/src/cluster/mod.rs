@@ -1,0 +1,43 @@
+//! Cluster sharding: partition a table's rows across N primaries.
+//!
+//! Replication scales reads; this module scales **writes**. A cluster
+//! is N ordinary [`Cache`](crate::Cache) instances — each with its own
+//! WAL, group commit, checkpoint lifecycle and follower chain — plus
+//! three pieces of pure coordination logic:
+//!
+//! * [`ring`] — the deterministic consistent-hash ring every node and
+//!   client derives independently from the partition count alone.
+//! * [`router`] — the row→partition ownership rule (routing key = the
+//!   row's first column, i.e. its upsert primary key) and the
+//!   [`ClusterSpec`] a partition server installs to *enforce* it:
+//!   misrouted writes fail with
+//!   [`Error::WrongPartition`](crate::Error::WrongPartition) carrying
+//!   the owner index, which the RPC layer turns into a `NotMine`
+//!   redirect.
+//! * [`gather`] — scatter-gather query assembly: per-partition `since`
+//!   windows merge by timestamp in one streaming k-way pass, and the
+//!   full plan (predicate, order-by, group-by, aggregates, limit) is
+//!   evaluated over the merged window by the very same
+//!   [`QueryPlan`](crate::query) machinery the single-node path uses.
+//!
+//! [`bridge`] closes the pub/sub loop: automata are local to the node
+//! they registered on, so each node bridges every *other* partition's
+//! replication stream into its own dispatch layer — full-topic
+//! subscriptions with per-partition ordering and LSN-deduplicated
+//! exactly-once delivery, surviving partition-primary failover via
+//! [`SubBridge::rebind`].
+//!
+//! The cluster-aware client (routing, fan-out, redirect handling)
+//! lives in the RPC crate, which wraps these primitives around its
+//! pipelined connections. See `docs/architecture.md` § "Cluster
+//! sharding" for the full design, including the failover contract.
+
+pub mod bridge;
+pub mod gather;
+pub mod ring;
+pub mod router;
+
+pub use bridge::SubBridge;
+pub use gather::{evaluate_gathered, merge_by_tstamp, GatheredRow};
+pub use ring::{HashRing, DEFAULT_VNODES};
+pub use router::{routing_key, split_batch, ClusterSpec};

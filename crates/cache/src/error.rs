@@ -78,6 +78,14 @@ pub enum Error {
         /// The rejected operation.
         message: String,
     },
+    /// A write was routed to a cluster partition that does not own its
+    /// key (see [`crate::cluster`]). Carries the owning partition's
+    /// index so the RPC layer can redirect instead of failing opaquely;
+    /// nothing was applied.
+    WrongPartition {
+        /// The partition that owns the rejected row's key.
+        partition: u64,
+    },
     /// Internal invariant violation (poisoned thread, disconnected channel).
     Internal {
         /// Explanation of the failure.
@@ -155,6 +163,9 @@ impl fmt::Display for Error {
             Error::Repl { message } => write!(f, "replication error: {message}"),
             Error::ReadOnlyReplica { message } => {
                 write!(f, "read-only follower replica: {message}")
+            }
+            Error::WrongPartition { partition } => {
+                write!(f, "key belongs to cluster partition {partition}")
             }
             Error::AutomatonRuntime { message } => {
                 write!(f, "automaton runtime error: {message}")

@@ -50,6 +50,7 @@
 
 pub mod cache;
 pub mod clock;
+pub mod cluster;
 pub mod config;
 pub(crate) mod dispatch;
 pub mod error;
@@ -66,6 +67,7 @@ pub mod wire;
 
 pub use cache::{AutomatonTelemetry, Cache, CacheBuilder, DispatchStats, PlanCacheStats, Response};
 pub use clock::{Clock, ManualClock, SystemClock};
+pub use cluster::{ClusterSpec, HashRing, SubBridge};
 pub use config::{
     ConfigReport, DEFAULT_AUTOMATON_WORKERS, DEFAULT_CHECKPOINT_EVERY, DEFAULT_SHARD_COUNT,
     DEFAULT_TOKEN_HISTORY,

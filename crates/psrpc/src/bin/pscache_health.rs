@@ -9,14 +9,16 @@
 //! instead of timing the probe out.
 //!
 //! ```text
-//! pscache-health <host:port> [--require-primary] [--max-lag N] [--quiet]
+//! pscache-health <host:port> [--require-primary] [--max-lag N]
+//!                [--max-worker-saturation R] [--quiet]
 //! ```
 //!
 //! Exit codes, shaped for probe configs (Kubernetes, HAProxy, …):
 //!
 //! * `0` — the server answered and passed every requested check;
 //! * `1` — the server answered but failed a check (follower when
-//!   `--require-primary`, replication lag above `--max-lag`);
+//!   `--require-primary`, replication lag above `--max-lag`, worker
+//!   pool busier than `--max-worker-saturation`);
 //! * `2` — unreachable, timed out, or bad usage.
 
 use std::process::ExitCode;
@@ -24,12 +26,17 @@ use std::time::{Duration, Instant};
 
 use psrpc::client::CacheClient;
 
-const USAGE: &str = "usage: pscache-health <host:port> [--require-primary] [--max-lag N] [--quiet]";
+const USAGE: &str = "usage: pscache-health <host:port> [--require-primary] [--max-lag N] \
+       [--max-worker-saturation R] [--quiet]";
 
 struct Options {
     addr: String,
     require_primary: bool,
     max_lag: Option<u64>,
+    /// Fail (exit 1) when `HealthReport::worker_saturation()` exceeds
+    /// this ratio — e.g. `0.9` drops a backend from rotation while its
+    /// worker pool is pinned, before clients see queueing latency.
+    max_worker_saturation: Option<f64>,
     quiet: bool,
 }
 
@@ -37,6 +44,7 @@ fn parse_args() -> Result<Options, String> {
     let mut addr = None;
     let mut require_primary = false;
     let mut max_lag = None;
+    let mut max_worker_saturation = None;
     let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -46,6 +54,16 @@ fn parse_args() -> Result<Options, String> {
             "--max-lag" => {
                 let value = args.next().ok_or("--max-lag needs a value")?;
                 max_lag = Some(value.parse().map_err(|_| "--max-lag needs an integer")?);
+            }
+            "--max-worker-saturation" => {
+                let value = args.next().ok_or("--max-worker-saturation needs a value")?;
+                let ratio: f64 = value
+                    .parse()
+                    .map_err(|_| "--max-worker-saturation needs a ratio in [0, 1]")?;
+                if !(0.0..=1.0).contains(&ratio) {
+                    return Err("--max-worker-saturation needs a ratio in [0, 1]".into());
+                }
+                max_worker_saturation = Some(ratio);
             }
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
@@ -60,6 +78,7 @@ fn parse_args() -> Result<Options, String> {
         addr: addr.ok_or("an address is required")?,
         require_primary,
         max_lag,
+        max_worker_saturation,
         quiet,
     })
 }
@@ -105,7 +124,7 @@ fn main() -> ExitCode {
     if !opts.quiet {
         println!(
             "{} {role} commit_lsn={} replica_lsn={} repl_lag={} conns={} in_flight={} \
-             workers={}/{} throttled={} ({}ms)",
+             workers={}/{} saturation={:.2} throttled={} ({}ms)",
             opts.addr,
             report.commit_lsn,
             report.replica_lsn,
@@ -114,6 +133,7 @@ fn main() -> ExitCode {
             report.rpc_in_flight,
             report.rpc_worker_busy,
             report.rpc_workers,
+            report.worker_saturation(),
             report.rpc_requests_throttled,
             elapsed.as_millis(),
         );
@@ -146,6 +166,17 @@ fn main() -> ExitCode {
                 return ExitCode::from(1);
             }
             Some(_) => {}
+        }
+    }
+    if let Some(max) = opts.max_worker_saturation {
+        let saturation = report.worker_saturation();
+        if saturation > max {
+            eprintln!(
+                "pscache-health: {} worker saturation {saturation:.2} ({}/{}) exceeds \
+                 --max-worker-saturation {max}",
+                opts.addr, report.rpc_worker_busy, report.rpc_workers
+            );
+            return ExitCode::from(1);
         }
     }
     // Guard against pathological probe latency even on success paths:

@@ -262,6 +262,7 @@ impl PendingReply {
     pub fn wait(mut self) -> Result<CacheReply> {
         match self.take_outcome() {
             Outcome::Reply(CacheReply::Error { message }) => Err(Error::Remote { message }),
+            Outcome::Reply(CacheReply::NotMine { partition }) => Err(Error::NotMine { partition }),
             Outcome::Reply(reply) => Ok(reply),
             Outcome::Dropped if self.idempotent => Err(Error::Disconnected),
             Outcome::Dropped => Err(Error::MaybeApplied),
@@ -594,6 +595,13 @@ impl CacheClient {
                 None => return Err(Error::MaybeApplied),
                 Some(Outcome::Reply(CacheReply::Error { message })) => {
                     return Err(Error::Remote { message })
+                }
+                Some(Outcome::Reply(CacheReply::NotMine { partition })) => {
+                    // A cluster redirect, not a failure: nothing was
+                    // applied and the request belongs on another
+                    // partition's primary. Surfaced typed (never
+                    // retried here) so the cluster client can re-route.
+                    return Err(Error::NotMine { partition });
                 }
                 Some(Outcome::Reply(CacheReply::Throttled { retry_after_ms })) => {
                     // Admission control said no. Honour the server's

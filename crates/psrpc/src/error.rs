@@ -45,6 +45,17 @@ pub enum Error {
         /// The server's suggested backoff before re-sending.
         retry_after: std::time::Duration,
     },
+    /// The server answered with a cluster redirect
+    /// ([`crate::message::CacheReply::NotMine`]): it does not own the
+    /// written key's partition. Nothing was applied; re-send the
+    /// identical request to the named partition's primary. The cluster
+    /// client ([`crate::cluster::ClusterClient`]) follows the redirect
+    /// internally — seeing this error from it means the cluster's
+    /// membership and the client's ring disagree.
+    NotMine {
+        /// The partition that owns the rejected key.
+        partition: u64,
+    },
 }
 
 impl Error {
@@ -70,6 +81,10 @@ impl fmt::Display for Error {
             Error::Throttled { retry_after } => write!(
                 f,
                 "request rejected by admission control; retry after {retry_after:?}"
+            ),
+            Error::NotMine { partition } => write!(
+                f,
+                "key belongs to cluster partition {partition}; re-send there"
             ),
         }
     }

@@ -64,6 +64,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod client;
+pub mod cluster;
 pub mod error;
 pub mod framing;
 pub mod message;
@@ -74,6 +75,7 @@ pub mod transport;
 pub mod wire;
 
 pub use client::{CacheClient, PendingReply, ReconnectPolicy};
+pub use cluster::ClusterClient;
 pub use error::{Error, Result};
 pub use reactor::{ReactorConfig, ReactorServer};
 pub use server::{RpcServer, ServerStats};

@@ -104,6 +104,29 @@ pub struct HealthReport {
     pub rpc_requests_throttled: u64,
 }
 
+impl HealthReport {
+    /// Worker-pool saturation: `rpc_worker_busy / rpc_workers`, in
+    /// `[0.0, 1.0]`. `0.0` when the report carries no pool size (a
+    /// blocking-transport server, whose per-connection threads cannot
+    /// saturate a shared pool).
+    ///
+    /// The number to alert and size on: sustained values near `1.0`
+    /// mean every worker is executing a request and newly decoded
+    /// requests are queueing (`rpc_in_flight` grows) — add workers
+    /// (`CacheBuilder::rpc_workers`) or partitions. Sustained values
+    /// near `0.0` with high throughput mean the pool is oversized for
+    /// the load. See `docs/architecture.md` ("Sizing the worker pool")
+    /// for guidance.
+    #[must_use]
+    pub fn worker_saturation(&self) -> f64 {
+        if self.rpc_workers == 0 {
+            0.0
+        } else {
+            self.rpc_worker_busy as f64 / self.rpc_workers as f64
+        }
+    }
+}
+
 /// Counters describing a running server; a snapshot is returned by
 /// [`crate::server::RpcServer::stats`] and over the wire by
 /// [`Request::ServerStats`].
@@ -234,6 +257,14 @@ pub enum CacheReply {
     Throttled {
         /// Suggested client-side delay before retrying, in milliseconds.
         retry_after_ms: u64,
+    },
+    /// A cluster redirect: this server does not own the written key's
+    /// partition. Nothing was applied; re-sending the identical request
+    /// to the named partition's primary is always safe (and is what
+    /// the cluster client does automatically).
+    NotMine {
+        /// The partition that owns the rejected key.
+        partition: u64,
     },
 }
 
@@ -479,6 +510,10 @@ fn encode_reply(w: &mut WireWriter, reply: &CacheReply) {
             w.put_u8(10);
             w.put_u64(*retry_after_ms);
         }
+        CacheReply::NotMine { partition } => {
+            w.put_u8(11);
+            w.put_u64(*partition);
+        }
     }
 }
 
@@ -605,6 +640,9 @@ fn decode_reply(r: &mut WireReader<'_>) -> Result<CacheReply> {
         10 => CacheReply::Throttled {
             retry_after_ms: r.get_u64()?,
         },
+        11 => CacheReply::NotMine {
+            partition: r.get_u64()?,
+        },
         other => return Err(Error::protocol(format!("unknown reply tag {other}"))),
     })
 }
@@ -616,6 +654,19 @@ mod tests {
     fn round_trip_client(msg: ClientMessage) {
         let bytes = msg.encode();
         assert_eq!(ClientMessage::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn worker_saturation_is_busy_over_pool() {
+        let report = HealthReport {
+            rpc_worker_busy: 3,
+            rpc_workers: 4,
+            ..HealthReport::default()
+        };
+        assert!((report.worker_saturation() - 0.75).abs() < f64::EPSILON);
+        // A blocking-transport server reports no pool; that is "not
+        // saturated", not a division by zero.
+        assert_eq!(HealthReport::default().worker_saturation(), 0.0);
     }
 
     fn round_trip_server(msg: ServerMessage) {
@@ -799,6 +850,10 @@ mod tests {
             reply: CacheReply::Throttled {
                 retry_after_ms: 250,
             },
+        });
+        round_trip_server(ServerMessage::Reply {
+            seq: 13,
+            reply: CacheReply::NotMine { partition: 3 },
         });
     }
 

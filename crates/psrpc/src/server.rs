@@ -634,6 +634,20 @@ fn serve_requests(
     }
 }
 
+/// Convert a cache rejection into its wire reply. One error is typed
+/// rather than textual: a cluster ownership miss becomes the
+/// [`CacheReply::NotMine`] redirect (carrying the owning partition's
+/// index), so a misrouted client can re-send instead of parsing error
+/// prose. Everything else is the cache's error text.
+fn error_to_reply(e: pscache::Error) -> CacheReply {
+    match e {
+        pscache::Error::WrongPartition { partition } => CacheReply::NotMine { partition },
+        other => CacheReply::Error {
+            message: other.to_string(),
+        },
+    }
+}
+
 /// Re-materialise the wire reply a token's original execution produced.
 /// Byte-for-byte what the lost first reply carried (same variant, same
 /// payload), which is what the differential proptest pins down.
@@ -692,9 +706,7 @@ pub(crate) fn handle_request(
                 Ok(response)
             }) {
             Ok(response) => response_to_reply(response),
-            Err(e) => CacheReply::Error {
-                message: e.to_string(),
-            },
+            Err(e) => error_to_reply(e),
         },
         Request::Insert {
             table,
@@ -713,9 +725,7 @@ pub(crate) fn handle_request(
                 Ok(outcome)
             }) {
                 Ok((replaced, tstamp)) => CacheReply::Inserted { replaced, tstamp },
-                Err(e) => CacheReply::Error {
-                    message: e.to_string(),
-                },
+                Err(e) => error_to_reply(e),
             }
         }
         Request::InsertBatch {
@@ -732,9 +742,7 @@ pub(crate) fn handle_request(
                 Ok(tstamps)
             }) {
                 Ok(tstamps) => CacheReply::InsertedBatch { tstamps },
-                Err(e) => CacheReply::Error {
-                    message: e.to_string(),
-                },
+                Err(e) => error_to_reply(e),
             }
         }
         Request::RegisterAutomaton { source } => {

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Cluster sharding performance snapshot: a fixed firehose of durable
+# batched inserts into a preloaded table, absorbed by 1, 2 and 4
+# partition primaries (each with its own WAL and checkpoint cadence).
+# Writes BENCH_cluster.json at the repository root and fails if the
+# 2-partition write speedup regresses below the 1.6x acceptance floor
+# (cluster_speedup_4 is recorded for the trajectory, not gated).
+#
+# Floors are enforced by the bench crate's `check_floor` binary: a
+# missing file, missing key, or unparsable metric is a hard failure —
+# a bench that did not produce its number must never count as a pass.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> snapshot: BENCH_cluster.json"
+cargo run --release -p cep_bench --bin bench_cluster
+
+cargo run --release -q -p cep_bench --bin check_floor -- \
+    BENCH_cluster.json cluster_speedup_2 1.6 \
+    "2-partition durable write speedup"
+
+echo "cluster snapshot complete"

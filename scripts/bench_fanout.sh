@@ -4,6 +4,10 @@
 # naive all-subscribers fan-out. Writes BENCH_fanout.json at the
 # repository root and fails if the speedup regresses below the 10x
 # acceptance floor.
+#
+# Floors are enforced by the bench crate's `check_floor` binary: a
+# missing file, missing key, or unparsable metric is a hard failure —
+# a bench that did not produce its number must never count as a pass.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -11,15 +15,8 @@ cd "$(dirname "$0")/.."
 echo "==> snapshot: BENCH_fanout.json"
 cargo run --release -p cep_bench --bin bench_fanout
 
-speedup=$(grep -o '"speedup": [0-9.]*' BENCH_fanout.json | tail -1 | cut -d' ' -f2)
-if [ -z "${speedup}" ]; then
-    echo "FAIL: speedup missing from BENCH_fanout.json" >&2
-    exit 1
-fi
-echo "indexed dispatch speedup at 1000 automata / 1% selectivity: ${speedup}x (floor: 10x)"
-awk "BEGIN { exit !(${speedup} >= 10.0) }" || {
-    echo "FAIL: fan-out speedup ${speedup}x below the 10x floor" >&2
-    exit 1
-}
+cargo run --release -q -p cep_bench --bin check_floor -- \
+    BENCH_fanout.json speedup 10.0 \
+    "indexed dispatch speedup at 1000 automata / 1% selectivity"
 
 echo "fan-out snapshot complete"

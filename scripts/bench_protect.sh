@@ -13,8 +13,9 @@
 #                                   throughput while a hostile
 #                                   connection floods ~10x the quota
 #
-# A missing or unparsable metric is a hard failure: a bench that did not
-# produce its number must never count as a pass.
+# Floors are enforced by the bench crate's `check_floor` binary: a
+# missing file, missing key, or unparsable metric is a hard failure —
+# a bench that did not produce its number must never count as a pass.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -22,25 +23,11 @@ cd "$(dirname "$0")/.."
 echo "==> snapshot: BENCH_protect.json"
 cargo run --release -p cep_bench --bin bench_protect
 
-check_floor() {
-    key=$1
-    floor=$2
-    desc=$3
-    value=$(grep -o "\"${key}\": [0-9.]*" BENCH_protect.json | tail -1 | cut -d' ' -f2)
-    if [ -z "${value}" ]; then
-        echo "FAIL: ${key} missing from BENCH_protect.json" >&2
-        exit 1
-    fi
-    echo "${desc}: ${value} (floor: ${floor})"
-    awk "BEGIN { exit !(${value} >= ${floor}) }" || {
-        echo "FAIL: ${desc} ${value} below the ${floor} floor" >&2
-        exit 1
-    }
-}
-
-check_floor protect_dedup_ratio 0.9 \
+cargo run --release -q -p cep_bench --bin check_floor -- \
+    BENCH_protect.json protect_dedup_ratio 0.9 \
     "tokened/untokened insert throughput ratio"
-check_floor protect_fairness_ratio 0.5 \
+cargo run --release -q -p cep_bench --bin check_floor -- \
+    BENCH_protect.json protect_fairness_ratio 0.5 \
     "paced-client flooded/isolated throughput ratio"
 
 echo "protect snapshot complete"

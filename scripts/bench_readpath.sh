@@ -6,8 +6,9 @@
 # root and fails if the select speedup regresses below the 4x
 # acceptance floor or writers fall below 0.8x of the mutex baseline.
 #
-# A missing or unparsable metric is a hard failure: a bench that did not
-# produce its number must never count as a pass.
+# Floors are enforced by the bench crate's `check_floor` binary: a
+# missing file, missing key, or unparsable metric is a hard failure —
+# a bench that did not produce its number must never count as a pass.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,26 +16,11 @@ cd "$(dirname "$0")/.."
 echo "==> snapshot: BENCH_readpath.json"
 cargo run --release -p cep_bench --bin bench_readpath
 
-speedup=$(grep -o '"read_speedup_8r": [0-9.]*' BENCH_readpath.json | tail -1 | cut -d' ' -f2)
-if [ -z "${speedup}" ]; then
-    echo "FAIL: read_speedup_8r missing from BENCH_readpath.json" >&2
-    exit 1
-fi
-echo "snapshot-read speedup at 8 reader threads: ${speedup}x (floor: 4x)"
-awk "BEGIN { exit !(${speedup} >= 4.0) }" || {
-    echo "FAIL: snapshot-read speedup ${speedup}x below the 4x floor" >&2
-    exit 1
-}
-
-ratio=$(grep -o '"writer_ratio": [0-9.]*' BENCH_readpath.json | tail -1 | cut -d' ' -f2)
-if [ -z "${ratio}" ]; then
-    echo "FAIL: writer_ratio missing from BENCH_readpath.json" >&2
-    exit 1
-fi
-echo "writer throughput vs mutex baseline: ${ratio}x (floor: 0.8x)"
-awk "BEGIN { exit !(${ratio} >= 0.8) }" || {
-    echo "FAIL: writer throughput ${ratio}x below the 0.8x floor" >&2
-    exit 1
-}
+cargo run --release -q -p cep_bench --bin check_floor -- \
+    BENCH_readpath.json read_speedup_8r 4.0 \
+    "snapshot-read speedup at 8 reader threads"
+cargo run --release -q -p cep_bench --bin check_floor -- \
+    BENCH_readpath.json writer_ratio 0.8 \
+    "writer throughput vs mutex baseline"
 
 echo "readpath snapshot complete"

@@ -10,8 +10,9 @@
 #   follower_read_ratio >= 0.5  follower read throughput is within 2x of
 #                               the primary's (reads actually scale out)
 #
-# A missing or unparsable metric is a hard failure: a bench that did not
-# produce its number must never count as a pass.
+# Floors are enforced by the bench crate's `check_floor` binary: a
+# missing file, missing key, or unparsable metric is a hard failure —
+# a bench that did not produce its number must never count as a pass.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,26 +20,14 @@ cd "$(dirname "$0")/.."
 echo "==> snapshot: BENCH_repl.json"
 cargo run --release -p cep_bench --bin bench_repl
 
-converged=$(grep -o '"converged": [0-9]*' BENCH_repl.json | tail -1 | cut -d' ' -f2)
-if [ -z "${converged}" ]; then
-    echo "FAIL: converged missing from BENCH_repl.json" >&2
-    exit 1
-fi
-if [ "${converged}" != "1" ]; then
-    echo "FAIL: the follower never drained the stream (converged=${converged})" >&2
-    exit 1
-fi
-echo "replication stream drained to zero staleness after sustained load"
-
-ratio=$(grep -o '"follower_read_ratio": [0-9.]*' BENCH_repl.json | tail -1 | cut -d' ' -f2)
-if [ -z "${ratio}" ]; then
-    echo "FAIL: follower_read_ratio missing from BENCH_repl.json" >&2
-    exit 1
-fi
-echo "follower/primary read-throughput ratio: ${ratio} (floor: 0.5)"
-awk "BEGIN { exit !(${ratio} >= 0.5) }" || {
-    echo "FAIL: follower read ratio ${ratio} below the 0.5 floor (follower slower than 2x)" >&2
-    exit 1
-}
+# `converged` is 1 when the follower drained the stream to zero
+# staleness after sustained load, 0 when lag diverged — a floor of 1
+# gates it exactly.
+cargo run --release -q -p cep_bench --bin check_floor -- \
+    BENCH_repl.json converged 1 \
+    "replication stream drained to zero staleness"
+cargo run --release -q -p cep_bench --bin check_floor -- \
+    BENCH_repl.json follower_read_ratio 0.5 \
+    "follower/primary read-throughput ratio"
 
 echo "replication snapshot complete"

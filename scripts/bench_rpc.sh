@@ -12,8 +12,9 @@
 #                           read ceiling is actually broken, not merely
 #                           refactored around
 #
-# A missing or unparsable metric is a hard failure: a bench that did not
-# produce its number must never count as a pass.
+# Floors are enforced by the bench crate's `check_floor` binary: a
+# missing file, missing key, or unparsable metric is a hard failure —
+# a bench that did not produce its number must never count as a pass.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,15 +22,8 @@ cd "$(dirname "$0")/.."
 echo "==> snapshot: BENCH_rpc.json"
 cargo run --release -p cep_bench --bin bench_rpc
 
-speedup=$(grep -o '"rpc_speedup_16": [0-9.]*' BENCH_rpc.json | tail -1 | cut -d' ' -f2)
-if [ -z "${speedup}" ]; then
-    echo "FAIL: rpc_speedup_16 missing from BENCH_rpc.json" >&2
-    exit 1
-fi
-echo "pipelined/baseline speedup at 16 connections: ${speedup}x (floor: 10)"
-awk "BEGIN { exit !(${speedup} >= 10.0) }" || {
-    echo "FAIL: rpc speedup ${speedup}x below the 10x floor (pipelining is not paying for itself)" >&2
-    exit 1
-}
+cargo run --release -q -p cep_bench --bin check_floor -- \
+    BENCH_rpc.json rpc_speedup_16 10.0 \
+    "pipelined/baseline speedup at 16 connections"
 
 echo "rpc snapshot complete"

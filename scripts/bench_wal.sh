@@ -4,8 +4,9 @@
 # per insert. Writes BENCH_wal.json at the repository root and fails if
 # the group-commit speedup regresses below the 5x acceptance floor.
 #
-# A missing or unparsable metric is a hard failure: a bench that did not
-# produce its number must never count as a pass.
+# Floors are enforced by the bench crate's `check_floor` binary: a
+# missing file, missing key, or unparsable metric is a hard failure —
+# a bench that did not produce its number must never count as a pass.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -13,15 +14,8 @@ cd "$(dirname "$0")/.."
 echo "==> snapshot: BENCH_wal.json"
 cargo run --release -p cep_bench --bin bench_wal
 
-speedup=$(grep -o '"group_commit_speedup": [0-9.]*' BENCH_wal.json | tail -1 | cut -d' ' -f2)
-if [ -z "${speedup}" ]; then
-    echo "FAIL: group_commit_speedup missing from BENCH_wal.json" >&2
-    exit 1
-fi
-echo "group-commit speedup at 16 concurrent inserters: ${speedup}x (floor: 5x)"
-awk "BEGIN { exit !(${speedup} >= 5.0) }" || {
-    echo "FAIL: group-commit speedup ${speedup}x below the 5x floor" >&2
-    exit 1
-}
+cargo run --release -q -p cep_bench --bin check_floor -- \
+    BENCH_wal.json group_commit_speedup 5.0 \
+    "group-commit speedup at 16 concurrent inserters"
 
 echo "wal snapshot complete"

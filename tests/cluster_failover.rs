@@ -1,0 +1,220 @@
+//! The CI `cluster` scenario: a 2-partition cluster, each partition a
+//! durable primary with a durable follower, loses one primary
+//! mid-stream and fails over to the follower — no acknowledged write
+//! is lost, scatter-gather queries keep seeing every row, and
+//! cross-partition automaton subscriptions resume exactly-once.
+//!
+//! This is the multi-node counterpart of
+//! `tests/replication.rs::three_node_scenario_read_scaling_and_failover`:
+//! the same promote() contract, but exercised through the cluster
+//! seams — the `HashRing` router, the `NotMine` ownership guard, the
+//! `ClusterClient` rebind, and the `SubBridge` watermark.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use gapl::event::Scalar;
+use pscache::{Cache, CacheBuilder, ClusterSpec, ReplRole, SubBridge};
+use psrpc::client::{CacheClient, ClientNotification};
+use psrpc::cluster::ClusterClient;
+use psrpc::reactor::ReactorServer;
+
+/// A fresh, empty scratch directory under the system temp dir.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pscache-cluster-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Block until `follower` has applied everything `primary` committed.
+fn converge(primary: &Cache, follower: &Cache, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if follower.replica_lsn() >= primary.commit_lsn() {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "follower stuck at lsn {} with primary at {}",
+            follower.replica_lsn(),
+            primary.commit_lsn()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Drain notifications from `cluster`'s partition-0 connection until
+/// `n` have arrived (or panic at the deadline).
+fn collect_notifications(cluster: &ClusterClient, n: usize) -> Vec<ClientNotification> {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut notes = Vec::new();
+    while notes.len() < n {
+        notes.extend(cluster.drain_notifications(0));
+        assert!(
+            Instant::now() < deadline,
+            "only {} of {n} notifications arrived",
+            notes.len()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    notes
+}
+
+#[test]
+fn killing_a_partition_primary_loses_nothing_acked() {
+    // --- Topology: 2 x (durable primary + durable follower). --------
+    let dirs: Vec<PathBuf> = (0..4).map(|i| scratch(&format!("node{i}"))).collect();
+    let primaries: Vec<Cache> = (0..2)
+        .map(|p| {
+            let cache = CacheBuilder::new()
+                .durability(&dirs[p])
+                .replicate_to("127.0.0.1:0")
+                .open()
+                .expect("open partition primary");
+            cache.set_cluster_spec(ClusterSpec::new(2, p));
+            cache
+        })
+        .collect();
+    let followers: Vec<Cache> = (0..2)
+        .map(|p| {
+            CacheBuilder::new()
+                .durability(&dirs[2 + p])
+                .follow(primaries[p].repl_addr().expect("repl listener").to_string())
+                // The follower serves its own replication listener so
+                // that, once promoted, the subscription bridge can
+                // re-subscribe to it.
+                .replicate_to("127.0.0.1:0")
+                .open()
+                .expect("open partition follower")
+        })
+        .collect();
+    let servers: Vec<ReactorServer> = primaries
+        .iter()
+        .map(|c| ReactorServer::bind(c.clone(), "127.0.0.1:0").expect("bind partition server"))
+        .collect();
+
+    let cluster =
+        ClusterClient::connect(&servers.iter().map(|s| s.local_addr()).collect::<Vec<_>>())
+            .expect("cluster client connects");
+    cluster
+        .execute("create persistenttable Flows (k varchar(24) primary key, v integer)")
+        .expect("broadcast ddl");
+
+    // A partition-0-resident automaton that must see the full topic:
+    // partition 0's rows through local dispatch, partition 1's through
+    // the subscription bridge riding partition 1's repl stream.
+    let automaton = cluster
+        .register_automaton("subscribe f to Flows; behavior { send(f.k, f.v); }")
+        .expect("register automaton");
+    let bridge = SubBridge::start(
+        &primaries[0],
+        vec![(
+            1,
+            primaries[1].repl_addr().expect("repl listener").to_string(),
+        )],
+    );
+
+    // --- Acked writes against the healthy cluster. ------------------
+    let mut acked: Vec<String> = Vec::new();
+    for i in 0..100 {
+        let key = format!("key-{i:04}");
+        cluster
+            .insert(
+                "Flows",
+                vec![Scalar::Str(key.as_str().into()), Scalar::Int(i)],
+            )
+            .expect("acked write");
+        acked.push(key);
+    }
+    let owned_by_1 = acked
+        .iter()
+        .filter(|k| cluster.ring().partition_of(k) == 1)
+        .count();
+    assert!(owned_by_1 > 0, "the ring must spread keys over partition 1");
+
+    // --- Planned failover of partition 1. ---------------------------
+    // Stop writes, drain the stream, then kill: promote()'s lossless
+    // contract. The kill takes the RPC server and the repl listener
+    // with it.
+    converge(&primaries[1], &followers[1], Duration::from_secs(10));
+    let mut servers = servers;
+    let server = servers.remove(1);
+    server.shutdown();
+    let dead = primaries[1].clone();
+    dead.shutdown();
+
+    followers[1].promote().expect("promote the follower");
+    assert_eq!(followers[1].repl_role(), ReplRole::Primary);
+    followers[1].set_cluster_spec(ClusterSpec::new(2, 1));
+    let standby = ReactorServer::bind(followers[1].clone(), "127.0.0.1:0")
+        .expect("bind the promoted follower");
+    cluster.rebind(
+        1,
+        CacheClient::connect(standby.local_addr()).expect("connect to the promoted follower"),
+    );
+    bridge.rebind(
+        1,
+        followers[1]
+            .repl_addr()
+            .expect("promoted repl listener")
+            .to_string(),
+    );
+
+    // --- No acked write lost. ---------------------------------------
+    let survived = cluster
+        .select("select * from Flows")
+        .expect("scatter-gather after failover");
+    assert_eq!(survived.len(), acked.len(), "every acked row survives");
+
+    // --- Writes to the failed partition flow again. -----------------
+    for i in 100..200 {
+        let key = format!("key-{i:04}");
+        cluster
+            .insert(
+                "Flows",
+                vec![Scalar::Str(key.as_str().into()), Scalar::Int(i)],
+            )
+            .expect("post-failover write");
+        acked.push(key);
+    }
+    let survived = cluster
+        .select("select * from Flows")
+        .expect("scatter-gather over both generations");
+    assert_eq!(survived.len(), acked.len());
+
+    // --- Subscriptions resumed, exactly-once. -----------------------
+    // Every acked row notifies the partition-0 automaton exactly once:
+    // the bridge's watermark must neither skip nor double-deliver
+    // across the rebind (the promoted log is an LSN-exact extension of
+    // the dead primary's).
+    let notes = collect_notifications(&cluster, acked.len());
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    for note in &notes {
+        assert_eq!(note.automaton, automaton);
+        let Scalar::Str(key) = &note.values[0] else {
+            panic!("send(f.k, f.v) leads with the key: {:?}", note.values);
+        };
+        *seen.entry(key.to_string()).or_insert(0) += 1;
+    }
+    for key in &acked {
+        assert_eq!(
+            seen.get(key).copied().unwrap_or(0),
+            1,
+            "{key} must be delivered exactly once"
+        );
+    }
+    assert_eq!(notes.len(), acked.len(), "no duplicate deliveries");
+
+    drop(bridge);
+    drop(cluster);
+    standby.shutdown();
+    for cache in followers {
+        cache.shutdown();
+    }
+    primaries[0].clone().shutdown();
+    for dir in dirs {
+        let _ = fs::remove_dir_all(dir);
+    }
+}
