@@ -18,6 +18,7 @@ use crate::config::{
 };
 use crate::dispatch::{DispatchIndex, TopicDispatch};
 use crate::error::{Error, Result};
+use crate::obs::Obs;
 use crate::plan::QueryPlan;
 use crate::protect::{ClientPolicy, IdemToken, TokenOutcome, TokenTable};
 use crate::query::{Query, ResultSet};
@@ -139,6 +140,8 @@ pub struct CacheBuilder {
     follow: Option<String>,
     client_policy: ClientPolicy,
     token_history: usize,
+    metrics: bool,
+    slow_op_threshold: Duration,
 }
 
 impl Default for CacheBuilder {
@@ -169,7 +172,30 @@ impl CacheBuilder {
             follow: None,
             client_policy: ClientPolicy::default(),
             token_history: DEFAULT_TOKEN_HISTORY,
+            metrics: true,
+            slow_op_threshold: crate::config::DEFAULT_SLOW_OP_THRESHOLD,
         }
+    }
+
+    /// Enable or disable the observability registry (default enabled).
+    /// Disabling removes even the clock reads from the instrumented hot
+    /// paths — every record site gates on one relaxed bool load — for
+    /// deployments that want the last ~5% (see `BENCH_obs.json`, whose
+    /// CI floor proves instrumentation costs ≤ 5% when *enabled*).
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
+
+    /// Operations whose end-to-end RPC service time (queue-wait +
+    /// execute + reply-flush, as measured by the reactor) meets or
+    /// exceeds this threshold are captured in the bounded slow-op log
+    /// with their client-stamped trace id and per-stage breakdown
+    /// (default
+    /// [`DEFAULT_SLOW_OP_THRESHOLD`](crate::config::DEFAULT_SLOW_OP_THRESHOLD)).
+    pub fn slow_op_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_op_threshold = threshold;
+        self
     }
 
     /// Per-client admission policy enforced by an event-driven RPC
@@ -362,6 +388,7 @@ impl CacheBuilder {
     /// opened or its contents cannot be replayed (unreadable snapshot,
     /// undecodable record that passed its checksum).
     pub fn open(self) -> Result<Cache> {
+        let obs = Arc::new(Obs::new(self.metrics, self.slow_op_threshold));
         let is_follower = self.follow.is_some();
         if self.replicate_to.is_some() && self.durability.is_none() {
             return Err(Error::repl(
@@ -376,6 +403,7 @@ impl CacheBuilder {
                     self.sync_policy,
                     self.checkpoint_every,
                 )?;
+                wal.set_obs(Arc::clone(&obs));
                 (Some(Arc::new(wal)), Some(recovery))
             }
             None => (None, None),
@@ -403,7 +431,7 @@ impl CacheBuilder {
             dispatch: DispatchIndex::default(),
             routes: RwLock::new(HashMap::new()),
             automata: Mutex::new(HashMap::new()),
-            executor: Executor::start(self.automaton_workers),
+            executor: Executor::start(self.automaton_workers, Arc::clone(&obs)),
             clock: self.clock,
             next_automaton_id: AtomicU64::new(1),
             default_stream_capacity: self.default_stream_capacity,
@@ -425,6 +453,7 @@ impl CacheBuilder {
             token_history: self.token_history,
             client_policy: self.client_policy,
             cluster: RwLock::new(None),
+            obs,
         });
         if let (Some(wal), Some(hub)) = (&inner.wal, &inner.repl_hub) {
             let hub = Arc::clone(hub);
@@ -752,6 +781,10 @@ pub(crate) struct CacheInner {
     /// build by [`Cache::set_cluster_spec`]; turns key ownership into
     /// an enforced write invariant.
     cluster: RwLock<Option<Arc<ClusterSpec>>>,
+    /// The observability registry every instrumented path records into
+    /// (see [`crate::obs`]); shared with the RPC layer via
+    /// [`Cache::obs`].
+    pub(crate) obs: Arc<Obs>,
 }
 
 impl std::fmt::Debug for CacheInner {
@@ -782,6 +815,16 @@ impl Cache {
     /// [`CacheBuilder::rpc_workers`]).
     pub fn rpc_workers(&self) -> usize {
         self.inner.rpc_workers
+    }
+
+    /// The observability registry (latency histograms, counters and the
+    /// slow-op log — see [`crate::obs`]). The RPC layer records request
+    /// stage timings into it and serves its snapshot over
+    /// `Request::Metrics`; when built with
+    /// [`CacheBuilder::metrics`]`(false)` the registry is present but
+    /// inert.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.inner.obs
     }
 
     /// The per-client admission policy an RPC reactor fronting this
@@ -1482,6 +1525,15 @@ impl Cache {
             .lock()
             .remove(&id)
             .ok_or(Error::NoSuchAutomaton { id: id.0 })?;
+        // Counted here — the single choke point — so explicit
+        // unregistrations and reactor connection teardowns both land in
+        // the same observable (surfaced in `HealthReport`).
+        if self.inner.obs.enabled() {
+            self.inner
+                .obs
+                .automaton_unregistrations
+                .fetch_add(1, Ordering::Relaxed);
+        }
         // 1. Out of the predicate indexes: publishers resolving the topic
         //    from now on will not select this automaton.
         for (td, _) in &entry.baselines {
@@ -2374,6 +2426,10 @@ impl CacheInner {
         let routes = self.routes.read();
         let topic: Arc<str> = Arc::from(topic);
         let mut selected: Vec<AutomatonId> = Vec::new();
+        // One clock read per publish batch: every event of the batch
+        // carries the same enqueue instant, which the owning worker
+        // subtracts at pickup to record dispatch queue latency.
+        let enqueued = self.obs.enabled().then(Instant::now);
         for tuple in tuples {
             if self.naive_fanout {
                 selected.extend_from_slice(index.all());
@@ -2387,6 +2443,7 @@ impl CacheInner {
                         id,
                         topic: Arc::clone(&topic),
                         tuple: tuple.clone(),
+                        enqueued,
                     });
                 }
             }
@@ -2420,13 +2477,19 @@ impl CacheInner {
     /// selective predicate the win over clone-the-window is large even
     /// single-threaded, before any reader parallelism.
     pub(crate) fn select(&self, query: &Query) -> Result<ResultSet> {
-        if self.mutex_read_path {
+        let t = self.obs.enabled().then(Instant::now);
+        let result = if self.mutex_read_path {
             let (schema, rows) = self.mutex_snapshot(query.table(), query.since_tstamp())?;
-            return QueryPlan::compile(query, &schema)?.evaluate(&rows);
+            QueryPlan::compile(query, &schema)?.evaluate(&rows)
+        } else {
+            let snap = self.tables.get(query.table())?.snapshot();
+            let plan = QueryPlan::compile(query, snap.schema())?;
+            plan.evaluate_rows(snap.range(query.since_tstamp()))
+        };
+        if let Some(t) = t {
+            self.obs.select_ns.record_duration(t.elapsed());
         }
-        let snap = self.tables.get(query.table())?.snapshot();
-        let plan = QueryPlan::compile(query, snap.schema())?;
-        plan.evaluate_rows(snap.range(query.since_tstamp()))
+        result
     }
 
     /// Run a plan-cached `select` (see [`Cache::execute`]). Cached
@@ -2434,14 +2497,20 @@ impl CacheInner {
     /// snapshot generations of one table instance, so the steady state
     /// is: one atomic snapshot load, one pointer compare, evaluate.
     pub(crate) fn select_cached(&self, entry: &PlanEntry) -> Result<ResultSet> {
-        if self.mutex_read_path {
+        let t = self.obs.enabled().then(Instant::now);
+        let result = if self.mutex_read_path {
             let (schema, rows) =
                 self.mutex_snapshot(entry.query.table(), entry.query.since_tstamp())?;
-            return entry.plan_for(&schema)?.evaluate(&rows);
+            entry.plan_for(&schema)?.evaluate(&rows)
+        } else {
+            let snap = self.tables.get(entry.query.table())?.snapshot();
+            let plan = entry.plan_for(snap.schema())?;
+            plan.evaluate_rows(snap.range(entry.query.since_tstamp()))
+        };
+        if let Some(t) = t {
+            self.obs.select_ns.record_duration(t.elapsed());
         }
-        let snap = self.tables.get(entry.query.table())?.snapshot();
-        let plan = entry.plan_for(snap.schema())?;
-        plan.evaluate_rows(snap.range(entry.query.since_tstamp()))
+        result
     }
 
     pub(crate) fn table_len(&self, name: &str) -> Result<usize> {

@@ -89,6 +89,17 @@ pub const DEFAULT_CHECKPOINT_EVERY: u64 = 10_000;
 /// [`CacheBuilder::token_history`](crate::CacheBuilder::token_history).
 pub const DEFAULT_TOKEN_HISTORY: usize = 1024;
 
+/// Default RPC service-time threshold beyond which an operation is
+/// captured in the slow-op log (see
+/// [`CacheBuilder::slow_op_threshold`](crate::CacheBuilder::slow_op_threshold)).
+///
+/// A hundred milliseconds is far above any healthy in-memory operation
+/// (group-committed durable inserts sit in single-digit milliseconds)
+/// but well below a client-visible timeout, so the ring captures real
+/// anomalies — a convoyed fsync, a starved worker pool — without
+/// churning on normal traffic.
+pub const DEFAULT_SLOW_OP_THRESHOLD: std::time::Duration = std::time::Duration::from_millis(100);
+
 /// The outcome of loading a configuration.
 #[derive(Debug)]
 pub struct ConfigReport {

@@ -54,6 +54,7 @@ pub mod cluster;
 pub mod config;
 pub(crate) mod dispatch;
 pub mod error;
+pub mod obs;
 pub mod plan;
 pub mod protect;
 pub mod query;
@@ -70,9 +71,10 @@ pub use clock::{Clock, ManualClock, SystemClock};
 pub use cluster::{ClusterSpec, HashRing, SubBridge};
 pub use config::{
     ConfigReport, DEFAULT_AUTOMATON_WORKERS, DEFAULT_CHECKPOINT_EVERY, DEFAULT_SHARD_COUNT,
-    DEFAULT_TOKEN_HISTORY,
+    DEFAULT_SLOW_OP_THRESHOLD, DEFAULT_TOKEN_HISTORY,
 };
 pub use error::{Error, Result};
+pub use obs::{HistogramSnapshot, MetricsSnapshot, Obs, OpTrace, ReqKind, SlowOpLog};
 pub use plan::{ColRef, QueryPlan};
 pub use protect::{ClientPolicy, IdemToken, TokenOutcome};
 pub use query::{Aggregate, Comparison, Predicate, Query, ResultSet, Row};

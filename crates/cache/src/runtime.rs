@@ -47,6 +47,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -104,6 +105,10 @@ pub(crate) enum WorkerMsg {
         topic: Arc<str>,
         /// The tuple itself.
         tuple: Tuple,
+        /// When the publisher enqueued the event (`None` when the
+        /// observability registry is disabled); the worker subtracts it
+        /// at pickup to record dispatch queue latency.
+        enqueued: Option<Instant>,
     },
     /// Drop the automaton's VM; acknowledge once every earlier event in
     /// the mailbox has been processed.
@@ -158,16 +163,18 @@ pub(crate) struct Executor {
 }
 
 impl Executor {
-    /// Start `workers` pool threads (at least one).
-    pub fn start(workers: usize) -> Executor {
+    /// Start `workers` pool threads (at least one). Every worker
+    /// records dispatch queue latency into `obs` at event pickup.
+    pub fn start(workers: usize, obs: Arc<crate::obs::Obs>) -> Executor {
         let workers = workers.max(1);
         let mut txs = Vec::with_capacity(workers);
         let mut joins = Vec::with_capacity(workers);
         for n in 0..workers {
             let (tx, rx) = unbounded();
+            let obs = Arc::clone(&obs);
             let join = std::thread::Builder::new()
                 .name(format!("automaton-worker-{n}"))
-                .spawn(move || worker_loop(rx))
+                .spawn(move || worker_loop(rx, obs))
                 .expect("spawning a pool worker never fails on supported platforms");
             txs.push(tx);
             joins.push(join);
@@ -222,7 +229,7 @@ impl Drop for Executor {
 
 /// One worker: owns the VMs of the automata pinned to it and consumes
 /// its mailbox in FIFO order.
-fn worker_loop(rx: Receiver<WorkerMsg>) {
+fn worker_loop(rx: Receiver<WorkerMsg>, obs: Arc<crate::obs::Obs>) {
     struct Runner {
         vm: Vm,
         host: CacheHost,
@@ -247,7 +254,15 @@ fn worker_loop(rx: Receiver<WorkerMsg>) {
                 }
                 runners.insert(cmd.id.0, Runner { vm, host });
             }
-            WorkerMsg::Event { id, topic, tuple } => {
+            WorkerMsg::Event {
+                id,
+                topic,
+                tuple,
+                enqueued,
+            } => {
+                if let Some(at) = enqueued {
+                    obs.record_if_enabled(&obs.dispatch_queue_ns, at.elapsed());
+                }
                 // An absent runner means the automaton was unregistered
                 // while this event was in flight; discarding is the
                 // deterministic choice (the drain ack has already been
@@ -406,7 +421,11 @@ mod tests {
 
     #[test]
     fn executor_pins_automata_to_workers_and_shuts_down_cleanly() {
-        let pool = Executor::start(3);
+        let obs = Arc::new(crate::obs::Obs::new(
+            true,
+            std::time::Duration::from_secs(1),
+        ));
+        let pool = Executor::start(3, obs);
         assert_eq!(pool.worker_count(), 3);
         // Pinning is stable and spreads ids round-robin.
         for id in 0..9u64 {

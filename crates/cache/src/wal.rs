@@ -879,6 +879,10 @@ pub(crate) struct Wal {
     /// Where sealed frames are shipped (the replication hub), when the
     /// cache serves a replication stream.
     sink: std::sync::RwLock<Option<ReplSink>>,
+    /// The cache's observability registry, installed right after open
+    /// (see [`Wal::set_obs`]); append / group-commit-wait / fsync
+    /// durations are recorded into it.
+    obs: std::sync::OnceLock<Arc<crate::obs::Obs>>,
 }
 
 impl std::fmt::Debug for Wal {
@@ -1047,6 +1051,7 @@ impl Wal {
             checkpoints: AtomicU64::new(0),
             replayed: AtomicU64::new(replayed),
             sink: std::sync::RwLock::new(None),
+            obs: std::sync::OnceLock::new(),
         };
         Ok((
             wal,
@@ -1093,6 +1098,34 @@ impl Wal {
         *self.sink.write().unwrap_or_else(|p| p.into_inner()) = Some(sink);
     }
 
+    /// Install the observability registry. Called once by the cache
+    /// builder before the log serves any appends; a log without one
+    /// (unit tests constructing a bare `Wal`) simply records nothing.
+    pub fn set_obs(&self, obs: Arc<crate::obs::Obs>) {
+        let _ = self.obs.set(obs);
+    }
+
+    /// Start a duration measurement iff an enabled registry is present.
+    #[inline]
+    fn obs_timer(&self) -> Option<std::time::Instant> {
+        match self.obs.get() {
+            Some(obs) if obs.enabled() => Some(std::time::Instant::now()),
+            _ => None,
+        }
+    }
+
+    /// Record `elapsed` into `pick(registry)` when a timer was started.
+    #[inline]
+    fn obs_record(
+        &self,
+        t: Option<std::time::Instant>,
+        pick: impl Fn(&crate::obs::Obs) -> &crate::obs::LatencyHistogram,
+    ) {
+        if let (Some(t), Some(obs)) = (t, self.obs.get()) {
+            pick(obs).record_duration(t.elapsed());
+        }
+    }
+
     /// Ship `chunk` (concatenated framed records, in the order they hit
     /// one shard's file) to the replication tailer, if one is attached.
     fn ship(&self, chunk: &[u8]) {
@@ -1127,6 +1160,7 @@ impl Wal {
     /// equal its apply order; the returned ticket is awaited *after*
     /// that lock is released.
     pub fn append(&self, shard: usize, framed: &[u8]) -> Result<WalTicket> {
+        let t = self.obs_timer();
         let shard_idx = shard % self.shards.len();
         let s = &self.shards[shard_idx];
         let mut state = lock(&s.state);
@@ -1151,6 +1185,7 @@ impl Wal {
             }
             SyncPolicy::Group => {}
         }
+        self.obs_record(t, |o| &o.wal_append_ns);
         Ok(WalTicket {
             shard: shard_idx,
             seq,
@@ -1165,6 +1200,15 @@ impl Wal {
         if !matches!(self.policy, SyncPolicy::Group) {
             return Ok(());
         }
+        let t = self.obs_timer();
+        let result = self.wait_durable_group(ticket);
+        self.obs_record(t, |o| &o.wal_commit_wait_ns);
+        result
+    }
+
+    /// [`Wal::wait_durable`] under [`SyncPolicy::Group`]: wait for (or
+    /// lead) the flush covering `ticket`.
+    fn wait_durable_group(&self, ticket: WalTicket) -> Result<()> {
         let s = &self.shards[ticket.shard];
         let mut state = lock(&s.state);
         loop {
@@ -1191,7 +1235,9 @@ impl Wal {
             drop(state);
             let outcome = file.map_err(Error::from).and_then(|file| {
                 (&file).write_all(&chunk)?;
+                let t = self.obs_timer();
                 file.sync_data()?;
+                self.obs_record(t, |o| &o.wal_fsync_ns);
                 Ok(())
             });
             if outcome.is_ok() {
@@ -1225,10 +1271,12 @@ impl Wal {
             self.ship(&buf);
         }
         if sync {
+            let t = self.obs_timer();
             if let Err(e) = state.file.sync_data() {
                 state.failed = Some(e.to_string());
                 return Err(e.into());
             }
+            self.obs_record(t, |o| &o.wal_fsync_ns);
             self.syncs.fetch_add(1, Ordering::Relaxed);
             state.durable = state.appended;
             s.cond.notify_all();

@@ -132,6 +132,14 @@ impl WireWriter {
             self.put_u64(*v);
         }
     }
+
+    /// Append a length-prefixed opaque byte blob — the escape hatch for
+    /// payloads that carry their own encoding (the observability
+    /// snapshot of `CacheReply::Metrics`).
+    pub fn put_blob(&mut self, bytes: &[u8]) {
+        self.put_u32(bytes.len() as u32);
+        self.buf.put_slice(bytes);
+    }
 }
 
 /// Deserialises values from a byte slice, with bounds checking.
@@ -214,6 +222,16 @@ impl<'a> WireReader<'a> {
     /// Read a length-prefixed UTF-8 string.
     pub fn get_str(&mut self) -> Result<String> {
         self.get_str_slice().map(str::to_owned)
+    }
+
+    /// Read a length-prefixed opaque byte blob (see
+    /// [`WireWriter::put_blob`]) as a borrowed slice.
+    pub fn get_blob(&mut self) -> Result<&'a [u8]> {
+        let len = self.get_u32()? as usize;
+        self.need(len)?;
+        let (head, tail) = self.buf.split_at(len);
+        self.buf = tail;
+        Ok(head)
     }
 
     /// Read a [`Scalar`]. String payloads are validated in place and

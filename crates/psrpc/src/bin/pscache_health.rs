@@ -10,8 +10,17 @@
 //!
 //! ```text
 //! pscache-health <host:port> [--require-primary] [--max-lag N]
-//!                [--max-worker-saturation R] [--quiet]
+//!                [--max-worker-saturation R] [--format text|json]
+//!                [--metrics] [--quiet]
 //! ```
+//!
+//! `--format json` emits the same snapshot as one machine-readable JSON
+//! object (hand-rolled — every field is an integer, a ratio, or a
+//! string, so no serializer is needed). `--metrics` additionally issues
+//! a [`Request::Metrics`](psrpc::message::Request::Metrics) RPC and
+//! prints the node's latency histograms and counters — as Prometheus
+//! exposition text in text mode, as a summarised object in JSON mode.
+//! Neither flag changes the exit semantics.
 //!
 //! Exit codes, shaped for probe configs (Kubernetes, HAProxy, …):
 //!
@@ -25,9 +34,16 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use psrpc::client::CacheClient;
+use psrpc::message::HealthReport;
 
 const USAGE: &str = "usage: pscache-health <host:port> [--require-primary] [--max-lag N] \
-       [--max-worker-saturation R] [--quiet]";
+       [--max-worker-saturation R] [--format text|json] [--metrics] [--quiet]";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
 
 struct Options {
     addr: String,
@@ -37,6 +53,8 @@ struct Options {
     /// this ratio — e.g. `0.9` drops a backend from rotation while its
     /// worker pool is pinned, before clients see queueing latency.
     max_worker_saturation: Option<f64>,
+    format: Format,
+    metrics: bool,
     quiet: bool,
 }
 
@@ -45,11 +63,22 @@ fn parse_args() -> Result<Options, String> {
     let mut require_primary = false;
     let mut max_lag = None;
     let mut max_worker_saturation = None;
+    let mut format = Format::Text;
+    let mut metrics = false;
     let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--require-primary" => require_primary = true,
+            "--metrics" => metrics = true,
+            "--format" => {
+                let value = args.next().ok_or("--format needs `text` or `json`")?;
+                format = match value.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    _ => return Err("--format needs `text` or `json`".into()),
+                };
+            }
             "--quiet" => quiet = true,
             "--max-lag" => {
                 let value = args.next().ok_or("--max-lag needs a value")?;
@@ -79,8 +108,77 @@ fn parse_args() -> Result<Options, String> {
         require_primary,
         max_lag,
         max_worker_saturation,
+        format,
+        metrics,
         quiet,
     })
+}
+
+/// The health report as one JSON object. `repl_lag` is `null` when no
+/// follower is attached — same distinction the wire makes.
+fn health_json(addr: &str, report: &HealthReport, elapsed: Duration) -> String {
+    let lag = match report.repl_lag {
+        Some(lag) => lag.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        concat!(
+            "{{\"addr\":\"{}\",\"role\":\"{}\",\"commit_lsn\":{},\"replica_lsn\":{},",
+            "\"repl_lag\":{},\"connections_active\":{},\"rpc_in_flight\":{},",
+            "\"rpc_queue_stalls\":{},\"rpc_worker_busy\":{},\"rpc_workers\":{},",
+            "\"worker_saturation\":{:.4},\"rpc_requests_throttled\":{},",
+            "\"slow_consumer_evictions\":{},\"automaton_unregistrations\":{},",
+            "\"probe_ms\":{}}}"
+        ),
+        addr,
+        if report.role_follower == 1 {
+            "follower"
+        } else {
+            "primary"
+        },
+        report.commit_lsn,
+        report.replica_lsn,
+        lag,
+        report.connections_active,
+        report.rpc_in_flight,
+        report.rpc_queue_stalls,
+        report.rpc_worker_busy,
+        report.rpc_workers,
+        report.worker_saturation(),
+        report.rpc_requests_throttled,
+        report.slow_consumer_evictions,
+        report.automaton_unregistrations,
+        elapsed.as_millis(),
+    )
+}
+
+/// The metrics snapshot as one JSON object: counters verbatim, each
+/// histogram summarised to count/mean/p50/p99 (the full bucket vectors
+/// stay behind the Prometheus exposition, which is built for them).
+fn metrics_json(snapshot: &pscache::MetricsSnapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, v)) in snapshot.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{v}"));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, h) in snapshot.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"count\":{},\"mean\":{:.1},\"p50\":{},\"p99\":{}}}",
+            h.name,
+            h.count,
+            h.mean(),
+            h.quantile(0.50),
+            h.quantile(0.99),
+        ));
+    }
+    out.push_str("}}");
+    out
 }
 
 fn main() -> ExitCode {
@@ -110,6 +208,17 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let snapshot = if opts.metrics {
+        match client.metrics() {
+            Ok(snapshot) => Some(snapshot),
+            Err(e) => {
+                eprintln!("pscache-health: {}: metrics rpc failed: {e}", opts.addr);
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        None
+    };
     let elapsed = started.elapsed();
 
     let role = if report.role_follower == 1 {
@@ -122,21 +231,30 @@ fn main() -> ExitCode {
         None => "-".to_string(),
     };
     if !opts.quiet {
-        println!(
-            "{} {role} commit_lsn={} replica_lsn={} repl_lag={} conns={} in_flight={} \
-             workers={}/{} saturation={:.2} throttled={} ({}ms)",
-            opts.addr,
-            report.commit_lsn,
-            report.replica_lsn,
-            lag_text,
-            report.connections_active,
-            report.rpc_in_flight,
-            report.rpc_worker_busy,
-            report.rpc_workers,
-            report.worker_saturation(),
-            report.rpc_requests_throttled,
-            elapsed.as_millis(),
-        );
+        match opts.format {
+            Format::Json => println!("{}", health_json(&opts.addr, &report, elapsed)),
+            Format::Text => println!(
+                "{} {role} commit_lsn={} replica_lsn={} repl_lag={} conns={} in_flight={} \
+                 workers={}/{} saturation={:.2} throttled={} ({}ms)",
+                opts.addr,
+                report.commit_lsn,
+                report.replica_lsn,
+                lag_text,
+                report.connections_active,
+                report.rpc_in_flight,
+                report.rpc_worker_busy,
+                report.rpc_workers,
+                report.worker_saturation(),
+                report.rpc_requests_throttled,
+                elapsed.as_millis(),
+            ),
+        }
+        if let Some(snapshot) = &snapshot {
+            match opts.format {
+                Format::Json => println!("{}", metrics_json(snapshot)),
+                Format::Text => print!("{}", snapshot.to_prometheus()),
+            }
+        }
     }
 
     if opts.require_primary && report.role_follower == 1 {

@@ -191,6 +191,12 @@ pub struct CacheClient {
     /// Whether blocking mutations are stamped with idempotency tokens
     /// (default true; see [`CacheClient::set_idempotency_tokens`]).
     tokens_enabled: AtomicBool,
+    /// Whether outgoing requests carry wire trace ids (default false;
+    /// see [`CacheClient::set_trace_base`]).
+    trace_enabled: AtomicBool,
+    /// The base trace id when tracing is on; request `seq` is stamped
+    /// `base.wrapping_add(seq)`.
+    trace_base: AtomicU64,
 }
 
 /// Mint a client identity for idempotency tokens: unique enough across
@@ -320,7 +326,7 @@ impl Drop for PendingReply {
 /// with the same values.
 fn is_idempotent(request: &Request) -> bool {
     match request {
-        Request::Ping | Request::ServerStats | Request::Health => true,
+        Request::Ping | Request::ServerStats | Request::Health | Request::Metrics => true,
         Request::Execute { command } => is_select(command),
         Request::Insert { upsert, .. } | Request::InsertBatch { upsert, .. } => *upsert,
         Request::RegisterAutomaton { .. } | Request::UnregisterAutomaton { .. } => false,
@@ -431,6 +437,25 @@ impl CacheClient {
             client_id: mint_client_id(),
             token_seq: AtomicU64::new(1),
             tokens_enabled: AtomicBool::new(true),
+            trace_enabled: AtomicBool::new(false),
+            trace_base: AtomicU64::new(0),
+        }
+    }
+
+    /// Stamp (or stop stamping) every outgoing request with an 8-byte
+    /// wire trace id. `Some(base)` stamps the request with sequence
+    /// number `seq` as `base.wrapping_add(seq)` — unique per request,
+    /// yet predictable enough to correlate a client-side latency spike
+    /// with the matching entry in the server's slow-op log
+    /// (`pscache::SlowOpLog`). `None` — the default — omits the wire
+    /// flag entirely, so untraced requests pay one byte, not nine.
+    pub fn set_trace_base(&self, base: Option<u64>) {
+        match base {
+            Some(b) => {
+                self.trace_base.store(b, Ordering::Release);
+                self.trace_enabled.store(true, Ordering::Release);
+            }
+            None => self.trace_enabled.store(false, Ordering::Release),
         }
     }
 
@@ -533,9 +558,14 @@ impl CacheClient {
             *in_flight += 1;
         }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let trace = self
+            .trace_enabled
+            .load(Ordering::Acquire)
+            .then(|| self.trace_base.load(Ordering::Acquire).wrapping_add(seq));
         let bytes = ClientMessage {
             seq,
             token,
+            trace,
             request: request.clone(),
         }
         .encode();
@@ -854,6 +884,24 @@ impl CacheClient {
             CacheReply::Health { report } => Ok(report),
             other => Err(Error::protocol(format!(
                 "unexpected reply to a health probe: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the server's observability snapshot: latency histograms
+    /// and counters (see `pscache::obs`). Like [`CacheClient::health`],
+    /// a `ReactorServer` answers this inline on the reactor thread, so
+    /// a scraper gets numbers even from a node whose worker pool is
+    /// saturated — exactly the node whose numbers matter most.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Disconnected`] when the server is gone.
+    pub fn metrics(&self) -> Result<pscache::MetricsSnapshot> {
+        match self.request(Request::Metrics)? {
+            CacheReply::Metrics { snapshot } => Ok(snapshot),
+            other => Err(Error::protocol(format!(
+                "unexpected reply to a metrics request: {other:?}"
             ))),
         }
     }
@@ -1201,8 +1249,10 @@ mod tests {
         assert!(is_idempotent(&Request::Ping));
         assert!(is_idempotent(&Request::ServerStats));
         assert!(is_idempotent(&Request::Health));
+        assert!(is_idempotent(&Request::Metrics));
         assert!(!wants_token(&Request::Ping));
         assert!(!wants_token(&Request::Health));
+        assert!(!wants_token(&Request::Metrics));
         assert!(wants_token(&Request::Execute {
             command: "insert into T values (1)".into()
         }));

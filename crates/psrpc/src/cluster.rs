@@ -502,6 +502,32 @@ impl ClusterClient {
         Ok(reports)
     }
 
+    /// Observability snapshots from every partition, gathered in
+    /// parallel: one per partition, in partition order. Merge them with
+    /// [`pscache::MetricsSnapshot::merge`] for a cluster-wide view —
+    /// histograms and counters aggregate exactly, because the buckets
+    /// are identical on every node.
+    ///
+    /// # Errors
+    ///
+    /// The first unreachable partition's error — a fleet-wide scrape
+    /// with a silent hole is worse than a loud failure.
+    pub fn metrics_all(&self) -> Result<Vec<pscache::MetricsSnapshot>> {
+        let handles = self.scatter(|client| client.begin_request(Request::Metrics))?;
+        let mut snapshots = Vec::with_capacity(handles.len());
+        for handle in handles {
+            match handle.wait()? {
+                CacheReply::Metrics { snapshot } => snapshots.push(snapshot),
+                other => {
+                    return Err(Error::protocol(format!(
+                        "unexpected reply to a metrics request: {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(snapshots)
+    }
+
     /// Ping every partition.
     ///
     /// # Errors
@@ -746,5 +772,25 @@ mod tests {
         let reports = cluster.health().unwrap();
         assert_eq!(reports.len(), 3);
         cluster.ping_all().unwrap();
+    }
+
+    #[test]
+    fn metrics_scatter_to_every_partition_and_merge() {
+        let (caches, cluster) = in_proc_cluster(3);
+        for cache in &caches {
+            cache.execute(DDL).unwrap();
+        }
+        for i in 0..30 {
+            cluster.insert("Flows", flow(&format!("k-{i}"), i)).unwrap();
+        }
+        let snapshots = cluster.metrics_all().unwrap();
+        assert_eq!(snapshots.len(), 3);
+        // Every partition took some share of the 30 hashed writes, so
+        // the merged insert counter sees all of them.
+        let mut merged = snapshots[0].clone();
+        for s in &snapshots[1..] {
+            merged.merge(s);
+        }
+        assert_eq!(merged.counter("rpc_requests_insert"), Some(30));
     }
 }

@@ -70,6 +70,12 @@ pub enum Request {
     /// only — the reactor answers it inline on the event thread, so a
     /// load-balancer probe gets a reply even when every worker is busy.
     Health,
+    /// Ask for the observability snapshot (latency histograms, counters
+    /// — see `pscache::obs`). Answered like [`Request::Health`]: inline
+    /// on the reactor's event thread, never queued behind workers, so a
+    /// scraper still gets its numbers from a node whose worker pool is
+    /// the very thing that is saturated.
+    Metrics,
 }
 
 /// The health/readiness snapshot returned by [`Request::Health`]:
@@ -102,6 +108,12 @@ pub struct HealthReport {
     pub rpc_workers: u64,
     /// Requests rejected by admission control since the server started.
     pub rpc_requests_throttled: u64,
+    /// Slow consumers torn down because their outbox exceeded the
+    /// configured limit. A stalled subscriber used to disappear
+    /// silently; now the teardown is countable.
+    pub slow_consumer_evictions: u64,
+    /// Automata unregistered — explicitly or by connection teardown.
+    pub automaton_unregistrations: u64,
 }
 
 impl HealthReport {
@@ -266,6 +278,11 @@ pub enum CacheReply {
         /// The partition that owns the rejected key.
         partition: u64,
     },
+    /// Reply to [`Request::Metrics`].
+    Metrics {
+        /// The observability snapshot at the time of the request.
+        snapshot: pscache::MetricsSnapshot,
+    },
 }
 
 /// A message sent from the client to the server: a sequenced request,
@@ -280,6 +297,12 @@ pub struct ClientMessage {
     /// returns the original outcome instead of applying the mutation
     /// twice. `None` on reads and on clients that opted out.
     pub token: Option<(u64, u64)>,
+    /// Client-stamped 8-byte trace id, propagated with the request
+    /// through the server's queue → worker → outbox stages; operations
+    /// that cross the slow-op threshold surface it in the slow-op log,
+    /// tying a server-side stall back to the client call that suffered
+    /// it. `None` on clients that do not trace (the default).
+    pub trace: Option<u64>,
     /// The request.
     pub request: Request,
 }
@@ -318,6 +341,15 @@ impl ClientMessage {
                 w.put_u8(1);
                 w.put_u64(client_id);
                 w.put_u64(token_seq);
+            }
+        }
+        // The trace id mirrors the token flag: one presence byte, then
+        // the 8-byte id — absent costs one byte on every request.
+        match self.trace {
+            None => w.put_u8(0),
+            Some(id) => {
+                w.put_u8(1);
+                w.put_u64(id);
             }
         }
         match &self.request {
@@ -362,6 +394,9 @@ impl ClientMessage {
             Request::Health => {
                 w.put_u8(7);
             }
+            Request::Metrics => {
+                w.put_u8(8);
+            }
         }
         w.finish().to_vec()
     }
@@ -382,6 +417,11 @@ impl ClientMessage {
                     "unknown idempotency-token flag {other}"
                 )))
             }
+        };
+        let trace = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_u64()?),
+            other => return Err(Error::protocol(format!("unknown trace-id flag {other}"))),
         };
         let request = match r.get_u8()? {
             0 => Request::Execute {
@@ -404,11 +444,13 @@ impl ClientMessage {
             },
             6 => Request::ServerStats,
             7 => Request::Health,
+            8 => Request::Metrics,
             other => return Err(Error::protocol(format!("unknown request tag {other}"))),
         };
         Ok(ClientMessage {
             seq,
             token,
+            trace,
             request,
         })
     }
@@ -514,11 +556,17 @@ fn encode_reply(w: &mut WireWriter, reply: &CacheReply) {
             w.put_u8(11);
             w.put_u64(*partition);
         }
+        CacheReply::Metrics { snapshot } => {
+            w.put_u8(12);
+            let mut blob = Vec::new();
+            snapshot.encode_into(&mut blob);
+            w.put_blob(&blob);
+        }
     }
 }
 
 /// The wire order of [`HealthReport`] fields (shared by encode/decode).
-fn health_fields(h: &HealthReport) -> [u64; 10] {
+fn health_fields(h: &HealthReport) -> [u64; 12] {
     [
         h.role_follower,
         h.commit_lsn,
@@ -530,6 +578,8 @@ fn health_fields(h: &HealthReport) -> [u64; 10] {
         h.rpc_worker_busy,
         h.rpc_workers,
         h.rpc_requests_throttled,
+        h.slow_consumer_evictions,
+        h.automaton_unregistrations,
     ]
 }
 
@@ -635,6 +685,8 @@ fn decode_reply(r: &mut WireReader<'_>) -> Result<CacheReply> {
                 rpc_worker_busy: r.get_u64()?,
                 rpc_workers: r.get_u64()?,
                 rpc_requests_throttled: r.get_u64()?,
+                slow_consumer_evictions: r.get_u64()?,
+                automaton_unregistrations: r.get_u64()?,
             },
         },
         10 => CacheReply::Throttled {
@@ -643,6 +695,14 @@ fn decode_reply(r: &mut WireReader<'_>) -> Result<CacheReply> {
         11 => CacheReply::NotMine {
             partition: r.get_u64()?,
         },
+        12 => {
+            let blob = r.get_blob()?;
+            let mut pos = 0;
+            let snapshot = pscache::MetricsSnapshot::decode_from(blob, &mut pos)
+                .filter(|_| pos == blob.len())
+                .ok_or_else(|| Error::protocol("malformed metrics snapshot"))?;
+            CacheReply::Metrics { snapshot }
+        }
         other => return Err(Error::protocol(format!("unknown reply tag {other}"))),
     })
 }
@@ -679,6 +739,7 @@ mod tests {
         round_trip_client(ClientMessage {
             seq: 1,
             token: None,
+            trace: None,
             request: Request::Execute {
                 command: "select * from Flows".into(),
             },
@@ -686,6 +747,7 @@ mod tests {
         round_trip_client(ClientMessage {
             seq: 2,
             token: None,
+            trace: None,
             request: Request::Insert {
                 table: "Flows".into(),
                 values: vec![Scalar::Str("a".into()), Scalar::Int(5)],
@@ -695,6 +757,7 @@ mod tests {
         round_trip_client(ClientMessage {
             seq: 3,
             token: None,
+            trace: None,
             request: Request::RegisterAutomaton {
                 source: "subscribe t to Timer; behavior { }".into(),
             },
@@ -702,21 +765,25 @@ mod tests {
         round_trip_client(ClientMessage {
             seq: 4,
             token: None,
+            trace: None,
             request: Request::UnregisterAutomaton { id: 9 },
         });
         round_trip_client(ClientMessage {
             seq: 5,
             token: None,
+            trace: None,
             request: Request::Ping,
         });
         round_trip_client(ClientMessage {
             seq: 7,
             token: None,
+            trace: None,
             request: Request::ServerStats,
         });
         round_trip_client(ClientMessage {
             seq: 6,
             token: None,
+            trace: None,
             request: Request::InsertBatch {
                 table: "Flows".into(),
                 rows: vec![
@@ -831,6 +898,8 @@ mod tests {
                     rpc_worker_busy: 8,
                     rpc_workers: 9,
                     rpc_requests_throttled: 10,
+                    slow_consumer_evictions: 11,
+                    automaton_unregistrations: 12,
                 },
             },
         });
@@ -862,6 +931,7 @@ mod tests {
         round_trip_client(ClientMessage {
             seq: 8,
             token: Some((0xDEAD_BEEF, 42)),
+            trace: None,
             request: Request::Insert {
                 table: "Flows".into(),
                 values: vec![Scalar::Int(1)],
@@ -871,17 +941,88 @@ mod tests {
         round_trip_client(ClientMessage {
             seq: 9,
             token: None,
+            trace: None,
             request: Request::Health,
         });
         // The token flag byte only admits 0 and 1.
         let mut bytes = ClientMessage {
             seq: 1,
             token: None,
+            trace: None,
             request: Request::Ping,
         }
         .encode();
         bytes[8] = 2;
         assert!(ClientMessage::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn traced_and_metrics_messages_round_trip() {
+        round_trip_client(ClientMessage {
+            seq: 14,
+            token: None,
+            trace: Some(0xFEED_F00D),
+            request: Request::Ping,
+        });
+        // Trace ids compose with idempotency tokens: both flags on the
+        // same message.
+        round_trip_client(ClientMessage {
+            seq: 15,
+            token: Some((7, 8)),
+            trace: Some(u64::MAX),
+            request: Request::Insert {
+                table: "Flows".into(),
+                values: vec![Scalar::Int(1)],
+                upsert: true,
+            },
+        });
+        round_trip_client(ClientMessage {
+            seq: 16,
+            token: None,
+            trace: None,
+            request: Request::Metrics,
+        });
+        // The trace flag byte (after seq and an absent token flag) only
+        // admits 0 and 1.
+        let mut bytes = ClientMessage {
+            seq: 1,
+            token: None,
+            trace: None,
+            request: Request::Ping,
+        }
+        .encode();
+        bytes[9] = 2;
+        assert!(ClientMessage::decode(&bytes).is_err());
+
+        // A metrics reply carries a busy snapshot losslessly.
+        let obs = pscache::Obs::new(true, std::time::Duration::from_secs(1));
+        obs.count_request(pscache::ReqKind::Insert);
+        obs.count_request(pscache::ReqKind::Control);
+        for i in 0..100 {
+            obs.record_rpc(pscache::OpTrace {
+                trace_id: i,
+                kind: pscache::ReqKind::Insert,
+                table: Some("Flows".into()),
+                queue_ns: 50 * i,
+                exec_ns: 1000 + i,
+                flush_ns: 10,
+            });
+        }
+        obs.wal_fsync_ns.record(123_456);
+        round_trip_server(ServerMessage::Reply {
+            seq: 17,
+            reply: CacheReply::Metrics {
+                snapshot: obs.snapshot(),
+            },
+        });
+        // An empty snapshot (idle node) round-trips too.
+        let idle = pscache::Obs::new(true, std::time::Duration::from_secs(1));
+        round_trip_server(ServerMessage::Reply {
+            seq: 18,
+            reply: CacheReply::Metrics {
+                snapshot: idle.snapshot(),
+            },
+        });
     }
 
     #[test]

@@ -98,8 +98,11 @@ enum Job {
 /// owns this connection, so requests execute strictly in inbox order.
 #[derive(Default)]
 struct ExecState {
-    /// Decoded requests awaiting execution, in receive order.
-    inbox: VecDeque<ClientMessage>,
+    /// Decoded requests awaiting execution, in receive order, each with
+    /// its decode-time timestamp (`None` when metrics are disabled) so
+    /// the worker that claims it can charge the inbox wait to the
+    /// `queue` stage of the request's latency breakdown.
+    inbox: VecDeque<(ClientMessage, Option<Instant>)>,
     /// A worker currently owns this connection's inbox.
     executing: bool,
     /// No more bytes will be read (EOF, parse error, or drain).
@@ -133,6 +136,34 @@ struct ConnShared {
     /// slow consumer ([`pscache::ClientPolicy::max_outbox_bytes`]; 0
     /// disables eviction).
     max_outbox_bytes: usize,
+    /// The served cache's observability registry, reachable from the
+    /// flush path (which holds only this struct) so a drained outbox
+    /// can complete the flush stage of its pending operations.
+    obs: Arc<pscache::Obs>,
+    /// Replies appended to `out` whose flush has not yet happened: the
+    /// reactor completes (and records) each one when the outbox next
+    /// drains to empty. Empty whenever metrics are disabled.
+    pending_ops: Mutex<VecDeque<PendingOp>>,
+}
+
+/// Cap on outstanding [`PendingOp`]s per connection: a subscriber whose
+/// outbox never fully drains (a notification firehose) must not pin
+/// unbounded trace state; past the cap the oldest span is dropped
+/// unrecorded.
+const PENDING_OPS_CAP: usize = 1024;
+
+/// A measured request whose reply sits in the outbox awaiting flush —
+/// the first two stages of its latency breakdown, waiting for the third.
+struct PendingOp {
+    /// Client-stamped wire trace id (0 when unstamped).
+    trace_id: u64,
+    kind: pscache::ReqKind,
+    /// Table the request addressed, for the slow-op log.
+    table: Option<String>,
+    queue_ns: u64,
+    exec_ns: u64,
+    /// When the reply landed in the outbox.
+    appended: Instant,
 }
 
 /// Append one logical message to an outbox, atomically with respect to
@@ -164,6 +195,12 @@ impl RouteSink for ReactorRoute {
         if self.shared.max_outbox_bytes > 0
             && self.shared.out.lock().len() > self.shared.max_outbox_bytes
         {
+            if self.shared.obs.enabled() {
+                self.shared
+                    .obs
+                    .slow_consumer_evictions
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             mark_defunct(&self.shared, &self.shared.stats);
             self.shared.waker.wake();
             return false;
@@ -511,7 +548,7 @@ fn worker_loop(
 /// except the fairness re-queue.
 fn run_conn(ctx: &RequestCtx<'_>, job_tx: &Sender<Job>, conn: &Arc<ConnShared>) {
     for _ in 0..WORKER_BUDGET {
-        let msg = {
+        let (msg, received) = {
             let mut exec = conn.exec.lock();
             if exec.defunct {
                 let dropped = exec.inbox.len() as u64;
@@ -535,7 +572,7 @@ fn run_conn(ctx: &RequestCtx<'_>, job_tx: &Sender<Job>, conn: &Arc<ConnShared>) 
                 return;
             }
             match exec.inbox.pop_front() {
-                Some(msg) => msg,
+                Some(entry) => entry,
                 None => {
                     exec.executing = false;
                     drop(exec);
@@ -557,6 +594,24 @@ fn run_conn(ctx: &RequestCtx<'_>, job_tx: &Sender<Job>, conn: &Arc<ConnShared>) 
         let token = msg
             .token
             .map(|(client_id, seq)| IdemToken { client_id, seq });
+        // The first stage of the latency breakdown closes at pickup:
+        // queue time is decode-to-claim. Everything trace-related keys
+        // off `received` being stamped, so a metrics-off cache pays no
+        // clock reads here.
+        let span = received.map(|at| {
+            let table = match &msg.request {
+                Request::Insert { table, .. } | Request::InsertBatch { table, .. } => {
+                    Some(table.clone())
+                }
+                _ => None,
+            };
+            (
+                at.elapsed().as_nanos() as u64,
+                crate::server::req_kind(&msg.request),
+                table,
+                Instant::now(),
+            )
+        });
         ctx.stats.worker_busy.fetch_add(1, Ordering::Release);
         let reply = {
             let mut registered = conn.registered.lock();
@@ -571,6 +626,20 @@ fn run_conn(ctx: &RequestCtx<'_>, job_tx: &Sender<Job>, conn: &Arc<ConnShared>) 
             }
             .encode(),
         );
+        if let Some((queue_ns, kind, table, exec_started)) = span {
+            let mut pending = conn.pending_ops.lock();
+            if pending.len() >= PENDING_OPS_CAP {
+                pending.pop_front();
+            }
+            pending.push_back(PendingOp {
+                trace_id: msg.trace.unwrap_or(0),
+                kind,
+                table,
+                queue_ns,
+                exec_ns: exec_started.elapsed().as_nanos() as u64,
+                appended: Instant::now(),
+            });
+        }
         ctx.stats.in_flight.fetch_sub(1, Ordering::Release);
         conn.waker.wake();
     }
@@ -592,6 +661,10 @@ fn mark_defunct(shared: &ConnShared, stats: &StatsInner) {
     if dropped > 0 {
         stats.in_flight.fetch_sub(dropped, Ordering::Release);
     }
+    drop(exec);
+    // Spans whose flush will never happen are dropped, not recorded
+    // with a fabricated flush time.
+    shared.pending_ops.lock().clear();
 }
 
 fn accept_all(
@@ -600,6 +673,7 @@ fn accept_all(
     stats: &Arc<StatsInner>,
     waker: &Arc<Waker>,
     policy: &ClientPolicy,
+    obs: &Arc<pscache::Obs>,
 ) {
     loop {
         match listener.accept() {
@@ -618,6 +692,8 @@ fn accept_all(
                         waker: Arc::clone(waker),
                         stats: Arc::clone(stats),
                         max_outbox_bytes: policy.max_outbox_bytes,
+                        obs: Arc::clone(obs),
+                        pending_ops: Mutex::new(VecDeque::new()),
                     }),
                     stream,
                     parser: FrameParser::default(),
@@ -667,12 +743,34 @@ fn reactor_read(
                                     // the reactor thread. The outbox is
                                     // flushed later this same poll
                                     // iteration.
+                                    cache.obs().count_request(pscache::ReqKind::Control);
                                     append_message(
                                         &conn.shared.out,
                                         &ServerMessage::Reply {
                                             seq: msg.seq,
                                             reply: CacheReply::Health {
                                                 report: health_report(cache, stats),
+                                            },
+                                        }
+                                        .encode(),
+                                    );
+                                    continue;
+                                }
+                                if matches!(msg.request, Request::Metrics) {
+                                    // Same contract as Health: a scraper
+                                    // must get its numbers from a node
+                                    // whose worker pool is saturated —
+                                    // which is exactly when the numbers
+                                    // matter. Snapshotting is lock-free
+                                    // reads of atomics, cheap enough for
+                                    // the poll thread.
+                                    cache.obs().count_request(pscache::ReqKind::Control);
+                                    append_message(
+                                        &conn.shared.out,
+                                        &ServerMessage::Reply {
+                                            seq: msg.seq,
+                                            reply: CacheReply::Metrics {
+                                                snapshot: cache.obs().snapshot(),
                                             },
                                         }
                                         .encode(),
@@ -696,8 +794,9 @@ fn reactor_read(
                                     continue;
                                 }
                                 stats.in_flight.fetch_add(1, Ordering::Release);
+                                let received = cache.obs().enabled().then(Instant::now);
                                 let mut exec = conn.shared.exec.lock();
-                                exec.inbox.push_back(msg);
+                                exec.inbox.push_back((msg, received));
                                 if !exec.executing {
                                     exec.executing = true;
                                     drop(exec);
@@ -737,6 +836,7 @@ fn reactor_read(
 /// Write as much buffered output as the socket accepts right now.
 fn flush_out(conn: &Conn, stats: &StatsInner) {
     let mut failed = false;
+    let drained;
     {
         let mut out = conn.shared.out.lock();
         let mut written = 0;
@@ -756,12 +856,34 @@ fn flush_out(conn: &Conn, stats: &StatsInner) {
             }
         }
         out.drain(..written);
+        drained = !failed && out.is_empty();
         if failed {
             out.clear();
         }
     }
     if failed {
         mark_defunct(&conn.shared, stats);
+        return;
+    }
+    // A fully drained outbox completes the flush stage of every reply
+    // it carried: their bytes are in the kernel's send buffer, the last
+    // moment the server can observe. A partial flush leaves the spans
+    // pending — honest, since some of those bytes are still ours.
+    if drained {
+        let mut pending = conn.shared.pending_ops.lock();
+        if !pending.is_empty() {
+            let now = Instant::now();
+            for op in pending.drain(..) {
+                conn.shared.obs.record_rpc(pscache::OpTrace {
+                    trace_id: op.trace_id,
+                    kind: op.kind,
+                    table: op.table,
+                    queue_ns: op.queue_ns,
+                    exec_ns: op.exec_ns,
+                    flush_ns: now.saturating_duration_since(op.appended).as_nanos() as u64,
+                });
+            }
+        }
     }
 }
 
@@ -871,7 +993,7 @@ fn reactor_loop(
         }
         if let Some(slot) = listener_slot {
             if fds[slot].readable() {
-                accept_all(listener, &mut conns, stats, waker, policy);
+                accept_all(listener, &mut conns, stats, waker, policy, cache.obs());
             }
         }
         for (k, &i) in slots.iter().enumerate() {

@@ -129,6 +129,11 @@ pub(crate) fn health_report(cache: &Cache, stats: &StatsInner) -> HealthReport {
         rpc_worker_busy: stats.worker_busy.load(Ordering::Acquire),
         rpc_workers: cache.rpc_workers() as u64,
         rpc_requests_throttled: stats.requests_throttled.load(Ordering::Acquire),
+        slow_consumer_evictions: cache.obs().slow_consumer_evictions.load(Ordering::Relaxed),
+        automaton_unregistrations: cache
+            .obs()
+            .automaton_unregistrations
+            .load(Ordering::Relaxed),
     }
 }
 
@@ -659,6 +664,22 @@ fn outcome_to_reply(outcome: TokenOutcome) -> CacheReply {
     }
 }
 
+/// The observability bucket a request's service time lands in (see
+/// `pscache::obs::ReqKind`): one per mutation shape, with every cheap
+/// control request (ping, stats, health, metrics) sharing a bucket.
+pub(crate) fn req_kind(request: &Request) -> pscache::ReqKind {
+    match request {
+        Request::Execute { .. } => pscache::ReqKind::Execute,
+        Request::Insert { .. } => pscache::ReqKind::Insert,
+        Request::InsertBatch { .. } => pscache::ReqKind::InsertBatch,
+        Request::RegisterAutomaton { .. } => pscache::ReqKind::Register,
+        Request::UnregisterAutomaton { .. } => pscache::ReqKind::Unregister,
+        Request::Ping | Request::ServerStats | Request::Health | Request::Metrics => {
+            pscache::ReqKind::Control
+        }
+    }
+}
+
 /// Execute one decoded request against the cache on behalf of one
 /// connection. `registered` is that connection's automaton ownership
 /// set and `make_route` builds the sink the hub will route the new
@@ -679,6 +700,7 @@ pub(crate) fn handle_request(
     // must return the original outcome, not apply again (and not fail
     // with DuplicateKey). The lookup-then-execute window is safe because
     // a client never has two in-flight requests with the same token.
+    ctx.cache.obs().count_request(req_kind(&request));
     if let Some(t) = token {
         if let Some(outcome) = ctx.cache.token_lookup(t) {
             return outcome_to_reply(outcome);
@@ -691,6 +713,9 @@ pub(crate) fn handle_request(
         },
         Request::Health => CacheReply::Health {
             report: health_report(ctx.cache, ctx.stats),
+        },
+        Request::Metrics => CacheReply::Metrics {
+            snapshot: ctx.cache.obs().snapshot(),
         },
         Request::Execute { command } => match ctx
             .cache

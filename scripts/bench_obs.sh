@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Observability overhead snapshot: the pipelined-insert RPC workload
+# and the 1%-selective read-path workload each run twice — once with
+# the metrics layer on (histograms, per-stage RPC spans, wire trace
+# ids) and once with `CacheBuilder::metrics(false)`. Writes
+# BENCH_obs.json at the repository root and enforces two acceptance
+# floors:
+#
+#   obs_rpc_ratio  >= 0.95   instrumented reactor insert throughput
+#                            must stay within 5% of the kill-switched
+#                            build — per-request spans and trace ids
+#                            are priced on every single RPC
+#   obs_read_ratio >= 0.95   instrumented in-process select throughput
+#                            must stay within 5% — the select timer sits
+#                            on the hottest read path the cache has
+#
+# Floors are enforced by the bench crate's `check_floor` binary: a
+# missing file, missing key, or unparsable metric is a hard failure —
+# a bench that did not produce its number must never count as a pass.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> snapshot: BENCH_obs.json"
+cargo run --release -p cep_bench --bin bench_obs
+
+cargo run --release -q -p cep_bench --bin check_floor -- \
+    BENCH_obs.json obs_rpc_ratio 0.95 \
+    "instrumented/uninstrumented RPC insert throughput"
+cargo run --release -q -p cep_bench --bin check_floor -- \
+    BENCH_obs.json obs_read_ratio 0.95 \
+    "instrumented/uninstrumented select throughput"
+
+echo "obs snapshot complete"

@@ -33,7 +33,9 @@
 #           snapshot selects >= 4x the mutex baseline at 8 readers
 #           with writer throughput >= 0.8x (BENCH_readpath.json),
 #           cluster sharding — 2-partition durable write speedup
-#           >= 1.6x over a single primary (BENCH_cluster.json)
+#           >= 1.6x over a single primary (BENCH_cluster.json),
+#           observability — instrumented RPC and select throughput
+#           both >= 0.95x the metrics(false) build (BENCH_obs.json)
 #
 # Every floor is parsed hard by the bench crate's `check_floor` binary:
 # a missing or unparsable metric fails the gate — a bench that did not
@@ -98,7 +100,7 @@ stage_docs() {
 stage_bench() {
     if [ "${CI_SKIP_BENCH:-0}" = "1" ]; then
         # Every floor that would have run is named: a skipped gate must
-        # read as "8 floors NOT checked", never as a quiet pass.
+        # read as "9 floors NOT checked", never as a quiet pass.
         for floor in \
             "query window_speedup >= 10" \
             "fanout speedup >= 10" \
@@ -107,7 +109,8 @@ stage_bench() {
             "rpc rpc_speedup_16 >= 10" \
             "protect protect_dedup_ratio >= 0.9 + protect_fairness_ratio >= 0.5" \
             "readpath read_speedup_8r >= 4 + writer_ratio >= 0.8" \
-            "cluster cluster_speedup_2 >= 1.6"; do
+            "cluster cluster_speedup_2 >= 1.6" \
+            "obs obs_rpc_ratio >= 0.95 + obs_read_ratio >= 0.95"; do
             echo "SKIPPED (CI_SKIP_BENCH=1): ${floor}"
         done
         return 0
@@ -130,6 +133,8 @@ stage_bench() {
     sh scripts/bench_readpath.sh
     echo "--> bench floor: cluster sharding write scale-out"
     sh scripts/bench_cluster.sh
+    echo "--> bench floor: observability overhead"
+    sh scripts/bench_obs.sh
 }
 
 stage_cluster() {

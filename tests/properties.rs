@@ -57,6 +57,7 @@ proptest! {
         let msg = ClientMessage {
             seq,
             token: tokened.then_some((client_id, token_seq)),
+            trace: upsert.then_some(client_id ^ token_seq),
             request: Request::Insert { table: table.clone(), values: values.clone(), upsert },
         };
         prop_assert_eq!(ClientMessage::decode(&msg.encode()).unwrap(), msg);

@@ -220,6 +220,7 @@ fn a_consumer_that_stops_draining_notifications_is_evicted() {
     let msg = ClientMessage {
         seq: 1,
         token: None,
+        trace: None,
         request: Request::RegisterAutomaton {
             source: "subscribe t to T; behavior { send(t.v); }".into(),
         },

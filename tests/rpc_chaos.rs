@@ -85,6 +85,7 @@ fn a_slow_reader_cannot_stall_other_connections() {
     let msg = ClientMessage {
         seq: 1,
         token: None,
+        trace: None,
         request: Request::Execute {
             command: "select * from Blobs".into(),
         },
